@@ -1,0 +1,46 @@
+//! Ablation: warp-to-pixel tiling (ray coherence).
+//!
+//! Vulkan-sim (and this harness by default) maps each warp to 32
+//! consecutive pixels of a row; real rasterizers map warps to 8x4
+//! screen tiles, making each warp's primary rays spatially coherent.
+//! Coherence is a *competitor* to cooperation: coherent warps coalesce
+//! node fetches and diverge less, so tiling should help the baseline
+//! more than CoopRT and slightly shrink CoopRT's relative win.
+
+use cooprt_bench::{banner, build_scene, gmean, print_header, print_row, run, scene_list};
+use cooprt_core::{GpuConfig, ShaderKind, TraversalPolicy, WarpTiling};
+
+fn main() {
+    banner("Ablation: warp tiling (linear strips vs 8x4 screen tiles)");
+    print_header("scene", &["tile b", "tile c", "lin c", "coop gain"]);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for id in scene_list() {
+        let scene = build_scene(id);
+        let linear = GpuConfig::rtx2060();
+        let mut tiled = GpuConfig::rtx2060();
+        tiled.warp_tiling = WarpTiling::Tiled8x4;
+
+        let lin_base = run(&scene, &linear, TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let lin_coop = run(&scene, &linear, TraversalPolicy::CoopRt, ShaderKind::PathTrace);
+        let tile_base = run(&scene, &tiled, TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let tile_coop = run(&scene, &tiled, TraversalPolicy::CoopRt, ShaderKind::PathTrace);
+
+        let denom = lin_base.cycles.max(1) as f64;
+        let row = [
+            denom / tile_base.cycles.max(1) as f64,
+            denom / tile_coop.cycles.max(1) as f64,
+            denom / lin_coop.cycles.max(1) as f64,
+            tile_base.cycles as f64 / tile_coop.cycles.max(1) as f64,
+        ];
+        print_row(id.name(), &row);
+        for (c, v) in cols.iter_mut().zip(row) {
+            c.push(v);
+        }
+    }
+    println!("{}", "-".repeat(48));
+    print_row("gmean", &cols.iter().map(|c| gmean(c)).collect::<Vec<_>>());
+    println!();
+    println!("columns: tiled baseline / tiled coop / linear coop, all vs linear baseline;");
+    println!("'coop gain' = CoopRT speedup *within* the tiled mapping. Expectation: tiles");
+    println!("help the baseline via coherence, and CoopRT still wins on top of them.");
+}

@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks of the substrate kernels: intersection
+//! tests, BVH construction, reference traversal and a small end-to-end
+//! simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cooprt_bvh::traverse::closest_hit;
+use cooprt_bvh::{build_binary, BvhImage, WideBvh};
+use cooprt_core::{GpuConfig, ShaderKind, Simulation, TraversalPolicy};
+use cooprt_math::{Aabb, Ray, Triangle, Vec3};
+use cooprt_scenes::SceneId;
+
+fn bench_intersections(c: &mut Criterion) {
+    let bbox = Aabb::new(Vec3::ZERO, Vec3::ONE);
+    let tri = Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y);
+    let ray = Ray::new(Vec3::new(0.3, 0.3, -2.0), Vec3::Z);
+    c.bench_function("ray_aabb_slab", |b| {
+        b.iter(|| black_box(bbox.intersect(black_box(&ray), f32::INFINITY)))
+    });
+    c.bench_function("ray_triangle_moller_trumbore", |b| {
+        b.iter(|| black_box(tri.intersect(black_box(&ray), f32::INFINITY)))
+    });
+}
+
+fn bench_bvh_build(c: &mut Criterion) {
+    let scene = SceneId::Party.build(8);
+    let tris = scene.image.triangles().to_vec();
+    c.bench_function("bvh_build_sah_6ary", |b| {
+        b.iter(|| {
+            let binary = build_binary(black_box(&tris));
+            let wide = WideBvh::from_binary(&binary);
+            black_box(BvhImage::serialize(&wide, &tris))
+        })
+    });
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let scene = SceneId::Fox.build(8);
+    let rays: Vec<Ray> = (0..256)
+        .map(|i| {
+            let s = (i % 16) as f32 / 16.0;
+            let t = (i / 16) as f32 / 16.0;
+            scene.camera.primary_ray(s, t)
+        })
+        .collect();
+    c.bench_function("cpu_reference_traversal_256_rays", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for ray in &rays {
+                if closest_hit(&scene.image, ray, f32::INFINITY).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let scene = SceneId::Wknd.build(4);
+    let cfg = GpuConfig::small(4);
+    let mut group = c.benchmark_group("simulation_16x16");
+    group.sample_size(10);
+    for policy in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
+        group.bench_function(policy.label(), |b| {
+            b.iter_batched(
+                || Simulation::new(&scene, &cfg, policy),
+                |sim| black_box(sim.run_frame(ShaderKind::PathTrace, 16, 16)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_intersections,
+    bench_bvh_build,
+    bench_traversal,
+    bench_simulation
+);
+criterion_main!(benches);

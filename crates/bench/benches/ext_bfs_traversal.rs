@@ -1,0 +1,46 @@
+//! Extension study: cooperative BFS traversal (§4.2).
+//!
+//! The paper notes that the cooperative mechanism "can be extended to
+//! breadth-first-search (BFS) as BFS is also inherently parallelizable
+//! ... helper threads would steal nodes from the front of the queue."
+//! This target quantifies that extension: BFS under both policies,
+//! normalized to the DFS baseline. BFS exposes more parallelism early
+//! (wider frontiers to steal from) but loses DFS's near-to-far pruning,
+//! so it does more total traversal work.
+
+use cooprt_bench::{banner, build_scene, gmean, print_header, print_row, run, scene_list};
+use cooprt_core::{GpuConfig, ShaderKind, TraversalOrder, TraversalPolicy};
+
+fn main() {
+    banner("Extension: BFS cooperative traversal (normalized to DFS baseline)");
+    print_header("scene", &["bfs base", "bfs coop", "dfs coop", "work x"]);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for id in scene_list() {
+        let scene = build_scene(id);
+        let dfs_cfg = GpuConfig::rtx2060();
+        let mut bfs_cfg = GpuConfig::rtx2060();
+        bfs_cfg.traversal_order = TraversalOrder::Bfs;
+
+        let dfs_base = run(&scene, &dfs_cfg, TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let dfs_coop = run(&scene, &dfs_cfg, TraversalPolicy::CoopRt, ShaderKind::PathTrace);
+        let bfs_base = run(&scene, &bfs_cfg, TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let bfs_coop = run(&scene, &bfs_cfg, TraversalPolicy::CoopRt, ShaderKind::PathTrace);
+
+        let denom = dfs_base.cycles.max(1) as f64;
+        let row = [
+            denom / bfs_base.cycles.max(1) as f64,
+            denom / bfs_coop.cycles.max(1) as f64,
+            denom / dfs_coop.cycles.max(1) as f64,
+            bfs_base.events.box_tests as f64 / dfs_base.events.box_tests.max(1) as f64,
+        ];
+        print_row(id.name(), &row);
+        for (c, v) in cols.iter_mut().zip(row) {
+            c.push(v);
+        }
+    }
+    println!("{}", "-".repeat(48));
+    print_row("gmean", &cols.iter().map(|c| gmean(c)).collect::<Vec<_>>());
+    println!();
+    println!("expectation: cooperative stealing helps BFS too, but DFS+CoopRT stays the");
+    println!("better total design because BFS inflates traversal work ('work x' > 1)");
+}

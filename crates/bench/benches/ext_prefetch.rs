@@ -1,0 +1,48 @@
+//! Extension study: combining CoopRT with a node prefetcher (§8.2).
+//!
+//! The paper argues that CoopRT could be combined with a prefetcher
+//! (e.g. Chou et al.'s treelet prefetcher) but "the benefits would need
+//! more careful consideration ... CoopRT increases parallelism and may
+//! saturate the memory bandwidth. In this case, the bandwidth left for
+//! prefetching would be limited." This target measures a simple
+//! child-node prefetcher alone, CoopRT alone, and both together.
+
+use cooprt_bench::{banner, build_scene, gmean, print_header, print_row, run, scene_list};
+use cooprt_core::{GpuConfig, ShaderKind, TraversalPolicy};
+
+fn main() {
+    banner("Extension: child-node prefetching x CoopRT (normalized to baseline)");
+    print_header("scene", &["pf only", "coop", "coop+pf", "pf req k"]);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for id in scene_list() {
+        let scene = build_scene(id);
+        let plain = GpuConfig::rtx2060();
+        let mut pf = GpuConfig::rtx2060();
+        pf.prefetch_children = true;
+
+        let base = run(&scene, &plain, TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let base_pf = run(&scene, &pf, TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let coop = run(&scene, &plain, TraversalPolicy::CoopRt, ShaderKind::PathTrace);
+        let coop_pf = run(&scene, &pf, TraversalPolicy::CoopRt, ShaderKind::PathTrace);
+
+        let denom = base.cycles.max(1) as f64;
+        let row = [
+            denom / base_pf.cycles.max(1) as f64,
+            denom / coop.cycles.max(1) as f64,
+            denom / coop_pf.cycles.max(1) as f64,
+            coop_pf.mem.prefetches as f64 / 1000.0,
+        ];
+        print_row(id.name(), &row);
+        for (c, v) in cols.iter_mut().zip(row) {
+            c.push(v);
+        }
+    }
+    println!("{}", "-".repeat(48));
+    print_row(
+        "gmean",
+        &[gmean(&cols[0]), gmean(&cols[1]), gmean(&cols[2])],
+    );
+    println!();
+    println!("expectation (paper §8.2): prefetching helps the serial baseline more than it");
+    println!("helps CoopRT, which already overlaps fetches and competes for the bandwidth");
+}

@@ -1,0 +1,28 @@
+//! Fig. 4: thread status distribution.
+//!
+//! The paper's Fig. 4 splits RT-unit thread-cycles into busy,
+//! early-finished (waiting) and inactive across scenes, showing that
+//! most thread time is wasted. This target prints the same
+//! distribution for the baseline RT unit under path tracing.
+
+use cooprt_bench::{banner, build_scene, print_header, print_row, run, scene_list};
+use cooprt_core::{GpuConfig, ShaderKind, TraversalPolicy};
+
+fn main() {
+    banner("Fig. 4: thread status distribution (baseline, path tracing)");
+    let cfg = GpuConfig::rtx2060();
+    print_header("scene", &["busy", "waiting", "inactive"]);
+    let mut wasted = Vec::new();
+    for id in scene_list() {
+        let scene = build_scene(id);
+        let r = run(&scene, &cfg, TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let d = r.activity.status_distribution();
+        print_row(id.name(), &d);
+        wasted.push(d[1] + d[2]);
+    }
+    let mean = wasted.iter().sum::<f64>() / wasted.len().max(1) as f64;
+    println!();
+    println!(
+        "mean wasted (waiting + inactive) fraction: {mean:.3} (paper: most threads idle or wait)"
+    );
+}

@@ -1,0 +1,30 @@
+//! Fig. 9: CoopRT speedup, power and energy, normalized to baseline.
+//!
+//! The paper's headline result: up to 5.11x speedup, geometric mean
+//! 2.15x; power up ~2.02x on average; energy down to ~0.94x. This
+//! target runs every scene under both policies and prints the same
+//! three normalized series.
+
+use cooprt_bench::{banner, gmean, print_header, print_row, scene_list, Comparison};
+use cooprt_core::{GpuConfig, ShaderKind};
+
+fn main() {
+    banner("Fig. 9: CoopRT speedup / power / energy vs baseline (path tracing)");
+    let cfg = GpuConfig::rtx2060();
+    print_header("scene", &["speedup", "power", "energy"]);
+    let (mut sp, mut pw, mut en) = (Vec::new(), Vec::new(), Vec::new());
+    for id in scene_list() {
+        let c = Comparison::run(id, &cfg, ShaderKind::PathTrace);
+        let row = [c.speedup(), c.power_ratio(), c.energy_ratio()];
+        print_row(id.name(), &row);
+        sp.push(row[0]);
+        pw.push(row[1]);
+        en.push(row[2]);
+    }
+    println!("{}", "-".repeat(38));
+    print_row("gmean", &[gmean(&sp), gmean(&pw), gmean(&en)]);
+    let max = sp.iter().cloned().fold(0.0, f64::max);
+    println!();
+    println!("max speedup: {max:.2}x (paper: 5.11x) | gmean: {:.2}x (paper: 2.15x)", gmean(&sp));
+    println!("paper power gmean: 2.02x | paper energy: 0.94x");
+}

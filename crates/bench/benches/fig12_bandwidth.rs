@@ -1,0 +1,33 @@
+//! Fig. 12: normalized L2↔interconnect and DRAM bandwidth.
+//!
+//! The paper's Fig. 12 shows CoopRT raising L2 bandwidth by up to 5.7x
+//! and DRAM bandwidth by up to 5.5x, because many more threads fetch
+//! nodes in parallel. This target prints CoopRT's bandwidth normalized
+//! to baseline for both interfaces.
+
+use cooprt_bench::{banner, gmean, print_header, print_row, scene_list, Comparison};
+use cooprt_core::{GpuConfig, ShaderKind};
+
+fn main() {
+    banner("Fig. 12: L2 and DRAM bandwidth, CoopRT normalized to baseline");
+    let cfg = GpuConfig::rtx2060();
+    print_header("scene", &["L2", "DRAM"]);
+    let (mut l2s, mut drams) = (Vec::new(), Vec::new());
+    for id in scene_list() {
+        let c = Comparison::run(id, &cfg, ShaderKind::PathTrace);
+        let l2 = c.coop.mem.l2_bandwidth(c.coop.cycles) / c.base.mem.l2_bandwidth(c.base.cycles).max(1e-12);
+        let dram =
+            c.coop.mem.dram_bandwidth(c.coop.cycles) / c.base.mem.dram_bandwidth(c.base.cycles).max(1e-12);
+        print_row(id.name(), &[l2, dram]);
+        l2s.push(l2);
+        drams.push(dram);
+    }
+    println!("{}", "-".repeat(28));
+    print_row("gmean", &[gmean(&l2s), gmean(&drams)]);
+    println!();
+    println!(
+        "max: L2 {:.2}x, DRAM {:.2}x (paper: up to 5.7x and 5.5x)",
+        l2s.iter().cloned().fold(0.0, f64::max),
+        drams.iter().cloned().fold(0.0, f64::max)
+    );
+}

@@ -1,0 +1,53 @@
+//! Fig. 14: latency of the slowest warp (determines frame rate).
+//!
+//! The paper compares CoopRT with a 4-entry warp buffer against the
+//! baseline with a 32-entry buffer: larger buffers raise throughput but
+//! not tail latency, while CoopRT shortens the longest-running warps
+//! themselves (paper: 0.46x vs 0.62x of baseline). Lower is better.
+
+use cooprt_bench::{banner, build_scene, gmean, print_header, print_row, run_at, scene_list, sweep_res};
+use cooprt_core::{GpuConfig, ShaderKind, TraversalPolicy};
+
+fn main() {
+    banner("Fig. 14: slowest-warp latency, normalized to 4-entry baseline (lower is better)");
+    let res = sweep_res();
+    println!("(sweep resolution {res}x{res} for warp-buffer pressure)");
+    print_header("scene", &["4w/coop", "32w/o"]);
+    let (mut coop_col, mut big_col) = (Vec::new(), Vec::new());
+    for id in scene_list() {
+        let scene = build_scene(id);
+        let base = run_at(
+            &scene,
+            &GpuConfig::rtx2060(),
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+            res,
+        );
+        let coop = run_at(
+            &scene,
+            &GpuConfig::rtx2060(),
+            TraversalPolicy::CoopRt,
+            ShaderKind::PathTrace,
+            res,
+        );
+        let big = run_at(
+            &scene,
+            &GpuConfig::rtx2060().with_warp_buffer(32),
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+            res,
+        );
+        let denom = base.slowest_warp_cycles.max(1) as f64;
+        let row = [
+            coop.slowest_warp_cycles as f64 / denom,
+            big.slowest_warp_cycles as f64 / denom,
+        ];
+        print_row(id.name(), &row);
+        coop_col.push(row[0]);
+        big_col.push(row[1]);
+    }
+    println!("{}", "-".repeat(28));
+    print_row("gmean", &[gmean(&coop_col), gmean(&big_col)]);
+    println!();
+    println!("paper: CoopRT 0.46x vs large-warp-buffer 0.62x — CoopRT should be lower");
+}

@@ -1,0 +1,46 @@
+//! Fig. 15: energy-delay-product improvement across configurations.
+//!
+//! The paper compares the EDP improvement of larger warp buffers
+//! against CoopRT with the default 4-entry buffer; CoopRT wins
+//! (paper gmeans: 1.54x / 1.75x / 1.75x for 8/16/32 w/o coop vs 2.29x
+//! for 4 w/ coop).
+
+use cooprt_bench::{banner, build_scene, gmean, print_header, print_row, run_at, scene_list, sweep_res};
+use cooprt_core::{GpuConfig, ShaderKind, TraversalPolicy};
+
+fn main() {
+    banner("Fig. 15: EDP improvement over 4-entry baseline (higher is better)");
+    let res = sweep_res();
+    println!("(sweep resolution {res}x{res} for warp-buffer pressure)");
+    let configs: Vec<(String, usize, TraversalPolicy)> = [8usize, 16, 32]
+        .iter()
+        .map(|&n| (format!("{n}w/o"), n, TraversalPolicy::Baseline))
+        .chain(std::iter::once(("4w/".to_string(), 4usize, TraversalPolicy::CoopRt)))
+        .collect();
+    let labels: Vec<&str> = configs.iter().map(|c| c.0.as_str()).collect();
+    print_header("scene", &labels);
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for id in scene_list() {
+        let scene = build_scene(id);
+        let base =
+            run_at(&scene, &GpuConfig::rtx2060(), TraversalPolicy::Baseline, ShaderKind::PathTrace, res);
+        let mut row = Vec::new();
+        for (i, (_, entries, policy)) in configs.iter().enumerate() {
+            let cfg = GpuConfig::rtx2060().with_warp_buffer(*entries);
+            let r = run_at(&scene, &cfg, *policy, ShaderKind::PathTrace, res);
+            let improvement = base.energy.edp() / r.energy.edp().max(1e-300);
+            row.push(improvement);
+            columns[i].push(improvement);
+        }
+        print_row(id.name(), &row);
+    }
+    println!("{}", "-".repeat(8 + 10 * configs.len()));
+    let gmeans: Vec<f64> = columns.iter().map(|c| gmean(c)).collect();
+    print_row("gmean", &gmeans);
+    println!();
+    println!("paper gmeans: 1.54 / 1.75 / 1.75 (8/16/32 w/o coop) vs 2.29 (4 w/ coop)");
+    println!(
+        "shape check: coop@4 EDP gain ({:.2}x) should beat every big-buffer baseline",
+        gmeans[3]
+    );
+}

@@ -1,0 +1,27 @@
+//! Fig. 17: CoopRT speedups for ambient-occlusion and shadow shaders.
+//!
+//! AO and SH rays are short and coherent, so there is less divergence
+//! for CoopRT to exploit: the paper reports gmean speedups of 1.42x
+//! (AO) and 1.28x (SH), well below path tracing's 2.15x.
+
+use cooprt_bench::{banner, gmean, print_header, print_row, Comparison};
+use cooprt_core::{GpuConfig, ShaderKind};
+use cooprt_scenes::PAPER_FIG17_SCENES;
+
+fn main() {
+    banner("Fig. 17: AO and SH shader speedups (CoopRT over baseline)");
+    let cfg = GpuConfig::rtx2060();
+    print_header("scene", &["AO", "SH"]);
+    let (mut ao_col, mut sh_col) = (Vec::new(), Vec::new());
+    for id in PAPER_FIG17_SCENES {
+        let ao = Comparison::run(id, &cfg, ShaderKind::AmbientOcclusion);
+        let sh = Comparison::run(id, &cfg, ShaderKind::Shadow);
+        print_row(id.name(), &[ao.speedup(), sh.speedup()]);
+        ao_col.push(ao.speedup());
+        sh_col.push(sh.speedup());
+    }
+    println!("{}", "-".repeat(28));
+    print_row("gmean", &[gmean(&ao_col), gmean(&sh_col)]);
+    println!();
+    println!("paper gmeans: AO 1.42x, SH 1.28x — both well below path tracing");
+}

@@ -1,0 +1,35 @@
+//! Fig. 19: CoopRT speedups for subwarp sizes 4, 8, 16 and 32.
+//!
+//! Restricting cooperation to subwarps saves area (Table 3) but limits
+//! parallelism: the paper reports gmean speedups of 1.72x / 1.97x /
+//! 2.09x / 2.15x for subwarp sizes 4 / 8 / 16 / 32, with the largest
+//! drop between 8 and 4.
+
+use cooprt_bench::{banner, build_scene, gmean, print_header, print_row, run, scene_list};
+use cooprt_core::{GpuConfig, ShaderKind, TraversalPolicy};
+
+fn main() {
+    banner("Fig. 19: subwarp-size sweep (CoopRT over baseline)");
+    let sizes = [4usize, 8, 16, 32];
+    print_header("scene", &["sw4", "sw8", "sw16", "sw32"]);
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    for id in scene_list() {
+        let scene = build_scene(id);
+        let base =
+            run(&scene, &GpuConfig::rtx2060(), TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let mut row = Vec::new();
+        for (i, &sw) in sizes.iter().enumerate() {
+            let cfg = GpuConfig::rtx2060().with_subwarp(sw);
+            let r = run(&scene, &cfg, TraversalPolicy::CoopRt, ShaderKind::PathTrace);
+            let s = base.cycles as f64 / r.cycles.max(1) as f64;
+            row.push(s);
+            columns[i].push(s);
+        }
+        print_row(id.name(), &row);
+    }
+    println!("{}", "-".repeat(48));
+    let gmeans: Vec<f64> = columns.iter().map(|c| gmean(c)).collect();
+    print_row("gmean", &gmeans);
+    println!();
+    println!("paper gmeans: 1.72 / 1.97 / 2.09 / 2.15 — monotone in subwarp size");
+}

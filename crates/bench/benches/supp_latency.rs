@@ -1,0 +1,31 @@
+//! Supplementary analysis: the trace_ray latency distribution.
+//!
+//! Figs. 11 and 14 of the paper are consequences of one fact: CoopRT
+//! compresses the latency *tail* of trace_ray instructions, which large
+//! warp buffers (more throughput, same per-instruction latency) cannot.
+//! This target prints p50/p90/p99/max per scene for both policies.
+
+use cooprt_bench::{banner, build_scene, print_header, print_row, run, scene_list};
+use cooprt_core::{GpuConfig, ShaderKind, TraversalPolicy};
+
+fn main() {
+    banner("Supplementary: trace_ray latency distribution (cycles)");
+    let cfg = GpuConfig::rtx2060();
+    print_header("scene", &["b p50", "b p99", "c p50", "c p99", "p99 x"]);
+    for id in scene_list() {
+        let scene = build_scene(id);
+        let mut base = run(&scene, &cfg, TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let mut coop = run(&scene, &cfg, TraversalPolicy::CoopRt, ShaderKind::PathTrace);
+        let row = [
+            base.trace_latencies.quantile(0.5) as f64,
+            base.trace_latencies.quantile(0.99) as f64,
+            coop.trace_latencies.quantile(0.5) as f64,
+            coop.trace_latencies.quantile(0.99) as f64,
+            base.trace_latencies.quantile(0.99) as f64
+                / coop.trace_latencies.quantile(0.99).max(1) as f64,
+        ];
+        print_row(id.name(), &row);
+    }
+    println!();
+    println!("'p99 x' = tail compression factor; the mechanism behind Figs. 11 and 14");
+}

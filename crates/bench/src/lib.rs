@@ -1,0 +1,192 @@
+//! Benchmark harness for the CoopRT reproduction.
+//!
+//! Every table and figure of the paper's evaluation has a `[[bench]]`
+//! target in `benches/` (run via `cargo bench`). Each target simulates
+//! the relevant scene × configuration matrix and prints the same rows
+//! or series the paper reports, normalized to the baseline exactly as
+//! the paper normalizes.
+//!
+//! Knobs (environment variables):
+//!
+//! - `COOPRT_RES` — frame resolution (default 64; the paper uses 256).
+//! - `COOPRT_DETAIL` — scene detail level (default 32).
+//! - `COOPRT_SCENES` — comma-separated subset of scene names to run
+//!   (default: all 15).
+
+use cooprt_core::{FrameResult, GpuConfig, ShaderKind, Simulation, TraversalPolicy};
+use cooprt_scenes::{Scene, SceneId, ALL_SCENES};
+
+/// Reads a `usize` knob from the environment.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Frame resolution for experiments (`COOPRT_RES`, default 64).
+pub fn default_res() -> usize {
+    env_usize("COOPRT_RES", 64)
+}
+
+/// Scene detail level (`COOPRT_DETAIL`, default 32).
+pub fn default_detail() -> u32 {
+    env_usize("COOPRT_DETAIL", 32) as u32
+}
+
+/// Frame resolution for the warp-buffer sweep figures (13/14/15).
+///
+/// Those experiments need enough warps per SM to pressure the RT warp
+/// buffer (the paper runs 68 thread blocks per SM); at the ordinary
+/// default of 64x64 there are only ~4 warps per SM and buffer sizes
+/// beyond 4 change nothing. Defaults to 128 (≈17 warps/SM); override
+/// with `COOPRT_RES`.
+pub fn sweep_res() -> usize {
+    env_usize("COOPRT_RES", 128)
+}
+
+/// Runs one simulation at an explicit resolution.
+pub fn run_at(
+    scene: &Scene,
+    cfg: &GpuConfig,
+    policy: TraversalPolicy,
+    kind: ShaderKind,
+    res: usize,
+) -> FrameResult {
+    Simulation::new(scene, cfg, policy).run_frame(kind, res, res)
+}
+
+/// The scene list to run, honouring `COOPRT_SCENES`.
+pub fn scene_list() -> Vec<SceneId> {
+    match std::env::var("COOPRT_SCENES") {
+        Err(_) => ALL_SCENES.to_vec(),
+        Ok(spec) => {
+            let want: Vec<&str> = spec.split(',').map(|s| s.trim()).collect();
+            ALL_SCENES.iter().copied().filter(|s| want.contains(&s.name())).collect()
+        }
+    }
+}
+
+/// Builds a scene at the harness detail level.
+pub fn build_scene(id: SceneId) -> Scene {
+    id.build(default_detail())
+}
+
+/// Runs one simulation at the harness resolution.
+pub fn run(scene: &Scene, cfg: &GpuConfig, policy: TraversalPolicy, kind: ShaderKind) -> FrameResult {
+    let res = default_res();
+    Simulation::new(scene, cfg, policy).run_frame(kind, res, res)
+}
+
+/// Geometric mean of a slice of positive ratios.
+///
+/// Returns `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert!((cooprt_bench::gmean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+/// ```
+pub fn gmean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Prints a table header: a left-aligned label column plus value
+/// columns.
+pub fn print_header(label: &str, columns: &[&str]) {
+    print!("{label:<8}");
+    for c in columns {
+        print!(" {c:>9}");
+    }
+    println!();
+    println!("{}", "-".repeat(8 + 10 * columns.len()));
+}
+
+/// Prints one row of numeric values under a [`print_header`].
+pub fn print_row(label: &str, values: &[f64]) {
+    print!("{label:<8}");
+    for v in values {
+        print!(" {v:>9.3}");
+    }
+    println!();
+}
+
+/// Prints the standard experiment banner with the harness parameters.
+pub fn banner(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!(
+        "(resolution {res}x{res}, detail {detail}, {n} scenes; set COOPRT_RES / COOPRT_DETAIL / COOPRT_SCENES to adjust)",
+        res = default_res(),
+        detail = default_detail(),
+        n = scene_list().len(),
+    );
+}
+
+/// Per-scene baseline-vs-CoopRT comparison used by several figures.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Scene identifier.
+    pub id: SceneId,
+    /// Baseline run.
+    pub base: FrameResult,
+    /// CoopRT run.
+    pub coop: FrameResult,
+}
+
+impl Comparison {
+    /// Simulates one scene under both policies with the same config.
+    pub fn run(id: SceneId, cfg: &GpuConfig, kind: ShaderKind) -> Self {
+        let scene = build_scene(id);
+        let base = run(&scene, cfg, TraversalPolicy::Baseline, kind);
+        let coop = run(&scene, cfg, TraversalPolicy::CoopRt, kind);
+        assert_eq!(base.image, coop.image, "{id}: policies must agree functionally");
+        Comparison { id, base, coop }
+    }
+
+    /// CoopRT speedup over baseline (higher is better).
+    pub fn speedup(&self) -> f64 {
+        self.base.cycles as f64 / self.coop.cycles.max(1) as f64
+    }
+
+    /// CoopRT power normalized to baseline.
+    pub fn power_ratio(&self) -> f64 {
+        self.coop.energy.avg_power_w() / self.base.energy.avg_power_w().max(1e-12)
+    }
+
+    /// CoopRT energy normalized to baseline.
+    pub fn energy_ratio(&self) -> f64 {
+        self.coop.energy.total_j() / self.base.energy.total_j().max(1e-300)
+    }
+
+    /// Baseline EDP over CoopRT EDP (improvement factor, higher is
+    /// better).
+    pub fn edp_improvement(&self) -> f64 {
+        self.base.energy.edp() / self.coop.energy.edp().max(1e-300)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_basics() {
+        assert_eq!(gmean(&[]), 0.0);
+        assert!((gmean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn env_usize_parses_and_defaults() {
+        assert_eq!(env_usize("COOPRT_SURELY_UNSET_VAR", 7), 7);
+    }
+
+    #[test]
+    fn scene_list_defaults_to_all() {
+        if std::env::var("COOPRT_SCENES").is_err() {
+            assert_eq!(scene_list().len(), 15);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Flattened, byte-addressed BVH memory image.
+//!
+//! The RT unit traverses the BVH by popping node *addresses* from a
+//! per-thread stack and fetching node data through the cache hierarchy.
+//! [`BvhImage`] is that address space: every wide node is assigned a byte
+//! address in a packed, depth-first layout; the simulator issues fetches
+//! for those addresses and the caches see realistic locality.
+
+use crate::{WideBvh, WideNode};
+use cooprt_math::{Aabb, Triangle};
+
+/// Size in bytes of an internal node record.
+///
+/// 8-byte header + 6 children x (24-byte AABB + 4-byte offset) = 176,
+/// matching the MESA/Vulkan-sim 6-ary node footprint.
+pub const INTERNAL_NODE_BYTES: u32 = 176;
+
+/// Size in bytes of a leaf (triangle) node record.
+///
+/// 3 vertices x 12 bytes + primitive id + header, rounded to 64 bytes
+/// (two 32-byte memory chunks).
+pub const LEAF_NODE_BYTES: u32 = 64;
+
+/// Base address of the BVH heap in the simulated address space.
+const HEAP_BASE: u64 = 0x1000_0000;
+
+/// A reference to a child node as stored inside its parent: the child's
+/// bounds (tested *before* fetching the child) and its address.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChildRef {
+    /// Byte address of the child node in the image.
+    pub addr: u64,
+    /// Child bounds, stored in the parent as in the hardware layout.
+    pub bounds: Aabb,
+}
+
+/// Payload of a serialized node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeKind {
+    /// Internal node: up to six `(bounds, address)` child records.
+    Internal {
+        /// Child references in slot order.
+        children: Vec<ChildRef>,
+    },
+    /// Leaf node: one triangle primitive.
+    Leaf {
+        /// Index into [`BvhImage::triangles`].
+        triangle: u32,
+    },
+}
+
+/// A serialized node: its address plus payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node {
+    /// Byte address of this node.
+    pub addr: u64,
+    /// Node payload.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// Bytes fetched from memory when this node is read.
+    pub fn size_bytes(&self) -> u32 {
+        match self.kind {
+            NodeKind::Internal { .. } => INTERNAL_NODE_BYTES,
+            NodeKind::Leaf { .. } => LEAF_NODE_BYTES,
+        }
+    }
+}
+
+/// The flattened BVH: nodes in address order plus the triangle array.
+///
+/// # Examples
+///
+/// ```
+/// use cooprt_bvh::{build_binary, BvhImage, WideBvh};
+/// use cooprt_math::{Triangle, Vec3};
+///
+/// let tris = vec![Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y)];
+/// let image = BvhImage::serialize(&WideBvh::from_binary(&build_binary(&tris)), &tris);
+/// assert_eq!(image.node_count(), 1);
+/// let root = image.node_at(image.root_addr()).unwrap();
+/// assert_eq!(root.size_bytes(), cooprt_bvh::LEAF_NODE_BYTES);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BvhImage {
+    /// Nodes sorted by ascending address (depth-first layout order).
+    nodes: Vec<Node>,
+    root_addr: u64,
+    root_bounds: Aabb,
+    /// The scene's triangles, referenced by leaf nodes.
+    triangles: Vec<Triangle>,
+    total_bytes: u64,
+}
+
+impl BvhImage {
+    /// Serializes a wide BVH into a packed address space.
+    ///
+    /// Nodes are laid out in depth-first preorder starting at the heap
+    /// base, so siblings and near ancestors share cache lines — the
+    /// locality the paper's cache statistics depend on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wide` references triangles outside `triangles`.
+    pub fn serialize(wide: &WideBvh, triangles: &[Triangle]) -> Self {
+        if wide.nodes.is_empty() {
+            return BvhImage {
+                nodes: Vec::new(),
+                root_addr: HEAP_BASE,
+                root_bounds: Aabb::empty(),
+                triangles: triangles.to_vec(),
+                total_bytes: 0,
+            };
+        }
+        // First pass: assign addresses in preorder.
+        let mut addr_of = vec![0u64; wide.nodes.len()];
+        let mut cursor = HEAP_BASE;
+        assign_addrs(wide, wide.root, &mut addr_of, &mut cursor);
+
+        // Second pass: emit nodes in preorder (ascending address).
+        let mut nodes = Vec::with_capacity(wide.nodes.len());
+        emit(wide, wide.root, &addr_of, triangles, &mut nodes);
+        debug_assert!(nodes.windows(2).all(|w| w[0].addr < w[1].addr));
+
+        BvhImage {
+            nodes,
+            root_addr: addr_of[wide.root as usize],
+            root_bounds: wide.nodes[wide.root as usize].bounds(),
+            triangles: triangles.to_vec(),
+            total_bytes: cursor - HEAP_BASE,
+        }
+    }
+
+    /// Address of the root node.
+    pub fn root_addr(&self) -> u64 {
+        self.root_addr
+    }
+
+    /// Bounds of the whole scene (the root AABB tested on traversal
+    /// entry, Algorithm 1 line 1).
+    pub fn root_bounds(&self) -> Aabb {
+        self.root_bounds
+    }
+
+    /// Looks up a node by its byte address.
+    ///
+    /// Returns `None` for addresses that do not start a node.
+    pub fn node_at(&self, addr: u64) -> Option<&Node> {
+        self.nodes.binary_search_by_key(&addr, |n| n.addr).ok().map(|i| &self.nodes[i])
+    }
+
+    /// The triangle referenced by a leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn triangle(&self, index: u32) -> &Triangle {
+        &self.triangles[index as usize]
+    }
+
+    /// All triangles in the image.
+    pub fn triangles(&self) -> &[Triangle] {
+        &self.triangles
+    }
+
+    /// Number of serialized nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterates over the serialized nodes in address order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Node> {
+        self.nodes.iter()
+    }
+
+    /// Total footprint of the node records in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total footprint in mebibytes (the paper's Table 2 unit).
+    pub fn size_mib(&self) -> f64 {
+        self.total_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl<'a> IntoIterator for &'a BvhImage {
+    type Item = &'a Node;
+    type IntoIter = std::slice::Iter<'a, Node>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+fn assign_addrs(wide: &WideBvh, node: u32, addr_of: &mut [u64], cursor: &mut u64) {
+    addr_of[node as usize] = *cursor;
+    match &wide.nodes[node as usize] {
+        WideNode::Leaf { .. } => *cursor += LEAF_NODE_BYTES as u64,
+        WideNode::Internal { children, .. } => {
+            *cursor += INTERNAL_NODE_BYTES as u64;
+            for (c, _) in children {
+                assign_addrs(wide, *c, addr_of, cursor);
+            }
+        }
+    }
+}
+
+fn emit(
+    wide: &WideBvh,
+    node: u32,
+    addr_of: &[u64],
+    triangles: &[Triangle],
+    out: &mut Vec<Node>,
+) {
+    let addr = addr_of[node as usize];
+    match &wide.nodes[node as usize] {
+        WideNode::Leaf { triangle, .. } => {
+            assert!(
+                (*triangle as usize) < triangles.len(),
+                "leaf references triangle {triangle} outside the scene"
+            );
+            out.push(Node { addr, kind: NodeKind::Leaf { triangle: *triangle } });
+        }
+        WideNode::Internal { children, .. } => {
+            let refs = children
+                .iter()
+                .map(|(c, b)| ChildRef { addr: addr_of[*c as usize], bounds: *b })
+                .collect();
+            out.push(Node { addr, kind: NodeKind::Internal { children: refs } });
+            for (c, _) in children {
+                emit(wide, *c, addr_of, triangles, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_binary;
+    use cooprt_math::Vec3;
+
+    fn image_of(n: usize) -> BvhImage {
+        let tris: Vec<Triangle> = (0..n)
+            .map(|i| {
+                let base = Vec3::new(i as f32 * 2.0, 0.0, (i % 3) as f32);
+                Triangle::new(base, base + Vec3::X, base + Vec3::Y)
+            })
+            .collect();
+        BvhImage::serialize(&WideBvh::from_binary(&build_binary(&tris)), &tris)
+    }
+
+    #[test]
+    fn empty_image() {
+        let img = BvhImage::serialize(&WideBvh::from_binary(&build_binary(&[])), &[]);
+        assert_eq!(img.node_count(), 0);
+        assert_eq!(img.total_bytes(), 0);
+        assert!(img.root_bounds().is_empty());
+        assert!(img.node_at(img.root_addr()).is_none());
+    }
+
+    #[test]
+    fn addresses_are_unique_and_packed() {
+        let img = image_of(25);
+        let mut expected = img.iter().next().unwrap().addr;
+        for node in &img {
+            assert_eq!(node.addr, expected, "layout must be packed");
+            expected += node.size_bytes() as u64;
+        }
+        assert_eq!(img.total_bytes(), expected - img.root_addr());
+    }
+
+    #[test]
+    fn node_lookup_roundtrips() {
+        let img = image_of(17);
+        for node in &img {
+            let found = img.node_at(node.addr).unwrap();
+            assert_eq!(found, node);
+        }
+        // An address in the middle of a node record is not a node start.
+        assert!(img.node_at(img.root_addr() + 4).is_none());
+    }
+
+    #[test]
+    fn child_addresses_resolve_to_nodes() {
+        let img = image_of(30);
+        for node in &img {
+            if let NodeKind::Internal { children } = &node.kind {
+                for c in children {
+                    let child = img.node_at(c.addr).expect("dangling child address");
+                    // Parent-stored bounds must contain the child's own
+                    // geometry (exactly equal for leaves).
+                    if let NodeKind::Leaf { triangle } = child.kind {
+                        let t = img.triangle(triangle);
+                        assert!(c.bounds.contains(t.v0));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_bytes_counts_node_sizes() {
+        let img = image_of(9);
+        let sum: u64 = img.iter().map(|n| n.size_bytes() as u64).sum();
+        assert_eq!(img.total_bytes(), sum);
+        assert!(img.size_mib() > 0.0);
+    }
+
+    #[test]
+    fn root_bounds_contain_everything() {
+        let img = image_of(12);
+        for t in img.triangles() {
+            assert!(img.root_bounds().contains(t.v0));
+            assert!(img.root_bounds().contains(t.v1));
+            assert!(img.root_bounds().contains(t.v2));
+        }
+    }
+
+    #[test]
+    fn single_leaf_image() {
+        let img = image_of(1);
+        assert_eq!(img.node_count(), 1);
+        assert_eq!(img.total_bytes(), LEAF_NODE_BYTES as u64);
+        let root = img.node_at(img.root_addr()).unwrap();
+        assert!(matches!(root.kind, NodeKind::Leaf { triangle: 0 }));
+    }
+}

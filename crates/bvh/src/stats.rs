@@ -1,0 +1,141 @@
+//! Tree statistics for Table 2 of the paper.
+
+use crate::{BvhImage, NodeKind, WideBvh, WideNode};
+
+/// Aggregate statistics of a built BVH.
+///
+/// Mirrors the per-scene numbers in Table 2 of the paper (tree size and
+/// depth) plus a few quality measures used in tests.
+///
+/// # Examples
+///
+/// ```
+/// use cooprt_bvh::{build_binary, BvhImage, TreeStats, WideBvh};
+/// use cooprt_math::{Triangle, Vec3};
+///
+/// let tris: Vec<Triangle> = (0..32)
+///     .map(|i| {
+///         let b = Vec3::new(i as f32, 0.0, 0.0);
+///         Triangle::new(b, b + Vec3::X * 0.5, b + Vec3::Y * 0.5)
+///     })
+///     .collect();
+/// let wide = WideBvh::from_binary(&build_binary(&tris));
+/// let image = BvhImage::serialize(&wide, &tris);
+/// let stats = TreeStats::gather(&wide, &image);
+/// assert_eq!(stats.leaf_nodes, 32);
+/// assert!(stats.depth >= 2);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TreeStats {
+    /// Number of internal nodes.
+    pub internal_nodes: usize,
+    /// Number of leaf (primitive) nodes.
+    pub leaf_nodes: usize,
+    /// Tree depth (root = level 1).
+    pub depth: usize,
+    /// Serialized footprint in bytes.
+    pub total_bytes: u64,
+    /// Serialized footprint in MiB.
+    pub size_mib: f64,
+    /// Average children per internal node.
+    pub avg_arity: f64,
+    /// SAH cost: sum over internal nodes of `SA(node)/SA(root)`, a
+    /// standard proxy for expected traversal work.
+    pub sah_cost: f64,
+}
+
+impl TreeStats {
+    /// Gathers statistics from a wide tree and its serialized image.
+    pub fn gather(wide: &WideBvh, image: &BvhImage) -> Self {
+        let leaf_nodes = wide.leaf_count();
+        let internal_nodes = wide.internal_count();
+        let depth = wide.depth();
+        let root_sa = if wide.nodes.is_empty() {
+            0.0
+        } else {
+            wide.nodes[wide.root as usize].bounds().surface_area() as f64
+        };
+        let mut child_total = 0usize;
+        let mut sah_cost = 0.0f64;
+        for node in &wide.nodes {
+            if let WideNode::Internal { bounds, children } = node {
+                child_total += children.len();
+                if root_sa > 0.0 {
+                    sah_cost += bounds.surface_area() as f64 / root_sa;
+                }
+            }
+        }
+        let avg_arity =
+            if internal_nodes == 0 { 0.0 } else { child_total as f64 / internal_nodes as f64 };
+        // Consistency between the two representations.
+        debug_assert_eq!(
+            image.iter().filter(|n| matches!(n.kind, NodeKind::Leaf { .. })).count(),
+            leaf_nodes
+        );
+        TreeStats {
+            internal_nodes,
+            leaf_nodes,
+            depth,
+            total_bytes: image.total_bytes(),
+            size_mib: image.size_mib(),
+            avg_arity,
+            sah_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_binary;
+    use cooprt_math::{Triangle, Vec3};
+
+    fn stats_of(n: usize) -> TreeStats {
+        let tris: Vec<Triangle> = (0..n)
+            .map(|i| {
+                let b = Vec3::new((i % 10) as f32 * 2.0, 0.0, (i / 10) as f32 * 2.0);
+                Triangle::new(b, b + Vec3::X, b + Vec3::Z)
+            })
+            .collect();
+        let wide = WideBvh::from_binary(&build_binary(&tris));
+        let image = BvhImage::serialize(&wide, &tris);
+        TreeStats::gather(&wide, &image)
+    }
+
+    #[test]
+    fn empty_tree_stats() {
+        let s = stats_of(0);
+        assert_eq!(s.leaf_nodes, 0);
+        assert_eq!(s.internal_nodes, 0);
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.total_bytes, 0);
+    }
+
+    #[test]
+    fn leaf_count_matches_input() {
+        for n in [1usize, 7, 30, 100] {
+            assert_eq!(stats_of(n).leaf_nodes, n);
+        }
+    }
+
+    #[test]
+    fn bigger_scenes_are_bigger_and_deeper() {
+        let small = stats_of(10);
+        let big = stats_of(200);
+        assert!(big.total_bytes > small.total_bytes);
+        assert!(big.depth >= small.depth);
+        assert!(big.sah_cost > small.sah_cost);
+    }
+
+    #[test]
+    fn avg_arity_in_range() {
+        let s = stats_of(100);
+        assert!(s.avg_arity >= 2.0 && s.avg_arity <= 6.0, "arity = {}", s.avg_arity);
+    }
+
+    #[test]
+    fn size_mib_consistent_with_bytes() {
+        let s = stats_of(50);
+        assert!((s.size_mib - s.total_bytes as f64 / 1048576.0).abs() < 1e-12);
+    }
+}

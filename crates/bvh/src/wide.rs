@@ -1,0 +1,282 @@
+//! Collapse of the binary BVH into the 6-ary layout of MESA / Vulkan-sim.
+
+use crate::{BinaryBvh, BinaryNode};
+use cooprt_math::Aabb;
+
+/// Maximum number of children per wide node ("6-ary tree, following the
+/// convention used in the MESA graphics library and Vulkan-sim" — paper
+/// §4.1).
+pub const MAX_ARITY: usize = 6;
+
+/// A node of the 6-ary BVH.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WideNode {
+    /// Internal node with 2..=6 children (indices into
+    /// [`WideBvh::nodes`]). The child bounds live in the *parent*, as in
+    /// the hardware layout, so they are stored here alongside the index.
+    Internal {
+        /// Bounds of all geometry below this node.
+        bounds: Aabb,
+        /// Children: `(node index, child bounds)` pairs.
+        children: Vec<(u32, Aabb)>,
+    },
+    /// Leaf node: a single triangle primitive.
+    Leaf {
+        /// Bounds of the triangle.
+        bounds: Aabb,
+        /// Triangle index into the scene's triangle array.
+        triangle: u32,
+    },
+}
+
+impl WideNode {
+    /// Bounds of the node.
+    pub fn bounds(&self) -> Aabb {
+        match self {
+            WideNode::Internal { bounds, .. } | WideNode::Leaf { bounds, .. } => *bounds,
+        }
+    }
+}
+
+/// A 6-ary BVH, produced by collapsing a [`BinaryBvh`].
+#[derive(Clone, Debug)]
+pub struct WideBvh {
+    /// All nodes; leaves and internals interleaved.
+    pub nodes: Vec<WideNode>,
+    /// Index of the root node.
+    pub root: u32,
+    /// Number of triangles.
+    pub triangle_count: usize,
+}
+
+impl WideBvh {
+    /// Collapses a binary BVH into a 6-ary one.
+    ///
+    /// Each wide internal node absorbs binary descendants greedily: the
+    /// candidate child with the largest surface area is repeatedly replaced
+    /// by its two binary children until six slots are filled or only leaves
+    /// remain. This is the standard wide-BVH collapse and mirrors what the
+    /// MESA driver produces from Embree's binary output.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cooprt_bvh::{build_binary, WideBvh, MAX_ARITY};
+    /// use cooprt_math::{Triangle, Vec3};
+    ///
+    /// let tris: Vec<Triangle> = (0..12)
+    ///     .map(|i| {
+    ///         let base = Vec3::new(i as f32, 0.0, 0.0);
+    ///         Triangle::new(base, base + Vec3::X * 0.5, base + Vec3::Y * 0.5)
+    ///     })
+    ///     .collect();
+    /// let wide = WideBvh::from_binary(&build_binary(&tris));
+    /// assert!(wide.max_arity() <= MAX_ARITY);
+    /// assert_eq!(wide.leaf_count(), 12);
+    /// ```
+    pub fn from_binary(binary: &BinaryBvh) -> Self {
+        if binary.is_empty() {
+            return WideBvh { nodes: Vec::new(), root: 0, triangle_count: 0 };
+        }
+        let mut nodes = Vec::with_capacity(binary.nodes.len());
+        let root = collapse(binary, binary.root, &mut nodes);
+        WideBvh { nodes, root, triangle_count: binary.triangle_count }
+    }
+
+    /// Depth of the tree (a single leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        if self.nodes.is_empty() {
+            return 0;
+        }
+        self.depth_of(self.root)
+    }
+
+    fn depth_of(&self, node: u32) -> usize {
+        match &self.nodes[node as usize] {
+            WideNode::Leaf { .. } => 1,
+            WideNode::Internal { children, .. } => {
+                1 + children.iter().map(|(c, _)| self.depth_of(*c)).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Number of leaf (primitive) nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, WideNode::Leaf { .. })).count()
+    }
+
+    /// Number of internal nodes.
+    pub fn internal_count(&self) -> usize {
+        self.nodes.len() - self.leaf_count()
+    }
+
+    /// Largest child count over all internal nodes (0 for an empty tree).
+    pub fn max_arity(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                WideNode::Internal { children, .. } => Some(children.len()),
+                WideNode::Leaf { .. } => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Recursively emits the wide node for binary node `b` and returns its
+/// index in `nodes`.
+fn collapse(binary: &BinaryBvh, b: u32, nodes: &mut Vec<WideNode>) -> u32 {
+    match &binary.nodes[b as usize] {
+        BinaryNode::Leaf { bounds, triangle } => {
+            nodes.push(WideNode::Leaf { bounds: *bounds, triangle: *triangle });
+            (nodes.len() - 1) as u32
+        }
+        BinaryNode::Internal { bounds, left, right } => {
+            // Gather up to MAX_ARITY binary subtree roots under this node.
+            let mut slots: Vec<u32> = vec![*left, *right];
+            loop {
+                if slots.len() >= MAX_ARITY {
+                    break;
+                }
+                // Expand the internal slot with the largest surface area.
+                let candidate = slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &s)| {
+                        matches!(binary.nodes[s as usize], BinaryNode::Internal { .. })
+                    })
+                    .max_by(|(_, &a), (_, &b)| {
+                        let sa = binary.nodes[a as usize].bounds().surface_area();
+                        let sb = binary.nodes[b as usize].bounds().surface_area();
+                        sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i);
+                let Some(i) = candidate else { break };
+                let expanded = slots.swap_remove(i);
+                if let BinaryNode::Internal { left, right, .. } =
+                    &binary.nodes[expanded as usize]
+                {
+                    slots.push(*left);
+                    slots.push(*right);
+                }
+            }
+
+            let children: Vec<(u32, Aabb)> = slots
+                .into_iter()
+                .map(|s| {
+                    let cb = binary.nodes[s as usize].bounds();
+                    (collapse(binary, s, nodes), cb)
+                })
+                .collect();
+            nodes.push(WideNode::Internal { bounds: *bounds, children });
+            (nodes.len() - 1) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_binary;
+    use cooprt_math::{Triangle, Vec3};
+
+    fn line_triangles(n: usize) -> Vec<Triangle> {
+        (0..n)
+            .map(|i| {
+                let base = Vec3::new(i as f32 * 2.0, 0.0, 0.0);
+                Triangle::new(base, base + Vec3::X, base + Vec3::Y)
+            })
+            .collect()
+    }
+
+    fn wide(n: usize) -> WideBvh {
+        WideBvh::from_binary(&build_binary(&line_triangles(n)))
+    }
+
+    #[test]
+    fn empty_tree() {
+        let w = WideBvh::from_binary(&build_binary(&[]));
+        assert_eq!(w.depth(), 0);
+        assert_eq!(w.leaf_count(), 0);
+        assert_eq!(w.max_arity(), 0);
+    }
+
+    #[test]
+    fn single_triangle_collapses_to_leaf_root() {
+        let w = wide(1);
+        assert_eq!(w.nodes.len(), 1);
+        assert!(matches!(w.nodes[w.root as usize], WideNode::Leaf { .. }));
+    }
+
+    #[test]
+    fn arity_never_exceeds_six() {
+        for n in [2usize, 5, 6, 7, 13, 36, 100] {
+            let w = wide(n);
+            assert!(w.max_arity() <= MAX_ARITY, "n = {n}, arity = {}", w.max_arity());
+        }
+    }
+
+    #[test]
+    fn leaf_count_matches_triangle_count() {
+        for n in [1usize, 6, 7, 50] {
+            assert_eq!(wide(n).leaf_count(), n);
+        }
+    }
+
+    #[test]
+    fn six_triangles_collapse_to_single_internal() {
+        let w = wide(6);
+        assert_eq!(w.internal_count(), 1);
+        assert_eq!(w.depth(), 2);
+        if let WideNode::Internal { children, .. } = &w.nodes[w.root as usize] {
+            assert_eq!(children.len(), 6);
+        } else {
+            panic!("root should be internal");
+        }
+    }
+
+    #[test]
+    fn wide_tree_is_shallower_than_binary() {
+        let tris = line_triangles(64);
+        let binary = build_binary(&tris);
+        let w = WideBvh::from_binary(&binary);
+        assert!(w.depth() < binary.depth(), "wide {} vs binary {}", w.depth(), binary.depth());
+    }
+
+    #[test]
+    fn child_bounds_stored_in_parent_match_child_nodes() {
+        let w = wide(30);
+        for node in &w.nodes {
+            if let WideNode::Internal { children, .. } = node {
+                for (idx, cb) in children {
+                    assert_eq!(w.nodes[*idx as usize].bounds(), *cb);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parent_bounds_contain_child_bounds() {
+        let w = wide(30);
+        for node in &w.nodes {
+            if let WideNode::Internal { bounds, children } = node {
+                for (_, cb) in children {
+                    assert_eq!(bounds.union(cb), *bounds);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_triangle_in_exactly_one_wide_leaf() {
+        let n = 41;
+        let w = wide(n);
+        let mut seen = vec![0; n];
+        for node in &w.nodes {
+            if let WideNode::Leaf { triangle, .. } = node {
+                seen[*triangle as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,1142 @@
+//! Top-level simulation: SMs, warp dispatch, the cycle loop, and all
+//! measurement plumbing (activity sampling, stall attribution, warp
+//! timelines).
+
+use crate::config::{GpuConfig, TraversalPolicy, WARP_SIZE};
+use crate::latency::TraceLatencies;
+use crate::predictor::PredictorStats;
+use crate::rtunit::{RtUnit, StatusCounts, TraceQuery, TraceResult};
+use crate::shader::{ShaderKind, ShaderThread};
+use cooprt_gpu::{EnergyEvents, EnergyReport, MemStats, MemoryHierarchy};
+use cooprt_math::Rgb;
+use cooprt_scenes::Scene;
+use std::collections::VecDeque;
+
+/// Cycles lost to each instruction class (Fig. 1 of the paper).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// `trace_ray` instructions (waiting for / executing in the RT unit).
+    pub rt: u64,
+    /// Load/store instructions from the CUDA cores.
+    pub mem: u64,
+    /// Compute instructions.
+    pub alu: u64,
+    /// Special-function-unit instructions.
+    pub sfu: u64,
+}
+
+impl StallBreakdown {
+    /// Total accounted cycles.
+    pub fn total(&self) -> u64 {
+        self.rt + self.mem + self.alu + self.sfu
+    }
+
+    /// `[rt, mem, alu, sfu]` as fractions of the total.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 4];
+        }
+        let t = t as f64;
+        [self.rt as f64 / t, self.mem as f64 / t, self.alu as f64 / t, self.sfu as f64 / t]
+    }
+}
+
+/// One activity sample (taken every `sample_interval` cycles, like the
+/// paper's AerialVision stats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ActivitySample {
+    /// Sample time.
+    pub cycle: u64,
+    /// Threads with non-empty stacks or outstanding fetches.
+    pub busy: usize,
+    /// Active threads that finished early and wait for their warp.
+    pub waiting: usize,
+    /// Threads masked off by SIMT divergence.
+    pub inactive: usize,
+}
+
+impl ActivitySample {
+    /// Threads resident in RT units at this sample.
+    pub fn present(&self) -> usize {
+        self.busy + self.waiting + self.inactive
+    }
+}
+
+/// The sampled activity series of one simulation (Figs. 2, 4, 10).
+#[derive(Clone, Debug, Default)]
+pub struct ActivitySeries {
+    /// Sampling interval in cycles.
+    pub interval: u64,
+    /// Samples in time order.
+    pub samples: Vec<ActivitySample>,
+}
+
+impl ActivitySeries {
+    /// Average RT-unit thread utilization: busy threads over resident
+    /// threads, averaged across samples with any residents (Fig. 10).
+    pub fn avg_utilization(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for s in &self.samples {
+            let present = s.present();
+            if present > 0 {
+                sum += s.busy as f64 / present as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Aggregate Fig. 4 status distribution: fractions of
+    /// `[busy, waiting, inactive]` over all sampled threads.
+    pub fn status_distribution(&self) -> [f64; 3] {
+        let (mut b, mut w, mut i) = (0u64, 0u64, 0u64);
+        for s in &self.samples {
+            b += s.busy as u64;
+            w += s.waiting as u64;
+            i += s.inactive as u64;
+        }
+        let t = (b + w + i) as f64;
+        if t == 0.0 {
+            return [0.0; 3];
+        }
+        [b as f64 / t, w as f64 / t, i as f64 / t]
+    }
+}
+
+/// One timeline sample of a traced warp (Fig. 11): which threads are
+/// traversing at `cycle`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimelineSample {
+    /// Sample time.
+    pub cycle: u64,
+    /// Bit `i` set: thread `i` has a non-empty stack or pending fetch.
+    pub mask: u32,
+}
+
+/// Everything measured over one simulated frame.
+#[derive(Clone, Debug)]
+pub struct FrameResult {
+    /// The rendered image, row-major, one [`Rgb`] per pixel. Identical
+    /// between baseline and CoopRT runs (functional correctness, §4.2).
+    pub image: Vec<Rgb>,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Total frame latency in core cycles (the paper's performance
+    /// metric).
+    pub cycles: u64,
+    /// Memory-system counters (Figs. 12, 16).
+    pub mem: MemStats,
+    /// RT-unit event counters.
+    pub events: EnergyEvents,
+    /// Energy/power/EDP report (Figs. 9, 15, 18).
+    pub energy: EnergyReport,
+    /// Per-instruction-class stall cycles (Fig. 1).
+    pub stalls: StallBreakdown,
+    /// Thread-activity samples (Figs. 2, 4, 10).
+    pub activity: ActivitySeries,
+    /// Latency of the slowest warp, cycles (Fig. 14).
+    pub slowest_warp_cycles: u64,
+    /// DRAM channel utilization over the frame (§7.4).
+    pub dram_utilization: f64,
+    /// Intersection-predictor counters (all zero when disabled).
+    pub predictor: PredictorStats,
+    /// Latency of every retired `trace_ray` instruction (the raw data
+    /// behind Figs. 11 and 14).
+    pub trace_latencies: TraceLatencies,
+    /// Timeline of the designated warp, if one was requested (Fig. 11).
+    pub timeline: Vec<TimelineSample>,
+}
+
+impl FrameResult {
+    /// The rendered frame as an [`Image`](cooprt_math::Image), ready
+    /// for PPM export or PSNR comparison.
+    pub fn image_buffer(&self) -> cooprt_math::Image {
+        cooprt_math::Image::from_pixels(self.width, self.height, self.image.clone())
+    }
+}
+
+/// A configured simulation of one scene on one GPU configuration under
+/// one traversal policy.
+///
+/// # Examples
+///
+/// ```
+/// use cooprt_core::{GpuConfig, ShaderKind, Simulation, TraversalPolicy};
+/// use cooprt_scenes::SceneId;
+///
+/// let scene = SceneId::Wknd.build(2);
+/// let config = GpuConfig::small(2);
+/// let result = Simulation::new(&scene, &config, TraversalPolicy::CoopRt)
+///     .run_frame(ShaderKind::PathTrace, 8, 8);
+/// assert_eq!(result.image.len(), 64);
+/// assert!(result.cycles > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulation<'s> {
+    scene: &'s Scene,
+    config: GpuConfig,
+    policy: TraversalPolicy,
+    timeline_warp: Option<usize>,
+    sample_salt: u64,
+}
+
+impl<'s> Simulation<'s> {
+    /// Creates a simulation over `scene` with the given configuration
+    /// and traversal policy.
+    pub fn new(scene: &'s Scene, config: &GpuConfig, policy: TraversalPolicy) -> Self {
+        Simulation { scene, config: config.clone(), policy, timeline_warp: None, sample_salt: 0 }
+    }
+
+    /// Sets the per-sample RNG salt (use the sample index when
+    /// accumulating several samples per pixel).
+    pub fn with_sample_salt(mut self, salt: u64) -> Self {
+        self.sample_salt = salt;
+        self
+    }
+
+    /// Renders `spp` samples per pixel, each a full simulated frame with
+    /// a distinct RNG salt, and returns the accumulated (averaged) image
+    /// alongside every per-sample [`FrameResult`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spp == 0` or the frame is empty.
+    pub fn run_accumulated(
+        &self,
+        kind: ShaderKind,
+        width: usize,
+        height: usize,
+        spp: u32,
+    ) -> (Vec<Rgb>, Vec<FrameResult>) {
+        assert!(spp > 0, "need at least one sample per pixel");
+        let mut accum = vec![Rgb::BLACK; width * height];
+        let mut frames = Vec::with_capacity(spp as usize);
+        for s in 0..spp {
+            let frame = self.clone().with_sample_salt(s as u64).run_frame(kind, width, height);
+            for (acc, px) in accum.iter_mut().zip(&frame.image) {
+                *acc += *px * (1.0 / spp as f32);
+            }
+            frames.push(frame);
+        }
+        (accum, frames)
+    }
+
+    /// Requests a Fig. 11-style per-thread timeline of warp `warp`.
+    pub fn with_timeline_warp(mut self, warp: usize) -> Self {
+        self.timeline_warp = Some(warp);
+        self
+    }
+
+    /// Simulates one `width x height` frame (1 sample per pixel) with
+    /// the given shader and returns all measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width * height == 0`.
+    pub fn run_frame(&self, kind: ShaderKind, width: usize, height: usize) -> FrameResult {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        Engine::new(self, kind, width, height).run()
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Raygen { until: u64 },
+    WaitRt,
+    InRt,
+    Shade { until: u64 },
+    Done,
+}
+
+struct Warp {
+    /// Thread (= pixel) indices of this warp's lanes, at most
+    /// [`WARP_SIZE`]. With compaction off, lane `i` of warp `w` is
+    /// pixel `w * 32 + i` for the whole frame; with compaction on,
+    /// warps are re-formed from live threads between waves.
+    members: Vec<u32>,
+    iteration: u32,
+    phase: Phase,
+    /// Charge the raygen setup when this warp activates (first wave /
+    /// frame start only).
+    needs_raygen: bool,
+    /// Retire after a single trace+shade (compaction wave mode).
+    one_shot: bool,
+    started: u64,
+    finished: u64,
+    wait_since: u64,
+}
+
+struct Sm {
+    rt: RtUnit,
+    queue: VecDeque<usize>,
+    running: Vec<usize>,
+}
+
+struct Engine<'s> {
+    scene: &'s Scene,
+    cfg: GpuConfig,
+    policy: TraversalPolicy,
+    kind: ShaderKind,
+    width: usize,
+    height: usize,
+    /// One shader thread per pixel (thread id == pixel index).
+    threads: Vec<ShaderThread>,
+    warps: Vec<Warp>,
+    sms: Vec<Sm>,
+    mem: MemoryHierarchy,
+    stalls: StallBreakdown,
+    activity: ActivitySeries,
+    timeline_warp: Option<usize>,
+    timeline: Vec<TimelineSample>,
+    retired_buf: Vec<TraceResult>,
+    slowest_warp: u64,
+    trace_latencies: TraceLatencies,
+}
+
+impl<'s> Engine<'s> {
+    fn new(sim: &Simulation<'s>, kind: ShaderKind, width: usize, height: usize) -> Self {
+        let cfg = sim.config.clone();
+        let pixels = width * height;
+        let threads: Vec<ShaderThread> = (0..pixels)
+            .map(|p| {
+                let x = p % width;
+                let y = p / width;
+                let u = (x as f32 + 0.5) / width as f32;
+                let v = (y as f32 + 0.5) / height as f32;
+                ShaderThread::begin_with_salt(sim.scene, p, u, v, sim.sample_salt)
+            })
+            .collect();
+        let sm_count = cfg.sm_count();
+        let sms: Vec<Sm> = (0..sm_count)
+            .map(|i| Sm {
+                rt: RtUnit::for_config(i, &cfg),
+                queue: VecDeque::new(),
+                running: Vec::new(),
+            })
+            .collect();
+        let mem = MemoryHierarchy::new(&cfg.mem);
+        let interval = cfg.sample_interval.max(1);
+        Engine {
+            scene: sim.scene,
+            cfg,
+            policy: sim.policy,
+            kind,
+            width,
+            height,
+            threads,
+            warps: Vec::new(),
+            sms,
+            mem,
+            stalls: StallBreakdown::default(),
+            activity: ActivitySeries { interval, samples: Vec::new() },
+            timeline_warp: sim.timeline_warp,
+            timeline: Vec::new(),
+            retired_buf: Vec::new(),
+            slowest_warp: 0,
+            trace_latencies: TraceLatencies::new(),
+        }
+    }
+
+    /// Groups pixels into warps per the configured tiling.
+    fn pixel_groups(&self) -> Vec<Vec<u32>> {
+        let pixels = self.threads.len() as u32;
+        match self.cfg.warp_tiling {
+            crate::config::WarpTiling::Linear => (0..pixels)
+                .collect::<Vec<u32>>()
+                .chunks(WARP_SIZE)
+                .map(|c| c.to_vec())
+                .collect(),
+            crate::config::WarpTiling::Tiled8x4 => {
+                // Walk the image in 8x4 screen tiles; ragged edges form
+                // partial warps.
+                let (w, h) = (self.width, self.height);
+                let mut groups = Vec::new();
+                for ty in (0..h).step_by(4) {
+                    for tx in (0..w).step_by(8) {
+                        let mut members = Vec::with_capacity(WARP_SIZE);
+                        for y in ty..(ty + 4).min(h) {
+                            for x in tx..(tx + 8).min(w) {
+                                members.push((y * w + x) as u32);
+                            }
+                        }
+                        groups.push(members);
+                    }
+                }
+                groups
+            }
+        }
+    }
+
+    fn any_ray(&self, w: usize) -> bool {
+        self.warps[w].members.iter().any(|&t| self.threads[t as usize].ray.is_some())
+    }
+
+    /// Creates a wave of warps over the given lane groups and queues
+    /// them on the SMs (Gigathread-style round-robin). `one_shot` warps
+    /// retire after a single trace+shade (compaction mode).
+    fn spawn_wave(&mut self, groups: Vec<Vec<u32>>, iteration: u32, raygen: bool, one_shot: bool) {
+        self.warps.clear();
+        for sm in &mut self.sms {
+            sm.queue.clear();
+            debug_assert!(sm.running.is_empty(), "waves must not overlap");
+        }
+        let sm_count = self.sms.len();
+        for (w, members) in groups.into_iter().enumerate() {
+            debug_assert!(members.len() <= WARP_SIZE);
+            self.warps.push(Warp {
+                members,
+                iteration,
+                phase: Phase::Raygen { until: 0 },
+                needs_raygen: raygen,
+                one_shot,
+                started: 0,
+                finished: 0,
+                wait_since: 0,
+            });
+            self.sms[w % sm_count].queue.push_back(w);
+        }
+    }
+
+    fn run(mut self) -> FrameResult {
+        let mut now = 0u64;
+        let mut next_sample = self.activity.interval;
+        if !self.cfg.compaction {
+            // One persistent warp per 32 pixels for the whole frame.
+            let groups = self.pixel_groups();
+            self.spawn_wave(groups, 0, true, false);
+            now = self.drain(now, &mut next_sample);
+        } else {
+            // Wave-synchronous execution with per-bounce compaction.
+            let mut wave = 0u32;
+            loop {
+                let alive: Vec<u32> = (0..self.threads.len() as u32)
+                    .filter(|&t| self.threads[t as usize].ray.is_some())
+                    .collect();
+                if alive.is_empty() {
+                    break;
+                }
+                if wave > 0 {
+                    now += self.cfg.compaction_overhead_cycles;
+                }
+                let groups = alive.chunks(WARP_SIZE).map(|c| c.to_vec()).collect();
+                self.spawn_wave(groups, wave, wave == 0, true);
+                now = self.drain(now, &mut next_sample);
+                wave += 1;
+            }
+        }
+        self.finish(now)
+    }
+
+    /// Runs the cycle loop until every warp of the current wave is done;
+    /// returns the finishing cycle.
+    fn drain(&mut self, start: u64, next_sample: &mut u64) -> u64 {
+        let mut now = start;
+        let mut unfinished = self.warps.len();
+        let mut guard = 0u64;
+        while unfinished > 0 {
+            unfinished -= self.step_cycle(now);
+            guard += 1;
+            assert!(guard < 2_000_000_000, "simulation failed to converge");
+            if unfinished == 0 {
+                break;
+            }
+            let next = self.next_time(now);
+            debug_assert!(next > now);
+            // Take any activity samples that fall inside the skipped
+            // window — state is constant while no SM acts.
+            while *next_sample <= next {
+                self.take_sample(*next_sample);
+                *next_sample += self.activity.interval;
+            }
+            now = next;
+        }
+        now
+    }
+
+    /// Advances every SM by one cycle; returns how many warps finished.
+    fn step_cycle(&mut self, now: u64) -> usize {
+        let mut finished = 0;
+        for sm_idx in 0..self.sms.len() {
+            // Activate queued thread blocks up to the per-SM limit.
+            while self.sms[sm_idx].running.len() < self.cfg.max_tbs_per_sm {
+                let Some(w) = self.sms[sm_idx].queue.pop_front() else { break };
+                self.warps[w].started = now;
+                if self.warps[w].needs_raygen {
+                    self.warps[w].phase = Phase::Raygen { until: now + self.cfg.raygen_cycles };
+                    self.stalls.alu += self.cfg.raygen_cycles;
+                } else {
+                    self.warps[w].phase = Phase::WaitRt;
+                    self.warps[w].wait_since = now;
+                }
+                self.sms[sm_idx].running.push(w);
+            }
+
+            // Phase transitions.
+            for i in 0..self.sms[sm_idx].running.len() {
+                let w = self.sms[sm_idx].running[i];
+                match self.warps[w].phase {
+                    Phase::Raygen { until } if until <= now => {
+                        self.warps[w].phase = Phase::WaitRt;
+                        self.warps[w].wait_since = now;
+                    }
+                    Phase::Shade { until } if until <= now => {
+                        if !self.warps[w].one_shot && self.any_ray(w) {
+                            self.warps[w].phase = Phase::WaitRt;
+                            self.warps[w].wait_since = now;
+                        } else {
+                            self.warps[w].phase = Phase::Done;
+                            self.warps[w].finished = now;
+                        }
+                    }
+                    _ => {}
+                }
+                if self.warps[w].phase == Phase::WaitRt {
+                    if !self.any_ray(w) {
+                        // Nothing to trace (can happen for fully masked
+                        // warps): skip straight to done.
+                        self.warps[w].phase = Phase::Done;
+                        self.warps[w].finished = now;
+                    } else if self.sms[sm_idx].rt.has_free_slot() {
+                        let query = self.build_query(w);
+                        let ok = self.sms[sm_idx].rt.issue(query, now, self.scene);
+                        debug_assert!(ok);
+                        self.warps[w].phase = Phase::InRt;
+                    }
+                }
+            }
+
+            // RT unit cycle.
+            self.sms[sm_idx].rt.step(
+                now,
+                &mut self.mem,
+                self.scene,
+                self.policy,
+                &self.cfg,
+                &mut self.retired_buf,
+            );
+            let retired = std::mem::take(&mut self.retired_buf);
+            for res in &retired {
+                self.retire_warp(res, now);
+            }
+            self.retired_buf = retired;
+            self.retired_buf.clear();
+
+            // Reap finished warps.
+            let warps = &self.warps;
+            let before = self.sms[sm_idx].running.len();
+            let mut slowest = self.slowest_warp;
+            self.sms[sm_idx].running.retain(|&w| {
+                if warps[w].phase == Phase::Done {
+                    slowest = slowest.max(warps[w].finished.saturating_sub(warps[w].started));
+                    false
+                } else {
+                    true
+                }
+            });
+            self.slowest_warp = slowest;
+            finished += before - self.sms[sm_idx].running.len();
+        }
+
+        // Fig. 11 timeline: capture the designated warp while resident.
+        if let Some(tw) = self.timeline_warp {
+            let sm = tw % self.sms.len();
+            if let Some(mask) = self.sms[sm].rt.busy_mask_of(tw) {
+                if self.timeline.last().map(|s| s.cycle) != Some(now) {
+                    self.timeline.push(TimelineSample { cycle: now, mask });
+                }
+            }
+        }
+        finished
+    }
+
+    fn build_query(&mut self, w: usize) -> TraceQuery {
+        let warp = &self.warps[w];
+        let mut rays = [None; WARP_SIZE];
+        let mut t_max = [f32::INFINITY; WARP_SIZE];
+        for (i, &t) in warp.members.iter().enumerate() {
+            let thread = &self.threads[t as usize];
+            rays[i] = thread.ray;
+            t_max[i] = thread.t_max;
+        }
+        TraceQuery { warp: w, rays, t_max, any_hit: self.kind.any_hit_at(warp.iteration) }
+    }
+
+    fn retire_warp(&mut self, res: &TraceResult, now: u64) {
+        let w = res.warp;
+        self.trace_latencies.record(res.retired_at.saturating_sub(res.issued_at));
+        // The whole trace_ray episode (waiting for a slot + traversal)
+        // stalls on the RT unit.
+        self.stalls.rt += now.saturating_sub(self.warps[w].wait_since);
+        for i in 0..self.warps[w].members.len() {
+            let hit = res.hits[i];
+            let t = self.warps[w].members[i] as usize;
+            self.threads[t].resume(self.kind, &self.cfg, self.scene, hit);
+        }
+        let warp = &mut self.warps[w];
+        warp.iteration += 1;
+        let shade = self.cfg.shade_mem_cycles + self.cfg.shade_alu_cycles + self.cfg.shade_sfu_cycles;
+        self.stalls.mem += self.cfg.shade_mem_cycles;
+        self.stalls.alu += self.cfg.shade_alu_cycles;
+        self.stalls.sfu += self.cfg.shade_sfu_cycles;
+        warp.phase = Phase::Shade { until: now + shade };
+    }
+
+    /// The next cycle after `now` at which any SM or warp can act.
+    fn next_time(&self, now: u64) -> u64 {
+        let mut next = u64::MAX;
+        for sm in &self.sms {
+            if !sm.queue.is_empty() && sm.running.len() < self.cfg.max_tbs_per_sm {
+                return now + 1;
+            }
+            for &w in &sm.running {
+                match self.warps[w].phase {
+                    Phase::Raygen { until } | Phase::Shade { until } => {
+                        next = next.min(until.max(now + 1));
+                    }
+                    Phase::WaitRt
+                        if sm.rt.has_free_slot() => {
+                            return now + 1;
+                        }
+                    _ => {}
+                }
+            }
+            if let Some(t) = sm.rt.next_event(now + 1, self.policy, self.cfg.subwarp_size) {
+                next = next.min(t.max(now + 1));
+            }
+        }
+        if next == u64::MAX {
+            now + 1
+        } else {
+            next
+        }
+    }
+
+    fn take_sample(&mut self, cycle: u64) {
+        let mut agg = StatusCounts::default();
+        for sm in &self.sms {
+            let s = sm.rt.sample_status();
+            agg.busy += s.busy;
+            agg.waiting += s.waiting;
+            agg.inactive += s.inactive;
+        }
+        self.activity.samples.push(ActivitySample {
+            cycle,
+            busy: agg.busy,
+            waiting: agg.waiting,
+            inactive: agg.inactive,
+        });
+    }
+
+    fn finish(mut self, now: u64) -> FrameResult {
+        let image: Vec<Rgb> = self.threads.iter().map(|t| t.color).collect();
+        let slowest = self.slowest_warp;
+        let mut events = EnergyEvents::default();
+        let mut predictor = PredictorStats::default();
+        for sm in &self.sms {
+            events.add(&sm.rt.events);
+            if let Some(p) = sm.rt.predictor_stats() {
+                predictor.lookups += p.lookups;
+                predictor.candidates += p.candidates;
+                predictor.verified += p.verified;
+                predictor.updates += p.updates;
+            }
+        }
+        let mem_stats = self.mem.stats();
+        let energy = self.cfg.power.report(
+            &events,
+            &mem_stats,
+            now,
+            self.cfg.sm_count(),
+            self.cfg.mem.core_clock_mhz,
+        );
+        // Ensure at least one sample exists for short runs.
+        if self.activity.samples.is_empty() {
+            self.take_sample(now);
+        }
+        FrameResult {
+            image,
+            width: self.width,
+            height: self.height,
+            cycles: now,
+            mem: mem_stats,
+            events,
+            energy,
+            stalls: self.stalls,
+            activity: self.activity,
+            slowest_warp_cycles: slowest,
+            dram_utilization: self.mem.dram_utilization(now),
+            predictor,
+            trace_latencies: self.trace_latencies,
+            timeline: self.timeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cooprt_scenes::SceneId;
+
+    fn run(
+        id: SceneId,
+        policy: TraversalPolicy,
+        kind: ShaderKind,
+        res: usize,
+    ) -> FrameResult {
+        let scene = id.build(2);
+        let cfg = GpuConfig::small(2);
+        Simulation::new(&scene, &cfg, policy).run_frame(kind, res, res)
+    }
+
+    #[test]
+    fn images_are_identical_across_policies() {
+        for id in [SceneId::Wknd, SceneId::Crnvl, SceneId::Spnza] {
+            let scene = id.build(2);
+            let cfg = GpuConfig::small(2);
+            let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+                .run_frame(ShaderKind::PathTrace, 8, 8);
+            let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+                .run_frame(ShaderKind::PathTrace, 8, 8);
+            assert_eq!(base.image, coop.image, "{id}: CoopRT must be functionally exact");
+        }
+    }
+
+    #[test]
+    fn coop_is_faster_on_a_divergent_scene() {
+        let scene = SceneId::Crnvl.build(3);
+        let cfg = GpuConfig::small(2);
+        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 12, 12);
+        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 12, 12);
+        assert!(
+            coop.cycles < base.cycles,
+            "coop {} vs base {}",
+            coop.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn coop_improves_thread_utilization() {
+        let scene = SceneId::Party.build(3);
+        let cfg = GpuConfig::small(2);
+        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 12, 12);
+        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 12, 12);
+        assert!(
+            coop.activity.avg_utilization() > base.activity.avg_utilization(),
+            "coop {:.3} vs base {:.3}",
+            coop.activity.avg_utilization(),
+            base.activity.avg_utilization()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(SceneId::Bunny, TraversalPolicy::CoopRt, ShaderKind::PathTrace, 8);
+        let b = run(SceneId::Bunny, TraversalPolicy::CoopRt, ShaderKind::PathTrace, 8);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.image, b.image);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn image_has_content() {
+        let r = run(SceneId::Wknd, TraversalPolicy::Baseline, ShaderKind::PathTrace, 8);
+        let lum: f32 = r.image.iter().map(|c| c.luminance()).sum();
+        assert!(lum > 0.0, "a daylight scene cannot render black");
+        assert_eq!(r.width, 8);
+        assert_eq!(r.height, 8);
+    }
+
+    #[test]
+    fn ao_and_sh_shaders_run() {
+        for kind in [ShaderKind::AmbientOcclusion, ShaderKind::Shadow] {
+            let r = run(SceneId::Bath, TraversalPolicy::CoopRt, kind, 8);
+            assert!(r.cycles > 0);
+            let lum: f32 = r.image.iter().map(|c| c.luminance()).sum();
+            assert!(lum > 0.0, "{kind:?} image should not be black");
+        }
+    }
+
+    #[test]
+    fn ao_sh_match_across_policies() {
+        for kind in [ShaderKind::AmbientOcclusion, ShaderKind::Shadow] {
+            let scene = SceneId::Ref.build(2);
+            let cfg = GpuConfig::small(2);
+            let base =
+                Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(kind, 8, 8);
+            let coop =
+                Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(kind, 8, 8);
+            assert_eq!(base.image, coop.image, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn stalls_are_dominated_by_rt() {
+        let r = run(SceneId::Spnza, TraversalPolicy::Baseline, ShaderKind::PathTrace, 12);
+        let f = r.stalls.fractions();
+        assert!(f[0] > 0.5, "RT should dominate stalls (Fig. 1), got {f:?}");
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowest_warp_is_at_most_total() {
+        let r = run(SceneId::Ship, TraversalPolicy::Baseline, ShaderKind::PathTrace, 8);
+        assert!(r.slowest_warp_cycles <= r.cycles);
+        assert!(r.slowest_warp_cycles > 0);
+    }
+
+    #[test]
+    fn timeline_capture_works() {
+        let scene = SceneId::Bath.build(2);
+        let cfg = GpuConfig::small(2);
+        let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+            .with_timeline_warp(0)
+            .run_frame(ShaderKind::PathTrace, 8, 8);
+        assert!(!r.timeline.is_empty(), "warp 0 traced, timeline must have samples");
+        assert!(r.timeline.windows(2).all(|w| w[0].cycle < w[1].cycle));
+    }
+
+    #[test]
+    fn coop_does_not_change_total_triangle_work_much() {
+        // CoopRT parallelizes traversal; it must not blow up the amount
+        // of intersection work (some duplication from weaker pruning is
+        // expected, but bounded).
+        let scene = SceneId::Bunny.build(3);
+        let cfg = GpuConfig::small(2);
+        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 8, 8);
+        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 8, 8);
+        assert!(
+            (coop.events.box_tests as f64) < 2.0 * base.events.box_tests as f64,
+            "coop {} vs base {}",
+            coop.events.box_tests,
+            base.events.box_tests
+        );
+    }
+
+    #[test]
+    fn subwarp_scopes_run_and_stay_correct() {
+        let scene = SceneId::Fox.build(2);
+        let base_cfg = GpuConfig::small(2);
+        let reference = Simulation::new(&scene, &base_cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 8, 8);
+        for sw in [4usize, 8, 16, 32] {
+            let cfg = GpuConfig::small(2).with_subwarp(sw);
+            let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+                .run_frame(ShaderKind::PathTrace, 8, 8);
+            assert_eq!(r.image, reference.image, "subwarp {sw}");
+        }
+    }
+
+    #[test]
+    fn trace_latencies_are_collected_and_coop_compresses_the_tail() {
+        let scene = SceneId::Fox.build(3);
+        let cfg = GpuConfig::small(2);
+        let mut base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 12, 12);
+        let mut coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 12, 12);
+        assert!(!base.trace_latencies.is_empty());
+        assert_eq!(
+            base.trace_latencies.len() as u64,
+            base.events.trace_instructions,
+            "one latency sample per trace instruction"
+        );
+        assert!(
+            coop.trace_latencies.quantile(0.99) < base.trace_latencies.quantile(0.99),
+            "coop p99 {} vs base p99 {}",
+            coop.trace_latencies.quantile(0.99),
+            base.trace_latencies.quantile(0.99)
+        );
+    }
+
+    #[test]
+    fn accumulation_averages_samples() {
+        let scene = SceneId::Wknd.build(2);
+        let cfg = GpuConfig::small(2);
+        let sim = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt);
+        let (accum, frames) = sim.run_accumulated(ShaderKind::PathTrace, 8, 8, 3);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(accum.len(), 64);
+        // Distinct salts give distinct sample images.
+        assert_ne!(frames[0].image, frames[1].image);
+        // The accumulation is the per-pixel average of the samples.
+        for (p, acc) in accum.iter().enumerate() {
+            let mean_r: f32 = frames.iter().map(|f| f.image[p].r).sum::<f32>() / 3.0;
+            assert!((acc.r - mean_r).abs() < 1e-5);
+        }
+        // Salt 0 must reproduce the plain run (backwards compatibility).
+        let plain = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 8, 8);
+        assert_eq!(frames[0].image, plain.image);
+    }
+
+    #[test]
+    fn warp_tiling_is_functionally_neutral_and_changes_grouping() {
+        let scene = SceneId::Party.build(3);
+        let linear = GpuConfig::small(2);
+        let mut tiled = GpuConfig::small(2);
+        tiled.warp_tiling = crate::config::WarpTiling::Tiled8x4;
+        let a = Simulation::new(&scene, &linear, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 16, 16);
+        let b = Simulation::new(&scene, &tiled, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 16, 16);
+        // Per-pixel results do not depend on warp membership...
+        assert_eq!(a.image, b.image);
+        // ...but the grouping genuinely differs (timing diverges).
+        assert_ne!(
+            (a.cycles, a.mem.l1.accesses),
+            (b.cycles, b.mem.l1.accesses),
+            "tiling should change the access pattern"
+        );
+    }
+
+    #[test]
+    fn tiled_warps_cover_every_pixel_once_even_when_ragged() {
+        // 10x6 image with 8x4 tiles: ragged right and top edges.
+        let scene = SceneId::Wknd.build(2);
+        let mut cfg = GpuConfig::small(2);
+        cfg.warp_tiling = crate::config::WarpTiling::Tiled8x4;
+        let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 10, 6);
+        let reference = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 10, 6);
+        assert_eq!(r.image, reference.image, "every pixel shaded exactly once");
+    }
+
+    #[test]
+    fn energy_report_is_consistent() {
+        let r = run(SceneId::Wknd, TraversalPolicy::Baseline, ShaderKind::PathTrace, 8);
+        assert!(r.energy.total_j() > 0.0);
+        assert!(r.energy.avg_power_w() > 0.0);
+        assert_eq!(r.energy.cycles, r.cycles);
+    }
+
+    #[test]
+    fn disabling_node_elimination_is_functionally_neutral_but_wasteful() {
+        // Car: a dense overlapping blob where min_thit pruning bites.
+        // (At tiny detail levels pruning never fires, so use detail 8.)
+        let scene = SceneId::Car.build(8);
+        let with = GpuConfig::small(2);
+        let mut without = GpuConfig::small(2);
+        without.node_elimination = false;
+        let a = Simulation::new(&scene, &with, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 16, 16);
+        let b = Simulation::new(&scene, &without, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 16, 16);
+        assert_eq!(a.image, b.image, "pruning must not change results");
+        assert!(
+            b.events.triangle_tests > a.events.triangle_tests,
+            "without pruning, more primitives are tested ({} vs {})",
+            b.events.triangle_tests,
+            a.events.triangle_tests
+        );
+        assert!(b.cycles >= a.cycles);
+    }
+
+    #[test]
+    fn bfs_traversal_is_functionally_identical() {
+        // §4.2: cooperative traversal extends to BFS over a queue; the
+        // closest hit is order-independent.
+        let scene = SceneId::Crnvl.build(2);
+        let dfs_cfg = GpuConfig::small(2);
+        let mut bfs_cfg = GpuConfig::small(2);
+        bfs_cfg.traversal_order = crate::config::TraversalOrder::Bfs;
+        let reference = Simulation::new(&scene, &dfs_cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 8, 8);
+        for policy in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
+            let r = Simulation::new(&scene, &bfs_cfg, policy).run_frame(ShaderKind::PathTrace, 8, 8);
+            assert_eq!(r.image, reference.image, "BFS under {policy:?}");
+        }
+    }
+
+    #[test]
+    fn bfs_explores_more_nodes_than_dfs() {
+        // BFS cannot exploit the near-to-far ordering that makes DFS
+        // pruning effective, so it visits at least as many nodes.
+        let scene = SceneId::Car.build(6);
+        let dfs_cfg = GpuConfig::small(2);
+        let mut bfs_cfg = GpuConfig::small(2);
+        bfs_cfg.traversal_order = crate::config::TraversalOrder::Bfs;
+        let dfs = Simulation::new(&scene, &dfs_cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 10, 10);
+        let bfs = Simulation::new(&scene, &bfs_cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 10, 10);
+        assert!(
+            bfs.events.triangle_tests >= dfs.events.triangle_tests,
+            "bfs {} vs dfs {}",
+            bfs.events.triangle_tests,
+            dfs.events.triangle_tests
+        );
+    }
+
+    #[test]
+    fn compaction_is_functionally_identical() {
+        // Wald-style per-bounce compaction re-packs live threads into
+        // new warps; pixel results must be untouched.
+        for kind in [ShaderKind::PathTrace, ShaderKind::AmbientOcclusion] {
+            let scene = SceneId::Crnvl.build(2);
+            let plain = GpuConfig::small(2);
+            let mut compact = GpuConfig::small(2);
+            compact.compaction = true;
+            let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline)
+                .run_frame(kind, 10, 10);
+            let b = Simulation::new(&scene, &compact, TraversalPolicy::Baseline)
+                .run_frame(kind, 10, 10);
+            assert_eq!(a.image, b.image, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn compaction_composes_with_cooprt() {
+        let scene = SceneId::Fox.build(2);
+        let mut cfg = GpuConfig::small(2);
+        cfg.compaction = true;
+        let base = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 10, 10);
+        let both = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 10, 10);
+        assert_eq!(base.image, both.image);
+        assert!(both.cycles > 0);
+    }
+
+    #[test]
+    fn compaction_issues_fewer_trace_instructions() {
+        // In a divergent open scene most threads die after a few
+        // bounces; with compaction the later waves contain almost no
+        // inactive lanes, so the inactive status fraction drops.
+        let scene = SceneId::Crnvl.build(6);
+        let mut plain = GpuConfig::small(2);
+        plain.sample_interval = 50; // dense sampling for a small frame
+        let mut compact = plain.clone();
+        compact.compaction = true;
+        let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 24, 24);
+        let b = Simulation::new(&scene, &compact, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 24, 24);
+        assert_eq!(a.image, b.image);
+        // Re-packing live threads into dense warps means fewer
+        // trace_ray instructions carry the same set of rays.
+        assert!(
+            b.events.trace_instructions < a.events.trace_instructions,
+            "compaction must issue fewer trace instructions: {} vs {}",
+            b.events.trace_instructions,
+            a.events.trace_instructions
+        );
+    }
+
+    #[test]
+    fn intersection_predictor_is_functionally_neutral() {
+        // Predicted primitives are *verified* by a real intersection
+        // test, so results never change — for closest-hit the seed is a
+        // true hit; for any-hit any verified hit is a valid answer.
+        for kind in [ShaderKind::PathTrace, ShaderKind::AmbientOcclusion, ShaderKind::Shadow] {
+            let scene = SceneId::Bath.build(2);
+            let plain = GpuConfig::small(2);
+            let mut pred = GpuConfig::small(2);
+            pred.intersection_predictor = true;
+            let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline)
+                .run_frame(kind, 8, 8);
+            let b = Simulation::new(&scene, &pred, TraversalPolicy::Baseline)
+                .run_frame(kind, 8, 8);
+            assert_eq!(a.image, b.image, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn intersection_predictor_helps_coherent_shadow_rays() {
+        // AO/SH secondary rays are localized and coherent — the
+        // predictor's home turf (§8.2). It must cut traversal work.
+        let scene = SceneId::Bath.build(6);
+        let plain = GpuConfig::small(2);
+        let mut pred = GpuConfig::small(2);
+        pred.intersection_predictor = true;
+        let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::AmbientOcclusion, 16, 16);
+        let b = Simulation::new(&scene, &pred, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::AmbientOcclusion, 16, 16);
+        assert_eq!(a.image, b.image);
+        assert!(
+            b.events.box_tests < a.events.box_tests,
+            "verified predictions skip traversals: {} vs {} box tests",
+            b.events.box_tests,
+            a.events.box_tests
+        );
+    }
+
+    #[test]
+    fn prefetching_is_functionally_neutral_and_issues_requests() {
+        let scene = SceneId::Fox.build(3);
+        let plain = GpuConfig::small(2);
+        let mut pf = GpuConfig::small(2);
+        pf.prefetch_children = true;
+        let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 10, 10);
+        let b = Simulation::new(&scene, &pf, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 10, 10);
+        assert_eq!(a.image, b.image, "prefetching must not change results");
+        assert_eq!(a.mem.prefetches, 0);
+        assert!(b.mem.prefetches > 0, "prefetcher should have issued requests");
+    }
+
+    #[test]
+    fn subwarp_scheduling_modes_perform_similarly() {
+        // §7.5: "both approaches would perform similarly, as the latency
+        // of a trace_ray instruction is on the order of thousands of
+        // cycles" — and they must agree functionally.
+        let scene = SceneId::Fox.build(3);
+        let all = GpuConfig::small(2).with_subwarp(8);
+        let mut one = GpuConfig::small(2).with_subwarp(8);
+        one.subwarp_mode = crate::config::SubwarpMode::OneGroup;
+        let ra = Simulation::new(&scene, &all, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 10, 10);
+        let ro = Simulation::new(&scene, &one, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 10, 10);
+        assert_eq!(ra.image, ro.image);
+        let ratio = ro.cycles as f64 / ra.cycles as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "modes should perform similarly, got {ratio:.2} ({} vs {})",
+            ro.cycles,
+            ra.cycles
+        );
+    }
+
+    #[test]
+    fn steal_position_and_lbu_rate_preserve_results() {
+        let scene = SceneId::Party.build(2);
+        let reference = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 8, 8);
+        let mut bottom = GpuConfig::small(2);
+        bottom.steal_from = crate::config::StealPosition::Bottom;
+        let mut fast_lbu = GpuConfig::small(2);
+        fast_lbu.lbu_moves_per_cycle = 4;
+        for cfg in [bottom, fast_lbu] {
+            let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+                .run_frame(ShaderKind::PathTrace, 8, 8);
+            assert_eq!(r.image, reference.image);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "image must be non-empty")]
+    fn empty_frame_rejected() {
+        let scene = SceneId::Wknd.build(1);
+        let cfg = GpuConfig::small(1);
+        let _ = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 0, 8);
+    }
+}

@@ -1,0 +1,166 @@
+//! Intersection prediction (Liu et al., MICRO'21), the §8.2 related
+//! technique: a small per-SM hardware cache from quantized ray
+//! signatures to previously hit primitives.
+//!
+//! Coherent rays (AO/shadow rays from neighbouring pixels) hash to the
+//! same entry and re-test the same primitive, skipping whole traversals
+//! for any-hit queries and priming `min_thit` for closest-hit queries.
+//! Divergent path-tracing bounces rarely repeat a signature, which is
+//! why the original paper evaluates it on AO/SH-style workloads.
+
+use cooprt_math::Ray;
+
+/// Counters of predictor behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Table lookups performed.
+    pub lookups: u64,
+    /// Lookups that returned a candidate primitive.
+    pub candidates: u64,
+    /// Candidates whose re-test actually hit (useful predictions).
+    pub verified: u64,
+    /// Table updates.
+    pub updates: u64,
+}
+
+/// A direct-mapped prediction table: quantized ray signature → last hit
+/// triangle.
+#[derive(Clone, Debug)]
+pub struct Predictor {
+    entries: Vec<Option<(u32, u32)>>, // (tag, triangle)
+    stats: PredictorStats,
+}
+
+impl Predictor {
+    /// Creates a table with `entries` direct-mapped slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries == 0`.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "predictor needs at least one entry");
+        Predictor { entries: vec![None; entries], stats: PredictorStats::default() }
+    }
+
+    /// Signature hash of a ray: origin quantized to 4-unit cells,
+    /// direction to its octant — deliberately coarse, so the localized
+    /// secondary rays of AO/SH shaders collide and reuse predictions.
+    /// False candidates are filtered by the verification test.
+    fn signature(ray: &Ray) -> u64 {
+        let qo = |v: f32| ((v / 4.0).floor() as i64 as u64) & 0xFFFF;
+        let qd = |v: f32| u64::from(v >= 0.0);
+        let h = qo(ray.orig.x)
+            | (qo(ray.orig.y) << 16)
+            | (qo(ray.orig.z) << 32)
+            | (qd(ray.dir.x) << 48)
+            | (qd(ray.dir.y) << 49)
+            | (qd(ray.dir.z) << 50);
+        // splitmix64 finalizer.
+        let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn slot_and_tag(&self, ray: &Ray) -> (usize, u32) {
+        let h = Self::signature(ray);
+        ((h % self.entries.len() as u64) as usize, (h >> 32) as u32)
+    }
+
+    /// Looks up a candidate primitive for `ray`.
+    pub fn predict(&mut self, ray: &Ray) -> Option<u32> {
+        self.stats.lookups += 1;
+        let (slot, tag) = self.slot_and_tag(ray);
+        match self.entries[slot] {
+            Some((t, tri)) if t == tag => {
+                self.stats.candidates += 1;
+                Some(tri)
+            }
+            _ => None,
+        }
+    }
+
+    /// Records that `ray` hit `triangle`.
+    pub fn update(&mut self, ray: &Ray, triangle: u32) {
+        self.stats.updates += 1;
+        let (slot, tag) = self.slot_and_tag(ray);
+        self.entries[slot] = Some((tag, triangle));
+    }
+
+    /// Records that a prediction was verified by the re-test.
+    pub fn record_verified(&mut self) {
+        self.stats.verified += 1;
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cooprt_math::Vec3;
+
+    fn ray(o: Vec3, d: Vec3) -> Ray {
+        Ray::new(o, d)
+    }
+
+    #[test]
+    fn empty_table_predicts_nothing() {
+        let mut p = Predictor::new(64);
+        assert_eq!(p.predict(&ray(Vec3::ZERO, Vec3::Z)), None);
+        assert_eq!(p.stats().lookups, 1);
+        assert_eq!(p.stats().candidates, 0);
+    }
+
+    #[test]
+    fn update_then_predict_roundtrips() {
+        let mut p = Predictor::new(64);
+        let r = ray(Vec3::new(5.0, 1.0, -3.0), Vec3::new(0.2, -0.9, 0.1));
+        p.update(&r, 42);
+        assert_eq!(p.predict(&r), Some(42));
+    }
+
+    #[test]
+    fn coherent_rays_share_an_entry() {
+        // Two rays from nearby origins with nearly equal directions
+        // quantize identically.
+        let mut p = Predictor::new(256);
+        let a = ray(Vec3::new(10.0, 4.0, 2.0), Vec3::new(0.3, 0.8, 0.5));
+        let b = ray(Vec3::new(10.3, 4.2, 2.1), Vec3::new(0.1, 0.9, 0.4));
+        p.update(&a, 7);
+        assert_eq!(p.predict(&b), Some(7), "coherent neighbour should reuse the prediction");
+    }
+
+    #[test]
+    fn divergent_rays_do_not_collide_usually() {
+        let mut p = Predictor::new(1024);
+        p.update(&ray(Vec3::ZERO, Vec3::Z), 1);
+        let mut misses = 0;
+        for i in 0..20 {
+            let d = Vec3::new((i as f32 * 0.7).sin(), 0.4, (i as f32 * 1.3).cos());
+            if p.predict(&ray(Vec3::new(50.0 + 4.0 * i as f32, 0.0, 9.0), d)) != Some(1) {
+                misses += 1;
+            }
+        }
+        assert!(misses >= 18, "unrelated rays should rarely alias, got {misses} misses");
+    }
+
+    #[test]
+    fn new_update_overwrites_old() {
+        let mut p = Predictor::new(16);
+        let r = ray(Vec3::new(1.0, 1.0, 1.0), Vec3::X);
+        p.update(&r, 3);
+        p.update(&r, 9);
+        assert_eq!(p.predict(&r), Some(9));
+        assert_eq!(p.stats().updates, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = Predictor::new(0);
+    }
+}

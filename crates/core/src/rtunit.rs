@@ -1,0 +1,852 @@
+//! The RT unit: warp buffer, memory scheduler, response FIFO, math units
+//! and the CoopRT Load Balancing Unit (§2.3, §4, §5).
+//!
+//! One RT unit exists per SM. Each cycle it:
+//!
+//! 1. pops at most one response from the response FIFO and runs the
+//!    per-thread math units on it (child AABB tests / triangle test,
+//!    min_thit update through the per-thread AND/OR network of Fig. 7);
+//! 2. schedules one non-stalling warp from the warp buffer;
+//! 3. coalesces the top-of-stack node addresses of that warp's eligible
+//!    threads and issues **one** unique address to the memory hierarchy;
+//! 4. (CoopRT only) lets the LBU move one node per subwarp from a busy
+//!    thread's stack to an idle thread's stack;
+//! 5. retires any warp whose threads have all drained.
+//!
+//! The traversal is performed *functionally inside the timing model*:
+//! node elimination tests children against the live `min_thit` of the
+//! ray's main thread, which is exactly the hardware behaviour (and what
+//! the paper had to approximate in Vulkan-sim's split functional/timing
+//! design, §6.1).
+
+use crate::config::{
+    GpuConfig, StealPosition, SubwarpMode, TraversalOrder, TraversalPolicy, WARP_SIZE,
+};
+use crate::lbu::find_pairs;
+use crate::predictor::{Predictor, PredictorStats};
+use cooprt_bvh::NodeKind;
+use cooprt_gpu::{EnergyEvents, MemoryHierarchy};
+use cooprt_math::Ray;
+use cooprt_scenes::Scene;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// The hit a ray ends a `trace_ray` with.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RayHit {
+    /// Index of the closest-hit (or first any-hit) triangle.
+    pub triangle: u32,
+    /// Hit distance.
+    pub t: f32,
+}
+
+/// One `trace_ray` instruction as dispatched to the RT unit: up to 32
+/// rays, one per active thread.
+#[derive(Clone, Debug)]
+pub struct TraceQuery {
+    /// Identifier of the issuing warp (opaque to the RT unit).
+    pub warp: usize,
+    /// Per-thread ray; `None` for threads masked off by SIMT divergence.
+    pub rays: [Option<Ray>; WARP_SIZE],
+    /// Per-thread search limit (`f32::INFINITY` for closest-hit;
+    /// the light/occlusion distance for shadow and AO rays).
+    pub t_max: [f32; WARP_SIZE],
+    /// Any-hit semantics: terminate a ray on its first accepted hit.
+    pub any_hit: bool,
+}
+
+impl TraceQuery {
+    /// A closest-hit query over the given per-thread rays.
+    pub fn closest_hit(warp: usize, rays: [Option<Ray>; WARP_SIZE]) -> Self {
+        TraceQuery { warp, rays, t_max: [f32::INFINITY; WARP_SIZE], any_hit: false }
+    }
+}
+
+/// The retired result of one `trace_ray` instruction.
+#[derive(Clone, Debug)]
+pub struct TraceResult {
+    /// The issuing warp.
+    pub warp: usize,
+    /// Per-thread hit (indexed by the thread that owns the ray).
+    pub hits: [Option<RayHit>; WARP_SIZE],
+    /// Cycle the instruction entered the RT unit.
+    pub issued_at: u64,
+    /// Cycle the instruction retired.
+    pub retired_at: u64,
+}
+
+/// Per-thread status for activity sampling (Fig. 4 categories).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatusCounts {
+    /// Threads with a non-empty stack or an outstanding fetch.
+    pub busy: usize,
+    /// Active threads that drained early and are waiting for the warp.
+    pub waiting: usize,
+    /// Threads masked off (no ray for this `trace_ray`).
+    pub inactive: usize,
+}
+
+impl StatusCounts {
+    /// Total sampled threads.
+    pub fn total(&self) -> usize {
+        self.busy + self.waiting + self.inactive
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct RtThread {
+    /// Node container: a stack under DFS (process back), a queue under
+    /// BFS (process front). Pushes always go to the back.
+    stack: VecDeque<u64>,
+    pending: Option<u64>,
+    ready_at: u64,
+    main_tid: usize,
+}
+
+impl RtThread {
+    fn is_busy(&self) -> bool {
+        !self.stack.is_empty() || self.pending.is_some()
+    }
+
+    fn can_issue(&self, now: u64) -> bool {
+        !self.stack.is_empty() && self.pending.is_none() && self.ready_at <= now
+    }
+
+    fn can_help(&self) -> bool {
+        self.stack.is_empty() && self.pending.is_none()
+    }
+
+    /// The node the thread would process next.
+    fn peek_next(&self, order: TraversalOrder) -> Option<u64> {
+        match order {
+            TraversalOrder::Dfs => self.stack.back().copied(),
+            TraversalOrder::Bfs => self.stack.front().copied(),
+        }
+    }
+
+    /// Removes and returns the node the thread would process next.
+    fn pop_next(&mut self, order: TraversalOrder) -> Option<u64> {
+        match order {
+            TraversalOrder::Dfs => self.stack.pop_back(),
+            TraversalOrder::Bfs => self.stack.pop_front(),
+        }
+    }
+
+    /// Removes the node the LBU would steal from this (main) thread.
+    fn steal_node(&mut self, order: TraversalOrder, steal: StealPosition) -> Option<u64> {
+        match (order, steal) {
+            (TraversalOrder::Dfs, StealPosition::Top) => self.stack.pop_back(),
+            (TraversalOrder::Dfs, StealPosition::Bottom) => self.stack.pop_front(),
+            // BFS steals from the queue front (§4.2).
+            (TraversalOrder::Bfs, _) => self.stack.pop_front(),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    warp: usize,
+    rays: [Option<Ray>; WARP_SIZE],
+    any_hit: bool,
+    min_thit: [f32; WARP_SIZE],
+    best: [Option<RayHit>; WARP_SIZE],
+    done_ray: [bool; WARP_SIZE],
+    threads: Vec<RtThread>,
+    issued_at: u64,
+}
+
+impl Slot {
+    fn drained(&self) -> bool {
+        self.threads.iter().all(|t| !t.is_busy())
+    }
+}
+
+/// The RT unit of one SM.
+#[derive(Clone, Debug)]
+pub struct RtUnit {
+    sm_id: usize,
+    slots: Vec<Option<Slot>>,
+    responses: BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
+    seq: u64,
+    rr: usize,
+    /// Round-robin cursor of the subwarp scheduler
+    /// ([`SubwarpMode::OneGroup`]).
+    group_rr: usize,
+    /// Intersection-prediction table, when enabled.
+    predictor: Option<Predictor>,
+    /// Energy-event counters accumulated by this unit.
+    pub events: EnergyEvents,
+}
+
+impl RtUnit {
+    /// Creates an RT unit with `warp_buffer_size` warp-buffer entries
+    /// (no intersection predictor).
+    pub fn new(sm_id: usize, warp_buffer_size: usize) -> Self {
+        assert!(warp_buffer_size > 0, "warp buffer needs at least one entry");
+        RtUnit {
+            sm_id,
+            slots: vec![None; warp_buffer_size],
+            responses: BinaryHeap::new(),
+            seq: 0,
+            rr: 0,
+            group_rr: 0,
+            predictor: None,
+            events: EnergyEvents::default(),
+        }
+    }
+
+    /// Creates an RT unit configured per `cfg` (warp-buffer size and
+    /// optional intersection predictor).
+    pub fn for_config(sm_id: usize, cfg: &GpuConfig) -> Self {
+        let mut unit = Self::new(sm_id, cfg.warp_buffer_size);
+        if cfg.intersection_predictor {
+            unit.predictor = Some(Predictor::new(cfg.predictor_entries.max(1)));
+        }
+        unit
+    }
+
+    /// Prediction-table counters, when the predictor is enabled.
+    pub fn predictor_stats(&self) -> Option<PredictorStats> {
+        self.predictor.as_ref().map(|p| p.stats())
+    }
+
+    /// True if a warp-buffer entry is free.
+    pub fn has_free_slot(&self) -> bool {
+        self.slots.iter().any(|s| s.is_none())
+    }
+
+    /// Number of occupied warp-buffer entries.
+    pub fn occupied(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Dispatches a `trace_ray` instruction into a free warp-buffer
+    /// entry; performs the root-AABB test for each active thread
+    /// (Algorithm 1, lines 1–2).
+    ///
+    /// Returns `false` (and does nothing) if the warp buffer is full.
+    pub fn issue(&mut self, query: TraceQuery, now: u64, scene: &Scene) -> bool {
+        let Some(free) = self.slots.iter().position(|s| s.is_none()) else {
+            return false;
+        };
+        self.events.trace_instructions += 1;
+        let mut slot = Slot {
+            warp: query.warp,
+            rays: query.rays,
+            any_hit: query.any_hit,
+            min_thit: query.t_max,
+            best: [None; WARP_SIZE],
+            done_ray: [false; WARP_SIZE],
+            threads: (0..WARP_SIZE)
+                .map(|i| RtThread { main_tid: i, ..RtThread::default() })
+                .collect(),
+            issued_at: now,
+        };
+        let image = &scene.image;
+        // Intersection prediction (§8.2): re-test the last primitive a
+        // similar ray hit. A verified hit answers any-hit queries
+        // outright and seeds min_thit for closest-hit queries.
+        if let Some(pred) = self.predictor.as_mut() {
+            for i in 0..WARP_SIZE {
+                let Some(ray) = &slot.rays[i] else { continue };
+                let Some(tri) = pred.predict(ray) else { continue };
+                if (tri as usize) >= image.triangles().len() {
+                    continue;
+                }
+                self.events.triangle_tests += 1;
+                if let Some(h) = image.triangle(tri).intersect(ray, slot.min_thit[i]) {
+                    pred.record_verified();
+                    slot.min_thit[i] = h.t;
+                    slot.best[i] = Some(RayHit { triangle: tri, t: h.t });
+                    if slot.any_hit {
+                        slot.done_ray[i] = true; // skip the traversal entirely
+                    }
+                }
+            }
+        }
+        for i in 0..WARP_SIZE {
+            if slot.done_ray[i] {
+                continue;
+            }
+            if let Some(ray) = &slot.rays[i] {
+                self.events.box_tests += 1;
+                if image.node_count() > 0
+                    && image.root_bounds().intersect(ray, slot.min_thit[i]).is_some()
+                {
+                    slot.threads[i].stack.push_back(image.root_addr());
+                    self.events.stack_ops += 1;
+                }
+            }
+        }
+        self.slots[free] = Some(slot);
+        true
+    }
+
+    /// Advances the unit by one cycle; any warps that retired this cycle
+    /// are appended to `retired`.
+    pub fn step(
+        &mut self,
+        now: u64,
+        mem: &mut MemoryHierarchy,
+        scene: &Scene,
+        policy: TraversalPolicy,
+        cfg: &GpuConfig,
+        retired: &mut Vec<TraceResult>,
+    ) {
+        // 1. Response FIFO: pop at most one ready response per cycle.
+        if let Some(&Reverse((ready, _, slot, addr))) = self.responses.peek() {
+            if ready <= now {
+                self.responses.pop();
+                self.process_response(slot, addr, now, mem, scene, cfg);
+            }
+        }
+
+        // 2–3. Warp scheduler + memory scheduler: one coalesced node
+        // fetch per cycle from one warp.
+        let chosen = self.pick_warp(now);
+        if let Some(slot_idx) = chosen {
+            self.events.scheduler_ops += 1;
+            self.issue_memory(slot_idx, now, mem, scene, cfg);
+        }
+
+        // 4. Load Balancing Unit (CoopRT only), on the scheduled warp —
+        // or, if no warp could issue memory, on any warp with a
+        // helper/main pair.
+        if policy == TraversalPolicy::CoopRt {
+            let lbu_slot = chosen.or_else(|| self.pick_lbu_slot(cfg.subwarp_size));
+            if let Some(s) = lbu_slot {
+                self.run_lbu(s, cfg);
+            }
+        }
+
+        // 5. Retire drained warps.
+        for s in 0..self.slots.len() {
+            let drained = matches!(&self.slots[s], Some(slot) if slot.drained());
+            if drained {
+                let slot = self.slots[s].take().expect("checked above");
+                retired.push(TraceResult {
+                    warp: slot.warp,
+                    hits: slot.best,
+                    issued_at: slot.issued_at,
+                    retired_at: now,
+                });
+            }
+        }
+    }
+
+    /// Earliest cycle (>= `now`) at which this unit can make progress,
+    /// or `None` if it is empty. Used for cycle skipping.
+    pub fn next_event(&self, now: u64, policy: TraversalPolicy, subwarp: usize) -> Option<u64> {
+        let mut earliest: Option<u64> = None;
+        let mut relax = |t: u64| {
+            earliest = Some(earliest.map_or(t, |e| e.min(t)));
+        };
+        if let Some(&Reverse((ready, ..))) = self.responses.peek() {
+            relax(ready.max(now));
+        }
+        for slot in self.slots.iter().flatten() {
+            for t in &slot.threads {
+                if !t.stack.is_empty() && t.pending.is_none() {
+                    relax(t.ready_at.max(now));
+                }
+            }
+            if policy == TraversalPolicy::CoopRt {
+                let (can, needs) = Self::lbu_masks(slot);
+                if !find_pairs(can, needs, subwarp).is_empty() {
+                    relax(now);
+                }
+            }
+            if slot.drained() {
+                relax(now); // retire is pending
+            }
+        }
+        earliest
+    }
+
+    /// Per-thread status over all resident warps (Fig. 4 / Fig. 10).
+    pub fn sample_status(&self) -> StatusCounts {
+        let mut c = StatusCounts::default();
+        for slot in self.slots.iter().flatten() {
+            for (i, t) in slot.threads.iter().enumerate() {
+                if t.is_busy() {
+                    c.busy += 1;
+                } else if slot.rays[i].is_some() {
+                    c.waiting += 1;
+                } else {
+                    c.inactive += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Busy mask of the slot holding `warp`, if resident (Fig. 11
+    /// timelines). Bit `i` set means thread `i` is traversing.
+    pub fn busy_mask_of(&self, warp: usize) -> Option<u32> {
+        self.slots.iter().flatten().find(|s| s.warp == warp).map(|s| {
+            let mut mask = 0u32;
+            for (i, t) in s.threads.iter().enumerate() {
+                if t.is_busy() {
+                    mask |= 1 << i;
+                }
+            }
+            mask
+        })
+    }
+
+    fn pick_warp(&mut self, now: u64) -> Option<usize> {
+        let n = self.slots.len();
+        for k in 0..n {
+            let idx = (self.rr + k) % n;
+            if let Some(slot) = &self.slots[idx] {
+                if slot.threads.iter().any(|t| t.can_issue(now)) {
+                    self.rr = (idx + 1) % n;
+                    return Some(idx);
+                }
+            }
+        }
+        None
+    }
+
+    fn issue_memory(
+        &mut self,
+        slot_idx: usize,
+        now: u64,
+        mem: &mut MemoryHierarchy,
+        scene: &Scene,
+        cfg: &GpuConfig,
+    ) {
+        let slot = self.slots[slot_idx].as_mut().expect("scheduler picked occupied slot");
+        // Coalesce: the lowest-numbered eligible thread nominates the
+        // address; every eligible thread with the same next node joins.
+        let order = cfg.traversal_order;
+        let addr = slot
+            .threads
+            .iter()
+            .find(|t| t.can_issue(now))
+            .and_then(|t| t.peek_next(order))
+            .expect("scheduler guaranteed an eligible thread");
+        for t in slot.threads.iter_mut() {
+            if t.can_issue(now) && t.peek_next(order) == Some(addr) {
+                t.pop_next(order);
+                t.pending = Some(addr);
+                self.events.stack_ops += 1;
+            }
+        }
+        let bytes = scene
+            .image
+            .node_at(addr)
+            .expect("traversal stacks hold valid node addresses")
+            .size_bytes();
+        let ready = mem.access(self.sm_id, addr, bytes, now);
+        self.seq += 1;
+        self.responses.push(Reverse((ready, self.seq, slot_idx, addr)));
+    }
+
+    fn process_response(
+        &mut self,
+        slot_idx: usize,
+        addr: u64,
+        now: u64,
+        mem: &mut MemoryHierarchy,
+        scene: &Scene,
+        cfg: &GpuConfig,
+    ) {
+        let Some(slot) = self.slots[slot_idx].as_mut() else { return };
+        let node = scene.image.node_at(addr).expect("response for a valid node");
+        for tid in 0..WARP_SIZE {
+            if slot.threads[tid].pending != Some(addr) {
+                continue;
+            }
+            slot.threads[tid].pending = None;
+            slot.threads[tid].ready_at = now + cfg.math_latency;
+            let mt = slot.threads[tid].main_tid;
+            if slot.done_ray[mt] {
+                continue; // Any-hit already satisfied for this ray.
+            }
+            let ray = slot.rays[mt].expect("main thread owns a ray");
+            match &node.kind {
+                NodeKind::Internal { children } => {
+                    for child in children {
+                        self.events.box_tests += 1;
+                        let limit =
+                            if cfg.node_elimination { slot.min_thit[mt] } else { f32::INFINITY };
+                        if child.bounds.intersect(&ray, limit).is_some() {
+                            slot.threads[tid].stack.push_back(child.addr);
+                            self.events.stack_ops += 1;
+                            if cfg.prefetch_children {
+                                let bytes = scene
+                                    .image
+                                    .node_at(child.addr)
+                                    .expect("child addresses are valid")
+                                    .size_bytes();
+                                mem.prefetch(self.sm_id, child.addr, bytes, now);
+                            }
+                        }
+                    }
+                }
+                NodeKind::Leaf { triangle } => {
+                    self.events.triangle_tests += 1;
+                    // Unbounded test + order-independent tie-break on the
+                    // primitive index (see cooprt_bvh::traverse::accepts):
+                    // CoopRT re-orders traversal, and edge-grazing rays
+                    // tie between adjacent triangles at identical t.
+                    let accept = scene
+                        .image
+                        .triangle(*triangle)
+                        .intersect(&ray, f32::INFINITY)
+                        .filter(|h| {
+                            h.t < slot.min_thit[mt]
+                                || matches!(slot.best[mt], Some(b) if h.t == b.t && *triangle < b.triangle)
+                        });
+                    if let Some(h) = accept {
+                        slot.min_thit[mt] = h.t;
+                        slot.best[mt] = Some(RayHit { triangle: *triangle, t: h.t });
+                        if let Some(pred) = self.predictor.as_mut() {
+                            pred.update(&ray, *triangle);
+                        }
+                        if slot.any_hit {
+                            slot.done_ray[mt] = true;
+                            for t in slot.threads.iter_mut() {
+                                if t.main_tid == mt {
+                                    t.stack.clear();
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn lbu_masks(slot: &Slot) -> (u32, u32) {
+        let mut can = 0u32;
+        let mut needs = 0u32;
+        for (i, t) in slot.threads.iter().enumerate() {
+            if t.can_help() {
+                can |= 1 << i;
+            } else if !t.stack.is_empty() {
+                needs |= 1 << i;
+            }
+        }
+        (can, needs)
+    }
+
+    fn pick_lbu_slot(&self, subwarp: usize) -> Option<usize> {
+        self.slots.iter().enumerate().find_map(|(i, s)| {
+            let slot = s.as_ref()?;
+            let (can, needs) = Self::lbu_masks(slot);
+            if find_pairs(can, needs, subwarp).is_empty() {
+                None
+            } else {
+                Some(i)
+            }
+        })
+    }
+
+    fn run_lbu(&mut self, slot_idx: usize, cfg: &GpuConfig) {
+        let slot = self.slots[slot_idx].as_mut().expect("LBU picked occupied slot");
+        for _ in 0..cfg.lbu_moves_per_cycle.max(1) {
+            let (can, needs) = Self::lbu_masks(slot);
+            let mut pairs = find_pairs(can, needs, cfg.subwarp_size);
+            if pairs.is_empty() {
+                break;
+            }
+            if cfg.subwarp_mode == SubwarpMode::OneGroup && pairs.len() > 1 {
+                // The subwarp scheduler services one suitable group per
+                // cycle, round-robin over groups.
+                let groups = WARP_SIZE / cfg.subwarp_size;
+                let chosen = (0..groups)
+                    .map(|k| (self.group_rr + k) % groups)
+                    .find_map(|g| {
+                        pairs.iter().copied().find(|p| p.helper / cfg.subwarp_size == g)
+                    })
+                    .expect("pairs exist, so some group matches");
+                self.group_rr = (chosen.helper / cfg.subwarp_size + 1) % groups;
+                pairs = vec![chosen];
+            }
+            for pair in pairs {
+                let main = &mut slot.threads[pair.main];
+                let node = main
+                    .steal_node(cfg.traversal_order, cfg.steal_from)
+                    .expect("main thread has a non-empty stack");
+                let main_tid = main.main_tid;
+                slot.threads[pair.helper].stack.push_back(node);
+                slot.threads[pair.helper].main_tid = main_tid;
+                self.events.lbu_moves += 1;
+                self.events.stack_ops += 2;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cooprt_gpu::MemoryConfig;
+    use cooprt_math::{Rgb, Vec3};
+    use cooprt_scenes::{Camera, Material, SceneBuilder};
+
+    fn test_scene(clutter: usize) -> Scene {
+        let cam = Camera::look_at(Vec3::new(0.0, 2.0, 12.0), Vec3::ZERO, Vec3::Y, 60.0, 1.0);
+        SceneBuilder::new("rtunit-test", cam)
+            .push(
+                cooprt_scenes::quad(
+                    Vec3::new(-20.0, 0.0, -20.0),
+                    Vec3::X * 40.0,
+                    Vec3::Z * 40.0,
+                ),
+                Material::Lambertian { albedo: Rgb::splat(0.5) },
+            )
+            .push(
+                cooprt_scenes::scatter_clutter(
+                    cooprt_math::Aabb::new(Vec3::new(-6.0, 0.5, -6.0), Vec3::new(6.0, 5.0, 6.0)),
+                    clutter,
+                    0.2..0.6,
+                    7,
+                ),
+                Material::Lambertian { albedo: Rgb::splat(0.7) },
+            )
+            .build()
+    }
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::new(&MemoryConfig::rtx2060_like(1))
+    }
+
+    fn run_to_retire(
+        rt: &mut RtUnit,
+        mem: &mut MemoryHierarchy,
+        scene: &Scene,
+        policy: TraversalPolicy,
+        cfg: &GpuConfig,
+    ) -> (Vec<TraceResult>, u64) {
+        let mut retired = Vec::new();
+        let mut now = 0;
+        while rt.occupied() > 0 {
+            rt.step(now, mem, scene, policy, cfg, &mut retired);
+            now += 1;
+            assert!(now < 10_000_000, "RT unit failed to drain");
+        }
+        (retired, now)
+    }
+
+    fn warp_rays(scene: &Scene, n: usize) -> [Option<Ray>; WARP_SIZE] {
+        let mut rays = [None; WARP_SIZE];
+        for (i, r) in rays.iter_mut().enumerate().take(n) {
+            let s = i as f32 / WARP_SIZE as f32;
+            *r = Some(scene.camera.primary_ray(0.2 + 0.6 * s, 0.45));
+        }
+        rays
+    }
+
+    #[test]
+    fn results_match_cpu_reference_baseline_and_coop() {
+        let scene = test_scene(40);
+        let cfg = GpuConfig::small(1);
+        let rays = warp_rays(&scene, WARP_SIZE);
+        for policy in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
+            let mut rt = RtUnit::new(0, 4);
+            let mut m = mem();
+            assert!(rt.issue(TraceQuery::closest_hit(7, rays), 0, &scene));
+            let (retired, _) = run_to_retire(&mut rt, &mut m, &scene, policy, &cfg);
+            assert_eq!(retired.len(), 1);
+            assert_eq!(retired[0].warp, 7);
+            #[allow(clippy::needless_range_loop)] // i is the SIMT lane id
+            for i in 0..WARP_SIZE {
+                let expected = cooprt_bvh::traverse::closest_hit(
+                    &scene.image,
+                    rays[i].as_ref().unwrap(),
+                    f32::INFINITY,
+                );
+                let got = retired[0].hits[i];
+                match (expected, got) {
+                    (None, None) => {}
+                    (Some(e), Some(g)) => {
+                        assert_eq!(e.triangle, g.triangle, "thread {i} ({policy:?})");
+                        assert!((e.t - g.t).abs() < 1e-5);
+                    }
+                    (e, g) => panic!("thread {i} ({policy:?}): cpu={e:?} rt={g:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coop_is_not_slower_with_divergent_warp() {
+        let scene = test_scene(120);
+        let cfg = GpuConfig::small(1);
+        // Only 4 active threads out of 32: lots of idle helpers.
+        let rays = warp_rays(&scene, 4);
+        let mut cycles = Vec::new();
+        for policy in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
+            let mut rt = RtUnit::new(0, 4);
+            let mut m = mem();
+            rt.issue(TraceQuery::closest_hit(0, rays), 0, &scene);
+            let (_, t) = run_to_retire(&mut rt, &mut m, &scene, policy, &cfg);
+            cycles.push(t);
+        }
+        assert!(
+            cycles[1] < cycles[0],
+            "coop ({}) should beat baseline ({}) on a divergent warp",
+            cycles[1],
+            cycles[0]
+        );
+    }
+
+    #[test]
+    fn coop_uses_the_lbu() {
+        let scene = test_scene(60);
+        let cfg = GpuConfig::small(1);
+        let rays = warp_rays(&scene, 2);
+        let mut rt = RtUnit::new(0, 4);
+        let mut m = mem();
+        rt.issue(TraceQuery::closest_hit(0, rays), 0, &scene);
+        let _ = run_to_retire(&mut rt, &mut m, &scene, TraversalPolicy::CoopRt, &cfg);
+        assert!(rt.events.lbu_moves > 0, "LBU should have moved nodes");
+    }
+
+    #[test]
+    fn baseline_never_uses_the_lbu() {
+        let scene = test_scene(60);
+        let cfg = GpuConfig::small(1);
+        let mut rt = RtUnit::new(0, 4);
+        let mut m = mem();
+        rt.issue(TraceQuery::closest_hit(0, warp_rays(&scene, 2)), 0, &scene);
+        let _ = run_to_retire(&mut rt, &mut m, &scene, TraversalPolicy::Baseline, &cfg);
+        assert_eq!(rt.events.lbu_moves, 0);
+    }
+
+    #[test]
+    fn coalescing_merges_identical_rays() {
+        let scene = test_scene(30);
+        let cfg = GpuConfig::small(1);
+        // All 32 threads trace the *same* ray: every fetch coalesces to
+        // one memory access.
+        let ray = scene.camera.primary_ray(0.5, 0.5);
+        let rays = [Some(ray); WARP_SIZE];
+        let mut rt = RtUnit::new(0, 4);
+        let mut m = mem();
+        rt.issue(TraceQuery::closest_hit(0, rays), 0, &scene);
+        let _ = run_to_retire(&mut rt, &mut m, &scene, TraversalPolicy::Baseline, &cfg);
+        let one_ray_nodes = {
+            let mut counters = cooprt_bvh::traverse::TraversalCounters::default();
+            let _ = cooprt_bvh::traverse::closest_hit_counted(
+                &scene.image,
+                &ray,
+                f32::INFINITY,
+                &mut counters,
+            );
+            counters.nodes_visited
+        };
+        // Fetches (= L1 accesses may span 2 lines each) must scale with
+        // ONE ray's node count, not 32 rays' worth.
+        let accesses = m.stats().l1.accesses;
+        assert!(
+            accesses <= one_ray_nodes * 3,
+            "coalescing failed: {accesses} accesses for {one_ray_nodes} nodes"
+        );
+    }
+
+    #[test]
+    fn any_hit_terminates_early() {
+        let scene = test_scene(60);
+        let cfg = GpuConfig::small(1);
+        let rays = warp_rays(&scene, WARP_SIZE);
+        let run = |any_hit: bool| {
+            let mut rt = RtUnit::new(0, 4);
+            let mut m = mem();
+            let q = TraceQuery {
+                warp: 0,
+                rays,
+                t_max: [f32::INFINITY; WARP_SIZE],
+                any_hit,
+            };
+            rt.issue(q, 0, &scene);
+            let (res, t) = run_to_retire(&mut rt, &mut m, &scene, TraversalPolicy::Baseline, &cfg);
+            (res, t)
+        };
+        let (closest, t_closest) = run(false);
+        let (any, t_any) = run(true);
+        assert!(t_any <= t_closest, "any-hit ({t_any}) must not exceed closest ({t_closest})");
+        // Wherever closest-hit found something, any-hit must too.
+        for i in 0..WARP_SIZE {
+            assert_eq!(closest[0].hits[i].is_some(), any[0].hits[i].is_some(), "thread {i}");
+        }
+    }
+
+    #[test]
+    fn t_max_limits_the_search() {
+        let scene = test_scene(30);
+        let cfg = GpuConfig::small(1);
+        let rays = warp_rays(&scene, 8);
+        let mut q = TraceQuery::closest_hit(0, rays);
+        q.t_max = [0.01; WARP_SIZE]; // nothing is this close
+        let mut rt = RtUnit::new(0, 4);
+        let mut m = mem();
+        rt.issue(q, 0, &scene);
+        let (res, _) = run_to_retire(&mut rt, &mut m, &scene, TraversalPolicy::Baseline, &cfg);
+        assert!(res[0].hits.iter().all(|h| h.is_none()));
+    }
+
+    #[test]
+    fn warp_buffer_capacity_is_enforced() {
+        let scene = test_scene(10);
+        let mut rt = RtUnit::new(0, 2);
+        let rays = warp_rays(&scene, 4);
+        assert!(rt.issue(TraceQuery::closest_hit(0, rays), 0, &scene));
+        assert!(rt.issue(TraceQuery::closest_hit(1, rays), 0, &scene));
+        assert!(!rt.has_free_slot());
+        assert!(!rt.issue(TraceQuery::closest_hit(2, rays), 0, &scene));
+        assert_eq!(rt.occupied(), 2);
+    }
+
+    #[test]
+    fn all_missing_rays_retire_immediately() {
+        let scene = test_scene(10);
+        let cfg = GpuConfig::small(1);
+        // Rays pointing straight up, away from everything.
+        let mut rays = [None; WARP_SIZE];
+        for r in rays.iter_mut().take(8) {
+            *r = Some(Ray::new(Vec3::new(0.0, 50.0, 0.0), Vec3::Y));
+        }
+        let mut rt = RtUnit::new(0, 4);
+        let mut m = mem();
+        rt.issue(TraceQuery::closest_hit(0, rays), 0, &scene);
+        let (res, t) = run_to_retire(&mut rt, &mut m, &scene, TraversalPolicy::Baseline, &cfg);
+        assert!(t < 5, "nothing to traverse: retires in the first cycles");
+        assert!(res[0].hits.iter().all(|h| h.is_none()));
+    }
+
+    #[test]
+    fn status_sampling_tracks_masks() {
+        let scene = test_scene(40);
+        let rays = warp_rays(&scene, 10);
+        let mut rt = RtUnit::new(0, 4);
+        rt.issue(TraceQuery::closest_hit(0, rays), 0, &scene);
+        let s = rt.sample_status();
+        assert_eq!(s.total(), WARP_SIZE);
+        assert_eq!(s.inactive, WARP_SIZE - 10);
+        assert!(s.busy > 0);
+        assert!(rt.busy_mask_of(0).is_some());
+        assert!(rt.busy_mask_of(99).is_none());
+    }
+
+    #[test]
+    fn next_event_reports_progress_opportunities() {
+        let scene = test_scene(20);
+        let cfg = GpuConfig::small(1);
+        let mut rt = RtUnit::new(0, 4);
+        // Empty unit: no events.
+        assert_eq!(rt.next_event(0, TraversalPolicy::Baseline, 32), None);
+        rt.issue(TraceQuery::closest_hit(0, warp_rays(&scene, 4)), 0, &scene);
+        // Threads can issue right away.
+        assert_eq!(rt.next_event(5, TraversalPolicy::Baseline, 32), Some(5));
+        // After issuing, the next event is the memory response.
+        let mut m = mem();
+        let mut retired = Vec::new();
+        rt.step(5, &mut m, &scene, TraversalPolicy::Baseline, &cfg, &mut retired);
+        let ev = rt.next_event(6, TraversalPolicy::Baseline, 32);
+        assert!(ev.is_some());
+    }
+}

@@ -1,0 +1,429 @@
+//! Shader drivers: the raygen loops that issue `trace_ray` instructions.
+//!
+//! Listing 1 of the paper is a path-tracing raygen shader: compute the
+//! primary ray, then loop `NUM_BOUNCES` times — trace, break on miss or
+//! absorption, otherwise scatter and continue. §7.3 adds the lightweight
+//! ambient-occlusion (AO) and shadow (SH) shaders whose secondary rays
+//! are short and coherent.
+//!
+//! The shading here is *functional* — it runs on the host between
+//! simulated `trace_ray` instructions, exactly like Vulkan-sim's
+//! functional simulator — while all traversal timing comes from the RT
+//! unit model. Shading must be deterministic in the trace results alone,
+//! so baseline and CoopRT runs produce bit-identical images.
+
+use crate::config::GpuConfig;
+use crate::rtunit::RayHit;
+use cooprt_math::{cosine_hemisphere, Onb, Ray, Rgb, Vec3};
+use cooprt_scenes::{Material, Scatter, Scene};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which ray-tracing workload the raygen shader runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ShaderKind {
+    /// Full path tracing (Listing 1): up to `max_bounces` bounces.
+    #[default]
+    PathTrace,
+    /// Ambient occlusion: primary ray + a few short hemisphere rays.
+    AmbientOcclusion,
+    /// Ray-traced shadows: primary ray + rays toward the light.
+    Shadow,
+}
+
+impl ShaderKind {
+    /// Short label used in benchmark tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShaderKind::PathTrace => "pt",
+            ShaderKind::AmbientOcclusion => "ao",
+            ShaderKind::Shadow => "sh",
+        }
+    }
+
+    /// True if the `trace_ray` at `iteration` uses any-hit semantics
+    /// (AO/SH secondary rays accept the first intersection).
+    pub fn any_hit_at(self, iteration: u32) -> bool {
+        match self {
+            ShaderKind::PathTrace => false,
+            ShaderKind::AmbientOcclusion | ShaderKind::Shadow => iteration >= 1,
+        }
+    }
+}
+
+/// Offset applied along the surface normal when spawning secondary rays,
+/// to avoid self-intersection.
+const RAY_BIAS: f32 = 1.0e-3;
+
+/// Per-thread raygen shader state (one pixel).
+#[derive(Debug)]
+pub struct ShaderThread {
+    rng: StdRng,
+    /// The ray to trace in the current iteration; `None` once the thread
+    /// has exited the bounce loop (masked off in hardware).
+    pub ray: Option<Ray>,
+    /// Search limit for the current ray.
+    pub t_max: f32,
+    /// Accumulated pixel color.
+    pub color: Rgb,
+    throughput: Rgb,
+    bounces: u32,
+    // AO/SH state recorded at the primary hit.
+    base_point: Vec3,
+    base_normal: Vec3,
+    base_albedo: Rgb,
+    secondary_done: u32,
+    secondary_hits: u32,
+}
+
+impl ShaderThread {
+    /// Initializes the shader for one pixel: seeds the RNG and computes
+    /// the primary ray through pixel coordinates `(u, v)`.
+    pub fn begin(scene: &Scene, pixel_index: usize, u: f32, v: f32) -> Self {
+        Self::begin_with_salt(scene, pixel_index, u, v, 0)
+    }
+
+    /// [`ShaderThread::begin`] with a sample-index salt, so multiple
+    /// samples per pixel draw independent random sequences.
+    pub fn begin_with_salt(scene: &Scene, pixel_index: usize, u: f32, v: f32, salt: u64) -> Self {
+        let seed = 0x5EED_C0DE
+            ^ (pixel_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ salt.wrapping_mul(0xD1B5_4A32_D192_ED03);
+        ShaderThread {
+            rng: StdRng::seed_from_u64(seed),
+            ray: Some(scene.camera.primary_ray(u, v)),
+            t_max: f32::INFINITY,
+            color: Rgb::BLACK,
+            throughput: Rgb::WHITE,
+            bounces: 0,
+            base_point: Vec3::ZERO,
+            base_normal: Vec3::Y,
+            base_albedo: Rgb::BLACK,
+            secondary_done: 0,
+            secondary_hits: 0,
+        }
+    }
+
+    /// A thread with no pixel (image smaller than the warp): masked off
+    /// from the start.
+    pub fn masked() -> Self {
+        ShaderThread {
+            rng: StdRng::seed_from_u64(0),
+            ray: None,
+            t_max: f32::INFINITY,
+            color: Rgb::BLACK,
+            throughput: Rgb::WHITE,
+            bounces: 0,
+            base_point: Vec3::ZERO,
+            base_normal: Vec3::Y,
+            base_albedo: Rgb::BLACK,
+            secondary_done: 0,
+            secondary_hits: 0,
+        }
+    }
+
+    /// Consumes the result of the thread's `trace_ray` and advances the
+    /// raygen loop: either sets the next ray ([`ShaderThread::ray`]
+    /// becomes `Some`) or exits the loop (`None`), finalizing
+    /// [`ShaderThread::color`].
+    ///
+    /// Does nothing for masked threads.
+    pub fn resume(&mut self, kind: ShaderKind, cfg: &GpuConfig, scene: &Scene, hit: Option<RayHit>) {
+        let Some(ray) = self.ray else { return };
+        match kind {
+            ShaderKind::PathTrace => self.resume_pt(cfg, scene, ray, hit),
+            ShaderKind::AmbientOcclusion => self.resume_ao(cfg, scene, ray, hit),
+            ShaderKind::Shadow => self.resume_sh(cfg, scene, ray, hit),
+        }
+    }
+
+    fn resume_pt(&mut self, cfg: &GpuConfig, scene: &Scene, ray: Ray, hit: Option<RayHit>) {
+        self.bounces += 1;
+        let Some(h) = hit else {
+            // Escaped the scene: collect the environment and exit.
+            self.color += self.throughput.attenuate(scene.sky.radiance(ray.dir));
+            self.ray = None;
+            return;
+        };
+        let tri = scene.image.triangle(h.triangle);
+        let normal = tri.normal();
+        match scene.material(h.triangle).scatter(ray.dir, normal, &mut self.rng) {
+            Scatter::Emit(radiance) => {
+                self.color += self.throughput.attenuate(radiance);
+                self.ray = None;
+            }
+            Scatter::Absorb => {
+                self.ray = None;
+            }
+            Scatter::Bounce { dir, attenuation } => {
+                self.throughput = self.throughput.attenuate(attenuation);
+                if self.bounces >= cfg.max_bounces {
+                    self.ray = None;
+                } else {
+                    // Bias the origin toward the side the new ray
+                    // departs on (refracted rays cross the surface).
+                    let n = if ray.dir.dot(normal) < 0.0 { normal } else { -normal };
+                    let side = if dir.dot(n) >= 0.0 { n } else { -n };
+                    self.ray = Some(Ray::new(ray.at(h.t) + side * RAY_BIAS, dir));
+                }
+            }
+        }
+    }
+
+    fn record_base_hit(&mut self, scene: &Scene, ray: Ray, h: RayHit) {
+        let tri = scene.image.triangle(h.triangle);
+        let normal = tri.normal();
+        self.base_normal = if ray.dir.dot(normal) < 0.0 { normal } else { -normal };
+        self.base_point = ray.at(h.t) + self.base_normal * RAY_BIAS;
+        self.base_albedo = match *scene.material(h.triangle) {
+            Material::Lambertian { albedo } | Material::Metal { albedo, .. } => albedo,
+            Material::Emissive { radiance } => radiance,
+            Material::Dielectric { .. } => Rgb::WHITE,
+        };
+    }
+
+    fn resume_ao(&mut self, cfg: &GpuConfig, scene: &Scene, ray: Ray, hit: Option<RayHit>) {
+        if self.bounces == 0 {
+            // Primary ray.
+            self.bounces = 1;
+            match hit {
+                None => {
+                    self.color = scene.sky.radiance(ray.dir);
+                    self.ray = None;
+                }
+                Some(h) => {
+                    self.record_base_hit(scene, ray, h);
+                    self.spawn_ao_ray(cfg);
+                }
+            }
+            return;
+        }
+        // An occlusion ray came back.
+        self.secondary_done += 1;
+        if hit.is_some() {
+            self.secondary_hits += 1;
+        }
+        if self.secondary_done < cfg.ao_samples {
+            self.spawn_ao_ray(cfg);
+        } else {
+            let visibility = 1.0 - self.secondary_hits as f32 / cfg.ao_samples.max(1) as f32;
+            self.color = self.base_albedo * visibility;
+            self.ray = None;
+        }
+    }
+
+    fn spawn_ao_ray(&mut self, cfg: &GpuConfig) {
+        let dir = Onb::from_w(self.base_normal).to_world(cosine_hemisphere(&mut self.rng));
+        self.ray = Some(Ray::new(self.base_point, dir));
+        self.t_max = cfg.ao_radius;
+    }
+
+    fn resume_sh(&mut self, cfg: &GpuConfig, scene: &Scene, ray: Ray, hit: Option<RayHit>) {
+        if self.bounces == 0 {
+            self.bounces = 1;
+            match hit {
+                None => {
+                    self.color = scene.sky.radiance(ray.dir);
+                    self.ray = None;
+                }
+                Some(h) => {
+                    self.record_base_hit(scene, ray, h);
+                    self.spawn_shadow_ray(scene);
+                }
+            }
+            return;
+        }
+        self.secondary_done += 1;
+        if hit.is_some() {
+            self.secondary_hits += 1;
+        }
+        if self.secondary_done < cfg.sh_samples {
+            self.spawn_shadow_ray(scene);
+        } else {
+            let lit = 1.0 - self.secondary_hits as f32 / cfg.sh_samples.max(1) as f32;
+            // Direct lighting: albedo scaled by visibility plus a small
+            // ambient floor so shadowed pixels are not pure black.
+            self.color = self.base_albedo * (0.15 + 0.85 * lit);
+            self.ray = None;
+        }
+    }
+
+    fn spawn_shadow_ray(&mut self, scene: &Scene) {
+        match scene.sample_light_point(&mut self.rng) {
+            Some(target) => {
+                let to_light = target - self.base_point;
+                let dist = to_light.length();
+                if dist <= RAY_BIAS {
+                    // Degenerate: shading point on the light itself.
+                    self.ray = Some(Ray::new(self.base_point, self.base_normal));
+                    self.t_max = RAY_BIAS;
+                } else {
+                    self.ray = Some(Ray::new(self.base_point, to_light));
+                    self.t_max = dist - RAY_BIAS;
+                }
+            }
+            None => {
+                // No lights: a fixed "sun" direction, as open daylight
+                // scenes are lit by the sky.
+                let sun = Vec3::new(0.4, 1.0, 0.25).normalized();
+                self.ray = Some(Ray::from_unit(self.base_point, sun));
+                self.t_max = f32::INFINITY;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cooprt_scenes::SceneId;
+
+    fn scene() -> Scene {
+        SceneId::Wknd.build(2)
+    }
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::small(1)
+    }
+
+    #[test]
+    fn any_hit_schedule_per_kind() {
+        assert!(!ShaderKind::PathTrace.any_hit_at(0));
+        assert!(!ShaderKind::PathTrace.any_hit_at(5));
+        assert!(!ShaderKind::AmbientOcclusion.any_hit_at(0));
+        assert!(ShaderKind::AmbientOcclusion.any_hit_at(1));
+        assert!(ShaderKind::Shadow.any_hit_at(2));
+    }
+
+    #[test]
+    fn masked_thread_never_traces() {
+        let mut t = ShaderThread::masked();
+        assert!(t.ray.is_none());
+        t.resume(ShaderKind::PathTrace, &cfg(), &scene(), None);
+        assert!(t.ray.is_none());
+        assert_eq!(t.color, Rgb::BLACK);
+    }
+
+    #[test]
+    fn pt_miss_collects_sky_and_exits() {
+        let s = scene();
+        let mut t = ShaderThread::begin(&s, 0, 0.5, 0.9);
+        let dir = t.ray.unwrap().dir;
+        t.resume(ShaderKind::PathTrace, &cfg(), &s, None);
+        assert!(t.ray.is_none());
+        assert_eq!(t.color, s.sky.radiance(dir));
+    }
+
+    #[test]
+    fn pt_bounce_continues_until_limit() {
+        let s = scene();
+        let mut c = cfg();
+        c.max_bounces = 3;
+        let mut t = ShaderThread::begin(&s, 1, 0.5, 0.3);
+        // Feed it fake diffuse hits until it exhausts its bounce budget.
+        let mut bounces = 0;
+        while t.ray.is_some() && bounces < 10 {
+            // Hit the ground quad (triangle 0, lambertian).
+            t.resume(ShaderKind::PathTrace, &c, &s, Some(RayHit { triangle: 0, t: 5.0 }));
+            bounces += 1;
+        }
+        assert!(t.ray.is_none());
+        assert_eq!(bounces, 3, "bounce budget must cap the loop");
+    }
+
+    #[test]
+    fn pt_is_deterministic_per_pixel() {
+        let s = scene();
+        let mut a = ShaderThread::begin(&s, 42, 0.4, 0.4);
+        let mut b = ShaderThread::begin(&s, 42, 0.4, 0.4);
+        let hit = Some(RayHit { triangle: 0, t: 8.0 });
+        a.resume(ShaderKind::PathTrace, &cfg(), &s, hit);
+        b.resume(ShaderKind::PathTrace, &cfg(), &s, hit);
+        assert_eq!(a.ray, b.ray, "same seed + same hits = same scatter");
+        // Different pixel index -> different stream.
+        let mut c = ShaderThread::begin(&s, 43, 0.4, 0.4);
+        c.resume(ShaderKind::PathTrace, &cfg(), &s, hit);
+        assert_ne!(a.ray, c.ray);
+    }
+
+    #[test]
+    fn ao_counts_occlusion() {
+        let s = scene();
+        let c = cfg();
+        let mut t = ShaderThread::begin(&s, 7, 0.5, 0.2);
+        // Primary hit on the ground.
+        t.resume(ShaderKind::AmbientOcclusion, &c, &s, Some(RayHit { triangle: 0, t: 10.0 }));
+        assert!(t.ray.is_some(), "AO rays must follow the primary hit");
+        assert_eq!(t.t_max, c.ao_radius, "AO rays are short");
+        // All AO rays occluded -> black.
+        for _ in 0..c.ao_samples {
+            assert!(t.ray.is_some());
+            t.resume(ShaderKind::AmbientOcclusion, &c, &s, Some(RayHit { triangle: 1, t: 0.5 }));
+        }
+        assert!(t.ray.is_none());
+        assert_eq!(t.color, Rgb::BLACK);
+    }
+
+    #[test]
+    fn ao_unoccluded_keeps_albedo() {
+        let s = scene();
+        let c = cfg();
+        let mut t = ShaderThread::begin(&s, 8, 0.5, 0.2);
+        t.resume(ShaderKind::AmbientOcclusion, &c, &s, Some(RayHit { triangle: 0, t: 10.0 }));
+        for _ in 0..c.ao_samples {
+            t.resume(ShaderKind::AmbientOcclusion, &c, &s, None);
+        }
+        assert!(t.ray.is_none());
+        assert!(t.color.luminance() > 0.0, "open sky -> full albedo");
+    }
+
+    #[test]
+    fn ao_primary_miss_shows_sky() {
+        let s = scene();
+        let mut t = ShaderThread::begin(&s, 9, 0.5, 0.95);
+        let dir = t.ray.unwrap().dir;
+        t.resume(ShaderKind::AmbientOcclusion, &cfg(), &s, None);
+        assert!(t.ray.is_none());
+        assert_eq!(t.color, s.sky.radiance(dir));
+    }
+
+    #[test]
+    fn shadow_rays_target_light_or_sun() {
+        let s = scene(); // wknd has no lights -> sun fallback
+        let c = cfg();
+        let mut t = ShaderThread::begin(&s, 11, 0.5, 0.3);
+        t.resume(ShaderKind::Shadow, &c, &s, Some(RayHit { triangle: 0, t: 10.0 }));
+        let shadow = t.ray.expect("shadow ray follows the primary hit");
+        assert!(shadow.dir.y > 0.5, "sun fallback points upward");
+        // Lit scene: shadow rays have finite t_max toward the light.
+        let lit = SceneId::Bath.build(2);
+        let mut t2 = ShaderThread::begin(&lit, 12, 0.5, 0.5);
+        t2.resume(ShaderKind::Shadow, &c, &lit, Some(RayHit { triangle: 0, t: 5.0 }));
+        assert!(t2.ray.is_some());
+        assert!(t2.t_max.is_finite());
+    }
+
+    #[test]
+    fn shadow_occlusion_darkens() {
+        let s = SceneId::Bath.build(2);
+        let c = cfg();
+        let shade = |occluded: bool| {
+            let mut t = ShaderThread::begin(&s, 13, 0.5, 0.5);
+            t.resume(ShaderKind::Shadow, &c, &s, Some(RayHit { triangle: 0, t: 5.0 }));
+            for _ in 0..c.sh_samples {
+                let hit = occluded.then_some(RayHit { triangle: 1, t: 0.3 });
+                t.resume(ShaderKind::Shadow, &c, &s, hit);
+            }
+            assert!(t.ray.is_none());
+            t.color
+        };
+        assert!(shade(true).luminance() < shade(false).luminance());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ShaderKind::PathTrace.label(), "pt");
+        assert_eq!(ShaderKind::AmbientOcclusion.label(), "ao");
+        assert_eq!(ShaderKind::Shadow.label(), "sh");
+    }
+}

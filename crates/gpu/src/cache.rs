@@ -1,0 +1,264 @@
+//! Set-associative / fully-associative LRU caches.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Hit/miss counters of one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total line accesses.
+    pub accesses: u64,
+    /// Line accesses that hit.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Misses (`accesses - hits`).
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Miss ratio in `[0, 1]`; `0` when the cache was never accessed.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// One cache set with true-LRU replacement.
+///
+/// Uses a stamp map plus an ordered index, so even the fully-associative
+/// 512-line L1 of Table 1 replaces in `O(log n)`.
+#[derive(Clone, Debug, Default)]
+struct CacheSet {
+    /// tag -> last-use stamp.
+    lines: HashMap<u64, u64>,
+    /// last-use stamp -> tag (stamps are unique).
+    order: BTreeMap<u64, u64>,
+}
+
+impl CacheSet {
+    fn touch(&mut self, tag: u64, stamp: u64, capacity: usize) -> bool {
+        if let Some(old) = self.lines.insert(tag, stamp) {
+            self.order.remove(&old);
+            self.order.insert(stamp, tag);
+            return true;
+        }
+        self.order.insert(stamp, tag);
+        if self.lines.len() > capacity {
+            let (&oldest, &victim) = self.order.iter().next().expect("set not empty");
+            self.order.remove(&oldest);
+            self.lines.remove(&victim);
+        }
+        false
+    }
+}
+
+/// An LRU cache over fixed-size lines.
+///
+/// # Examples
+///
+/// ```
+/// use cooprt_gpu::Cache;
+///
+/// // 2 lines of 64 B, fully associative.
+/// let mut c = Cache::new(128, 0, 64);
+/// assert!(!c.access_line(0));      // cold miss
+/// assert!(c.access_line(0));       // hit
+/// assert!(!c.access_line(64));     // cold miss
+/// assert!(!c.access_line(128));    // miss, evicts line 0 (LRU)
+/// assert!(!c.access_line(0));      // line 0 was evicted
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: Vec<CacheSet>,
+    set_count: u64,
+    capacity_per_set: usize,
+    line_bytes: u32,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache of `total_bytes` with `assoc`-way sets of
+    /// `line_bytes` lines. `assoc == 0` means fully associative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero lines, or associativity
+    /// exceeding the line count).
+    pub fn new(total_bytes: u64, assoc: u32, line_bytes: u32) -> Self {
+        assert!(line_bytes > 0, "line size must be positive");
+        let total_lines = (total_bytes / line_bytes as u64) as usize;
+        assert!(total_lines > 0, "cache must hold at least one line");
+        let (set_count, capacity_per_set) = if assoc == 0 {
+            (1, total_lines)
+        } else {
+            let assoc = assoc as usize;
+            assert!(assoc <= total_lines, "associativity exceeds line count");
+            (total_lines / assoc, assoc)
+        };
+        assert!(set_count > 0);
+        Cache {
+            sets: vec![CacheSet::default(); set_count],
+            set_count: set_count as u64,
+            capacity_per_set,
+            line_bytes,
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Accesses the line at `line_addr` (any byte address within the
+    /// line). Returns `true` on hit; on miss the line is filled,
+    /// evicting the set's LRU line if needed.
+    pub fn access_line(&mut self, line_addr: u64) -> bool {
+        let line = line_addr / self.line_bytes as u64;
+        let set = (line % self.set_count) as usize;
+        let tag = line / self.set_count;
+        self.stamp += 1;
+        let hit = self.sets[set].touch(tag, self.stamp, self.capacity_per_set);
+        self.stats.accesses += 1;
+        if hit {
+            self.stats.hits += 1;
+        }
+        hit
+    }
+
+    /// The line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// First line index and count of lines covering `[addr, addr+bytes)`.
+    pub fn lines_covering(&self, addr: u64, bytes: u32) -> (u64, u64) {
+        let lb = self.line_bytes as u64;
+        let first = addr / lb;
+        let last = (addr + bytes.max(1) as u64 - 1) / lb;
+        (first, last - first + 1)
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.lines.clear();
+            s.order.clear();
+        }
+        self.stamp = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(1024, 2, 64);
+        assert!(!c.access_line(0x100));
+        assert!(c.access_line(0x100));
+        assert!(c.access_line(0x13f)); // same 64B line
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // One set of 2 ways: lines 0 and 2 map to set 0 (2 sets? no:
+        // 256B / 64B = 4 lines, 2-way -> 2 sets). Use addresses mapping
+        // to the same set: lines 0, 2, 4 (all even -> set 0).
+        let mut c = Cache::new(256, 2, 64);
+        assert!(!c.access_line(0));
+        assert!(!c.access_line(2 * 64));
+        assert!(c.access_line(0)); // touch 0: now 2 is LRU
+        assert!(!c.access_line(4 * 64)); // evicts 2
+        assert!(c.access_line(0)); // still resident
+        assert!(!c.access_line(2 * 64)); // was evicted
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = Cache::new(256, 2, 64); // 2 sets
+        assert!(!c.access_line(0)); // set 0
+        assert!(!c.access_line(64)); // set 1
+        assert!(!c.access_line(2 * 64)); // set 0
+        assert!(!c.access_line(3 * 64)); // set 1
+        // All four lines fit: everything hits now.
+        for l in 0..4u64 {
+            assert!(c.access_line(l * 64), "line {l} should be resident");
+        }
+    }
+
+    #[test]
+    fn fully_associative_uses_whole_capacity() {
+        let mut c = Cache::new(4 * 64, 0, 64);
+        for l in 0..4u64 {
+            assert!(!c.access_line(l * 64));
+        }
+        for l in 0..4u64 {
+            assert!(c.access_line(l * 64));
+        }
+        // Fifth distinct line evicts the LRU (line 0).
+        assert!(!c.access_line(4 * 64));
+        assert!(!c.access_line(0));
+    }
+
+    #[test]
+    fn miss_rate_math() {
+        let mut c = Cache::new(1024, 0, 64);
+        assert_eq!(c.stats().miss_rate(), 0.0);
+        c.access_line(0);
+        c.access_line(0);
+        c.access_line(64);
+        c.access_line(128);
+        let s = c.stats();
+        assert_eq!(s.misses(), 3);
+        assert!((s.miss_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lines_covering_spans() {
+        let c = Cache::new(1024, 0, 64);
+        assert_eq!(c.lines_covering(0, 64), (0, 1));
+        assert_eq!(c.lines_covering(0, 65), (0, 2));
+        assert_eq!(c.lines_covering(60, 8), (0, 2));
+        assert_eq!(c.lines_covering(128, 1), (2, 1));
+        assert_eq!(c.lines_covering(128, 0), (2, 1)); // degenerate read
+    }
+
+    #[test]
+    fn reset_clears_contents_and_stats() {
+        let mut c = Cache::new(256, 0, 64);
+        c.access_line(0);
+        c.access_line(0);
+        c.reset();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(!c.access_line(0), "contents must be cold after reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity exceeds")]
+    fn rejects_overwide_assoc() {
+        let _ = Cache::new(128, 4, 64);
+    }
+
+    #[test]
+    fn repeated_scan_larger_than_cache_always_misses() {
+        // A cyclic scan over 2x the capacity with true LRU never hits.
+        let mut c = Cache::new(4 * 64, 0, 64);
+        for _ in 0..3 {
+            for l in 0..8u64 {
+                c.access_line(l * 64);
+            }
+        }
+        assert_eq!(c.stats().hits, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Memory-system configuration (Table 1 of the paper).
+
+/// Parameters of the simulated memory hierarchy.
+///
+/// Defaults follow the paper's Table 1 (`SM75_RTX2060` Vulkan-sim
+/// config); [`MemoryConfig::mobile_like`] follows the §7.4 mobile
+/// configuration (8 SMs, 4 memory channels).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemoryConfig {
+    /// Number of SMs, i.e. number of private L1 caches.
+    pub sm_count: usize,
+    /// Cache line size in bytes (all levels).
+    pub line_bytes: u32,
+    /// L1 data cache capacity per SM, bytes.
+    pub l1_bytes: u64,
+    /// L1 associativity; `0` means fully associative (Table 1).
+    pub l1_assoc: u32,
+    /// L1 hit latency, core cycles.
+    pub l1_latency: u64,
+    /// Shared L2 capacity, bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_assoc: u32,
+    /// L2 hit latency, core cycles (includes interconnect).
+    pub l2_latency: u64,
+    /// DRAM access latency (row activation + CAS), core cycles.
+    pub dram_latency: u64,
+    /// Number of independent DRAM channels.
+    pub dram_channels: usize,
+    /// Miss-status holding registers per L1 (in-flight line fills that
+    /// later misses merge into).
+    pub l1_mshr_entries: usize,
+    /// Miss-status holding registers at the L2.
+    pub l2_mshr_entries: usize,
+    /// Peak transfer rate per channel, bytes per core cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Core clock in MHz (for converting cycles to seconds in the power
+    /// model).
+    pub core_clock_mhz: f64,
+}
+
+impl MemoryConfig {
+    /// The desktop configuration of Table 1 (RTX 2060-like: 30 SMs,
+    /// 64 KB fully-associative L1 at 20 cycles, 3 MB 16-way L2 at 160
+    /// cycles, 1365 MHz core / 3500 MHz memory clocks).
+    pub fn rtx2060_like(sm_count: usize) -> Self {
+        MemoryConfig {
+            sm_count,
+            line_bytes: 128,
+            l1_bytes: 64 * 1024,
+            l1_assoc: 0, // fully associative per Table 1
+            l1_latency: 20,
+            l2_bytes: 3 * 1024 * 1024,
+            l2_assoc: 16,
+            l2_latency: 160,
+            dram_latency: 220,
+            dram_channels: 12,
+            l1_mshr_entries: 32,
+            l2_mshr_entries: 128,
+            // GDDR6 on a 192-bit bus: ~336 GB/s peak at 1365 MHz core
+            // -> ~246 B/core-cycle total -> ~20.5 B/cycle/channel.
+            dram_bytes_per_cycle: 20.5,
+            core_clock_mhz: 1365.0,
+        }
+    }
+
+    /// The §7.4 mobile configuration: 8 SMs and only 4 memory channels
+    /// of LPDDR-class bandwidth — memory bandwidth becomes the
+    /// bottleneck (the paper sees DRAM utilization jump from 44% to 85%
+    /// once CoopRT is enabled).
+    pub fn mobile_like(sm_count: usize) -> Self {
+        MemoryConfig {
+            sm_count,
+            dram_channels: 4,
+            dram_bytes_per_cycle: 6.0,
+            l2_bytes: 1024 * 1024,
+            ..Self::rtx2060_like(sm_count)
+        }
+    }
+
+    /// Total peak DRAM bandwidth, bytes per core cycle.
+    pub fn dram_peak_bytes_per_cycle(&self) -> f64 {
+        self.dram_bytes_per_cycle * self.dram_channels as f64
+    }
+}
+
+impl Default for MemoryConfig {
+    /// Defaults to the desktop (Table 1) configuration with 30 SMs.
+    fn default() -> Self {
+        Self::rtx2060_like(30)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn desktop_matches_table_1() {
+        let c = MemoryConfig::rtx2060_like(30);
+        assert_eq!(c.sm_count, 30);
+        assert_eq!(c.l1_bytes, 64 * 1024);
+        assert_eq!(c.l1_assoc, 0);
+        assert_eq!(c.l1_latency, 20);
+        assert_eq!(c.l2_bytes, 3 * 1024 * 1024);
+        assert_eq!(c.l2_assoc, 16);
+        assert_eq!(c.l2_latency, 160);
+        assert_eq!(c.core_clock_mhz, 1365.0);
+    }
+
+    #[test]
+    fn mobile_has_fewer_channels_and_smaller_l2() {
+        let m = MemoryConfig::mobile_like(8);
+        let d = MemoryConfig::rtx2060_like(8);
+        assert!(m.dram_channels < d.dram_channels);
+        assert!(m.l2_bytes < d.l2_bytes);
+        assert!(m.dram_peak_bytes_per_cycle() < d.dram_peak_bytes_per_cycle());
+    }
+
+    #[test]
+    fn default_is_30_sm_desktop() {
+        assert_eq!(MemoryConfig::default(), MemoryConfig::rtx2060_like(30));
+    }
+}

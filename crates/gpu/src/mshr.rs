@@ -1,0 +1,168 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! When two requests miss on the same cache line while the first fill is
+//! still in flight, real GPU caches merge the second into the pending
+//! fill instead of issuing a duplicate memory request. Without this,
+//! CoopRT's burst of parallel node fetches would overcount DRAM traffic
+//! whenever different warps (or SMs, at the L2) chase the same subtree.
+
+use std::collections::HashMap;
+
+/// Counters of MSHR behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MshrStats {
+    /// Misses that allocated a new entry (went to the next level).
+    pub allocations: u64,
+    /// Misses merged into an in-flight fill.
+    pub merges: u64,
+}
+
+/// A table of in-flight line fills: line index → completion cycle.
+///
+/// # Examples
+///
+/// ```
+/// use cooprt_gpu::Mshr;
+///
+/// let mut mshr = Mshr::new(8);
+/// assert_eq!(mshr.lookup(42, 100), None); // nothing in flight
+/// mshr.insert(42, 500, 100);
+/// // A second miss on line 42 at cycle 200 merges into the fill.
+/// assert_eq!(mshr.lookup(42, 200), Some(500));
+/// // After the fill lands, the entry is gone.
+/// assert_eq!(mshr.lookup(42, 501), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mshr {
+    inflight: HashMap<u64, u64>,
+    capacity: usize,
+    stats: MshrStats,
+}
+
+impl Mshr {
+    /// Creates an MSHR table with space for `capacity` in-flight lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR table needs at least one entry");
+        Mshr { inflight: HashMap::new(), capacity, stats: MshrStats::default() }
+    }
+
+    /// If a fill for `line` is in flight at time `now`, returns its
+    /// completion cycle (a merge). Expired entries are evicted lazily.
+    pub fn lookup(&mut self, line: u64, now: u64) -> Option<u64> {
+        match self.inflight.get(&line) {
+            Some(&done) if done > now => {
+                self.stats.merges += 1;
+                Some(done)
+            }
+            Some(_) => {
+                self.inflight.remove(&line);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Records a new in-flight fill for `line` completing at `done`.
+    ///
+    /// If the table is full, completed entries are reclaimed first; if
+    /// all entries are still pending, the *earliest-completing* one is
+    /// dropped (it stops merging future requests — a conservative,
+    /// deadlock-free approximation of MSHR back-pressure).
+    pub fn insert(&mut self, line: u64, done: u64, now: u64) {
+        self.stats.allocations += 1;
+        if self.inflight.len() >= self.capacity {
+            self.inflight.retain(|_, &mut d| d > now);
+        }
+        if self.inflight.len() >= self.capacity {
+            if let Some((&victim, _)) = self.inflight.iter().min_by_key(|(_, &d)| d) {
+                self.inflight.remove(&victim);
+            }
+        }
+        self.inflight.insert(line, done);
+    }
+
+    /// MSHR counters.
+    pub fn stats(&self) -> MshrStats {
+        self.stats
+    }
+
+    /// Number of fills currently tracked (including possibly expired
+    /// entries awaiting lazy eviction).
+    pub fn occupancy(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_before_any_insert_misses() {
+        let mut m = Mshr::new(4);
+        assert_eq!(m.lookup(1, 0), None);
+        assert_eq!(m.stats().merges, 0);
+    }
+
+    #[test]
+    fn merge_returns_original_completion() {
+        let mut m = Mshr::new(4);
+        m.insert(7, 300, 100);
+        assert_eq!(m.lookup(7, 150), Some(300));
+        assert_eq!(m.lookup(7, 299), Some(300));
+        assert_eq!(m.stats().merges, 2);
+    }
+
+    #[test]
+    fn expired_entries_do_not_merge() {
+        let mut m = Mshr::new(4);
+        m.insert(7, 300, 100);
+        assert_eq!(m.lookup(7, 300), None, "completion cycle itself is no longer in flight");
+        assert_eq!(m.occupancy(), 0, "expired entry reclaimed lazily");
+    }
+
+    #[test]
+    fn capacity_reclaims_completed_first() {
+        let mut m = Mshr::new(2);
+        m.insert(1, 50, 0);
+        m.insert(2, 500, 0);
+        // At cycle 100, entry 1 has completed: inserting a third line
+        // reclaims it and keeps entry 2.
+        m.insert(3, 600, 100);
+        assert_eq!(m.lookup(2, 200), Some(500));
+        assert_eq!(m.lookup(3, 200), Some(600));
+    }
+
+    #[test]
+    fn full_table_of_pending_fills_drops_earliest() {
+        let mut m = Mshr::new(2);
+        m.insert(1, 400, 0);
+        m.insert(2, 900, 0);
+        m.insert(3, 700, 10); // drops line 1 (earliest completion)
+        assert_eq!(m.lookup(1, 20), None);
+        assert_eq!(m.lookup(2, 20), Some(900));
+        assert_eq!(m.lookup(3, 20), Some(700));
+    }
+
+    #[test]
+    fn stats_count_allocations_and_merges() {
+        let mut m = Mshr::new(8);
+        m.insert(1, 100, 0);
+        m.insert(2, 100, 0);
+        let _ = m.lookup(1, 50);
+        let _ = m.lookup(9, 50);
+        let s = m.stats();
+        assert_eq!(s.allocations, 2);
+        assert_eq!(s.merges, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = Mshr::new(0);
+    }
+}

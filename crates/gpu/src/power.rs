@@ -1,0 +1,243 @@
+//! GpuWattch-style power and energy model.
+//!
+//! The paper uses GpuWattch (shipped with Vulkan-sim) to report the
+//! power, energy and EDP results of Figs. 9, 15 and 18. GpuWattch is an
+//! event-energy model: every architectural event (cache access, DRAM
+//! transfer, functional-unit operation) costs a fixed dynamic energy, and
+//! leakage accrues per cycle. This module reproduces that structure with
+//! per-event energies in the right relative proportions; absolute watts
+//! are not meaningful (nor are they in the paper's normalized figures).
+
+use crate::MemStats;
+
+/// Counts of energy-consuming events gathered during a simulation.
+///
+/// Memory events come from [`MemStats`]; compute events are incremented
+/// by the RT-unit model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnergyEvents {
+    /// Ray/box intersection tests.
+    pub box_tests: u64,
+    /// Ray/triangle intersection tests.
+    pub triangle_tests: u64,
+    /// Traversal-stack pushes and pops.
+    pub stack_ops: u64,
+    /// Load Balancing Unit node transfers (CoopRT only).
+    pub lbu_moves: u64,
+    /// Warp-scheduler decisions in the RT unit.
+    pub scheduler_ops: u64,
+    /// `trace_ray` instructions dispatched to RT units.
+    pub trace_instructions: u64,
+}
+
+impl EnergyEvents {
+    /// Accumulates another event set into this one.
+    pub fn add(&mut self, other: &EnergyEvents) {
+        self.box_tests += other.box_tests;
+        self.triangle_tests += other.triangle_tests;
+        self.stack_ops += other.stack_ops;
+        self.lbu_moves += other.lbu_moves;
+        self.scheduler_ops += other.scheduler_ops;
+        self.trace_instructions += other.trace_instructions;
+    }
+}
+
+/// Per-event energies (picojoules) and leakage (watts).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerModel {
+    /// Energy per L1 access, pJ.
+    pub l1_access_pj: f64,
+    /// Energy per L2 access, pJ.
+    pub l2_access_pj: f64,
+    /// Energy per byte transferred from DRAM, pJ.
+    pub dram_byte_pj: f64,
+    /// Energy per ray/box test, pJ.
+    pub box_test_pj: f64,
+    /// Energy per ray/triangle test, pJ.
+    pub triangle_test_pj: f64,
+    /// Energy per stack operation, pJ.
+    pub stack_op_pj: f64,
+    /// Energy per LBU node move, pJ.
+    pub lbu_move_pj: f64,
+    /// Energy per scheduler decision, pJ.
+    pub scheduler_op_pj: f64,
+    /// Static (leakage) power per SM, watts.
+    pub leakage_w_per_sm: f64,
+}
+
+impl PowerModel {
+    /// Energies in GpuWattch-like proportions for a 12 nm desktop part.
+    ///
+    /// The tracked events are *proxies* for total switching activity:
+    /// GpuWattch also charges instruction fetch/decode, register-file
+    /// and operand-collector activity per operation, so each tracked
+    /// event here carries the energy of the whole pipeline slice it
+    /// represents. The calibration target is the paper's Fig. 9 energy
+    /// balance — dynamic energy ≈ 8x leakage at baseline, which yields
+    /// the reported "power ~2x, energy ~0.94x" shape when CoopRT halves
+    /// the runtime at constant traversal work.
+    pub fn gpuwattch_like() -> Self {
+        PowerModel {
+            l1_access_pj: 250.0,
+            l2_access_pj: 900.0,
+            dram_byte_pj: 150.0,
+            box_test_pj: 80.0,
+            triangle_test_pj: 200.0,
+            stack_op_pj: 15.0,
+            lbu_move_pj: 30.0,
+            scheduler_op_pj: 20.0,
+            leakage_w_per_sm: 0.08,
+        }
+    }
+
+    /// Computes the energy report for one simulation.
+    ///
+    /// `cycles` is the simulated duration; `sm_count` and
+    /// `core_clock_mhz` convert leakage power into energy.
+    pub fn report(
+        &self,
+        events: &EnergyEvents,
+        mem: &MemStats,
+        cycles: u64,
+        sm_count: usize,
+        core_clock_mhz: f64,
+    ) -> EnergyReport {
+        let dynamic_pj = events.box_tests as f64 * self.box_test_pj
+            + events.triangle_tests as f64 * self.triangle_test_pj
+            + events.stack_ops as f64 * self.stack_op_pj
+            + events.lbu_moves as f64 * self.lbu_move_pj
+            + events.scheduler_ops as f64 * self.scheduler_op_pj
+            + mem.l1.accesses as f64 * self.l1_access_pj
+            + mem.l2.accesses as f64 * self.l2_access_pj
+            + mem.dram_bytes as f64 * self.dram_byte_pj;
+        let seconds = cycles as f64 / (core_clock_mhz * 1.0e6);
+        let static_j = self.leakage_w_per_sm * sm_count as f64 * seconds;
+        let dynamic_j = dynamic_pj * 1.0e-12;
+        EnergyReport { dynamic_j, static_j, seconds, cycles }
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::gpuwattch_like()
+    }
+}
+
+/// Energy/power/EDP summary of one simulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyReport {
+    /// Dynamic (event) energy, joules.
+    pub dynamic_j: f64,
+    /// Static (leakage) energy, joules.
+    pub static_j: f64,
+    /// Simulated wall time, seconds.
+    pub seconds: f64,
+    /// Simulated duration in core cycles.
+    pub cycles: u64,
+}
+
+impl EnergyReport {
+    /// Total energy, joules.
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j + self.static_j
+    }
+
+    /// Average power, watts.
+    pub fn avg_power_w(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.total_j() / self.seconds
+        }
+    }
+
+    /// Energy-delay product, joule-seconds (lower is better).
+    pub fn edp(&self) -> f64 {
+        self.total_j() * self.seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheStats;
+
+    fn mem(l1: u64, l2: u64, dram_bytes: u64) -> MemStats {
+        MemStats {
+            l1: CacheStats { accesses: l1, hits: 0 },
+            l2: CacheStats { accesses: l2, hits: 0 },
+            dram: Default::default(),
+            l2_bytes: 0,
+            dram_bytes,
+            prefetches: 0,
+            l1_mshr: Default::default(),
+            l2_mshr: Default::default(),
+        }
+    }
+
+    #[test]
+    fn dynamic_energy_scales_with_events() {
+        let pm = PowerModel::gpuwattch_like();
+        let mut e = EnergyEvents { box_tests: 1000, ..Default::default() };
+        let r1 = pm.report(&e, &mem(0, 0, 0), 1000, 1, 1000.0);
+        e.box_tests = 2000;
+        let r2 = pm.report(&e, &mem(0, 0, 0), 1000, 1, 1000.0);
+        assert!((r2.dynamic_j - 2.0 * r1.dynamic_j).abs() < 1e-18);
+    }
+
+    #[test]
+    fn static_energy_scales_with_time_and_sms() {
+        let pm = PowerModel::gpuwattch_like();
+        let e = EnergyEvents::default();
+        let r1 = pm.report(&e, &mem(0, 0, 0), 1000, 1, 1000.0);
+        let r2 = pm.report(&e, &mem(0, 0, 0), 2000, 1, 1000.0);
+        let r3 = pm.report(&e, &mem(0, 0, 0), 1000, 2, 1000.0);
+        assert!((r2.static_j - 2.0 * r1.static_j).abs() < 1e-15);
+        assert!((r3.static_j - 2.0 * r1.static_j).abs() < 1e-15);
+    }
+
+    #[test]
+    fn same_work_in_less_time_raises_power_lowers_energy() {
+        // CoopRT's Fig. 9 shape: identical dynamic work, half the cycles.
+        let pm = PowerModel::gpuwattch_like();
+        let e = EnergyEvents {
+            box_tests: 1_000_000,
+            triangle_tests: 100_000,
+            ..Default::default()
+        };
+        let m = mem(500_000, 100_000, 1_000_000);
+        let slow = pm.report(&e, &m, 2_000_000, 30, 1365.0);
+        let fast = pm.report(&e, &m, 1_000_000, 30, 1365.0);
+        assert!(fast.avg_power_w() > slow.avg_power_w());
+        assert!(fast.total_j() < slow.total_j());
+        assert!(fast.edp() < slow.edp());
+    }
+
+    #[test]
+    fn report_arithmetic() {
+        let r = EnergyReport { dynamic_j: 3.0, static_j: 1.0, seconds: 2.0, cycles: 100 };
+        assert_eq!(r.total_j(), 4.0);
+        assert_eq!(r.avg_power_w(), 2.0);
+        assert_eq!(r.edp(), 8.0);
+        let zero = EnergyReport { dynamic_j: 0.0, static_j: 0.0, seconds: 0.0, cycles: 0 };
+        assert_eq!(zero.avg_power_w(), 0.0);
+    }
+
+    #[test]
+    fn events_accumulate() {
+        let mut a = EnergyEvents { box_tests: 1, triangle_tests: 2, ..Default::default() };
+        let b = EnergyEvents { box_tests: 10, lbu_moves: 5, ..Default::default() };
+        a.add(&b);
+        assert_eq!(a.box_tests, 11);
+        assert_eq!(a.triangle_tests, 2);
+        assert_eq!(a.lbu_moves, 5);
+    }
+
+    #[test]
+    fn lbu_energy_is_small_relative_to_memory() {
+        // The paper's premise: CoopRT's added hardware is cheap. One LBU
+        // move must cost far less than one L2 access.
+        let pm = PowerModel::gpuwattch_like();
+        assert!(pm.lbu_move_pj * 10.0 < pm.l2_access_pj);
+    }
+}

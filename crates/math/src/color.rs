@@ -1,0 +1,147 @@
+//! Linear RGB color.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A linear-space RGB color with `f32` channels.
+///
+/// # Examples
+///
+/// ```
+/// use cooprt_math::Rgb;
+///
+/// let c = Rgb::new(0.5, 0.25, 1.0) * 2.0;
+/// assert_eq!(c, Rgb::new(1.0, 0.5, 2.0));
+/// assert_eq!(c.clamped().b, 1.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: f32,
+    /// Green channel.
+    pub g: f32,
+    /// Blue channel.
+    pub b: f32,
+}
+
+impl Rgb {
+    /// Pure black (all channels zero).
+    pub const BLACK: Rgb = Rgb { r: 0.0, g: 0.0, b: 0.0 };
+    /// Pure white (all channels one).
+    pub const WHITE: Rgb = Rgb { r: 1.0, g: 1.0, b: 1.0 };
+
+    /// Creates a color from its channels.
+    #[inline]
+    pub const fn new(r: f32, g: f32, b: f32) -> Self {
+        Rgb { r, g, b }
+    }
+
+    /// Creates a gray color with all channels equal to `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Rgb { r: v, g: v, b: v }
+    }
+
+    /// Channel-wise product (filter/attenuation).
+    #[inline]
+    pub fn attenuate(self, other: Rgb) -> Rgb {
+        Rgb { r: self.r * other.r, g: self.g * other.g, b: self.b * other.b }
+    }
+
+    /// Perceptual luminance (Rec. 709 weights).
+    #[inline]
+    pub fn luminance(self) -> f32 {
+        0.2126 * self.r + 0.7152 * self.g + 0.0722 * self.b
+    }
+
+    /// Clamps every channel to `[0, 1]`.
+    #[inline]
+    pub fn clamped(self) -> Rgb {
+        Rgb { r: self.r.clamp(0.0, 1.0), g: self.g.clamp(0.0, 1.0), b: self.b.clamp(0.0, 1.0) }
+    }
+
+    /// Converts to 8-bit sRGB (gamma 2.0, matching the reference tracer).
+    pub fn to_srgb8(self) -> [u8; 3] {
+        let c = self.clamped();
+        [
+            (c.r.sqrt() * 255.0) as u8,
+            (c.g.sqrt() * 255.0) as u8,
+            (c.b.sqrt() * 255.0) as u8,
+        ]
+    }
+}
+
+impl Add for Rgb {
+    type Output = Rgb;
+    #[inline]
+    fn add(self, rhs: Rgb) -> Rgb {
+        Rgb { r: self.r + rhs.r, g: self.g + rhs.g, b: self.b + rhs.b }
+    }
+}
+
+impl AddAssign for Rgb {
+    #[inline]
+    fn add_assign(&mut self, rhs: Rgb) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<f32> for Rgb {
+    type Output = Rgb;
+    #[inline]
+    fn mul(self, rhs: f32) -> Rgb {
+        Rgb { r: self.r * rhs, g: self.g * rhs, b: self.b * rhs }
+    }
+}
+
+impl Sum for Rgb {
+    fn sum<I: Iterator<Item = Rgb>>(iter: I) -> Rgb {
+        iter.fold(Rgb::BLACK, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Rgb::new(0.1, 0.2, 0.3);
+        let b = Rgb::new(0.4, 0.5, 0.6);
+        let c = a + b;
+        assert!((c.r - 0.5).abs() < 1e-6);
+        assert_eq!(a * 2.0, Rgb::new(0.2, 0.4, 0.6));
+        let mut d = Rgb::BLACK;
+        d += Rgb::WHITE;
+        assert_eq!(d, Rgb::WHITE);
+    }
+
+    #[test]
+    fn attenuate_is_channelwise() {
+        let filter = Rgb::new(1.0, 0.5, 0.0);
+        let light = Rgb::splat(0.8);
+        assert_eq!(light.attenuate(filter), Rgb::new(0.8, 0.4, 0.0));
+    }
+
+    #[test]
+    fn luminance_weights_sum_to_one() {
+        assert!((Rgb::WHITE.luminance() - 1.0).abs() < 1e-4);
+        assert_eq!(Rgb::BLACK.luminance(), 0.0);
+    }
+
+    #[test]
+    fn clamp_and_srgb() {
+        let c = Rgb::new(2.0, -1.0, 0.25);
+        assert_eq!(c.clamped(), Rgb::new(1.0, 0.0, 0.25));
+        let px = c.to_srgb8();
+        assert_eq!(px[0], 255);
+        assert_eq!(px[1], 0);
+        assert_eq!(px[2], 127); // sqrt(0.25) * 255
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: Rgb = (0..4).map(|_| Rgb::splat(0.25)).sum();
+        assert!((total.r - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,201 @@
+//! Image buffers, PPM encoding and quality metrics.
+//!
+//! The simulator's output is a linear-RGB framebuffer; this module gives
+//! it a home ([`Image`]) with binary-PPM serialization for the examples
+//! and MSE/PSNR metrics for regression comparisons.
+
+use crate::Rgb;
+
+/// A row-major image of linear [`Rgb`] pixels, row 0 at the *bottom*
+/// (the camera's `v = 0`).
+///
+/// # Examples
+///
+/// ```
+/// use cooprt_math::{Image, Rgb};
+///
+/// let mut img = Image::new(2, 2);
+/// img.set(0, 0, Rgb::WHITE);
+/// assert_eq!(*img.get(0, 0), Rgb::WHITE);
+/// assert_eq!(img.to_ppm().len(), 11 + 12); // "P6\n2 2\n255\n" + 4 RGB pixels
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<Rgb>,
+}
+
+impl Image {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Image { width, height, pixels: vec![Rgb::BLACK; width * height] }
+    }
+
+    /// Wraps an existing pixel buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height` or a dimension is 0.
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<Rgb>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        assert_eq!(pixels.len(), width * height, "pixel count must match dimensions");
+        Image { width, height, pixels }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> &Rgb {
+        assert!(x < self.width && y < self.height, "pixel ({x}, {y}) out of bounds");
+        &self.pixels[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, color: Rgb) {
+        assert!(x < self.width && y < self.height, "pixel ({x}, {y}) out of bounds");
+        self.pixels[y * self.width + x] = color;
+    }
+
+    /// The underlying row-major pixel slice.
+    pub fn pixels(&self) -> &[Rgb] {
+        &self.pixels
+    }
+
+    /// Encodes as binary PPM (P6), top row first, gamma-2 sRGB.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        for y in (0..self.height).rev() {
+            for x in 0..self.width {
+                out.extend_from_slice(&self.get(x, y).to_srgb8());
+            }
+        }
+        out
+    }
+
+    /// Mean squared error against another image, averaged over pixels
+    /// and channels (linear space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn mse(&self, other: &Image) -> f64 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "image dimensions must match"
+        );
+        let mut sum = 0.0f64;
+        for (a, b) in self.pixels.iter().zip(&other.pixels) {
+            sum += (a.r - b.r).powi(2) as f64
+                + (a.g - b.g).powi(2) as f64
+                + (a.b - b.b).powi(2) as f64;
+        }
+        sum / (self.pixels.len() * 3) as f64
+    }
+
+    /// Peak signal-to-noise ratio in dB against `other`, assuming a
+    /// peak value of 1.0; `f64::INFINITY` for identical images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn psnr(&self, other: &Image) -> f64 {
+        let mse = self.mse(other);
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            -10.0 * mse.log10()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut img = Image::new(3, 2);
+        assert_eq!(img.width(), 3);
+        assert_eq!(img.height(), 2);
+        assert_eq!(*img.get(2, 1), Rgb::BLACK);
+        img.set(2, 1, Rgb::new(0.5, 0.25, 1.0));
+        assert_eq!(img.get(2, 1).g, 0.25);
+    }
+
+    #[test]
+    fn from_pixels_roundtrips() {
+        let px = vec![Rgb::WHITE, Rgb::BLACK, Rgb::splat(0.5), Rgb::splat(0.1)];
+        let img = Image::from_pixels(2, 2, px.clone());
+        assert_eq!(img.pixels(), px.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count")]
+    fn from_pixels_rejects_mismatch() {
+        let _ = Image::from_pixels(2, 2, vec![Rgb::BLACK; 3]);
+    }
+
+    #[test]
+    fn ppm_layout() {
+        let mut img = Image::new(2, 2);
+        img.set(0, 1, Rgb::WHITE); // top-left in PPM order
+        let ppm = img.to_ppm();
+        let header = b"P6\n2 2\n255\n";
+        assert_eq!(&ppm[..header.len()], header);
+        // First pixel after the header is the top-left one (white).
+        assert_eq!(&ppm[header.len()..header.len() + 3], &[255, 255, 255]);
+        // Bottom-left (0,0) is black and comes in the second row.
+        assert_eq!(&ppm[header.len() + 6..header.len() + 9], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn mse_and_psnr() {
+        let a = Image::from_pixels(1, 2, vec![Rgb::BLACK, Rgb::WHITE]);
+        let b = a.clone();
+        assert_eq!(a.mse(&b), 0.0);
+        assert_eq!(a.psnr(&b), f64::INFINITY);
+        let c = Image::from_pixels(1, 2, vec![Rgb::splat(0.5), Rgb::WHITE]);
+        // 3 channels differ by 0.5 out of 6 channel samples.
+        assert!((a.mse(&c) - 3.0 * 0.25 / 6.0).abs() < 1e-12);
+        assert!(a.psnr(&c) > 0.0);
+        assert!(a.psnr(&c).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn mse_rejects_mismatched_sizes() {
+        let a = Image::new(2, 2);
+        let b = Image::new(2, 3);
+        let _ = a.mse(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let img = Image::new(2, 2);
+        let _ = img.get(2, 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Geometry kernel for the CoopRT reproduction.
+//!
+//! This crate provides the numeric foundation that every other crate in the
+//! workspace builds on: 3-component vectors ([`Vec3`]), rays ([`Ray`]),
+//! axis-aligned bounding boxes ([`Aabb`]) with the slab intersection test
+//! used by RT-unit hardware, triangles ([`Triangle`]) with the
+//! Möller–Trumbore intersection test, orthonormal bases ([`Onb`]) for
+//! cosine-weighted scattering, and a small color type ([`Rgb`]).
+//!
+//! Everything is `f32`, matching the precision of the GPU hardware the
+//! CoopRT paper models.
+//!
+//! # Examples
+//!
+//! ```
+//! use cooprt_math::{Aabb, Ray, Vec3};
+//!
+//! let bbox = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+//! let ray = Ray::new(Vec3::new(0.5, 0.5, -1.0), Vec3::new(0.0, 0.0, 1.0));
+//! let hit = bbox.intersect(&ray, f32::INFINITY);
+//! assert_eq!(hit, Some(1.0));
+//! ```
+
+mod aabb;
+mod color;
+mod image;
+mod onb;
+mod ray;
+mod sampling;
+mod triangle;
+mod vec3;
+
+pub use aabb::Aabb;
+pub use color::Rgb;
+pub use image::Image;
+pub use onb::Onb;
+pub use ray::Ray;
+pub use sampling::{cosine_hemisphere, unit_disk, unit_sphere};
+pub use triangle::{Triangle, TriangleHit};
+pub use vec3::Vec3;
+
+/// Epsilon used to pad degenerate bounding boxes and reject grazing
+/// triangle hits, mirroring the tolerance used by GPU traversal hardware.
+pub const GEOM_EPSILON: f32 = 1.0e-6;

@@ -1,0 +1,97 @@
+//! Orthonormal bases for hemisphere sampling.
+
+use crate::Vec3;
+
+/// An orthonormal basis built around a normal vector.
+///
+/// Used by the shader drivers to turn canonical hemisphere samples into
+/// world-space scatter directions.
+///
+/// # Examples
+///
+/// ```
+/// use cooprt_math::{Onb, Vec3};
+///
+/// let onb = Onb::from_w(Vec3::Y);
+/// let world = onb.to_world(Vec3::new(0.0, 0.0, 1.0));
+/// assert!((world - Vec3::Y).length() < 1e-6);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Onb {
+    /// First tangent.
+    pub u: Vec3,
+    /// Second tangent.
+    pub v: Vec3,
+    /// The input normal (basis "up" direction).
+    pub w: Vec3,
+}
+
+impl Onb {
+    /// Builds a basis whose `w` axis is the (normalized) input vector.
+    ///
+    /// Uses the branch-free Duff et al. construction, stable for all unit
+    /// inputs including the poles.
+    pub fn from_w(w: Vec3) -> Self {
+        let w = w.normalized();
+        let sign = if w.z >= 0.0 { 1.0 } else { -1.0 };
+        let a = -1.0 / (sign + w.z);
+        let b = w.x * w.y * a;
+        let u = Vec3::new(1.0 + sign * w.x * w.x * a, sign * b, -sign * w.x);
+        let v = Vec3::new(b, sign + w.y * w.y * a, -w.y);
+        Onb { u, v, w }
+    }
+
+    /// Transforms a vector from basis coordinates to world coordinates.
+    #[inline]
+    pub fn to_world(&self, local: Vec3) -> Vec3 {
+        self.u * local.x + self.v * local.y + self.w * local.z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthonormal(onb: &Onb) {
+        assert!((onb.u.length() - 1.0).abs() < 1e-5, "u not unit: {:?}", onb.u);
+        assert!((onb.v.length() - 1.0).abs() < 1e-5, "v not unit: {:?}", onb.v);
+        assert!((onb.w.length() - 1.0).abs() < 1e-5, "w not unit: {:?}", onb.w);
+        assert!(onb.u.dot(onb.v).abs() < 1e-5);
+        assert!(onb.u.dot(onb.w).abs() < 1e-5);
+        assert!(onb.v.dot(onb.w).abs() < 1e-5);
+    }
+
+    #[test]
+    fn basis_is_orthonormal_for_cardinal_axes() {
+        for w in [Vec3::X, Vec3::Y, Vec3::Z, -Vec3::X, -Vec3::Y, -Vec3::Z] {
+            assert_orthonormal(&Onb::from_w(w));
+        }
+    }
+
+    #[test]
+    fn basis_is_orthonormal_for_oblique_axes() {
+        for w in [
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(-0.3, 0.9, -0.1),
+            Vec3::new(0.0, -1.0, 1.0),
+        ] {
+            assert_orthonormal(&Onb::from_w(w));
+        }
+    }
+
+    #[test]
+    fn to_world_maps_z_to_w() {
+        let w = Vec3::new(0.2, -0.5, 0.8).normalized();
+        let onb = Onb::from_w(w);
+        let mapped = onb.to_world(Vec3::Z);
+        assert!((mapped - w).length() < 1e-5);
+    }
+
+    #[test]
+    fn to_world_preserves_length() {
+        let onb = Onb::from_w(Vec3::new(1.0, 1.0, 1.0));
+        let local = Vec3::new(0.3, -0.4, 0.5);
+        let world = onb.to_world(local);
+        assert!((world.length() - local.length()).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Rays with precomputed reciprocal direction for slab tests.
+
+use crate::Vec3;
+
+/// A ray with origin, direction and precomputed reciprocal direction.
+///
+/// The reciprocal direction (`inv_dir`) is computed once at construction so
+/// that the AABB slab test — executed millions of times per frame by the RT
+/// unit — needs only multiplies, exactly as the ray/box test hardware does.
+///
+/// # Examples
+///
+/// ```
+/// use cooprt_math::{Ray, Vec3};
+///
+/// let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 2.0));
+/// // Direction is normalized on construction.
+/// assert!((ray.dir.length() - 1.0).abs() < 1e-6);
+/// assert_eq!(ray.at(3.0), Vec3::new(0.0, 0.0, 3.0));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ray {
+    /// Ray origin.
+    pub orig: Vec3,
+    /// Unit-length ray direction.
+    pub dir: Vec3,
+    /// Component-wise reciprocal of `dir`.
+    pub inv_dir: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray, normalizing `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `dir` has zero length.
+    #[inline]
+    pub fn new(orig: Vec3, dir: Vec3) -> Self {
+        let dir = dir.normalized();
+        Ray { orig, dir, inv_dir: dir.recip() }
+    }
+
+    /// Creates a ray from an already-normalized direction.
+    ///
+    /// Skips the normalization of [`Ray::new`]; the caller must guarantee
+    /// `dir` is unit length (checked in debug builds).
+    #[inline]
+    pub fn from_unit(orig: Vec3, dir: Vec3) -> Self {
+        debug_assert!((dir.length() - 1.0).abs() < 1e-4, "direction must be unit length");
+        Ray { orig, dir, inv_dir: dir.recip() }
+    }
+
+    /// Point at parameter `t` along the ray.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.orig + self.dir * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_direction() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(0.0, 10.0, 0.0));
+        assert_eq!(r.dir, Vec3::Y);
+        assert_eq!(r.inv_dir.y, 1.0);
+    }
+
+    #[test]
+    fn at_walks_along_direction() {
+        let r = Ray::new(Vec3::new(1.0, 0.0, 0.0), Vec3::X);
+        assert_eq!(r.at(0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(r.at(2.5), Vec3::new(3.5, 0.0, 0.0));
+    }
+
+    #[test]
+    fn inv_dir_matches_reciprocal() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(1.0, 2.0, -2.0));
+        let d = r.dir;
+        assert!((r.inv_dir.x - 1.0 / d.x).abs() < 1e-6);
+        assert!((r.inv_dir.y - 1.0 / d.y).abs() < 1e-6);
+        assert!((r.inv_dir.z - 1.0 / d.z).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axis_aligned_ray_has_infinite_inv_components() {
+        let r = Ray::new(Vec3::ZERO, Vec3::Z);
+        assert!(r.inv_dir.x.is_infinite());
+        assert!(r.inv_dir.y.is_infinite());
+        assert_eq!(r.inv_dir.z, 1.0);
+    }
+}

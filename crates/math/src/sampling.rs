@@ -1,0 +1,99 @@
+//! Deterministic sampling routines used by the shader drivers.
+
+use crate::Vec3;
+use rand::{Rng, RngExt};
+
+/// Samples a uniformly distributed point inside the unit sphere.
+///
+/// Used to perturb Lambertian scatter directions, matching the reference
+/// path tracer ("Ray Tracing in One Weekend" style) that RayTracingInVulkan
+/// — the paper's workload — derives from.
+pub fn unit_sphere<R: Rng + ?Sized>(rng: &mut R) -> Vec3 {
+    loop {
+        let p = Vec3::new(
+            rng.random_range(-1.0f32..1.0),
+            rng.random_range(-1.0f32..1.0),
+            rng.random_range(-1.0f32..1.0),
+        );
+        if p.length_squared() < 1.0 && p.length_squared() > 1e-12 {
+            return p;
+        }
+    }
+}
+
+/// Samples a uniformly distributed point inside the unit disk (z = 0).
+///
+/// Used for thin-lens camera defocus.
+pub fn unit_disk<R: Rng + ?Sized>(rng: &mut R) -> Vec3 {
+    loop {
+        let p = Vec3::new(rng.random_range(-1.0f32..1.0), rng.random_range(-1.0f32..1.0), 0.0);
+        if p.length_squared() < 1.0 {
+            return p;
+        }
+    }
+}
+
+/// Samples a cosine-weighted direction on the +Z hemisphere
+/// (local/tangent space). Transform with [`crate::Onb::to_world`].
+pub fn cosine_hemisphere<R: Rng + ?Sized>(rng: &mut R) -> Vec3 {
+    let r1: f32 = rng.random();
+    let r2: f32 = rng.random();
+    let phi = 2.0 * std::f32::consts::PI * r1;
+    let sqrt_r2 = r2.sqrt();
+    Vec3::new(phi.cos() * sqrt_r2, phi.sin() * sqrt_r2, (1.0f32 - r2).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unit_sphere_points_are_inside() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let p = unit_sphere(&mut rng);
+            assert!(p.length_squared() < 1.0);
+        }
+    }
+
+    #[test]
+    fn unit_disk_points_are_planar_and_inside() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let p = unit_disk(&mut rng);
+            assert_eq!(p.z, 0.0);
+            assert!(p.length_squared() < 1.0);
+        }
+    }
+
+    #[test]
+    fn cosine_hemisphere_points_upward_and_unit() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..200 {
+            let d = cosine_hemisphere(&mut rng);
+            assert!(d.z >= 0.0);
+            assert!((d.length() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            assert_eq!(unit_sphere(&mut a), unit_sphere(&mut b));
+        }
+    }
+
+    #[test]
+    fn cosine_hemisphere_mean_is_biased_toward_pole() {
+        // E[cos theta] = 2/3 for cosine-weighted sampling.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 4000;
+        let mean_z: f32 =
+            (0..n).map(|_| cosine_hemisphere(&mut rng).z).sum::<f32>() / n as f32;
+        assert!((mean_z - 2.0 / 3.0).abs() < 0.03, "mean z = {mean_z}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Triangles and the Möller–Trumbore intersection test.
+
+use crate::{Aabb, Ray, Vec3, GEOM_EPSILON};
+
+/// A triangle primitive, the leaf geometry of the BVH.
+///
+/// # Examples
+///
+/// ```
+/// use cooprt_math::{Ray, Triangle, Vec3};
+///
+/// let tri = Triangle::new(
+///     Vec3::new(0.0, 0.0, 0.0),
+///     Vec3::new(1.0, 0.0, 0.0),
+///     Vec3::new(0.0, 1.0, 0.0),
+/// );
+/// let ray = Ray::new(Vec3::new(0.25, 0.25, -1.0), Vec3::Z);
+/// let hit = tri.intersect(&ray, f32::INFINITY).expect("should hit");
+/// assert!((hit.t - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Triangle {
+    /// First vertex.
+    pub v0: Vec3,
+    /// Second vertex.
+    pub v1: Vec3,
+    /// Third vertex.
+    pub v2: Vec3,
+}
+
+/// Result of a ray/triangle intersection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TriangleHit {
+    /// Hit distance along the ray.
+    pub t: f32,
+    /// Barycentric coordinate along the `v0 -> v1` edge.
+    pub u: f32,
+    /// Barycentric coordinate along the `v0 -> v2` edge.
+    pub v: f32,
+}
+
+impl Triangle {
+    /// Creates a triangle from three vertices.
+    #[inline]
+    pub const fn new(v0: Vec3, v1: Vec3, v2: Vec3) -> Self {
+        Triangle { v0, v1, v2 }
+    }
+
+    /// Bounding box of the triangle, padded along degenerate axes so that
+    /// axis-aligned triangles still form valid slabs.
+    #[inline]
+    pub fn bounds(&self) -> Aabb {
+        Aabb::new(self.v0.min(self.v1).min(self.v2), self.v0.max(self.v1).max(self.v2)).padded()
+    }
+
+    /// Centroid (average of the three vertices), used for SAH binning.
+    #[inline]
+    pub fn centroid(&self) -> Vec3 {
+        (self.v0 + self.v1 + self.v2) / 3.0
+    }
+
+    /// Geometric (unnormalized direction, unit length) normal.
+    ///
+    /// Orientation follows the right-hand rule over `(v1-v0, v2-v0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds for degenerate (zero-area) triangles.
+    #[inline]
+    pub fn normal(&self) -> Vec3 {
+        (self.v1 - self.v0).cross(self.v2 - self.v0).normalized()
+    }
+
+    /// Twice the triangle's area (cheap degeneracy check).
+    #[inline]
+    pub fn double_area(&self) -> f32 {
+        (self.v1 - self.v0).cross(self.v2 - self.v0).length()
+    }
+
+    /// Möller–Trumbore ray/triangle intersection, as performed by the RT
+    /// unit's ray-triangle units.
+    ///
+    /// Returns the hit with `GEOM_EPSILON < t < t_max`, if any. Backfacing
+    /// triangles are reported too (no culling), matching the behaviour of
+    /// hardware closest-hit queries.
+    #[inline]
+    pub fn intersect(&self, ray: &Ray, t_max: f32) -> Option<TriangleHit> {
+        let e1 = self.v1 - self.v0;
+        let e2 = self.v2 - self.v0;
+        let p = ray.dir.cross(e2);
+        let det = e1.dot(p);
+        if det.abs() < GEOM_EPSILON {
+            return None; // Ray parallel to triangle plane.
+        }
+        let inv_det = 1.0 / det;
+        let s = ray.orig - self.v0;
+        let u = s.dot(p) * inv_det;
+        if !(0.0..=1.0).contains(&u) {
+            return None;
+        }
+        let q = s.cross(e1);
+        let v = ray.dir.dot(q) * inv_det;
+        if v < 0.0 || u + v > 1.0 {
+            return None;
+        }
+        let t = e2.dot(q) * inv_det;
+        if t > GEOM_EPSILON && t < t_max {
+            Some(TriangleHit { t, u, v })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xy_triangle() -> Triangle {
+        Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y)
+    }
+
+    #[test]
+    fn hit_inside() {
+        let t = xy_triangle();
+        let r = Ray::new(Vec3::new(0.2, 0.2, -1.0), Vec3::Z);
+        let h = t.intersect(&r, f32::INFINITY).unwrap();
+        assert!((h.t - 1.0).abs() < 1e-6);
+        assert!((h.u - 0.2).abs() < 1e-6);
+        assert!((h.v - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn miss_outside_barycentric_range() {
+        let t = xy_triangle();
+        // Point (0.9, 0.9) lies beyond the hypotenuse u+v<=1.
+        let r = Ray::new(Vec3::new(0.9, 0.9, -1.0), Vec3::Z);
+        assert!(t.intersect(&r, f32::INFINITY).is_none());
+        // Negative u.
+        let r = Ray::new(Vec3::new(-0.1, 0.5, -1.0), Vec3::Z);
+        assert!(t.intersect(&r, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn backface_hits_are_reported() {
+        let t = xy_triangle();
+        let r = Ray::new(Vec3::new(0.2, 0.2, 1.0), -Vec3::Z);
+        assert!(t.intersect(&r, f32::INFINITY).is_some());
+    }
+
+    #[test]
+    fn parallel_ray_misses() {
+        let t = xy_triangle();
+        let r = Ray::new(Vec3::new(0.0, 0.0, 1.0), Vec3::X);
+        assert!(t.intersect(&r, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn respects_t_max() {
+        let t = xy_triangle();
+        let r = Ray::new(Vec3::new(0.2, 0.2, -2.0), Vec3::Z);
+        assert!(t.intersect(&r, 1.0).is_none());
+        assert!(t.intersect(&r, 3.0).is_some());
+    }
+
+    #[test]
+    fn hit_behind_origin_is_rejected() {
+        let t = xy_triangle();
+        let r = Ray::new(Vec3::new(0.2, 0.2, 1.0), Vec3::Z);
+        assert!(t.intersect(&r, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn bounds_contain_all_vertices() {
+        let t = Triangle::new(
+            Vec3::new(-1.0, 2.0, 3.0),
+            Vec3::new(4.0, -5.0, 6.0),
+            Vec3::new(0.0, 0.0, -2.0),
+        );
+        let b = t.bounds();
+        assert!(b.contains(t.v0));
+        assert!(b.contains(t.v1));
+        assert!(b.contains(t.v2));
+    }
+
+    #[test]
+    fn bounds_of_flat_triangle_are_padded() {
+        let t = xy_triangle(); // flat in Z
+        let b = t.bounds();
+        assert!(b.max.z > b.min.z);
+    }
+
+    #[test]
+    fn normal_and_area() {
+        let t = xy_triangle();
+        assert_eq!(t.normal(), Vec3::Z);
+        assert!((t.double_area() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn centroid_is_vertex_average() {
+        let t = Triangle::new(Vec3::ZERO, Vec3::new(3.0, 0.0, 0.0), Vec3::new(0.0, 3.0, 0.0));
+        assert_eq!(t.centroid(), Vec3::new(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn hit_point_lies_on_triangle_plane() {
+        let t = Triangle::new(
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        );
+        let r = Ray::new(Vec3::ZERO, Vec3::splat(1.0));
+        let h = t.intersect(&r, f32::INFINITY).unwrap();
+        let p = r.at(h.t);
+        // Plane x + y + z = 1.
+        assert!((p.x + p.y + p.z - 1.0).abs() < 1e-5);
+    }
+}

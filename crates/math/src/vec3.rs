@@ -1,0 +1,439 @@
+//! Three-component `f32` vector.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A three-component single-precision vector used for points, directions
+/// and colors throughout the workspace.
+///
+/// # Examples
+///
+/// ```
+/// use cooprt_math::Vec3;
+///
+/// let v = Vec3::new(1.0, 2.0, 2.0);
+/// assert_eq!(v.length(), 3.0);
+/// assert_eq!(v.normalized().length(), 1.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// The all-ones vector.
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    /// Unit vector along X.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along Y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along Z.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from its three components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    ///
+    /// ```
+    /// # use cooprt_math::Vec3;
+    /// assert_eq!(Vec3::splat(2.0), Vec3::new(2.0, 2.0, 2.0));
+    /// ```
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f32 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean length (avoids the square root).
+    #[inline]
+    pub fn length_squared(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Returns this vector scaled to unit length.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the vector has (near-)zero length.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let len = self.length();
+        debug_assert!(len > 0.0, "cannot normalize a zero-length vector");
+        self / len
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, rhs: Vec3) -> Vec3 {
+        Vec3 { x: self.x.min(rhs.x), y: self.y.min(rhs.y), z: self.z.min(rhs.z) }
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, rhs: Vec3) -> Vec3 {
+        Vec3 { x: self.x.max(rhs.x), y: self.y.max(rhs.y), z: self.z.max(rhs.z) }
+    }
+
+    /// Component-wise multiplication (Hadamard product).
+    #[inline]
+    pub fn hadamard(self, rhs: Vec3) -> Vec3 {
+        Vec3 { x: self.x * rhs.x, y: self.y * rhs.y, z: self.z * rhs.z }
+    }
+
+    /// Largest component value.
+    #[inline]
+    pub fn max_component(self) -> f32 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Smallest component value.
+    #[inline]
+    pub fn min_component(self) -> f32 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// Index (0, 1 or 2) of the largest component.
+    ///
+    /// ```
+    /// # use cooprt_math::Vec3;
+    /// assert_eq!(Vec3::new(0.0, 5.0, 1.0).max_axis(), 1);
+    /// ```
+    #[inline]
+    pub fn max_axis(self) -> usize {
+        if self.x >= self.y && self.x >= self.z {
+            0
+        } else if self.y >= self.z {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Linear interpolation: `self * (1 - t) + rhs * t`.
+    #[inline]
+    pub fn lerp(self, rhs: Vec3, t: f32) -> Vec3 {
+        self * (1.0 - t) + rhs * t
+    }
+
+    /// Reflects this direction about a unit normal `n`.
+    #[inline]
+    pub fn reflect(self, n: Vec3) -> Vec3 {
+        self - n * (2.0 * self.dot(n))
+    }
+
+    /// True if every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// True if the vector is nearly zero in every component.
+    #[inline]
+    pub fn near_zero(self) -> bool {
+        const EPS: f32 = 1.0e-8;
+        self.x.abs() < EPS && self.y.abs() < EPS && self.z.abs() < EPS
+    }
+
+    /// Component-wise absolute value.
+    #[inline]
+    pub fn abs(self) -> Vec3 {
+        Vec3 { x: self.x.abs(), y: self.y.abs(), z: self.z.abs() }
+    }
+
+    /// Component-wise reciprocal, used to precompute ray slab divisions.
+    ///
+    /// Zero components produce `±inf`, which the slab test handles per
+    /// IEEE-754 semantics.
+    #[inline]
+    pub fn recip(self) -> Vec3 {
+        Vec3 { x: 1.0 / self.x, y: 1.0 / self.y, z: 1.0 / self.z }
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f32;
+
+    /// Accesses a component by axis index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 2`.
+    fn index(&self, index: usize) -> &f32 {
+        match index {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {index}"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3 { x: self.x + rhs.x, y: self.y + rhs.y, z: self.z + rhs.z }
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3 { x: self.x - rhs.x, y: self.y - rhs.y, z: self.z - rhs.z }
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f32) -> Vec3 {
+        Vec3 { x: self.x * rhs, y: self.y * rhs, z: self.z * rhs }
+    }
+}
+
+impl Mul<Vec3> for f32 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl MulAssign<f32> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f32) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f32) -> Vec3 {
+        Vec3 { x: self.x / rhs, y: self.y / rhs, z: self.z / rhs }
+    }
+}
+
+impl DivAssign<f32> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, rhs: f32) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3 { x: -self.x, y: -self.y, z: -self.z }
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<[f32; 3]> for Vec3 {
+    fn from(a: [f32; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Vec3> for [f32; 3] {
+    fn from(v: Vec3) -> Self {
+        [v.x, v.y, v.z]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_constants() {
+        assert_eq!(Vec3::new(1.0, 2.0, 3.0).y, 2.0);
+        assert_eq!(Vec3::splat(4.0), Vec3::new(4.0, 4.0, 4.0));
+        assert_eq!(Vec3::ZERO + Vec3::ONE, Vec3::ONE);
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(b / 2.0, Vec3::new(2.0, 2.5, 3.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut v = Vec3::ONE;
+        v += Vec3::ONE;
+        assert_eq!(v, Vec3::splat(2.0));
+        v -= Vec3::ONE;
+        assert_eq!(v, Vec3::ONE);
+        v *= 3.0;
+        assert_eq!(v, Vec3::splat(3.0));
+        v /= 3.0;
+        assert_eq!(v, Vec3::ONE);
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(b.cross(a), Vec3::new(0.0, 0.0, -1.0));
+        // Cross product is perpendicular to both operands.
+        let u = Vec3::new(1.0, 2.0, 3.0);
+        let w = Vec3::new(-2.0, 0.5, 4.0);
+        let c = u.cross(w);
+        assert!(c.dot(u).abs() < 1e-5);
+        assert!(c.dot(w).abs() < 1e-5);
+    }
+
+    #[test]
+    fn length_and_normalize() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.length(), 5.0);
+        assert_eq!(v.length_squared(), 25.0);
+        let n = v.normalized();
+        assert!((n.length() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_max_and_axes() {
+        let a = Vec3::new(1.0, 5.0, 3.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 4.0, 3.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, 6.0));
+        assert_eq!(a.max_component(), 5.0);
+        assert_eq!(a.min_component(), 1.0);
+        assert_eq!(a.max_axis(), 1);
+        assert_eq!(Vec3::new(9.0, 5.0, 3.0).max_axis(), 0);
+        assert_eq!(Vec3::new(1.0, 2.0, 3.0).max_axis(), 2);
+    }
+
+    #[test]
+    fn reflect_preserves_length() {
+        let d = Vec3::new(1.0, -1.0, 0.0).normalized();
+        let n = Vec3::Y;
+        let r = d.reflect(n);
+        assert!((r.length() - 1.0).abs() < 1e-6);
+        assert!((r.y - (-d.y)).abs() < 1e-6);
+        assert!((r.x - d.x).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec3::ZERO;
+        let b = Vec3::splat(10.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::splat(5.0));
+    }
+
+    #[test]
+    fn indexing() {
+        let v = Vec3::new(7.0, 8.0, 9.0);
+        assert_eq!(v[0], 7.0);
+        assert_eq!(v[1], 8.0);
+        assert_eq!(v[2], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn indexing_out_of_range_panics() {
+        let _ = Vec3::ZERO[3];
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Vec3 = [1.0, 2.0, 3.0].into();
+        let a: [f32; 3] = v.into();
+        assert_eq!(a, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn recip_handles_zero() {
+        let r = Vec3::new(2.0, 0.0, -4.0).recip();
+        assert_eq!(r.x, 0.5);
+        assert!(r.y.is_infinite());
+        assert_eq!(r.z, -0.25);
+    }
+
+    #[test]
+    fn sum_of_vectors() {
+        let total: Vec3 = (0..4).map(|i| Vec3::splat(i as f32)).sum();
+        assert_eq!(total, Vec3::splat(6.0));
+    }
+
+    #[test]
+    fn near_zero_and_finite() {
+        assert!(Vec3::splat(1e-9).near_zero());
+        assert!(!Vec3::X.near_zero());
+        assert!(Vec3::ONE.is_finite());
+        assert!(!Vec3::new(f32::NAN, 0.0, 0.0).is_finite());
+    }
+}

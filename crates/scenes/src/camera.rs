@@ -1,0 +1,109 @@
+//! Pinhole camera.
+
+use cooprt_math::{Ray, Vec3};
+
+/// A pinhole camera generating primary rays through an image plane.
+///
+/// # Examples
+///
+/// ```
+/// use cooprt_scenes::Camera;
+/// use cooprt_math::Vec3;
+///
+/// let cam = Camera::look_at(Vec3::new(0.0, 1.0, 5.0), Vec3::ZERO, Vec3::Y, 60.0, 1.0);
+/// let center = cam.primary_ray(0.5, 0.5);
+/// // The center ray points from the eye toward the target.
+/// assert!(center.dir.dot((Vec3::ZERO - Vec3::new(0.0, 1.0, 5.0)).normalized()) > 0.99);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Camera {
+    origin: Vec3,
+    lower_left: Vec3,
+    horizontal: Vec3,
+    vertical: Vec3,
+}
+
+impl Camera {
+    /// Creates a camera at `from` looking at `at`.
+    ///
+    /// `vfov_deg` is the vertical field of view in degrees; `aspect` is
+    /// width / height.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `from == at` or `up` is parallel to the
+    /// view direction.
+    pub fn look_at(from: Vec3, at: Vec3, up: Vec3, vfov_deg: f32, aspect: f32) -> Self {
+        let theta = vfov_deg.to_radians();
+        let half_height = (theta / 2.0).tan();
+        let half_width = aspect * half_height;
+        let w = (from - at).normalized();
+        let u = up.cross(w).normalized();
+        let v = w.cross(u);
+        Camera {
+            origin: from,
+            lower_left: from - u * half_width - v * half_height - w,
+            horizontal: u * (2.0 * half_width),
+            vertical: v * (2.0 * half_height),
+        }
+    }
+
+    /// Primary ray through normalized image coordinates `(s, t)` in
+    /// `[0, 1]²`, with `(0, 0)` the lower-left corner.
+    pub fn primary_ray(&self, s: f32, t: f32) -> Ray {
+        Ray::new(
+            self.origin,
+            self.lower_left + self.horizontal * s + self.vertical * t - self.origin,
+        )
+    }
+
+    /// The camera (eye) position.
+    pub fn origin(&self) -> Vec3 {
+        self.origin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rays_originate_at_the_eye() {
+        let cam = Camera::look_at(Vec3::new(1.0, 2.0, 3.0), Vec3::ZERO, Vec3::Y, 45.0, 2.0);
+        assert_eq!(cam.origin(), Vec3::new(1.0, 2.0, 3.0));
+        for (s, t) in [(0.0, 0.0), (1.0, 1.0), (0.3, 0.8)] {
+            assert_eq!(cam.primary_ray(s, t).orig, cam.origin());
+        }
+    }
+
+    #[test]
+    fn corner_rays_diverge() {
+        let cam = Camera::look_at(Vec3::ZERO, -Vec3::Z * 5.0, Vec3::Y, 90.0, 1.0);
+        let bl = cam.primary_ray(0.0, 0.0);
+        let tr = cam.primary_ray(1.0, 1.0);
+        assert!(bl.dir.dot(tr.dir) < 0.999, "corner rays must differ");
+        // Left ray points left, right ray points right.
+        let l = cam.primary_ray(0.0, 0.5);
+        let r = cam.primary_ray(1.0, 0.5);
+        assert!(l.dir.x < 0.0);
+        assert!(r.dir.x > 0.0);
+    }
+
+    #[test]
+    fn wider_fov_spreads_rays_more() {
+        let narrow = Camera::look_at(Vec3::ZERO, -Vec3::Z, Vec3::Y, 30.0, 1.0);
+        let wide = Camera::look_at(Vec3::ZERO, -Vec3::Z, Vec3::Y, 90.0, 1.0);
+        let n = narrow.primary_ray(0.0, 0.5).dir.dot(narrow.primary_ray(1.0, 0.5).dir);
+        let w = wide.primary_ray(0.0, 0.5).dir.dot(wide.primary_ray(1.0, 0.5).dir);
+        assert!(w < n, "wide fov should have more divergent corner rays");
+    }
+
+    #[test]
+    fn directions_are_unit_length() {
+        let cam = Camera::look_at(Vec3::new(5.0, 5.0, 5.0), Vec3::ZERO, Vec3::Y, 60.0, 1.5);
+        for (s, t) in [(0.0, 0.0), (0.5, 0.5), (1.0, 0.0)] {
+            let r = cam.primary_ray(s, t);
+            assert!((r.dir.length() - 1.0).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Procedural mesh generators used to assemble the benchmark scenes.
+
+use cooprt_math::{Aabb, Triangle, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Two triangles forming the parallelogram `origin + s*e1 + t*e2`,
+/// `s, t ∈ [0, 1]`.
+pub fn quad(origin: Vec3, e1: Vec3, e2: Vec3) -> Vec<Triangle> {
+    vec![
+        Triangle::new(origin, origin + e1, origin + e2),
+        Triangle::new(origin + e1, origin + e1 + e2, origin + e2),
+    ]
+}
+
+/// Twelve triangles forming an axis-aligned box.
+pub fn box_at(center: Vec3, half: Vec3) -> Vec<Triangle> {
+    let min = center - half;
+    let ex = Vec3::new(2.0 * half.x, 0.0, 0.0);
+    let ey = Vec3::new(0.0, 2.0 * half.y, 0.0);
+    let ez = Vec3::new(0.0, 0.0, 2.0 * half.z);
+    let mut tris = Vec::with_capacity(12);
+    tris.extend(quad(min, ex, ey)); // front  (z = min)
+    tris.extend(quad(min + ez, ex, ey)); // back
+    tris.extend(quad(min, ey, ez)); // left
+    tris.extend(quad(min + ex, ey, ez)); // right
+    tris.extend(quad(min, ex, ez)); // bottom
+    tris.extend(quad(min + ey, ex, ez)); // top
+    tris
+}
+
+/// Eight triangles forming an octahedron (diamond) of radius `r`.
+pub fn octahedron(center: Vec3, r: f32) -> Vec<Triangle> {
+    let xp = center + Vec3::X * r;
+    let xn = center - Vec3::X * r;
+    let yp = center + Vec3::Y * r;
+    let yn = center - Vec3::Y * r;
+    let zp = center + Vec3::Z * r;
+    let zn = center - Vec3::Z * r;
+    vec![
+        Triangle::new(yp, xp, zp),
+        Triangle::new(yp, zp, xn),
+        Triangle::new(yp, xn, zn),
+        Triangle::new(yp, zn, xp),
+        Triangle::new(yn, zp, xp),
+        Triangle::new(yn, xn, zp),
+        Triangle::new(yn, zn, xn),
+        Triangle::new(yn, xp, zn),
+    ]
+}
+
+/// Four triangles forming a tetrahedron of circumradius `r`.
+pub fn tetrahedron(center: Vec3, r: f32) -> Vec<Triangle> {
+    let s = r / 3.0f32.sqrt();
+    let a = center + Vec3::new(s, s, s);
+    let b = center + Vec3::new(s, -s, -s);
+    let c = center + Vec3::new(-s, s, -s);
+    let d = center + Vec3::new(-s, -s, s);
+    vec![
+        Triangle::new(a, b, c),
+        Triangle::new(a, c, d),
+        Triangle::new(a, d, b),
+        Triangle::new(b, d, c),
+    ]
+}
+
+/// A tessellated sphere: an icosahedron subdivided `subdivisions` times
+/// and projected onto the sphere. Produces `20 * 4^subdivisions`
+/// triangles.
+///
+/// # Panics
+///
+/// Panics if `subdivisions > 5` (the next step would be 81,920
+/// triangles for a single sphere — almost certainly a bug).
+pub fn icosphere(center: Vec3, radius: f32, subdivisions: u32) -> Vec<Triangle> {
+    assert!(subdivisions <= 5, "more than 5 subdivisions is excessive ({subdivisions})");
+    // Icosahedron vertices from the three orthogonal golden rectangles.
+    let phi = (1.0 + 5.0f32.sqrt()) / 2.0;
+    let verts: [Vec3; 12] = [
+        Vec3::new(-1.0, phi, 0.0),
+        Vec3::new(1.0, phi, 0.0),
+        Vec3::new(-1.0, -phi, 0.0),
+        Vec3::new(1.0, -phi, 0.0),
+        Vec3::new(0.0, -1.0, phi),
+        Vec3::new(0.0, 1.0, phi),
+        Vec3::new(0.0, -1.0, -phi),
+        Vec3::new(0.0, 1.0, -phi),
+        Vec3::new(phi, 0.0, -1.0),
+        Vec3::new(phi, 0.0, 1.0),
+        Vec3::new(-phi, 0.0, -1.0),
+        Vec3::new(-phi, 0.0, 1.0),
+    ];
+    const FACES: [[usize; 3]; 20] = [
+        [0, 11, 5],
+        [0, 5, 1],
+        [0, 1, 7],
+        [0, 7, 10],
+        [0, 10, 11],
+        [1, 5, 9],
+        [5, 11, 4],
+        [11, 10, 2],
+        [10, 7, 6],
+        [7, 1, 8],
+        [3, 9, 4],
+        [3, 4, 2],
+        [3, 2, 6],
+        [3, 6, 8],
+        [3, 8, 9],
+        [4, 9, 5],
+        [2, 4, 11],
+        [6, 2, 10],
+        [8, 6, 7],
+        [9, 8, 3],
+    ];
+    let project = |v: Vec3| center + v.normalized() * radius;
+    let mut tris: Vec<Triangle> =
+        FACES.iter().map(|f| Triangle::new(verts[f[0]], verts[f[1]], verts[f[2]])).collect();
+    for _ in 0..subdivisions {
+        let mut next = Vec::with_capacity(tris.len() * 4);
+        for t in &tris {
+            let ab = (t.v0 + t.v1) * 0.5;
+            let bc = (t.v1 + t.v2) * 0.5;
+            let ca = (t.v2 + t.v0) * 0.5;
+            next.push(Triangle::new(t.v0, ab, ca));
+            next.push(Triangle::new(t.v1, bc, ab));
+            next.push(Triangle::new(t.v2, ca, bc));
+            next.push(Triangle::new(ab, bc, ca));
+        }
+        tris = next;
+    }
+    tris.iter()
+        .map(|t| Triangle::new(project(t.v0), project(t.v1), project(t.v2)))
+        .collect()
+}
+
+/// A randomized height-field terrain: a grid of `nx × nz` vertices spaced
+/// `cell` apart around the origin, with heights in `[0, amplitude]`.
+/// Produces `2 * (nx-1) * (nz-1)` triangles.
+///
+/// # Panics
+///
+/// Panics if `nx < 2` or `nz < 2`.
+pub fn heightfield(nx: usize, nz: usize, cell: f32, amplitude: f32, seed: u64) -> Vec<Triangle> {
+    assert!(nx >= 2 && nz >= 2, "heightfield needs at least a 2x2 grid");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut heights = vec![0.0f32; nx * nz];
+    for h in heights.iter_mut() {
+        *h = rng.random_range(0.0..amplitude.max(f32::EPSILON));
+    }
+    let x0 = -(nx as f32 - 1.0) * cell / 2.0;
+    let z0 = -(nz as f32 - 1.0) * cell / 2.0;
+    let vert = |ix: usize, iz: usize| -> Vec3 {
+        Vec3::new(x0 + ix as f32 * cell, heights[iz * nx + ix], z0 + iz as f32 * cell)
+    };
+    let mut tris = Vec::with_capacity(2 * (nx - 1) * (nz - 1));
+    for iz in 0..nz - 1 {
+        for ix in 0..nx - 1 {
+            let v00 = vert(ix, iz);
+            let v10 = vert(ix + 1, iz);
+            let v01 = vert(ix, iz + 1);
+            let v11 = vert(ix + 1, iz + 1);
+            tris.push(Triangle::new(v00, v10, v01));
+            tris.push(Triangle::new(v10, v11, v01));
+        }
+    }
+    tris
+}
+
+/// An inward-facing room shell: floor, four walls and optionally a
+/// ceiling. With the ceiling, the room is closed — no ray can escape.
+pub fn room(bounds: Aabb, with_ceiling: bool) -> Vec<Triangle> {
+    let min = bounds.min;
+    let e = bounds.extent();
+    let ex = Vec3::new(e.x, 0.0, 0.0);
+    let ey = Vec3::new(0.0, e.y, 0.0);
+    let ez = Vec3::new(0.0, 0.0, e.z);
+    let mut tris = Vec::new();
+    tris.extend(quad(min, ex, ez)); // floor
+    tris.extend(quad(min, ex, ey)); // -z wall
+    tris.extend(quad(min + ez, ex, ey)); // +z wall
+    tris.extend(quad(min, ez, ey)); // -x wall
+    tris.extend(quad(min + ex, ez, ey)); // +x wall
+    if with_ceiling {
+        tris.extend(quad(min + ey, ex, ez));
+    }
+    tris
+}
+
+/// Scatters `count` small shapes (alternating octahedra and tetrahedra)
+/// inside `region`, sizes drawn from `radius`. Deterministic for a seed.
+pub fn scatter_clutter(
+    region: Aabb,
+    count: usize,
+    radius: std::ops::Range<f32>,
+    seed: u64,
+) -> Vec<Triangle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tris = Vec::new();
+    for i in 0..count {
+        let c = random_point_in(&mut rng, &region);
+        let r = rng.random_range(radius.clone());
+        if i % 2 == 0 {
+            tris.extend(octahedron(c, r));
+        } else {
+            tris.extend(tetrahedron(c, r));
+        }
+    }
+    tris
+}
+
+fn random_point_in<R: Rng + ?Sized>(rng: &mut R, region: &Aabb) -> Vec3 {
+    let e = region.extent();
+    region.min
+        + Vec3::new(
+            rng.random_range(0.0..e.x.max(f32::EPSILON)),
+            rng.random_range(0.0..e.y.max(f32::EPSILON)),
+            rng.random_range(0.0..e.z.max(f32::EPSILON)),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_is_two_triangles_covering_the_parallelogram() {
+        let q = quad(Vec3::ZERO, Vec3::X * 2.0, Vec3::Z * 3.0);
+        assert_eq!(q.len(), 2);
+        let area: f32 = q.iter().map(|t| t.double_area() / 2.0).sum();
+        assert!((area - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn box_has_twelve_triangles_and_correct_bounds() {
+        let b = box_at(Vec3::ZERO, Vec3::splat(1.0));
+        assert_eq!(b.len(), 12);
+        let bounds = b.iter().fold(Aabb::empty(), |a, t| a.union(&t.bounds()));
+        assert!((bounds.min.x - -1.0).abs() < 1e-5);
+        assert!((bounds.max.y - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn octahedron_and_tetrahedron_counts() {
+        assert_eq!(octahedron(Vec3::ZERO, 1.0).len(), 8);
+        assert_eq!(tetrahedron(Vec3::ZERO, 1.0).len(), 4);
+    }
+
+    #[test]
+    fn octahedron_vertices_at_radius() {
+        let tris = octahedron(Vec3::splat(5.0), 2.0);
+        for t in &tris {
+            for v in [t.v0, t.v1, t.v2] {
+                assert!(((v - Vec3::splat(5.0)).length() - 2.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn icosphere_counts_and_radius() {
+        for (sub, expected) in [(0u32, 20usize), (1, 80), (2, 320)] {
+            let tris = icosphere(Vec3::splat(3.0), 2.0, sub);
+            assert_eq!(tris.len(), expected, "subdivisions = {sub}");
+            for t in &tris {
+                for v in [t.v0, t.v1, t.v2] {
+                    let r = (v - Vec3::splat(3.0)).length();
+                    assert!((r - 2.0).abs() < 1e-4, "vertex off the sphere: r = {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn icosphere_approximates_sphere_area() {
+        // Total mesh area approaches 4*pi*r^2 with subdivision.
+        let area = |sub: u32| -> f32 {
+            icosphere(Vec3::ZERO, 1.0, sub).iter().map(|t| t.double_area() / 2.0).sum()
+        };
+        let exact = 4.0 * std::f32::consts::PI;
+        let coarse = area(0);
+        let fine = area(3);
+        assert!((exact - fine).abs() < (exact - coarse).abs());
+        assert!((fine - exact).abs() / exact < 0.02, "fine mesh within 2%");
+    }
+
+    #[test]
+    #[should_panic(expected = "excessive")]
+    fn icosphere_rejects_absurd_subdivision() {
+        let _ = icosphere(Vec3::ZERO, 1.0, 9);
+    }
+
+    #[test]
+    fn heightfield_triangle_count_and_extent() {
+        let tris = heightfield(5, 4, 1.0, 0.5, 42);
+        assert_eq!(tris.len(), 2 * 4 * 3);
+        let bounds = tris.iter().fold(Aabb::empty(), |a, t| a.union(&t.bounds()));
+        assert!(bounds.extent().x > 3.9);
+        assert!(bounds.max.y <= 0.5 + 1e-5);
+    }
+
+    #[test]
+    fn heightfield_is_deterministic() {
+        assert_eq!(heightfield(4, 4, 1.0, 1.0, 7), heightfield(4, 4, 1.0, 1.0, 7));
+        assert_ne!(heightfield(4, 4, 1.0, 1.0, 7), heightfield(4, 4, 1.0, 1.0, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a 2x2")]
+    fn heightfield_rejects_degenerate_grid() {
+        let _ = heightfield(1, 4, 1.0, 1.0, 0);
+    }
+
+    #[test]
+    fn open_room_has_ten_triangles_closed_has_twelve() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(10.0));
+        assert_eq!(room(b, false).len(), 10);
+        assert_eq!(room(b, true).len(), 12);
+    }
+
+    #[test]
+    fn clutter_stays_near_region_and_is_deterministic() {
+        let region = Aabb::new(Vec3::ZERO, Vec3::splat(10.0));
+        let a = scatter_clutter(region, 10, 0.2..0.5, 3);
+        let b = scatter_clutter(region, 10, 0.2..0.5, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5 * 8 + 5 * 4); // alternating octa / tetra
+        let grown = Aabb::new(region.min - Vec3::splat(0.5), region.max + Vec3::splat(0.5));
+        for t in &a {
+            assert!(grown.contains(t.centroid()));
+        }
+    }
+}

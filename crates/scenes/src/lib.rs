@@ -1,0 +1,42 @@
+//! Procedural benchmark scenes for the CoopRT reproduction.
+//!
+//! The paper evaluates on LumiBench, a suite of 16 real 3D scenes with
+//! BVHs from 0.2 MB to 1.7 GB. Those assets are not redistributable (and
+//! far too large to simulate at laptop scale), so this crate provides
+//! **procedural stand-ins**: 15 scenes named after their LumiBench
+//! counterparts, generated deterministically, with matched *character* —
+//! the properties that actually drive CoopRT's results:
+//!
+//! - relative tree-size ordering (Table 2),
+//! - open vs. closed geometry (sky exposure controls how quickly warps
+//!   lose active threads, i.e. SIMT efficiency),
+//! - emissive area lights (paths terminating on lights),
+//! - geometric clutter (traversal-length variance → early finishers).
+//!
+//! See `DESIGN.md` for the substitution rationale.
+//!
+//! # Examples
+//!
+//! ```
+//! use cooprt_scenes::SceneId;
+//!
+//! let scene = SceneId::Wknd.build(8);
+//! assert!(scene.image.node_count() > 0);
+//! assert!(!scene.is_closed()); // the weekend scene is open to the sky
+//! ```
+
+mod camera;
+mod generators;
+mod material;
+mod scene;
+mod sky;
+mod suite;
+
+pub use camera::Camera;
+pub use generators::{
+    box_at, heightfield, icosphere, octahedron, quad, room, scatter_clutter, tetrahedron,
+};
+pub use material::{Material, Scatter};
+pub use scene::{Scene, SceneBuilder};
+pub use sky::Sky;
+pub use suite::{SceneId, ALL_SCENES, PAPER_FIG17_SCENES};

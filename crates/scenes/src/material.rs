@@ -1,0 +1,244 @@
+//! Surface materials and scattering, matching the reference path tracer
+//! (RayTracingInVulkan / "Ray Tracing in One Weekend" style) that the
+//! paper's workloads use.
+
+use cooprt_math::{unit_sphere, Rgb, Vec3};
+use rand::Rng;
+
+/// A surface material.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Material {
+    /// Diffuse surface: scatters around the normal with unit-sphere
+    /// perturbation.
+    Lambertian {
+        /// Surface reflectance per channel.
+        albedo: Rgb,
+    },
+    /// Specular surface: mirror reflection with optional fuzz.
+    Metal {
+        /// Surface reflectance per channel.
+        albedo: Rgb,
+        /// Roughness in `[0, 1]`; 0 is a perfect mirror.
+        fuzz: f32,
+    },
+    /// Area light: emits and terminates the path.
+    Emissive {
+        /// Emitted radiance.
+        radiance: Rgb,
+    },
+    /// Clear dielectric (glass): refracts or reflects per Snell's law
+    /// with Schlick's approximation for the Fresnel term.
+    Dielectric {
+        /// Index of refraction (1.5 for common glass).
+        refraction_index: f32,
+    },
+}
+
+/// Outcome of a scattering event at a surface hit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Scatter {
+    /// The path continues in `dir`, attenuated per channel.
+    Bounce {
+        /// New (unnormalized) ray direction.
+        dir: Vec3,
+        /// Per-channel throughput multiplier.
+        attenuation: Rgb,
+    },
+    /// The path terminates on a light, collecting `Rgb` radiance.
+    Emit(Rgb),
+    /// The path terminates with no contribution (e.g. grazing metal).
+    Absorb,
+}
+
+impl Material {
+    /// Scatters an incoming ray at a hit.
+    ///
+    /// `dir` is the incoming (unit) ray direction, `normal` the geometric
+    /// normal at the hit (any orientation — it is flipped to face the
+    /// incoming ray).
+    pub fn scatter<R: Rng + ?Sized>(&self, dir: Vec3, normal: Vec3, rng: &mut R) -> Scatter {
+        // Face the normal against the incoming direction.
+        let n = if dir.dot(normal) < 0.0 { normal } else { -normal };
+        match *self {
+            Material::Lambertian { albedo } => {
+                let mut scatter_dir = n + unit_sphere(rng).normalized();
+                if scatter_dir.near_zero() {
+                    scatter_dir = n;
+                }
+                Scatter::Bounce { dir: scatter_dir, attenuation: albedo }
+            }
+            Material::Metal { albedo, fuzz } => {
+                let reflected = dir.reflect(n);
+                let fuzzed = reflected + unit_sphere(rng) * fuzz;
+                if fuzzed.dot(n) > 0.0 {
+                    Scatter::Bounce { dir: fuzzed, attenuation: albedo }
+                } else {
+                    Scatter::Absorb
+                }
+            }
+            Material::Emissive { radiance } => Scatter::Emit(radiance),
+            Material::Dielectric { refraction_index } => {
+                use rand::RngExt;
+                let front_face = dir.dot(normal) < 0.0;
+                let ri = if front_face { 1.0 / refraction_index } else { refraction_index };
+                let cos_theta = (-dir.dot(n)).min(1.0);
+                let sin_theta = (1.0 - cos_theta * cos_theta).max(0.0).sqrt();
+                let cannot_refract = ri * sin_theta > 1.0;
+                let out = if cannot_refract || schlick(cos_theta, ri) > rng.random::<f32>() {
+                    dir.reflect(n)
+                } else {
+                    refract(dir, n, ri)
+                };
+                Scatter::Bounce { dir: out, attenuation: Rgb::WHITE }
+            }
+        }
+    }
+
+    /// True for light sources.
+    pub fn is_emissive(&self) -> bool {
+        matches!(self, Material::Emissive { .. })
+    }
+}
+
+/// Snell-law refraction of unit direction `d` about unit normal `n`
+/// (facing against `d`) with relative index `ri`.
+fn refract(d: Vec3, n: Vec3, ri: f32) -> Vec3 {
+    let cos_theta = (-d.dot(n)).min(1.0);
+    let r_out_perp = (d + n * cos_theta) * ri;
+    let r_out_parallel = n * -(1.0 - r_out_perp.length_squared()).abs().sqrt();
+    r_out_perp + r_out_parallel
+}
+
+/// Schlick's reflectance approximation.
+fn schlick(cos_theta: f32, ri: f32) -> f32 {
+    let r0 = ((1.0 - ri) / (1.0 + ri)).powi(2);
+    r0 + (1.0 - r0) * (1.0 - cos_theta).powi(5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lambertian_bounces_into_upper_hemisphere() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Material::Lambertian { albedo: Rgb::splat(0.5) };
+        for _ in 0..100 {
+            match m.scatter(-Vec3::Y, Vec3::Y, &mut rng) {
+                Scatter::Bounce { dir, attenuation } => {
+                    assert!(dir.dot(Vec3::Y) > 0.0, "scatter below surface: {dir:?}");
+                    assert_eq!(attenuation, Rgb::splat(0.5));
+                }
+                other => panic!("lambertian must bounce, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lambertian_flips_backfacing_normal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Material::Lambertian { albedo: Rgb::WHITE };
+        // Incoming along +Y, normal also +Y (backface): flipped to -Y.
+        match m.scatter(Vec3::Y, Vec3::Y, &mut rng) {
+            Scatter::Bounce { dir, .. } => assert!(dir.dot(Vec3::Y) < 0.0),
+            other => panic!("expected bounce, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn perfect_mirror_reflects_exactly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Material::Metal { albedo: Rgb::WHITE, fuzz: 0.0 };
+        let incoming = Vec3::new(1.0, -1.0, 0.0).normalized();
+        match m.scatter(incoming, Vec3::Y, &mut rng) {
+            Scatter::Bounce { dir, .. } => {
+                let expected = incoming.reflect(Vec3::Y);
+                assert!((dir - expected).length() < 1e-6);
+            }
+            other => panic!("expected bounce, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuzzy_metal_can_absorb_grazing_rays() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = Material::Metal { albedo: Rgb::WHITE, fuzz: 1.0 };
+        // Nearly parallel incoming: with heavy fuzz, some samples dip
+        // below the surface and get absorbed.
+        let grazing = Vec3::new(1.0, -1e-3, 0.0).normalized();
+        let mut absorbed = 0;
+        for _ in 0..200 {
+            if matches!(m.scatter(grazing, Vec3::Y, &mut rng), Scatter::Absorb) {
+                absorbed += 1;
+            }
+        }
+        assert!(absorbed > 0, "heavy fuzz at grazing incidence should absorb sometimes");
+    }
+
+    #[test]
+    fn dielectric_always_bounces_with_white_attenuation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = Material::Dielectric { refraction_index: 1.5 };
+        for _ in 0..100 {
+            match m.scatter(Vec3::new(0.3, -1.0, 0.1).normalized(), Vec3::Y, &mut rng) {
+                Scatter::Bounce { attenuation, dir } => {
+                    assert_eq!(attenuation, Rgb::WHITE);
+                    assert!((dir.length() - 1.0).abs() < 1e-4, "refraction keeps unit length");
+                }
+                other => panic!("glass never absorbs or emits, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dielectric_refracts_through_at_normal_incidence_mostly() {
+        // Head-on, Schlick reflectance is ~4%: most samples transmit
+        // straight through.
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = Material::Dielectric { refraction_index: 1.5 };
+        let mut through = 0;
+        for _ in 0..200 {
+            if let Scatter::Bounce { dir, .. } = m.scatter(-Vec3::Y, Vec3::Y, &mut rng) {
+                if dir.y < 0.0 {
+                    through += 1;
+                }
+            }
+        }
+        assert!(through > 150, "expected mostly transmission, got {through}/200");
+    }
+
+    #[test]
+    fn dielectric_total_internal_reflection() {
+        // From inside glass (ri = 1.5) at a grazing angle, sin > 1/1.5
+        // forces total internal reflection: the ray must stay inside.
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = Material::Dielectric { refraction_index: 1.5 };
+        // Incoming *from inside* the glass (below the surface, normal
+        // +Y): the direction's positive Y component makes it a backface
+        // hit, so the faced normal is -Y. At this grazing angle
+        // (sin ≈ 0.95 > 1/1.5) refraction is impossible.
+        let dir = Vec3::new(0.95, 0.31, 0.0).normalized();
+        for _ in 0..50 {
+            match m.scatter(dir, Vec3::Y, &mut rng) {
+                Scatter::Bounce { dir: out, .. } => {
+                    assert!(
+                        out.y < 0.0,
+                        "TIR must reflect back down into the glass: {out:?}"
+                    );
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn emissive_terminates_with_radiance() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = Material::Emissive { radiance: Rgb::new(4.0, 3.0, 2.0) };
+        assert_eq!(m.scatter(-Vec3::Z, Vec3::Z, &mut rng), Scatter::Emit(Rgb::new(4.0, 3.0, 2.0)));
+        assert!(m.is_emissive());
+        assert!(!Material::Lambertian { albedo: Rgb::BLACK }.is_emissive());
+    }
+}

@@ -1,0 +1,271 @@
+//! Scene assembly: geometry + materials + camera + sky, with a built BVH.
+
+use crate::{Camera, Material, Sky};
+use cooprt_bvh::{build_binary, BvhImage, TreeStats, WideBvh};
+use cooprt_math::{Rgb, Triangle, Vec3};
+use rand::Rng;
+
+/// A complete, traversal-ready scene.
+///
+/// Holds the serialized BVH image (the address space the simulator
+/// fetches from), per-triangle materials, the camera, the sky model and
+/// the light list used by the shadow shader.
+#[derive(Clone, Debug)]
+pub struct Scene {
+    /// Scene name (LumiBench-analog label).
+    pub name: String,
+    /// Serialized BVH; drives the simulator's memory traffic.
+    pub image: BvhImage,
+    /// Material of each triangle (parallel to `image.triangles()`).
+    pub materials: Vec<Material>,
+    /// Camera for primary rays.
+    pub camera: Camera,
+    /// Environment model.
+    pub sky: Sky,
+    /// Indices of emissive triangles (light sources).
+    pub lights: Vec<u32>,
+    /// BVH statistics (Table 2 data).
+    pub stats: TreeStats,
+    closed: bool,
+}
+
+impl Scene {
+    /// Material of triangle `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn material(&self, index: u32) -> &Material {
+        &self.materials[index as usize]
+    }
+
+    /// True if the scene is geometrically closed (no ray can escape to
+    /// the sky), like the paper's `spnza` atrium.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Number of triangles.
+    pub fn triangle_count(&self) -> usize {
+        self.image.triangles().len()
+    }
+
+    /// Re-builds this scene's acceleration structure with a different
+    /// binary-BVH builder, keeping geometry, materials, camera and sky
+    /// identical. Used by the BVH-quality ablation.
+    pub fn rebuilt_with(
+        &self,
+        builder: fn(&[cooprt_math::Triangle]) -> cooprt_bvh::BinaryBvh,
+    ) -> Scene {
+        let mut b = SceneBuilder::new(self.name.clone(), self.camera)
+            .sky(self.sky)
+            .closed(self.closed);
+        for (tri, mat) in self.image.triangles().iter().zip(&self.materials) {
+            b = b.push(vec![*tri], *mat);
+        }
+        b.build_with(builder)
+    }
+
+    /// Samples a uniformly-distributed point on a random light triangle.
+    ///
+    /// Returns `None` if the scene has no lights.
+    pub fn sample_light_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Vec3> {
+        use rand::RngExt;
+        if self.lights.is_empty() {
+            return None;
+        }
+        let idx = self.lights[rng.random_range(0..self.lights.len())];
+        let t = self.image.triangle(idx);
+        // Uniform barycentric sample.
+        let mut u: f32 = rng.random();
+        let mut v: f32 = rng.random();
+        if u + v > 1.0 {
+            u = 1.0 - u;
+            v = 1.0 - v;
+        }
+        Some(t.v0 + (t.v1 - t.v0) * u + (t.v2 - t.v0) * v)
+    }
+}
+
+/// Incremental builder for [`Scene`].
+///
+/// # Examples
+///
+/// ```
+/// use cooprt_scenes::{Camera, Material, Scene, SceneBuilder, Sky};
+/// use cooprt_math::{Rgb, Triangle, Vec3};
+///
+/// let camera = Camera::look_at(Vec3::new(0.0, 1.0, 5.0), Vec3::ZERO, Vec3::Y, 60.0, 1.0);
+/// let scene = SceneBuilder::new("demo", camera)
+///     .sky(Sky::daylight())
+///     .push(
+///         vec![Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y)],
+///         Material::Lambertian { albedo: Rgb::splat(0.5) },
+///     )
+///     .build();
+/// assert_eq!(scene.triangle_count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SceneBuilder {
+    name: String,
+    triangles: Vec<Triangle>,
+    materials: Vec<Material>,
+    camera: Camera,
+    sky: Sky,
+    closed: bool,
+}
+
+impl SceneBuilder {
+    /// Starts a scene with a name and camera.
+    pub fn new(name: impl Into<String>, camera: Camera) -> Self {
+        SceneBuilder {
+            name: name.into(),
+            triangles: Vec::new(),
+            materials: Vec::new(),
+            camera,
+            sky: Sky::default(),
+            closed: false,
+        }
+    }
+
+    /// Sets the sky model.
+    pub fn sky(mut self, sky: Sky) -> Self {
+        self.sky = sky;
+        self
+    }
+
+    /// Marks the scene as geometrically closed.
+    pub fn closed(mut self, closed: bool) -> Self {
+        self.closed = closed;
+        self
+    }
+
+    /// Adds a batch of triangles sharing one material.
+    pub fn push(mut self, triangles: Vec<Triangle>, material: Material) -> Self {
+        self.materials.extend(std::iter::repeat_n(material, triangles.len()));
+        self.triangles.extend(triangles);
+        self
+    }
+
+    /// Adds an emissive quad light (two triangles).
+    pub fn push_light(self, origin: Vec3, e1: Vec3, e2: Vec3, radiance: Rgb) -> Self {
+        self.push(crate::quad(origin, e1, e2), Material::Emissive { radiance })
+    }
+
+    /// Builds the BVH and finalizes the scene.
+    pub fn build(self) -> Scene {
+        self.build_with(build_binary)
+    }
+
+    /// Finalizes the scene with a custom binary-BVH builder (e.g.
+    /// [`cooprt_bvh::build_binary_median`] for the BVH-quality
+    /// ablation).
+    pub fn build_with(
+        self,
+        builder: fn(&[cooprt_math::Triangle]) -> cooprt_bvh::BinaryBvh,
+    ) -> Scene {
+        let binary = builder(&self.triangles);
+        let wide = WideBvh::from_binary(&binary);
+        let image = BvhImage::serialize(&wide, &self.triangles);
+        let stats = TreeStats::gather(&wide, &image);
+        let lights = self
+            .materials
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_emissive())
+            .map(|(i, _)| i as u32)
+            .collect();
+        Scene {
+            name: self.name,
+            image,
+            materials: self.materials,
+            camera: self.camera,
+            sky: self.sky,
+            lights,
+            stats,
+            closed: self.closed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn camera() -> Camera {
+        Camera::look_at(Vec3::new(0.0, 2.0, 8.0), Vec3::ZERO, Vec3::Y, 60.0, 1.0)
+    }
+
+    #[test]
+    fn builder_tracks_materials_per_triangle() {
+        let scene = SceneBuilder::new("t", camera())
+            .push(
+                crate::quad(Vec3::ZERO, Vec3::X, Vec3::Z),
+                Material::Lambertian { albedo: Rgb::splat(0.8) },
+            )
+            .push(
+                crate::octahedron(Vec3::Y * 2.0, 0.5),
+                Material::Metal { albedo: Rgb::WHITE, fuzz: 0.1 },
+            )
+            .build();
+        assert_eq!(scene.triangle_count(), 10);
+        assert_eq!(scene.materials.len(), 10);
+        assert!(matches!(scene.material(0), Material::Lambertian { .. }));
+        assert!(matches!(scene.material(5), Material::Metal { .. }));
+    }
+
+    #[test]
+    fn lights_are_collected() {
+        let scene = SceneBuilder::new("lit", camera())
+            .push(crate::quad(Vec3::ZERO, Vec3::X, Vec3::Z), Material::Lambertian {
+                albedo: Rgb::WHITE,
+            })
+            .push_light(Vec3::Y * 5.0, Vec3::X, Vec3::Z, Rgb::splat(4.0))
+            .build();
+        assert_eq!(scene.lights, vec![2, 3]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = scene.sample_light_point(&mut rng).unwrap();
+        assert!((p.y - 5.0).abs() < 1e-5);
+        assert!(p.x >= 5.0 - 1e-5 || p.x >= 0.0); // inside the light quad
+    }
+
+    #[test]
+    fn no_lights_sample_none() {
+        let scene = SceneBuilder::new("dark", camera())
+            .push(crate::quad(Vec3::ZERO, Vec3::X, Vec3::Z), Material::Lambertian {
+                albedo: Rgb::WHITE,
+            })
+            .build();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(scene.sample_light_point(&mut rng).is_none());
+    }
+
+    #[test]
+    fn light_points_lie_inside_the_light_triangle() {
+        let scene = SceneBuilder::new("lit", camera())
+            .push_light(Vec3::ZERO, Vec3::X * 2.0, Vec3::Z * 2.0, Rgb::WHITE)
+            .build();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let p = scene.sample_light_point(&mut rng).unwrap();
+            assert!((0.0..=2.0).contains(&p.x));
+            assert!((0.0..=2.0).contains(&p.z));
+            assert!(p.y.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn stats_and_closed_flag_propagate() {
+        let scene = SceneBuilder::new("c", camera())
+            .closed(true)
+            .push(crate::box_at(Vec3::ZERO, Vec3::ONE), Material::Lambertian {
+                albedo: Rgb::WHITE,
+            })
+            .build();
+        assert!(scene.is_closed());
+        assert_eq!(scene.stats.leaf_nodes, 12);
+        assert_eq!(scene.name, "c");
+    }
+}

@@ -1,0 +1,87 @@
+//! Sky (environment) models.
+
+use cooprt_math::{Rgb, Vec3};
+
+/// The environment a ray samples when it escapes the scene.
+///
+/// Open scenes use [`Sky::Gradient`]; closed scenes (e.g. `spnza`, a
+/// closed atrium) use [`Sky::Black`] — escaping rays contribute nothing,
+/// and in a *truly* closed scene never occur at all.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Sky {
+    /// Vertical gradient between a horizon and a zenith color — the
+    /// classic path-tracer sky.
+    Gradient {
+        /// Color at the horizon (`dir.y == 0`).
+        horizon: Rgb,
+        /// Color at the zenith (`dir.y == 1`).
+        zenith: Rgb,
+    },
+    /// Uniform radiance in every direction.
+    Solid(Rgb),
+    /// No environment light.
+    Black,
+}
+
+impl Sky {
+    /// A pleasant default daylight gradient.
+    pub fn daylight() -> Self {
+        Sky::Gradient { horizon: Rgb::WHITE, zenith: Rgb::new(0.5, 0.7, 1.0) }
+    }
+
+    /// Radiance arriving from direction `dir` (unit length).
+    pub fn radiance(&self, dir: Vec3) -> Rgb {
+        match *self {
+            Sky::Gradient { horizon, zenith } => {
+                let t = 0.5 * (dir.y + 1.0);
+                Rgb {
+                    r: horizon.r * (1.0 - t) + zenith.r * t,
+                    g: horizon.g * (1.0 - t) + zenith.g * t,
+                    b: horizon.b * (1.0 - t) + zenith.b * t,
+                }
+            }
+            Sky::Solid(c) => c,
+            Sky::Black => Rgb::BLACK,
+        }
+    }
+}
+
+impl Default for Sky {
+    fn default() -> Self {
+        Sky::daylight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_interpolates_with_elevation() {
+        let sky = Sky::Gradient { horizon: Rgb::BLACK, zenith: Rgb::WHITE };
+        let up = sky.radiance(Vec3::Y);
+        let down = sky.radiance(-Vec3::Y);
+        let side = sky.radiance(Vec3::X);
+        assert_eq!(up, Rgb::WHITE);
+        assert_eq!(down, Rgb::BLACK);
+        assert!((side.r - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn black_sky_is_dark_everywhere() {
+        for dir in [Vec3::X, Vec3::Y, -Vec3::Z] {
+            assert_eq!(Sky::Black.radiance(dir), Rgb::BLACK);
+        }
+    }
+
+    #[test]
+    fn solid_sky_is_uniform() {
+        let sky = Sky::Solid(Rgb::splat(0.25));
+        assert_eq!(sky.radiance(Vec3::Y), sky.radiance(-Vec3::X));
+    }
+
+    #[test]
+    fn default_is_daylight() {
+        assert_eq!(Sky::default(), Sky::daylight());
+    }
+}

@@ -1,0 +1,244 @@
+//! The `cooprt` command-line tool: render scenes through the simulated
+//! GPU, compare traversal policies, inspect the scene suite, and query
+//! the area model — the whole library surface behind one binary.
+
+use cooprt::core::area::{cooprt_area, overhead_fraction, warp_buffer_bits};
+use cooprt::core::{FrameResult, GpuConfig, ShaderKind, Simulation, TraversalPolicy};
+use cooprt::scenes::{Scene, SceneId, ALL_SCENES};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cooprt — cooperative BVH traversal simulator (CoopRT, ISCA 2025)
+
+USAGE:
+    cooprt <COMMAND> [OPTIONS]
+
+COMMANDS:
+    render <scene>     render a scene and write a PPM image
+    compare <scene>    baseline vs CoopRT side by side
+    scenes             list the benchmark suite (Table 2 style)
+    area               print the CoopRT area model (Table 3 style)
+    help               show this message
+
+OPTIONS (render / compare):
+    --res <N>          square frame resolution      [default: 64]
+    --detail <N>       scene detail level           [default: 16]
+    --shader <S>       pt | ao | sh                 [default: pt]
+    --policy <P>       baseline | cooprt            [default: cooprt]
+    --mobile           use the 8-SM mobile GPU configuration
+    --out <FILE>       PPM output path (render only)
+
+EXAMPLES:
+    cooprt render crnvl --res 96 --out crnvl.ppm
+    cooprt compare fox --shader ao
+    cooprt scenes
+    cooprt area
+";
+
+struct Options {
+    res: usize,
+    detail: u32,
+    shader: ShaderKind,
+    policy: TraversalPolicy,
+    mobile: bool,
+    out: Option<String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut opts = Options {
+            res: 64,
+            detail: 16,
+            shader: ShaderKind::PathTrace,
+            policy: TraversalPolicy::CoopRt,
+            mobile: false,
+            out: None,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--res" => {
+                    opts.res = value("--res")?
+                        .parse()
+                        .map_err(|_| "--res expects a positive integer".to_string())?;
+                }
+                "--detail" => {
+                    opts.detail = value("--detail")?
+                        .parse()
+                        .map_err(|_| "--detail expects a positive integer".to_string())?;
+                }
+                "--shader" => {
+                    opts.shader = match value("--shader")?.as_str() {
+                        "pt" => ShaderKind::PathTrace,
+                        "ao" => ShaderKind::AmbientOcclusion,
+                        "sh" => ShaderKind::Shadow,
+                        other => return Err(format!("unknown shader '{other}' (pt|ao|sh)")),
+                    };
+                }
+                "--policy" => {
+                    opts.policy = match value("--policy")?.as_str() {
+                        "baseline" => TraversalPolicy::Baseline,
+                        "cooprt" => TraversalPolicy::CoopRt,
+                        other => {
+                            return Err(format!("unknown policy '{other}' (baseline|cooprt)"))
+                        }
+                    };
+                }
+                "--mobile" => opts.mobile = true,
+                "--out" => opts.out = Some(value("--out")?),
+                other => return Err(format!("unknown option '{other}'")),
+            }
+        }
+        if opts.res == 0 || opts.detail == 0 {
+            return Err("--res and --detail must be positive".into());
+        }
+        Ok(opts)
+    }
+
+    fn config(&self) -> GpuConfig {
+        if self.mobile {
+            GpuConfig::mobile()
+        } else {
+            GpuConfig::rtx2060()
+        }
+    }
+}
+
+fn find_scene(name: &str) -> Result<SceneId, String> {
+    ALL_SCENES.iter().copied().find(|s| s.name() == name).ok_or_else(|| {
+        let names: Vec<&str> = ALL_SCENES.iter().map(|s| s.name()).collect();
+        format!("unknown scene '{name}'; available: {}", names.join(" "))
+    })
+}
+
+fn report(label: &str, scene: &Scene, cfg: &GpuConfig, frame: &FrameResult) {
+    println!("--- {label} ---");
+    println!(
+        "cycles: {} ({:.3} ms at {:.0} MHz) | slowest warp: {}",
+        frame.cycles,
+        frame.cycles as f64 / (cfg.mem.core_clock_mhz * 1e3),
+        cfg.mem.core_clock_mhz,
+        frame.slowest_warp_cycles
+    );
+    println!(
+        "RT-unit utilization: {:.1}% | L1 miss {:.1}% | L2 miss {:.1}% | DRAM util {:.1}%",
+        frame.activity.avg_utilization() * 100.0,
+        frame.mem.l1.miss_rate() * 100.0,
+        frame.mem.l2.miss_rate() * 100.0,
+        frame.dram_utilization * 100.0
+    );
+    println!(
+        "energy: {:.3} mJ | avg power {:.1} W | scene '{}' {} triangles",
+        frame.energy.total_j() * 1e3,
+        frame.energy.avg_power_w(),
+        scene.name,
+        scene.triangle_count()
+    );
+}
+
+fn cmd_render(scene_name: &str, opts: &Options) -> Result<(), String> {
+    let id = find_scene(scene_name)?;
+    let scene = id.build(opts.detail);
+    let cfg = opts.config();
+    println!(
+        "rendering '{id}' at {0}x{0} under {1} ({2} shader)...",
+        opts.res,
+        opts.policy.label(),
+        opts.shader.label()
+    );
+    let frame =
+        Simulation::new(&scene, &cfg, opts.policy).run_frame(opts.shader, opts.res, opts.res);
+    report(opts.policy.label(), &scene, &cfg, &frame);
+    let out = opts.out.clone().unwrap_or_else(|| format!("{scene_name}.ppm"));
+    std::fs::write(&out, frame.image_buffer().to_ppm())
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_compare(scene_name: &str, opts: &Options) -> Result<(), String> {
+    let id = find_scene(scene_name)?;
+    let scene = id.build(opts.detail);
+    let cfg = opts.config();
+    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(opts.shader, opts.res, opts.res);
+    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(opts.shader, opts.res, opts.res);
+    report("baseline", &scene, &cfg, &base);
+    report("cooprt", &scene, &cfg, &coop);
+    assert_eq!(base.image, coop.image, "policies must agree functionally");
+    println!("--- verdict ---");
+    println!(
+        "speedup {:.2}x | power {:.2}x | energy {:.2}x | images identical ✓",
+        base.cycles as f64 / coop.cycles.max(1) as f64,
+        coop.energy.avg_power_w() / base.energy.avg_power_w().max(1e-12),
+        coop.energy.total_j() / base.energy.total_j().max(1e-300)
+    );
+    Ok(())
+}
+
+fn cmd_scenes(opts: &Options) {
+    println!(
+        "{:<8} {:>10} {:>11} {:>6} {:>7} {:>7}",
+        "scene", "triangles", "tree(MiB)", "depth", "lights", "closed"
+    );
+    for id in ALL_SCENES {
+        let s = id.build(opts.detail);
+        println!(
+            "{:<8} {:>10} {:>11.3} {:>6} {:>7} {:>7}",
+            s.name,
+            s.triangle_count(),
+            s.stats.size_mib,
+            s.stats.depth,
+            s.lights.len(),
+            s.is_closed()
+        );
+    }
+}
+
+fn cmd_area() {
+    println!("{:<8} {:>8} {:>11} {:>10}", "subwarp", "cells", "area(um2)", "overhead");
+    for sw in [32usize, 16, 8, 4] {
+        let a = cooprt_area(sw);
+        println!(
+            "{:<8} {:>8} {:>11.0} {:>9.2}%",
+            sw,
+            a.cells(),
+            a.area_um2(),
+            overhead_fraction(sw, 4) * 100.0
+        );
+    }
+    println!("\nwarp buffer (4 entries): {} bits", warp_buffer_bits(4));
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("render") if args.len() >= 2 => {
+            Options::parse(&args[2..]).and_then(|o| cmd_render(&args[1], &o))
+        }
+        Some("compare") if args.len() >= 2 => {
+            Options::parse(&args[2..]).and_then(|o| cmd_compare(&args[1], &o))
+        }
+        Some("scenes") => Options::parse(&args[1..]).map(|o| cmd_scenes(&o)),
+        Some("area") => {
+            cmd_area();
+            Ok(())
+        }
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # CoopRT — Cooperative BVH Traversal for GPU Ray Tracing
+//!
+//! A from-scratch Rust reproduction of *CoopRT: Accelerating BVH Traversal
+//! for Ray Tracing via Cooperative Threads* (Tozlu & Zhou, ISCA 2025).
+//!
+//! This façade crate re-exports the workspace's public API:
+//!
+//! - [`math`] — vectors, rays, AABBs, triangles, intersection tests.
+//! - [`bvh`] — binned-SAH 6-ary BVH builder and byte-addressed memory image.
+//! - [`scenes`] — the 15-scene LumiBench-analog procedural suite.
+//! - [`gpu`] — memory hierarchy (L1/L2/DRAM), clock domains, power model.
+//! - [`core`] — the cycle-level RT-unit simulator with the CoopRT Load
+//!   Balancing Unit, shader drivers and area model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cooprt::core::{GpuConfig, Simulation, TraversalPolicy, ShaderKind};
+//! use cooprt::scenes::SceneId;
+//!
+//! // Trace a tiny path-traced frame on the baseline RT unit and on CoopRT.
+//! let scene = SceneId::Wknd.build(16);
+//! let config = GpuConfig::rtx2060();
+//! let base = Simulation::new(&scene, &config, TraversalPolicy::Baseline)
+//!     .run_frame(ShaderKind::PathTrace, 8, 8);
+//! let coop = Simulation::new(&scene, &config, TraversalPolicy::CoopRt)
+//!     .run_frame(ShaderKind::PathTrace, 8, 8);
+//! // Both policies compute identical images...
+//! assert_eq!(base.image, coop.image);
+//! // ...but the cooperative traversal takes fewer cycles on divergent work.
+//! assert!(coop.cycles <= base.cycles);
+//! ```
+
+pub use cooprt_bvh as bvh;
+pub use cooprt_core as core;
+pub use cooprt_gpu as gpu;
+pub use cooprt_math as math;
+pub use cooprt_scenes as scenes;

@@ -1,0 +1,78 @@
+//! Determinism: the whole stack — scene generation, BVH build,
+//! simulation, statistics — must be bit-reproducible run to run, which
+//! is what makes the benchmark harness trustworthy.
+
+use cooprt::core::{GpuConfig, ShaderKind, Simulation, TraversalPolicy};
+use cooprt::scenes::{SceneId, ALL_SCENES};
+
+#[test]
+fn scene_generation_is_reproducible() {
+    for id in ALL_SCENES {
+        let a = id.build(2);
+        let b = id.build(2);
+        assert_eq!(a.image.triangles(), b.image.triangles(), "{id}");
+        assert_eq!(a.stats, b.stats, "{id}");
+        assert_eq!(a.lights, b.lights, "{id}");
+    }
+}
+
+#[test]
+fn full_simulation_is_reproducible() {
+    let scene = SceneId::Crnvl.build(2);
+    let cfg = GpuConfig::small(2);
+    for policy in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
+        let a = Simulation::new(&scene, &cfg, policy).run_frame(ShaderKind::PathTrace, 10, 10);
+        let b = Simulation::new(&scene, &cfg, policy).run_frame(ShaderKind::PathTrace, 10, 10);
+        assert_eq!(a.cycles, b.cycles, "{policy:?}");
+        assert_eq!(a.image, b.image);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.mem, b.mem);
+        assert_eq!(a.stalls, b.stalls);
+        assert_eq!(a.slowest_warp_cycles, b.slowest_warp_cycles);
+    }
+}
+
+#[test]
+fn activity_sampling_is_reproducible() {
+    let scene = SceneId::Bath.build(2);
+    let cfg = GpuConfig::small(2);
+    let a = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, 10, 10);
+    let b = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, 10, 10);
+    assert_eq!(a.activity.samples, b.activity.samples);
+}
+
+#[test]
+fn timelines_are_reproducible() {
+    let scene = SceneId::Spnza.build(2);
+    let cfg = GpuConfig::small(2);
+    let a = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .with_timeline_warp(1)
+        .run_frame(ShaderKind::PathTrace, 10, 10);
+    let b = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .with_timeline_warp(1)
+        .run_frame(ShaderKind::PathTrace, 10, 10);
+    assert_eq!(a.timeline, b.timeline);
+}
+
+#[test]
+fn different_details_produce_different_scenes() {
+    let a = SceneId::Fox.build(2);
+    let b = SceneId::Fox.build(3);
+    assert_ne!(a.triangle_count(), b.triangle_count());
+}
+
+#[test]
+fn shader_kinds_produce_distinct_images() {
+    let scene = SceneId::Wknd.build(2);
+    let cfg = GpuConfig::small(2);
+    let pt = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, 8, 8);
+    let ao = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::AmbientOcclusion, 8, 8);
+    let sh = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::Shadow, 8, 8);
+    assert_ne!(pt.image, ao.image);
+    assert_ne!(ao.image, sh.image);
+}

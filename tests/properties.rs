@@ -1,0 +1,318 @@
+//! Property-based tests over the core data structures and the
+//! simulator's functional invariants.
+
+use cooprt::bvh::traverse::{any_hit, brute_force_closest_hit, closest_hit};
+use cooprt::bvh::{build_binary, BvhImage, WideBvh, MAX_ARITY};
+use cooprt::math::{Aabb, Ray, Triangle, Vec3};
+use proptest::prelude::*;
+
+fn arb_vec3(range: f32) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_triangle() -> impl Strategy<Value = Triangle> {
+    (arb_vec3(10.0), arb_vec3(2.0), arb_vec3(2.0)).prop_filter_map(
+        "non-degenerate triangle",
+        |(base, e1, e2)| {
+            let t = Triangle::new(base, base + e1, base + e2);
+            (t.double_area() > 1e-4).then_some(t)
+        },
+    )
+}
+
+fn arb_ray() -> impl Strategy<Value = Ray> {
+    (arb_vec3(15.0), arb_vec3(1.0)).prop_filter_map("non-zero direction", |(o, d)| {
+        (d.length_squared() > 1e-4).then(|| Ray::new(o, d))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aabb_union_contains_both_operands(a in arb_vec3(10.0), b in arb_vec3(10.0),
+                                         c in arb_vec3(10.0), d in arb_vec3(10.0)) {
+        let x = Aabb::new(a, b);
+        let y = Aabb::new(c, d);
+        let u = x.union(&y);
+        prop_assert!(u.contains(x.min) && u.contains(x.max));
+        prop_assert!(u.contains(y.min) && u.contains(y.max));
+        // Union is commutative and idempotent.
+        prop_assert_eq!(u, y.union(&x));
+        prop_assert_eq!(u.union(&u), u);
+    }
+
+    #[test]
+    fn slab_test_agrees_with_contained_points(a in arb_vec3(5.0), b in arb_vec3(5.0),
+                                              ray in arb_ray(), t in 0.0f32..20.0) {
+        // If the point at parameter t is inside the box, the slab test
+        // must report a hit with entry distance <= t.
+        let bbox = Aabb::new(a, b);
+        if bbox.contains(ray.at(t)) {
+            let hit = bbox.intersect(&ray, f32::INFINITY);
+            prop_assert!(hit.is_some(), "point inside at t={t} but slab missed");
+            prop_assert!(hit.unwrap() <= t + 1e-3);
+        }
+    }
+
+    #[test]
+    fn triangle_hits_lie_on_the_plane(tri in arb_triangle(), ray in arb_ray()) {
+        if let Some(h) = tri.intersect(&ray, f32::INFINITY) {
+            let p = ray.at(h.t);
+            let n = tri.normal();
+            let dist = (p - tri.v0).dot(n).abs();
+            prop_assert!(dist < 2e-2, "hit point {dist} off the plane");
+            prop_assert!(h.u >= 0.0 && h.v >= 0.0 && h.u + h.v <= 1.0 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn triangle_bounds_contain_all_hits(tri in arb_triangle(), ray in arb_ray()) {
+        if let Some(h) = tri.intersect(&ray, f32::INFINITY) {
+            let p = ray.at(h.t);
+            let grown = {
+                let b = tri.bounds();
+                Aabb::new(b.min - Vec3::splat(1e-2), b.max + Vec3::splat(1e-2))
+            };
+            prop_assert!(grown.contains(p));
+        }
+    }
+
+    #[test]
+    fn bvh_traversal_equals_brute_force(tris in prop::collection::vec(arb_triangle(), 1..60),
+                                        rays in prop::collection::vec(arb_ray(), 1..20)) {
+        let image = BvhImage::serialize(&WideBvh::from_binary(&build_binary(&tris)), &tris);
+        for ray in &rays {
+            let a = closest_hit(&image, ray, f32::INFINITY);
+            let b = brute_force_closest_hit(&image, ray, f32::INFINITY);
+            match (a, b) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    // Same distance always; same primitive unless two
+                    // triangles coincide at the same t.
+                    prop_assert!((x.t - y.t).abs() < 1e-3, "t {} vs {}", x.t, y.t);
+                }
+                (x, y) => prop_assert!(false, "bvh {x:?} vs brute {y:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn any_hit_is_consistent_with_closest_hit(tris in prop::collection::vec(arb_triangle(), 1..40),
+                                              ray in arb_ray(), t_max in 0.5f32..50.0) {
+        let image = BvhImage::serialize(&WideBvh::from_binary(&build_binary(&tris)), &tris);
+        let closest = closest_hit(&image, &ray, t_max);
+        prop_assert_eq!(any_hit(&image, &ray, t_max), closest.is_some());
+    }
+
+    #[test]
+    fn wide_bvh_structure_invariants(tris in prop::collection::vec(arb_triangle(), 1..80)) {
+        let binary = build_binary(&tris);
+        let wide = WideBvh::from_binary(&binary);
+        prop_assert!(wide.max_arity() <= MAX_ARITY);
+        prop_assert_eq!(wide.leaf_count(), tris.len());
+        prop_assert!(wide.depth() <= binary.depth());
+        // Serialization round-trips every node address.
+        let image = BvhImage::serialize(&wide, &tris);
+        prop_assert_eq!(image.node_count(), wide.nodes.len());
+        for node in &image {
+            prop_assert!(image.node_at(node.addr).is_some());
+        }
+    }
+
+    #[test]
+    fn shrinking_t_max_never_adds_hits(tris in prop::collection::vec(arb_triangle(), 1..30),
+                                       ray in arb_ray(), t1 in 1.0f32..10.0, t2 in 10.0f32..100.0) {
+        let image = BvhImage::serialize(&WideBvh::from_binary(&build_binary(&tris)), &tris);
+        let near = closest_hit(&image, &ray, t1);
+        let far = closest_hit(&image, &ray, t2);
+        if let Some(n) = near {
+            // Anything found within t1 must also be the closest within t2.
+            prop_assert!(far.is_some());
+            prop_assert!((far.unwrap().t - n.t).abs() < 1e-4);
+        }
+    }
+}
+
+mod cache_properties {
+    use cooprt::gpu::Cache;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn hits_never_exceed_accesses(addrs in prop::collection::vec(0u64..4096, 1..200)) {
+            let mut c = Cache::new(512, 2, 64);
+            for a in &addrs {
+                c.access_line(*a);
+            }
+            let s = c.stats();
+            prop_assert_eq!(s.accesses, addrs.len() as u64);
+            prop_assert!(s.hits <= s.accesses);
+        }
+
+        #[test]
+        fn immediate_reaccess_always_hits(addrs in prop::collection::vec(0u64..4096, 1..100)) {
+            let mut c = Cache::new(1024, 0, 64);
+            for a in &addrs {
+                c.access_line(*a);
+                prop_assert!(c.access_line(*a), "line {a} must hit right after fill");
+            }
+        }
+
+        #[test]
+        fn working_set_within_capacity_converges_to_all_hits(
+            lines in prop::collection::vec(0u64..8, 1..50)
+        ) {
+            // 8 lines of capacity, addresses drawn from 8 lines: after one
+            // full pass, everything hits.
+            let mut c = Cache::new(8 * 64, 0, 64);
+            for l in 0u64..8 {
+                c.access_line(l * 64);
+            }
+            for l in &lines {
+                prop_assert!(c.access_line(l * 64));
+            }
+        }
+    }
+}
+
+mod lbu_properties {
+    use cooprt::core::lbu::find_pairs;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn pairs_are_valid_and_disjoint(can in any::<u32>(), needs_raw in any::<u32>(),
+                                        sw in prop::sample::select(vec![4usize, 8, 16, 32])) {
+            // The hardware masks are disjoint by construction (an empty
+            // stack is not a non-empty stack).
+            let needs = needs_raw & !can;
+            let pairs = find_pairs(can, needs, sw);
+            prop_assert!(pairs.len() <= 32 / sw);
+            for p in &pairs {
+                prop_assert!(can & (1 << p.helper) != 0, "helper must be eligible");
+                prop_assert!(needs & (1 << p.main) != 0, "main must need help");
+                prop_assert_eq!(p.helper / sw, p.main / sw, "pair stays in its subwarp");
+                prop_assert_ne!(p.helper, p.main);
+            }
+            // At most one pair per subwarp group.
+            let mut groups: Vec<usize> = pairs.iter().map(|p| p.helper / sw).collect();
+            groups.sort_unstable();
+            groups.dedup();
+            prop_assert_eq!(groups.len(), pairs.len());
+        }
+
+        #[test]
+        fn whole_warp_finds_a_pair_iff_both_masks_nonempty(can in any::<u32>(),
+                                                           needs_raw in any::<u32>()) {
+            let needs = needs_raw & !can;
+            let pairs = find_pairs(can, needs, 32);
+            prop_assert_eq!(pairs.is_empty(), can == 0 || needs == 0);
+        }
+    }
+}
+
+mod mshr_properties {
+    use cooprt::gpu::Mshr;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn lookups_never_return_expired_fills(
+            ops in prop::collection::vec((0u64..32, 1u64..1000), 1..100)
+        ) {
+            let mut mshr = Mshr::new(8);
+            let mut now = 0u64;
+            for (line, delay) in ops {
+                if let Some(done) = mshr.lookup(line, now) {
+                    prop_assert!(done > now, "a merged fill must still be in flight");
+                } else {
+                    mshr.insert(line, now + delay, now);
+                }
+                now += 7;
+            }
+        }
+    }
+}
+
+mod camera_properties {
+    use cooprt::scenes::Camera;
+    use cooprt::math::Vec3;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn primary_rays_are_unit_and_forward(s in 0.0f32..1.0, t in 0.0f32..1.0,
+                                             fov in 20.0f32..100.0) {
+            let cam = Camera::look_at(
+                Vec3::new(0.0, 2.0, 10.0),
+                Vec3::ZERO,
+                Vec3::Y,
+                fov,
+                1.0,
+            );
+            let r = cam.primary_ray(s, t);
+            prop_assert!((r.dir.length() - 1.0).abs() < 1e-4);
+            prop_assert_eq!(r.orig, Vec3::new(0.0, 2.0, 10.0));
+            // All rays within the frustum point broadly toward the target.
+            let toward = (Vec3::ZERO - r.orig).normalized();
+            prop_assert!(r.dir.dot(toward) > 0.0);
+        }
+    }
+}
+
+mod tie_break_regression {
+    use cooprt::core::{GpuConfig, ShaderKind, Simulation, TraversalPolicy};
+    use cooprt::scenes::SceneId;
+
+    /// Regression for a bug proptest found: a camera ray through a
+    /// shared mesh edge ties between the two adjacent triangles at the
+    /// exact same `t`; without index tie-breaking the winner depended
+    /// on traversal order, so CoopRT with (buffer=2, subwarp=16)
+    /// rendered one pixel differently from the baseline.
+    #[test]
+    fn edge_ties_are_order_independent() {
+        let scene = SceneId::Wknd.build(2);
+        let reference = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 8, 8);
+        let cfg = GpuConfig::small(2).with_warp_buffer(2).with_subwarp(16);
+        let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 8, 8);
+        assert_eq!(r.image, reference.image);
+    }
+}
+
+mod simulator_properties {
+    use cooprt::core::{GpuConfig, ShaderKind, Simulation, TraversalPolicy};
+    use cooprt::scenes::SceneId;
+    use proptest::prelude::*;
+
+    proptest! {
+        // Each case simulates two frames; keep the count small.
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn image_invariance_over_microarchitecture(
+            buffer in prop::sample::select(vec![2usize, 4, 8]),
+            subwarp in prop::sample::select(vec![4usize, 8, 16, 32]),
+            sms in 1usize..3,
+        ) {
+            let scene = SceneId::Wknd.build(2);
+            let reference = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::Baseline)
+                .run_frame(ShaderKind::PathTrace, 8, 8);
+            let cfg = GpuConfig::small(sms).with_warp_buffer(buffer).with_subwarp(subwarp);
+            let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+                .run_frame(ShaderKind::PathTrace, 8, 8);
+            prop_assert_eq!(r.image, reference.image);
+            prop_assert!(r.cycles > 0);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! End-to-end rendering-quality checks: the simulated GPU is also a
+//! correct path tracer, so multi-sample accumulation must converge and
+//! images must respond to the scene in physically sensible ways.
+
+use cooprt::core::{GpuConfig, ShaderKind, Simulation, TraversalPolicy};
+use cooprt::math::{Image, Rgb};
+use cooprt::scenes::SceneId;
+
+fn mean_luminance(px: &[Rgb]) -> f64 {
+    px.iter().map(|c| c.luminance() as f64).sum::<f64>() / px.len() as f64
+}
+
+#[test]
+fn accumulation_converges_toward_a_reference() {
+    // More samples per pixel must land closer to a high-spp reference
+    // than one sample does (Monte Carlo convergence through the whole
+    // simulated GPU stack).
+    let scene = SceneId::Wknd.build(4);
+    let cfg = GpuConfig::small(2);
+    let sim = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt);
+    let (reference, _) = sim.run_accumulated(ShaderKind::PathTrace, 12, 12, 24);
+    let (one, _) = sim.run_accumulated(ShaderKind::PathTrace, 12, 12, 1);
+    let (eight, _) = sim.run_accumulated(ShaderKind::PathTrace, 12, 12, 8);
+    let reference = Image::from_pixels(12, 12, reference);
+    let mse_one = reference.mse(&Image::from_pixels(12, 12, one));
+    let mse_eight = reference.mse(&Image::from_pixels(12, 12, eight));
+    assert!(
+        mse_eight < mse_one,
+        "8 spp (mse {mse_eight:.5}) must beat 1 spp (mse {mse_one:.5})"
+    );
+}
+
+#[test]
+fn closed_dark_scene_is_darker_than_daylight() {
+    let cfg = GpuConfig::small(2);
+    let day = SceneId::Wknd.build(2);
+    let night = SceneId::Spnza.build(2); // closed room, small lights
+    let day_img = Simulation::new(&day, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, 10, 10);
+    let night_img = Simulation::new(&night, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, 10, 10);
+    assert!(
+        mean_luminance(&day_img.image) > mean_luminance(&night_img.image),
+        "daylight {:.3} should out-shine the closed atrium {:.3}",
+        mean_luminance(&day_img.image),
+        mean_luminance(&night_img.image)
+    );
+}
+
+#[test]
+fn ao_images_are_bounded_by_albedo() {
+    // AO = albedo * visibility, so no pixel can exceed the scene's
+    // brightest albedo/sky value by construction.
+    let scene = SceneId::Chsnt.build(2);
+    let cfg = GpuConfig::small(2);
+    let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::AmbientOcclusion, 12, 12);
+    for px in &r.image {
+        assert!(px.r <= 1.01 && px.g <= 1.01 && px.b <= 1.01, "AO pixel out of range: {px:?}");
+        assert!(px.r >= 0.0 && px.g >= 0.0 && px.b >= 0.0);
+    }
+}
+
+#[test]
+fn ppm_export_roundtrips_dimensions() {
+    let scene = SceneId::Ship.build(2);
+    let cfg = GpuConfig::small(2);
+    let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, 9, 7);
+    let ppm = r.image_buffer().to_ppm();
+    let header = b"P6\n9 7\n255\n";
+    assert_eq!(&ppm[..header.len()], header);
+    assert_eq!(ppm.len(), header.len() + 9 * 7 * 3);
+}
+
+#[test]
+fn psnr_between_policies_is_infinite() {
+    // Not just equal buffers: the metric itself reports perfection.
+    let scene = SceneId::Bath.build(2);
+    let cfg = GpuConfig::small(2);
+    let a = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, 8, 8);
+    let b = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, 8, 8);
+    assert_eq!(a.image_buffer().psnr(&b.image_buffer()), f64::INFINITY);
+}
