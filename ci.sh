@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, release build, full test suite.
+# The workspace has no external dependencies, so everything runs offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release --workspace
+
+echo "==> cargo test"
+cargo test --offline --quiet --workspace
+
+echo "CI green."

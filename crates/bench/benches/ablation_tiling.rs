@@ -20,10 +20,30 @@ fn main() {
         let mut tiled = GpuConfig::rtx2060();
         tiled.warp_tiling = WarpTiling::Tiled8x4;
 
-        let lin_base = run(&scene, &linear, TraversalPolicy::Baseline, ShaderKind::PathTrace);
-        let lin_coop = run(&scene, &linear, TraversalPolicy::CoopRt, ShaderKind::PathTrace);
-        let tile_base = run(&scene, &tiled, TraversalPolicy::Baseline, ShaderKind::PathTrace);
-        let tile_coop = run(&scene, &tiled, TraversalPolicy::CoopRt, ShaderKind::PathTrace);
+        let lin_base = run(
+            &scene,
+            &linear,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
+        let lin_coop = run(
+            &scene,
+            &linear,
+            TraversalPolicy::CoopRt,
+            ShaderKind::PathTrace,
+        );
+        let tile_base = run(
+            &scene,
+            &tiled,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
+        let tile_coop = run(
+            &scene,
+            &tiled,
+            TraversalPolicy::CoopRt,
+            ShaderKind::PathTrace,
+        );
 
         let denom = lin_base.cycles.max(1) as f64;
         let row = [

@@ -27,8 +27,12 @@ fn main() {
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); rates.len()];
     for id in SCENES {
         let scene = build_scene(id);
-        let base =
-            run(&scene, &GpuConfig::rtx2060(), TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let base = run(
+            &scene,
+            &GpuConfig::rtx2060(),
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
         let mut row = Vec::new();
         for (i, &rate) in rates.iter().enumerate() {
             let mut cfg = GpuConfig::rtx2060();
@@ -50,8 +54,12 @@ fn main() {
     let mut bot_col = Vec::new();
     for id in SCENES {
         let scene = build_scene(id);
-        let base =
-            run(&scene, &GpuConfig::rtx2060(), TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let base = run(
+            &scene,
+            &GpuConfig::rtx2060(),
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
         let mut row = Vec::new();
         for steal in [StealPosition::Top, StealPosition::Bottom] {
             let mut cfg = GpuConfig::rtx2060();
@@ -72,11 +80,20 @@ fn main() {
     print_header("scene", &["slowdown", "tri x"]);
     for id in SCENES {
         let scene = build_scene(id);
-        let with =
-            run(&scene, &GpuConfig::rtx2060(), TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let with = run(
+            &scene,
+            &GpuConfig::rtx2060(),
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
         let mut cfg = GpuConfig::rtx2060();
         cfg.node_elimination = false;
-        let without = run(&scene, &cfg, TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let without = run(
+            &scene,
+            &cfg,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
         print_row(
             id.name(),
             &[
@@ -93,8 +110,12 @@ fn main() {
     for id in SCENES {
         let scene = build_scene(id);
         let median_scene = scene.rebuilt_with(cooprt_bvh::build_binary_median);
-        let sah =
-            run(&scene, &GpuConfig::rtx2060(), TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let sah = run(
+            &scene,
+            &GpuConfig::rtx2060(),
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
         let med = run(
             &median_scene,
             &GpuConfig::rtx2060(),

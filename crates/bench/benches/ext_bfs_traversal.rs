@@ -21,10 +21,30 @@ fn main() {
         let mut bfs_cfg = GpuConfig::rtx2060();
         bfs_cfg.traversal_order = TraversalOrder::Bfs;
 
-        let dfs_base = run(&scene, &dfs_cfg, TraversalPolicy::Baseline, ShaderKind::PathTrace);
-        let dfs_coop = run(&scene, &dfs_cfg, TraversalPolicy::CoopRt, ShaderKind::PathTrace);
-        let bfs_base = run(&scene, &bfs_cfg, TraversalPolicy::Baseline, ShaderKind::PathTrace);
-        let bfs_coop = run(&scene, &bfs_cfg, TraversalPolicy::CoopRt, ShaderKind::PathTrace);
+        let dfs_base = run(
+            &scene,
+            &dfs_cfg,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
+        let dfs_coop = run(
+            &scene,
+            &dfs_cfg,
+            TraversalPolicy::CoopRt,
+            ShaderKind::PathTrace,
+        );
+        let bfs_base = run(
+            &scene,
+            &bfs_cfg,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
+        let bfs_coop = run(
+            &scene,
+            &bfs_cfg,
+            TraversalPolicy::CoopRt,
+            ShaderKind::PathTrace,
+        );
 
         let denom = dfs_base.cycles.max(1) as f64;
         let row = [

@@ -20,10 +20,30 @@ fn main() {
         let mut compact = GpuConfig::rtx2060();
         compact.compaction = true;
 
-        let base = run(&scene, &plain, TraversalPolicy::Baseline, ShaderKind::PathTrace);
-        let cmp = run(&scene, &compact, TraversalPolicy::Baseline, ShaderKind::PathTrace);
-        let coop = run(&scene, &plain, TraversalPolicy::CoopRt, ShaderKind::PathTrace);
-        let both = run(&scene, &compact, TraversalPolicy::CoopRt, ShaderKind::PathTrace);
+        let base = run(
+            &scene,
+            &plain,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
+        let cmp = run(
+            &scene,
+            &compact,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
+        let coop = run(
+            &scene,
+            &plain,
+            TraversalPolicy::CoopRt,
+            ShaderKind::PathTrace,
+        );
+        let both = run(
+            &scene,
+            &compact,
+            TraversalPolicy::CoopRt,
+            ShaderKind::PathTrace,
+        );
 
         let denom = base.cycles.max(1) as f64;
         let row = [

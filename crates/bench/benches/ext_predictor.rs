@@ -11,7 +11,10 @@ use cooprt_bench::{banner, build_scene, gmean, print_header, print_row, run, sce
 use cooprt_core::{GpuConfig, ShaderKind, TraversalPolicy};
 
 fn study(kind: ShaderKind) {
-    println!("\n--- {} shader (normalized to plain baseline) ---", kind.label());
+    println!(
+        "\n--- {} shader (normalized to plain baseline) ---",
+        kind.label()
+    );
     print_header("scene", &["predict", "coop", "both", "verify%"]);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
     for id in scene_list() {

@@ -20,9 +20,24 @@ fn main() {
         let mut pf = GpuConfig::rtx2060();
         pf.prefetch_children = true;
 
-        let base = run(&scene, &plain, TraversalPolicy::Baseline, ShaderKind::PathTrace);
-        let base_pf = run(&scene, &pf, TraversalPolicy::Baseline, ShaderKind::PathTrace);
-        let coop = run(&scene, &plain, TraversalPolicy::CoopRt, ShaderKind::PathTrace);
+        let base = run(
+            &scene,
+            &plain,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
+        let base_pf = run(
+            &scene,
+            &pf,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
+        let coop = run(
+            &scene,
+            &plain,
+            TraversalPolicy::CoopRt,
+            ShaderKind::PathTrace,
+        );
         let coop_pf = run(&scene, &pf, TraversalPolicy::CoopRt, ShaderKind::PathTrace);
 
         let denom = base.cycles.max(1) as f64;

@@ -15,7 +15,12 @@ fn main() {
     let mut rt_fracs = Vec::new();
     for id in scene_list() {
         let scene = build_scene(id);
-        let r = run(&scene, &cfg, TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let r = run(
+            &scene,
+            &cfg,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
         let f = r.stalls.fractions();
         print_row(id.name(), &f);
         rt_fracs.push(f[0]);

@@ -14,21 +14,42 @@ fn main() {
     let cfg = GpuConfig::rtx2060();
     for id in [SceneId::Spnza, SceneId::Bath] {
         let scene = build_scene(id);
-        let r = run(&scene, &cfg, TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let r = run(
+            &scene,
+            &cfg,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
         println!();
-        println!("{}: {} samples over {} cycles", id.name(), r.activity.samples.len(), r.cycles);
+        println!(
+            "{}: {} samples over {} cycles",
+            id.name(),
+            r.activity.samples.len(),
+            r.cycles
+        );
         println!("{:>10} {:>10} {:>8}", "cycle", "busy%", "bar");
         // Downsample to at most 40 printed rows.
         let step = (r.activity.samples.len() / 40).max(1);
         for s in r.activity.samples.iter().step_by(step) {
             let present = s.present();
-            let frac = if present == 0 { 0.0 } else { s.busy as f64 / present as f64 };
+            let frac = if present == 0 {
+                0.0
+            } else {
+                s.busy as f64 / present as f64
+            };
             let bar = "#".repeat((frac * 40.0).round() as usize);
             println!("{:>10} {:>9.1}% {}", s.cycle, frac * 100.0, bar);
         }
         let first = r.activity.samples.first().map_or(0.0, |s| {
-            if s.present() == 0 { 0.0 } else { s.busy as f64 / s.present() as f64 }
+            if s.present() == 0 {
+                0.0
+            } else {
+                s.busy as f64 / s.present() as f64
+            }
         });
-        println!("start-of-frame busy fraction: {:.2} (paper: ~1.0, then a steep drop)", first);
+        println!(
+            "start-of-frame busy fraction: {:.2} (paper: ~1.0, then a steep drop)",
+            first
+        );
     }
 }

@@ -15,7 +15,12 @@ fn main() {
     let mut wasted = Vec::new();
     for id in scene_list() {
         let scene = build_scene(id);
-        let r = run(&scene, &cfg, TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let r = run(
+            &scene,
+            &cfg,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
         let d = r.activity.status_distribution();
         print_row(id.name(), &d);
         wasted.push(d[1] + d[2]);

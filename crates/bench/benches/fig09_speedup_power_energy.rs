@@ -5,7 +5,7 @@
 //! target runs every scene under both policies and prints the same
 //! three normalized series.
 
-use cooprt_bench::{banner, gmean, print_header, print_row, scene_list, Comparison};
+use cooprt_bench::{banner, gmean, print_header, print_row, run_comparisons};
 use cooprt_core::{GpuConfig, ShaderKind};
 
 fn main() {
@@ -13,10 +13,9 @@ fn main() {
     let cfg = GpuConfig::rtx2060();
     print_header("scene", &["speedup", "power", "energy"]);
     let (mut sp, mut pw, mut en) = (Vec::new(), Vec::new(), Vec::new());
-    for id in scene_list() {
-        let c = Comparison::run(id, &cfg, ShaderKind::PathTrace);
+    for c in run_comparisons(&cfg, ShaderKind::PathTrace) {
         let row = [c.speedup(), c.power_ratio(), c.energy_ratio()];
-        print_row(id.name(), &row);
+        print_row(c.id.name(), &row);
         sp.push(row[0]);
         pw.push(row[1]);
         en.push(row[2]);
@@ -25,6 +24,9 @@ fn main() {
     print_row("gmean", &[gmean(&sp), gmean(&pw), gmean(&en)]);
     let max = sp.iter().cloned().fold(0.0, f64::max);
     println!();
-    println!("max speedup: {max:.2}x (paper: 5.11x) | gmean: {:.2}x (paper: 2.15x)", gmean(&sp));
+    println!(
+        "max speedup: {max:.2}x (paper: 5.11x) | gmean: {:.2}x (paper: 2.15x)",
+        gmean(&sp)
+    );
     println!("paper power gmean: 2.02x | paper energy: 0.94x");
 }

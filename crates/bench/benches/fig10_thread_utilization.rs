@@ -5,7 +5,7 @@
 //! absolute value. This target prints both utilizations, the delta, and
 //! the speedup so the correlation is visible in one table.
 
-use cooprt_bench::{banner, print_header, print_row, scene_list, Comparison};
+use cooprt_bench::{banner, print_header, print_row, run_comparisons};
 use cooprt_core::{GpuConfig, ShaderKind};
 
 fn main() {
@@ -13,11 +13,10 @@ fn main() {
     let cfg = GpuConfig::rtx2060();
     print_header("scene", &["baseline", "cooprt", "delta", "speedup"]);
     let mut rows = Vec::new();
-    for id in scene_list() {
-        let c = Comparison::run(id, &cfg, ShaderKind::PathTrace);
+    for c in run_comparisons(&cfg, ShaderKind::PathTrace) {
         let b = c.base.activity.avg_utilization();
         let k = c.coop.activity.avg_utilization();
-        print_row(id.name(), &[b, k, k - b, c.speedup()]);
+        print_row(c.id.name(), &[b, k, k - b, c.speedup()]);
         rows.push((k - b, c.speedup()));
     }
     // Rank correlation between utilization delta and speedup.
@@ -25,7 +24,11 @@ fn main() {
     if n >= 2.0 {
         let mean_d = rows.iter().map(|r| r.0).sum::<f64>() / n;
         let mean_s = rows.iter().map(|r| r.1).sum::<f64>() / n;
-        let cov: f64 = rows.iter().map(|r| (r.0 - mean_d) * (r.1 - mean_s)).sum::<f64>() / n;
+        let cov: f64 = rows
+            .iter()
+            .map(|r| (r.0 - mean_d) * (r.1 - mean_s))
+            .sum::<f64>()
+            / n;
         let sd: f64 = (rows.iter().map(|r| (r.0 - mean_d).powi(2)).sum::<f64>() / n).sqrt();
         let ss: f64 = (rows.iter().map(|r| (r.1 - mean_s).powi(2)).sum::<f64>() / n).sqrt();
         println!();

@@ -5,7 +5,7 @@
 //! nodes in parallel. This target prints CoopRT's bandwidth normalized
 //! to baseline for both interfaces.
 
-use cooprt_bench::{banner, gmean, print_header, print_row, scene_list, Comparison};
+use cooprt_bench::{banner, gmean, print_header, print_row, run_comparisons};
 use cooprt_core::{GpuConfig, ShaderKind};
 
 fn main() {
@@ -13,12 +13,12 @@ fn main() {
     let cfg = GpuConfig::rtx2060();
     print_header("scene", &["L2", "DRAM"]);
     let (mut l2s, mut drams) = (Vec::new(), Vec::new());
-    for id in scene_list() {
-        let c = Comparison::run(id, &cfg, ShaderKind::PathTrace);
-        let l2 = c.coop.mem.l2_bandwidth(c.coop.cycles) / c.base.mem.l2_bandwidth(c.base.cycles).max(1e-12);
-        let dram =
-            c.coop.mem.dram_bandwidth(c.coop.cycles) / c.base.mem.dram_bandwidth(c.base.cycles).max(1e-12);
-        print_row(id.name(), &[l2, dram]);
+    for c in run_comparisons(&cfg, ShaderKind::PathTrace) {
+        let l2 = c.coop.mem.l2_bandwidth(c.coop.cycles)
+            / c.base.mem.l2_bandwidth(c.base.cycles).max(1e-12);
+        let dram = c.coop.mem.dram_bandwidth(c.coop.cycles)
+            / c.base.mem.dram_bandwidth(c.base.cycles).max(1e-12);
+        print_row(c.id.name(), &[l2, dram]);
         l2s.push(l2);
         drams.push(dram);
     }

@@ -7,7 +7,9 @@
 //! returns past 8-16; CoopRT@4 beats the 32-entry baseline; CoopRT
 //! curves are flat (it already saturates the memory system).
 
-use cooprt_bench::{banner, build_scene, gmean, print_header, print_row, run_at, scene_list, sweep_res};
+use cooprt_bench::{
+    banner, build_scene, gmean, print_header, print_row, run_at, scene_list, sweep_res,
+};
 use cooprt_core::{GpuConfig, ShaderKind, TraversalPolicy};
 
 fn main() {
@@ -17,15 +19,24 @@ fn main() {
     let configs: Vec<(String, usize, TraversalPolicy)> = [8usize, 16, 32]
         .iter()
         .map(|&n| (format!("{n}w/o"), n, TraversalPolicy::Baseline))
-        .chain([4usize, 8, 16, 32].iter().map(|&n| (format!("{n}w/"), n, TraversalPolicy::CoopRt)))
+        .chain(
+            [4usize, 8, 16, 32]
+                .iter()
+                .map(|&n| (format!("{n}w/"), n, TraversalPolicy::CoopRt)),
+        )
         .collect();
     let labels: Vec<&str> = configs.iter().map(|c| c.0.as_str()).collect();
     print_header("scene", &labels);
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
     for id in scene_list() {
         let scene = build_scene(id);
-        let base =
-            run_at(&scene, &GpuConfig::rtx2060(), TraversalPolicy::Baseline, ShaderKind::PathTrace, res);
+        let base = run_at(
+            &scene,
+            &GpuConfig::rtx2060(),
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+            res,
+        );
         let mut row = Vec::new();
         for (i, (_, entries, policy)) in configs.iter().enumerate() {
             let cfg = GpuConfig::rtx2060().with_warp_buffer(*entries);
@@ -40,6 +51,11 @@ fn main() {
     let gmeans: Vec<f64> = columns.iter().map(|c| gmean(c)).collect();
     print_row("gmean", &gmeans);
     println!();
-    println!("paper gmeans: 1.45/1.64/1.64 (8/16/32 w/o coop), 2.15/2.13/2.06/1.99 (4/8/16/32 w/ coop)");
-    println!("shape check: coop@4 ({:.2}x) should beat baseline@32 ({:.2}x)", gmeans[3], gmeans[2]);
+    println!(
+        "paper gmeans: 1.45/1.64/1.64 (8/16/32 w/o coop), 2.15/2.13/2.06/1.99 (4/8/16/32 w/ coop)"
+    );
+    println!(
+        "shape check: coop@4 ({:.2}x) should beat baseline@32 ({:.2}x)",
+        gmeans[3], gmeans[2]
+    );
 }

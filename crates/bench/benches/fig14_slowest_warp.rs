@@ -5,7 +5,9 @@
 //! not tail latency, while CoopRT shortens the longest-running warps
 //! themselves (paper: 0.46x vs 0.62x of baseline). Lower is better.
 
-use cooprt_bench::{banner, build_scene, gmean, print_header, print_row, run_at, scene_list, sweep_res};
+use cooprt_bench::{
+    banner, build_scene, gmean, print_header, print_row, run_at, scene_list, sweep_res,
+};
 use cooprt_core::{GpuConfig, ShaderKind, TraversalPolicy};
 
 fn main() {

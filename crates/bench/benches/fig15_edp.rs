@@ -5,7 +5,9 @@
 //! (paper gmeans: 1.54x / 1.75x / 1.75x for 8/16/32 w/o coop vs 2.29x
 //! for 4 w/ coop).
 
-use cooprt_bench::{banner, build_scene, gmean, print_header, print_row, run_at, scene_list, sweep_res};
+use cooprt_bench::{
+    banner, build_scene, gmean, print_header, print_row, run_at, scene_list, sweep_res,
+};
 use cooprt_core::{GpuConfig, ShaderKind, TraversalPolicy};
 
 fn main() {
@@ -15,15 +17,24 @@ fn main() {
     let configs: Vec<(String, usize, TraversalPolicy)> = [8usize, 16, 32]
         .iter()
         .map(|&n| (format!("{n}w/o"), n, TraversalPolicy::Baseline))
-        .chain(std::iter::once(("4w/".to_string(), 4usize, TraversalPolicy::CoopRt)))
+        .chain(std::iter::once((
+            "4w/".to_string(),
+            4usize,
+            TraversalPolicy::CoopRt,
+        )))
         .collect();
     let labels: Vec<&str> = configs.iter().map(|c| c.0.as_str()).collect();
     print_header("scene", &labels);
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
     for id in scene_list() {
         let scene = build_scene(id);
-        let base =
-            run_at(&scene, &GpuConfig::rtx2060(), TraversalPolicy::Baseline, ShaderKind::PathTrace, res);
+        let base = run_at(
+            &scene,
+            &GpuConfig::rtx2060(),
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+            res,
+        );
         let mut row = Vec::new();
         for (i, (_, entries, policy)) in configs.iter().enumerate() {
             let cfg = GpuConfig::rtx2060().with_warp_buffer(*entries);

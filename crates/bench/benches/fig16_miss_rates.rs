@@ -5,7 +5,7 @@
 //! (former L1 reuse moves to L2), and that extra misses are hidden by
 //! the GPU's latency tolerance.
 
-use cooprt_bench::{banner, print_header, print_row, scene_list, Comparison};
+use cooprt_bench::{banner, print_header, print_row, run_comparisons};
 use cooprt_core::{GpuConfig, ShaderKind};
 
 fn main() {
@@ -15,15 +15,14 @@ fn main() {
     let mut l1_up = 0usize;
     let mut n = 0usize;
     let mut l2_dev = Vec::new();
-    for id in scene_list() {
-        let c = Comparison::run(id, &cfg, ShaderKind::PathTrace);
+    for c in run_comparisons(&cfg, ShaderKind::PathTrace) {
         let row = [
             c.base.mem.l1.miss_rate(),
             c.coop.mem.l1.miss_rate(),
             c.base.mem.l2.miss_rate(),
             c.coop.mem.l2.miss_rate(),
         ];
-        print_row(id.name(), &row);
+        print_row(c.id.name(), &row);
         if row[1] >= row[0] {
             l1_up += 1;
         }

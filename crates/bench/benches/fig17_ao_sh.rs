@@ -4,19 +4,27 @@
 //! for CoopRT to exploit: the paper reports gmean speedups of 1.42x
 //! (AO) and 1.28x (SH), well below path tracing's 2.15x.
 
-use cooprt_bench::{banner, gmean, print_header, print_row, Comparison};
+use cooprt_bench::{banner, gmean, parallel, print_header, print_row, Comparison};
 use cooprt_core::{GpuConfig, ShaderKind};
-use cooprt_scenes::PAPER_FIG17_SCENES;
+use cooprt_scenes::{SceneId, PAPER_FIG17_SCENES};
 
 fn main() {
     banner("Fig. 17: AO and SH shader speedups (CoopRT over baseline)");
     let cfg = GpuConfig::rtx2060();
     print_header("scene", &["AO", "SH"]);
+    // Every scene x shader cell is independent: run the whole matrix
+    // concurrently, then print in scene order (results keep job order).
+    let jobs: Vec<(SceneId, ShaderKind)> = PAPER_FIG17_SCENES
+        .iter()
+        .flat_map(|&id| [(id, ShaderKind::AmbientOcclusion), (id, ShaderKind::Shadow)])
+        .collect();
+    let results = parallel::par_map(&jobs, parallel::threads(), |_, &(id, kind)| {
+        Comparison::run_with_threads(id, &cfg, kind, 1)
+    });
     let (mut ao_col, mut sh_col) = (Vec::new(), Vec::new());
-    for id in PAPER_FIG17_SCENES {
-        let ao = Comparison::run(id, &cfg, ShaderKind::AmbientOcclusion);
-        let sh = Comparison::run(id, &cfg, ShaderKind::Shadow);
-        print_row(id.name(), &[ao.speedup(), sh.speedup()]);
+    for pair in results.chunks(2) {
+        let (ao, sh) = (&pair[0], &pair[1]);
+        print_row(ao.id.name(), &[ao.speedup(), sh.speedup()]);
         ao_col.push(ao.speedup());
         sh_col.push(sh.speedup());
     }

@@ -13,8 +13,10 @@ fn main() {
     let cfg = GpuConfig::mobile();
     print_header("scene", &["speedup", "power", "energy", "dram b", "dram c"]);
     // The paper's Fig. 18 drops car and robot on mobile.
-    let scenes: Vec<SceneId> =
-        scene_list().into_iter().filter(|s| !matches!(s, SceneId::Car | SceneId::Robot)).collect();
+    let scenes: Vec<SceneId> = scene_list()
+        .into_iter()
+        .filter(|s| !matches!(s, SceneId::Car | SceneId::Robot))
+        .collect();
     let (mut sp, mut pw, mut en, mut ub, mut uc) =
         (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
     for id in scenes {
@@ -35,7 +37,10 @@ fn main() {
     }
     println!("{}", "-".repeat(58));
     let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    print_row("gmean", &[gmean(&sp), gmean(&pw), gmean(&en), mean(&ub), mean(&uc)]);
+    print_row(
+        "gmean",
+        &[gmean(&sp), gmean(&pw), gmean(&en), mean(&ub), mean(&uc)],
+    );
     println!();
     println!("paper: 1.8x speedup, 1.71x power, 0.95x energy; DRAM utilization 44.0% -> 85.3%");
 }

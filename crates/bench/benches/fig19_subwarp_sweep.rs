@@ -15,8 +15,12 @@ fn main() {
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
     for id in scene_list() {
         let scene = build_scene(id);
-        let base =
-            run(&scene, &GpuConfig::rtx2060(), TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let base = run(
+            &scene,
+            &GpuConfig::rtx2060(),
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
         let mut row = Vec::new();
         for (i, &sw) in sizes.iter().enumerate() {
             let cfg = GpuConfig::rtx2060().with_subwarp(sw);

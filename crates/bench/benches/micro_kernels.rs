@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the substrate kernels: intersection tests, BVH
+//! construction, reference traversal and a small end-to-end simulation.
+//!
+//! Uses the in-tree wall-clock harness (`cooprt_bench::perf`) instead of
+//! criterion so the workspace stays dependency-free and builds offline.
+
+use std::hint::black_box;
+
+use cooprt_bench::perf::bench_fn;
+use cooprt_bvh::traverse::closest_hit;
+use cooprt_bvh::{build_binary, BvhImage, WideBvh};
+use cooprt_core::{GpuConfig, ShaderKind, Simulation, TraversalPolicy};
+use cooprt_math::{Aabb, Ray, Triangle, Vec3};
+use cooprt_scenes::SceneId;
+
+fn bench_intersections() {
+    let bbox = Aabb::new(Vec3::ZERO, Vec3::ONE);
+    let tri = Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y);
+    let ray = Ray::new(Vec3::new(0.3, 0.3, -2.0), Vec3::Z);
+    bench_fn("ray_aabb_slab", 1_000_000, || {
+        black_box(bbox.intersect(black_box(&ray), f32::INFINITY));
+    });
+    bench_fn("ray_triangle_moller_trumbore", 1_000_000, || {
+        black_box(tri.intersect(black_box(&ray), f32::INFINITY));
+    });
+}
+
+fn bench_bvh_build() {
+    let scene = SceneId::Party.build(8);
+    let tris = scene.image.triangles().to_vec();
+    bench_fn("bvh_build_sah_6ary", 50, || {
+        let binary = build_binary(black_box(&tris));
+        let wide = WideBvh::from_binary(&binary);
+        black_box(BvhImage::serialize(&wide, &tris));
+    });
+}
+
+fn bench_traversal() {
+    let scene = SceneId::Fox.build(8);
+    let rays: Vec<Ray> = (0..256)
+        .map(|i| {
+            let s = (i % 16) as f32 / 16.0;
+            let t = (i / 16) as f32 / 16.0;
+            scene.camera.primary_ray(s, t)
+        })
+        .collect();
+    bench_fn("cpu_reference_traversal_256_rays", 200, || {
+        let mut hits = 0;
+        for ray in &rays {
+            if closest_hit(&scene.image, ray, f32::INFINITY).is_some() {
+                hits += 1;
+            }
+        }
+        black_box(hits);
+    });
+}
+
+fn bench_simulation() {
+    let scene = SceneId::Wknd.build(4);
+    let cfg = GpuConfig::small(4);
+    for policy in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
+        bench_fn(&format!("simulation_16x16/{}", policy.label()), 10, || {
+            let sim = Simulation::new(&scene, &cfg, policy);
+            black_box(sim.run_frame(ShaderKind::PathTrace, 16, 16));
+        });
+    }
+}
+
+fn main() {
+    bench_intersections();
+    bench_bvh_build();
+    bench_traversal();
+    bench_simulation();
+}

@@ -1,0 +1,146 @@
+//! simperf: wall-clock throughput of the simulator itself.
+//!
+//! Unlike the figure targets (which report *simulated* metrics), this
+//! target measures how fast the simulator runs on the host: simulated
+//! cycles per wall-clock second and rays per wall-clock second for each
+//! scene x policy cell, plus the wall-clock speedup of the parallel
+//! matrix runner over the sequential loop. Results are printed and
+//! written to `BENCH_simperf.json` at the repository root.
+//!
+//! The same matrix is executed twice — sequentially, then concurrently
+//! on `COOPRT_THREADS` workers — and the two passes are asserted
+//! bitwise identical (images and cycle counts), exercising the
+//! determinism contract of `cooprt_core::parallel`.
+
+use cooprt_bench::{
+    banner, build_scenes, default_detail, default_res, parallel, run_at, scene_list,
+};
+use cooprt_core::{FrameResult, GpuConfig, ShaderKind, TraversalPolicy};
+use std::time::Instant;
+
+struct Row {
+    scene: &'static str,
+    policy: &'static str,
+    cycles: u64,
+    rays: u64,
+    wall_secs: f64,
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(s
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+    s
+}
+
+fn main() {
+    banner("simperf: simulator wall-clock throughput");
+    let ids = scene_list();
+    assert!(
+        ids.len() >= 4,
+        "simperf needs at least 4 scenes (got {})",
+        ids.len()
+    );
+    let cfg = GpuConfig::rtx2060();
+    let res = default_res();
+    let kind = ShaderKind::PathTrace;
+
+    let t0 = Instant::now();
+    let scenes = build_scenes(&ids);
+    let build_secs = t0.elapsed().as_secs_f64();
+    println!("built {} scenes in {build_secs:.2}s", scenes.len());
+
+    let jobs: Vec<(usize, TraversalPolicy)> = (0..scenes.len())
+        .flat_map(|i| [(i, TraversalPolicy::Baseline), (i, TraversalPolicy::CoopRt)])
+        .collect();
+
+    // Pass 1: sequential, timing each cell for its throughput row.
+    let seq_start = Instant::now();
+    let mut rows: Vec<Row> = Vec::with_capacity(jobs.len());
+    let mut seq_results: Vec<FrameResult> = Vec::with_capacity(jobs.len());
+    for &(i, policy) in &jobs {
+        let t = Instant::now();
+        let r = run_at(&scenes[i], &cfg, policy, kind, res);
+        let wall_secs = t.elapsed().as_secs_f64();
+        rows.push(Row {
+            scene: ids[i].name(),
+            policy: policy.label(),
+            cycles: r.cycles,
+            rays: r.rays,
+            wall_secs,
+        });
+        seq_results.push(r);
+    }
+    let seq_secs = seq_start.elapsed().as_secs_f64();
+
+    // Pass 2: the same matrix through the parallel runner.
+    let workers = parallel::threads();
+    let par_start = Instant::now();
+    let par_results = parallel::par_map(&jobs, workers, |_, &(i, policy)| {
+        run_at(&scenes[i], &cfg, policy, kind, res)
+    });
+    let par_secs = par_start.elapsed().as_secs_f64();
+
+    for (s, p) in seq_results.iter().zip(&par_results) {
+        assert_eq!(
+            s.image, p.image,
+            "parallel runner must be bitwise identical"
+        );
+        assert_eq!(s.cycles, p.cycles);
+        assert_eq!(s.events, p.events);
+    }
+    let matrix_speedup = seq_secs / par_secs.max(1e-12);
+
+    println!();
+    println!(
+        "{:<8} {:>9} {:>14} {:>12} {:>10} {:>14} {:>14}",
+        "scene", "policy", "cycles", "rays", "wall s", "cycles/s", "rays/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>9} {:>14} {:>12} {:>10.3} {:>14.0} {:>14.0}",
+            r.scene,
+            r.policy,
+            r.cycles,
+            r.rays,
+            r.wall_secs,
+            r.cycles as f64 / r.wall_secs.max(1e-12),
+            r.rays as f64 / r.wall_secs.max(1e-12),
+        );
+    }
+    println!();
+    println!(
+        "matrix wall-clock: sequential {seq_secs:.2}s, parallel {par_secs:.2}s \
+         on {workers} workers -> {matrix_speedup:.2}x (bitwise identical results)"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"resolution\": {res},\n"));
+    json.push_str(&format!("  \"detail\": {},\n", default_detail()));
+    json.push_str(&format!("  \"threads\": {workers},\n"));
+    json.push_str(&format!("  \"suite_build_secs\": {build_secs:.6},\n"));
+    json.push_str(&format!("  \"sequential_secs\": {seq_secs:.6},\n"));
+    json.push_str(&format!("  \"parallel_secs\": {par_secs:.6},\n"));
+    json.push_str(&format!("  \"matrix_speedup\": {matrix_speedup:.4},\n"));
+    json.push_str("  \"scenes\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scene\": \"{}\", \"policy\": \"{}\", \"cycles\": {}, \"rays\": {}, \
+             \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.1}, \"rays_per_sec\": {:.1}}}{}\n",
+            json_escape_free(r.scene),
+            json_escape_free(r.policy),
+            r.cycles,
+            r.rays,
+            r.wall_secs,
+            r.cycles as f64 / r.wall_secs.max(1e-12),
+            r.rays as f64 / r.wall_secs.max(1e-12),
+            if k + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simperf.json");
+    std::fs::write(path, &json).expect("write BENCH_simperf.json");
+    println!("wrote {path}");
+}

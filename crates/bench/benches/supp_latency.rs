@@ -14,7 +14,12 @@ fn main() {
     print_header("scene", &["b p50", "b p99", "c p50", "c p99", "p99 x"]);
     for id in scene_list() {
         let scene = build_scene(id);
-        let mut base = run(&scene, &cfg, TraversalPolicy::Baseline, ShaderKind::PathTrace);
+        let mut base = run(
+            &scene,
+            &cfg,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+        );
         let mut coop = run(&scene, &cfg, TraversalPolicy::CoopRt, ShaderKind::PathTrace);
         let row = [
             base.trace_latencies.quantile(0.5) as f64,

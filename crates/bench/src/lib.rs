@@ -12,13 +12,29 @@
 //! - `COOPRT_DETAIL` — scene detail level (default 32).
 //! - `COOPRT_SCENES` — comma-separated subset of scene names to run
 //!   (default: all 15).
+//! - `COOPRT_THREADS` — outer-parallelism width for the scene x config
+//!   x policy matrix (default: available parallelism). Simulations are
+//!   individually single-threaded and deterministic; the matrix runner
+//!   only changes wall-clock time, never an output bit.
 
 use cooprt_core::{FrameResult, GpuConfig, ShaderKind, Simulation, TraversalPolicy};
 use cooprt_scenes::{Scene, SceneId, ALL_SCENES};
 
+pub mod perf;
+
+/// Deterministic outer-loop parallelism (re-exported from
+/// [`cooprt_core::parallel`]): the scoped-thread work pool behind the
+/// matrix runner and the `COOPRT_THREADS` knob.
+pub mod parallel {
+    pub use cooprt_core::parallel::{join, par_map, threads};
+}
+
 /// Reads a `usize` knob from the environment.
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Frame resolution for experiments (`COOPRT_RES`, default 64).
@@ -59,7 +75,11 @@ pub fn scene_list() -> Vec<SceneId> {
         Err(_) => ALL_SCENES.to_vec(),
         Ok(spec) => {
             let want: Vec<&str> = spec.split(',').map(|s| s.trim()).collect();
-            ALL_SCENES.iter().copied().filter(|s| want.contains(&s.name())).collect()
+            ALL_SCENES
+                .iter()
+                .copied()
+                .filter(|s| want.contains(&s.name()))
+                .collect()
         }
     }
 }
@@ -69,8 +89,19 @@ pub fn build_scene(id: SceneId) -> Scene {
     id.build(default_detail())
 }
 
+/// Builds a scene suite concurrently (BVH construction dominates and is
+/// independent per scene). Results are in `ids` order.
+pub fn build_scenes(ids: &[SceneId]) -> Vec<Scene> {
+    parallel::par_map(ids, parallel::threads(), |_, &id| build_scene(id))
+}
+
 /// Runs one simulation at the harness resolution.
-pub fn run(scene: &Scene, cfg: &GpuConfig, policy: TraversalPolicy, kind: ShaderKind) -> FrameResult {
+pub fn run(
+    scene: &Scene,
+    cfg: &GpuConfig,
+    policy: TraversalPolicy,
+    kind: ShaderKind,
+) -> FrameResult {
     let res = default_res();
     Simulation::new(scene, cfg, policy).run_frame(kind, res, res)
 }
@@ -124,6 +155,31 @@ pub fn banner(title: &str) {
     );
 }
 
+/// Runs the full scene x config x policy matrix concurrently: one job
+/// per cell, scheduled dynamically over [`parallel::threads`] workers.
+/// Results are in `jobs` order and bitwise identical to running each
+/// cell sequentially.
+pub fn run_matrix(
+    jobs: &[(SceneId, GpuConfig, TraversalPolicy)],
+    kind: ShaderKind,
+) -> Vec<FrameResult> {
+    parallel::par_map(jobs, parallel::threads(), |_, (id, cfg, policy)| {
+        let scene = build_scene(*id);
+        run(&scene, cfg, *policy, kind)
+    })
+}
+
+/// Runs the baseline-vs-CoopRT [`Comparison`] for every scene of
+/// [`scene_list`] concurrently (scene-level parallelism; each pair runs
+/// sequentially inside its worker to avoid oversubscription). Results
+/// are in scene-list order.
+pub fn run_comparisons(cfg: &GpuConfig, kind: ShaderKind) -> Vec<Comparison> {
+    let ids = scene_list();
+    parallel::par_map(&ids, parallel::threads(), |_, &id| {
+        Comparison::run_with_threads(id, cfg, kind, 1)
+    })
+}
+
 /// Per-scene baseline-vs-CoopRT comparison used by several figures.
 #[derive(Clone, Debug)]
 pub struct Comparison {
@@ -136,12 +192,32 @@ pub struct Comparison {
 }
 
 impl Comparison {
-    /// Simulates one scene under both policies with the same config.
+    /// Simulates one scene under both policies with the same config,
+    /// running the baseline/CoopRT pair concurrently (the two
+    /// simulations are independent; each stays single-threaded).
     pub fn run(id: SceneId, cfg: &GpuConfig, kind: ShaderKind) -> Self {
+        Self::run_with_threads(id, cfg, kind, parallel::threads())
+    }
+
+    /// [`Comparison::run`] with an explicit worker count; `threads <= 1`
+    /// runs the pair sequentially. Either way the results are bitwise
+    /// identical.
+    pub fn run_with_threads(
+        id: SceneId,
+        cfg: &GpuConfig,
+        kind: ShaderKind,
+        threads: usize,
+    ) -> Self {
         let scene = build_scene(id);
-        let base = run(&scene, cfg, TraversalPolicy::Baseline, kind);
-        let coop = run(&scene, cfg, TraversalPolicy::CoopRt, kind);
-        assert_eq!(base.image, coop.image, "{id}: policies must agree functionally");
+        let (base, coop) = parallel::join(
+            threads,
+            || run(&scene, cfg, TraversalPolicy::Baseline, kind),
+            || run(&scene, cfg, TraversalPolicy::CoopRt, kind),
+        );
+        assert_eq!(
+            base.image, coop.image,
+            "{id}: policies must agree functionally"
+        );
         Comparison { id, base, coop }
     }
 

@@ -108,17 +108,29 @@ impl BinaryBvh {
 /// ```
 pub fn build_binary(triangles: &[Triangle]) -> BinaryBvh {
     if triangles.is_empty() {
-        return BinaryBvh { nodes: Vec::new(), root: 0, triangle_count: 0 };
+        return BinaryBvh {
+            nodes: Vec::new(),
+            root: 0,
+            triangle_count: 0,
+        };
     }
     let mut prims: Vec<PrimInfo> = triangles
         .iter()
         .enumerate()
-        .map(|(i, t)| PrimInfo { index: i as u32, bounds: t.bounds(), centroid: t.centroid() })
+        .map(|(i, t)| PrimInfo {
+            index: i as u32,
+            bounds: t.bounds(),
+            centroid: t.centroid(),
+        })
         .collect();
     // Worst case: 2n - 1 nodes for n triangles.
     let mut nodes = Vec::with_capacity(2 * triangles.len());
     let root = build_recursive(&mut prims, &mut nodes);
-    BinaryBvh { nodes, root, triangle_count: triangles.len() }
+    BinaryBvh {
+        nodes,
+        root,
+        triangle_count: triangles.len(),
+    }
 }
 
 /// Builds a binary BVH with object-median splits (no SAH).
@@ -146,34 +158,55 @@ pub fn build_binary(triangles: &[Triangle]) -> BinaryBvh {
 /// ```
 pub fn build_binary_median(triangles: &[Triangle]) -> BinaryBvh {
     if triangles.is_empty() {
-        return BinaryBvh { nodes: Vec::new(), root: 0, triangle_count: 0 };
+        return BinaryBvh {
+            nodes: Vec::new(),
+            root: 0,
+            triangle_count: 0,
+        };
     }
     let mut prims: Vec<PrimInfo> = triangles
         .iter()
         .enumerate()
-        .map(|(i, t)| PrimInfo { index: i as u32, bounds: t.bounds(), centroid: t.centroid() })
+        .map(|(i, t)| PrimInfo {
+            index: i as u32,
+            bounds: t.bounds(),
+            centroid: t.centroid(),
+        })
         .collect();
     let mut nodes = Vec::with_capacity(2 * triangles.len());
     let root = build_median_recursive(&mut prims, &mut nodes);
-    BinaryBvh { nodes, root, triangle_count: triangles.len() }
+    BinaryBvh {
+        nodes,
+        root,
+        triangle_count: triangles.len(),
+    }
 }
 
 fn build_median_recursive(prims: &mut [PrimInfo], nodes: &mut Vec<BinaryNode>) -> u32 {
     debug_assert!(!prims.is_empty());
     let bounds = geometry_bounds(prims);
     if prims.len() == 1 {
-        nodes.push(BinaryNode::Leaf { bounds, triangle: prims[0].index });
+        nodes.push(BinaryNode::Leaf {
+            bounds,
+            triangle: prims[0].index,
+        });
         return (nodes.len() - 1) as u32;
     }
     let axis = centroid_bounds(prims).extent().max_axis();
     prims.sort_by(|a, b| {
-        a.centroid[axis].partial_cmp(&b.centroid[axis]).unwrap_or(std::cmp::Ordering::Equal)
+        a.centroid[axis]
+            .partial_cmp(&b.centroid[axis])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mid = prims.len() / 2;
     let (left_slice, right_slice) = prims.split_at_mut(mid);
     let left = build_median_recursive(left_slice, nodes);
     let right = build_median_recursive(right_slice, nodes);
-    nodes.push(BinaryNode::Internal { bounds, left, right });
+    nodes.push(BinaryNode::Internal {
+        bounds,
+        left,
+        right,
+    });
     (nodes.len() - 1) as u32
 }
 
@@ -185,18 +218,25 @@ struct PrimInfo {
 }
 
 fn geometry_bounds(prims: &[PrimInfo]) -> Aabb {
-    prims.iter().fold(Aabb::empty(), |acc, p| acc.union(&p.bounds))
+    prims
+        .iter()
+        .fold(Aabb::empty(), |acc, p| acc.union(&p.bounds))
 }
 
 fn centroid_bounds(prims: &[PrimInfo]) -> Aabb {
-    prims.iter().fold(Aabb::empty(), |acc, p| acc.union_point(p.centroid))
+    prims
+        .iter()
+        .fold(Aabb::empty(), |acc, p| acc.union_point(p.centroid))
 }
 
 fn build_recursive(prims: &mut [PrimInfo], nodes: &mut Vec<BinaryNode>) -> u32 {
     debug_assert!(!prims.is_empty());
     let bounds = geometry_bounds(prims);
     if prims.len() == 1 {
-        nodes.push(BinaryNode::Leaf { bounds, triangle: prims[0].index });
+        nodes.push(BinaryNode::Leaf {
+            bounds,
+            triangle: prims[0].index,
+        });
         return (nodes.len() - 1) as u32;
     }
 
@@ -204,7 +244,11 @@ fn build_recursive(prims: &mut [PrimInfo], nodes: &mut Vec<BinaryNode>) -> u32 {
     let (left_slice, right_slice) = prims.split_at_mut(mid);
     let left = build_recursive(left_slice, nodes);
     let right = build_recursive(right_slice, nodes);
-    nodes.push(BinaryNode::Internal { bounds, left, right });
+    nodes.push(BinaryNode::Internal {
+        bounds,
+        left,
+        right,
+    });
     (nodes.len() - 1) as u32
 }
 
@@ -227,7 +271,9 @@ fn choose_split(prims: &mut [PrimInfo]) -> usize {
     // SAH produced a degenerate (empty-side) split; sort by centroid and
     // take the median.
     prims.sort_by(|a, b| {
-        a.centroid[axis].partial_cmp(&b.centroid[axis]).unwrap_or(std::cmp::Ordering::Equal)
+        a.centroid[axis]
+            .partial_cmp(&b.centroid[axis])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     prims.len() / 2
 }
@@ -240,13 +286,14 @@ fn binned_sah_split(prims: &mut [PrimInfo], cb: &Aabb, axis: usize) -> Option<us
         bounds: Aabb,
         count: usize,
     }
-    let mut bins = [Bin { bounds: Aabb::empty(), count: 0 }; BIN_COUNT];
+    let mut bins = [Bin {
+        bounds: Aabb::empty(),
+        count: 0,
+    }; BIN_COUNT];
 
     let k0 = cb.min[axis];
     let k1 = BIN_COUNT as f32 / cb.extent()[axis];
-    let bin_of = |c: Vec3| -> usize {
-        (((c[axis] - k0) * k1) as usize).min(BIN_COUNT - 1)
-    };
+    let bin_of = |c: Vec3| -> usize { (((c[axis] - k0) * k1) as usize).min(BIN_COUNT - 1) };
 
     for p in prims.iter() {
         let b = bin_of(p.centroid);
@@ -277,8 +324,7 @@ fn binned_sah_split(prims: &mut [PrimInfo], cb: &Aabb, axis: usize) -> Option<us
         if left_cnt == 0 || right_cnt == 0 {
             continue;
         }
-        let cost =
-            left_acc.surface_area() * left_cnt as f32 + right_sa[i + 1] * right_cnt as f32;
+        let cost = left_acc.surface_area() * left_cnt as f32 + right_sa[i + 1] * right_cnt as f32;
         if cost < best_cost {
             best_cost = cost;
             best_plane = Some(i);
@@ -361,7 +407,12 @@ mod tests {
         let tris = grid_triangles(25);
         let bvh = build_binary(&tris);
         for node in &bvh.nodes {
-            if let BinaryNode::Internal { bounds, left, right } = node {
+            if let BinaryNode::Internal {
+                bounds,
+                left,
+                right,
+            } = node
+            {
                 let lb = bvh.nodes[*left as usize].bounds();
                 let rb = bvh.nodes[*right as usize].bounds();
                 assert_eq!(bounds.union(&lb), *bounds);
@@ -411,7 +462,12 @@ mod tests {
         let tris = grid_triangles(20);
         let bvh = build_binary_median(&tris);
         for node in &bvh.nodes {
-            if let BinaryNode::Internal { bounds, left, right } = node {
+            if let BinaryNode::Internal {
+                bounds,
+                left,
+                right,
+            } = node
+            {
                 assert_eq!(bounds.union(&bvh.nodes[*left as usize].bounds()), *bounds);
                 assert_eq!(bounds.union(&bvh.nodes[*right as usize].bounds()), *bounds);
             }
@@ -466,11 +522,19 @@ mod tests {
         let mut tris = Vec::new();
         for i in 0..8 {
             let base = Vec3::new(i as f32 * 0.1, 0.0, 0.0);
-            tris.push(Triangle::new(base, base + Vec3::X * 0.05, base + Vec3::Y * 0.05));
+            tris.push(Triangle::new(
+                base,
+                base + Vec3::X * 0.05,
+                base + Vec3::Y * 0.05,
+            ));
         }
         for i in 0..8 {
             let base = Vec3::new(1000.0 + i as f32 * 0.1, 0.0, 0.0);
-            tris.push(Triangle::new(base, base + Vec3::X * 0.05, base + Vec3::Y * 0.05));
+            tris.push(Triangle::new(
+                base,
+                base + Vec3::X * 0.05,
+                base + Vec3::Y * 0.05,
+            ));
         }
         let bvh = build_binary(&tris);
         if let BinaryNode::Internal { left, right, .. } = &bvh.nodes[bvh.root as usize] {

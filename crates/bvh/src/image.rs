@@ -24,6 +24,17 @@ pub const LEAF_NODE_BYTES: u32 = 64;
 /// Base address of the BVH heap in the simulated address space.
 const HEAP_BASE: u64 = 0x1000_0000;
 
+/// Granularity of the address-to-node lookup table.
+///
+/// Every node starts on a multiple of `gcd(INTERNAL_NODE_BYTES,
+/// LEAF_NODE_BYTES) = 16` bytes from the heap base (the layout is
+/// packed), so one table slot per 16-byte grain covers every possible
+/// node start exactly once.
+const LOOKUP_GRAIN: u64 = 16;
+
+/// Sentinel for lookup-table slots that do not start a node.
+const NO_NODE: u32 = u32::MAX;
+
 /// A reference to a child node as stored inside its parent: the child's
 /// bounds (tested *before* fetching the child) and its address.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -91,6 +102,10 @@ pub struct BvhImage {
     /// The scene's triangles, referenced by leaf nodes.
     triangles: Vec<Triangle>,
     total_bytes: u64,
+    /// Dense addr→node-index table: slot `(addr - root_addr) /
+    /// LOOKUP_GRAIN` holds the index into `nodes`, or [`NO_NODE`].
+    /// Makes [`BvhImage::node_at`] O(1) on the traversal hot path.
+    lookup: Vec<u32>,
 }
 
 impl BvhImage {
@@ -111,6 +126,7 @@ impl BvhImage {
                 root_bounds: Aabb::empty(),
                 triangles: triangles.to_vec(),
                 total_bytes: 0,
+                lookup: Vec::new(),
             };
         }
         // First pass: assign addresses in preorder.
@@ -123,12 +139,20 @@ impl BvhImage {
         emit(wide, wide.root, &addr_of, triangles, &mut nodes);
         debug_assert!(nodes.windows(2).all(|w| w[0].addr < w[1].addr));
 
+        // Third pass: the dense addr→index table for O(1) node lookup.
+        let total_bytes = cursor - HEAP_BASE;
+        let mut lookup = vec![NO_NODE; (total_bytes / LOOKUP_GRAIN) as usize];
+        for (i, node) in nodes.iter().enumerate() {
+            lookup[((node.addr - HEAP_BASE) / LOOKUP_GRAIN) as usize] = i as u32;
+        }
+
         BvhImage {
             nodes,
             root_addr: addr_of[wide.root as usize],
             root_bounds: wide.nodes[wide.root as usize].bounds(),
             triangles: triangles.to_vec(),
-            total_bytes: cursor - HEAP_BASE,
+            total_bytes,
+            lookup,
         }
     }
 
@@ -145,9 +169,22 @@ impl BvhImage {
 
     /// Looks up a node by its byte address.
     ///
-    /// Returns `None` for addresses that do not start a node.
+    /// Returns `None` for addresses that do not start a node. O(1):
+    /// one indexed load into the dense table built at [`serialize`]
+    /// time — this sits on the traversal hot path, queried once per
+    /// node visit by both the CPU reference and the simulated RT unit.
+    ///
+    /// [`serialize`]: BvhImage::serialize
+    #[inline]
     pub fn node_at(&self, addr: u64) -> Option<&Node> {
-        self.nodes.binary_search_by_key(&addr, |n| n.addr).ok().map(|i| &self.nodes[i])
+        let offset = addr.checked_sub(HEAP_BASE)?;
+        if offset % LOOKUP_GRAIN != 0 {
+            return None;
+        }
+        match *self.lookup.get((offset / LOOKUP_GRAIN) as usize)? {
+            NO_NODE => None,
+            i => Some(&self.nodes[i as usize]),
+        }
     }
 
     /// The triangle referenced by a leaf.
@@ -206,13 +243,7 @@ fn assign_addrs(wide: &WideBvh, node: u32, addr_of: &mut [u64], cursor: &mut u64
     }
 }
 
-fn emit(
-    wide: &WideBvh,
-    node: u32,
-    addr_of: &[u64],
-    triangles: &[Triangle],
-    out: &mut Vec<Node>,
-) {
+fn emit(wide: &WideBvh, node: u32, addr_of: &[u64], triangles: &[Triangle], out: &mut Vec<Node>) {
     let addr = addr_of[node as usize];
     match &wide.nodes[node as usize] {
         WideNode::Leaf { triangle, .. } => {
@@ -220,14 +251,25 @@ fn emit(
                 (*triangle as usize) < triangles.len(),
                 "leaf references triangle {triangle} outside the scene"
             );
-            out.push(Node { addr, kind: NodeKind::Leaf { triangle: *triangle } });
+            out.push(Node {
+                addr,
+                kind: NodeKind::Leaf {
+                    triangle: *triangle,
+                },
+            });
         }
         WideNode::Internal { children, .. } => {
             let refs = children
                 .iter()
-                .map(|(c, b)| ChildRef { addr: addr_of[*c as usize], bounds: *b })
+                .map(|(c, b)| ChildRef {
+                    addr: addr_of[*c as usize],
+                    bounds: *b,
+                })
                 .collect();
-            out.push(Node { addr, kind: NodeKind::Internal { children: refs } });
+            out.push(Node {
+                addr,
+                kind: NodeKind::Internal { children: refs },
+            });
             for (c, _) in children {
                 emit(wide, *c, addr_of, triangles, out);
             }
@@ -280,6 +322,18 @@ mod tests {
         }
         // An address in the middle of a node record is not a node start.
         assert!(img.node_at(img.root_addr() + 4).is_none());
+    }
+
+    #[test]
+    fn non_node_addresses_return_none() {
+        let img = image_of(17);
+        // Below the heap, above the heap, and grain-aligned inside the
+        // root internal node (176 bytes spans several 16-byte grains).
+        assert!(img.node_at(0).is_none());
+        assert!(img.node_at(img.root_addr() - 16).is_none());
+        assert!(img.node_at(img.root_addr() + img.total_bytes()).is_none());
+        assert!(img.node_at(img.root_addr() + 16).is_none());
+        assert!(img.node_at(u64::MAX).is_none());
     }
 
     #[test]

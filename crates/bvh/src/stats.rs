@@ -65,11 +65,17 @@ impl TreeStats {
                 }
             }
         }
-        let avg_arity =
-            if internal_nodes == 0 { 0.0 } else { child_total as f64 / internal_nodes as f64 };
+        let avg_arity = if internal_nodes == 0 {
+            0.0
+        } else {
+            child_total as f64 / internal_nodes as f64
+        };
         // Consistency between the two representations.
         debug_assert_eq!(
-            image.iter().filter(|n| matches!(n.kind, NodeKind::Leaf { .. })).count(),
+            image
+                .iter()
+                .filter(|n| matches!(n.kind, NodeKind::Leaf { .. }))
+                .count(),
             leaf_nodes
         );
         TreeStats {
@@ -130,7 +136,11 @@ mod tests {
     #[test]
     fn avg_arity_in_range() {
         let s = stats_of(100);
-        assert!(s.avg_arity >= 2.0 && s.avg_arity <= 6.0, "arity = {}", s.avg_arity);
+        assert!(
+            s.avg_arity >= 2.0 && s.avg_arity <= 6.0,
+            "arity = {}",
+            s.avg_arity
+        );
     }
 
     #[test]

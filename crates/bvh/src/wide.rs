@@ -76,11 +76,19 @@ impl WideBvh {
     /// ```
     pub fn from_binary(binary: &BinaryBvh) -> Self {
         if binary.is_empty() {
-            return WideBvh { nodes: Vec::new(), root: 0, triangle_count: 0 };
+            return WideBvh {
+                nodes: Vec::new(),
+                root: 0,
+                triangle_count: 0,
+            };
         }
         let mut nodes = Vec::with_capacity(binary.nodes.len());
         let root = collapse(binary, binary.root, &mut nodes);
-        WideBvh { nodes, root, triangle_count: binary.triangle_count }
+        WideBvh {
+            nodes,
+            root,
+            triangle_count: binary.triangle_count,
+        }
     }
 
     /// Depth of the tree (a single leaf has depth 1).
@@ -95,14 +103,21 @@ impl WideBvh {
         match &self.nodes[node as usize] {
             WideNode::Leaf { .. } => 1,
             WideNode::Internal { children, .. } => {
-                1 + children.iter().map(|(c, _)| self.depth_of(*c)).max().unwrap_or(0)
+                1 + children
+                    .iter()
+                    .map(|(c, _)| self.depth_of(*c))
+                    .max()
+                    .unwrap_or(0)
             }
         }
     }
 
     /// Number of leaf (primitive) nodes.
     pub fn leaf_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, WideNode::Leaf { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, WideNode::Leaf { .. }))
+            .count()
     }
 
     /// Number of internal nodes.
@@ -128,10 +143,17 @@ impl WideBvh {
 fn collapse(binary: &BinaryBvh, b: u32, nodes: &mut Vec<WideNode>) -> u32 {
     match &binary.nodes[b as usize] {
         BinaryNode::Leaf { bounds, triangle } => {
-            nodes.push(WideNode::Leaf { bounds: *bounds, triangle: *triangle });
+            nodes.push(WideNode::Leaf {
+                bounds: *bounds,
+                triangle: *triangle,
+            });
             (nodes.len() - 1) as u32
         }
-        BinaryNode::Internal { bounds, left, right } => {
+        BinaryNode::Internal {
+            bounds,
+            left,
+            right,
+        } => {
             // Gather up to MAX_ARITY binary subtree roots under this node.
             let mut slots: Vec<u32> = vec![*left, *right];
             loop {
@@ -153,9 +175,7 @@ fn collapse(binary: &BinaryBvh, b: u32, nodes: &mut Vec<WideNode>) -> u32 {
                     .map(|(i, _)| i);
                 let Some(i) = candidate else { break };
                 let expanded = slots.swap_remove(i);
-                if let BinaryNode::Internal { left, right, .. } =
-                    &binary.nodes[expanded as usize]
-                {
+                if let BinaryNode::Internal { left, right, .. } = &binary.nodes[expanded as usize] {
                     slots.push(*left);
                     slots.push(*right);
                 }
@@ -168,7 +188,10 @@ fn collapse(binary: &BinaryBvh, b: u32, nodes: &mut Vec<WideNode>) -> u32 {
                     (collapse(binary, s, nodes), cb)
                 })
                 .collect();
-            nodes.push(WideNode::Internal { bounds: *bounds, children });
+            nodes.push(WideNode::Internal {
+                bounds: *bounds,
+                children,
+            });
             (nodes.len() - 1) as u32
         }
     }
@@ -212,7 +235,11 @@ mod tests {
     fn arity_never_exceeds_six() {
         for n in [2usize, 5, 6, 7, 13, 36, 100] {
             let w = wide(n);
-            assert!(w.max_arity() <= MAX_ARITY, "n = {n}, arity = {}", w.max_arity());
+            assert!(
+                w.max_arity() <= MAX_ARITY,
+                "n = {n}, arity = {}",
+                w.max_arity()
+            );
         }
     }
 
@@ -240,7 +267,12 @@ mod tests {
         let tris = line_triangles(64);
         let binary = build_binary(&tris);
         let w = WideBvh::from_binary(&binary);
-        assert!(w.depth() < binary.depth(), "wide {} vs binary {}", w.depth(), binary.depth());
+        assert!(
+            w.depth() < binary.depth(),
+            "wide {} vs binary {}",
+            w.depth(),
+            binary.depth()
+        );
     }
 
     #[test]

@@ -214,7 +214,10 @@ mod tests {
     #[test]
     fn flip_flop_equivalents_near_2200() {
         let ff = cooprt_area(32).flip_flop_equivalents();
-        assert!((2000.0..=2450.0).contains(&ff), "paper: ~2,200 FF equivalents, got {ff:.0}");
+        assert!(
+            (2000.0..=2450.0).contains(&ff),
+            "paper: ~2,200 FF equivalents, got {ff:.0}"
+        );
     }
 
     #[test]

@@ -220,13 +220,19 @@ impl GpuConfig {
 
     /// The §7.4 mobile configuration: 8 SMs, 4 memory channels.
     pub fn mobile() -> Self {
-        GpuConfig { mem: MemoryConfig::mobile_like(8), ..Self::rtx2060() }
+        GpuConfig {
+            mem: MemoryConfig::mobile_like(8),
+            ..Self::rtx2060()
+        }
     }
 
     /// A scaled-down desktop config for unit tests: `sms` SMs, same
     /// relative parameters.
     pub fn small(sms: usize) -> Self {
-        GpuConfig { mem: MemoryConfig::rtx2060_like(sms), ..Self::rtx2060() }
+        GpuConfig {
+            mem: MemoryConfig::rtx2060_like(sms),
+            ..Self::rtx2060()
+        }
     }
 
     /// Returns a copy with a different RT warp buffer size (Fig. 13

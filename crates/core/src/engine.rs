@@ -38,7 +38,12 @@ impl StallBreakdown {
             return [0.0; 4];
         }
         let t = t as f64;
-        [self.rt as f64 / t, self.mem as f64 / t, self.alu as f64 / t, self.sfu as f64 / t]
+        [
+            self.rt as f64 / t,
+            self.mem as f64 / t,
+            self.alu as f64 / t,
+            self.sfu as f64 / t,
+        ]
     }
 }
 
@@ -134,6 +139,10 @@ pub struct FrameResult {
     pub cycles: u64,
     /// Memory-system counters (Figs. 12, 16).
     pub mem: MemStats,
+    /// Total rays dispatched to the RT units over the frame (active
+    /// threads of every `trace_ray`). Feeds the rays/sec throughput
+    /// metric of the `simperf` bench.
+    pub rays: u64,
     /// RT-unit event counters.
     pub events: EnergyEvents,
     /// Energy/power/EDP report (Figs. 9, 15, 18).
@@ -192,7 +201,13 @@ impl<'s> Simulation<'s> {
     /// Creates a simulation over `scene` with the given configuration
     /// and traversal policy.
     pub fn new(scene: &'s Scene, config: &GpuConfig, policy: TraversalPolicy) -> Self {
-        Simulation { scene, config: config.clone(), policy, timeline_warp: None, sample_salt: 0 }
+        Simulation {
+            scene,
+            config: config.clone(),
+            policy,
+            timeline_warp: None,
+            sample_salt: 0,
+        }
     }
 
     /// Sets the per-sample RNG salt (use the sample index when
@@ -206,6 +221,12 @@ impl<'s> Simulation<'s> {
     /// a distinct RNG salt, and returns the accumulated (averaged) image
     /// alongside every per-sample [`FrameResult`].
     ///
+    /// Samples are simulated concurrently on the worker count from
+    /// [`crate::parallel::threads`] (the `COOPRT_THREADS` knob). Each
+    /// sample is an independent single-threaded engine, and the
+    /// accumulation happens in ascending sample order afterwards, so
+    /// the result is bitwise identical to the sequential path.
+    ///
     /// # Panics
     ///
     /// Panics if `spp == 0` or the frame is empty.
@@ -216,15 +237,37 @@ impl<'s> Simulation<'s> {
         height: usize,
         spp: u32,
     ) -> (Vec<Rgb>, Vec<FrameResult>) {
+        self.run_accumulated_with_threads(kind, width, height, spp, crate::parallel::threads())
+    }
+
+    /// [`Simulation::run_accumulated`] with an explicit worker count
+    /// (`threads == 1` is the plain sequential loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spp == 0` or the frame is empty.
+    pub fn run_accumulated_with_threads(
+        &self,
+        kind: ShaderKind,
+        width: usize,
+        height: usize,
+        spp: u32,
+        threads: usize,
+    ) -> (Vec<Rgb>, Vec<FrameResult>) {
         assert!(spp > 0, "need at least one sample per pixel");
+        let salts: Vec<u64> = (0..spp as u64).collect();
+        let frames = crate::parallel::par_map(&salts, threads, |_, &s| {
+            self.clone()
+                .with_sample_salt(s)
+                .run_frame(kind, width, height)
+        });
+        // Reduce in fixed sample order: f32 accumulation is not
+        // associative, so the order must match the sequential loop.
         let mut accum = vec![Rgb::BLACK; width * height];
-        let mut frames = Vec::with_capacity(spp as usize);
-        for s in 0..spp {
-            let frame = self.clone().with_sample_salt(s as u64).run_frame(kind, width, height);
+        for frame in &frames {
             for (acc, px) in accum.iter_mut().zip(&frame.image) {
                 *acc += *px * (1.0 / spp as f32);
             }
-            frames.push(frame);
         }
         (accum, frames)
     }
@@ -291,6 +334,14 @@ struct Engine<'s> {
     threads: Vec<ShaderThread>,
     warps: Vec<Warp>,
     sms: Vec<Sm>,
+    /// Cached earliest cycle at which each SM can act again, recomputed
+    /// only when that SM is stepped. An SM whose entry exceeds `now`
+    /// provably performs a no-op step (all its state is private to its
+    /// step section, and issued memory responses carry fixed ready
+    /// times), so [`Engine::step_cycle`] skips it and
+    /// [`Engine::next_time`] folds over this cache instead of rescanning
+    /// every warp of every SM.
+    sm_next: Vec<u64>,
     mem: MemoryHierarchy,
     stalls: StallBreakdown,
     activity: ActivitySeries,
@@ -324,6 +375,7 @@ impl<'s> Engine<'s> {
             .collect();
         let mem = MemoryHierarchy::new(&cfg.mem);
         let interval = cfg.sample_interval.max(1);
+        let sm_next = vec![0u64; sm_count];
         Engine {
             scene: sim.scene,
             cfg,
@@ -334,9 +386,13 @@ impl<'s> Engine<'s> {
             threads,
             warps: Vec::new(),
             sms,
+            sm_next,
             mem,
             stalls: StallBreakdown::default(),
-            activity: ActivitySeries { interval, samples: Vec::new() },
+            activity: ActivitySeries {
+                interval,
+                samples: Vec::new(),
+            },
             timeline_warp: sim.timeline_warp,
             timeline: Vec::new(),
             retired_buf: Vec::new(),
@@ -376,7 +432,10 @@ impl<'s> Engine<'s> {
     }
 
     fn any_ray(&self, w: usize) -> bool {
-        self.warps[w].members.iter().any(|&t| self.threads[t as usize].ray.is_some())
+        self.warps[w]
+            .members
+            .iter()
+            .any(|&t| self.threads[t as usize].ray.is_some())
     }
 
     /// Creates a wave of warps over the given lane groups and queues
@@ -389,6 +448,8 @@ impl<'s> Engine<'s> {
             debug_assert!(sm.running.is_empty(), "waves must not overlap");
         }
         let sm_count = self.sms.len();
+        // New work arrived on every SM: invalidate the next-event cache.
+        self.sm_next.fill(0);
         for (w, members) in groups.into_iter().enumerate() {
             debug_assert!(members.len() <= WARP_SIZE);
             self.warps.push(Warp {
@@ -465,12 +526,23 @@ impl<'s> Engine<'s> {
     fn step_cycle(&mut self, now: u64) -> usize {
         let mut finished = 0;
         for sm_idx in 0..self.sms.len() {
+            // An SM whose cached next-event time lies in the future has
+            // nothing to do this cycle: stepping it would be a no-op
+            // (the cache is recomputed whenever the SM's state changes,
+            // and nothing outside its own step section mutates it).
+            if self.sm_next[sm_idx] > now {
+                continue;
+            }
             // Activate queued thread blocks up to the per-SM limit.
             while self.sms[sm_idx].running.len() < self.cfg.max_tbs_per_sm {
-                let Some(w) = self.sms[sm_idx].queue.pop_front() else { break };
+                let Some(w) = self.sms[sm_idx].queue.pop_front() else {
+                    break;
+                };
                 self.warps[w].started = now;
                 if self.warps[w].needs_raygen {
-                    self.warps[w].phase = Phase::Raygen { until: now + self.cfg.raygen_cycles };
+                    self.warps[w].phase = Phase::Raygen {
+                        until: now + self.cfg.raygen_cycles,
+                    };
                     self.stalls.alu += self.cfg.raygen_cycles;
                 } else {
                     self.warps[w].phase = Phase::WaitRt;
@@ -543,6 +615,10 @@ impl<'s> Engine<'s> {
             });
             self.slowest_warp = slowest;
             finished += before - self.sms[sm_idx].running.len();
+
+            // Refresh this SM's next-event cache now that its step is
+            // complete; it stays valid until the SM is stepped again.
+            self.sm_next[sm_idx] = self.sm_next_time(sm_idx, now);
         }
 
         // Fig. 11 timeline: capture the designated warp while resident.
@@ -566,12 +642,18 @@ impl<'s> Engine<'s> {
             rays[i] = thread.ray;
             t_max[i] = thread.t_max;
         }
-        TraceQuery { warp: w, rays, t_max, any_hit: self.kind.any_hit_at(warp.iteration) }
+        TraceQuery {
+            warp: w,
+            rays,
+            t_max,
+            any_hit: self.kind.any_hit_at(warp.iteration),
+        }
     }
 
     fn retire_warp(&mut self, res: &TraceResult, now: u64) {
         let w = res.warp;
-        self.trace_latencies.record(res.retired_at.saturating_sub(res.issued_at));
+        self.trace_latencies
+            .record(res.retired_at.saturating_sub(res.issued_at));
         // The whole trace_ray episode (waiting for a slot + traversal)
         // stalls on the RT unit.
         self.stalls.rt += now.saturating_sub(self.warps[w].wait_since);
@@ -582,40 +664,52 @@ impl<'s> Engine<'s> {
         }
         let warp = &mut self.warps[w];
         warp.iteration += 1;
-        let shade = self.cfg.shade_mem_cycles + self.cfg.shade_alu_cycles + self.cfg.shade_sfu_cycles;
+        let shade =
+            self.cfg.shade_mem_cycles + self.cfg.shade_alu_cycles + self.cfg.shade_sfu_cycles;
         self.stalls.mem += self.cfg.shade_mem_cycles;
         self.stalls.alu += self.cfg.shade_alu_cycles;
         self.stalls.sfu += self.cfg.shade_sfu_cycles;
         warp.phase = Phase::Shade { until: now + shade };
     }
 
-    /// The next cycle after `now` at which any SM or warp can act.
-    fn next_time(&self, now: u64) -> u64 {
+    /// Earliest cycle (> `now`) at which SM `sm_idx` can act, or
+    /// `u64::MAX` if it is fully drained.
+    fn sm_next_time(&self, sm_idx: usize, now: u64) -> u64 {
+        let sm = &self.sms[sm_idx];
+        if !sm.queue.is_empty() && sm.running.len() < self.cfg.max_tbs_per_sm {
+            return now + 1;
+        }
         let mut next = u64::MAX;
-        for sm in &self.sms {
-            if !sm.queue.is_empty() && sm.running.len() < self.cfg.max_tbs_per_sm {
-                return now + 1;
-            }
-            for &w in &sm.running {
-                match self.warps[w].phase {
-                    Phase::Raygen { until } | Phase::Shade { until } => {
-                        next = next.min(until.max(now + 1));
-                    }
-                    Phase::WaitRt
-                        if sm.rt.has_free_slot() => {
-                            return now + 1;
-                        }
-                    _ => {}
+        for &w in &sm.running {
+            match self.warps[w].phase {
+                Phase::Raygen { until } | Phase::Shade { until } => {
+                    next = next.min(until.max(now + 1));
                 }
-            }
-            if let Some(t) = sm.rt.next_event(now + 1, self.policy, self.cfg.subwarp_size) {
-                next = next.min(t.max(now + 1));
+                Phase::WaitRt if sm.rt.has_free_slot() => {
+                    return now + 1;
+                }
+                _ => {}
             }
         }
+        if let Some(t) = sm
+            .rt
+            .next_event(now + 1, self.policy, self.cfg.subwarp_size)
+        {
+            next = next.min(t.max(now + 1));
+        }
+        next
+    }
+
+    /// The next cycle after `now` at which any SM or warp can act.
+    ///
+    /// O(SMs): folds the cached per-SM next-event times instead of
+    /// rescanning every warp-buffer slot of every SM.
+    fn next_time(&self, now: u64) -> u64 {
+        let next = self.sm_next.iter().copied().min().unwrap_or(u64::MAX);
         if next == u64::MAX {
             now + 1
         } else {
-            next
+            next.max(now + 1)
         }
     }
 
@@ -640,8 +734,10 @@ impl<'s> Engine<'s> {
         let slowest = self.slowest_warp;
         let mut events = EnergyEvents::default();
         let mut predictor = PredictorStats::default();
+        let mut rays = 0u64;
         for sm in &self.sms {
             events.add(&sm.rt.events);
+            rays += sm.rt.rays_issued;
             if let Some(p) = sm.rt.predictor_stats() {
                 predictor.lookups += p.lookups;
                 predictor.candidates += p.candidates;
@@ -667,6 +763,7 @@ impl<'s> Engine<'s> {
             height: self.height,
             cycles: now,
             mem: mem_stats,
+            rays,
             events,
             energy,
             stalls: self.stalls,
@@ -685,12 +782,7 @@ mod tests {
     use super::*;
     use cooprt_scenes::SceneId;
 
-    fn run(
-        id: SceneId,
-        policy: TraversalPolicy,
-        kind: ShaderKind,
-        res: usize,
-    ) -> FrameResult {
+    fn run(id: SceneId, policy: TraversalPolicy, kind: ShaderKind, res: usize) -> FrameResult {
         let scene = id.build(2);
         let cfg = GpuConfig::small(2);
         Simulation::new(&scene, &cfg, policy).run_frame(kind, res, res)
@@ -701,11 +793,20 @@ mod tests {
         for id in [SceneId::Wknd, SceneId::Crnvl, SceneId::Spnza] {
             let scene = id.build(2);
             let cfg = GpuConfig::small(2);
-            let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-                .run_frame(ShaderKind::PathTrace, 8, 8);
-            let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-                .run_frame(ShaderKind::PathTrace, 8, 8);
-            assert_eq!(base.image, coop.image, "{id}: CoopRT must be functionally exact");
+            let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+                ShaderKind::PathTrace,
+                8,
+                8,
+            );
+            let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+                ShaderKind::PathTrace,
+                8,
+                8,
+            );
+            assert_eq!(
+                base.image, coop.image,
+                "{id}: CoopRT must be functionally exact"
+            );
         }
     }
 
@@ -713,10 +814,16 @@ mod tests {
     fn coop_is_faster_on_a_divergent_scene() {
         let scene = SceneId::Crnvl.build(3);
         let cfg = GpuConfig::small(2);
-        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 12, 12);
-        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-            .run_frame(ShaderKind::PathTrace, 12, 12);
+        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            12,
+            12,
+        );
+        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+            ShaderKind::PathTrace,
+            12,
+            12,
+        );
         assert!(
             coop.cycles < base.cycles,
             "coop {} vs base {}",
@@ -729,10 +836,16 @@ mod tests {
     fn coop_improves_thread_utilization() {
         let scene = SceneId::Party.build(3);
         let cfg = GpuConfig::small(2);
-        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 12, 12);
-        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-            .run_frame(ShaderKind::PathTrace, 12, 12);
+        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            12,
+            12,
+        );
+        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+            ShaderKind::PathTrace,
+            12,
+            12,
+        );
         assert!(
             coop.activity.avg_utilization() > base.activity.avg_utilization(),
             "coop {:.3} vs base {:.3}",
@@ -743,8 +856,18 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let a = run(SceneId::Bunny, TraversalPolicy::CoopRt, ShaderKind::PathTrace, 8);
-        let b = run(SceneId::Bunny, TraversalPolicy::CoopRt, ShaderKind::PathTrace, 8);
+        let a = run(
+            SceneId::Bunny,
+            TraversalPolicy::CoopRt,
+            ShaderKind::PathTrace,
+            8,
+        );
+        let b = run(
+            SceneId::Bunny,
+            TraversalPolicy::CoopRt,
+            ShaderKind::PathTrace,
+            8,
+        );
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.image, b.image);
         assert_eq!(a.events, b.events);
@@ -752,7 +875,12 @@ mod tests {
 
     #[test]
     fn image_has_content() {
-        let r = run(SceneId::Wknd, TraversalPolicy::Baseline, ShaderKind::PathTrace, 8);
+        let r = run(
+            SceneId::Wknd,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+            8,
+        );
         let lum: f32 = r.image.iter().map(|c| c.luminance()).sum();
         assert!(lum > 0.0, "a daylight scene cannot render black");
         assert_eq!(r.width, 8);
@@ -776,15 +904,19 @@ mod tests {
             let cfg = GpuConfig::small(2);
             let base =
                 Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(kind, 8, 8);
-            let coop =
-                Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(kind, 8, 8);
+            let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(kind, 8, 8);
             assert_eq!(base.image, coop.image, "{kind:?}");
         }
     }
 
     #[test]
     fn stalls_are_dominated_by_rt() {
-        let r = run(SceneId::Spnza, TraversalPolicy::Baseline, ShaderKind::PathTrace, 12);
+        let r = run(
+            SceneId::Spnza,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+            12,
+        );
         let f = r.stalls.fractions();
         assert!(f[0] > 0.5, "RT should dominate stalls (Fig. 1), got {f:?}");
         assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -792,7 +924,12 @@ mod tests {
 
     #[test]
     fn slowest_warp_is_at_most_total() {
-        let r = run(SceneId::Ship, TraversalPolicy::Baseline, ShaderKind::PathTrace, 8);
+        let r = run(
+            SceneId::Ship,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+            8,
+        );
         assert!(r.slowest_warp_cycles <= r.cycles);
         assert!(r.slowest_warp_cycles > 0);
     }
@@ -804,7 +941,10 @@ mod tests {
         let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
             .with_timeline_warp(0)
             .run_frame(ShaderKind::PathTrace, 8, 8);
-        assert!(!r.timeline.is_empty(), "warp 0 traced, timeline must have samples");
+        assert!(
+            !r.timeline.is_empty(),
+            "warp 0 traced, timeline must have samples"
+        );
         assert!(r.timeline.windows(2).all(|w| w[0].cycle < w[1].cycle));
     }
 
@@ -815,10 +955,16 @@ mod tests {
         // expected, but bounded).
         let scene = SceneId::Bunny.build(3);
         let cfg = GpuConfig::small(2);
-        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 8, 8);
-        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-            .run_frame(ShaderKind::PathTrace, 8, 8);
+        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            8,
+            8,
+        );
+        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+            ShaderKind::PathTrace,
+            8,
+            8,
+        );
         assert!(
             (coop.events.box_tests as f64) < 2.0 * base.events.box_tests as f64,
             "coop {} vs base {}",
@@ -831,12 +977,18 @@ mod tests {
     fn subwarp_scopes_run_and_stay_correct() {
         let scene = SceneId::Fox.build(2);
         let base_cfg = GpuConfig::small(2);
-        let reference = Simulation::new(&scene, &base_cfg, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 8, 8);
+        let reference = Simulation::new(&scene, &base_cfg, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            8,
+            8,
+        );
         for sw in [4usize, 8, 16, 32] {
             let cfg = GpuConfig::small(2).with_subwarp(sw);
-            let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-                .run_frame(ShaderKind::PathTrace, 8, 8);
+            let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+                ShaderKind::PathTrace,
+                8,
+                8,
+            );
             assert_eq!(r.image, reference.image, "subwarp {sw}");
         }
     }
@@ -845,10 +997,16 @@ mod tests {
     fn trace_latencies_are_collected_and_coop_compresses_the_tail() {
         let scene = SceneId::Fox.build(3);
         let cfg = GpuConfig::small(2);
-        let mut base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 12, 12);
-        let mut coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-            .run_frame(ShaderKind::PathTrace, 12, 12);
+        let mut base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            12,
+            12,
+        );
+        let mut coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+            ShaderKind::PathTrace,
+            12,
+            12,
+        );
         assert!(!base.trace_latencies.is_empty());
         assert_eq!(
             base.trace_latencies.len() as u64,
@@ -879,8 +1037,11 @@ mod tests {
             assert!((acc.r - mean_r).abs() < 1e-5);
         }
         // Salt 0 must reproduce the plain run (backwards compatibility).
-        let plain = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-            .run_frame(ShaderKind::PathTrace, 8, 8);
+        let plain = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+            ShaderKind::PathTrace,
+            8,
+            8,
+        );
         assert_eq!(frames[0].image, plain.image);
     }
 
@@ -890,10 +1051,16 @@ mod tests {
         let linear = GpuConfig::small(2);
         let mut tiled = GpuConfig::small(2);
         tiled.warp_tiling = crate::config::WarpTiling::Tiled8x4;
-        let a = Simulation::new(&scene, &linear, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 16, 16);
-        let b = Simulation::new(&scene, &tiled, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 16, 16);
+        let a = Simulation::new(&scene, &linear, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            16,
+            16,
+        );
+        let b = Simulation::new(&scene, &tiled, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            16,
+            16,
+        );
         // Per-pixel results do not depend on warp membership...
         assert_eq!(a.image, b.image);
         // ...but the grouping genuinely differs (timing diverges).
@@ -910,8 +1077,11 @@ mod tests {
         let scene = SceneId::Wknd.build(2);
         let mut cfg = GpuConfig::small(2);
         cfg.warp_tiling = crate::config::WarpTiling::Tiled8x4;
-        let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-            .run_frame(ShaderKind::PathTrace, 10, 6);
+        let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+            ShaderKind::PathTrace,
+            10,
+            6,
+        );
         let reference = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::Baseline)
             .run_frame(ShaderKind::PathTrace, 10, 6);
         assert_eq!(r.image, reference.image, "every pixel shaded exactly once");
@@ -919,7 +1089,12 @@ mod tests {
 
     #[test]
     fn energy_report_is_consistent() {
-        let r = run(SceneId::Wknd, TraversalPolicy::Baseline, ShaderKind::PathTrace, 8);
+        let r = run(
+            SceneId::Wknd,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+            8,
+        );
         assert!(r.energy.total_j() > 0.0);
         assert!(r.energy.avg_power_w() > 0.0);
         assert_eq!(r.energy.cycles, r.cycles);
@@ -933,10 +1108,16 @@ mod tests {
         let with = GpuConfig::small(2);
         let mut without = GpuConfig::small(2);
         without.node_elimination = false;
-        let a = Simulation::new(&scene, &with, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 16, 16);
-        let b = Simulation::new(&scene, &without, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 16, 16);
+        let a = Simulation::new(&scene, &with, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            16,
+            16,
+        );
+        let b = Simulation::new(&scene, &without, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            16,
+            16,
+        );
         assert_eq!(a.image, b.image, "pruning must not change results");
         assert!(
             b.events.triangle_tests > a.events.triangle_tests,
@@ -955,10 +1136,14 @@ mod tests {
         let dfs_cfg = GpuConfig::small(2);
         let mut bfs_cfg = GpuConfig::small(2);
         bfs_cfg.traversal_order = crate::config::TraversalOrder::Bfs;
-        let reference = Simulation::new(&scene, &dfs_cfg, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 8, 8);
+        let reference = Simulation::new(&scene, &dfs_cfg, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            8,
+            8,
+        );
         for policy in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
-            let r = Simulation::new(&scene, &bfs_cfg, policy).run_frame(ShaderKind::PathTrace, 8, 8);
+            let r =
+                Simulation::new(&scene, &bfs_cfg, policy).run_frame(ShaderKind::PathTrace, 8, 8);
             assert_eq!(r.image, reference.image, "BFS under {policy:?}");
         }
     }
@@ -971,10 +1156,16 @@ mod tests {
         let dfs_cfg = GpuConfig::small(2);
         let mut bfs_cfg = GpuConfig::small(2);
         bfs_cfg.traversal_order = crate::config::TraversalOrder::Bfs;
-        let dfs = Simulation::new(&scene, &dfs_cfg, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 10, 10);
-        let bfs = Simulation::new(&scene, &bfs_cfg, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 10, 10);
+        let dfs = Simulation::new(&scene, &dfs_cfg, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            10,
+            10,
+        );
+        let bfs = Simulation::new(&scene, &bfs_cfg, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            10,
+            10,
+        );
         assert!(
             bfs.events.triangle_tests >= dfs.events.triangle_tests,
             "bfs {} vs dfs {}",
@@ -992,8 +1183,8 @@ mod tests {
             let plain = GpuConfig::small(2);
             let mut compact = GpuConfig::small(2);
             compact.compaction = true;
-            let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline)
-                .run_frame(kind, 10, 10);
+            let a =
+                Simulation::new(&scene, &plain, TraversalPolicy::Baseline).run_frame(kind, 10, 10);
             let b = Simulation::new(&scene, &compact, TraversalPolicy::Baseline)
                 .run_frame(kind, 10, 10);
             assert_eq!(a.image, b.image, "{kind:?}");
@@ -1007,8 +1198,11 @@ mod tests {
         cfg.compaction = true;
         let base = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::Baseline)
             .run_frame(ShaderKind::PathTrace, 10, 10);
-        let both = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-            .run_frame(ShaderKind::PathTrace, 10, 10);
+        let both = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+            ShaderKind::PathTrace,
+            10,
+            10,
+        );
         assert_eq!(base.image, both.image);
         assert!(both.cycles > 0);
     }
@@ -1023,10 +1217,16 @@ mod tests {
         plain.sample_interval = 50; // dense sampling for a small frame
         let mut compact = plain.clone();
         compact.compaction = true;
-        let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 24, 24);
-        let b = Simulation::new(&scene, &compact, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 24, 24);
+        let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            40,
+            40,
+        );
+        let b = Simulation::new(&scene, &compact, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            40,
+            40,
+        );
         assert_eq!(a.image, b.image);
         // Re-packing live threads into dense warps means fewer
         // trace_ray instructions carry the same set of rays.
@@ -1043,15 +1243,18 @@ mod tests {
         // Predicted primitives are *verified* by a real intersection
         // test, so results never change — for closest-hit the seed is a
         // true hit; for any-hit any verified hit is a valid answer.
-        for kind in [ShaderKind::PathTrace, ShaderKind::AmbientOcclusion, ShaderKind::Shadow] {
+        for kind in [
+            ShaderKind::PathTrace,
+            ShaderKind::AmbientOcclusion,
+            ShaderKind::Shadow,
+        ] {
             let scene = SceneId::Bath.build(2);
             let plain = GpuConfig::small(2);
             let mut pred = GpuConfig::small(2);
             pred.intersection_predictor = true;
-            let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline)
-                .run_frame(kind, 8, 8);
-            let b = Simulation::new(&scene, &pred, TraversalPolicy::Baseline)
-                .run_frame(kind, 8, 8);
+            let a =
+                Simulation::new(&scene, &plain, TraversalPolicy::Baseline).run_frame(kind, 8, 8);
+            let b = Simulation::new(&scene, &pred, TraversalPolicy::Baseline).run_frame(kind, 8, 8);
             assert_eq!(a.image, b.image, "{kind:?}");
         }
     }
@@ -1064,10 +1267,16 @@ mod tests {
         let plain = GpuConfig::small(2);
         let mut pred = GpuConfig::small(2);
         pred.intersection_predictor = true;
-        let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::AmbientOcclusion, 16, 16);
-        let b = Simulation::new(&scene, &pred, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::AmbientOcclusion, 16, 16);
+        let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::AmbientOcclusion,
+            16,
+            16,
+        );
+        let b = Simulation::new(&scene, &pred, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::AmbientOcclusion,
+            16,
+            16,
+        );
         assert_eq!(a.image, b.image);
         assert!(
             b.events.box_tests < a.events.box_tests,
@@ -1083,13 +1292,22 @@ mod tests {
         let plain = GpuConfig::small(2);
         let mut pf = GpuConfig::small(2);
         pf.prefetch_children = true;
-        let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 10, 10);
-        let b = Simulation::new(&scene, &pf, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 10, 10);
+        let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            10,
+            10,
+        );
+        let b = Simulation::new(&scene, &pf, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            10,
+            10,
+        );
         assert_eq!(a.image, b.image, "prefetching must not change results");
         assert_eq!(a.mem.prefetches, 0);
-        assert!(b.mem.prefetches > 0, "prefetcher should have issued requests");
+        assert!(
+            b.mem.prefetches > 0,
+            "prefetcher should have issued requests"
+        );
     }
 
     #[test]
@@ -1101,10 +1319,16 @@ mod tests {
         let all = GpuConfig::small(2).with_subwarp(8);
         let mut one = GpuConfig::small(2).with_subwarp(8);
         one.subwarp_mode = crate::config::SubwarpMode::OneGroup;
-        let ra = Simulation::new(&scene, &all, TraversalPolicy::CoopRt)
-            .run_frame(ShaderKind::PathTrace, 10, 10);
-        let ro = Simulation::new(&scene, &one, TraversalPolicy::CoopRt)
-            .run_frame(ShaderKind::PathTrace, 10, 10);
+        let ra = Simulation::new(&scene, &all, TraversalPolicy::CoopRt).run_frame(
+            ShaderKind::PathTrace,
+            10,
+            10,
+        );
+        let ro = Simulation::new(&scene, &one, TraversalPolicy::CoopRt).run_frame(
+            ShaderKind::PathTrace,
+            10,
+            10,
+        );
         assert_eq!(ra.image, ro.image);
         let ratio = ro.cycles as f64 / ra.cycles as f64;
         assert!(
@@ -1125,8 +1349,11 @@ mod tests {
         let mut fast_lbu = GpuConfig::small(2);
         fast_lbu.lbu_moves_per_cycle = 4;
         for cfg in [bottom, fast_lbu] {
-            let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-                .run_frame(ShaderKind::PathTrace, 8, 8);
+            let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+                ShaderKind::PathTrace,
+                8,
+                8,
+            );
             assert_eq!(r.image, reference.image);
         }
     }
@@ -1136,7 +1363,10 @@ mod tests {
     fn empty_frame_rejected() {
         let scene = SceneId::Wknd.build(1);
         let cfg = GpuConfig::small(1);
-        let _ = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 0, 8);
+        let _ = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            0,
+            8,
+        );
     }
 }

@@ -47,7 +47,10 @@ impl TraceLatencies {
     ///
     /// Panics if `q` is not within `[0, 1]`.
     pub fn quantile(&mut self, q: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0, 1], got {q}"
+        );
         if self.samples.is_empty() {
             return 0;
         }

@@ -53,7 +53,11 @@ pub fn find_pairs(can_help: u32, needs_help: u32, subwarp_size: usize) -> Vec<Lb
         subwarp_size > 0 && WARP_SIZE.is_multiple_of(subwarp_size),
         "subwarp size must divide the warp (got {subwarp_size})"
     );
-    debug_assert_eq!(can_help & needs_help, 0, "a thread cannot both help and need help");
+    debug_assert_eq!(
+        can_help & needs_help,
+        0,
+        "a thread cannot both help and need help"
+    );
     let groups = WARP_SIZE / subwarp_size;
     let mut pairs = Vec::new();
     for g in 0..groups {
@@ -107,7 +111,13 @@ mod tests {
         let pairs = find_pairs(can, needs, 8);
         assert_eq!(
             pairs,
-            vec![LbuPair { helper: 1, main: 2 }, LbuPair { helper: 17, main: 20 }]
+            vec![
+                LbuPair { helper: 1, main: 2 },
+                LbuPair {
+                    helper: 17,
+                    main: 20
+                }
+            ]
         );
     }
 
@@ -137,7 +147,10 @@ mod tests {
     fn smallest_subwarp_scope() {
         let can = 1 << 0;
         let needs = 1 << 3;
-        assert_eq!(find_pairs(can, needs, 4), vec![LbuPair { helper: 0, main: 3 }]);
+        assert_eq!(
+            find_pairs(can, needs, 4),
+            vec![LbuPair { helper: 0, main: 3 }]
+        );
         // Main just outside the 4-thread group: no pair.
         assert!(find_pairs(can, 1 << 4, 4).is_empty());
     }

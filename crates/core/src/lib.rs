@@ -20,6 +20,9 @@
 //! - [`engine`] — SMs, thread-block dispatch, the cycle loop, and every
 //!   measurement the evaluation needs (activity sampling, stall
 //!   breakdown, warp timelines, slowest-warp latency);
+//! - [`parallel`] — deterministic outer-loop parallelism (scoped-thread
+//!   work pool behind the `COOPRT_THREADS` knob); each engine stays
+//!   single-threaded, so results are bitwise identical at any width;
 //! - [`area`] — the §7.5 area model (Table 3).
 //!
 //! # Quickstart
@@ -47,6 +50,7 @@ pub mod config;
 pub mod engine;
 pub mod latency;
 pub mod lbu;
+pub mod parallel;
 pub mod predictor;
 pub mod rtunit;
 pub mod shader;

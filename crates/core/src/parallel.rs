@@ -1,0 +1,169 @@
+//! Deterministic outer-loop parallelism.
+//!
+//! Each simulated [`Engine`](crate::engine) is strictly
+//! single-threaded — the cycle loop is the unit of determinism. What
+//! *can* run concurrently is the outer evaluation loop: independent
+//! frames (samples, scenes, configurations, policies). This module
+//! provides the scoped-thread work pool those loops share.
+//!
+//! Determinism contract: [`par_map`] invokes `f` on every item exactly
+//! once and returns results **in item order**, so any reduction the
+//! caller performs afterwards runs in the same fixed order as the
+//! sequential loop — floating-point accumulation and all. The worker
+//! count changes wall-clock time only, never a single output bit.
+//!
+//! The worker count comes from the `COOPRT_THREADS` environment
+//! variable, falling back to [`std::thread::available_parallelism`].
+//! The implementation uses only `std::thread::scope`, so it works in
+//! fully offline builds; a rayon-backed pool could be slotted in behind
+//! the same [`par_map`] signature if the dependency ever becomes
+//! available.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The configured outer-parallelism width: `COOPRT_THREADS` if set to a
+/// positive integer, otherwise the machine's available parallelism
+/// (falling back to 1).
+pub fn threads() -> usize {
+    match std::env::var("COOPRT_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` workers, returning results
+/// in item order.
+///
+/// Workers pull item indices from a shared atomic counter (dynamic
+/// scheduling — simulation times per item vary wildly), tag each result
+/// with its index, and the merge step restores item order. With
+/// `threads <= 1` or fewer than two items this is a plain sequential
+/// loop with no thread spawned.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(i, item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+    let mut tagged: Vec<(usize, U)> = buckets.into_iter().flatten().collect();
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Runs two independent closures concurrently and returns both results.
+///
+/// Used for baseline/CoopRT comparison pairs. Falls back to sequential
+/// execution when `threads <= 1`.
+pub fn join<A, B, RA, RB>(threads: usize, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if threads <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 4, 7] {
+            let out = par_map(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[5u32], 8, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn par_map_visits_each_item_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let items: Vec<u64> = (0..57).collect();
+        let out = par_map(&items, 4, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out, items);
+        assert_eq!(calls.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for threads in [1, 4] {
+            let (a, b) = join(threads, || 2 + 2, || "ok");
+            assert_eq!(a, 4);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn par_map_propagates_panics() {
+        let items: Vec<u32> = (0..8).collect();
+        let _ = par_map(&items, 4, |_, &x| {
+            if x == 3 {
+                panic!("worker boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn threads_is_positive() {
+        assert!(threads() >= 1);
+    }
+}

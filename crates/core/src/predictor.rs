@@ -39,7 +39,10 @@ impl Predictor {
     /// Panics if `entries == 0`.
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0, "predictor needs at least one entry");
-        Predictor { entries: vec![None; entries], stats: PredictorStats::default() }
+        Predictor {
+            entries: vec![None; entries],
+            stats: PredictorStats::default(),
+        }
     }
 
     /// Signature hash of a ray: origin quantized to 4-unit cells,
@@ -131,7 +134,11 @@ mod tests {
         let a = ray(Vec3::new(10.0, 4.0, 2.0), Vec3::new(0.3, 0.8, 0.5));
         let b = ray(Vec3::new(10.3, 4.2, 2.1), Vec3::new(0.1, 0.9, 0.4));
         p.update(&a, 7);
-        assert_eq!(p.predict(&b), Some(7), "coherent neighbour should reuse the prediction");
+        assert_eq!(
+            p.predict(&b),
+            Some(7),
+            "coherent neighbour should reuse the prediction"
+        );
     }
 
     #[test]
@@ -145,7 +152,10 @@ mod tests {
                 misses += 1;
             }
         }
-        assert!(misses >= 18, "unrelated rays should rarely alias, got {misses} misses");
+        assert!(
+            misses >= 18,
+            "unrelated rays should rarely alias, got {misses} misses"
+        );
     }
 
     #[test]

@@ -58,7 +58,12 @@ pub struct TraceQuery {
 impl TraceQuery {
     /// A closest-hit query over the given per-thread rays.
     pub fn closest_hit(warp: usize, rays: [Option<Ray>; WARP_SIZE]) -> Self {
-        TraceQuery { warp, rays, t_max: [f32::INFINITY; WARP_SIZE], any_hit: false }
+        TraceQuery {
+            warp,
+            rays,
+            t_max: [f32::INFINITY; WARP_SIZE],
+            any_hit: false,
+        }
     }
 }
 
@@ -174,8 +179,17 @@ pub struct RtUnit {
     group_rr: usize,
     /// Intersection-prediction table, when enabled.
     predictor: Option<Predictor>,
+    /// Recycled per-warp thread arrays: retiring a warp returns its
+    /// `Vec<RtThread>` here so the next [`RtUnit::issue`] reuses the
+    /// allocation (including each thread's stack capacity) instead of
+    /// allocating 32 fresh `VecDeque`s per `trace_ray`.
+    thread_pool: Vec<Vec<RtThread>>,
     /// Energy-event counters accumulated by this unit.
     pub events: EnergyEvents,
+    /// Total rays dispatched into this unit (active threads across all
+    /// issued `trace_ray` instructions). Feeds the rays/sec throughput
+    /// metric of the `simperf` bench.
+    pub rays_issued: u64,
 }
 
 impl RtUnit {
@@ -191,7 +205,9 @@ impl RtUnit {
             rr: 0,
             group_rr: 0,
             predictor: None,
+            thread_pool: Vec::new(),
             events: EnergyEvents::default(),
+            rays_issued: 0,
         }
     }
 
@@ -230,6 +246,23 @@ impl RtUnit {
             return false;
         };
         self.events.trace_instructions += 1;
+        self.rays_issued += query.rays.iter().flatten().count() as u64;
+        // Reuse a retired warp's thread array (and its stacks' capacity)
+        // when one is available.
+        let mut threads = self.thread_pool.pop().unwrap_or_else(|| {
+            (0..WARP_SIZE)
+                .map(|i| RtThread {
+                    main_tid: i,
+                    ..RtThread::default()
+                })
+                .collect()
+        });
+        for (i, t) in threads.iter_mut().enumerate() {
+            t.stack.clear();
+            t.pending = None;
+            t.ready_at = 0;
+            t.main_tid = i;
+        }
         let mut slot = Slot {
             warp: query.warp,
             rays: query.rays,
@@ -237,9 +270,7 @@ impl RtUnit {
             min_thit: query.t_max,
             best: [None; WARP_SIZE],
             done_ray: [false; WARP_SIZE],
-            threads: (0..WARP_SIZE)
-                .map(|i| RtThread { main_tid: i, ..RtThread::default() })
-                .collect(),
+            threads,
             issued_at: now,
         };
         let image = &scene.image;
@@ -249,7 +280,9 @@ impl RtUnit {
         if let Some(pred) = self.predictor.as_mut() {
             for i in 0..WARP_SIZE {
                 let Some(ray) = &slot.rays[i] else { continue };
-                let Some(tri) = pred.predict(ray) else { continue };
+                let Some(tri) = pred.predict(ray) else {
+                    continue;
+                };
                 if (tri as usize) >= image.triangles().len() {
                     continue;
                 }
@@ -257,7 +290,10 @@ impl RtUnit {
                 if let Some(h) = image.triangle(tri).intersect(ray, slot.min_thit[i]) {
                     pred.record_verified();
                     slot.min_thit[i] = h.t;
-                    slot.best[i] = Some(RayHit { triangle: tri, t: h.t });
+                    slot.best[i] = Some(RayHit {
+                        triangle: tri,
+                        t: h.t,
+                    });
                     if slot.any_hit {
                         slot.done_ray[i] = true; // skip the traversal entirely
                     }
@@ -271,7 +307,10 @@ impl RtUnit {
             if let Some(ray) = &slot.rays[i] {
                 self.events.box_tests += 1;
                 if image.node_count() > 0
-                    && image.root_bounds().intersect(ray, slot.min_thit[i]).is_some()
+                    && image
+                        .root_bounds()
+                        .intersect(ray, slot.min_thit[i])
+                        .is_some()
                 {
                     slot.threads[i].stack.push_back(image.root_addr());
                     self.events.stack_ops += 1;
@@ -330,6 +369,7 @@ impl RtUnit {
                     issued_at: slot.issued_at,
                     retired_at: now,
                 });
+                self.thread_pool.push(slot.threads);
             }
         }
     }
@@ -383,15 +423,19 @@ impl RtUnit {
     /// Busy mask of the slot holding `warp`, if resident (Fig. 11
     /// timelines). Bit `i` set means thread `i` is traversing.
     pub fn busy_mask_of(&self, warp: usize) -> Option<u32> {
-        self.slots.iter().flatten().find(|s| s.warp == warp).map(|s| {
-            let mut mask = 0u32;
-            for (i, t) in s.threads.iter().enumerate() {
-                if t.is_busy() {
-                    mask |= 1 << i;
+        self.slots
+            .iter()
+            .flatten()
+            .find(|s| s.warp == warp)
+            .map(|s| {
+                let mut mask = 0u32;
+                for (i, t) in s.threads.iter().enumerate() {
+                    if t.is_busy() {
+                        mask |= 1 << i;
+                    }
                 }
-            }
-            mask
-        })
+                mask
+            })
     }
 
     fn pick_warp(&mut self, now: u64) -> Option<usize> {
@@ -416,7 +460,9 @@ impl RtUnit {
         scene: &Scene,
         cfg: &GpuConfig,
     ) {
-        let slot = self.slots[slot_idx].as_mut().expect("scheduler picked occupied slot");
+        let slot = self.slots[slot_idx]
+            .as_mut()
+            .expect("scheduler picked occupied slot");
         // Coalesce: the lowest-numbered eligible thread nominates the
         // address; every eligible thread with the same next node joins.
         let order = cfg.traversal_order;
@@ -440,7 +486,8 @@ impl RtUnit {
             .size_bytes();
         let ready = mem.access(self.sm_id, addr, bytes, now);
         self.seq += 1;
-        self.responses.push(Reverse((ready, self.seq, slot_idx, addr)));
+        self.responses
+            .push(Reverse((ready, self.seq, slot_idx, addr)));
     }
 
     fn process_response(
@@ -452,8 +499,13 @@ impl RtUnit {
         scene: &Scene,
         cfg: &GpuConfig,
     ) {
-        let Some(slot) = self.slots[slot_idx].as_mut() else { return };
-        let node = scene.image.node_at(addr).expect("response for a valid node");
+        let Some(slot) = self.slots[slot_idx].as_mut() else {
+            return;
+        };
+        let node = scene
+            .image
+            .node_at(addr)
+            .expect("response for a valid node");
         for tid in 0..WARP_SIZE {
             if slot.threads[tid].pending != Some(addr) {
                 continue;
@@ -469,8 +521,11 @@ impl RtUnit {
                 NodeKind::Internal { children } => {
                     for child in children {
                         self.events.box_tests += 1;
-                        let limit =
-                            if cfg.node_elimination { slot.min_thit[mt] } else { f32::INFINITY };
+                        let limit = if cfg.node_elimination {
+                            slot.min_thit[mt]
+                        } else {
+                            f32::INFINITY
+                        };
                         if child.bounds.intersect(&ray, limit).is_some() {
                             slot.threads[tid].stack.push_back(child.addr);
                             self.events.stack_ops += 1;
@@ -501,7 +556,10 @@ impl RtUnit {
                         });
                     if let Some(h) = accept {
                         slot.min_thit[mt] = h.t;
-                        slot.best[mt] = Some(RayHit { triangle: *triangle, t: h.t });
+                        slot.best[mt] = Some(RayHit {
+                            triangle: *triangle,
+                            t: h.t,
+                        });
                         if let Some(pred) = self.predictor.as_mut() {
                             pred.update(&ray, *triangle);
                         }
@@ -545,7 +603,9 @@ impl RtUnit {
     }
 
     fn run_lbu(&mut self, slot_idx: usize, cfg: &GpuConfig) {
-        let slot = self.slots[slot_idx].as_mut().expect("LBU picked occupied slot");
+        let slot = self.slots[slot_idx]
+            .as_mut()
+            .expect("LBU picked occupied slot");
         for _ in 0..cfg.lbu_moves_per_cycle.max(1) {
             let (can, needs) = Self::lbu_masks(slot);
             let mut pairs = find_pairs(can, needs, cfg.subwarp_size);
@@ -559,7 +619,10 @@ impl RtUnit {
                 let chosen = (0..groups)
                     .map(|k| (self.group_rr + k) % groups)
                     .find_map(|g| {
-                        pairs.iter().copied().find(|p| p.helper / cfg.subwarp_size == g)
+                        pairs
+                            .iter()
+                            .copied()
+                            .find(|p| p.helper / cfg.subwarp_size == g)
                     })
                     .expect("pairs exist, so some group matches");
                 self.group_rr = (chosen.helper / cfg.subwarp_size + 1) % groups;
@@ -591,12 +654,10 @@ mod tests {
         let cam = Camera::look_at(Vec3::new(0.0, 2.0, 12.0), Vec3::ZERO, Vec3::Y, 60.0, 1.0);
         SceneBuilder::new("rtunit-test", cam)
             .push(
-                cooprt_scenes::quad(
-                    Vec3::new(-20.0, 0.0, -20.0),
-                    Vec3::X * 40.0,
-                    Vec3::Z * 40.0,
-                ),
-                Material::Lambertian { albedo: Rgb::splat(0.5) },
+                cooprt_scenes::quad(Vec3::new(-20.0, 0.0, -20.0), Vec3::X * 40.0, Vec3::Z * 40.0),
+                Material::Lambertian {
+                    albedo: Rgb::splat(0.5),
+                },
             )
             .push(
                 cooprt_scenes::scatter_clutter(
@@ -605,7 +666,9 @@ mod tests {
                     0.2..0.6,
                     7,
                 ),
-                Material::Lambertian { albedo: Rgb::splat(0.7) },
+                Material::Lambertian {
+                    albedo: Rgb::splat(0.7),
+                },
             )
             .build()
     }
@@ -768,10 +831,17 @@ mod tests {
         };
         let (closest, t_closest) = run(false);
         let (any, t_any) = run(true);
-        assert!(t_any <= t_closest, "any-hit ({t_any}) must not exceed closest ({t_closest})");
+        assert!(
+            t_any <= t_closest,
+            "any-hit ({t_any}) must not exceed closest ({t_closest})"
+        );
         // Wherever closest-hit found something, any-hit must too.
         for i in 0..WARP_SIZE {
-            assert_eq!(closest[0].hits[i].is_some(), any[0].hits[i].is_some(), "thread {i}");
+            assert_eq!(
+                closest[0].hits[i].is_some(),
+                any[0].hits[i].is_some(),
+                "thread {i}"
+            );
         }
     }
 
@@ -819,6 +889,19 @@ mod tests {
     }
 
     #[test]
+    fn rays_issued_counts_active_threads() {
+        let scene = test_scene(10);
+        let mut rt = RtUnit::new(0, 4);
+        rt.issue(TraceQuery::closest_hit(0, warp_rays(&scene, 5)), 0, &scene);
+        rt.issue(
+            TraceQuery::closest_hit(1, warp_rays(&scene, WARP_SIZE)),
+            0,
+            &scene,
+        );
+        assert_eq!(rt.rays_issued, 5 + WARP_SIZE as u64);
+    }
+
+    #[test]
     fn status_sampling_tracks_masks() {
         let scene = test_scene(40);
         let rays = warp_rays(&scene, 10);
@@ -845,7 +928,14 @@ mod tests {
         // After issuing, the next event is the memory response.
         let mut m = mem();
         let mut retired = Vec::new();
-        rt.step(5, &mut m, &scene, TraversalPolicy::Baseline, &cfg, &mut retired);
+        rt.step(
+            5,
+            &mut m,
+            &scene,
+            TraversalPolicy::Baseline,
+            &cfg,
+            &mut retired,
+        );
         let ev = rt.next_event(6, TraversalPolicy::Baseline, 32);
         assert!(ev.is_some());
     }

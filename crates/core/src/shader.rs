@@ -128,7 +128,13 @@ impl ShaderThread {
     /// [`ShaderThread::color`].
     ///
     /// Does nothing for masked threads.
-    pub fn resume(&mut self, kind: ShaderKind, cfg: &GpuConfig, scene: &Scene, hit: Option<RayHit>) {
+    pub fn resume(
+        &mut self,
+        kind: ShaderKind,
+        cfg: &GpuConfig,
+        scene: &Scene,
+        hit: Option<RayHit>,
+    ) {
         let Some(ray) = self.ray else { return };
         match kind {
             ShaderKind::PathTrace => self.resume_pt(cfg, scene, ray, hit),
@@ -147,7 +153,10 @@ impl ShaderThread {
         };
         let tri = scene.image.triangle(h.triangle);
         let normal = tri.normal();
-        match scene.material(h.triangle).scatter(ray.dir, normal, &mut self.rng) {
+        match scene
+            .material(h.triangle)
+            .scatter(ray.dir, normal, &mut self.rng)
+        {
             Scatter::Emit(radiance) => {
                 self.color += self.throughput.attenuate(radiance);
                 self.ray = None;
@@ -162,7 +171,11 @@ impl ShaderThread {
                 } else {
                     // Bias the origin toward the side the new ray
                     // departs on (refracted rays cross the surface).
-                    let n = if ray.dir.dot(normal) < 0.0 { normal } else { -normal };
+                    let n = if ray.dir.dot(normal) < 0.0 {
+                        normal
+                    } else {
+                        -normal
+                    };
                     let side = if dir.dot(n) >= 0.0 { n } else { -n };
                     self.ray = Some(Ray::new(ray.at(h.t) + side * RAY_BIAS, dir));
                 }
@@ -173,7 +186,11 @@ impl ShaderThread {
     fn record_base_hit(&mut self, scene: &Scene, ray: Ray, h: RayHit) {
         let tri = scene.image.triangle(h.triangle);
         let normal = tri.normal();
-        self.base_normal = if ray.dir.dot(normal) < 0.0 { normal } else { -normal };
+        self.base_normal = if ray.dir.dot(normal) < 0.0 {
+            normal
+        } else {
+            -normal
+        };
         self.base_point = ray.at(h.t) + self.base_normal * RAY_BIAS;
         self.base_albedo = match *scene.material(h.triangle) {
             Material::Lambertian { albedo } | Material::Metal { albedo, .. } => albedo,
@@ -324,7 +341,15 @@ mod tests {
         let mut bounces = 0;
         while t.ray.is_some() && bounces < 10 {
             // Hit the ground quad (triangle 0, lambertian).
-            t.resume(ShaderKind::PathTrace, &c, &s, Some(RayHit { triangle: 0, t: 5.0 }));
+            t.resume(
+                ShaderKind::PathTrace,
+                &c,
+                &s,
+                Some(RayHit {
+                    triangle: 0,
+                    t: 5.0,
+                }),
+            );
             bounces += 1;
         }
         assert!(t.ray.is_none());
@@ -336,7 +361,10 @@ mod tests {
         let s = scene();
         let mut a = ShaderThread::begin(&s, 42, 0.4, 0.4);
         let mut b = ShaderThread::begin(&s, 42, 0.4, 0.4);
-        let hit = Some(RayHit { triangle: 0, t: 8.0 });
+        let hit = Some(RayHit {
+            triangle: 0,
+            t: 8.0,
+        });
         a.resume(ShaderKind::PathTrace, &cfg(), &s, hit);
         b.resume(ShaderKind::PathTrace, &cfg(), &s, hit);
         assert_eq!(a.ray, b.ray, "same seed + same hits = same scatter");
@@ -352,13 +380,29 @@ mod tests {
         let c = cfg();
         let mut t = ShaderThread::begin(&s, 7, 0.5, 0.2);
         // Primary hit on the ground.
-        t.resume(ShaderKind::AmbientOcclusion, &c, &s, Some(RayHit { triangle: 0, t: 10.0 }));
+        t.resume(
+            ShaderKind::AmbientOcclusion,
+            &c,
+            &s,
+            Some(RayHit {
+                triangle: 0,
+                t: 10.0,
+            }),
+        );
         assert!(t.ray.is_some(), "AO rays must follow the primary hit");
         assert_eq!(t.t_max, c.ao_radius, "AO rays are short");
         // All AO rays occluded -> black.
         for _ in 0..c.ao_samples {
             assert!(t.ray.is_some());
-            t.resume(ShaderKind::AmbientOcclusion, &c, &s, Some(RayHit { triangle: 1, t: 0.5 }));
+            t.resume(
+                ShaderKind::AmbientOcclusion,
+                &c,
+                &s,
+                Some(RayHit {
+                    triangle: 1,
+                    t: 0.5,
+                }),
+            );
         }
         assert!(t.ray.is_none());
         assert_eq!(t.color, Rgb::BLACK);
@@ -369,7 +413,15 @@ mod tests {
         let s = scene();
         let c = cfg();
         let mut t = ShaderThread::begin(&s, 8, 0.5, 0.2);
-        t.resume(ShaderKind::AmbientOcclusion, &c, &s, Some(RayHit { triangle: 0, t: 10.0 }));
+        t.resume(
+            ShaderKind::AmbientOcclusion,
+            &c,
+            &s,
+            Some(RayHit {
+                triangle: 0,
+                t: 10.0,
+            }),
+        );
         for _ in 0..c.ao_samples {
             t.resume(ShaderKind::AmbientOcclusion, &c, &s, None);
         }
@@ -392,13 +444,29 @@ mod tests {
         let s = scene(); // wknd has no lights -> sun fallback
         let c = cfg();
         let mut t = ShaderThread::begin(&s, 11, 0.5, 0.3);
-        t.resume(ShaderKind::Shadow, &c, &s, Some(RayHit { triangle: 0, t: 10.0 }));
+        t.resume(
+            ShaderKind::Shadow,
+            &c,
+            &s,
+            Some(RayHit {
+                triangle: 0,
+                t: 10.0,
+            }),
+        );
         let shadow = t.ray.expect("shadow ray follows the primary hit");
         assert!(shadow.dir.y > 0.5, "sun fallback points upward");
         // Lit scene: shadow rays have finite t_max toward the light.
         let lit = SceneId::Bath.build(2);
         let mut t2 = ShaderThread::begin(&lit, 12, 0.5, 0.5);
-        t2.resume(ShaderKind::Shadow, &c, &lit, Some(RayHit { triangle: 0, t: 5.0 }));
+        t2.resume(
+            ShaderKind::Shadow,
+            &c,
+            &lit,
+            Some(RayHit {
+                triangle: 0,
+                t: 5.0,
+            }),
+        );
         assert!(t2.ray.is_some());
         assert!(t2.t_max.is_finite());
     }
@@ -409,9 +477,20 @@ mod tests {
         let c = cfg();
         let shade = |occluded: bool| {
             let mut t = ShaderThread::begin(&s, 13, 0.5, 0.5);
-            t.resume(ShaderKind::Shadow, &c, &s, Some(RayHit { triangle: 0, t: 5.0 }));
+            t.resume(
+                ShaderKind::Shadow,
+                &c,
+                &s,
+                Some(RayHit {
+                    triangle: 0,
+                    t: 5.0,
+                }),
+            );
             for _ in 0..c.sh_samples {
-                let hit = occluded.then_some(RayHit { triangle: 1, t: 0.3 });
+                let hit = occluded.then_some(RayHit {
+                    triangle: 1,
+                    t: 0.3,
+                });
                 t.resume(ShaderKind::Shadow, &c, &s, hit);
             }
             assert!(t.ray.is_none());

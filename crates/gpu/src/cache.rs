@@ -191,7 +191,7 @@ mod tests {
         assert!(!c.access_line(64)); // set 1
         assert!(!c.access_line(2 * 64)); // set 0
         assert!(!c.access_line(3 * 64)); // set 1
-        // All four lines fit: everything hits now.
+                                         // All four lines fit: everything hits now.
         for l in 0..4u64 {
             assert!(c.access_line(l * 64), "line {l} should be resident");
         }

@@ -71,14 +71,19 @@ impl MemoryHierarchy {
         let l1s = (0..config.sm_count)
             .map(|_| Cache::new(config.l1_bytes, config.l1_assoc, config.line_bytes))
             .collect();
-        let l1_mshrs =
-            (0..config.sm_count).map(|_| Mshr::new(config.l1_mshr_entries.max(1))).collect();
+        let l1_mshrs = (0..config.sm_count)
+            .map(|_| Mshr::new(config.l1_mshr_entries.max(1)))
+            .collect();
         MemoryHierarchy {
             l1s,
             l1_mshrs,
             l2: Cache::new(config.l2_bytes, config.l2_assoc, config.line_bytes),
             l2_mshr: Mshr::new(config.l2_mshr_entries.max(1)),
-            dram: Dram::new(config.dram_channels, config.dram_bytes_per_cycle, config.dram_latency),
+            dram: Dram::new(
+                config.dram_channels,
+                config.dram_bytes_per_cycle,
+                config.dram_latency,
+            ),
             config: config.clone(),
             l2_bytes: 0,
             dram_bytes: 0,
@@ -292,7 +297,7 @@ mod tests {
     fn access_to_line_in_flight_waits_for_the_fill() {
         let mut m = MemoryHierarchy::new(&small_config());
         let fill_done = m.access(0, 0, 64, 0); // cold miss, lands at 254
-        // A second demand access at cycle 5 cannot beat the fill.
+                                               // A second demand access at cycle 5 cannot beat the fill.
         let t = m.access(0, 0, 64, 5);
         assert_eq!(t, fill_done, "data arrives with the in-flight fill");
         // After the fill lands, accesses are plain L1 hits.

@@ -47,7 +47,11 @@ impl Mshr {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR table needs at least one entry");
-        Mshr { inflight: HashMap::new(), capacity, stats: MshrStats::default() }
+        Mshr {
+            inflight: HashMap::new(),
+            capacity,
+            stats: MshrStats::default(),
+        }
     }
 
     /// If a fill for `line` is in flight at time `now`, returns its
@@ -78,7 +82,11 @@ impl Mshr {
             self.inflight.retain(|_, &mut d| d > now);
         }
         if self.inflight.len() >= self.capacity {
-            if let Some((&victim, _)) = self.inflight.iter().min_by_key(|(_, &d)| d) {
+            // Tie-break equal completion times on the line index: the
+            // hash map's iteration order is randomly seeded, and letting
+            // it pick the victim makes whole-simulation results depend
+            // on which thread (or process) ran the simulation.
+            if let Some((&victim, _)) = self.inflight.iter().min_by_key(|(&line, &d)| (d, line)) {
                 self.inflight.remove(&victim);
             }
         }
@@ -121,7 +129,11 @@ mod tests {
     fn expired_entries_do_not_merge() {
         let mut m = Mshr::new(4);
         m.insert(7, 300, 100);
-        assert_eq!(m.lookup(7, 300), None, "completion cycle itself is no longer in flight");
+        assert_eq!(
+            m.lookup(7, 300),
+            None,
+            "completion cycle itself is no longer in flight"
+        );
         assert_eq!(m.occupancy(), 0, "expired entry reclaimed lazily");
     }
 

@@ -113,7 +113,12 @@ impl PowerModel {
         let seconds = cycles as f64 / (core_clock_mhz * 1.0e6);
         let static_j = self.leakage_w_per_sm * sm_count as f64 * seconds;
         let dynamic_j = dynamic_pj * 1.0e-12;
-        EnergyReport { dynamic_j, static_j, seconds, cycles }
+        EnergyReport {
+            dynamic_j,
+            static_j,
+            seconds,
+            cycles,
+        }
     }
 }
 
@@ -164,8 +169,14 @@ mod tests {
 
     fn mem(l1: u64, l2: u64, dram_bytes: u64) -> MemStats {
         MemStats {
-            l1: CacheStats { accesses: l1, hits: 0 },
-            l2: CacheStats { accesses: l2, hits: 0 },
+            l1: CacheStats {
+                accesses: l1,
+                hits: 0,
+            },
+            l2: CacheStats {
+                accesses: l2,
+                hits: 0,
+            },
             dram: Default::default(),
             l2_bytes: 0,
             dram_bytes,
@@ -178,7 +189,10 @@ mod tests {
     #[test]
     fn dynamic_energy_scales_with_events() {
         let pm = PowerModel::gpuwattch_like();
-        let mut e = EnergyEvents { box_tests: 1000, ..Default::default() };
+        let mut e = EnergyEvents {
+            box_tests: 1000,
+            ..Default::default()
+        };
         let r1 = pm.report(&e, &mem(0, 0, 0), 1000, 1, 1000.0);
         e.box_tests = 2000;
         let r2 = pm.report(&e, &mem(0, 0, 0), 1000, 1, 1000.0);
@@ -215,18 +229,36 @@ mod tests {
 
     #[test]
     fn report_arithmetic() {
-        let r = EnergyReport { dynamic_j: 3.0, static_j: 1.0, seconds: 2.0, cycles: 100 };
+        let r = EnergyReport {
+            dynamic_j: 3.0,
+            static_j: 1.0,
+            seconds: 2.0,
+            cycles: 100,
+        };
         assert_eq!(r.total_j(), 4.0);
         assert_eq!(r.avg_power_w(), 2.0);
         assert_eq!(r.edp(), 8.0);
-        let zero = EnergyReport { dynamic_j: 0.0, static_j: 0.0, seconds: 0.0, cycles: 0 };
+        let zero = EnergyReport {
+            dynamic_j: 0.0,
+            static_j: 0.0,
+            seconds: 0.0,
+            cycles: 0,
+        };
         assert_eq!(zero.avg_power_w(), 0.0);
     }
 
     #[test]
     fn events_accumulate() {
-        let mut a = EnergyEvents { box_tests: 1, triangle_tests: 2, ..Default::default() };
-        let b = EnergyEvents { box_tests: 10, lbu_moves: 5, ..Default::default() };
+        let mut a = EnergyEvents {
+            box_tests: 1,
+            triangle_tests: 2,
+            ..Default::default()
+        };
+        let b = EnergyEvents {
+            box_tests: 10,
+            lbu_moves: 5,
+            ..Default::default()
+        };
         a.add(&b);
         assert_eq!(a.box_tests, 11);
         assert_eq!(a.triangle_tests, 2);

@@ -29,7 +29,10 @@ impl Aabb {
     /// Corners may be passed in any order; they are sorted per component.
     #[inline]
     pub fn new(a: Vec3, b: Vec3) -> Self {
-        Aabb { min: a.min(b), max: a.max(b) }
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
     }
 
     /// The "empty" box: `min = +inf`, `max = -inf`.
@@ -38,7 +41,10 @@ impl Aabb {
     /// `empty.union(&b) == b`.
     #[inline]
     pub fn empty() -> Self {
-        Aabb { min: Vec3::splat(f32::INFINITY), max: Vec3::splat(f32::NEG_INFINITY) }
+        Aabb {
+            min: Vec3::splat(f32::INFINITY),
+            max: Vec3::splat(f32::NEG_INFINITY),
+        }
     }
 
     /// True if this is the empty box (no point contained).
@@ -50,13 +56,19 @@ impl Aabb {
     /// Smallest box containing both operands.
     #[inline]
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Smallest box containing this box and the point `p`.
     #[inline]
     pub fn union_point(&self, p: Vec3) -> Aabb {
-        Aabb { min: self.min.min(p), max: self.max.max(p) }
+        Aabb {
+            min: self.min.min(p),
+            max: self.max.max(p),
+        }
     }
 
     /// Extent along each axis (`max - min`).

@@ -26,9 +26,17 @@ pub struct Rgb {
 
 impl Rgb {
     /// Pure black (all channels zero).
-    pub const BLACK: Rgb = Rgb { r: 0.0, g: 0.0, b: 0.0 };
+    pub const BLACK: Rgb = Rgb {
+        r: 0.0,
+        g: 0.0,
+        b: 0.0,
+    };
     /// Pure white (all channels one).
-    pub const WHITE: Rgb = Rgb { r: 1.0, g: 1.0, b: 1.0 };
+    pub const WHITE: Rgb = Rgb {
+        r: 1.0,
+        g: 1.0,
+        b: 1.0,
+    };
 
     /// Creates a color from its channels.
     #[inline]
@@ -45,7 +53,11 @@ impl Rgb {
     /// Channel-wise product (filter/attenuation).
     #[inline]
     pub fn attenuate(self, other: Rgb) -> Rgb {
-        Rgb { r: self.r * other.r, g: self.g * other.g, b: self.b * other.b }
+        Rgb {
+            r: self.r * other.r,
+            g: self.g * other.g,
+            b: self.b * other.b,
+        }
     }
 
     /// Perceptual luminance (Rec. 709 weights).
@@ -57,7 +69,11 @@ impl Rgb {
     /// Clamps every channel to `[0, 1]`.
     #[inline]
     pub fn clamped(self) -> Rgb {
-        Rgb { r: self.r.clamp(0.0, 1.0), g: self.g.clamp(0.0, 1.0), b: self.b.clamp(0.0, 1.0) }
+        Rgb {
+            r: self.r.clamp(0.0, 1.0),
+            g: self.g.clamp(0.0, 1.0),
+            b: self.b.clamp(0.0, 1.0),
+        }
     }
 
     /// Converts to 8-bit sRGB (gamma 2.0, matching the reference tracer).
@@ -75,7 +91,11 @@ impl Add for Rgb {
     type Output = Rgb;
     #[inline]
     fn add(self, rhs: Rgb) -> Rgb {
-        Rgb { r: self.r + rhs.r, g: self.g + rhs.g, b: self.b + rhs.b }
+        Rgb {
+            r: self.r + rhs.r,
+            g: self.g + rhs.g,
+            b: self.b + rhs.b,
+        }
     }
 }
 
@@ -90,7 +110,11 @@ impl Mul<f32> for Rgb {
     type Output = Rgb;
     #[inline]
     fn mul(self, rhs: f32) -> Rgb {
-        Rgb { r: self.r * rhs, g: self.g * rhs, b: self.b * rhs }
+        Rgb {
+            r: self.r * rhs,
+            g: self.g * rhs,
+            b: self.b * rhs,
+        }
     }
 }
 

@@ -34,7 +34,11 @@ impl Image {
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be positive");
-        Image { width, height, pixels: vec![Rgb::BLACK; width * height] }
+        Image {
+            width,
+            height,
+            pixels: vec![Rgb::BLACK; width * height],
+        }
     }
 
     /// Wraps an existing pixel buffer.
@@ -44,8 +48,16 @@ impl Image {
     /// Panics if `pixels.len() != width * height` or a dimension is 0.
     pub fn from_pixels(width: usize, height: usize, pixels: Vec<Rgb>) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be positive");
-        assert_eq!(pixels.len(), width * height, "pixel count must match dimensions");
-        Image { width, height, pixels }
+        assert_eq!(
+            pixels.len(),
+            width * height,
+            "pixel count must match dimensions"
+        );
+        Image {
+            width,
+            height,
+            pixels,
+        }
     }
 
     /// Image width in pixels.
@@ -64,7 +76,10 @@ impl Image {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, x: usize, y: usize) -> &Rgb {
-        assert!(x < self.width && y < self.height, "pixel ({x}, {y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) out of bounds"
+        );
         &self.pixels[y * self.width + x]
     }
 
@@ -74,7 +89,10 @@ impl Image {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, x: usize, y: usize, color: Rgb) {
-        assert!(x < self.width && y < self.height, "pixel ({x}, {y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) out of bounds"
+        );
         self.pixels[y * self.width + x] = color;
     }
 

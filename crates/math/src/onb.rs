@@ -53,9 +53,21 @@ mod tests {
     use super::*;
 
     fn assert_orthonormal(onb: &Onb) {
-        assert!((onb.u.length() - 1.0).abs() < 1e-5, "u not unit: {:?}", onb.u);
-        assert!((onb.v.length() - 1.0).abs() < 1e-5, "v not unit: {:?}", onb.v);
-        assert!((onb.w.length() - 1.0).abs() < 1e-5, "w not unit: {:?}", onb.w);
+        assert!(
+            (onb.u.length() - 1.0).abs() < 1e-5,
+            "u not unit: {:?}",
+            onb.u
+        );
+        assert!(
+            (onb.v.length() - 1.0).abs() < 1e-5,
+            "v not unit: {:?}",
+            onb.v
+        );
+        assert!(
+            (onb.w.length() - 1.0).abs() < 1e-5,
+            "w not unit: {:?}",
+            onb.w
+        );
         assert!(onb.u.dot(onb.v).abs() < 1e-5);
         assert!(onb.u.dot(onb.w).abs() < 1e-5);
         assert!(onb.v.dot(onb.w).abs() < 1e-5);

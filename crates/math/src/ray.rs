@@ -37,7 +37,11 @@ impl Ray {
     #[inline]
     pub fn new(orig: Vec3, dir: Vec3) -> Self {
         let dir = dir.normalized();
-        Ray { orig, dir, inv_dir: dir.recip() }
+        Ray {
+            orig,
+            dir,
+            inv_dir: dir.recip(),
+        }
     }
 
     /// Creates a ray from an already-normalized direction.
@@ -46,8 +50,15 @@ impl Ray {
     /// `dir` is unit length (checked in debug builds).
     #[inline]
     pub fn from_unit(orig: Vec3, dir: Vec3) -> Self {
-        debug_assert!((dir.length() - 1.0).abs() < 1e-4, "direction must be unit length");
-        Ray { orig, dir, inv_dir: dir.recip() }
+        debug_assert!(
+            (dir.length() - 1.0).abs() < 1e-4,
+            "direction must be unit length"
+        );
+        Ray {
+            orig,
+            dir,
+            inv_dir: dir.recip(),
+        }
     }
 
     /// Point at parameter `t` along the ray.

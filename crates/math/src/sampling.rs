@@ -26,7 +26,11 @@ pub fn unit_sphere<R: Rng + ?Sized>(rng: &mut R) -> Vec3 {
 /// Used for thin-lens camera defocus.
 pub fn unit_disk<R: Rng + ?Sized>(rng: &mut R) -> Vec3 {
     loop {
-        let p = Vec3::new(rng.random_range(-1.0f32..1.0), rng.random_range(-1.0f32..1.0), 0.0);
+        let p = Vec3::new(
+            rng.random_range(-1.0f32..1.0),
+            rng.random_range(-1.0f32..1.0),
+            0.0,
+        );
         if p.length_squared() < 1.0 {
             return p;
         }
@@ -40,7 +44,11 @@ pub fn cosine_hemisphere<R: Rng + ?Sized>(rng: &mut R) -> Vec3 {
     let r2: f32 = rng.random();
     let phi = 2.0 * std::f32::consts::PI * r1;
     let sqrt_r2 = r2.sqrt();
-    Vec3::new(phi.cos() * sqrt_r2, phi.sin() * sqrt_r2, (1.0f32 - r2).sqrt())
+    Vec3::new(
+        phi.cos() * sqrt_r2,
+        phi.sin() * sqrt_r2,
+        (1.0f32 - r2).sqrt(),
+    )
 }
 
 #[cfg(test)]
@@ -92,8 +100,7 @@ mod tests {
         // E[cos theta] = 2/3 for cosine-weighted sampling.
         let mut rng = StdRng::seed_from_u64(3);
         let n = 4000;
-        let mean_z: f32 =
-            (0..n).map(|_| cosine_hemisphere(&mut rng).z).sum::<f32>() / n as f32;
+        let mean_z: f32 = (0..n).map(|_| cosine_hemisphere(&mut rng).z).sum::<f32>() / n as f32;
         assert!((mean_z - 2.0 / 3.0).abs() < 0.03, "mean z = {mean_z}");
     }
 }

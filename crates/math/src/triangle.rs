@@ -50,7 +50,11 @@ impl Triangle {
     /// axis-aligned triangles still form valid slabs.
     #[inline]
     pub fn bounds(&self) -> Aabb {
-        Aabb::new(self.v0.min(self.v1).min(self.v2), self.v0.max(self.v1).max(self.v2)).padded()
+        Aabb::new(
+            self.v0.min(self.v1).min(self.v2),
+            self.v0.max(self.v1).max(self.v2),
+        )
+        .padded()
     }
 
     /// Centroid (average of the three vertices), used for SAH binning.
@@ -199,7 +203,11 @@ mod tests {
 
     #[test]
     fn centroid_is_vertex_average() {
-        let t = Triangle::new(Vec3::ZERO, Vec3::new(3.0, 0.0, 0.0), Vec3::new(0.0, 3.0, 0.0));
+        let t = Triangle::new(
+            Vec3::ZERO,
+            Vec3::new(3.0, 0.0, 0.0),
+            Vec3::new(0.0, 3.0, 0.0),
+        );
         assert_eq!(t.centroid(), Vec3::new(1.0, 1.0, 0.0));
     }
 

@@ -1,0 +1,287 @@
+//! Self-contained deterministic PRNG for the CoopRT workspace.
+//!
+//! The simulator runs in fully offline environments where crates.io is
+//! unreachable, so it cannot depend on the external `rand` crate. This
+//! crate provides the small slice of the `rand` API surface the
+//! workspace actually uses — [`Rng`], [`RngExt`], [`SeedableRng`] and
+//! [`rngs::StdRng`] — backed by xoshiro256++ seeded through SplitMix64.
+//! Workspace crates alias it as `rand` via a Cargo package rename, so
+//! call sites read identically to the real crate.
+//!
+//! Everything here is deterministic: the same seed always yields the
+//! same sequence, on every platform, which the simulator's bit-exactness
+//! guarantees depend on.
+
+/// A source of pseudo-random 64-bit words.
+///
+/// Object-safe; generic helpers take `R: Rng + ?Sized` so they work
+/// through `&mut` references.
+pub trait Rng {
+    /// Returns the next 64-bit word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32-bit word (upper half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a generator's native range.
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of mantissa entropy.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of mantissa entropy.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges a value can be drawn from uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value of the range from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! float_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit: $t = StandardSample::sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    };
+}
+float_range!(f32);
+float_range!(f64);
+
+macro_rules! int_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Modulo bias is < 2^-32 for the spans used here
+                // (scene sizes, light counts) — irrelevant next to the
+                // determinism requirement.
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    };
+}
+int_range!(usize);
+int_range!(u64);
+int_range!(u32);
+int_range!(i32);
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a value from the type's native uniform distribution
+    /// (`[0, 1)` for floats, the full range for integers).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_in(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Fast (4 xor/shift/rotate ops per word), 256-bit state, passes
+    /// BigCrush; more than adequate for procedural scene generation and
+    /// path-tracing sample decorrelation.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        /// Expands `seed` into the 256-bit state through SplitMix64, as
+        /// recommended by the xoshiro authors (avoids the all-zero
+        /// state and decorrelates nearby seeds).
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn nearby_seeds_are_decorrelated() {
+        // SplitMix64 expansion must prevent low-entropy seeds (0, 1, 2…)
+        // from producing correlated streams.
+        let mut streams: Vec<u64> = (0..32)
+            .map(|seed| StdRng::seed_from_u64(seed).next_u64())
+            .collect();
+        streams.sort_unstable();
+        streams.dedup();
+        assert_eq!(streams.len(), 32);
+    }
+
+    #[test]
+    fn f32_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f32 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f32_mean_is_near_half() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f32>() as f64).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let f = rng.random_range(-3.0f32..5.0);
+            assert!((-3.0..5.0).contains(&f));
+            let i = rng.random_range(10usize..17);
+            assert!((10..17).contains(&i));
+        }
+    }
+
+    #[test]
+    fn integer_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.random_range(5.0f32..5.0);
+    }
+
+    #[test]
+    fn works_through_unsized_references() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+            rng.random_range(0.0f32..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(draw(&mut rng) < 1.0);
+    }
+}

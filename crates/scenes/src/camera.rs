@@ -93,8 +93,14 @@ mod tests {
     fn wider_fov_spreads_rays_more() {
         let narrow = Camera::look_at(Vec3::ZERO, -Vec3::Z, Vec3::Y, 30.0, 1.0);
         let wide = Camera::look_at(Vec3::ZERO, -Vec3::Z, Vec3::Y, 90.0, 1.0);
-        let n = narrow.primary_ray(0.0, 0.5).dir.dot(narrow.primary_ray(1.0, 0.5).dir);
-        let w = wide.primary_ray(0.0, 0.5).dir.dot(wide.primary_ray(1.0, 0.5).dir);
+        let n = narrow
+            .primary_ray(0.0, 0.5)
+            .dir
+            .dot(narrow.primary_ray(1.0, 0.5).dir);
+        let w = wide
+            .primary_ray(0.0, 0.5)
+            .dir
+            .dot(wide.primary_ray(1.0, 0.5).dir);
         assert!(w < n, "wide fov should have more divergent corner rays");
     }
 

@@ -73,7 +73,10 @@ pub fn tetrahedron(center: Vec3, r: f32) -> Vec<Triangle> {
 /// Panics if `subdivisions > 5` (the next step would be 81,920
 /// triangles for a single sphere — almost certainly a bug).
 pub fn icosphere(center: Vec3, radius: f32, subdivisions: u32) -> Vec<Triangle> {
-    assert!(subdivisions <= 5, "more than 5 subdivisions is excessive ({subdivisions})");
+    assert!(
+        subdivisions <= 5,
+        "more than 5 subdivisions is excessive ({subdivisions})"
+    );
     // Icosahedron vertices from the three orthogonal golden rectangles.
     let phi = (1.0 + 5.0f32.sqrt()) / 2.0;
     let verts: [Vec3; 12] = [
@@ -113,8 +116,10 @@ pub fn icosphere(center: Vec3, radius: f32, subdivisions: u32) -> Vec<Triangle> 
         [9, 8, 3],
     ];
     let project = |v: Vec3| center + v.normalized() * radius;
-    let mut tris: Vec<Triangle> =
-        FACES.iter().map(|f| Triangle::new(verts[f[0]], verts[f[1]], verts[f[2]])).collect();
+    let mut tris: Vec<Triangle> = FACES
+        .iter()
+        .map(|f| Triangle::new(verts[f[0]], verts[f[1]], verts[f[2]]))
+        .collect();
     for _ in 0..subdivisions {
         let mut next = Vec::with_capacity(tris.len() * 4);
         for t in &tris {
@@ -150,7 +155,11 @@ pub fn heightfield(nx: usize, nz: usize, cell: f32, amplitude: f32, seed: u64) -
     let x0 = -(nx as f32 - 1.0) * cell / 2.0;
     let z0 = -(nz as f32 - 1.0) * cell / 2.0;
     let vert = |ix: usize, iz: usize| -> Vec3 {
-        Vec3::new(x0 + ix as f32 * cell, heights[iz * nx + ix], z0 + iz as f32 * cell)
+        Vec3::new(
+            x0 + ix as f32 * cell,
+            heights[iz * nx + ix],
+            z0 + iz as f32 * cell,
+        )
     };
     let mut tris = Vec::with_capacity(2 * (nx - 1) * (nz - 1));
     for iz in 0..nz - 1 {
@@ -273,7 +282,10 @@ mod tests {
     fn icosphere_approximates_sphere_area() {
         // Total mesh area approaches 4*pi*r^2 with subdivision.
         let area = |sub: u32| -> f32 {
-            icosphere(Vec3::ZERO, 1.0, sub).iter().map(|t| t.double_area() / 2.0).sum()
+            icosphere(Vec3::ZERO, 1.0, sub)
+                .iter()
+                .map(|t| t.double_area() / 2.0)
+                .sum()
         };
         let exact = 4.0 * std::f32::consts::PI;
         let coarse = area(0);
@@ -299,8 +311,14 @@ mod tests {
 
     #[test]
     fn heightfield_is_deterministic() {
-        assert_eq!(heightfield(4, 4, 1.0, 1.0, 7), heightfield(4, 4, 1.0, 1.0, 7));
-        assert_ne!(heightfield(4, 4, 1.0, 1.0, 7), heightfield(4, 4, 1.0, 1.0, 8));
+        assert_eq!(
+            heightfield(4, 4, 1.0, 1.0, 7),
+            heightfield(4, 4, 1.0, 1.0, 7)
+        );
+        assert_ne!(
+            heightfield(4, 4, 1.0, 1.0, 7),
+            heightfield(4, 4, 1.0, 1.0, 8)
+        );
     }
 
     #[test]

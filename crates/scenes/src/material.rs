@@ -58,20 +58,30 @@ impl Material {
     /// incoming ray).
     pub fn scatter<R: Rng + ?Sized>(&self, dir: Vec3, normal: Vec3, rng: &mut R) -> Scatter {
         // Face the normal against the incoming direction.
-        let n = if dir.dot(normal) < 0.0 { normal } else { -normal };
+        let n = if dir.dot(normal) < 0.0 {
+            normal
+        } else {
+            -normal
+        };
         match *self {
             Material::Lambertian { albedo } => {
                 let mut scatter_dir = n + unit_sphere(rng).normalized();
                 if scatter_dir.near_zero() {
                     scatter_dir = n;
                 }
-                Scatter::Bounce { dir: scatter_dir, attenuation: albedo }
+                Scatter::Bounce {
+                    dir: scatter_dir,
+                    attenuation: albedo,
+                }
             }
             Material::Metal { albedo, fuzz } => {
                 let reflected = dir.reflect(n);
                 let fuzzed = reflected + unit_sphere(rng) * fuzz;
                 if fuzzed.dot(n) > 0.0 {
-                    Scatter::Bounce { dir: fuzzed, attenuation: albedo }
+                    Scatter::Bounce {
+                        dir: fuzzed,
+                        attenuation: albedo,
+                    }
                 } else {
                     Scatter::Absorb
                 }
@@ -80,7 +90,11 @@ impl Material {
             Material::Dielectric { refraction_index } => {
                 use rand::RngExt;
                 let front_face = dir.dot(normal) < 0.0;
-                let ri = if front_face { 1.0 / refraction_index } else { refraction_index };
+                let ri = if front_face {
+                    1.0 / refraction_index
+                } else {
+                    refraction_index
+                };
                 let cos_theta = (-dir.dot(n)).min(1.0);
                 let sin_theta = (1.0 - cos_theta * cos_theta).max(0.0).sqrt();
                 let cannot_refract = ri * sin_theta > 1.0;
@@ -89,7 +103,10 @@ impl Material {
                 } else {
                     refract(dir, n, ri)
                 };
-                Scatter::Bounce { dir: out, attenuation: Rgb::WHITE }
+                Scatter::Bounce {
+                    dir: out,
+                    attenuation: Rgb::WHITE,
+                }
             }
         }
     }
@@ -124,7 +141,9 @@ mod tests {
     #[test]
     fn lambertian_bounces_into_upper_hemisphere() {
         let mut rng = StdRng::seed_from_u64(1);
-        let m = Material::Lambertian { albedo: Rgb::splat(0.5) };
+        let m = Material::Lambertian {
+            albedo: Rgb::splat(0.5),
+        };
         for _ in 0..100 {
             match m.scatter(-Vec3::Y, Vec3::Y, &mut rng) {
                 Scatter::Bounce { dir, attenuation } => {
@@ -150,7 +169,10 @@ mod tests {
     #[test]
     fn perfect_mirror_reflects_exactly() {
         let mut rng = StdRng::seed_from_u64(3);
-        let m = Material::Metal { albedo: Rgb::WHITE, fuzz: 0.0 };
+        let m = Material::Metal {
+            albedo: Rgb::WHITE,
+            fuzz: 0.0,
+        };
         let incoming = Vec3::new(1.0, -1.0, 0.0).normalized();
         match m.scatter(incoming, Vec3::Y, &mut rng) {
             Scatter::Bounce { dir, .. } => {
@@ -164,7 +186,10 @@ mod tests {
     #[test]
     fn fuzzy_metal_can_absorb_grazing_rays() {
         let mut rng = StdRng::seed_from_u64(4);
-        let m = Material::Metal { albedo: Rgb::WHITE, fuzz: 1.0 };
+        let m = Material::Metal {
+            albedo: Rgb::WHITE,
+            fuzz: 1.0,
+        };
         // Nearly parallel incoming: with heavy fuzz, some samples dip
         // below the surface and get absorbed.
         let grazing = Vec3::new(1.0, -1e-3, 0.0).normalized();
@@ -174,18 +199,26 @@ mod tests {
                 absorbed += 1;
             }
         }
-        assert!(absorbed > 0, "heavy fuzz at grazing incidence should absorb sometimes");
+        assert!(
+            absorbed > 0,
+            "heavy fuzz at grazing incidence should absorb sometimes"
+        );
     }
 
     #[test]
     fn dielectric_always_bounces_with_white_attenuation() {
         let mut rng = StdRng::seed_from_u64(6);
-        let m = Material::Dielectric { refraction_index: 1.5 };
+        let m = Material::Dielectric {
+            refraction_index: 1.5,
+        };
         for _ in 0..100 {
             match m.scatter(Vec3::new(0.3, -1.0, 0.1).normalized(), Vec3::Y, &mut rng) {
                 Scatter::Bounce { attenuation, dir } => {
                     assert_eq!(attenuation, Rgb::WHITE);
-                    assert!((dir.length() - 1.0).abs() < 1e-4, "refraction keeps unit length");
+                    assert!(
+                        (dir.length() - 1.0).abs() < 1e-4,
+                        "refraction keeps unit length"
+                    );
                 }
                 other => panic!("glass never absorbs or emits, got {other:?}"),
             }
@@ -197,7 +230,9 @@ mod tests {
         // Head-on, Schlick reflectance is ~4%: most samples transmit
         // straight through.
         let mut rng = StdRng::seed_from_u64(7);
-        let m = Material::Dielectric { refraction_index: 1.5 };
+        let m = Material::Dielectric {
+            refraction_index: 1.5,
+        };
         let mut through = 0;
         for _ in 0..200 {
             if let Scatter::Bounce { dir, .. } = m.scatter(-Vec3::Y, Vec3::Y, &mut rng) {
@@ -206,7 +241,10 @@ mod tests {
                 }
             }
         }
-        assert!(through > 150, "expected mostly transmission, got {through}/200");
+        assert!(
+            through > 150,
+            "expected mostly transmission, got {through}/200"
+        );
     }
 
     #[test]
@@ -214,7 +252,9 @@ mod tests {
         // From inside glass (ri = 1.5) at a grazing angle, sin > 1/1.5
         // forces total internal reflection: the ray must stay inside.
         let mut rng = StdRng::seed_from_u64(8);
-        let m = Material::Dielectric { refraction_index: 1.5 };
+        let m = Material::Dielectric {
+            refraction_index: 1.5,
+        };
         // Incoming *from inside* the glass (below the surface, normal
         // +Y): the direction's positive Y component makes it a backface
         // hit, so the faced normal is -Y. At this grazing angle
@@ -236,8 +276,13 @@ mod tests {
     #[test]
     fn emissive_terminates_with_radiance() {
         let mut rng = StdRng::seed_from_u64(5);
-        let m = Material::Emissive { radiance: Rgb::new(4.0, 3.0, 2.0) };
-        assert_eq!(m.scatter(-Vec3::Z, Vec3::Z, &mut rng), Scatter::Emit(Rgb::new(4.0, 3.0, 2.0)));
+        let m = Material::Emissive {
+            radiance: Rgb::new(4.0, 3.0, 2.0),
+        };
+        assert_eq!(
+            m.scatter(-Vec3::Z, Vec3::Z, &mut rng),
+            Scatter::Emit(Rgb::new(4.0, 3.0, 2.0))
+        );
         assert!(m.is_emissive());
         assert!(!Material::Lambertian { albedo: Rgb::BLACK }.is_emissive());
     }

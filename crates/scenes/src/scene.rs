@@ -142,7 +142,8 @@ impl SceneBuilder {
 
     /// Adds a batch of triangles sharing one material.
     pub fn push(mut self, triangles: Vec<Triangle>, material: Material) -> Self {
-        self.materials.extend(std::iter::repeat_n(material, triangles.len()));
+        self.materials
+            .extend(std::iter::repeat_n(material, triangles.len()));
         self.triangles.extend(triangles);
         self
     }
@@ -203,11 +204,16 @@ mod tests {
         let scene = SceneBuilder::new("t", camera())
             .push(
                 crate::quad(Vec3::ZERO, Vec3::X, Vec3::Z),
-                Material::Lambertian { albedo: Rgb::splat(0.8) },
+                Material::Lambertian {
+                    albedo: Rgb::splat(0.8),
+                },
             )
             .push(
                 crate::octahedron(Vec3::Y * 2.0, 0.5),
-                Material::Metal { albedo: Rgb::WHITE, fuzz: 0.1 },
+                Material::Metal {
+                    albedo: Rgb::WHITE,
+                    fuzz: 0.1,
+                },
             )
             .build();
         assert_eq!(scene.triangle_count(), 10);
@@ -219,9 +225,10 @@ mod tests {
     #[test]
     fn lights_are_collected() {
         let scene = SceneBuilder::new("lit", camera())
-            .push(crate::quad(Vec3::ZERO, Vec3::X, Vec3::Z), Material::Lambertian {
-                albedo: Rgb::WHITE,
-            })
+            .push(
+                crate::quad(Vec3::ZERO, Vec3::X, Vec3::Z),
+                Material::Lambertian { albedo: Rgb::WHITE },
+            )
             .push_light(Vec3::Y * 5.0, Vec3::X, Vec3::Z, Rgb::splat(4.0))
             .build();
         assert_eq!(scene.lights, vec![2, 3]);
@@ -234,9 +241,10 @@ mod tests {
     #[test]
     fn no_lights_sample_none() {
         let scene = SceneBuilder::new("dark", camera())
-            .push(crate::quad(Vec3::ZERO, Vec3::X, Vec3::Z), Material::Lambertian {
-                albedo: Rgb::WHITE,
-            })
+            .push(
+                crate::quad(Vec3::ZERO, Vec3::X, Vec3::Z),
+                Material::Lambertian { albedo: Rgb::WHITE },
+            )
             .build();
         let mut rng = StdRng::seed_from_u64(2);
         assert!(scene.sample_light_point(&mut rng).is_none());
@@ -260,9 +268,10 @@ mod tests {
     fn stats_and_closed_flag_propagate() {
         let scene = SceneBuilder::new("c", camera())
             .closed(true)
-            .push(crate::box_at(Vec3::ZERO, Vec3::ONE), Material::Lambertian {
-                albedo: Rgb::WHITE,
-            })
+            .push(
+                crate::box_at(Vec3::ZERO, Vec3::ONE),
+                Material::Lambertian { albedo: Rgb::WHITE },
+            )
             .build();
         assert!(scene.is_closed());
         assert_eq!(scene.stats.leaf_nodes, 12);

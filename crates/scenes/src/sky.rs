@@ -26,7 +26,10 @@ pub enum Sky {
 impl Sky {
     /// A pleasant default daylight gradient.
     pub fn daylight() -> Self {
-        Sky::Gradient { horizon: Rgb::WHITE, zenith: Rgb::new(0.5, 0.7, 1.0) }
+        Sky::Gradient {
+            horizon: Rgb::WHITE,
+            zenith: Rgb::new(0.5, 0.7, 1.0),
+        }
     }
 
     /// Radiance arriving from direction `dir` (unit length).
@@ -58,7 +61,10 @@ mod tests {
 
     #[test]
     fn gradient_interpolates_with_elevation() {
-        let sky = Sky::Gradient { horizon: Rgb::BLACK, zenith: Rgb::WHITE };
+        let sky = Sky::Gradient {
+            horizon: Rgb::BLACK,
+            zenith: Rgb::WHITE,
+        };
         let up = sky.radiance(Vec3::Y);
         let down = sky.radiance(-Vec3::Y);
         let side = sky.radiance(Vec3::X);

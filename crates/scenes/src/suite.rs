@@ -157,10 +157,19 @@ impl SceneId {
         assert!(detail > 0, "detail must be at least 1");
         let n = self.clutter_base() * detail as usize;
         let seed = self.seed();
-        let gray = Material::Lambertian { albedo: Rgb::splat(0.5) };
-        let tan = Material::Lambertian { albedo: Rgb::new(0.7, 0.6, 0.5) };
-        let green = Material::Lambertian { albedo: Rgb::new(0.3, 0.6, 0.3) };
-        let mirror = Material::Metal { albedo: Rgb::splat(0.9), fuzz: 0.05 };
+        let gray = Material::Lambertian {
+            albedo: Rgb::splat(0.5),
+        };
+        let tan = Material::Lambertian {
+            albedo: Rgb::new(0.7, 0.6, 0.5),
+        };
+        let green = Material::Lambertian {
+            albedo: Rgb::new(0.3, 0.6, 0.3),
+        };
+        let mirror = Material::Metal {
+            albedo: Rgb::splat(0.9),
+            fuzz: 0.05,
+        };
         let glow = Rgb::new(6.0, 5.5, 5.0);
 
         match self {
@@ -170,12 +179,21 @@ impl SceneId {
                     Camera::look_at(Vec3::new(13.0, 2.0, 3.0), Vec3::ZERO, Vec3::Y, 30.0, 1.0);
                 SceneBuilder::new(self.name(), cam)
                     .sky(Sky::daylight())
-                    .push(crate::quad(Vec3::new(-50.0, 0.0, -50.0), Vec3::X * 100.0, Vec3::Z * 100.0), green)
+                    .push(
+                        crate::quad(
+                            Vec3::new(-50.0, 0.0, -50.0),
+                            Vec3::X * 100.0,
+                            Vec3::Z * 100.0,
+                        ),
+                        green,
+                    )
                     .push(icosphere(Vec3::new(0.0, 1.0, 0.0), 1.0, 0), tan)
                     .push(icosphere(Vec3::new(-4.0, 1.0, 0.0), 1.0, 0), mirror)
                     .push(
                         icosphere(Vec3::new(4.0, 1.0, 0.0), 1.0, 0),
-                        Material::Dielectric { refraction_index: 1.5 },
+                        Material::Dielectric {
+                            refraction_index: 1.5,
+                        },
                     )
                     .push(
                         scatter_clutter(
@@ -189,17 +207,32 @@ impl SceneId {
                     .build()
             }
             SceneId::Ship => {
-                let cam =
-                    Camera::look_at(Vec3::new(0.0, 6.0, 24.0), Vec3::new(0.0, 2.0, 0.0), Vec3::Y, 40.0, 1.0);
+                let cam = Camera::look_at(
+                    Vec3::new(0.0, 6.0, 24.0),
+                    Vec3::new(0.0, 2.0, 0.0),
+                    Vec3::Y,
+                    40.0,
+                    1.0,
+                );
                 SceneBuilder::new(self.name(), cam)
                     .sky(Sky::daylight())
                     // Water.
                     .push(
-                        crate::quad(Vec3::new(-60.0, 0.0, -60.0), Vec3::X * 120.0, Vec3::Z * 120.0),
-                        Material::Metal { albedo: Rgb::new(0.4, 0.5, 0.7), fuzz: 0.3 },
+                        crate::quad(
+                            Vec3::new(-60.0, 0.0, -60.0),
+                            Vec3::X * 120.0,
+                            Vec3::Z * 120.0,
+                        ),
+                        Material::Metal {
+                            albedo: Rgb::new(0.4, 0.5, 0.7),
+                            fuzz: 0.3,
+                        },
                     )
                     // Hull.
-                    .push(box_at(Vec3::new(0.0, 1.0, 0.0), Vec3::new(6.0, 1.0, 2.0)), tan)
+                    .push(
+                        box_at(Vec3::new(0.0, 1.0, 0.0), Vec3::new(6.0, 1.0, 2.0)),
+                        tan,
+                    )
                     // Masts and rigging clutter.
                     .push(
                         scatter_clutter(
@@ -213,11 +246,19 @@ impl SceneId {
                     .build()
             }
             SceneId::Bunny => {
-                let cam =
-                    Camera::look_at(Vec3::new(0.0, 3.0, 10.0), Vec3::new(0.0, 2.0, 0.0), Vec3::Y, 45.0, 1.0);
+                let cam = Camera::look_at(
+                    Vec3::new(0.0, 3.0, 10.0),
+                    Vec3::new(0.0, 2.0, 0.0),
+                    Vec3::Y,
+                    45.0,
+                    1.0,
+                );
                 SceneBuilder::new(self.name(), cam)
                     .sky(Sky::daylight())
-                    .push(crate::quad(Vec3::new(-30.0, 0.0, -30.0), Vec3::X * 60.0, Vec3::Z * 60.0), green)
+                    .push(
+                        crate::quad(Vec3::new(-30.0, 0.0, -30.0), Vec3::X * 60.0, Vec3::Z * 60.0),
+                        green,
+                    )
                     // One dense blob of geometry — the "bunny".
                     .push(
                         scatter_clutter(
@@ -247,8 +288,14 @@ impl SceneId {
                     .closed(true)
                     .push(room(shell, true), tan)
                     // Columns.
-                    .push(box_at(Vec3::new(-10.0, 5.0, 0.0), Vec3::new(1.0, 5.0, 1.0)), gray)
-                    .push(box_at(Vec3::new(10.0, 5.0, 0.0), Vec3::new(1.0, 5.0, 1.0)), gray)
+                    .push(
+                        box_at(Vec3::new(-10.0, 5.0, 0.0), Vec3::new(1.0, 5.0, 1.0)),
+                        gray,
+                    )
+                    .push(
+                        box_at(Vec3::new(10.0, 5.0, 0.0), Vec3::new(1.0, 5.0, 1.0)),
+                        gray,
+                    )
                     .push(
                         scatter_clutter(
                             Aabb::new(Vec3::new(-16.0, 0.5, -16.0), Vec3::new(16.0, 9.0, 16.0)),
@@ -259,8 +306,18 @@ impl SceneId {
                         gray,
                     )
                     // Two small ceiling lights.
-                    .push_light(Vec3::new(-6.0, 13.9, -6.0), Vec3::X * 2.0, Vec3::Z * 2.0, glow)
-                    .push_light(Vec3::new(4.0, 13.9, 4.0), Vec3::X * 2.0, Vec3::Z * 2.0, glow)
+                    .push_light(
+                        Vec3::new(-6.0, 13.9, -6.0),
+                        Vec3::X * 2.0,
+                        Vec3::Z * 2.0,
+                        glow,
+                    )
+                    .push_light(
+                        Vec3::new(4.0, 13.9, 4.0),
+                        Vec3::X * 2.0,
+                        Vec3::Z * 2.0,
+                        glow,
+                    )
                     .build()
             }
             SceneId::Chsnt => {
@@ -273,9 +330,15 @@ impl SceneId {
                 );
                 SceneBuilder::new(self.name(), cam)
                     .sky(Sky::daylight())
-                    .push(crate::quad(Vec3::new(-40.0, 0.0, -40.0), Vec3::X * 80.0, Vec3::Z * 80.0), green)
+                    .push(
+                        crate::quad(Vec3::new(-40.0, 0.0, -40.0), Vec3::X * 80.0, Vec3::Z * 80.0),
+                        green,
+                    )
                     // Trunk.
-                    .push(box_at(Vec3::new(0.0, 3.0, 0.0), Vec3::new(0.8, 3.0, 0.8)), tan)
+                    .push(
+                        box_at(Vec3::new(0.0, 3.0, 0.0), Vec3::new(0.8, 3.0, 0.8)),
+                        tan,
+                    )
                     // Canopy: dense foliage blob.
                     .push(
                         scatter_clutter(
@@ -302,9 +365,17 @@ impl SceneId {
                 SceneBuilder::new(self.name(), cam)
                     .sky(Sky::Black)
                     .closed(true)
-                    .push(room(shell, true), Material::Lambertian { albedo: Rgb::splat(0.75) })
+                    .push(
+                        room(shell, true),
+                        Material::Lambertian {
+                            albedo: Rgb::splat(0.75),
+                        },
+                    )
                     // Tub, sink, fixtures.
-                    .push(box_at(Vec3::new(-5.0, 1.0, -5.0), Vec3::new(3.0, 1.0, 1.5)), gray)
+                    .push(
+                        box_at(Vec3::new(-5.0, 1.0, -5.0), Vec3::new(3.0, 1.0, 1.5)),
+                        gray,
+                    )
                     .push(
                         scatter_clutter(
                             Aabb::new(Vec3::new(-10.0, 0.3, -10.0), Vec3::new(10.0, 5.0, 10.0)),
@@ -315,7 +386,12 @@ impl SceneId {
                         gray,
                     )
                     // Large ceiling light: paths die on it often.
-                    .push_light(Vec3::new(-4.0, 7.9, -4.0), Vec3::X * 8.0, Vec3::Z * 8.0, glow)
+                    .push_light(
+                        Vec3::new(-4.0, 7.9, -4.0),
+                        Vec3::X * 8.0,
+                        Vec3::Z * 8.0,
+                        glow,
+                    )
                     .build()
             }
             SceneId::Ref => {
@@ -341,7 +417,12 @@ impl SceneId {
                         ),
                         tan,
                     )
-                    .push_light(Vec3::new(-2.0, 8.9, -2.0), Vec3::X * 4.0, Vec3::Z * 4.0, glow)
+                    .push_light(
+                        Vec3::new(-2.0, 8.9, -2.0),
+                        Vec3::X * 4.0,
+                        Vec3::Z * 4.0,
+                        glow,
+                    )
                     .build()
             }
             SceneId::Crnvl => {
@@ -355,9 +436,16 @@ impl SceneId {
                     1.0,
                 );
                 let mut b = SceneBuilder::new(self.name(), cam)
-                    .sky(Sky::Gradient { horizon: Rgb::new(0.2, 0.1, 0.3), zenith: Rgb::new(0.02, 0.02, 0.08) })
+                    .sky(Sky::Gradient {
+                        horizon: Rgb::new(0.2, 0.1, 0.3),
+                        zenith: Rgb::new(0.02, 0.02, 0.08),
+                    })
                     .push(
-                        crate::quad(Vec3::new(-80.0, 0.0, -80.0), Vec3::X * 160.0, Vec3::Z * 160.0),
+                        crate::quad(
+                            Vec3::new(-80.0, 0.0, -80.0),
+                            Vec3::X * 160.0,
+                            Vec3::Z * 160.0,
+                        ),
                         gray,
                     );
                 // A dense fairground floor: primary rays mostly hit
@@ -376,10 +464,7 @@ impl SceneId {
                 for (i, x) in [-10.5f32, -3.5, 3.5, 10.5].iter().enumerate() {
                     b = b.push(
                         scatter_clutter(
-                            Aabb::new(
-                                Vec3::new(x - 2.0, 0.5, -2.0),
-                                Vec3::new(x + 2.0, 21.0, 2.0),
-                            ),
+                            Aabb::new(Vec3::new(x - 2.0, 0.5, -2.0), Vec3::new(x + 2.0, 21.0, 2.0)),
                             n / 8,
                             0.04..0.16,
                             seed + i as u64,
@@ -421,7 +506,9 @@ impl SceneId {
                             0.05..0.2,
                             seed + 1,
                         ),
-                        Material::Lambertian { albedo: Rgb::new(0.8, 0.4, 0.1) },
+                        Material::Lambertian {
+                            albedo: Rgb::new(0.8, 0.4, 0.1),
+                        },
                     )
                     .build()
             }
@@ -439,7 +526,11 @@ impl SceneId {
                         zenith: Rgb::new(0.01, 0.01, 0.05),
                     })
                     .push(
-                        crate::quad(Vec3::new(-50.0, 0.0, -50.0), Vec3::X * 100.0, Vec3::Z * 100.0),
+                        crate::quad(
+                            Vec3::new(-50.0, 0.0, -50.0),
+                            Vec3::X * 100.0,
+                            Vec3::Z * 100.0,
+                        ),
                         gray,
                     )
                     .push(
@@ -574,7 +665,10 @@ impl SceneId {
                             0.04..0.15,
                             seed,
                         ),
-                        Material::Metal { albedo: Rgb::new(0.7, 0.1, 0.1), fuzz: 0.1 },
+                        Material::Metal {
+                            albedo: Rgb::new(0.7, 0.1, 0.1),
+                            fuzz: 0.1,
+                        },
                     )
                     .build()
             }
@@ -662,12 +756,21 @@ mod tests {
     fn detail_scales_triangle_count() {
         let small = SceneId::Party.build(1).triangle_count();
         let big = SceneId::Party.build(4).triangle_count();
-        assert!(big > 2 * small, "detail 4 ({big}) should dwarf detail 1 ({small})");
+        assert!(
+            big > 2 * small,
+            "detail 4 ({big}) should dwarf detail 1 ({small})"
+        );
     }
 
     #[test]
     fn lit_scenes_have_lights() {
-        for id in [SceneId::Spnza, SceneId::Bath, SceneId::Ref, SceneId::Crnvl, SceneId::Party] {
+        for id in [
+            SceneId::Spnza,
+            SceneId::Bath,
+            SceneId::Ref,
+            SceneId::Crnvl,
+            SceneId::Party,
+        ] {
             assert!(!id.build(2).lights.is_empty(), "{id} should have lights");
         }
     }

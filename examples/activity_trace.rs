@@ -17,7 +17,10 @@ fn main() {
         Some("cooprt") => TraversalPolicy::CoopRt,
         _ => TraversalPolicy::Baseline,
     };
-    let out_path = args.get(2).cloned().unwrap_or_else(|| format!("{scene_name}_activity.csv"));
+    let out_path = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| format!("{scene_name}_activity.csv"));
 
     let Some(id) = ALL_SCENES.iter().copied().find(|s| s.name() == scene_name) else {
         eprintln!("unknown scene '{scene_name}'");
@@ -45,14 +48,26 @@ fn main() {
         .expect("write row");
     }
     drop(f);
-    println!("wrote {} samples to {out_path}", frame.activity.samples.len());
+    println!(
+        "wrote {} samples to {out_path}",
+        frame.activity.samples.len()
+    );
 
     // ASCII sketch of the Fig. 2 curve.
     println!("\nbusy-thread fraction over time:");
     let step = (frame.activity.samples.len() / 24).max(1);
     for s in frame.activity.samples.iter().step_by(step) {
-        let frac = if s.present() == 0 { 0.0 } else { s.busy as f64 / s.present() as f64 };
-        println!("{:>9} |{:<50}| {:.0}%", s.cycle, "#".repeat((frac * 50.0) as usize), frac * 100.0);
+        let frac = if s.present() == 0 {
+            0.0
+        } else {
+            s.busy as f64 / s.present() as f64
+        };
+        println!(
+            "{:>9} |{:<50}| {:.0}%",
+            s.cycle,
+            "#".repeat((frac * 50.0) as usize),
+            frac * 100.0
+        );
     }
     println!(
         "\naverage RT-unit utilization: {:.1}%  (status split busy/wait/inactive = {:.2}/{:.2}/{:.2})",

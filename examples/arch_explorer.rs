@@ -23,14 +23,23 @@ fn main() {
 
     let baseline = Simulation::new(&scene, &GpuConfig::rtx2060(), TraversalPolicy::Baseline)
         .run_frame(ShaderKind::PathTrace, res, res);
-    println!("reference: 4-entry warp buffer, no CoopRT -> {} cycles\n", baseline.cycles);
+    println!(
+        "reference: 4-entry warp buffer, no CoopRT -> {} cycles\n",
+        baseline.cycles
+    );
 
     println!("--- warp-buffer size sweep (storage cost: 24,576 bits/entry) ---");
-    println!("{:<10} {:>12} {:>10} {:>14}", "entries", "cycles", "speedup", "storage(bits)");
+    println!(
+        "{:<10} {:>12} {:>10} {:>14}",
+        "entries", "cycles", "speedup", "storage(bits)"
+    );
     for entries in [4usize, 8, 16, 32] {
         let cfg = GpuConfig::rtx2060().with_warp_buffer(entries);
-        let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, res, res);
+        let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            res,
+            res,
+        );
         println!(
             "{:<10} {:>12} {:>9.2}x {:>14}",
             entries,
@@ -47,8 +56,11 @@ fn main() {
     );
     for sw in [4usize, 8, 16, 32] {
         let cfg = GpuConfig::rtx2060().with_subwarp(sw);
-        let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-            .run_frame(ShaderKind::PathTrace, res, res);
+        let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+            ShaderKind::PathTrace,
+            res,
+            res,
+        );
         println!(
             "{:<10} {:>12} {:>9.2}x {:>10} {:>9.2}%",
             sw,

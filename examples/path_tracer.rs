@@ -19,7 +19,10 @@ fn main() {
         Some("baseline") => TraversalPolicy::Baseline,
         _ => TraversalPolicy::CoopRt,
     };
-    let out_path = args.get(3).cloned().unwrap_or_else(|| format!("{scene_name}.ppm"));
+    let out_path = args
+        .get(3)
+        .cloned()
+        .unwrap_or_else(|| format!("{scene_name}.ppm"));
 
     let Some(id) = ALL_SCENES.iter().copied().find(|s| s.name() == scene_name) else {
         eprintln!("unknown scene '{scene_name}'; choose one of:");

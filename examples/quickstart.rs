@@ -22,13 +22,22 @@ fn main() {
     );
 
     // Path-trace one 32x32 frame under both traversal policies.
-    let base = Simulation::new(&scene, &config, TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::PathTrace, 32, 32);
-    let coop = Simulation::new(&scene, &config, TraversalPolicy::CoopRt)
-        .run_frame(ShaderKind::PathTrace, 32, 32);
+    let base = Simulation::new(&scene, &config, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::PathTrace,
+        32,
+        32,
+    );
+    let coop = Simulation::new(&scene, &config, TraversalPolicy::CoopRt).run_frame(
+        ShaderKind::PathTrace,
+        32,
+        32,
+    );
 
     // Cooperative traversal is functionally exact...
-    assert_eq!(base.image, coop.image, "CoopRT must render the identical image");
+    assert_eq!(
+        base.image, coop.image,
+        "CoopRT must render the identical image"
+    );
     println!("images identical across policies ✓");
 
     // ...and faster where warps diverge.

@@ -25,11 +25,14 @@ fn main() {
         "{:<18} {:>12} {:>12} {:>9} {:>12} {:>12}",
         "shader", "base cycles", "coop cycles", "speedup", "base util", "coop util"
     );
-    for kind in [ShaderKind::PathTrace, ShaderKind::AmbientOcclusion, ShaderKind::Shadow] {
+    for kind in [
+        ShaderKind::PathTrace,
+        ShaderKind::AmbientOcclusion,
+        ShaderKind::Shadow,
+    ] {
         let base =
             Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(kind, res, res);
-        let coop =
-            Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(kind, res, res);
+        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(kind, res, res);
         assert_eq!(base.image, coop.image);
         println!(
             "{:<18} {:>12} {:>12} {:>8.2}x {:>11.1}% {:>11.1}%",

@@ -57,7 +57,9 @@ impl Options {
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| {
-                it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
             };
             match flag.as_str() {
                 "--res" => {
@@ -82,9 +84,7 @@ impl Options {
                     opts.policy = match value("--policy")?.as_str() {
                         "baseline" => TraversalPolicy::Baseline,
                         "cooprt" => TraversalPolicy::CoopRt,
-                        other => {
-                            return Err(format!("unknown policy '{other}' (baseline|cooprt)"))
-                        }
+                        other => return Err(format!("unknown policy '{other}' (baseline|cooprt)")),
                     };
                 }
                 "--mobile" => opts.mobile = true,
@@ -108,10 +108,14 @@ impl Options {
 }
 
 fn find_scene(name: &str) -> Result<SceneId, String> {
-    ALL_SCENES.iter().copied().find(|s| s.name() == name).ok_or_else(|| {
-        let names: Vec<&str> = ALL_SCENES.iter().map(|s| s.name()).collect();
-        format!("unknown scene '{name}'; available: {}", names.join(" "))
-    })
+    ALL_SCENES
+        .iter()
+        .copied()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = ALL_SCENES.iter().map(|s| s.name()).collect();
+            format!("unknown scene '{name}'; available: {}", names.join(" "))
+        })
 }
 
 fn report(label: &str, scene: &Scene, cfg: &GpuConfig, frame: &FrameResult) {
@@ -152,7 +156,10 @@ fn cmd_render(scene_name: &str, opts: &Options) -> Result<(), String> {
     let frame =
         Simulation::new(&scene, &cfg, opts.policy).run_frame(opts.shader, opts.res, opts.res);
     report(opts.policy.label(), &scene, &cfg, &frame);
-    let out = opts.out.clone().unwrap_or_else(|| format!("{scene_name}.ppm"));
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("{scene_name}.ppm"));
     std::fs::write(&out, frame.image_buffer().to_ppm())
         .map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
@@ -163,10 +170,16 @@ fn cmd_compare(scene_name: &str, opts: &Options) -> Result<(), String> {
     let id = find_scene(scene_name)?;
     let scene = id.build(opts.detail);
     let cfg = opts.config();
-    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-        .run_frame(opts.shader, opts.res, opts.res);
-    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-        .run_frame(opts.shader, opts.res, opts.res);
+    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+        opts.shader,
+        opts.res,
+        opts.res,
+    );
+    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+        opts.shader,
+        opts.res,
+        opts.res,
+    );
     report("baseline", &scene, &cfg, &base);
     report("cooprt", &scene, &cfg, &coop);
     assert_eq!(base.image, coop.image, "policies must agree functionally");
@@ -200,7 +213,10 @@ fn cmd_scenes(opts: &Options) {
 }
 
 fn cmd_area() {
-    println!("{:<8} {:>8} {:>11} {:>10}", "subwarp", "cells", "area(um2)", "overhead");
+    println!(
+        "{:<8} {:>8} {:>11} {:>10}",
+        "subwarp", "cells", "area(um2)", "overhead"
+    );
     for sw in [32usize, 16, 8, 4] {
         let a = cooprt_area(sw);
         println!(

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_tiling-aa2c10c9b8b876f7.d: crates/bench/benches/ablation_tiling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_tiling-aa2c10c9b8b876f7.rmeta: crates/bench/benches/ablation_tiling.rs Cargo.toml
+
+crates/bench/benches/ablation_tiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cooprt-0f79968cb332c9a6.d: src/bin/cooprt.rs
+
+/root/repo/target/debug/deps/cooprt-0f79968cb332c9a6: src/bin/cooprt.rs
+
+src/bin/cooprt.rs:

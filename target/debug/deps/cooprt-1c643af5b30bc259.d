@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cooprt-1c643af5b30bc259.d: src/bin/cooprt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcooprt-1c643af5b30bc259.rmeta: src/bin/cooprt.rs Cargo.toml
+
+src/bin/cooprt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cooprt-75c2abf3f53af2e9.d: src/bin/cooprt.rs
+
+/root/repo/target/debug/deps/cooprt-75c2abf3f53af2e9: src/bin/cooprt.rs
+
+src/bin/cooprt.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cooprt-9b9bf1f927271394.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcooprt-9b9bf1f927271394.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcooprt-9b9bf1f927271394.rmeta: src/lib.rs
+
+src/lib.rs:

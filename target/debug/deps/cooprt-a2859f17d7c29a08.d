@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cooprt-a2859f17d7c29a08.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcooprt-a2859f17d7c29a08.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

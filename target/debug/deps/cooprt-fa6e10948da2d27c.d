@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cooprt-fa6e10948da2d27c.d: src/lib.rs
+
+/root/repo/target/debug/deps/cooprt-fa6e10948da2d27c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cooprt_bench-a56ff3945e6414df.d: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+/root/repo/target/debug/deps/libcooprt_bench-a56ff3945e6414df.rlib: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+/root/repo/target/debug/deps/libcooprt_bench-a56ff3945e6414df.rmeta: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/perf.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cooprt_bench-c568ef4441361e88.d: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+/root/repo/target/debug/deps/cooprt_bench-c568ef4441361e88: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/perf.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cooprt_bench-dcb5b8e8be635b90.d: crates/bench/src/lib.rs crates/bench/src/perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcooprt_bench-dcb5b8e8be635b90.rmeta: crates/bench/src/lib.rs crates/bench/src/perf.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cooprt_bvh-18a28fa424240867.d: crates/bvh/src/lib.rs crates/bvh/src/builder.rs crates/bvh/src/image.rs crates/bvh/src/stats.rs crates/bvh/src/traverse.rs crates/bvh/src/wide.rs
+
+/root/repo/target/debug/deps/libcooprt_bvh-18a28fa424240867.rlib: crates/bvh/src/lib.rs crates/bvh/src/builder.rs crates/bvh/src/image.rs crates/bvh/src/stats.rs crates/bvh/src/traverse.rs crates/bvh/src/wide.rs
+
+/root/repo/target/debug/deps/libcooprt_bvh-18a28fa424240867.rmeta: crates/bvh/src/lib.rs crates/bvh/src/builder.rs crates/bvh/src/image.rs crates/bvh/src/stats.rs crates/bvh/src/traverse.rs crates/bvh/src/wide.rs
+
+crates/bvh/src/lib.rs:
+crates/bvh/src/builder.rs:
+crates/bvh/src/image.rs:
+crates/bvh/src/stats.rs:
+crates/bvh/src/traverse.rs:
+crates/bvh/src/wide.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cooprt_bvh-1e3a919a029cdf07.d: crates/bvh/src/lib.rs crates/bvh/src/builder.rs crates/bvh/src/image.rs crates/bvh/src/stats.rs crates/bvh/src/traverse.rs crates/bvh/src/wide.rs
+
+/root/repo/target/debug/deps/cooprt_bvh-1e3a919a029cdf07: crates/bvh/src/lib.rs crates/bvh/src/builder.rs crates/bvh/src/image.rs crates/bvh/src/stats.rs crates/bvh/src/traverse.rs crates/bvh/src/wide.rs
+
+crates/bvh/src/lib.rs:
+crates/bvh/src/builder.rs:
+crates/bvh/src/image.rs:
+crates/bvh/src/stats.rs:
+crates/bvh/src/traverse.rs:
+crates/bvh/src/wide.rs:

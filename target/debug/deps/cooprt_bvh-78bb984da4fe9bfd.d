@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cooprt_bvh-78bb984da4fe9bfd.d: crates/bvh/src/lib.rs crates/bvh/src/builder.rs crates/bvh/src/image.rs crates/bvh/src/stats.rs crates/bvh/src/traverse.rs crates/bvh/src/wide.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcooprt_bvh-78bb984da4fe9bfd.rmeta: crates/bvh/src/lib.rs crates/bvh/src/builder.rs crates/bvh/src/image.rs crates/bvh/src/stats.rs crates/bvh/src/traverse.rs crates/bvh/src/wide.rs Cargo.toml
+
+crates/bvh/src/lib.rs:
+crates/bvh/src/builder.rs:
+crates/bvh/src/image.rs:
+crates/bvh/src/stats.rs:
+crates/bvh/src/traverse.rs:
+crates/bvh/src/wide.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

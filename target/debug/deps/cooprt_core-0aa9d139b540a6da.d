@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cooprt_core-0aa9d139b540a6da.d: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/latency.rs crates/core/src/lbu.rs crates/core/src/parallel.rs crates/core/src/predictor.rs crates/core/src/rtunit.rs crates/core/src/shader.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcooprt_core-0aa9d139b540a6da.rmeta: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/latency.rs crates/core/src/lbu.rs crates/core/src/parallel.rs crates/core/src/predictor.rs crates/core/src/rtunit.rs crates/core/src/shader.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/area.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/latency.rs:
+crates/core/src/lbu.rs:
+crates/core/src/parallel.rs:
+crates/core/src/predictor.rs:
+crates/core/src/rtunit.rs:
+crates/core/src/shader.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

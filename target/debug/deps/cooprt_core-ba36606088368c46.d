@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cooprt_core-ba36606088368c46.d: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/latency.rs crates/core/src/lbu.rs crates/core/src/parallel.rs crates/core/src/predictor.rs crates/core/src/rtunit.rs crates/core/src/shader.rs
+
+/root/repo/target/debug/deps/libcooprt_core-ba36606088368c46.rlib: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/latency.rs crates/core/src/lbu.rs crates/core/src/parallel.rs crates/core/src/predictor.rs crates/core/src/rtunit.rs crates/core/src/shader.rs
+
+/root/repo/target/debug/deps/libcooprt_core-ba36606088368c46.rmeta: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/latency.rs crates/core/src/lbu.rs crates/core/src/parallel.rs crates/core/src/predictor.rs crates/core/src/rtunit.rs crates/core/src/shader.rs
+
+crates/core/src/lib.rs:
+crates/core/src/area.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/latency.rs:
+crates/core/src/lbu.rs:
+crates/core/src/parallel.rs:
+crates/core/src/predictor.rs:
+crates/core/src/rtunit.rs:
+crates/core/src/shader.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cooprt_core-d030c4e1e58045d3.d: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/latency.rs crates/core/src/lbu.rs crates/core/src/parallel.rs crates/core/src/predictor.rs crates/core/src/rtunit.rs crates/core/src/shader.rs
+
+/root/repo/target/debug/deps/cooprt_core-d030c4e1e58045d3: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/latency.rs crates/core/src/lbu.rs crates/core/src/parallel.rs crates/core/src/predictor.rs crates/core/src/rtunit.rs crates/core/src/shader.rs
+
+crates/core/src/lib.rs:
+crates/core/src/area.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/latency.rs:
+crates/core/src/lbu.rs:
+crates/core/src/parallel.rs:
+crates/core/src/predictor.rs:
+crates/core/src/rtunit.rs:
+crates/core/src/shader.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cooprt_gpu-0d0643b6bea4d154.d: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/dram.rs crates/gpu/src/hierarchy.rs crates/gpu/src/mshr.rs crates/gpu/src/power.rs
+
+/root/repo/target/debug/deps/libcooprt_gpu-0d0643b6bea4d154.rlib: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/dram.rs crates/gpu/src/hierarchy.rs crates/gpu/src/mshr.rs crates/gpu/src/power.rs
+
+/root/repo/target/debug/deps/libcooprt_gpu-0d0643b6bea4d154.rmeta: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/dram.rs crates/gpu/src/hierarchy.rs crates/gpu/src/mshr.rs crates/gpu/src/power.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/cache.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/dram.rs:
+crates/gpu/src/hierarchy.rs:
+crates/gpu/src/mshr.rs:
+crates/gpu/src/power.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cooprt_gpu-65276d97b199d258.d: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/dram.rs crates/gpu/src/hierarchy.rs crates/gpu/src/mshr.rs crates/gpu/src/power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcooprt_gpu-65276d97b199d258.rmeta: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/dram.rs crates/gpu/src/hierarchy.rs crates/gpu/src/mshr.rs crates/gpu/src/power.rs Cargo.toml
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/cache.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/dram.rs:
+crates/gpu/src/hierarchy.rs:
+crates/gpu/src/mshr.rs:
+crates/gpu/src/power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

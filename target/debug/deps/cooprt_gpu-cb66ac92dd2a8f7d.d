@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cooprt_gpu-cb66ac92dd2a8f7d.d: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/dram.rs crates/gpu/src/hierarchy.rs crates/gpu/src/mshr.rs crates/gpu/src/power.rs
+
+/root/repo/target/debug/deps/cooprt_gpu-cb66ac92dd2a8f7d: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/dram.rs crates/gpu/src/hierarchy.rs crates/gpu/src/mshr.rs crates/gpu/src/power.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/cache.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/dram.rs:
+crates/gpu/src/hierarchy.rs:
+crates/gpu/src/mshr.rs:
+crates/gpu/src/power.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cooprt_math-1fd81e6de05faa47.d: crates/math/src/lib.rs crates/math/src/aabb.rs crates/math/src/color.rs crates/math/src/image.rs crates/math/src/onb.rs crates/math/src/ray.rs crates/math/src/sampling.rs crates/math/src/triangle.rs crates/math/src/vec3.rs
+
+/root/repo/target/debug/deps/cooprt_math-1fd81e6de05faa47: crates/math/src/lib.rs crates/math/src/aabb.rs crates/math/src/color.rs crates/math/src/image.rs crates/math/src/onb.rs crates/math/src/ray.rs crates/math/src/sampling.rs crates/math/src/triangle.rs crates/math/src/vec3.rs
+
+crates/math/src/lib.rs:
+crates/math/src/aabb.rs:
+crates/math/src/color.rs:
+crates/math/src/image.rs:
+crates/math/src/onb.rs:
+crates/math/src/ray.rs:
+crates/math/src/sampling.rs:
+crates/math/src/triangle.rs:
+crates/math/src/vec3.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cooprt_math-4a9ab23947b44962.d: crates/math/src/lib.rs crates/math/src/aabb.rs crates/math/src/color.rs crates/math/src/image.rs crates/math/src/onb.rs crates/math/src/ray.rs crates/math/src/sampling.rs crates/math/src/triangle.rs crates/math/src/vec3.rs
+
+/root/repo/target/debug/deps/libcooprt_math-4a9ab23947b44962.rlib: crates/math/src/lib.rs crates/math/src/aabb.rs crates/math/src/color.rs crates/math/src/image.rs crates/math/src/onb.rs crates/math/src/ray.rs crates/math/src/sampling.rs crates/math/src/triangle.rs crates/math/src/vec3.rs
+
+/root/repo/target/debug/deps/libcooprt_math-4a9ab23947b44962.rmeta: crates/math/src/lib.rs crates/math/src/aabb.rs crates/math/src/color.rs crates/math/src/image.rs crates/math/src/onb.rs crates/math/src/ray.rs crates/math/src/sampling.rs crates/math/src/triangle.rs crates/math/src/vec3.rs
+
+crates/math/src/lib.rs:
+crates/math/src/aabb.rs:
+crates/math/src/color.rs:
+crates/math/src/image.rs:
+crates/math/src/onb.rs:
+crates/math/src/ray.rs:
+crates/math/src/sampling.rs:
+crates/math/src/triangle.rs:
+crates/math/src/vec3.rs:

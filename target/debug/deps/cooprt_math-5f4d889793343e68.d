@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cooprt_math-5f4d889793343e68.d: crates/math/src/lib.rs crates/math/src/aabb.rs crates/math/src/color.rs crates/math/src/image.rs crates/math/src/onb.rs crates/math/src/ray.rs crates/math/src/sampling.rs crates/math/src/triangle.rs crates/math/src/vec3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcooprt_math-5f4d889793343e68.rmeta: crates/math/src/lib.rs crates/math/src/aabb.rs crates/math/src/color.rs crates/math/src/image.rs crates/math/src/onb.rs crates/math/src/ray.rs crates/math/src/sampling.rs crates/math/src/triangle.rs crates/math/src/vec3.rs Cargo.toml
+
+crates/math/src/lib.rs:
+crates/math/src/aabb.rs:
+crates/math/src/color.rs:
+crates/math/src/image.rs:
+crates/math/src/onb.rs:
+crates/math/src/ray.rs:
+crates/math/src/sampling.rs:
+crates/math/src/triangle.rs:
+crates/math/src/vec3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

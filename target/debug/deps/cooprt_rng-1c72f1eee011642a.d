@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cooprt_rng-1c72f1eee011642a.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/cooprt_rng-1c72f1eee011642a: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cooprt_rng-579416b7e099589b.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcooprt_rng-579416b7e099589b.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

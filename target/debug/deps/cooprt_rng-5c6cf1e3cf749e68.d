@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cooprt_rng-5c6cf1e3cf749e68.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcooprt_rng-5c6cf1e3cf749e68.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cooprt_rng-7ad668f57f1cc4ae.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libcooprt_rng-7ad668f57f1cc4ae.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libcooprt_rng-7ad668f57f1cc4ae.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cooprt_scenes-a660edb1fac32688.d: crates/scenes/src/lib.rs crates/scenes/src/camera.rs crates/scenes/src/generators.rs crates/scenes/src/material.rs crates/scenes/src/scene.rs crates/scenes/src/sky.rs crates/scenes/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcooprt_scenes-a660edb1fac32688.rmeta: crates/scenes/src/lib.rs crates/scenes/src/camera.rs crates/scenes/src/generators.rs crates/scenes/src/material.rs crates/scenes/src/scene.rs crates/scenes/src/sky.rs crates/scenes/src/suite.rs Cargo.toml
+
+crates/scenes/src/lib.rs:
+crates/scenes/src/camera.rs:
+crates/scenes/src/generators.rs:
+crates/scenes/src/material.rs:
+crates/scenes/src/scene.rs:
+crates/scenes/src/sky.rs:
+crates/scenes/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cooprt_scenes-e10d824439b77bce.d: crates/scenes/src/lib.rs crates/scenes/src/camera.rs crates/scenes/src/generators.rs crates/scenes/src/material.rs crates/scenes/src/scene.rs crates/scenes/src/sky.rs crates/scenes/src/suite.rs
+
+/root/repo/target/debug/deps/libcooprt_scenes-e10d824439b77bce.rlib: crates/scenes/src/lib.rs crates/scenes/src/camera.rs crates/scenes/src/generators.rs crates/scenes/src/material.rs crates/scenes/src/scene.rs crates/scenes/src/sky.rs crates/scenes/src/suite.rs
+
+/root/repo/target/debug/deps/libcooprt_scenes-e10d824439b77bce.rmeta: crates/scenes/src/lib.rs crates/scenes/src/camera.rs crates/scenes/src/generators.rs crates/scenes/src/material.rs crates/scenes/src/scene.rs crates/scenes/src/sky.rs crates/scenes/src/suite.rs
+
+crates/scenes/src/lib.rs:
+crates/scenes/src/camera.rs:
+crates/scenes/src/generators.rs:
+crates/scenes/src/material.rs:
+crates/scenes/src/scene.rs:
+crates/scenes/src/sky.rs:
+crates/scenes/src/suite.rs:

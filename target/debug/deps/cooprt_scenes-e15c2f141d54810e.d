@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cooprt_scenes-e15c2f141d54810e.d: crates/scenes/src/lib.rs crates/scenes/src/camera.rs crates/scenes/src/generators.rs crates/scenes/src/material.rs crates/scenes/src/scene.rs crates/scenes/src/sky.rs crates/scenes/src/suite.rs
+
+/root/repo/target/debug/deps/cooprt_scenes-e15c2f141d54810e: crates/scenes/src/lib.rs crates/scenes/src/camera.rs crates/scenes/src/generators.rs crates/scenes/src/material.rs crates/scenes/src/scene.rs crates/scenes/src/sky.rs crates/scenes/src/suite.rs
+
+crates/scenes/src/lib.rs:
+crates/scenes/src/camera.rs:
+crates/scenes/src/generators.rs:
+crates/scenes/src/material.rs:
+crates/scenes/src/scene.rs:
+crates/scenes/src/sky.rs:
+crates/scenes/src/suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-238163270d0cdb6b.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-238163270d0cdb6b: tests/determinism.rs
+
+tests/determinism.rs:

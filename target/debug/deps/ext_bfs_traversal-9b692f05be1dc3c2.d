@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_bfs_traversal-9b692f05be1dc3c2.d: crates/bench/benches/ext_bfs_traversal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_bfs_traversal-9b692f05be1dc3c2.rmeta: crates/bench/benches/ext_bfs_traversal.rs Cargo.toml
+
+crates/bench/benches/ext_bfs_traversal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

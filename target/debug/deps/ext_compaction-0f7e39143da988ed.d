@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_compaction-0f7e39143da988ed.d: crates/bench/benches/ext_compaction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_compaction-0f7e39143da988ed.rmeta: crates/bench/benches/ext_compaction.rs Cargo.toml
+
+crates/bench/benches/ext_compaction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

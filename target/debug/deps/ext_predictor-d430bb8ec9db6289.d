@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_predictor-d430bb8ec9db6289.d: crates/bench/benches/ext_predictor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_predictor-d430bb8ec9db6289.rmeta: crates/bench/benches/ext_predictor.rs Cargo.toml
+
+crates/bench/benches/ext_predictor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_prefetch-024ebce8ae277b45.d: crates/bench/benches/ext_prefetch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_prefetch-024ebce8ae277b45.rmeta: crates/bench/benches/ext_prefetch.rs Cargo.toml
+
+crates/bench/benches/ext_prefetch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

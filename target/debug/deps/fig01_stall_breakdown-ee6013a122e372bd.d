@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_stall_breakdown-ee6013a122e372bd.d: crates/bench/benches/fig01_stall_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_stall_breakdown-ee6013a122e372bd.rmeta: crates/bench/benches/fig01_stall_breakdown.rs Cargo.toml
+
+crates/bench/benches/fig01_stall_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

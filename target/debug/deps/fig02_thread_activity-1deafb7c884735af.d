@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_thread_activity-1deafb7c884735af.d: crates/bench/benches/fig02_thread_activity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_thread_activity-1deafb7c884735af.rmeta: crates/bench/benches/fig02_thread_activity.rs Cargo.toml
+
+crates/bench/benches/fig02_thread_activity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_thread_status-ca5c38507cb21426.d: crates/bench/benches/fig04_thread_status.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_thread_status-ca5c38507cb21426.rmeta: crates/bench/benches/fig04_thread_status.rs Cargo.toml
+
+crates/bench/benches/fig04_thread_status.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_speedup_power_energy-08302cd2a846fff3.d: crates/bench/benches/fig09_speedup_power_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_speedup_power_energy-08302cd2a846fff3.rmeta: crates/bench/benches/fig09_speedup_power_energy.rs Cargo.toml
+
+crates/bench/benches/fig09_speedup_power_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

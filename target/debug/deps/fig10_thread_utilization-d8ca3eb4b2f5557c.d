@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_thread_utilization-d8ca3eb4b2f5557c.d: crates/bench/benches/fig10_thread_utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_thread_utilization-d8ca3eb4b2f5557c.rmeta: crates/bench/benches/fig10_thread_utilization.rs Cargo.toml
+
+crates/bench/benches/fig10_thread_utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_warp_timeline-ba263f9be244b5b1.d: crates/bench/benches/fig11_warp_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_warp_timeline-ba263f9be244b5b1.rmeta: crates/bench/benches/fig11_warp_timeline.rs Cargo.toml
+
+crates/bench/benches/fig11_warp_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_warp_buffer_sweep-d1a405a61ca5a25f.d: crates/bench/benches/fig13_warp_buffer_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_warp_buffer_sweep-d1a405a61ca5a25f.rmeta: crates/bench/benches/fig13_warp_buffer_sweep.rs Cargo.toml
+
+crates/bench/benches/fig13_warp_buffer_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

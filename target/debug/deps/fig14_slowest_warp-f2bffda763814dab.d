@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_slowest_warp-f2bffda763814dab.d: crates/bench/benches/fig14_slowest_warp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_slowest_warp-f2bffda763814dab.rmeta: crates/bench/benches/fig14_slowest_warp.rs Cargo.toml
+
+crates/bench/benches/fig14_slowest_warp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

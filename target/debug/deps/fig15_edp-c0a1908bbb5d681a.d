@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_edp-c0a1908bbb5d681a.d: crates/bench/benches/fig15_edp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_edp-c0a1908bbb5d681a.rmeta: crates/bench/benches/fig15_edp.rs Cargo.toml
+
+crates/bench/benches/fig15_edp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_miss_rates-eab06882a2525516.d: crates/bench/benches/fig16_miss_rates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_miss_rates-eab06882a2525516.rmeta: crates/bench/benches/fig16_miss_rates.rs Cargo.toml
+
+crates/bench/benches/fig16_miss_rates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

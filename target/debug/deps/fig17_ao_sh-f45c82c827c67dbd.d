@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_ao_sh-f45c82c827c67dbd.d: crates/bench/benches/fig17_ao_sh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_ao_sh-f45c82c827c67dbd.rmeta: crates/bench/benches/fig17_ao_sh.rs Cargo.toml
+
+crates/bench/benches/fig17_ao_sh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18_mobile-b903a865d4ae6b25.d: crates/bench/benches/fig18_mobile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18_mobile-b903a865d4ae6b25.rmeta: crates/bench/benches/fig18_mobile.rs Cargo.toml
+
+crates/bench/benches/fig18_mobile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19_subwarp_sweep-719bcc268c7bb3ea.d: crates/bench/benches/fig19_subwarp_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19_subwarp_sweep-719bcc268c7bb3ea.rmeta: crates/bench/benches/fig19_subwarp_sweep.rs Cargo.toml
+
+crates/bench/benches/fig19_subwarp_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frame_metrics-306e64a0eab13071.d: tests/frame_metrics.rs
+
+/root/repo/target/debug/deps/frame_metrics-306e64a0eab13071: tests/frame_metrics.rs
+
+tests/frame_metrics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frame_metrics-c6a198a618c55b75.d: tests/frame_metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libframe_metrics-c6a198a618c55b75.rmeta: tests/frame_metrics.rs Cargo.toml
+
+tests/frame_metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

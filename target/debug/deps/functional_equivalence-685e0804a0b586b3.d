@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/functional_equivalence-685e0804a0b586b3.d: tests/functional_equivalence.rs
+
+/root/repo/target/debug/deps/functional_equivalence-685e0804a0b586b3: tests/functional_equivalence.rs
+
+tests/functional_equivalence.rs:

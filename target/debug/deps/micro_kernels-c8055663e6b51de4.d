@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_kernels-c8055663e6b51de4.d: crates/bench/benches/micro_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_kernels-c8055663e6b51de4.rmeta: crates/bench/benches/micro_kernels.rs Cargo.toml
+
+crates/bench/benches/micro_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

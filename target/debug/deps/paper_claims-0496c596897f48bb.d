@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-0496c596897f48bb.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-0496c596897f48bb: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-2dcf931dba40bb29.d: crates/bench/tests/parallel.rs
+
+/root/repo/target/debug/deps/parallel-2dcf931dba40bb29: crates/bench/tests/parallel.rs
+
+crates/bench/tests/parallel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel-44efcbfbbd80d4ca.d: crates/bench/tests/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel-44efcbfbbd80d4ca.rmeta: crates/bench/tests/parallel.rs Cargo.toml
+
+crates/bench/tests/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d904be04d9e09c85.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d904be04d9e09c85: tests/properties.rs
+
+tests/properties.rs:

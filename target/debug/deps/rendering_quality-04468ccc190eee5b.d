@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rendering_quality-04468ccc190eee5b.d: tests/rendering_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/librendering_quality-04468ccc190eee5b.rmeta: tests/rendering_quality.rs Cargo.toml
+
+tests/rendering_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rendering_quality-6d1102fec495b204.d: tests/rendering_quality.rs
+
+/root/repo/target/debug/deps/rendering_quality-6d1102fec495b204: tests/rendering_quality.rs
+
+tests/rendering_quality.rs:

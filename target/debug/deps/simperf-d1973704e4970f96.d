@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/simperf-d1973704e4970f96.d: crates/bench/benches/simperf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimperf-d1973704e4970f96.rmeta: crates/bench/benches/simperf.rs Cargo.toml
+
+crates/bench/benches/simperf.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/supp_latency-167d3a0c33f9c764.d: crates/bench/benches/supp_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsupp_latency-167d3a0c33f9c764.rmeta: crates/bench/benches/supp_latency.rs Cargo.toml
+
+crates/bench/benches/supp_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_scene_stats-b1b600f14f7a60ed.d: crates/bench/benches/table2_scene_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_scene_stats-b1b600f14f7a60ed.rmeta: crates/bench/benches/table2_scene_stats.rs Cargo.toml
+
+crates/bench/benches/table2_scene_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_area-808fcbe1da7edcc1.d: crates/bench/benches/table3_area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_area-808fcbe1da7edcc1.rmeta: crates/bench/benches/table3_area.rs Cargo.toml
+
+crates/bench/benches/table3_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

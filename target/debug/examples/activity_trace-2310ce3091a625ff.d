@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/activity_trace-2310ce3091a625ff.d: examples/activity_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libactivity_trace-2310ce3091a625ff.rmeta: examples/activity_trace.rs Cargo.toml
+
+examples/activity_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/activity_trace-6c90285cad207f93.d: examples/activity_trace.rs
+
+/root/repo/target/debug/examples/activity_trace-6c90285cad207f93: examples/activity_trace.rs
+
+examples/activity_trace.rs:

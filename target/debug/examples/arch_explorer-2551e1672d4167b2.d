@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/arch_explorer-2551e1672d4167b2.d: examples/arch_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libarch_explorer-2551e1672d4167b2.rmeta: examples/arch_explorer.rs Cargo.toml
+
+examples/arch_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

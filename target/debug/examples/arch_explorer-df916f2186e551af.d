@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/arch_explorer-df916f2186e551af.d: examples/arch_explorer.rs
+
+/root/repo/target/debug/examples/arch_explorer-df916f2186e551af: examples/arch_explorer.rs
+
+examples/arch_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/path_tracer-1bddae9c7cd9c33a.d: examples/path_tracer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpath_tracer-1bddae9c7cd9c33a.rmeta: examples/path_tracer.rs Cargo.toml
+
+examples/path_tracer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/path_tracer-c688a299d0afe57f.d: examples/path_tracer.rs
+
+/root/repo/target/debug/examples/path_tracer-c688a299d0afe57f: examples/path_tracer.rs
+
+examples/path_tracer.rs:

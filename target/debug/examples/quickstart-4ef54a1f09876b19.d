@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4ef54a1f09876b19.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4ef54a1f09876b19: examples/quickstart.rs
+
+examples/quickstart.rs:

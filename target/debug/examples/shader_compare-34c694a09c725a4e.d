@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shader_compare-34c694a09c725a4e.d: examples/shader_compare.rs
+
+/root/repo/target/debug/examples/shader_compare-34c694a09c725a4e: examples/shader_compare.rs
+
+examples/shader_compare.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/shader_compare-9c6ec5628e8a14cb.d: examples/shader_compare.rs Cargo.toml
+
+/root/repo/target/debug/examples/libshader_compare-9c6ec5628e8a14cb.rmeta: examples/shader_compare.rs Cargo.toml
+
+examples/shader_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

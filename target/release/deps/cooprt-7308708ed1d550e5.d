@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cooprt-7308708ed1d550e5.d: src/lib.rs
+
+/root/repo/target/release/deps/libcooprt-7308708ed1d550e5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcooprt-7308708ed1d550e5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cooprt-c6ed252cb0df0da3.d: src/bin/cooprt.rs
+
+/root/repo/target/release/deps/cooprt-c6ed252cb0df0da3: src/bin/cooprt.rs
+
+src/bin/cooprt.rs:

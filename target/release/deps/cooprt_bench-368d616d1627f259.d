@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cooprt_bench-368d616d1627f259.d: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+/root/repo/target/release/deps/libcooprt_bench-368d616d1627f259.rlib: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+/root/repo/target/release/deps/libcooprt_bench-368d616d1627f259.rmeta: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/perf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cooprt_bvh-39347fad022f7cbc.d: crates/bvh/src/lib.rs crates/bvh/src/builder.rs crates/bvh/src/image.rs crates/bvh/src/stats.rs crates/bvh/src/traverse.rs crates/bvh/src/wide.rs
+
+/root/repo/target/release/deps/libcooprt_bvh-39347fad022f7cbc.rlib: crates/bvh/src/lib.rs crates/bvh/src/builder.rs crates/bvh/src/image.rs crates/bvh/src/stats.rs crates/bvh/src/traverse.rs crates/bvh/src/wide.rs
+
+/root/repo/target/release/deps/libcooprt_bvh-39347fad022f7cbc.rmeta: crates/bvh/src/lib.rs crates/bvh/src/builder.rs crates/bvh/src/image.rs crates/bvh/src/stats.rs crates/bvh/src/traverse.rs crates/bvh/src/wide.rs
+
+crates/bvh/src/lib.rs:
+crates/bvh/src/builder.rs:
+crates/bvh/src/image.rs:
+crates/bvh/src/stats.rs:
+crates/bvh/src/traverse.rs:
+crates/bvh/src/wide.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/cooprt_core-f8ae15f50c4e06c7.d: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/latency.rs crates/core/src/lbu.rs crates/core/src/parallel.rs crates/core/src/predictor.rs crates/core/src/rtunit.rs crates/core/src/shader.rs
+
+/root/repo/target/release/deps/libcooprt_core-f8ae15f50c4e06c7.rlib: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/latency.rs crates/core/src/lbu.rs crates/core/src/parallel.rs crates/core/src/predictor.rs crates/core/src/rtunit.rs crates/core/src/shader.rs
+
+/root/repo/target/release/deps/libcooprt_core-f8ae15f50c4e06c7.rmeta: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/latency.rs crates/core/src/lbu.rs crates/core/src/parallel.rs crates/core/src/predictor.rs crates/core/src/rtunit.rs crates/core/src/shader.rs
+
+crates/core/src/lib.rs:
+crates/core/src/area.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/latency.rs:
+crates/core/src/lbu.rs:
+crates/core/src/parallel.rs:
+crates/core/src/predictor.rs:
+crates/core/src/rtunit.rs:
+crates/core/src/shader.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cooprt_gpu-7f950595e17cbdf7.d: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/dram.rs crates/gpu/src/hierarchy.rs crates/gpu/src/mshr.rs crates/gpu/src/power.rs
+
+/root/repo/target/release/deps/libcooprt_gpu-7f950595e17cbdf7.rlib: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/dram.rs crates/gpu/src/hierarchy.rs crates/gpu/src/mshr.rs crates/gpu/src/power.rs
+
+/root/repo/target/release/deps/libcooprt_gpu-7f950595e17cbdf7.rmeta: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/dram.rs crates/gpu/src/hierarchy.rs crates/gpu/src/mshr.rs crates/gpu/src/power.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/cache.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/dram.rs:
+crates/gpu/src/hierarchy.rs:
+crates/gpu/src/mshr.rs:
+crates/gpu/src/power.rs:

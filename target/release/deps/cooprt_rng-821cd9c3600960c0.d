@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cooprt_rng-821cd9c3600960c0.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libcooprt_rng-821cd9c3600960c0.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libcooprt_rng-821cd9c3600960c0.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

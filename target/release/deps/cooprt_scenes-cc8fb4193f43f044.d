@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cooprt_scenes-cc8fb4193f43f044.d: crates/scenes/src/lib.rs crates/scenes/src/camera.rs crates/scenes/src/generators.rs crates/scenes/src/material.rs crates/scenes/src/scene.rs crates/scenes/src/sky.rs crates/scenes/src/suite.rs
+
+/root/repo/target/release/deps/libcooprt_scenes-cc8fb4193f43f044.rlib: crates/scenes/src/lib.rs crates/scenes/src/camera.rs crates/scenes/src/generators.rs crates/scenes/src/material.rs crates/scenes/src/scene.rs crates/scenes/src/sky.rs crates/scenes/src/suite.rs
+
+/root/repo/target/release/deps/libcooprt_scenes-cc8fb4193f43f044.rmeta: crates/scenes/src/lib.rs crates/scenes/src/camera.rs crates/scenes/src/generators.rs crates/scenes/src/material.rs crates/scenes/src/scene.rs crates/scenes/src/sky.rs crates/scenes/src/suite.rs
+
+crates/scenes/src/lib.rs:
+crates/scenes/src/camera.rs:
+crates/scenes/src/generators.rs:
+crates/scenes/src/material.rs:
+crates/scenes/src/scene.rs:
+crates/scenes/src/sky.rs:
+crates/scenes/src/suite.rs:

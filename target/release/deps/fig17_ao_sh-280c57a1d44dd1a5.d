@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_ao_sh-280c57a1d44dd1a5.d: crates/bench/benches/fig17_ao_sh.rs
+
+/root/repo/target/release/deps/fig17_ao_sh-280c57a1d44dd1a5: crates/bench/benches/fig17_ao_sh.rs
+
+crates/bench/benches/fig17_ao_sh.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/simperf-806761d3a851ab62.d: crates/bench/benches/simperf.rs
+
+/root/repo/target/release/deps/simperf-806761d3a851ab62: crates/bench/benches/simperf.rs
+
+crates/bench/benches/simperf.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7f9a58d1eeecdc0e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7f9a58d1eeecdc0e: examples/quickstart.rs
+
+examples/quickstart.rs:

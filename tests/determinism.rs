@@ -36,10 +36,16 @@ fn full_simulation_is_reproducible() {
 fn activity_sampling_is_reproducible() {
     let scene = SceneId::Bath.build(2);
     let cfg = GpuConfig::small(2);
-    let a = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-        .run_frame(ShaderKind::PathTrace, 10, 10);
-    let b = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-        .run_frame(ShaderKind::PathTrace, 10, 10);
+    let a = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+        ShaderKind::PathTrace,
+        10,
+        10,
+    );
+    let b = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+        ShaderKind::PathTrace,
+        10,
+        10,
+    );
     assert_eq!(a.activity.samples, b.activity.samples);
 }
 
@@ -57,6 +63,27 @@ fn timelines_are_reproducible() {
 }
 
 #[test]
+fn accumulation_is_worker_count_invariant() {
+    // The parallel sample runner distributes spp over worker threads but
+    // reduces in fixed sample order, so any worker count produces the
+    // same bits as the sequential path.
+    let scene = SceneId::Fox.build(2);
+    let sim = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::CoopRt);
+    let (ref_accum, ref_frames) =
+        sim.run_accumulated_with_threads(ShaderKind::PathTrace, 8, 8, 3, 1);
+    for workers in [2, 8] {
+        let (accum, frames) =
+            sim.run_accumulated_with_threads(ShaderKind::PathTrace, 8, 8, 3, workers);
+        assert_eq!(accum, ref_accum, "{workers} workers");
+        for (a, b) in ref_frames.iter().zip(&frames) {
+            assert_eq!(a.image, b.image);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.events, b.events);
+        }
+    }
+}
+
+#[test]
 fn different_details_produce_different_scenes() {
     let a = SceneId::Fox.build(2);
     let b = SceneId::Fox.build(3);
@@ -67,12 +94,21 @@ fn different_details_produce_different_scenes() {
 fn shader_kinds_produce_distinct_images() {
     let scene = SceneId::Wknd.build(2);
     let cfg = GpuConfig::small(2);
-    let pt = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::PathTrace, 8, 8);
-    let ao = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::AmbientOcclusion, 8, 8);
-    let sh = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::Shadow, 8, 8);
+    let pt = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::PathTrace,
+        8,
+        8,
+    );
+    let ao = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::AmbientOcclusion,
+        8,
+        8,
+    );
+    let sh = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::Shadow,
+        8,
+        8,
+    );
     assert_ne!(pt.image, ao.image);
     assert_ne!(ao.image, sh.image);
 }

@@ -127,12 +127,19 @@ fn warp_with_mixed_active_and_masked_threads_is_exact() {
         rt.issue(TraceQuery::closest_hit(0, rays), 0, &scene);
         let retired = drain_rt(&mut rt, &mut mem, &scene, policy, &cfg);
         for i in 5..WARP_SIZE {
-            assert!(retired[0].hits[i].is_none(), "masked thread {i} must report no hit");
+            assert!(
+                retired[0].hits[i].is_none(),
+                "masked thread {i} must report no hit"
+            );
         }
         #[allow(clippy::needless_range_loop)] // i is the SIMT lane id
         for i in 0..5 {
             let exp = closest_hit(&scene.image, &rays[i].unwrap(), f32::INFINITY);
-            assert_eq!(exp.is_some(), retired[0].hits[i].is_some(), "thread {i} ({policy:?})");
+            assert_eq!(
+                exp.is_some(),
+                retired[0].hits[i].is_some(),
+                "thread {i} ({policy:?})"
+            );
         }
     }
 }

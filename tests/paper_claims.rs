@@ -28,17 +28,26 @@ fn fig9_cooprt_speeds_up_path_tracing() {
         product *= s;
     }
     let gmean = product.powf(1.0 / ids.len() as f64);
-    assert!(gmean > 1.3, "gmean {gmean:.2} should be well above 1 (paper: 2.15)");
+    assert!(
+        gmean > 1.3,
+        "gmean {gmean:.2} should be well above 1 (paper: 2.15)"
+    );
 }
 
 #[test]
 fn fig1_rt_instructions_dominate_stalls() {
     let scene = SceneId::Bath.build(DETAIL);
     let cfg = GpuConfig::small(2);
-    let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::PathTrace, RES, RES);
+    let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::PathTrace,
+        RES,
+        RES,
+    );
     let f = r.stalls.fractions();
-    assert!(f[0] > f[1] && f[0] > f[2] && f[0] > f[3], "RT must dominate: {f:?}");
+    assert!(
+        f[0] > f[1] && f[0] > f[2] && f[0] > f[3],
+        "RT must dominate: {f:?}"
+    );
 }
 
 #[test]
@@ -47,8 +56,11 @@ fn fig4_substantial_thread_time_is_wasted_at_baseline() {
     // fig04 bench); at this smoke scale we assert it stays substantial.
     let scene = SceneId::Crnvl.build(DETAIL);
     let cfg = GpuConfig::small(2);
-    let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::PathTrace, RES, RES);
+    let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::PathTrace,
+        RES,
+        RES,
+    );
     let [busy, waiting, inactive] = r.activity.status_distribution();
     assert!(
         waiting + inactive > 0.35,
@@ -63,10 +75,16 @@ fn fig10_utilization_improvement_tracks_speedup() {
     // closed spnza atrium, and win more speedup.
     let measure = |id: SceneId| {
         let scene = id.build(DETAIL);
-        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, RES, RES);
-        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-            .run_frame(ShaderKind::PathTrace, RES, RES);
+        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+            ShaderKind::PathTrace,
+            RES,
+            RES,
+        );
+        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+            ShaderKind::PathTrace,
+            RES,
+            RES,
+        );
         (
             coop.activity.avg_utilization() - base.activity.avg_utilization(),
             base.cycles as f64 / coop.cycles as f64,
@@ -81,10 +99,16 @@ fn fig10_utilization_improvement_tracks_speedup() {
 fn fig12_cooprt_raises_memory_bandwidth() {
     let scene = SceneId::Lands.build(DETAIL);
     let cfg = GpuConfig::small(2);
-    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::PathTrace, RES, RES);
-    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-        .run_frame(ShaderKind::PathTrace, RES, RES);
+    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::PathTrace,
+        RES,
+        RES,
+    );
+    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+        ShaderKind::PathTrace,
+        RES,
+        RES,
+    );
     assert!(
         coop.mem.l2_bandwidth(coop.cycles) > base.mem.l2_bandwidth(base.cycles),
         "same fills in fewer cycles -> higher L2 bandwidth"
@@ -97,10 +121,16 @@ fn fig13_larger_warp_buffers_help_the_baseline() {
     // Use one SM so all warps contend for one RT unit.
     let small = GpuConfig::small(1);
     let big = GpuConfig::small(1).with_warp_buffer(16);
-    let r_small = Simulation::new(&scene, &small, TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::PathTrace, RES, RES);
-    let r_big = Simulation::new(&scene, &big, TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::PathTrace, RES, RES);
+    let r_small = Simulation::new(&scene, &small, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::PathTrace,
+        RES,
+        RES,
+    );
+    let r_big = Simulation::new(&scene, &big, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::PathTrace,
+        RES,
+        RES,
+    );
     assert!(
         r_big.cycles < r_small.cycles,
         "16-entry buffer ({}) should beat 4-entry ({})",
@@ -114,10 +144,16 @@ fn fig13_cooprt_at_4_entries_competes_with_big_baseline_buffers() {
     let scene = SceneId::Fox.build(DETAIL);
     let cfg4 = GpuConfig::small(1);
     let cfg32 = GpuConfig::small(1).with_warp_buffer(32);
-    let coop4 = Simulation::new(&scene, &cfg4, TraversalPolicy::CoopRt)
-        .run_frame(ShaderKind::PathTrace, RES, RES);
-    let base32 = Simulation::new(&scene, &cfg32, TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::PathTrace, RES, RES);
+    let coop4 = Simulation::new(&scene, &cfg4, TraversalPolicy::CoopRt).run_frame(
+        ShaderKind::PathTrace,
+        RES,
+        RES,
+    );
+    let base32 = Simulation::new(&scene, &cfg32, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::PathTrace,
+        RES,
+        RES,
+    );
     assert!(
         coop4.cycles < base32.cycles,
         "paper: CoopRT@4 ({}) beats baseline@32 ({})",
@@ -130,10 +166,16 @@ fn fig13_cooprt_at_4_entries_competes_with_big_baseline_buffers() {
 fn fig14_cooprt_shortens_the_slowest_warp() {
     let scene = SceneId::Car.build(DETAIL);
     let cfg = GpuConfig::small(2);
-    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::PathTrace, RES, RES);
-    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-        .run_frame(ShaderKind::PathTrace, RES, RES);
+    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::PathTrace,
+        RES,
+        RES,
+    );
+    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+        ShaderKind::PathTrace,
+        RES,
+        RES,
+    );
     assert!(coop.slowest_warp_cycles < base.slowest_warp_cycles);
 }
 
@@ -141,11 +183,20 @@ fn fig14_cooprt_shortens_the_slowest_warp() {
 fn fig15_cooprt_improves_edp() {
     let scene = SceneId::Sprng.build(DETAIL);
     let cfg = GpuConfig::small(2);
-    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::PathTrace, RES, RES);
-    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-        .run_frame(ShaderKind::PathTrace, RES, RES);
-    assert!(coop.energy.edp() < base.energy.edp(), "EDP must improve under CoopRT");
+    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::PathTrace,
+        RES,
+        RES,
+    );
+    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+        ShaderKind::PathTrace,
+        RES,
+        RES,
+    );
+    assert!(
+        coop.energy.edp() < base.energy.edp(),
+        "EDP must improve under CoopRT"
+    );
 }
 
 #[test]
@@ -177,13 +228,19 @@ fn fig19_whole_warp_scope_is_at_least_as_good_as_subwarp_4() {
     };
     let c4 = run_sw(4);
     let c32 = run_sw(32);
-    assert!(c32 <= c4, "whole-warp ({c32}) must not lose to subwarp-4 ({c4})");
+    assert!(
+        c32 <= c4,
+        "whole-warp ({c32}) must not lose to subwarp-4 ({c4})"
+    );
 }
 
 #[test]
 fn table3_area_claims() {
     assert!(cooprt_area(4).cells() < cooprt_area(32).cells());
-    assert!(overhead_fraction(32, 4) < 0.033, "the <3% warp-buffer claim");
+    assert!(
+        overhead_fraction(32, 4) < 0.033,
+        "the <3% warp-buffer claim"
+    );
     assert_eq!(warp_buffer_bits(4), 98_304);
 }
 
@@ -194,12 +251,24 @@ fn power_shape_matches_fig9() {
     // speedup structure allows.
     let scene = SceneId::Lands.build(DETAIL);
     let cfg = GpuConfig::small(2);
-    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::PathTrace, RES, RES);
-    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-        .run_frame(ShaderKind::PathTrace, RES, RES);
+    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::PathTrace,
+        RES,
+        RES,
+    );
+    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+        ShaderKind::PathTrace,
+        RES,
+        RES,
+    );
     let power_ratio = coop.energy.avg_power_w() / base.energy.avg_power_w();
     let energy_ratio = coop.energy.total_j() / base.energy.total_j();
-    assert!(power_ratio > 1.0, "CoopRT concentrates the same work: power must rise");
-    assert!(energy_ratio < 1.15, "energy should stay near baseline (paper: 0.94x)");
+    assert!(
+        power_ratio > 1.0,
+        "CoopRT concentrates the same work: power must rise"
+    );
+    assert!(
+        energy_ratio < 1.15,
+        "energy should stay near baseline (paper: 0.94x)"
+    );
 }

@@ -35,10 +35,16 @@ fn closed_dark_scene_is_darker_than_daylight() {
     let cfg = GpuConfig::small(2);
     let day = SceneId::Wknd.build(2);
     let night = SceneId::Spnza.build(2); // closed room, small lights
-    let day_img = Simulation::new(&day, &cfg, TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::PathTrace, 10, 10);
-    let night_img = Simulation::new(&night, &cfg, TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::PathTrace, 10, 10);
+    let day_img = Simulation::new(&day, &cfg, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::PathTrace,
+        10,
+        10,
+    );
+    let night_img = Simulation::new(&night, &cfg, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::PathTrace,
+        10,
+        10,
+    );
     assert!(
         mean_luminance(&day_img.image) > mean_luminance(&night_img.image),
         "daylight {:.3} should out-shine the closed atrium {:.3}",
@@ -53,10 +59,16 @@ fn ao_images_are_bounded_by_albedo() {
     // brightest albedo/sky value by construction.
     let scene = SceneId::Chsnt.build(2);
     let cfg = GpuConfig::small(2);
-    let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-        .run_frame(ShaderKind::AmbientOcclusion, 12, 12);
+    let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+        ShaderKind::AmbientOcclusion,
+        12,
+        12,
+    );
     for px in &r.image {
-        assert!(px.r <= 1.01 && px.g <= 1.01 && px.b <= 1.01, "AO pixel out of range: {px:?}");
+        assert!(
+            px.r <= 1.01 && px.g <= 1.01 && px.b <= 1.01,
+            "AO pixel out of range: {px:?}"
+        );
         assert!(px.r >= 0.0 && px.g >= 0.0 && px.b >= 0.0);
     }
 }
@@ -65,8 +77,11 @@ fn ao_images_are_bounded_by_albedo() {
 fn ppm_export_roundtrips_dimensions() {
     let scene = SceneId::Ship.build(2);
     let cfg = GpuConfig::small(2);
-    let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-        .run_frame(ShaderKind::PathTrace, 9, 7);
+    let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+        ShaderKind::PathTrace,
+        9,
+        7,
+    );
     let ppm = r.image_buffer().to_ppm();
     let header = b"P6\n9 7\n255\n";
     assert_eq!(&ppm[..header.len()], header);
@@ -78,9 +93,15 @@ fn psnr_between_policies_is_infinite() {
     // Not just equal buffers: the metric itself reports perfection.
     let scene = SceneId::Bath.build(2);
     let cfg = GpuConfig::small(2);
-    let a = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::PathTrace, 8, 8);
-    let b = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-        .run_frame(ShaderKind::PathTrace, 8, 8);
+    let a = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::PathTrace,
+        8,
+        8,
+    );
+    let b = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+        ShaderKind::PathTrace,
+        8,
+        8,
+    );
     assert_eq!(a.image_buffer().psnr(&b.image_buffer()), f64::INFINITY);
 }
