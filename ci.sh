@@ -16,4 +16,7 @@ cargo build --offline --release --workspace
 echo "==> cargo test"
 cargo test --offline --quiet --workspace
 
+echo "==> simperf --smoke"
+cargo bench --offline -p cooprt-bench --bench simperf -- --smoke
+
 echo "CI green."

@@ -3,19 +3,24 @@
 //! Unlike the figure targets (which report *simulated* metrics), this
 //! target measures how fast the simulator runs on the host: simulated
 //! cycles per wall-clock second and rays per wall-clock second for each
-//! scene x policy cell, plus the wall-clock speedup of the parallel
-//! matrix runner over the sequential loop. Results are printed and
-//! written to `BENCH_simperf.json` at the repository root.
+//! scene x policy cell, plus an honest parallel-scaling ladder. The
+//! matrix is first run sequentially (timing each cell), then re-run at
+//! each power-of-two worker count up to the host parallelism; every
+//! pooled pass is asserted bitwise identical to the sequential one
+//! (the determinism contract of `cooprt_core::parallel`), and the
+//! per-worker-count wall clocks and speedups are all recorded — on a
+//! single-core host the ladder simply shows that there is no
+//! parallelism to be had, instead of dressing a one-worker pass up as
+//! a "parallel" measurement. Results are printed and written to
+//! `BENCH_simperf.json` at the repository root.
 //!
-//! The same matrix is executed twice — sequentially, then concurrently
-//! on `COOPRT_THREADS` workers — and the two passes are asserted
-//! bitwise identical (images and cycle counts), exercising the
-//! determinism contract of `cooprt_core::parallel`.
+//! `--smoke` runs a two-scene, low-resolution edition — same passes,
+//! same determinism asserts, no JSON — so CI can exercise this harness
+//! in seconds (see `ci.sh`).
 
-use cooprt_bench::{
-    banner, build_scenes, default_detail, default_res, parallel, run_at, scene_list,
-};
+use cooprt_bench::{banner, default_detail, default_res, parallel, run_at, scene_list};
 use cooprt_core::{FrameResult, GpuConfig, ShaderKind, TraversalPolicy};
+use cooprt_scenes::{Scene, SceneId};
 use std::time::Instant;
 
 struct Row {
@@ -26,6 +31,12 @@ struct Row {
     wall_secs: f64,
 }
 
+struct LadderStep {
+    threads: usize,
+    secs: f64,
+    speedup: f64,
+}
+
 fn json_escape_free(s: &str) -> &str {
     debug_assert!(s
         .chars()
@@ -34,19 +45,35 @@ fn json_escape_free(s: &str) -> &str {
 }
 
 fn main() {
-    banner("simperf: simulator wall-clock throughput");
-    let ids = scene_list();
-    assert!(
-        ids.len() >= 4,
-        "simperf needs at least 4 scenes (got {})",
-        ids.len()
-    );
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (ids, res, detail) = if smoke {
+        // Two light scenes at low resolution: enough to drive the whole
+        // harness (both policies, the pooled pass, the determinism
+        // asserts) through CI in seconds.
+        (vec![SceneId::Wknd, SceneId::Ship], 48usize, 8u32)
+    } else {
+        banner("simperf: simulator wall-clock throughput");
+        let ids = scene_list();
+        assert!(
+            ids.len() >= 4,
+            "simperf needs at least 4 scenes (got {})",
+            ids.len()
+        );
+        (ids, default_res(), default_detail())
+    };
+    if smoke {
+        println!(
+            "=== simperf --smoke ({} scenes, {res}x{res}, detail {detail}) ===",
+            ids.len()
+        );
+    }
     let cfg = GpuConfig::rtx2060();
-    let res = default_res();
     let kind = ShaderKind::PathTrace;
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = parallel::threads();
 
     let t0 = Instant::now();
-    let scenes = build_scenes(&ids);
+    let scenes: Vec<Scene> = parallel::par_map(&ids, workers, |_, &id| id.build(detail));
     let build_secs = t0.elapsed().as_secs_f64();
     println!("built {} scenes in {build_secs:.2}s", scenes.len());
 
@@ -54,7 +81,8 @@ fn main() {
         .flat_map(|i| [(i, TraversalPolicy::Baseline), (i, TraversalPolicy::CoopRt)])
         .collect();
 
-    // Pass 1: sequential, timing each cell for its throughput row.
+    // Pass 1: sequential, timing each cell for its throughput row. This
+    // is also the one-worker rung of the scaling ladder.
     let seq_start = Instant::now();
     let mut rows: Vec<Row> = Vec::with_capacity(jobs.len());
     let mut seq_results: Vec<FrameResult> = Vec::with_capacity(jobs.len());
@@ -73,23 +101,51 @@ fn main() {
     }
     let seq_secs = seq_start.elapsed().as_secs_f64();
 
-    // Pass 2: the same matrix through the parallel runner.
-    let workers = parallel::threads();
-    let par_start = Instant::now();
-    let par_results = parallel::par_map(&jobs, workers, |_, &(i, policy)| {
-        run_at(&scenes[i], &cfg, policy, kind, res)
-    });
-    let par_secs = par_start.elapsed().as_secs_f64();
-
-    for (s, p) in seq_results.iter().zip(&par_results) {
-        assert_eq!(
-            s.image, p.image,
-            "parallel runner must be bitwise identical"
-        );
-        assert_eq!(s.cycles, p.cycles);
-        assert_eq!(s.events, p.events);
+    // Scaling ladder: the same matrix through the worker pool at each
+    // power of two up to the default worker count. At least one pooled
+    // rung always runs (worker count 2 even on a single-core host) so
+    // the pool's determinism is exercised on every invocation.
+    let mut counts = vec![1usize];
+    let mut c = 2;
+    while c < workers {
+        counts.push(c);
+        c *= 2;
     }
-    let matrix_speedup = seq_secs / par_secs.max(1e-12);
+    if workers > 1 {
+        counts.push(workers);
+    } else {
+        counts.push(2);
+    }
+    let mut ladder = vec![LadderStep {
+        threads: 1,
+        secs: seq_secs,
+        speedup: 1.0,
+    }];
+    for &t in &counts[1..] {
+        let start = Instant::now();
+        let pooled = parallel::par_map(&jobs, t, |_, &(i, policy)| {
+            run_at(&scenes[i], &cfg, policy, kind, res)
+        });
+        let secs = start.elapsed().as_secs_f64();
+        for (s, p) in seq_results.iter().zip(&pooled) {
+            assert_eq!(s.image, p.image, "pooled runner must be bitwise identical");
+            assert_eq!(s.cycles, p.cycles);
+            assert_eq!(s.events, p.events);
+        }
+        ladder.push(LadderStep {
+            threads: t,
+            secs,
+            speedup: seq_secs / secs.max(1e-12),
+        });
+    }
+    // The headline numbers are the rung at the default worker count —
+    // on a single-core host that is the sequential pass itself, and the
+    // speedup is 1 by construction, not by measurement theatre.
+    let headline = ladder
+        .iter()
+        .find(|s| s.threads == workers)
+        .expect("ladder contains the default worker count");
+    let (par_secs, matrix_speedup) = (headline.secs, headline.speedup);
 
     println!();
     println!(
@@ -109,20 +165,50 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "matrix wall-clock: sequential {seq_secs:.2}s, parallel {par_secs:.2}s \
-         on {workers} workers -> {matrix_speedup:.2}x (bitwise identical results)"
-    );
+    println!("matrix scaling (host parallelism {host}, default {workers} workers):");
+    for s in &ladder {
+        println!(
+            "  {:>3} thread{} {:>8.2}s  {:>5.2}x{}",
+            s.threads,
+            if s.threads == 1 { " " } else { "s" },
+            s.secs,
+            s.speedup,
+            if s.threads > host {
+                "  (oversubscribed)"
+            } else {
+                ""
+            },
+        );
+    }
+    println!("(all pooled passes bitwise identical to the sequential pass)");
+
+    if smoke {
+        println!();
+        println!("simperf --smoke OK");
+        return;
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"resolution\": {res},\n"));
-    json.push_str(&format!("  \"detail\": {},\n", default_detail()));
+    json.push_str(&format!("  \"detail\": {detail},\n"));
     json.push_str(&format!("  \"threads\": {workers},\n"));
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
     json.push_str(&format!("  \"suite_build_secs\": {build_secs:.6},\n"));
     json.push_str(&format!("  \"sequential_secs\": {seq_secs:.6},\n"));
     json.push_str(&format!("  \"parallel_secs\": {par_secs:.6},\n"));
     json.push_str(&format!("  \"matrix_speedup\": {matrix_speedup:.4},\n"));
+    json.push_str("  \"thread_ladder\": [\n");
+    for (k, s) in ladder.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"secs\": {:.6}, \"speedup\": {:.4}}}{}\n",
+            s.threads,
+            s.secs,
+            s.speedup,
+            if k + 1 == ladder.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"scenes\": [\n");
     for (k, r) in rows.iter().enumerate() {
         json.push_str(&format!(

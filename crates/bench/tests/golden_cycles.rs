@@ -1,0 +1,84 @@
+//! Golden cycle-count regression suite.
+//!
+//! Every scene × policy cell of `BENCH_simperf.json` (resolution 96,
+//! detail 16, RTX 2060 config, path tracing) is pinned here to the
+//! exact cycle count the simulator reported when the numbers were
+//! recorded. The simulator is deterministic, and hot-path work is
+//! host-*representation* only (flat caches, slotted MSHRs, the event
+//! calendar — see `DESIGN.md`), so any change that perturbs one of
+//! these counts is a *behavioural* change: it must either be a bug or
+//! come with a deliberate re-baselining of this table and of
+//! `BENCH_simperf.json`.
+//!
+//! The parameters are hard-coded — `COOPRT_RES` / `COOPRT_DETAIL` are
+//! ignored — so the suite means the same thing in every environment.
+
+use cooprt_core::{GpuConfig, ShaderKind, TraversalPolicy};
+use cooprt_scenes::SceneId;
+
+const RES: usize = 96;
+const DETAIL: u32 = 16;
+
+/// `(scene, baseline cycles, cooprt cycles)` from `BENCH_simperf.json`.
+const GOLDEN: &[(SceneId, u64, u64)] = &[
+    (SceneId::Wknd, 15278, 9162),
+    (SceneId::Ship, 8123, 5413),
+    (SceneId::Bunny, 12970, 6868),
+    (SceneId::Spnza, 46191, 34770),
+    (SceneId::Chsnt, 15777, 8506),
+    (SceneId::Bath, 60219, 40011),
+    (SceneId::Ref, 67467, 43952),
+    (SceneId::Crnvl, 8248, 6129),
+    (SceneId::Fox, 26755, 15057),
+    (SceneId::Party, 9967, 6610),
+    (SceneId::Sprng, 23918, 11915),
+    (SceneId::Lands, 36245, 14010),
+    (SceneId::Frst, 29018, 13886),
+    (SceneId::Car, 68972, 26720),
+    (SceneId::Robot, 62533, 26894),
+];
+
+fn check(id: SceneId, base_golden: u64, coop_golden: u64) {
+    let scene = id.build(DETAIL);
+    let cfg = GpuConfig::rtx2060();
+    for (policy, golden) in [
+        (TraversalPolicy::Baseline, base_golden),
+        (TraversalPolicy::CoopRt, coop_golden),
+    ] {
+        let r = cooprt_bench::run_at(&scene, &cfg, policy, ShaderKind::PathTrace, RES);
+        assert_eq!(
+            r.cycles, golden,
+            "{id} {policy:?}: simulated cycle count drifted from the \
+             golden value — a hot-path change altered behaviour",
+        );
+    }
+}
+
+macro_rules! golden_scene {
+    ($test:ident, $id:ident) => {
+        #[test]
+        fn $test() {
+            let &(id, base, coop) = GOLDEN
+                .iter()
+                .find(|(s, _, _)| *s == SceneId::$id)
+                .expect("scene present in the golden table");
+            check(id, base, coop);
+        }
+    };
+}
+
+golden_scene!(golden_cycles_wknd, Wknd);
+golden_scene!(golden_cycles_ship, Ship);
+golden_scene!(golden_cycles_bunny, Bunny);
+golden_scene!(golden_cycles_spnza, Spnza);
+golden_scene!(golden_cycles_chsnt, Chsnt);
+golden_scene!(golden_cycles_bath, Bath);
+golden_scene!(golden_cycles_ref, Ref);
+golden_scene!(golden_cycles_crnvl, Crnvl);
+golden_scene!(golden_cycles_fox, Fox);
+golden_scene!(golden_cycles_party, Party);
+golden_scene!(golden_cycles_sprng, Sprng);
+golden_scene!(golden_cycles_lands, Lands);
+golden_scene!(golden_cycles_frst, Frst);
+golden_scene!(golden_cycles_car, Car);
+golden_scene!(golden_cycles_robot, Robot);

@@ -7,7 +7,7 @@ use crate::latency::TraceLatencies;
 use crate::predictor::PredictorStats;
 use crate::rtunit::{RtUnit, StatusCounts, TraceQuery, TraceResult};
 use crate::shader::{ShaderKind, ShaderThread};
-use cooprt_gpu::{EnergyEvents, EnergyReport, MemStats, MemoryHierarchy};
+use cooprt_gpu::{EnergyEvents, EnergyReport, EventCalendar, MemStats, MemoryHierarchy};
 use cooprt_math::Rgb;
 use cooprt_scenes::Scene;
 use std::collections::VecDeque;
@@ -342,6 +342,13 @@ struct Engine<'s> {
     /// [`Engine::next_time`] folds over this cache instead of rescanning
     /// every warp of every SM.
     sm_next: Vec<u64>,
+    /// Wake calendar over `sm_next`: whenever an SM's cached next-event
+    /// time is set, an entry is pushed at that cycle. Entries are
+    /// invalidated lazily — one is live only while its time still
+    /// equals `sm_next[sm]` — so [`Engine::next_time`] pops the
+    /// earliest live entry in amortized O(1) instead of folding over
+    /// every SM each skip.
+    wake: EventCalendar<u32>,
     mem: MemoryHierarchy,
     stalls: StallBreakdown,
     activity: ActivitySeries,
@@ -387,6 +394,7 @@ impl<'s> Engine<'s> {
             warps: Vec::new(),
             sms,
             sm_next,
+            wake: EventCalendar::new(),
             mem,
             stalls: StallBreakdown::default(),
             activity: ActivitySeries {
@@ -441,15 +449,28 @@ impl<'s> Engine<'s> {
     /// Creates a wave of warps over the given lane groups and queues
     /// them on the SMs (Gigathread-style round-robin). `one_shot` warps
     /// retire after a single trace+shade (compaction mode).
-    fn spawn_wave(&mut self, groups: Vec<Vec<u32>>, iteration: u32, raygen: bool, one_shot: bool) {
+    fn spawn_wave(
+        &mut self,
+        groups: Vec<Vec<u32>>,
+        iteration: u32,
+        raygen: bool,
+        one_shot: bool,
+        now: u64,
+    ) {
         self.warps.clear();
         for sm in &mut self.sms {
             sm.queue.clear();
             debug_assert!(sm.running.is_empty(), "waves must not overlap");
         }
         let sm_count = self.sms.len();
-        // New work arrived on every SM: invalidate the next-event cache.
-        self.sm_next.fill(0);
+        // New work arrived on every SM: invalidate the next-event cache
+        // (an entry of `now` makes every SM due immediately, exactly as
+        // the old `fill(0)` did) and seed the wake calendar to match.
+        self.sm_next.fill(now);
+        self.wake.clear();
+        for sm in 0..sm_count {
+            self.wake.push(now, sm as u32);
+        }
         for (w, members) in groups.into_iter().enumerate() {
             debug_assert!(members.len() <= WARP_SIZE);
             self.warps.push(Warp {
@@ -472,7 +493,7 @@ impl<'s> Engine<'s> {
         if !self.cfg.compaction {
             // One persistent warp per 32 pixels for the whole frame.
             let groups = self.pixel_groups();
-            self.spawn_wave(groups, 0, true, false);
+            self.spawn_wave(groups, 0, true, false, now);
             now = self.drain(now, &mut next_sample);
         } else {
             // Wave-synchronous execution with per-bounce compaction.
@@ -488,7 +509,7 @@ impl<'s> Engine<'s> {
                     now += self.cfg.compaction_overhead_cycles;
                 }
                 let groups = alive.chunks(WARP_SIZE).map(|c| c.to_vec()).collect();
-                self.spawn_wave(groups, wave, wave == 0, true);
+                self.spawn_wave(groups, wave, wave == 0, true, now);
                 now = self.drain(now, &mut next_sample);
                 wave += 1;
             }
@@ -618,7 +639,11 @@ impl<'s> Engine<'s> {
 
             // Refresh this SM's next-event cache now that its step is
             // complete; it stays valid until the SM is stepped again.
-            self.sm_next[sm_idx] = self.sm_next_time(sm_idx, now);
+            let t = self.sm_next_time(sm_idx, now);
+            self.sm_next[sm_idx] = t;
+            if t != u64::MAX {
+                self.wake.push(t, sm_idx as u32);
+            }
         }
 
         // Fig. 11 timeline: capture the designated warp while resident.
@@ -702,15 +727,20 @@ impl<'s> Engine<'s> {
 
     /// The next cycle after `now` at which any SM or warp can act.
     ///
-    /// O(SMs): folds the cached per-SM next-event times instead of
-    /// rescanning every warp-buffer slot of every SM.
-    fn next_time(&self, now: u64) -> u64 {
-        let next = self.sm_next.iter().copied().min().unwrap_or(u64::MAX);
-        if next == u64::MAX {
-            now + 1
-        } else {
-            next.max(now + 1)
+    /// Amortized O(1): pops the wake calendar until the earliest entry
+    /// that still matches its SM's cached next-event time. Every
+    /// non-drained SM keeps a live entry (one is pushed whenever
+    /// `sm_next` is set, and the SM popped here is stepped — and thus
+    /// re-pushed — at the returned cycle), so the first live entry *is*
+    /// the minimum over `sm_next`. Stale entries were each pushed once,
+    /// so discarding them is amortized constant work.
+    fn next_time(&mut self, now: u64) -> u64 {
+        while let Some((t, sm)) = self.wake.pop_next() {
+            if t == self.sm_next[sm as usize] {
+                return t.max(now + 1);
+            }
         }
+        now + 1
     }
 
     fn take_sample(&mut self, cycle: u64) {

@@ -23,6 +23,62 @@ pub struct LbuPair {
     pub main: usize,
 }
 
+/// The pairings of one LBU cycle, as a fixed-capacity inline list.
+///
+/// The LBU produces at most one pair per subwarp, and the smallest
+/// subwarp (4 threads) gives `WARP_SIZE / 4` groups — so the list lives
+/// on the stack and [`find_pairs`], which runs up to several times per
+/// simulated cycle, performs no heap allocation. Dereferences to
+/// `[LbuPair]` for indexing and iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct LbuPairs {
+    pairs: [LbuPair; WARP_SIZE / 4],
+    len: usize,
+}
+
+impl LbuPairs {
+    const EMPTY: LbuPairs = LbuPairs {
+        pairs: [LbuPair { helper: 0, main: 0 }; WARP_SIZE / 4],
+        len: 0,
+    };
+
+    /// A list holding exactly `pair` (the subwarp scheduler's
+    /// one-group-per-cycle mode).
+    pub fn single(pair: LbuPair) -> Self {
+        let mut pairs = Self::EMPTY;
+        pairs.push(pair);
+        pairs
+    }
+
+    fn push(&mut self, pair: LbuPair) {
+        debug_assert!(self.len < self.pairs.len(), "one pair per subwarp");
+        self.pairs[self.len] = pair;
+        self.len += 1;
+    }
+
+    /// The pairs as a slice.
+    pub fn as_slice(&self) -> &[LbuPair] {
+        &self.pairs[..self.len]
+    }
+}
+
+impl std::ops::Deref for LbuPairs {
+    type Target = [LbuPair];
+
+    fn deref(&self) -> &[LbuPair] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a LbuPairs {
+    type Item = &'a LbuPair;
+    type IntoIter = std::slice::Iter<'a, LbuPair>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Finds up to one helper/main pair per subwarp.
 ///
 /// `can_help` and `needs_help` are 32-bit thread masks; bit `i` set means
@@ -48,7 +104,7 @@ pub struct LbuPair {
 /// assert_eq!(pairs[0].helper, 5); // lowest-numbered idle thread
 /// assert_eq!(pairs[0].main, 0);
 /// ```
-pub fn find_pairs(can_help: u32, needs_help: u32, subwarp_size: usize) -> Vec<LbuPair> {
+pub fn find_pairs(can_help: u32, needs_help: u32, subwarp_size: usize) -> LbuPairs {
     assert!(
         subwarp_size > 0 && WARP_SIZE.is_multiple_of(subwarp_size),
         "subwarp size must divide the warp (got {subwarp_size})"
@@ -58,8 +114,11 @@ pub fn find_pairs(can_help: u32, needs_help: u32, subwarp_size: usize) -> Vec<Lb
         0,
         "a thread cannot both help and need help"
     );
+    let mut pairs = LbuPairs::EMPTY;
+    if can_help == 0 || needs_help == 0 {
+        return pairs;
+    }
     let groups = WARP_SIZE / subwarp_size;
-    let mut pairs = Vec::new();
     for g in 0..groups {
         let base = g * subwarp_size;
         let mask = if subwarp_size == 32 {
@@ -93,7 +152,7 @@ mod tests {
     #[test]
     fn whole_warp_picks_lowest_of_each() {
         let pairs = find_pairs(0b1100_0000, 0b0011_0000, 32);
-        assert_eq!(pairs, vec![LbuPair { helper: 6, main: 4 }]);
+        assert_eq!(pairs.as_slice(), &[LbuPair { helper: 6, main: 4 }]);
     }
 
     #[test]
@@ -110,8 +169,8 @@ mod tests {
         let needs = (1 << 2) | (1 << 20);
         let pairs = find_pairs(can, needs, 8);
         assert_eq!(
-            pairs,
-            vec![
+            pairs.as_slice(),
+            &[
                 LbuPair { helper: 1, main: 2 },
                 LbuPair {
                     helper: 17,
@@ -148,8 +207,8 @@ mod tests {
         let can = 1 << 0;
         let needs = 1 << 3;
         assert_eq!(
-            find_pairs(can, needs, 4),
-            vec![LbuPair { helper: 0, main: 3 }]
+            find_pairs(can, needs, 4).as_slice(),
+            &[LbuPair { helper: 0, main: 3 }]
         );
         // Main just outside the 4-thread group: no pair.
         assert!(find_pairs(can, 1 << 4, 4).is_empty());

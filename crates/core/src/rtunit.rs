@@ -25,11 +25,10 @@ use crate::config::{
 use crate::lbu::find_pairs;
 use crate::predictor::{Predictor, PredictorStats};
 use cooprt_bvh::NodeKind;
-use cooprt_gpu::{EnergyEvents, MemoryHierarchy};
+use cooprt_gpu::{EnergyEvents, EventCalendar, MemoryHierarchy};
 use cooprt_math::Ray;
 use cooprt_scenes::Scene;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// The hit a ray ends a `trace_ray` with.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -98,53 +97,136 @@ impl StatusCounts {
     }
 }
 
-#[derive(Clone, Debug, Default)]
-struct RtThread {
-    /// Node container: a stack under DFS (process back), a queue under
-    /// BFS (process front). Pushes always go to the back.
-    stack: VecDeque<u64>,
-    pending: Option<u64>,
-    ready_at: u64,
-    main_tid: usize,
+/// "No outstanding fetch" sentinel in [`ThreadArray::pending`].
+const NO_PENDING: u64 = u64::MAX;
+
+/// Per-warp thread state in struct-of-arrays layout.
+///
+/// Each per-cycle sweep (scheduling, coalescing, response delivery, LBU
+/// mask building) reads *one* attribute across all 32 threads, so the
+/// attributes live in parallel arrays that each sweep walks linearly.
+/// The `nonempty`/`pending_mask` occupancy bitmaps additionally answer
+/// the aggregate questions (drained? anyone issuable? who can help?)
+/// with bit arithmetic, and let the sweeps visit only the set bits —
+/// in ascending thread order, which keeps every scheduling decision
+/// identical to the old array-of-structs scan.
+#[derive(Clone, Debug)]
+struct ThreadArray {
+    /// Node container per thread: a stack under DFS (process back), a
+    /// queue under BFS (process front). Pushes always go to the back.
+    stacks: Vec<VecDeque<u64>>,
+    /// Outstanding fetch address per thread ([`NO_PENDING`] = none).
+    pending: [u64; WARP_SIZE],
+    /// Cycle each thread's math units are free again.
+    ready_at: [u64; WARP_SIZE],
+    /// Owner of the ray each thread traverses (differs from the thread
+    /// itself after an LBU steal).
+    main_tid: [u8; WARP_SIZE],
+    /// Bit `i` set ⇔ `stacks[i]` is non-empty.
+    nonempty: u32,
+    /// Bit `i` set ⇔ thread `i` has an outstanding fetch.
+    pending_mask: u32,
 }
 
-impl RtThread {
-    fn is_busy(&self) -> bool {
-        !self.stack.is_empty() || self.pending.is_some()
-    }
-
-    fn can_issue(&self, now: u64) -> bool {
-        !self.stack.is_empty() && self.pending.is_none() && self.ready_at <= now
-    }
-
-    fn can_help(&self) -> bool {
-        self.stack.is_empty() && self.pending.is_none()
-    }
-
-    /// The node the thread would process next.
-    fn peek_next(&self, order: TraversalOrder) -> Option<u64> {
-        match order {
-            TraversalOrder::Dfs => self.stack.back().copied(),
-            TraversalOrder::Bfs => self.stack.front().copied(),
+impl ThreadArray {
+    fn new() -> Self {
+        ThreadArray {
+            stacks: (0..WARP_SIZE).map(|_| VecDeque::new()).collect(),
+            pending: [NO_PENDING; WARP_SIZE],
+            ready_at: [0; WARP_SIZE],
+            main_tid: std::array::from_fn(|i| i as u8),
+            nonempty: 0,
+            pending_mask: 0,
         }
     }
 
-    /// Removes and returns the node the thread would process next.
-    fn pop_next(&mut self, order: TraversalOrder) -> Option<u64> {
+    /// Clears all per-thread state; stack capacity is retained so a
+    /// recycled array allocates nothing.
+    fn reset(&mut self) {
+        for s in &mut self.stacks {
+            s.clear();
+        }
+        self.pending = [NO_PENDING; WARP_SIZE];
+        self.ready_at = [0; WARP_SIZE];
+        for (i, m) in self.main_tid.iter_mut().enumerate() {
+            *m = i as u8;
+        }
+        self.nonempty = 0;
+        self.pending_mask = 0;
+    }
+
+    fn busy_mask(&self) -> u32 {
+        self.nonempty | self.pending_mask
+    }
+
+    fn drained(&self) -> bool {
+        self.busy_mask() == 0
+    }
+
+    /// Threads with a non-empty stack and no outstanding fetch. The
+    /// per-thread `ready_at` gate still applies on top of this mask.
+    fn issue_candidates(&self) -> u32 {
+        self.nonempty & !self.pending_mask
+    }
+
+    fn push(&mut self, tid: usize, node: u64) {
+        self.stacks[tid].push_back(node);
+        self.nonempty |= 1 << tid;
+    }
+
+    /// The node thread `tid` would process next.
+    fn peek_next(&self, tid: usize, order: TraversalOrder) -> Option<u64> {
         match order {
-            TraversalOrder::Dfs => self.stack.pop_back(),
-            TraversalOrder::Bfs => self.stack.pop_front(),
+            TraversalOrder::Dfs => self.stacks[tid].back().copied(),
+            TraversalOrder::Bfs => self.stacks[tid].front().copied(),
         }
     }
 
-    /// Removes the node the LBU would steal from this (main) thread.
-    fn steal_node(&mut self, order: TraversalOrder, steal: StealPosition) -> Option<u64> {
-        match (order, steal) {
-            (TraversalOrder::Dfs, StealPosition::Top) => self.stack.pop_back(),
-            (TraversalOrder::Dfs, StealPosition::Bottom) => self.stack.pop_front(),
+    /// Removes and returns the node thread `tid` would process next.
+    fn pop_next(&mut self, tid: usize, order: TraversalOrder) -> Option<u64> {
+        let node = match order {
+            TraversalOrder::Dfs => self.stacks[tid].pop_back(),
+            TraversalOrder::Bfs => self.stacks[tid].pop_front(),
+        };
+        if self.stacks[tid].is_empty() {
+            self.nonempty &= !(1 << tid);
+        }
+        node
+    }
+
+    /// Removes the node the LBU would steal from (main) thread `tid`.
+    fn steal_node(
+        &mut self,
+        tid: usize,
+        order: TraversalOrder,
+        steal: StealPosition,
+    ) -> Option<u64> {
+        let node = match (order, steal) {
+            (TraversalOrder::Dfs, StealPosition::Top) => self.stacks[tid].pop_back(),
+            (TraversalOrder::Dfs, StealPosition::Bottom) => self.stacks[tid].pop_front(),
             // BFS steals from the queue front (§4.2).
-            (TraversalOrder::Bfs, _) => self.stack.pop_front(),
+            (TraversalOrder::Bfs, _) => self.stacks[tid].pop_front(),
+        };
+        if self.stacks[tid].is_empty() {
+            self.nonempty &= !(1 << tid);
         }
+        node
+    }
+
+    fn clear_stack(&mut self, tid: usize) {
+        self.stacks[tid].clear();
+        self.nonempty &= !(1 << tid);
+    }
+
+    fn set_pending(&mut self, tid: usize, addr: u64) {
+        debug_assert_ne!(addr, NO_PENDING, "node address collides with sentinel");
+        self.pending[tid] = addr;
+        self.pending_mask |= 1 << tid;
+    }
+
+    fn clear_pending(&mut self, tid: usize) {
+        self.pending[tid] = NO_PENDING;
+        self.pending_mask &= !(1 << tid);
     }
 }
 
@@ -156,13 +238,15 @@ struct Slot {
     min_thit: [f32; WARP_SIZE],
     best: [Option<RayHit>; WARP_SIZE],
     done_ray: [bool; WARP_SIZE],
-    threads: Vec<RtThread>,
+    threads: ThreadArray,
+    /// Bit `i` set ⇔ thread `i` owns a ray (not masked off).
+    active: u32,
     issued_at: u64,
 }
 
 impl Slot {
     fn drained(&self) -> bool {
-        self.threads.iter().all(|t| !t.is_busy())
+        self.threads.drained()
     }
 }
 
@@ -171,8 +255,10 @@ impl Slot {
 pub struct RtUnit {
     sm_id: usize,
     slots: Vec<Option<Slot>>,
-    responses: BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
-    seq: u64,
+    /// Pending memory responses, keyed on their ready cycle. The
+    /// calendar pops same-cycle responses in issue order, matching the
+    /// sequence-numbered heap it replaced.
+    responses: EventCalendar<(usize, u64)>,
     rr: usize,
     /// Round-robin cursor of the subwarp scheduler
     /// ([`SubwarpMode::OneGroup`]).
@@ -180,10 +266,10 @@ pub struct RtUnit {
     /// Intersection-prediction table, when enabled.
     predictor: Option<Predictor>,
     /// Recycled per-warp thread arrays: retiring a warp returns its
-    /// `Vec<RtThread>` here so the next [`RtUnit::issue`] reuses the
+    /// [`ThreadArray`] here so the next [`RtUnit::issue`] reuses the
     /// allocation (including each thread's stack capacity) instead of
     /// allocating 32 fresh `VecDeque`s per `trace_ray`.
-    thread_pool: Vec<Vec<RtThread>>,
+    thread_pool: Vec<ThreadArray>,
     /// Energy-event counters accumulated by this unit.
     pub events: EnergyEvents,
     /// Total rays dispatched into this unit (active threads across all
@@ -200,8 +286,7 @@ impl RtUnit {
         RtUnit {
             sm_id,
             slots: vec![None; warp_buffer_size],
-            responses: BinaryHeap::new(),
-            seq: 0,
+            responses: EventCalendar::new(),
             rr: 0,
             group_rr: 0,
             predictor: None,
@@ -249,19 +334,13 @@ impl RtUnit {
         self.rays_issued += query.rays.iter().flatten().count() as u64;
         // Reuse a retired warp's thread array (and its stacks' capacity)
         // when one is available.
-        let mut threads = self.thread_pool.pop().unwrap_or_else(|| {
-            (0..WARP_SIZE)
-                .map(|i| RtThread {
-                    main_tid: i,
-                    ..RtThread::default()
-                })
-                .collect()
-        });
-        for (i, t) in threads.iter_mut().enumerate() {
-            t.stack.clear();
-            t.pending = None;
-            t.ready_at = 0;
-            t.main_tid = i;
+        let mut threads = self.thread_pool.pop().unwrap_or_else(ThreadArray::new);
+        threads.reset();
+        let mut active = 0u32;
+        for (i, ray) in query.rays.iter().enumerate() {
+            if ray.is_some() {
+                active |= 1 << i;
+            }
         }
         let mut slot = Slot {
             warp: query.warp,
@@ -271,6 +350,7 @@ impl RtUnit {
             best: [None; WARP_SIZE],
             done_ray: [false; WARP_SIZE],
             threads,
+            active,
             issued_at: now,
         };
         let image = &scene.image;
@@ -312,7 +392,7 @@ impl RtUnit {
                         .intersect(ray, slot.min_thit[i])
                         .is_some()
                 {
-                    slot.threads[i].stack.push_back(image.root_addr());
+                    slot.threads.push(i, image.root_addr());
                     self.events.stack_ops += 1;
                 }
             }
@@ -333,11 +413,8 @@ impl RtUnit {
         retired: &mut Vec<TraceResult>,
     ) {
         // 1. Response FIFO: pop at most one ready response per cycle.
-        if let Some(&Reverse((ready, _, slot, addr))) = self.responses.peek() {
-            if ready <= now {
-                self.responses.pop();
-                self.process_response(slot, addr, now, mem, scene, cfg);
-            }
+        if let Some((_, (slot, addr))) = self.responses.pop_ready(now) {
+            self.process_response(slot, addr, now, mem, scene, cfg);
         }
 
         // 2–3. Warp scheduler + memory scheduler: one coalesced node
@@ -381,14 +458,15 @@ impl RtUnit {
         let mut relax = |t: u64| {
             earliest = Some(earliest.map_or(t, |e| e.min(t)));
         };
-        if let Some(&Reverse((ready, ..))) = self.responses.peek() {
+        if let Some(ready) = self.responses.peek_min() {
             relax(ready.max(now));
         }
         for slot in self.slots.iter().flatten() {
-            for t in &slot.threads {
-                if !t.stack.is_empty() && t.pending.is_none() {
-                    relax(t.ready_at.max(now));
-                }
+            let mut cand = slot.threads.issue_candidates();
+            while cand != 0 {
+                let tid = cand.trailing_zeros() as usize;
+                cand &= cand - 1;
+                relax(slot.threads.ready_at[tid].max(now));
             }
             if policy == TraversalPolicy::CoopRt {
                 let (can, needs) = Self::lbu_masks(slot);
@@ -407,15 +485,10 @@ impl RtUnit {
     pub fn sample_status(&self) -> StatusCounts {
         let mut c = StatusCounts::default();
         for slot in self.slots.iter().flatten() {
-            for (i, t) in slot.threads.iter().enumerate() {
-                if t.is_busy() {
-                    c.busy += 1;
-                } else if slot.rays[i].is_some() {
-                    c.waiting += 1;
-                } else {
-                    c.inactive += 1;
-                }
-            }
+            let busy = slot.threads.busy_mask();
+            c.busy += busy.count_ones() as usize;
+            c.waiting += (slot.active & !busy).count_ones() as usize;
+            c.inactive += (!slot.active & !busy).count_ones() as usize;
         }
         c
     }
@@ -427,15 +500,7 @@ impl RtUnit {
             .iter()
             .flatten()
             .find(|s| s.warp == warp)
-            .map(|s| {
-                let mut mask = 0u32;
-                for (i, t) in s.threads.iter().enumerate() {
-                    if t.is_busy() {
-                        mask |= 1 << i;
-                    }
-                }
-                mask
-            })
+            .map(|s| s.threads.busy_mask())
     }
 
     fn pick_warp(&mut self, now: u64) -> Option<usize> {
@@ -443,9 +508,14 @@ impl RtUnit {
         for k in 0..n {
             let idx = (self.rr + k) % n;
             if let Some(slot) = &self.slots[idx] {
-                if slot.threads.iter().any(|t| t.can_issue(now)) {
-                    self.rr = (idx + 1) % n;
-                    return Some(idx);
+                let mut cand = slot.threads.issue_candidates();
+                while cand != 0 {
+                    let tid = cand.trailing_zeros() as usize;
+                    if slot.threads.ready_at[tid] <= now {
+                        self.rr = (idx + 1) % n;
+                        return Some(idx);
+                    }
+                    cand &= cand - 1;
                 }
             }
         }
@@ -466,16 +536,26 @@ impl RtUnit {
         // Coalesce: the lowest-numbered eligible thread nominates the
         // address; every eligible thread with the same next node joins.
         let order = cfg.traversal_order;
-        let addr = slot
-            .threads
-            .iter()
-            .find(|t| t.can_issue(now))
-            .and_then(|t| t.peek_next(order))
-            .expect("scheduler guaranteed an eligible thread");
-        for t in slot.threads.iter_mut() {
-            if t.can_issue(now) && t.peek_next(order) == Some(addr) {
-                t.pop_next(order);
-                t.pending = Some(addr);
+        let eligible = slot.threads.issue_candidates();
+        let mut addr = None;
+        let mut m = eligible;
+        while m != 0 {
+            let tid = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if slot.threads.ready_at[tid] <= now {
+                addr = slot.threads.peek_next(tid, order);
+                break;
+            }
+        }
+        let addr = addr.expect("scheduler guaranteed an eligible thread");
+        let mut m = eligible;
+        while m != 0 {
+            let tid = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if slot.threads.ready_at[tid] <= now && slot.threads.peek_next(tid, order) == Some(addr)
+            {
+                slot.threads.pop_next(tid, order);
+                slot.threads.set_pending(tid, addr);
                 self.events.stack_ops += 1;
             }
         }
@@ -485,9 +565,7 @@ impl RtUnit {
             .expect("traversal stacks hold valid node addresses")
             .size_bytes();
         let ready = mem.access(self.sm_id, addr, bytes, now);
-        self.seq += 1;
-        self.responses
-            .push(Reverse((ready, self.seq, slot_idx, addr)));
+        self.responses.push(ready, (slot_idx, addr));
     }
 
     fn process_response(
@@ -506,13 +584,16 @@ impl RtUnit {
             .image
             .node_at(addr)
             .expect("response for a valid node");
-        for tid in 0..WARP_SIZE {
-            if slot.threads[tid].pending != Some(addr) {
+        let mut pm = slot.threads.pending_mask;
+        while pm != 0 {
+            let tid = pm.trailing_zeros() as usize;
+            pm &= pm - 1;
+            if slot.threads.pending[tid] != addr {
                 continue;
             }
-            slot.threads[tid].pending = None;
-            slot.threads[tid].ready_at = now + cfg.math_latency;
-            let mt = slot.threads[tid].main_tid;
+            slot.threads.clear_pending(tid);
+            slot.threads.ready_at[tid] = now + cfg.math_latency;
+            let mt = slot.threads.main_tid[tid] as usize;
             if slot.done_ray[mt] {
                 continue; // Any-hit already satisfied for this ray.
             }
@@ -527,7 +608,7 @@ impl RtUnit {
                             f32::INFINITY
                         };
                         if child.bounds.intersect(&ray, limit).is_some() {
-                            slot.threads[tid].stack.push_back(child.addr);
+                            slot.threads.push(tid, child.addr);
                             self.events.stack_ops += 1;
                             if cfg.prefetch_children {
                                 let bytes = scene
@@ -565,9 +646,9 @@ impl RtUnit {
                         }
                         if slot.any_hit {
                             slot.done_ray[mt] = true;
-                            for t in slot.threads.iter_mut() {
-                                if t.main_tid == mt {
-                                    t.stack.clear();
+                            for t in 0..WARP_SIZE {
+                                if slot.threads.main_tid[t] as usize == mt {
+                                    slot.threads.clear_stack(t);
                                 }
                             }
                         }
@@ -578,16 +659,9 @@ impl RtUnit {
     }
 
     fn lbu_masks(slot: &Slot) -> (u32, u32) {
-        let mut can = 0u32;
-        let mut needs = 0u32;
-        for (i, t) in slot.threads.iter().enumerate() {
-            if t.can_help() {
-                can |= 1 << i;
-            } else if !t.stack.is_empty() {
-                needs |= 1 << i;
-            }
-        }
-        (can, needs)
+        // Helpers: empty stack and no fetch in flight. Mains: non-empty
+        // stack (even with a fetch in flight — there is work to share).
+        (!slot.threads.busy_mask(), slot.threads.nonempty)
     }
 
     fn pick_lbu_slot(&self, subwarp: usize) -> Option<usize> {
@@ -626,16 +700,16 @@ impl RtUnit {
                     })
                     .expect("pairs exist, so some group matches");
                 self.group_rr = (chosen.helper / cfg.subwarp_size + 1) % groups;
-                pairs = vec![chosen];
+                pairs = crate::lbu::LbuPairs::single(chosen);
             }
-            for pair in pairs {
-                let main = &mut slot.threads[pair.main];
-                let node = main
-                    .steal_node(cfg.traversal_order, cfg.steal_from)
+            for &pair in &pairs {
+                let node = slot
+                    .threads
+                    .steal_node(pair.main, cfg.traversal_order, cfg.steal_from)
                     .expect("main thread has a non-empty stack");
-                let main_tid = main.main_tid;
-                slot.threads[pair.helper].stack.push_back(node);
-                slot.threads[pair.helper].main_tid = main_tid;
+                let main_tid = slot.threads.main_tid[pair.main];
+                slot.threads.push(pair.helper, node);
+                slot.threads.main_tid[pair.helper] = main_tid;
                 self.events.lbu_moves += 1;
                 self.events.stack_ops += 2;
             }

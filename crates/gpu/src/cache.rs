@@ -1,6 +1,12 @@
-//! Set-associative / fully-associative LRU caches.
-
-use std::collections::{BTreeMap, HashMap};
+//! Set-associative / fully-associative LRU caches over flat way arrays.
+//!
+//! The tag store is two dense arrays (`tags`, `stamps`) indexed by
+//! `set * ways + way` — a hit is a linear tag probe over the set's ways
+//! and an eviction is an `O(ways)` min-stamp scan. No maps, no
+//! per-access allocation: the host-side representation is cache-friendly
+//! while the *modelled* behaviour (true LRU over unique stamps) is
+//! bitwise identical to the previous map-based implementation, which is
+//! what the golden-cycles regression suite pins down.
 
 /// Hit/miss counters of one cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -27,35 +33,6 @@ impl CacheStats {
     }
 }
 
-/// One cache set with true-LRU replacement.
-///
-/// Uses a stamp map plus an ordered index, so even the fully-associative
-/// 512-line L1 of Table 1 replaces in `O(log n)`.
-#[derive(Clone, Debug, Default)]
-struct CacheSet {
-    /// tag -> last-use stamp.
-    lines: HashMap<u64, u64>,
-    /// last-use stamp -> tag (stamps are unique).
-    order: BTreeMap<u64, u64>,
-}
-
-impl CacheSet {
-    fn touch(&mut self, tag: u64, stamp: u64, capacity: usize) -> bool {
-        if let Some(old) = self.lines.insert(tag, stamp) {
-            self.order.remove(&old);
-            self.order.insert(stamp, tag);
-            return true;
-        }
-        self.order.insert(stamp, tag);
-        if self.lines.len() > capacity {
-            let (&oldest, &victim) = self.order.iter().next().expect("set not empty");
-            self.order.remove(&oldest);
-            self.lines.remove(&victim);
-        }
-        false
-    }
-}
-
 /// An LRU cache over fixed-size lines.
 ///
 /// # Examples
@@ -73,9 +50,14 @@ impl CacheSet {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Cache {
-    sets: Vec<CacheSet>,
+    /// Way tags, `set * ways + way`; meaningful only where the matching
+    /// stamp is non-zero.
+    tags: Box<[u64]>,
+    /// Last-use stamps, same indexing; `0` marks an empty way (real
+    /// stamps start at 1).
+    stamps: Box<[u64]>,
     set_count: u64,
-    capacity_per_set: usize,
+    ways: usize,
     line_bytes: u32,
     stamp: u64,
     stats: CacheStats,
@@ -93,7 +75,7 @@ impl Cache {
         assert!(line_bytes > 0, "line size must be positive");
         let total_lines = (total_bytes / line_bytes as u64) as usize;
         assert!(total_lines > 0, "cache must hold at least one line");
-        let (set_count, capacity_per_set) = if assoc == 0 {
+        let (set_count, ways) = if assoc == 0 {
             (1, total_lines)
         } else {
             let assoc = assoc as usize;
@@ -102,9 +84,10 @@ impl Cache {
         };
         assert!(set_count > 0);
         Cache {
-            sets: vec![CacheSet::default(); set_count],
+            tags: vec![0; set_count * ways].into_boxed_slice(),
+            stamps: vec![0; set_count * ways].into_boxed_slice(),
             set_count: set_count as u64,
-            capacity_per_set,
+            ways,
             line_bytes,
             stamp: 0,
             stats: CacheStats::default(),
@@ -119,12 +102,35 @@ impl Cache {
         let set = (line % self.set_count) as usize;
         let tag = line / self.set_count;
         self.stamp += 1;
-        let hit = self.sets[set].touch(tag, self.stamp, self.capacity_per_set);
         self.stats.accesses += 1;
-        if hit {
-            self.stats.hits += 1;
+        let base = set * self.ways;
+        let tags = &mut self.tags[base..base + self.ways];
+        let stamps = &mut self.stamps[base..base + self.ways];
+        // Linear tag probe (tags are unique within a set).
+        for (t, s) in tags.iter().zip(stamps.iter_mut()) {
+            if *s != 0 && *t == tag {
+                *s = self.stamp;
+                self.stats.hits += 1;
+                return true;
+            }
         }
-        hit
+        // Miss: fill an empty way, else evict the LRU way (minimum
+        // stamp; stamps are unique, so the victim is deterministic).
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for (w, s) in stamps.iter().enumerate() {
+            if *s == 0 {
+                victim = w;
+                break;
+            }
+            if *s < oldest {
+                oldest = *s;
+                victim = w;
+            }
+        }
+        tags[victim] = tag;
+        stamps[victim] = self.stamp;
+        false
     }
 
     /// The line size in bytes.
@@ -147,10 +153,7 @@ impl Cache {
 
     /// Clears contents and counters.
     pub fn reset(&mut self) {
-        for s in &mut self.sets {
-            s.lines.clear();
-            s.order.clear();
-        }
+        self.stamps.fill(0);
         self.stamp = 0;
         self.stats = CacheStats::default();
     }
@@ -260,5 +263,122 @@ mod tests {
             }
         }
         assert_eq!(c.stats().hits, 0);
+    }
+
+    /// The previous map-based implementation, kept verbatim as a
+    /// reference oracle: the flat way-array cache must produce the exact
+    /// same hit/miss sequence on any access stream.
+    mod oracle {
+        use std::collections::{BTreeMap, HashMap};
+
+        #[derive(Clone, Debug, Default)]
+        struct CacheSet {
+            lines: HashMap<u64, u64>,
+            order: BTreeMap<u64, u64>,
+        }
+
+        impl CacheSet {
+            fn touch(&mut self, tag: u64, stamp: u64, capacity: usize) -> bool {
+                if let Some(old) = self.lines.insert(tag, stamp) {
+                    self.order.remove(&old);
+                    self.order.insert(stamp, tag);
+                    return true;
+                }
+                self.order.insert(stamp, tag);
+                if self.lines.len() > capacity {
+                    let (&oldest, &victim) = self.order.iter().next().expect("set not empty");
+                    self.order.remove(&oldest);
+                    self.lines.remove(&victim);
+                }
+                false
+            }
+        }
+
+        pub struct MapCache {
+            sets: Vec<CacheSet>,
+            set_count: u64,
+            capacity_per_set: usize,
+            line_bytes: u32,
+            stamp: u64,
+        }
+
+        impl MapCache {
+            pub fn new(total_bytes: u64, assoc: u32, line_bytes: u32) -> Self {
+                let total_lines = (total_bytes / line_bytes as u64) as usize;
+                let (set_count, capacity_per_set) = if assoc == 0 {
+                    (1, total_lines)
+                } else {
+                    (total_lines / assoc as usize, assoc as usize)
+                };
+                MapCache {
+                    sets: vec![CacheSet::default(); set_count],
+                    set_count: set_count as u64,
+                    capacity_per_set,
+                    line_bytes,
+                    stamp: 0,
+                }
+            }
+
+            pub fn access_line(&mut self, line_addr: u64) -> bool {
+                let line = line_addr / self.line_bytes as u64;
+                let set = (line % self.set_count) as usize;
+                let tag = line / self.set_count;
+                self.stamp += 1;
+                self.sets[set].touch(tag, self.stamp, self.capacity_per_set)
+            }
+        }
+    }
+
+    /// Tiny deterministic xorshift64* stream for the oracle tests (the
+    /// workspace is offline; no external PRNG crates).
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn assert_matches_oracle(total_bytes: u64, assoc: u32, line_bytes: u32, seed: u64) {
+        let mut flat = Cache::new(total_bytes, assoc, line_bytes);
+        let mut oracle = oracle::MapCache::new(total_bytes, assoc, line_bytes);
+        let mut state = seed;
+        // A mix of streaming, looping and random accesses over an
+        // address range ~4x the capacity (so evictions are frequent).
+        let span = 4 * total_bytes;
+        for i in 0..20_000u64 {
+            let addr = match i % 3 {
+                0 => xorshift(&mut state) % span,
+                1 => (i * line_bytes as u64) % span, // streaming scan
+                _ => ((i / 7) * line_bytes as u64) % (total_bytes / 2).max(1), // hot loop
+            };
+            assert_eq!(
+                flat.access_line(addr),
+                oracle.access_line(addr),
+                "divergence at access {i} (addr {addr:#x}, geometry \
+                 {total_bytes}B/{assoc}-way/{line_bytes}B lines)"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_map_oracle_set_associative() {
+        assert_matches_oracle(16 * 1024, 4, 64, 0xDEAD_BEEF);
+        assert_matches_oracle(8 * 1024, 2, 128, 0x1234_5678_9ABC);
+        assert_matches_oracle(256, 2, 64, 7);
+    }
+
+    #[test]
+    fn matches_map_oracle_fully_associative() {
+        // The Table 1 L1 shape: fully associative, hundreds of lines.
+        assert_matches_oracle(64 * 1024, 0, 128, 42);
+        assert_matches_oracle(4 * 64, 0, 64, 99);
+    }
+
+    #[test]
+    fn matches_map_oracle_sixteen_way_l2_shape() {
+        // The Table 1 L2 shape (scaled down): 16-way, 128B lines.
+        assert_matches_oracle(128 * 1024, 16, 128, 0xFEED_F00D);
     }
 }

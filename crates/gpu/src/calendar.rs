@@ -1,0 +1,341 @@
+//! A bucketed event calendar (two-level time wheel) for simulation
+//! events keyed on their completion cycle.
+//!
+//! The hot structures of the simulator — pending memory responses in
+//! each RT unit, and the engine's per-SM wake-up times — are priority
+//! queues whose keys are *cycles*: dense, monotonically consumed, and
+//! clustered within a short horizon (cache/DRAM latencies). A
+//! comparison-based heap pays `O(log n)` plus pointer churn per event;
+//! this calendar instead hashes events into per-cycle buckets:
+//!
+//! - a **near wheel** of [`NEAR_SPAN`] one-cycle buckets covering
+//!   `[near_base, near_base + NEAR_SPAN)` — push and pop are O(1)
+//!   (bucket index arithmetic plus a 4-word occupancy bitmap scan);
+//! - a **far level** holding everything beyond the wheel in insertion
+//!   order with a cached minimum — when the wheel drains, it rebases
+//!   onto the earliest far event and the far level cascades down.
+//!
+//! Events at the same cycle pop in push (FIFO) order, which is what
+//! keeps simulation results bitwise identical to the old
+//! `BinaryHeap<(cycle, seq, ..)>` representation: the sequence number is
+//! now implicit in bucket order.
+
+use std::collections::VecDeque;
+
+/// Width of the near wheel, in cycles. Covers every cache latency of
+/// Table 1 and typical DRAM queueing; deeper backlogs overflow to the
+/// far level and cascade back as the wheel advances.
+const NEAR_SPAN: usize = 256;
+const NEAR_WORDS: usize = NEAR_SPAN / 64;
+
+/// A min-priority queue over `(cycle, payload)` with FIFO order among
+/// events of the same cycle.
+///
+/// # Examples
+///
+/// ```
+/// use cooprt_gpu::EventCalendar;
+///
+/// let mut cal = EventCalendar::new();
+/// cal.push(30, "dram fill");
+/// cal.push(10, "l2 fill");
+/// cal.push(10, "second l2 fill");
+/// assert_eq!(cal.peek_min(), Some(10));
+/// assert_eq!(cal.pop_next(), Some((10, "l2 fill"))); // FIFO within a cycle
+/// assert_eq!(cal.pop_next(), Some((10, "second l2 fill")));
+/// assert_eq!(cal.pop_ready(20), None); // next event is at cycle 30
+/// assert_eq!(cal.pop_ready(30), Some((30, "dram fill")));
+/// assert!(cal.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventCalendar<T> {
+    /// One-cycle buckets; bucket `i` holds events at `near_base + i`.
+    near: Vec<VecDeque<T>>,
+    /// Bit `i` set ⇔ `near[i]` is non-empty.
+    near_mask: [u64; NEAR_WORDS],
+    near_base: u64,
+    /// Events at `near_base + NEAR_SPAN` or later (and, rarely, events
+    /// pushed *before* a rebased wheel), in insertion order.
+    far: Vec<(u64, T)>,
+    /// Cached minimum cycle over `far`; `u64::MAX` when `far` is empty.
+    far_min: u64,
+    len: usize,
+}
+
+impl<T> Default for EventCalendar<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventCalendar<T> {
+    /// Creates an empty calendar starting at cycle 0.
+    pub fn new() -> Self {
+        EventCalendar {
+            near: (0..NEAR_SPAN).map(|_| VecDeque::new()).collect(),
+            near_mask: [0; NEAR_WORDS],
+            near_base: 0,
+            far: Vec::new(),
+            far_min: u64::MAX,
+            len: 0,
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queues `value` at `cycle`.
+    pub fn push(&mut self, cycle: u64, value: T) {
+        self.len += 1;
+        if cycle >= self.near_base && cycle - self.near_base < NEAR_SPAN as u64 {
+            let idx = (cycle - self.near_base) as usize;
+            self.near[idx].push_back(value);
+            self.near_mask[idx / 64] |= 1 << (idx % 64);
+        } else {
+            // Beyond the wheel — or (after a far-future rebase) before
+            // it; both are correct in the far level.
+            self.far_min = self.far_min.min(cycle);
+            self.far.push((cycle, value));
+        }
+    }
+
+    /// Earliest queued cycle, if any.
+    pub fn peek_min(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        match self.near_min() {
+            Some(idx) => Some((self.near_base + idx as u64).min(self.far_min)),
+            None => Some(self.far_min),
+        }
+    }
+
+    /// Removes and returns the earliest event (FIFO among events of the
+    /// same cycle).
+    pub fn pop_next(&mut self) -> Option<(u64, T)> {
+        let min = self.peek_min()?;
+        // The wheel and the far level never hold the same cycle (far
+        // events sit either beyond the window or, after a rebase,
+        // strictly below it), so whichever owns `min` is unambiguous.
+        if let Some(idx) = self.near_min() {
+            let t = self.near_base + idx as u64;
+            if t == min {
+                let v = self.near[idx].pop_front().expect("bitmap said non-empty");
+                if self.near[idx].is_empty() {
+                    self.near_mask[idx / 64] &= !(1 << (idx % 64));
+                }
+                self.len -= 1;
+                // Rebase an emptied wheel onto the far backlog so later
+                // pops stay O(1).
+                if self.near_min().is_none() && !self.far.is_empty() {
+                    self.rebase();
+                }
+                return Some((t, v));
+            }
+        }
+        Some(self.pop_far(min))
+    }
+
+    /// [`EventCalendar::pop_next`], but only if the earliest event is
+    /// due at or before `now`.
+    pub fn pop_ready(&mut self, now: u64) -> Option<(u64, T)> {
+        if self.peek_min()? > now {
+            return None;
+        }
+        self.pop_next()
+    }
+
+    /// Drops every queued event.
+    pub fn clear(&mut self) {
+        for b in &mut self.near {
+            b.clear();
+        }
+        self.near_mask = [0; NEAR_WORDS];
+        self.far.clear();
+        self.far_min = u64::MAX;
+        self.len = 0;
+    }
+
+    /// Index of the earliest non-empty near bucket.
+    fn near_min(&self) -> Option<usize> {
+        for (w, &m) in self.near_mask.iter().enumerate() {
+            if m != 0 {
+                return Some(w * 64 + m.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Removes the first far event at exactly `cycle` (FIFO order).
+    fn pop_far(&mut self, cycle: u64) -> (u64, T) {
+        debug_assert_eq!(cycle, self.far_min);
+        let pos = self
+            .far
+            .iter()
+            .position(|(t, _)| *t == cycle)
+            .expect("far_min tracks a live far event");
+        let ev = self.far.remove(pos);
+        self.far_min = self.far.iter().map(|(t, _)| *t).min().unwrap_or(u64::MAX);
+        self.len -= 1;
+        ev
+    }
+
+    /// Moves the near window to start at the earliest far event and
+    /// cascades every far event inside the new window down into it.
+    fn rebase(&mut self) {
+        debug_assert!(self.near_min().is_none());
+        self.near_base = self.far_min;
+        let mut kept = Vec::with_capacity(self.far.len());
+        let mut far_min = u64::MAX;
+        // Drain in insertion order: same-cycle events keep FIFO order.
+        for (t, v) in self.far.drain(..) {
+            if t - self.near_base < NEAR_SPAN as u64 {
+                let idx = (t - self.near_base) as usize;
+                self.near[idx].push_back(v);
+                self.near_mask[idx / 64] |= 1 << (idx % 64);
+            } else {
+                far_min = far_min.min(t);
+                kept.push((t, v));
+            }
+        }
+        self.far = kept;
+        self.far_min = far_min;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_calendar_has_no_events() {
+        let mut c: EventCalendar<u32> = EventCalendar::new();
+        assert!(c.is_empty());
+        assert_eq!(c.peek_min(), None);
+        assert_eq!(c.pop_next(), None);
+        assert_eq!(c.pop_ready(1_000_000), None);
+    }
+
+    #[test]
+    fn pops_in_cycle_order_fifo_within_a_cycle() {
+        let mut c = EventCalendar::new();
+        c.push(5, 'b');
+        c.push(3, 'a');
+        c.push(5, 'c');
+        c.push(900, 'e'); // far level
+        c.push(5, 'd');
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.pop_next(), Some((3, 'a')));
+        assert_eq!(c.pop_next(), Some((5, 'b')));
+        assert_eq!(c.pop_next(), Some((5, 'c')));
+        assert_eq!(c.pop_next(), Some((5, 'd')));
+        assert_eq!(c.pop_next(), Some((900, 'e')));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn pop_ready_respects_now() {
+        let mut c = EventCalendar::new();
+        c.push(10, ());
+        assert_eq!(c.pop_ready(9), None);
+        assert_eq!(c.pop_ready(10), Some((10, ())));
+    }
+
+    #[test]
+    fn far_events_cascade_into_the_wheel() {
+        let mut c = EventCalendar::new();
+        // Everything far beyond the initial window.
+        for i in 0..10u64 {
+            c.push(10_000 + i * 100, i);
+        }
+        for i in 0..10u64 {
+            assert_eq!(c.pop_next(), Some((10_000 + i * 100, i)));
+        }
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn push_before_a_rebased_wheel_still_pops_in_order() {
+        let mut c = EventCalendar::new();
+        c.push(5_000, 'z');
+        assert_eq!(c.pop_next(), Some((5_000, 'z'))); // rebases to 5 000
+        c.push(5_010, 'b');
+        // An earlier event arrives after the rebase (e.g. an SM woken by
+        // another queue issues a fetch completing sooner).
+        c.push(4_900, 'a');
+        assert_eq!(c.peek_min(), Some(4_900));
+        assert_eq!(c.pop_next(), Some((4_900, 'a')));
+        assert_eq!(c.pop_next(), Some((5_010, 'b')));
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_reference_heap() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut cal = EventCalendar::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut now = 0u64;
+        for step in 0..50_000u64 {
+            let r = rand();
+            if r % 3 != 0 {
+                // Push at now + latency; occasionally very far out.
+                let lat = match r % 7 {
+                    0 => 2_000 + r % 5_000, // saturated-DRAM backlog
+                    _ => 1 + r % 300,
+                };
+                seq += 1;
+                cal.push(now + lat, seq);
+                heap.push(Reverse((now + lat, seq)));
+            } else {
+                let got = cal.pop_ready(now);
+                let want = match heap.peek() {
+                    Some(&Reverse((t, s))) if t <= now => {
+                        heap.pop();
+                        Some((t, s))
+                    }
+                    _ => None,
+                };
+                assert_eq!(got, want, "divergence at step {step}, now {now}");
+            }
+            // Advance time like the engine does: sometimes +1, sometimes
+            // skipping straight to the next event.
+            now += match r % 5 {
+                0 => cal.peek_min().map_or(1, |t| t.saturating_sub(now).max(1)),
+                _ => 1,
+            };
+            assert_eq!(cal.len(), heap.len());
+            assert_eq!(
+                cal.peek_min(),
+                heap.peek().map(|&Reverse((t, _))| t),
+                "peek divergence at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut c = EventCalendar::new();
+        c.push(1, 1);
+        c.push(10_000, 2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.peek_min(), None);
+        c.push(3, 9);
+        assert_eq!(c.pop_next(), Some((3, 9)));
+    }
+}

@@ -5,8 +5,15 @@
 //! fill instead of issuing a duplicate memory request. Without this,
 //! CoopRT's burst of parallel node fetches would overcount DRAM traffic
 //! whenever different warps (or SMs, at the L2) chase the same subtree.
-
-use std::collections::HashMap;
+//!
+//! The table is a fixed-capacity slot array (`lines`/`done` parallel
+//! arrays plus a free list) — like the hardware it models, and unlike
+//! the previous `HashMap`, it performs no per-access hashing or
+//! allocation. Lookups are a linear scan over at most `capacity` slots
+//! (32 at the L1, 128 at the L2 — a handful of cache lines of host
+//! memory). Merge/allocate/eviction behaviour is bitwise identical to
+//! the map-based model, including the deterministic line-index
+//! tie-break for equal completion times.
 
 /// Counters of MSHR behaviour.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -16,6 +23,8 @@ pub struct MshrStats {
     /// Misses merged into an in-flight fill.
     pub merges: u64,
 }
+
+const EMPTY: u64 = u64::MAX;
 
 /// A table of in-flight line fills: line index → completion cycle.
 ///
@@ -34,8 +43,12 @@ pub struct MshrStats {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Mshr {
-    inflight: HashMap<u64, u64>,
-    capacity: usize,
+    /// Line index per slot; [`EMPTY`] marks a free slot.
+    lines: Box<[u64]>,
+    /// Completion cycle per slot (meaningful only for occupied slots).
+    done: Box<[u64]>,
+    /// Indices of free slots.
+    free: Vec<u32>,
     stats: MshrStats,
 }
 
@@ -48,8 +61,9 @@ impl Mshr {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR table needs at least one entry");
         Mshr {
-            inflight: HashMap::new(),
-            capacity,
+            lines: vec![EMPTY; capacity].into_boxed_slice(),
+            done: vec![0; capacity].into_boxed_slice(),
+            free: (0..capacity as u32).rev().collect(),
             stats: MshrStats::default(),
         }
     }
@@ -57,17 +71,19 @@ impl Mshr {
     /// If a fill for `line` is in flight at time `now`, returns its
     /// completion cycle (a merge). Expired entries are evicted lazily.
     pub fn lookup(&mut self, line: u64, now: u64) -> Option<u64> {
-        match self.inflight.get(&line) {
-            Some(&done) if done > now => {
-                self.stats.merges += 1;
-                Some(done)
+        debug_assert_ne!(line, EMPTY, "line index collides with the free marker");
+        for i in 0..self.lines.len() {
+            if self.lines[i] == line {
+                if self.done[i] > now {
+                    self.stats.merges += 1;
+                    return Some(self.done[i]);
+                }
+                self.lines[i] = EMPTY;
+                self.free.push(i as u32);
+                return None;
             }
-            Some(_) => {
-                self.inflight.remove(&line);
-                None
-            }
-            None => None,
         }
+        None
     }
 
     /// Records a new in-flight fill for `line` completing at `done`.
@@ -75,22 +91,42 @@ impl Mshr {
     /// If the table is full, completed entries are reclaimed first; if
     /// all entries are still pending, the *earliest-completing* one is
     /// dropped (it stops merging future requests — a conservative,
-    /// deadlock-free approximation of MSHR back-pressure).
+    /// deadlock-free approximation of MSHR back-pressure). Equal
+    /// completion times are tie-broken on the line index, keeping
+    /// whole-simulation results independent of which thread (or process)
+    /// ran the simulation.
     pub fn insert(&mut self, line: u64, done: u64, now: u64) {
         self.stats.allocations += 1;
-        if self.inflight.len() >= self.capacity {
-            self.inflight.retain(|_, &mut d| d > now);
-        }
-        if self.inflight.len() >= self.capacity {
-            // Tie-break equal completion times on the line index: the
-            // hash map's iteration order is randomly seeded, and letting
-            // it pick the victim makes whole-simulation results depend
-            // on which thread (or process) ran the simulation.
-            if let Some((&victim, _)) = self.inflight.iter().min_by_key(|(&line, &d)| (d, line)) {
-                self.inflight.remove(&victim);
+        if self.free.is_empty() {
+            // Reclaim completed fills.
+            for i in 0..self.lines.len() {
+                if self.lines[i] != EMPTY && self.done[i] <= now {
+                    self.lines[i] = EMPTY;
+                    self.free.push(i as u32);
+                }
             }
         }
-        self.inflight.insert(line, done);
+        if self.free.is_empty() {
+            // All pending: drop the earliest-completing entry, line
+            // index breaking ties.
+            let victim = (0..self.lines.len())
+                .filter(|&i| self.lines[i] != EMPTY)
+                .min_by_key(|&i| (self.done[i], self.lines[i]))
+                .expect("full table has occupied slots");
+            self.lines[victim] = EMPTY;
+            self.free.push(victim as u32);
+        }
+        // Update in place if the line is already tracked (matches the
+        // map-based model's insert-overwrite semantics).
+        for i in 0..self.lines.len() {
+            if self.lines[i] == line {
+                self.done[i] = done;
+                return;
+            }
+        }
+        let slot = self.free.pop().expect("a free slot was ensured above") as usize;
+        self.lines[slot] = line;
+        self.done[slot] = done;
     }
 
     /// MSHR counters.
@@ -101,7 +137,7 @@ impl Mshr {
     /// Number of fills currently tracked (including possibly expired
     /// entries awaiting lazy eviction).
     pub fn occupancy(&self) -> usize {
-        self.inflight.len()
+        self.lines.len() - self.free.len()
     }
 }
 
@@ -170,6 +206,71 @@ mod tests {
         let s = m.stats();
         assert_eq!(s.allocations, 2);
         assert_eq!(s.merges, 1);
+    }
+
+    #[test]
+    fn eviction_tie_break_is_on_line_index() {
+        // Three pending fills, all completing at the same cycle: the
+        // victim must be the smallest line index, regardless of
+        // insertion order or slot placement.
+        let mut m = Mshr::new(3);
+        m.insert(30, 500, 0);
+        m.insert(10, 500, 0);
+        m.insert(20, 500, 0);
+        m.insert(40, 600, 1); // full of pending fills: drops line 10
+        assert_eq!(m.lookup(10, 2), None, "smallest line index evicted");
+        assert_eq!(m.lookup(30, 2), Some(500));
+        assert_eq!(m.lookup(20, 2), Some(500));
+        assert_eq!(m.lookup(40, 2), Some(600));
+        // Completion time still dominates the tie-break: with lines 20
+        // (done 500) and 5 (done 800) pending, the earlier-completing
+        // line 20 goes first even though 5 < 20.
+        let mut m = Mshr::new(2);
+        m.insert(20, 500, 0);
+        m.insert(5, 800, 0);
+        m.insert(6, 900, 1);
+        assert_eq!(m.lookup(20, 2), None, "earliest completion evicted");
+        assert_eq!(m.lookup(5, 2), Some(800));
+    }
+
+    #[test]
+    fn full_table_merge_vs_allocate() {
+        // The merge path must keep working while the table is saturated:
+        // a lookup on a tracked line merges (no allocation), a miss on
+        // an untracked line allocates and forces the eviction path.
+        let mut m = Mshr::new(2);
+        m.insert(1, 400, 0);
+        m.insert(2, 900, 0);
+        assert_eq!(m.occupancy(), 2);
+        // Merge against a full table: hits the in-flight fill.
+        assert_eq!(m.lookup(1, 10), Some(400));
+        assert_eq!(m.stats().merges, 1);
+        assert_eq!(m.stats().allocations, 2);
+        // Allocate against a full table of pending fills: line 1
+        // (earliest completion) is dropped, and later misses on it
+        // re-allocate instead of merging.
+        m.insert(3, 700, 10);
+        assert_eq!(m.stats().allocations, 3);
+        assert_eq!(m.lookup(1, 20), None);
+        assert_eq!(m.occupancy(), 2);
+        // After the evicted line's would-have-been fill time, a fresh
+        // insert for it is a plain allocation.
+        m.insert(1, 1200, 950); // entry 2 (done 900) reclaimed first
+        assert_eq!(m.lookup(1, 960), Some(1200));
+        assert_eq!(m.lookup(2, 960), None, "completed entry was reclaimed");
+        assert_eq!(m.lookup(3, 960), None, "completed entry expired lazily");
+    }
+
+    #[test]
+    fn reinserting_a_tracked_line_updates_in_place() {
+        // HashMap-insert parity: inserting a line that is already
+        // tracked overwrites its completion cycle without consuming a
+        // second slot.
+        let mut m = Mshr::new(4);
+        m.insert(7, 300, 0);
+        m.insert(7, 450, 10);
+        assert_eq!(m.occupancy(), 1);
+        assert_eq!(m.lookup(7, 400), Some(450));
     }
 
     #[test]
