@@ -19,4 +19,13 @@ cargo test --offline --quiet --workspace
 echo "==> simperf --smoke"
 cargo bench --offline -p cooprt-bench --bench simperf -- --smoke
 
+echo "==> telemetry smoke (trace_export --check)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --offline --release --example trace_export -- \
+    --scene wknd --policy cooprt --res 32 --detail 8 \
+    --out-dir "$smoke_dir" --check
+test -s "$smoke_dir/wknd_cooprt.trace.json"
+test -s "$smoke_dir/METRICS.json"
+
 echo "CI green."

@@ -17,10 +17,17 @@
 //! `--smoke` runs a two-scene, low-resolution edition — same passes,
 //! same determinism asserts, no JSON — so CI can exercise this harness
 //! in seconds (see `ci.sh`).
+//!
+//! The JSON document goes through the shared
+//! [`cooprt_telemetry::JsonWriter`] (byte-compatible with the layout
+//! this bench has always produced), and the bench phases are timed with
+//! a [`cooprt_telemetry::Profiler`] so the wall clocks in the report
+//! come from the same spans that are printed.
 
 use cooprt_bench::{banner, default_detail, default_res, parallel, run_at, scene_list};
 use cooprt_core::{FrameResult, GpuConfig, ShaderKind, TraversalPolicy};
 use cooprt_scenes::{Scene, SceneId};
+use cooprt_telemetry::{JsonWriter, Profiler};
 use std::time::Instant;
 
 struct Row {
@@ -35,13 +42,6 @@ struct LadderStep {
     threads: usize,
     secs: f64,
     speedup: f64,
-}
-
-fn json_escape_free(s: &str) -> &str {
-    debug_assert!(s
-        .chars()
-        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
-    s
 }
 
 fn main() {
@@ -72,9 +72,11 @@ fn main() {
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     let workers = parallel::threads();
 
-    let t0 = Instant::now();
-    let scenes: Vec<Scene> = parallel::par_map(&ids, workers, |_, &id| id.build(detail));
-    let build_secs = t0.elapsed().as_secs_f64();
+    let mut profiler = Profiler::new();
+    let scenes: Vec<Scene> = profiler.time("suite_build", || {
+        parallel::par_map(&ids, workers, |_, &id| id.build(detail))
+    });
+    let build_secs = profiler.secs("suite_build").unwrap_or(0.0);
     println!("built {} scenes in {build_secs:.2}s", scenes.len());
 
     let jobs: Vec<(usize, TraversalPolicy)> = (0..scenes.len())
@@ -83,23 +85,24 @@ fn main() {
 
     // Pass 1: sequential, timing each cell for its throughput row. This
     // is also the one-worker rung of the scaling ladder.
-    let seq_start = Instant::now();
     let mut rows: Vec<Row> = Vec::with_capacity(jobs.len());
     let mut seq_results: Vec<FrameResult> = Vec::with_capacity(jobs.len());
-    for &(i, policy) in &jobs {
-        let t = Instant::now();
-        let r = run_at(&scenes[i], &cfg, policy, kind, res);
-        let wall_secs = t.elapsed().as_secs_f64();
-        rows.push(Row {
-            scene: ids[i].name(),
-            policy: policy.label(),
-            cycles: r.cycles,
-            rays: r.rays,
-            wall_secs,
-        });
-        seq_results.push(r);
-    }
-    let seq_secs = seq_start.elapsed().as_secs_f64();
+    profiler.time("sequential_pass", || {
+        for &(i, policy) in &jobs {
+            let t = Instant::now();
+            let r = run_at(&scenes[i], &cfg, policy, kind, res);
+            let wall_secs = t.elapsed().as_secs_f64();
+            rows.push(Row {
+                scene: ids[i].name(),
+                policy: policy.label(),
+                cycles: r.cycles,
+                rays: r.rays,
+                wall_secs,
+            });
+            seq_results.push(r);
+        }
+    });
+    let seq_secs = profiler.secs("sequential_pass").unwrap_or(0.0);
 
     // Scaling ladder: the same matrix through the worker pool at each
     // power of two up to the default worker count. At least one pooled
@@ -127,6 +130,7 @@ fn main() {
             run_at(&scenes[i], &cfg, policy, kind, res)
         });
         let secs = start.elapsed().as_secs_f64();
+        profiler.record(&format!("pooled_pass_{t}_threads"), secs);
         for (s, p) in seq_results.iter().zip(&pooled) {
             assert_eq!(s.image, p.image, "pooled runner must be bitwise identical");
             assert_eq!(s.cycles, p.cycles);
@@ -188,43 +192,44 @@ fn main() {
         return;
     }
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str(&format!("  \"resolution\": {res},\n"));
-    json.push_str(&format!("  \"detail\": {detail},\n"));
-    json.push_str(&format!("  \"threads\": {workers},\n"));
-    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
-    json.push_str(&format!("  \"suite_build_secs\": {build_secs:.6},\n"));
-    json.push_str(&format!("  \"sequential_secs\": {seq_secs:.6},\n"));
-    json.push_str(&format!("  \"parallel_secs\": {par_secs:.6},\n"));
-    json.push_str(&format!("  \"matrix_speedup\": {matrix_speedup:.4},\n"));
-    json.push_str("  \"thread_ladder\": [\n");
-    for (k, s) in ladder.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"threads\": {}, \"secs\": {:.6}, \"speedup\": {:.4}}}{}\n",
-            s.threads,
-            s.secs,
-            s.speedup,
-            if k + 1 == ladder.len() { "" } else { "," },
-        ));
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_u64("resolution", res as u64);
+    w.field_u64("detail", u64::from(detail));
+    w.field_u64("threads", workers as u64);
+    w.field_u64("host_parallelism", host as u64);
+    w.field_f64("suite_build_secs", build_secs, 6);
+    w.field_f64("sequential_secs", seq_secs, 6);
+    w.field_f64("parallel_secs", par_secs, 6);
+    w.field_f64("matrix_speedup", matrix_speedup, 4);
+    w.begin_array("thread_ladder");
+    for s in &ladder {
+        w.begin_inline_object();
+        w.field_u64("threads", s.threads as u64);
+        w.field_f64("secs", s.secs, 6);
+        w.field_f64("speedup", s.speedup, 4);
+        w.end_object();
     }
-    json.push_str("  ],\n");
-    json.push_str("  \"scenes\": [\n");
-    for (k, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"scene\": \"{}\", \"policy\": \"{}\", \"cycles\": {}, \"rays\": {}, \
-             \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.1}, \"rays_per_sec\": {:.1}}}{}\n",
-            json_escape_free(r.scene),
-            json_escape_free(r.policy),
-            r.cycles,
-            r.rays,
-            r.wall_secs,
+    w.end_array();
+    w.begin_array("scenes");
+    for r in &rows {
+        w.begin_inline_object();
+        w.field_str("scene", r.scene);
+        w.field_str("policy", r.policy);
+        w.field_u64("cycles", r.cycles);
+        w.field_u64("rays", r.rays);
+        w.field_f64("wall_secs", r.wall_secs, 6);
+        w.field_f64(
+            "cycles_per_sec",
             r.cycles as f64 / r.wall_secs.max(1e-12),
-            r.rays as f64 / r.wall_secs.max(1e-12),
-            if k + 1 == rows.len() { "" } else { "," },
-        ));
+            1,
+        );
+        w.field_f64("rays_per_sec", r.rays as f64 / r.wall_secs.max(1e-12), 1);
+        w.end_object();
     }
-    json.push_str("  ]\n}\n");
+    w.end_array();
+    w.end_object();
+    let json = w.finish();
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simperf.json");
     std::fs::write(path, &json).expect("write BENCH_simperf.json");

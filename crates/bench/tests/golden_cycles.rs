@@ -12,9 +12,16 @@
 //!
 //! The parameters are hard-coded — `COOPRT_RES` / `COOPRT_DETAIL` are
 //! ignored — so the suite means the same thing in every environment.
+//!
+//! Every run here executes with the sim-time event tracer **enabled**
+//! (capacity-limited so memory stays bounded): telemetry is contractually
+//! observational, so the cycle counts must stay bitwise identical to the
+//! untraced golden values. Any drift with tracing on means an
+//! instrumentation point perturbed simulation behaviour.
 
-use cooprt_core::{GpuConfig, ShaderKind, TraversalPolicy};
+use cooprt_core::{GpuConfig, ShaderKind, Simulation, TraversalPolicy};
 use cooprt_scenes::SceneId;
+use cooprt_telemetry::Tracer;
 
 const RES: usize = 96;
 const DETAIL: u32 = 16;
@@ -38,6 +45,11 @@ const GOLDEN: &[(SceneId, u64, u64)] = &[
     (SceneId::Robot, 62533, 26894),
 ];
 
+/// Trace-buffer capacity per run: small enough that the 15 scene tests
+/// can run concurrently, large enough that every run records events
+/// (overflow is counted, and the emission path is identical either way).
+const TRACE_CAPACITY: usize = 200_000;
+
 fn check(id: SceneId, base_golden: u64, coop_golden: u64) {
     let scene = id.build(DETAIL);
     let cfg = GpuConfig::rtx2060();
@@ -45,11 +57,20 @@ fn check(id: SceneId, base_golden: u64, coop_golden: u64) {
         (TraversalPolicy::Baseline, base_golden),
         (TraversalPolicy::CoopRt, coop_golden),
     ] {
-        let r = cooprt_bench::run_at(&scene, &cfg, policy, ShaderKind::PathTrace, RES);
+        let tracer = Tracer::with_capacity(TRACE_CAPACITY);
+        let r = Simulation::new(&scene, &cfg, policy)
+            .with_tracer(tracer.clone())
+            .run_frame(ShaderKind::PathTrace, RES, RES);
         assert_eq!(
             r.cycles, golden,
             "{id} {policy:?}: simulated cycle count drifted from the \
-             golden value — a hot-path change altered behaviour",
+             golden value — a hot-path change altered behaviour (the \
+             tracer was enabled; telemetry must be purely observational)",
+        );
+        let log = tracer.take();
+        assert!(
+            !log.events.is_empty(),
+            "{id} {policy:?}: the enabled tracer recorded no events"
         );
     }
 }

@@ -1,0 +1,64 @@
+//! Counter-reset hygiene for the unified metrics registry.
+//!
+//! Every statistics family in a `FrameResult` is per-frame *by
+//! construction*: `Simulation::run_frame` builds a fresh `Engine` (and
+//! with it a fresh memory hierarchy, energy-event set, stall breakdown
+//! and latency collection) for every frame, so no counter can leak from
+//! one frame into the next. This suite enforces that contract at the
+//! report level: two identical back-to-back frames must serialize to
+//! *identical* metrics documents.
+
+use cooprt_core::{GpuConfig, MetricsReport, ShaderKind, Simulation, TraversalPolicy};
+use cooprt_scenes::SceneId;
+use cooprt_telemetry::parse_json;
+
+fn report_for_one_frame() -> String {
+    let scene = SceneId::Wknd.build(8);
+    let cfg = GpuConfig::small(2);
+    let frame = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
+        ShaderKind::PathTrace,
+        16,
+        16,
+    );
+    let mut report = MetricsReport::new("wknd");
+    report.add_frame("wknd/coop", &frame);
+    report.to_json()
+}
+
+#[test]
+fn identical_frames_report_identical_metrics() {
+    let first = report_for_one_frame();
+    let second = report_for_one_frame();
+    assert_eq!(
+        first, second,
+        "two identical back-to-back frames must produce byte-identical \
+         metrics reports — a counter leaked state between frames"
+    );
+    // And the document is well-formed JSON.
+    parse_json(&first).expect("metrics report must be valid JSON");
+}
+
+#[test]
+fn accumulated_runs_scale_with_frame_count() {
+    // `run_accumulated`-style repetition: the same frame simulated
+    // twice reports exactly 2x the (deterministic) per-frame counters.
+    let scene = SceneId::Ship.build(8);
+    let cfg = GpuConfig::small(2);
+    let one = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::PathTrace,
+        16,
+        16,
+    );
+    let two = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
+        ShaderKind::PathTrace,
+        16,
+        16,
+    );
+    assert_eq!(one.cycles, two.cycles);
+    assert_eq!(one.rays, two.rays);
+    assert_eq!(one.mem, two.mem);
+    assert_eq!(one.events, two.events);
+    assert_eq!(one.stalls.rt, two.stalls.rt);
+    assert_eq!(one.stalls.mem, two.stalls.mem);
+    assert_eq!(one.intervals.samples, two.intervals.samples);
+}

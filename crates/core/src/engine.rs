@@ -10,6 +10,7 @@ use crate::shader::{ShaderKind, ShaderThread};
 use cooprt_gpu::{EnergyEvents, EnergyReport, EventCalendar, MemStats, MemoryHierarchy};
 use cooprt_math::Rgb;
 use cooprt_scenes::Scene;
+use cooprt_telemetry::{EventKind, Tracer};
 use std::collections::VecDeque;
 
 /// Cycles lost to each instruction class (Fig. 1 of the paper).
@@ -114,6 +115,47 @@ impl ActivitySeries {
     }
 }
 
+/// One interval sample of machine-wide counters (AerialVision-style
+/// time series). All counter fields are **cumulative** totals at
+/// `cycle`; per-interval rates (e.g. miss rate over the last window)
+/// are differences between consecutive samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntervalSample {
+    /// Sample time.
+    pub cycle: u64,
+    /// Threads with non-empty stacks or outstanding fetches.
+    pub busy: usize,
+    /// Active threads that finished early and wait for their warp.
+    pub waiting: usize,
+    /// Threads masked off by SIMT divergence.
+    pub inactive: usize,
+    /// Occupied warp-buffer slots summed over all RT units.
+    pub warp_slots_occupied: usize,
+    /// Cumulative L1 accesses (all SMs).
+    pub l1_accesses: u64,
+    /// Cumulative L1 hits (all SMs).
+    pub l1_hits: u64,
+    /// Cumulative L2 accesses.
+    pub l2_accesses: u64,
+    /// Cumulative L2 hits.
+    pub l2_hits: u64,
+    /// Cumulative bytes read from DRAM.
+    pub dram_bytes: u64,
+    /// Cumulative DRAM channel-busy cycles (summed over channels).
+    pub dram_busy_cycles: u64,
+}
+
+/// The interval-sampled counter series of one simulation: the data
+/// behind miss-rate / bandwidth / occupancy time-series plots.
+#[derive(Clone, Debug, Default)]
+pub struct IntervalSeries {
+    /// Sampling interval in cycles (same clock as
+    /// [`ActivitySeries::interval`]).
+    pub interval: u64,
+    /// Samples in time order, counters cumulative at each sample.
+    pub samples: Vec<IntervalSample>,
+}
+
 /// One timeline sample of a traced warp (Fig. 11): which threads are
 /// traversing at `cycle`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -151,6 +193,9 @@ pub struct FrameResult {
     pub stalls: StallBreakdown,
     /// Thread-activity samples (Figs. 2, 4, 10).
     pub activity: ActivitySeries,
+    /// Interval-sampled machine counters (cache hit rates, DRAM
+    /// bandwidth, warp-buffer occupancy over time).
+    pub intervals: IntervalSeries,
     /// Latency of the slowest warp, cycles (Fig. 14).
     pub slowest_warp_cycles: u64,
     /// DRAM channel utilization over the frame (§7.4).
@@ -195,6 +240,7 @@ pub struct Simulation<'s> {
     policy: TraversalPolicy,
     timeline_warp: Option<usize>,
     sample_salt: u64,
+    tracer: Tracer,
 }
 
 impl<'s> Simulation<'s> {
@@ -207,7 +253,20 @@ impl<'s> Simulation<'s> {
             policy,
             timeline_warp: None,
             sample_salt: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a sim-time event tracer: the engine hands clones to
+    /// every RT unit and the memory hierarchy, and cycle-stamped events
+    /// accumulate in the tracer's shared buffer (drain with
+    /// [`Tracer::take`] after the run). Tracing is purely
+    /// observational: cycle counts are bitwise identical with it on or
+    /// off — the `golden_cycles` suite in `cooprt-bench` runs fully
+    /// traced to enforce exactly that.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Sets the per-sample RNG salt (use the sample index when
@@ -226,6 +285,16 @@ impl<'s> Simulation<'s> {
     /// sample is an independent single-threaded engine, and the
     /// accumulation happens in ascending sample order afterwards, so
     /// the result is bitwise identical to the sequential path.
+    ///
+    /// Counter hygiene: each per-sample [`FrameResult`] carries
+    /// per-frame counters only. Every statistics family
+    /// ([`MemStats`](cooprt_gpu::MemStats), [`EnergyEvents`],
+    /// [`StallBreakdown`], [`crate::TraceLatencies`],
+    /// [`crate::PredictorStats`], [`IntervalSeries`]) lives inside the
+    /// per-sample `Engine`, which this method constructs fresh for
+    /// every sample — there is no cross-frame state to reset. The
+    /// `metrics_report` suite in `cooprt-bench` pins this: identical
+    /// back-to-back frames serialize to identical metrics reports.
     ///
     /// # Panics
     ///
@@ -280,6 +349,12 @@ impl<'s> Simulation<'s> {
 
     /// Simulates one `width x height` frame (1 sample per pixel) with
     /// the given shader and returns all measurements.
+    ///
+    /// Every counter in the returned [`FrameResult`] is per-frame by
+    /// construction: a fresh `Engine` (with a fresh memory hierarchy
+    /// and statistics state) is built for each call, so repeated calls
+    /// on the same `Simulation` are independent and — the simulator
+    /// being deterministic — identical.
     ///
     /// # Panics
     ///
@@ -350,8 +425,10 @@ struct Engine<'s> {
     /// every SM each skip.
     wake: EventCalendar<u32>,
     mem: MemoryHierarchy,
+    tracer: Tracer,
     stalls: StallBreakdown,
     activity: ActivitySeries,
+    intervals: IntervalSeries,
     timeline_warp: Option<usize>,
     timeline: Vec<TimelineSample>,
     retired_buf: Vec<TraceResult>,
@@ -374,13 +451,18 @@ impl<'s> Engine<'s> {
             .collect();
         let sm_count = cfg.sm_count();
         let sms: Vec<Sm> = (0..sm_count)
-            .map(|i| Sm {
-                rt: RtUnit::for_config(i, &cfg),
-                queue: VecDeque::new(),
-                running: Vec::new(),
+            .map(|i| {
+                let mut rt = RtUnit::for_config(i, &cfg);
+                rt.set_tracer(sim.tracer.clone());
+                Sm {
+                    rt,
+                    queue: VecDeque::new(),
+                    running: Vec::new(),
+                }
             })
             .collect();
-        let mem = MemoryHierarchy::new(&cfg.mem);
+        let mut mem = MemoryHierarchy::new(&cfg.mem);
+        mem.set_tracer(sim.tracer.clone());
         let interval = cfg.sample_interval.max(1);
         let sm_next = vec![0u64; sm_count];
         Engine {
@@ -396,8 +478,13 @@ impl<'s> Engine<'s> {
             sm_next,
             wake: EventCalendar::new(),
             mem,
+            tracer: sim.tracer.clone(),
             stalls: StallBreakdown::default(),
             activity: ActivitySeries {
+                interval,
+                samples: Vec::new(),
+            },
+            intervals: IntervalSeries {
                 interval,
                 samples: Vec::new(),
             },
@@ -560,6 +647,10 @@ impl<'s> Engine<'s> {
                     break;
                 };
                 self.warps[w].started = now;
+                self.tracer.emit(now, || EventKind::WarpIssue {
+                    sm: sm_idx as u32,
+                    warp: w as u32,
+                });
                 if self.warps[w].needs_raygen {
                     self.warps[w].phase = Phase::Raygen {
                         until: now + self.cfg.raygen_cycles,
@@ -624,11 +715,16 @@ impl<'s> Engine<'s> {
 
             // Reap finished warps.
             let warps = &self.warps;
+            let tracer = &self.tracer;
             let before = self.sms[sm_idx].running.len();
             let mut slowest = self.slowest_warp;
             self.sms[sm_idx].running.retain(|&w| {
                 if warps[w].phase == Phase::Done {
                     slowest = slowest.max(warps[w].finished.saturating_sub(warps[w].started));
+                    tracer.emit(now, || EventKind::WarpRetire {
+                        sm: sm_idx as u32,
+                        warp: w as u32,
+                    });
                     false
                 } else {
                     true
@@ -745,17 +841,33 @@ impl<'s> Engine<'s> {
 
     fn take_sample(&mut self, cycle: u64) {
         let mut agg = StatusCounts::default();
+        let mut occupied = 0usize;
         for sm in &self.sms {
             let s = sm.rt.sample_status();
             agg.busy += s.busy;
             agg.waiting += s.waiting;
             agg.inactive += s.inactive;
+            occupied += sm.rt.occupied();
         }
         self.activity.samples.push(ActivitySample {
             cycle,
             busy: agg.busy,
             waiting: agg.waiting,
             inactive: agg.inactive,
+        });
+        let mem = self.mem.stats();
+        self.intervals.samples.push(IntervalSample {
+            cycle,
+            busy: agg.busy,
+            waiting: agg.waiting,
+            inactive: agg.inactive,
+            warp_slots_occupied: occupied,
+            l1_accesses: mem.l1.accesses,
+            l1_hits: mem.l1.hits,
+            l2_accesses: mem.l2.accesses,
+            l2_hits: mem.l2.hits,
+            dram_bytes: mem.dram_bytes,
+            dram_busy_cycles: mem.dram.busy_cycles,
         });
     }
 
@@ -798,6 +910,7 @@ impl<'s> Engine<'s> {
             energy,
             stalls: self.stalls,
             activity: self.activity,
+            intervals: self.intervals,
             slowest_warp_cycles: slowest,
             dram_utilization: self.mem.dram_utilization(now),
             predictor,

@@ -50,6 +50,7 @@ pub mod config;
 pub mod engine;
 pub mod latency;
 pub mod lbu;
+pub mod metrics;
 pub mod parallel;
 pub mod predictor;
 pub mod rtunit;
@@ -59,9 +60,11 @@ pub use config::{
     GpuConfig, StealPosition, SubwarpMode, TraversalOrder, TraversalPolicy, WarpTiling, WARP_SIZE,
 };
 pub use engine::{
-    ActivitySample, ActivitySeries, FrameResult, Simulation, StallBreakdown, TimelineSample,
+    ActivitySample, ActivitySeries, FrameResult, IntervalSample, IntervalSeries, Simulation,
+    StallBreakdown, TimelineSample,
 };
 pub use latency::TraceLatencies;
+pub use metrics::{FrameMetrics, LatencySummary, MetricsReport, METRICS_SCHEMA_VERSION};
 pub use predictor::{Predictor, PredictorStats};
 pub use rtunit::{RayHit, RtUnit, StatusCounts, TraceQuery, TraceResult};
 pub use shader::{ShaderKind, ShaderThread};

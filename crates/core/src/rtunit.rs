@@ -28,6 +28,7 @@ use cooprt_bvh::NodeKind;
 use cooprt_gpu::{EnergyEvents, EventCalendar, MemoryHierarchy};
 use cooprt_math::Ray;
 use cooprt_scenes::Scene;
+use cooprt_telemetry::{EventKind, Tracer};
 use std::collections::VecDeque;
 
 /// The hit a ray ends a `trace_ray` with.
@@ -270,6 +271,9 @@ pub struct RtUnit {
     /// allocation (including each thread's stack capacity) instead of
     /// allocating 32 fresh `VecDeque`s per `trace_ray`.
     thread_pool: Vec<ThreadArray>,
+    /// Sim-time event tracer (disabled by default; purely
+    /// observational — no scheduling decision reads it).
+    tracer: Tracer,
     /// Energy-event counters accumulated by this unit.
     pub events: EnergyEvents,
     /// Total rays dispatched into this unit (active threads across all
@@ -291,6 +295,7 @@ impl RtUnit {
             group_rr: 0,
             predictor: None,
             thread_pool: Vec::new(),
+            tracer: Tracer::disabled(),
             events: EnergyEvents::default(),
             rays_issued: 0,
         }
@@ -304,6 +309,12 @@ impl RtUnit {
             unit.predictor = Some(Predictor::new(cfg.predictor_entries.max(1)));
         }
         unit
+    }
+
+    /// Install a tracer: `trace_ray` begin/end, node fetches, response
+    /// pops and LBU moves are emitted through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Prediction-table counters, when the predictor is enabled.
@@ -342,6 +353,11 @@ impl RtUnit {
                 active |= 1 << i;
             }
         }
+        self.tracer.emit(now, || EventKind::TraceBegin {
+            sm: self.sm_id as u32,
+            warp: query.warp as u32,
+            active_rays: active.count_ones(),
+        });
         let mut slot = Slot {
             warp: query.warp,
             rays: query.rays,
@@ -414,6 +430,10 @@ impl RtUnit {
     ) {
         // 1. Response FIFO: pop at most one ready response per cycle.
         if let Some((_, (slot, addr))) = self.responses.pop_ready(now) {
+            self.tracer.emit(now, || EventKind::ResponsePop {
+                sm: self.sm_id as u32,
+                addr,
+            });
             self.process_response(slot, addr, now, mem, scene, cfg);
         }
 
@@ -431,7 +451,7 @@ impl RtUnit {
         if policy == TraversalPolicy::CoopRt {
             let lbu_slot = chosen.or_else(|| self.pick_lbu_slot(cfg.subwarp_size));
             if let Some(s) = lbu_slot {
-                self.run_lbu(s, cfg);
+                self.run_lbu(s, cfg, now);
             }
         }
 
@@ -440,6 +460,11 @@ impl RtUnit {
             let drained = matches!(&self.slots[s], Some(slot) if slot.drained());
             if drained {
                 let slot = self.slots[s].take().expect("checked above");
+                self.tracer.emit(now, || EventKind::TraceEnd {
+                    sm: self.sm_id as u32,
+                    warp: slot.warp as u32,
+                    issued_at: slot.issued_at,
+                });
                 retired.push(TraceResult {
                     warp: slot.warp,
                     hits: slot.best,
@@ -548,6 +573,7 @@ impl RtUnit {
             }
         }
         let addr = addr.expect("scheduler guaranteed an eligible thread");
+        let mut coalesced = 0u32;
         let mut m = eligible;
         while m != 0 {
             let tid = m.trailing_zeros() as usize;
@@ -557,8 +583,10 @@ impl RtUnit {
                 slot.threads.pop_next(tid, order);
                 slot.threads.set_pending(tid, addr);
                 self.events.stack_ops += 1;
+                coalesced += 1;
             }
         }
+        let warp = slot.warp as u32;
         let bytes = scene
             .image
             .node_at(addr)
@@ -566,6 +594,13 @@ impl RtUnit {
             .size_bytes();
         let ready = mem.access(self.sm_id, addr, bytes, now);
         self.responses.push(ready, (slot_idx, addr));
+        self.tracer.emit(now, || EventKind::NodeFetch {
+            sm: self.sm_id as u32,
+            warp,
+            addr,
+            threads: coalesced,
+            ready_at: ready,
+        });
     }
 
     fn process_response(
@@ -676,7 +711,7 @@ impl RtUnit {
         })
     }
 
-    fn run_lbu(&mut self, slot_idx: usize, cfg: &GpuConfig) {
+    fn run_lbu(&mut self, slot_idx: usize, cfg: &GpuConfig, now: u64) {
         let slot = self.slots[slot_idx]
             .as_mut()
             .expect("LBU picked occupied slot");
@@ -712,6 +747,14 @@ impl RtUnit {
                 slot.threads.main_tid[pair.helper] = main_tid;
                 self.events.lbu_moves += 1;
                 self.events.stack_ops += 2;
+                let warp = slot.warp as u32;
+                self.tracer.emit(now, || EventKind::LbuMove {
+                    sm: self.sm_id as u32,
+                    warp,
+                    helper: pair.helper as u32,
+                    main: pair.main as u32,
+                    main_tid: u32::from(main_tid),
+                });
             }
         }
     }

@@ -328,6 +328,85 @@ mod tests {
     }
 
     #[test]
+    fn horizon_boundary_routes_to_far_and_cascades_back() {
+        // An event at exactly `near_base + NEAR_SPAN` is one past the
+        // wheel and must take the far path; one cycle earlier is the
+        // last near bucket. Both must pop in order, and the horizon
+        // event must cascade into the wheel when it rebases.
+        let mut c = EventCalendar::new();
+        let horizon = NEAR_SPAN as u64; // near_base is 0
+        c.push(horizon, 'f');
+        c.push(horizon - 1, 'n');
+        assert_eq!(c.peek_min(), Some(horizon - 1));
+        assert_eq!(c.pop_next(), Some((horizon - 1, 'n')));
+        // Popping the last near event empties the wheel, which rebases
+        // onto the far minimum — the horizon event is now bucket 0.
+        assert_eq!(c.peek_min(), Some(horizon));
+        assert_eq!(c.pop_next(), Some((horizon, 'f')));
+        assert!(c.is_empty());
+
+        // Same boundary after a rebase to a non-zero base.
+        c.push(10_000, 'z');
+        assert_eq!(c.pop_next(), Some((10_000, 'z'))); // base is now 10 000
+        c.push(10_000 + horizon, 'g'); // exactly on the new horizon: far
+        c.push(10_000 + horizon - 1, 'm'); // last near bucket
+        assert_eq!(c.pop_next(), Some((10_000 + horizon - 1, 'm')));
+        assert_eq!(c.pop_next(), Some((10_000 + horizon, 'g')));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn far_min_recomputes_as_the_far_list_drains() {
+        // Below-window events (pushed after a far-future rebase) live in
+        // the far list and are popped via `pop_far`, which must
+        // recompute the cached minimum after each removal — including
+        // down to `u64::MAX` when the list empties.
+        let mut c = EventCalendar::new();
+        c.push(5_000, 'z');
+        assert_eq!(c.pop_next(), Some((5_000, 'z'))); // wheel rebased to 5 000
+        c.push(4_700, 'a');
+        c.push(4_900, 'c');
+        c.push(4_800, 'b');
+        c.push(4_700, 'd'); // same cycle as 'a': FIFO behind it
+        assert_eq!(c.peek_min(), Some(4_700));
+        assert_eq!(c.pop_next(), Some((4_700, 'a')));
+        assert_eq!(c.peek_min(), Some(4_700), "same-cycle event still queued");
+        assert_eq!(c.pop_next(), Some((4_700, 'd')));
+        assert_eq!(c.peek_min(), Some(4_800), "minimum recomputed after drain");
+        assert_eq!(c.pop_next(), Some((4_800, 'b')));
+        assert_eq!(c.pop_next(), Some((4_900, 'c')));
+        assert_eq!(c.peek_min(), None, "cached minimum cleared when empty");
+        // The calendar must remain fully usable after the far list hit
+        // empty (far_min back at the sentinel).
+        c.push(4_999, 'e'); // still below the rebased window: far again
+        c.push(5_001, 'f'); // in the wheel
+        assert_eq!(c.pop_next(), Some((4_999, 'e')));
+        assert_eq!(c.pop_next(), Some((5_001, 'f')));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn same_cycle_fifo_survives_a_near_far_cascade() {
+        // Events at one cycle can arrive by two routes: pushed directly
+        // into the wheel, or pushed beyond the horizon and cascaded in
+        // by a rebase. FIFO order among them must reflect push order
+        // regardless of route — this is what keeps simulations bitwise
+        // reproducible.
+        let mut c = EventCalendar::new();
+        c.push(10, 'a');
+        c.push(300, 'b'); // beyond the horizon: far list
+        c.push(300, 'c'); // far list, behind 'b'
+        assert_eq!(c.pop_next(), Some((10, 'a'))); // empties wheel, rebases to 300
+        c.push(300, 'd'); // now lands directly in the wheel, behind b, c
+        c.push(301, 'e');
+        assert_eq!(c.pop_next(), Some((300, 'b')));
+        assert_eq!(c.pop_next(), Some((300, 'c')));
+        assert_eq!(c.pop_next(), Some((300, 'd')));
+        assert_eq!(c.pop_next(), Some((301, 'e')));
+        assert!(c.is_empty());
+    }
+
+    #[test]
     fn clear_empties_everything() {
         let mut c = EventCalendar::new();
         c.push(1, 1);

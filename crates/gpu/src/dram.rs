@@ -1,5 +1,7 @@
 //! Multi-channel DRAM with per-channel queueing and finite bandwidth.
 
+use cooprt_telemetry::{EventKind, Tracer};
+
 /// Aggregate DRAM counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct DramStats {
@@ -39,6 +41,7 @@ pub struct Dram {
     latency: u64,
     stats: DramStats,
     channel_busy: Vec<u64>,
+    tracer: Tracer,
 }
 
 impl Dram {
@@ -57,7 +60,14 @@ impl Dram {
             latency,
             stats: DramStats::default(),
             channel_busy: vec![0; channels],
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Install a tracer; channel-busy intervals are emitted through it.
+    /// Purely observational — no timing decision reads the tracer.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Issues a line fill of `bytes` at address `addr` at time `now`;
@@ -74,6 +84,12 @@ impl Dram {
         self.stats.bytes += bytes as u64;
         self.stats.busy_cycles += service;
         self.channel_busy[ch] += service;
+        self.tracer.emit(now, || EventKind::DramBusy {
+            channel: ch as u32,
+            start,
+            service,
+            bytes,
+        });
         done
     }
 

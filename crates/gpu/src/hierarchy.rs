@@ -1,6 +1,7 @@
 //! The L1 → L2 → DRAM access path.
 
 use crate::{Cache, CacheStats, Dram, DramStats, MemoryConfig, Mshr, MshrStats};
+use cooprt_telemetry::{AccessOutcome, CacheLevel, EventKind, Tracer};
 
 /// Aggregated memory-system statistics for one simulation.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -63,6 +64,7 @@ pub struct MemoryHierarchy {
     l2_bytes: u64,
     dram_bytes: u64,
     prefetches: u64,
+    tracer: Tracer,
 }
 
 impl MemoryHierarchy {
@@ -88,7 +90,16 @@ impl MemoryHierarchy {
             l2_bytes: 0,
             dram_bytes: 0,
             prefetches: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Install a tracer on the hierarchy (and its DRAM): cache probes
+    /// and channel-busy intervals are emitted through it. Purely
+    /// observational — no latency or fill decision reads the tracer.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.dram.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Performs a read of `bytes` at `addr` from SM `sm` at time `now`.
@@ -117,8 +128,24 @@ impl MemoryHierarchy {
             // The line's fill is still in flight (a prefetch or an
             // earlier miss): whether the tag already matched or not,
             // the data arrives only when the fill lands.
+            self.tracer.emit(now, || EventKind::CacheAccess {
+                sm: sm as u32,
+                level: CacheLevel::L1,
+                line: line_addr,
+                outcome: AccessOutcome::MshrMerge,
+            });
             return t.max(fill_done);
         }
+        self.tracer.emit(now, || EventKind::CacheAccess {
+            sm: sm as u32,
+            level: CacheLevel::L1,
+            line: line_addr,
+            outcome: if l1_hit {
+                AccessOutcome::Hit
+            } else {
+                AccessOutcome::Miss
+            },
+        });
         if l1_hit {
             return t;
         }
@@ -127,6 +154,16 @@ impl MemoryHierarchy {
         self.l2_bytes += line_bytes;
         let l2_hit = self.l2.access_line(line_addr);
         let in_flight = self.l2_mshr.lookup(line, now);
+        self.tracer.emit(now, || EventKind::CacheAccess {
+            sm: sm as u32,
+            level: CacheLevel::L2,
+            line: line_addr,
+            outcome: match (l2_hit, in_flight) {
+                (_, Some(_)) => AccessOutcome::MshrMerge,
+                (true, None) => AccessOutcome::Hit,
+                (false, None) => AccessOutcome::Miss,
+            },
+        });
         match (l2_hit, in_flight) {
             (_, Some(dram_done)) => {
                 // Fill still inbound from DRAM.

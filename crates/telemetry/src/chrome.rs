@@ -1,0 +1,423 @@
+//! Export a [`TraceLog`] as Chrome trace-event JSON for Perfetto.
+//!
+//! The output is the classic `{"traceEvents": [...]}` object format
+//! understood by `ui.perfetto.dev` and `chrome://tracing`. Simulation
+//! cycles are written as microsecond timestamps (1 cycle = 1 µs), so
+//! Perfetto's time axis reads directly in cycles.
+//!
+//! Track layout: each SM is a process (`SM <k>`) whose threads are the
+//! individual warps plus an `RT fetch` track (node-fetch issues and
+//! response-FIFO pops) and an `LBU` track (pairing events). The memory
+//! hierarchy is one process (`Memory`) whose threads are the per-SM L1
+//! caches, the shared L2, and each DRAM channel. Durations exist for
+//! `trace_ray` (warp-buffer residency) and `dram_xfer` (channel busy
+//! interval); everything else is an instant.
+
+use crate::json::JsonWriter;
+use crate::trace::{AccessOutcome, CacheLevel, EventKind, TraceLog};
+use std::collections::BTreeMap;
+
+/// Version of the exported trace schema (recorded in the document's
+/// `metadata` object). Bump when track layout or event names change.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// Process id used for the memory-hierarchy tracks.
+const MEM_PID: u64 = 0;
+/// Thread id of the shared L2 track inside the memory process.
+const L2_TID: u64 = 500_000;
+/// Base thread id of DRAM channel tracks inside the memory process.
+const DRAM_TID_BASE: u64 = 600_000;
+/// Thread id of the RT-unit fetch track inside each SM process.
+const RT_FETCH_TID: u64 = 900_000;
+/// Thread id of the LBU track inside each SM process.
+const LBU_TID: u64 = 900_001;
+
+/// Document-level metadata folded into the exported trace.
+#[derive(Clone, Debug)]
+pub struct TraceMeta {
+    title: String,
+}
+
+impl TraceMeta {
+    /// Create metadata with a human-readable title (typically
+    /// `"<scene> <policy>"`).
+    pub fn new(title: &str) -> Self {
+        Self {
+            title: title.to_string(),
+        }
+    }
+}
+
+struct Row {
+    name: String,
+    ph: char,
+    ts: u64,
+    dur: Option<u64>,
+    pid: u64,
+    tid: u64,
+    args: Vec<(&'static str, u64)>,
+}
+
+/// Destructured event mapping: `(pid, tid, thread name, event name,
+/// phase, ts, dur, args)`.
+type RowParts = (
+    u64,
+    u64,
+    String,
+    &'static str,
+    char,
+    u64,
+    Option<u64>,
+    Vec<(&'static str, u64)>,
+);
+
+fn sm_pid(sm: u32) -> u64 {
+    1 + u64::from(sm)
+}
+
+fn cache_event_name(level: CacheLevel, outcome: AccessOutcome) -> &'static str {
+    match (level, outcome) {
+        (CacheLevel::L1, AccessOutcome::Hit) => "l1_hit",
+        (CacheLevel::L1, AccessOutcome::Miss) => "l1_miss",
+        (CacheLevel::L1, AccessOutcome::MshrMerge) => "l1_mshr_merge",
+        (CacheLevel::L2, AccessOutcome::Hit) => "l2_hit",
+        (CacheLevel::L2, AccessOutcome::Miss) => "l2_miss",
+        (CacheLevel::L2, AccessOutcome::MshrMerge) => "l2_mshr_merge",
+    }
+}
+
+/// Render `log` as a Chrome trace-event JSON document.
+///
+/// Events are stably sorted by timestamp before writing, so within
+/// every `(pid, tid)` track timestamps are non-decreasing in file
+/// order (verified by [`crate::validate_chrome_trace`]).
+pub fn chrome_trace_json(log: &TraceLog, meta: &TraceMeta) -> String {
+    let mut rows: Vec<Row> = Vec::with_capacity(log.events.len());
+    // Track registry: (pid, tid) -> display name, plus pid -> name.
+    let mut procs: BTreeMap<u64, String> = BTreeMap::new();
+    let mut threads: BTreeMap<(u64, u64), String> = BTreeMap::new();
+
+    let track = |procs: &mut BTreeMap<u64, String>,
+                 threads: &mut BTreeMap<(u64, u64), String>,
+                 pid: u64,
+                 tid: u64,
+                 thread_name: String| {
+        procs.entry(pid).or_insert_with(|| {
+            if pid == MEM_PID {
+                "Memory".to_string()
+            } else {
+                format!("SM {}", pid - 1)
+            }
+        });
+        threads.entry((pid, tid)).or_insert(thread_name);
+    };
+
+    for ev in &log.events {
+        let (pid, tid, thread_name, name, ph, ts, dur, args): RowParts = match ev.kind {
+            EventKind::WarpIssue { sm, warp } => (
+                sm_pid(sm),
+                u64::from(warp),
+                format!("warp {warp}"),
+                "warp_issue",
+                'i',
+                ev.cycle,
+                None,
+                vec![],
+            ),
+            EventKind::WarpRetire { sm, warp } => (
+                sm_pid(sm),
+                u64::from(warp),
+                format!("warp {warp}"),
+                "warp_retire",
+                'i',
+                ev.cycle,
+                None,
+                vec![],
+            ),
+            EventKind::TraceBegin {
+                sm,
+                warp,
+                active_rays,
+            } => (
+                sm_pid(sm),
+                u64::from(warp),
+                format!("warp {warp}"),
+                "trace_ray_issue",
+                'i',
+                ev.cycle,
+                None,
+                vec![("active_rays", u64::from(active_rays))],
+            ),
+            EventKind::TraceEnd {
+                sm,
+                warp,
+                issued_at,
+            } => (
+                sm_pid(sm),
+                u64::from(warp),
+                format!("warp {warp}"),
+                "trace_ray",
+                'X',
+                issued_at,
+                Some(ev.cycle - issued_at),
+                vec![],
+            ),
+            EventKind::NodeFetch {
+                sm,
+                warp,
+                addr,
+                threads,
+                ready_at,
+            } => (
+                sm_pid(sm),
+                RT_FETCH_TID,
+                "RT fetch".to_string(),
+                "node_fetch",
+                'i',
+                ev.cycle,
+                None,
+                vec![
+                    ("warp", u64::from(warp)),
+                    ("addr", addr),
+                    ("threads", u64::from(threads)),
+                    ("ready_at", ready_at),
+                ],
+            ),
+            EventKind::ResponsePop { sm, addr } => (
+                sm_pid(sm),
+                RT_FETCH_TID,
+                "RT fetch".to_string(),
+                "response_pop",
+                'i',
+                ev.cycle,
+                None,
+                vec![("addr", addr)],
+            ),
+            EventKind::LbuMove {
+                sm,
+                warp,
+                helper,
+                main,
+                main_tid,
+            } => (
+                sm_pid(sm),
+                LBU_TID,
+                "LBU".to_string(),
+                "lbu_move",
+                'i',
+                ev.cycle,
+                None,
+                vec![
+                    ("warp", u64::from(warp)),
+                    ("helper", u64::from(helper)),
+                    ("main", u64::from(main)),
+                    ("main_tid", u64::from(main_tid)),
+                ],
+            ),
+            EventKind::CacheAccess {
+                sm,
+                level,
+                line,
+                outcome,
+            } => {
+                let (tid, tname) = match level {
+                    CacheLevel::L1 => (u64::from(sm), format!("L1 SM{sm}")),
+                    CacheLevel::L2 => (L2_TID, "L2".to_string()),
+                };
+                (
+                    MEM_PID,
+                    tid,
+                    tname,
+                    cache_event_name(level, outcome),
+                    'i',
+                    ev.cycle,
+                    None,
+                    vec![("line", line), ("sm", u64::from(sm))],
+                )
+            }
+            EventKind::DramBusy {
+                channel,
+                start,
+                service,
+                bytes,
+            } => (
+                MEM_PID,
+                DRAM_TID_BASE + u64::from(channel),
+                format!("DRAM ch{channel}"),
+                "dram_xfer",
+                'X',
+                start,
+                Some(service),
+                vec![("bytes", u64::from(bytes))],
+            ),
+        };
+        track(&mut procs, &mut threads, pid, tid, thread_name);
+        rows.push(Row {
+            name: name.to_string(),
+            ph,
+            ts,
+            dur,
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    // Stable sort by timestamp: per-track order is then non-decreasing
+    // (X spans are emitted at completion time but stamped at start).
+    rows.sort_by_key(|r| r.ts);
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("displayTimeUnit", "ms");
+    w.begin_object_field("metadata");
+    w.field_str("title", &meta.title);
+    w.field_str("clock", "1 sim cycle = 1 us");
+    w.field_u64("schema_version", u64::from(TRACE_SCHEMA_VERSION));
+    w.field_u64("events", rows.len() as u64);
+    w.field_u64("dropped_events", log.dropped);
+    w.end_object();
+    w.begin_array("traceEvents");
+    for (pid, pname) in &procs {
+        w.begin_inline_object();
+        w.field_str("name", "process_name");
+        w.field_str("ph", "M");
+        w.field_u64("pid", *pid);
+        w.field_u64("tid", 0);
+        w.begin_inline_object_field("args");
+        w.field_str("name", pname);
+        w.end_object();
+        w.end_object();
+    }
+    for ((pid, tid), tname) in &threads {
+        w.begin_inline_object();
+        w.field_str("name", "thread_name");
+        w.field_str("ph", "M");
+        w.field_u64("pid", *pid);
+        w.field_u64("tid", *tid);
+        w.begin_inline_object_field("args");
+        w.field_str("name", tname);
+        w.end_object();
+        w.end_object();
+    }
+    for r in &rows {
+        w.begin_inline_object();
+        w.field_str("name", &r.name);
+        w.field_str("ph", &r.ph.to_string());
+        w.field_u64("ts", r.ts);
+        if let Some(dur) = r.dur {
+            w.field_u64("dur", dur);
+        }
+        if r.ph == 'i' {
+            // Instant scope: thread-local.
+            w.field_str("s", "t");
+        }
+        w.field_u64("pid", r.pid);
+        w.field_u64("tid", r.tid);
+        if !r.args.is_empty() {
+            w.begin_inline_object_field("args");
+            for (k, v) in &r.args {
+                w.field_u64(k, *v);
+            }
+            w.end_object();
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+    use crate::validate::validate_chrome_trace;
+
+    fn sample_log() -> TraceLog {
+        let t = Tracer::enabled();
+        t.emit(0, || EventKind::WarpIssue { sm: 0, warp: 4 });
+        t.emit(1, || EventKind::TraceBegin {
+            sm: 0,
+            warp: 4,
+            active_rays: 32,
+        });
+        t.emit(2, || EventKind::NodeFetch {
+            sm: 0,
+            warp: 4,
+            addr: 0x40,
+            threads: 7,
+            ready_at: 30,
+        });
+        t.emit(2, || EventKind::CacheAccess {
+            sm: 0,
+            level: CacheLevel::L1,
+            line: 0x40,
+            outcome: AccessOutcome::Miss,
+        });
+        t.emit(2, || EventKind::CacheAccess {
+            sm: 0,
+            level: CacheLevel::L2,
+            line: 0x40,
+            outcome: AccessOutcome::Miss,
+        });
+        t.emit(2, || EventKind::DramBusy {
+            channel: 1,
+            start: 2,
+            service: 4,
+            bytes: 64,
+        });
+        t.emit(30, || EventKind::ResponsePop { sm: 0, addr: 0x40 });
+        t.emit(31, || EventKind::LbuMove {
+            sm: 0,
+            warp: 4,
+            helper: 3,
+            main: 9,
+            main_tid: 9,
+        });
+        t.emit(40, || EventKind::TraceEnd {
+            sm: 0,
+            warp: 4,
+            issued_at: 1,
+        });
+        t.emit(41, || EventKind::WarpRetire { sm: 0, warp: 4 });
+        t.take()
+    }
+
+    #[test]
+    fn export_passes_the_in_tree_validator() {
+        let json = chrome_trace_json(&sample_log(), &TraceMeta::new("unit test"));
+        let check = validate_chrome_trace(&json).expect("valid chrome trace");
+        assert_eq!(check.events, 10);
+        assert!(
+            check.tracks >= 5,
+            "expected >= 5 tracks, got {}",
+            check.tracks
+        );
+        for name in [
+            "warp_issue",
+            "warp_retire",
+            "trace_ray",
+            "node_fetch",
+            "response_pop",
+            "lbu_move",
+            "l1_miss",
+            "l2_miss",
+            "dram_xfer",
+        ] {
+            assert!(check.event_names.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn spans_are_stamped_at_start_and_sorted() {
+        let json = chrome_trace_json(&sample_log(), &TraceMeta::new("t"));
+        // The trace_ray X span (emitted at cycle 40) must be stamped at
+        // its issue cycle and sorted before later instants.
+        let span_pos = json
+            .find("\"trace_ray\", \"ph\": \"X\", \"ts\": 1")
+            .unwrap();
+        let pop_pos = json.find("\"response_pop\"").unwrap();
+        assert!(span_pos < pop_pos);
+    }
+}

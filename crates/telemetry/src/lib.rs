@@ -1,0 +1,56 @@
+//! Unified telemetry for the CoopRT reproduction.
+//!
+//! The simulator measures a lot — cache/DRAM/MSHR counters, predictor
+//! stats, per-warp latencies — but counters alone cannot explain *why*
+//! a run behaved the way it did. This crate is the observability layer
+//! the rest of the workspace plugs into:
+//!
+//! - [`Tracer`] — a zero-overhead-when-disabled handle for sim-time
+//!   event tracing. The engine, RT units, LBU and memory hierarchy emit
+//!   typed, cycle-stamped [`TraceEvent`]s through it; when the tracer is
+//!   disabled the emission closure is never run and the hot path pays a
+//!   single branch on an `Option`.
+//! - [`chrome_trace_json`] — exports a captured [`TraceLog`] as Chrome
+//!   trace-event JSON loadable in Perfetto (`ui.perfetto.dev`), with
+//!   warps, RT-unit fetch streams, the LBU, caches and DRAM channels as
+//!   separate tracks.
+//! - [`JsonWriter`] — the hand-rolled JSON emitter shared by the trace
+//!   exporter, the metrics report in `cooprt-core`, and the `simperf`
+//!   bench (correct string escaping, pretty and inline container
+//!   styles, fixed-precision floats). The workspace has no external
+//!   dependencies, so this is the one JSON producer everything uses.
+//! - [`Profiler`] — host-side wall-clock spans (suite build, BVH build,
+//!   frame run, bench phases) folded into the same reports.
+//! - [`validate_chrome_trace`] — a tiny in-tree checker (recursive
+//!   descent JSON parser + per-track timestamp monotonicity) so a
+//!   malformed writer fails CI, not Perfetto.
+//!
+//! The hard invariant, enforced by the `golden_cycles` suite in
+//! `cooprt-bench`: telemetry is purely observational. Running a frame
+//! with the tracer fully enabled must produce bitwise-identical cycle
+//! counts to an untraced run.
+//!
+//! # Examples
+//!
+//! ```
+//! use cooprt_telemetry::{chrome_trace_json, EventKind, TraceMeta, Tracer};
+//!
+//! let tracer = Tracer::enabled();
+//! tracer.emit(17, || EventKind::WarpIssue { sm: 0, warp: 3 });
+//! let log = tracer.take();
+//! assert_eq!(log.events.len(), 1);
+//! let json = chrome_trace_json(&log, &TraceMeta::new("example"));
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+
+mod chrome;
+mod json;
+mod spans;
+mod trace;
+mod validate;
+
+pub use chrome::{chrome_trace_json, TraceMeta, TRACE_SCHEMA_VERSION};
+pub use json::{json_escape, JsonWriter};
+pub use spans::{Profiler, Span};
+pub use trace::{AccessOutcome, CacheLevel, EventKind, TraceEvent, TraceLog, Tracer};
+pub use validate::{parse_json, validate_chrome_trace, JsonValue, TraceCheck};

@@ -1,0 +1,111 @@
+//! Host-side profiling spans: scoped wall-clock timers.
+//!
+//! These measure the *host* (suite build, BVH build, frame run, bench
+//! phases), not the simulated machine — the complement of the sim-time
+//! [`crate::Tracer`]. Spans are folded into the same JSON reports via
+//! `MetricsReport` in `cooprt-core`.
+
+use std::time::Instant;
+
+/// One named wall-clock measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Span name (e.g. `"suite_build"`, `"frame_run"`).
+    pub name: String,
+    /// Elapsed wall-clock seconds.
+    pub secs: f64,
+}
+
+/// An ordered collection of wall-clock spans.
+///
+/// # Examples
+///
+/// ```
+/// use cooprt_telemetry::Profiler;
+///
+/// let mut prof = Profiler::new();
+/// let answer = prof.time("compute", || 6 * 7);
+/// assert_eq!(answer, 42);
+/// assert!(prof.secs("compute").unwrap() >= 0.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Profiler {
+    spans: Vec<Span>,
+}
+
+impl Profiler {
+    /// Create an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `f`, recording its wall-clock duration under `name`, and
+    /// return its result.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Record an externally measured duration under `name`.
+    pub fn record(&mut self, name: &str, secs: f64) {
+        self.spans.push(Span {
+            name: name.to_string(),
+            secs,
+        });
+    }
+
+    /// Total seconds recorded under `name` (summed over repeats), or
+    /// `None` if the span was never recorded.
+    pub fn secs(&self, name: &str) -> Option<f64> {
+        let mut total = 0.0;
+        let mut seen = false;
+        for s in &self.spans {
+            if s.name == name {
+                total += s.secs;
+                seen = true;
+            }
+        }
+        seen.then_some(total)
+    }
+
+    /// All recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Sum of all recorded spans.
+    pub fn total_secs(&self) -> f64 {
+        self.spans.iter().map(|s| s.secs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_records_and_returns() {
+        let mut p = Profiler::new();
+        let v = p.time("a", || {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            7
+        });
+        assert_eq!(v, 7);
+        assert_eq!(p.spans().len(), 1);
+        assert!(p.secs("a").unwrap() > 0.0);
+        assert!(p.secs("missing").is_none());
+    }
+
+    #[test]
+    fn repeated_names_sum() {
+        let mut p = Profiler::new();
+        p.record("x", 0.5);
+        p.record("x", 0.25);
+        p.record("y", 1.0);
+        assert_eq!(p.secs("x"), Some(0.75));
+        assert_eq!(p.total_secs(), 1.75);
+        assert_eq!(p.spans().len(), 3);
+    }
+}

@@ -1,0 +1,452 @@
+//! In-tree JSON parsing and Chrome-trace validation.
+//!
+//! CI runs the `trace_export` example and feeds the emitted document
+//! through [`validate_chrome_trace`], so a malformed writer fails CI
+//! rather than failing silently in Perfetto. The parser is a strict
+//! little recursive-descent JSON reader — balanced containers, valid
+//! string escapes, standard number syntax — and the trace checker
+//! additionally enforces the Chrome trace-event contract we rely on:
+//! every event names a `(pid, tid)` track, and timestamps within each
+//! track are non-decreasing in file order.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string with escapes resolved.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; key order preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Look up `key` in an object; `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("JSON error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_lit("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_lit("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(b) => Err(self.err(&format!("unexpected '{}'", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                b if b < 0x20 => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Collect the full UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    while self.bytes.get(self.pos).is_some_and(|&n| n & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Parser| {
+            let mut n = 0;
+            while p.peek().is_some_and(|b| b.is_ascii_digit()) {
+                p.pos += 1;
+                n += 1;
+            }
+            n
+        };
+        if digits(self) == 0 {
+            return Err(self.err("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if digits(self) == 0 {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if digits(self) == 0 {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.err("number out of range"))
+    }
+}
+
+/// Strictly parse a JSON document (must be a single value with only
+/// trailing whitespace after it).
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+/// Summary returned by a successful [`validate_chrome_trace`] run.
+#[derive(Clone, Debug)]
+pub struct TraceCheck {
+    /// Number of non-metadata trace events.
+    pub events: usize,
+    /// Number of distinct `(pid, tid)` tracks with events.
+    pub tracks: usize,
+    /// Distinct non-metadata event names.
+    pub event_names: BTreeSet<String>,
+}
+
+/// Validate a Chrome trace-event JSON document.
+///
+/// Checks that the document parses (balanced containers, valid string
+/// escapes), that it has a `traceEvents` array whose entries each carry
+/// `name`/`ph`/`pid`/`tid`, that non-metadata events have a
+/// non-negative numeric `ts` (and `X` spans a non-negative `dur`), and
+/// that within every `(pid, tid)` track timestamps are non-decreasing
+/// in file order.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
+    let doc = parse_json(text)?;
+    let events = doc.get("traceEvents").ok_or("missing traceEvents array")?;
+    let JsonValue::Array(events) = events else {
+        return Err("traceEvents is not an array".to_string());
+    };
+    let mut last_ts: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut names = BTreeSet::new();
+    let mut count = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing string name"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing string ph"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("event {i}: missing numeric pid"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("event {i}: missing numeric tid"))?;
+        if ph == "M" {
+            continue; // metadata events carry no timestamp
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("event {i} ({name}): missing numeric ts"))?;
+        if !(ts >= 0.0 && ts.fract() == 0.0) {
+            return Err(format!(
+                "event {i} ({name}): ts {ts} not a non-negative integer"
+            ));
+        }
+        if ph == "X" {
+            let dur = ev
+                .get("dur")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("event {i} ({name}): X span missing dur"))?;
+            if dur < 0.0 {
+                return Err(format!("event {i} ({name}): negative dur"));
+            }
+        }
+        let track = (pid as u64, tid as u64);
+        let ts = ts as u64;
+        if let Some(&prev) = last_ts.get(&track) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i} ({name}): ts {ts} < {prev} on track pid={} tid={} — \
+                     timestamps must be non-decreasing per track",
+                    track.0, track.1
+                ));
+            }
+        }
+        last_ts.insert(track, ts);
+        names.insert(name.to_string());
+        count += 1;
+    }
+    Ok(TraceCheck {
+        events: count,
+        tracks: last_ts.len(),
+        event_names: names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_strings_and_nesting() {
+        let v = parse_json(r#"{"a": [1, -2.5, 1e3, true, null], "s": "q\"\\\nA😀"}"#).unwrap();
+        let arr = v.get("a").unwrap();
+        assert_eq!(
+            *arr,
+            JsonValue::Array(vec![
+                JsonValue::Number(1.0),
+                JsonValue::Number(-2.5),
+                JsonValue::Number(1000.0),
+                JsonValue::Bool(true),
+                JsonValue::Null,
+            ])
+        );
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "q\"\\\nA😀");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "{",
+            "[1, 2",
+            "{\"a\": }",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "01x",
+            "{} trailing",
+            "\"lone \\ud800 surrogate\"",
+        ] {
+            assert!(parse_json(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn round_trips_the_writer_escapes() {
+        let mut s = String::new();
+        crate::json::json_escape(&mut s, "a\"b\\c\nd\u{1}");
+        let doc = format!("{{\"k\": \"{s}\"}}");
+        let v = parse_json(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str().unwrap(), "a\"b\\c\nd\u{1}");
+    }
+
+    #[test]
+    fn trace_validator_accepts_good_and_rejects_regressions() {
+        let good = r#"{"traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "SM 0"}},
+            {"name": "a", "ph": "i", "ts": 5, "s": "t", "pid": 1, "tid": 2},
+            {"name": "b", "ph": "X", "ts": 5, "dur": 10, "pid": 1, "tid": 2},
+            {"name": "a", "ph": "i", "ts": 3, "s": "t", "pid": 1, "tid": 9}
+        ]}"#;
+        let check = validate_chrome_trace(good).unwrap();
+        assert_eq!(check.events, 3);
+        assert_eq!(check.tracks, 2);
+        assert!(check.event_names.contains("a") && check.event_names.contains("b"));
+
+        let backwards = r#"{"traceEvents": [
+            {"name": "a", "ph": "i", "ts": 5, "pid": 1, "tid": 2},
+            {"name": "a", "ph": "i", "ts": 4, "pid": 1, "tid": 2}
+        ]}"#;
+        let err = validate_chrome_trace(backwards).unwrap_err();
+        assert!(err.contains("non-decreasing"), "{err}");
+
+        assert!(validate_chrome_trace("{\"traceEvents\": 3}").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+    }
+}

@@ -11,6 +11,8 @@
 //! - [`gpu`] — memory hierarchy (L1/L2/DRAM), clock domains, power model.
 //! - [`core`] — the cycle-level RT-unit simulator with the CoopRT Load
 //!   Balancing Unit, shader drivers and area model.
+//! - [`telemetry`] — sim-time event tracing, the shared JSON writer,
+//!   Chrome/Perfetto trace export and host-side profiling spans.
 //!
 //! # Quickstart
 //!
@@ -36,3 +38,4 @@ pub use cooprt_core as core;
 pub use cooprt_gpu as gpu;
 pub use cooprt_math as math;
 pub use cooprt_scenes as scenes;
+pub use cooprt_telemetry as telemetry;
