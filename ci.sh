@@ -16,6 +16,9 @@ cargo build --offline --release --workspace
 echo "==> cargo test"
 cargo test --offline --quiet --workspace
 
+echo "==> simcheck --seeds 64 (differential fuzzing smoke)"
+cargo run --offline --release --example simcheck -- --seeds 64
+
 echo "==> simperf --smoke"
 cargo bench --offline -p cooprt-bench --bench simperf -- --smoke
 

@@ -48,10 +48,12 @@ fn main() {
     let warp = (res * res / WARP_SIZE) / 2;
     let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
         .with_timeline_warp(warp)
-        .run_frame(ShaderKind::PathTrace, res, res);
+        .run_frame(ShaderKind::PathTrace, res, res)
+        .unwrap();
     let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
         .with_timeline_warp(warp)
-        .run_frame(ShaderKind::PathTrace, res, res);
+        .run_frame(ShaderKind::PathTrace, res, res)
+        .unwrap();
     let ub = render("baseline", &base.timeline);
     let uc = render("CoopRT", &coop.timeline);
     println!();

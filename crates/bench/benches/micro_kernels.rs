@@ -61,7 +61,7 @@ fn bench_simulation() {
     for policy in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
         bench_fn(&format!("simulation_16x16/{}", policy.label()), 10, || {
             let sim = Simulation::new(&scene, &cfg, policy);
-            black_box(sim.run_frame(ShaderKind::PathTrace, 16, 16));
+            black_box(sim.run_frame(ShaderKind::PathTrace, 16, 16).unwrap());
         });
     }
 }

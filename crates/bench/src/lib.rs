@@ -66,7 +66,9 @@ pub fn run_at(
     kind: ShaderKind,
     res: usize,
 ) -> FrameResult {
-    Simulation::new(scene, cfg, policy).run_frame(kind, res, res)
+    Simulation::new(scene, cfg, policy)
+        .run_frame(kind, res, res)
+        .unwrap()
 }
 
 /// The scene list to run, honouring `COOPRT_SCENES`.
@@ -103,7 +105,9 @@ pub fn run(
     kind: ShaderKind,
 ) -> FrameResult {
     let res = default_res();
-    Simulation::new(scene, cfg, policy).run_frame(kind, res, res)
+    Simulation::new(scene, cfg, policy)
+        .run_frame(kind, res, res)
+        .unwrap()
 }
 
 /// Geometric mean of a slice of positive ratios.

@@ -14,12 +14,14 @@
 //! ignored — so the suite means the same thing in every environment.
 //!
 //! Every run here executes with the sim-time event tracer **enabled**
-//! (capacity-limited so memory stays bounded): telemetry is contractually
-//! observational, so the cycle counts must stay bitwise identical to the
-//! untraced golden values. Any drift with tracing on means an
-//! instrumentation point perturbed simulation behaviour.
+//! (capacity-limited so memory stays bounded) and the invariant checker
+//! **enabled**: both are contractually observational, so the cycle
+//! counts must stay bitwise identical to the untraced, unchecked golden
+//! values. Any drift means an instrumentation point perturbed
+//! simulation behaviour — and every run must also finish with zero
+//! invariant violations.
 
-use cooprt_core::{GpuConfig, ShaderKind, Simulation, TraversalPolicy};
+use cooprt_core::{Checker, GpuConfig, ShaderKind, Simulation, TraversalPolicy};
 use cooprt_scenes::SceneId;
 use cooprt_telemetry::Tracer;
 
@@ -58,9 +60,12 @@ fn check(id: SceneId, base_golden: u64, coop_golden: u64) {
         (TraversalPolicy::CoopRt, coop_golden),
     ] {
         let tracer = Tracer::with_capacity(TRACE_CAPACITY);
+        let checker = Checker::enabled();
         let r = Simulation::new(&scene, &cfg, policy)
             .with_tracer(tracer.clone())
-            .run_frame(ShaderKind::PathTrace, RES, RES);
+            .with_checker(checker.clone())
+            .run_frame(ShaderKind::PathTrace, RES, RES)
+            .unwrap();
         assert_eq!(
             r.cycles, golden,
             "{id} {policy:?}: simulated cycle count drifted from the \
@@ -72,6 +77,11 @@ fn check(id: SceneId, base_golden: u64, coop_golden: u64) {
             !log.events.is_empty(),
             "{id} {policy:?}: the enabled tracer recorded no events"
         );
+        assert!(
+            checker.checks_run() > 0,
+            "{id} {policy:?}: the enabled checker evaluated no invariants"
+        );
+        checker.assert_clean();
     }
 }
 

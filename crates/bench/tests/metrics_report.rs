@@ -15,11 +15,9 @@ use cooprt_telemetry::parse_json;
 fn report_for_one_frame() -> String {
     let scene = SceneId::Wknd.build(8);
     let cfg = GpuConfig::small(2);
-    let frame = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-        ShaderKind::PathTrace,
-        16,
-        16,
-    );
+    let frame = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, 16, 16)
+        .unwrap();
     let mut report = MetricsReport::new("wknd");
     report.add_frame("wknd/coop", &frame);
     report.to_json()
@@ -39,21 +37,47 @@ fn identical_frames_report_identical_metrics() {
 }
 
 #[test]
+fn accumulated_spp1_is_bitwise_identical_to_run_frame() {
+    // `run_accumulated` with spp == 1 is a single sample with salt 0
+    // averaged with weight 1/1 — it must be *bitwise* identical to one
+    // `run_frame` with the same salt, both in the accumulated image and
+    // in the per-sample FrameResult.
+    let scene = SceneId::Wknd.build(8);
+    let cfg = GpuConfig::small(2);
+    let sim = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt);
+    let (accum, frames) = sim
+        .run_accumulated(ShaderKind::PathTrace, 16, 16, 1)
+        .unwrap();
+    let single = sim
+        .clone()
+        .with_sample_salt(0)
+        .run_frame(ShaderKind::PathTrace, 16, 16)
+        .unwrap();
+    assert_eq!(frames.len(), 1);
+    assert_eq!(
+        accum, single.image,
+        "spp=1 accumulation must not perturb a single frame bitwise \
+         (the 1/spp weight is exactly 1.0)"
+    );
+    assert_eq!(frames[0].image, single.image);
+    assert_eq!(frames[0].cycles, single.cycles);
+    assert_eq!(frames[0].rays, single.rays);
+    assert_eq!(frames[0].mem, single.mem);
+    assert_eq!(frames[0].events, single.events);
+}
+
+#[test]
 fn accumulated_runs_scale_with_frame_count() {
     // `run_accumulated`-style repetition: the same frame simulated
     // twice reports exactly 2x the (deterministic) per-frame counters.
     let scene = SceneId::Ship.build(8);
     let cfg = GpuConfig::small(2);
-    let one = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        16,
-        16,
-    );
-    let two = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        16,
-        16,
-    );
+    let one = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, 16, 16)
+        .unwrap();
+    let two = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, 16, 16)
+        .unwrap();
     assert_eq!(one.cycles, two.cycles);
     assert_eq!(one.rays, two.rays);
     assert_eq!(one.mem, two.mem);

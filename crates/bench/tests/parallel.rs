@@ -11,7 +11,9 @@ use std::time::Instant;
 const MATRIX_SCENES: [SceneId; 4] = [SceneId::Wknd, SceneId::Fox, SceneId::Party, SceneId::Bath];
 
 fn run_cell(scene: &Scene, policy: TraversalPolicy, res: usize) -> FrameResult {
-    Simulation::new(scene, &GpuConfig::small(4), policy).run_frame(ShaderKind::PathTrace, res, res)
+    Simulation::new(scene, &GpuConfig::small(4), policy)
+        .run_frame(ShaderKind::PathTrace, res, res)
+        .unwrap()
 }
 
 fn assert_frames_identical(a: &FrameResult, b: &FrameResult, what: &str) {
@@ -77,11 +79,13 @@ fn joined_policy_pair_matches_sequential_pair() {
 fn accumulation_is_thread_count_invariant() {
     let scene = SceneId::Fox.build(4);
     let sim = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::CoopRt);
-    let (ref_accum, ref_frames) =
-        sim.run_accumulated_with_threads(ShaderKind::PathTrace, 8, 8, 4, 1);
+    let (ref_accum, ref_frames) = sim
+        .run_accumulated_with_threads(ShaderKind::PathTrace, 8, 8, 4, 1)
+        .unwrap();
     for workers in [2, 4, 8] {
-        let (accum, frames) =
-            sim.run_accumulated_with_threads(ShaderKind::PathTrace, 8, 8, 4, workers);
+        let (accum, frames) = sim
+            .run_accumulated_with_threads(ShaderKind::PathTrace, 8, 8, 4, workers)
+            .unwrap();
         assert_eq!(accum, ref_accum, "accumulated image on {workers} workers");
         assert_eq!(frames.len(), ref_frames.len());
         for (a, b) in ref_frames.iter().zip(&frames) {

@@ -236,7 +236,7 @@ pub fn brute_force_closest_hit(image: &BvhImage, ray: &Ray, t_max: f32) -> Optio
 mod tests {
     use super::*;
     use crate::{build_binary, WideBvh};
-    use cooprt_math::{Triangle, Vec3};
+    use cooprt_math::{Aabb, Triangle, Vec3};
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
@@ -333,6 +333,60 @@ mod tests {
         assert!(!any_hit(&image, &ray, 5.0));
         assert!(closest_hit(&image, &ray, 20.0).is_some());
         assert!(any_hit(&image, &ray, 20.0));
+    }
+
+    #[test]
+    fn in_plane_rays_agree_between_scalar_box_test_and_traversal() {
+        // Shared regression for the closed-slab NaN convention: the scalar
+        // path and the 6-wide traversal path both funnel through
+        // `Aabb::intersect`, and for rays lying *exactly* in the plane of
+        // a zero-thickness AABB face (0 * inf = NaN slab lanes) they must
+        // agree — with each other and with brute force.
+        let flat = vec![
+            // Zero-thickness in Y: both triangles lie in the y = 1 plane.
+            Triangle::new(
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(4.0, 1.0, 0.0),
+                Vec3::new(0.0, 1.0, 4.0),
+            ),
+            Triangle::new(
+                Vec3::new(4.0, 1.0, 4.0),
+                Vec3::new(4.0, 1.0, 0.0),
+                Vec3::new(0.0, 1.0, 4.0),
+            ),
+        ];
+        let image = BvhImage::serialize(&WideBvh::from_binary(&build_binary(&flat)), &flat);
+        let rays = [
+            // In-plane, crossing the geometry.
+            Ray::new(Vec3::new(-1.0, 1.0, 2.0), Vec3::X),
+            // In-plane, missing the geometry sideways.
+            Ray::new(Vec3::new(-1.0, 1.0, 9.0), Vec3::X),
+            // Parallel but strictly above the plane.
+            Ray::new(Vec3::new(-1.0, 2.0, 2.0), Vec3::X),
+            // Perpendicular, through the face (a real triangle hit).
+            Ray::new(Vec3::new(1.0, -1.0, 1.0), Vec3::Y),
+        ];
+        for ray in &rays {
+            // Scalar box test on the exact (unpadded) zero-thickness face.
+            let face = Aabb::new(Vec3::new(0.0, 1.0, 0.0), Vec3::new(4.0, 1.0, 4.0));
+            let scalar_box = face.intersect(ray, f32::INFINITY).is_some();
+            // The root bounds the traversal path prunes against contain
+            // that face (padded), so a scalar-box hit must never be
+            // pruned away by the wide path.
+            let root_box = image.root_bounds().intersect(ray, f32::INFINITY).is_some();
+            assert!(
+                !scalar_box || root_box,
+                "wide-path root pruning dropped a ray the scalar box test accepts: {ray:?}"
+            );
+            // And the full traversal must agree with brute force exactly.
+            let bvh = closest_hit(&image, ray, f32::INFINITY);
+            let brute = brute_force_closest_hit(&image, ray, f32::INFINITY);
+            assert_eq!(
+                bvh.map(|h| h.triangle),
+                brute.map(|h| h.triangle),
+                "traversal and brute force diverged for {ray:?}"
+            );
+        }
     }
 
     #[test]

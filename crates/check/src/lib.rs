@@ -1,0 +1,68 @@
+//! Differential fuzzing and invariant harness for the CoopRT simulator.
+//!
+//! The simulator's correctness rests on a few strong claims: CoopRT
+//! reorders traversal but never changes the rendered image; the BVH
+//! finds exactly the hits brute force finds; and the flat host-side
+//! representations of the memory hierarchy (way-array caches, slotted
+//! MSHRs, the bucketed event calendar) behave bitwise identically to
+//! the naive map/heap models they replaced. This crate turns each claim
+//! into a *differential oracle* and fuzzes all of them from explicit
+//! 64-bit seeds:
+//!
+//! - [`oracle`] holds the reference models (promoted from inline test
+//!   oracles) and the trace-replay comparators;
+//! - [`fuzz`] samples simulator configurations and procedural scenes
+//!   from a seed and drives every oracle over them, with the engine's
+//!   invariant [`Checker`](cooprt_core::Checker) enabled;
+//! - [`shrink`] minimizes a failing case (halve the resolution, drop
+//!   triangles, shrink warps) before reporting, and every report carries
+//!   the seed plus the `examples/simcheck.rs --seed N` replay command.
+//!
+//! Everything is deterministic and dependency-free (the in-tree PRNG
+//! only), so a CI budget of seeds means the same thing on every
+//! machine.
+//!
+//! # Examples
+//!
+//! ```
+//! use cooprt_check::fuzz;
+//!
+//! // Replay one seed through every oracle.
+//! fuzz::run_seed(0).expect("seed 0 is part of the CI budget and passes");
+//! ```
+
+pub mod fuzz;
+pub mod oracle;
+pub mod shrink;
+
+pub use fuzz::{run_budget, run_case, run_seed, Failure, FuzzCase};
+
+use std::fmt;
+
+/// A divergence reported by one oracle.
+#[derive(Clone, Debug)]
+pub struct CheckFailure {
+    /// Which oracle diverged (`"cache"`, `"mshr"`, `"calendar"`,
+    /// `"bvh"`, `"image"`, `"invariants"`, `"engine"`).
+    pub oracle: String,
+    /// Human-readable description of the first divergence.
+    pub detail: String,
+}
+
+impl CheckFailure {
+    /// Builds a failure for `oracle` with the given detail.
+    pub fn new(oracle: impl Into<String>, detail: impl Into<String>) -> Self {
+        CheckFailure {
+            oracle: oracle.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} oracle: {}", self.oracle, self.detail)
+    }
+}
+
+impl std::error::Error for CheckFailure {}

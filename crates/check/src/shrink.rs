@@ -1,0 +1,157 @@
+//! Failing-case minimization.
+//!
+//! When a seed diverges, the raw case is rarely the smallest
+//! reproduction: a 24x24 path-traced frame over 60 triangles on 3 SMs
+//! hides the bug in megabytes of trace. [`shrink`] greedily applies
+//! size-reducing transformations — halve the resolution, drop clutter
+//! triangles, shrink the warp buffer and subwarp scope, collapse to one
+//! SM — keeping each step only if the case still fails, until no
+//! transformation preserves the failure. The result replays through the
+//! same seed-independent [`run_case`](crate::fuzz::run_case) path, so
+//! the minimized configuration is what a developer actually debugs.
+
+use crate::fuzz::FuzzCase;
+use crate::CheckFailure;
+
+/// Candidate reductions, most aggressive first. Each returns `None`
+/// when it cannot reduce the case further.
+fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    let mut push = |f: &dyn Fn(&mut FuzzCase) -> bool| {
+        let mut c = case.clone();
+        if f(&mut c) {
+            out.push(c);
+        }
+    };
+    push(&|c| {
+        let can = c.clutter > 0;
+        c.clutter /= 2; // drop triangles
+        can
+    });
+    push(&|c| {
+        let can = c.width > 1;
+        c.width = (c.width / 2).max(1); // halve resolution
+        can
+    });
+    push(&|c| {
+        let can = c.height > 1;
+        c.height = (c.height / 2).max(1);
+        can
+    });
+    push(&|c| {
+        let can = c.sm_count > 1;
+        c.sm_count = 1;
+        can
+    });
+    push(&|c| {
+        let can = c.warp_buffer > 1;
+        c.warp_buffer = (c.warp_buffer / 2).max(1); // fewer resident warps
+        can
+    });
+    push(&|c| {
+        // Shrink the subwarp scope along the valid 32 -> 16 -> 8 -> 4
+        // ladder.
+        let can = c.subwarp > 4;
+        c.subwarp = (c.subwarp / 2).max(4);
+        can
+    });
+    push(&|c| {
+        let can = c.lbu_moves > 1;
+        c.lbu_moves = 1;
+        can
+    });
+    out
+}
+
+/// Minimizes a failing case. `check` is the oracle runner (normally
+/// [`run_case`](crate::fuzz::run_case)); a candidate is adopted only
+/// when `check` still fails on it. Returns the fixpoint case together
+/// with its failure.
+///
+/// # Panics
+///
+/// Panics if `check` passes on `case` — shrinking is only meaningful
+/// for a case that fails.
+pub fn shrink(
+    case: &FuzzCase,
+    check: impl Fn(&FuzzCase) -> Result<(), CheckFailure>,
+) -> (FuzzCase, CheckFailure) {
+    let mut best = case.clone();
+    let mut failure = check(&best).expect_err("shrink requires a failing case");
+    'outer: loop {
+        for cand in candidates(&best) {
+            if let Err(f) = check(&cand) {
+                best = cand;
+                failure = f;
+                continue 'outer; // restart from the reduced case
+            }
+        }
+        return (best, failure);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic oracle failing whenever the *pixel count* exceeds a
+    /// threshold: the shrinker must walk the frame down to the smallest
+    /// still-failing size without disturbing unrelated knobs.
+    #[test]
+    fn shrinks_to_the_smallest_failing_frame() {
+        let case = FuzzCase::from_seed(99);
+        let fails = |c: &FuzzCase| {
+            if c.width * c.height > 12 {
+                Err(CheckFailure::new("synthetic", "too many pixels"))
+            } else {
+                Ok(())
+            }
+        };
+        assert!(fails(&case).is_err(), "seed 99 samples a frame > 12 px");
+        let (min, failure) = shrink(&case, fails);
+        assert!(min.width * min.height > 12, "result must still fail");
+        // No further halving step may keep failing (a dimension already
+        // at its floor of 1 has no halving step).
+        assert!(
+            min.width == 1 || (min.width / 2) * min.height <= 12,
+            "halving the width must pass: got {}x{}",
+            min.width,
+            min.height
+        );
+        assert!(
+            min.height == 1 || min.width * (min.height / 2) <= 12,
+            "halving the height must pass: got {}x{}",
+            min.width,
+            min.height
+        );
+        assert_eq!(failure.oracle, "synthetic");
+        // Knobs untouched by the failing predicate shrink to their
+        // floors (the candidates are size reductions, all valid).
+        assert_eq!(min.sm_count, 1);
+        assert_eq!(min.clutter, 0);
+        assert_eq!(min.subwarp, 4);
+        assert_eq!(min.seed, case.seed, "seed is preserved for replay");
+    }
+
+    #[test]
+    fn fixpoint_case_has_no_failing_candidates() {
+        let case = FuzzCase::from_seed(5);
+        let fails = |c: &FuzzCase| {
+            if c.clutter >= 3 {
+                Err(CheckFailure::new("synthetic", "clutter"))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _) = shrink(&case, fails);
+        assert!(min.clutter >= 3);
+        assert!(min.clutter / 2 < 3, "halving once more must pass");
+    }
+
+    #[test]
+    #[should_panic(expected = "failing case")]
+    fn shrinking_a_passing_case_is_a_bug() {
+        let case = FuzzCase::from_seed(1);
+        let _ = shrink(&case, |_| Ok(()));
+    }
+}

@@ -1,0 +1,234 @@
+//! Opt-in engine invariant checking (the correctness analogue of the
+//! telemetry tracer).
+//!
+//! A [`Checker`] handle is installed with
+//! [`Simulation::with_checker`](crate::Simulation::with_checker) and
+//! cloned into the engine and every RT unit, exactly like the
+//! [`Tracer`](cooprt_telemetry::Tracer). Disabled (the default) every
+//! hook is a single branch and the invariant predicates never run, so
+//! the hot path is unchanged; enabled, the engine verifies
+//! cycle-boundary invariants and records violations into the shared
+//! buffer instead of panicking, so a fuzzing harness can collect,
+//! shrink and report them:
+//!
+//! - **Ray conservation** — per RT unit, rays (and `trace_ray`
+//!   instructions) issued equal those retired plus those in flight.
+//! - **Structural hazards** — at most one response-FIFO pop and at most
+//!   one coalesced node fetch per RT unit per cycle.
+//! - **LBU pair validity** — every load-balancing move goes from a main
+//!   thread with stack work to share to a distinct helper thread that is
+//!   idle (empty stack, no fetch in flight).
+//! - **`min_thit` monotonicity** — a ray's closest-hit bound never
+//!   increases.
+//! - **Calendar sanity** — the response FIFO never yields an event that
+//!   is not yet due, fetches complete strictly in the future, and the
+//!   engine's wake calendar never schedules the next cycle in the past.
+//!
+//! Checking is purely observational: no scheduling decision reads the
+//! checker, and the `golden_cycles` suite runs the full scene matrix
+//! with it enabled to pin that cycle counts stay bitwise identical.
+
+use std::sync::{Arc, Mutex};
+
+/// Per-RT-unit per-cycle structural counters (response pops and
+/// coalesced fetches must not exceed one each).
+#[derive(Clone, Copy, Debug, Default)]
+struct CycleCounters {
+    cycle: u64,
+    pops: u32,
+    fetches: u32,
+}
+
+#[derive(Debug, Default)]
+struct CheckState {
+    checks: u64,
+    violations: Vec<String>,
+    per_sm: Vec<CycleCounters>,
+}
+
+impl CheckState {
+    fn counters(&mut self, sm: usize, now: u64) -> &mut CycleCounters {
+        if sm >= self.per_sm.len() {
+            self.per_sm.resize(sm + 1, CycleCounters::default());
+        }
+        let c = &mut self.per_sm[sm];
+        if c.cycle != now {
+            *c = CycleCounters {
+                cycle: now,
+                pops: 0,
+                fetches: 0,
+            };
+        }
+        c
+    }
+
+    fn record(&mut self, now: u64, msg: String) {
+        self.violations.push(format!("[cycle {now}] {msg}"));
+    }
+}
+
+/// A cloneable handle to the engine's invariant checker.
+///
+/// [`Checker::disabled`] (the default) costs one branch per hook;
+/// [`Checker::enabled`] shares a violation buffer between all clones,
+/// so the handle given to [`Simulation::with_checker`]
+/// (`crate::Simulation::with_checker`) observes everything the engine
+/// recorded once the run finishes.
+#[derive(Clone, Debug, Default)]
+pub struct Checker {
+    inner: Option<Arc<Mutex<CheckState>>>,
+}
+
+impl Checker {
+    /// A checker whose hooks are single never-taken branches.
+    pub fn disabled() -> Self {
+        Checker { inner: None }
+    }
+
+    /// An enabled checker with a fresh shared violation buffer.
+    pub fn enabled() -> Self {
+        Checker {
+            inner: Some(Arc::new(Mutex::new(CheckState::default()))),
+        }
+    }
+
+    /// True if this handle verifies invariants.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Verifies one invariant: evaluates `pred` only when enabled and
+    /// records a violation (rendered by `msg`) when it fails.
+    #[inline]
+    pub fn check(&self, now: u64, pred: impl FnOnce() -> bool, msg: impl FnOnce() -> String) {
+        if let Some(state) = &self.inner {
+            let mut st = state.lock().expect("checker mutex poisoned");
+            st.checks += 1;
+            if !pred() {
+                st.record(now, msg());
+            }
+        }
+    }
+
+    /// Counts one response-FIFO pop on RT unit `sm` at `now`; more than
+    /// one pop per unit per cycle is a violation.
+    #[inline]
+    pub fn count_response_pop(&self, sm: usize, now: u64) {
+        if let Some(state) = &self.inner {
+            let mut st = state.lock().expect("checker mutex poisoned");
+            st.checks += 1;
+            let c = st.counters(sm, now);
+            c.pops += 1;
+            if c.pops > 1 {
+                let pops = c.pops;
+                st.record(
+                    now,
+                    format!("RT unit {sm} popped {pops} responses in one cycle"),
+                );
+            }
+        }
+    }
+
+    /// Counts one coalesced node fetch on RT unit `sm` at `now`; more
+    /// than one fetch per unit per cycle is a violation.
+    #[inline]
+    pub fn count_fetch(&self, sm: usize, now: u64) {
+        if let Some(state) = &self.inner {
+            let mut st = state.lock().expect("checker mutex poisoned");
+            st.checks += 1;
+            let c = st.counters(sm, now);
+            c.fetches += 1;
+            if c.fetches > 1 {
+                let fetches = c.fetches;
+                st.record(
+                    now,
+                    format!("RT unit {sm} issued {fetches} coalesced fetches in one cycle"),
+                );
+            }
+        }
+    }
+
+    /// Number of invariant evaluations so far (0 when disabled).
+    pub fn checks_run(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |s| s.lock().expect("checker mutex poisoned").checks)
+    }
+
+    /// Snapshot of every recorded violation, in detection order.
+    pub fn violations(&self) -> Vec<String> {
+        self.inner.as_ref().map_or_else(Vec::new, |s| {
+            s.lock().expect("checker mutex poisoned").violations.clone()
+        })
+    }
+
+    /// Panics with all recorded violations, if any. Convenience for
+    /// tests that want checked runs to be hard failures.
+    #[track_caller]
+    pub fn assert_clean(&self) {
+        let v = self.violations();
+        assert!(
+            v.is_empty(),
+            "engine invariant violations:\n{}",
+            v.join("\n")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_checker_is_inert() {
+        let c = Checker::disabled();
+        c.check(5, || panic!("predicate must not run"), || unreachable!());
+        c.count_fetch(0, 5);
+        c.count_response_pop(0, 5);
+        assert!(!c.is_enabled());
+        assert_eq!(c.checks_run(), 0);
+        assert!(c.violations().is_empty());
+        c.assert_clean();
+    }
+
+    #[test]
+    fn enabled_checker_records_violations() {
+        let c = Checker::enabled();
+        c.check(3, || true, || unreachable!());
+        c.check(4, || false, || "broken".to_string());
+        assert!(c.is_enabled());
+        assert_eq!(c.checks_run(), 2);
+        assert_eq!(c.violations(), vec!["[cycle 4] broken".to_string()]);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let c = Checker::enabled();
+        let clone = c.clone();
+        clone.check(1, || false, || "from clone".to_string());
+        assert_eq!(c.violations().len(), 1);
+    }
+
+    #[test]
+    fn per_cycle_structural_counters_allow_one_each() {
+        let c = Checker::enabled();
+        c.count_response_pop(0, 10);
+        c.count_fetch(0, 10);
+        c.count_response_pop(1, 10); // other unit, same cycle: fine
+        c.count_response_pop(0, 11); // same unit, next cycle: fine
+        assert!(c.violations().is_empty());
+        c.count_response_pop(0, 11);
+        c.count_fetch(0, 10); // stale cycle for unit 0 -> fresh window
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].contains("popped 2 responses"));
+    }
+
+    #[test]
+    #[should_panic(expected = "engine invariant violations")]
+    fn assert_clean_panics_on_violation() {
+        let c = Checker::enabled();
+        c.check(0, || false, || "boom".to_string());
+        c.assert_clean();
+    }
+}

@@ -158,6 +158,14 @@ pub struct GpuConfig {
     /// but untested on PT — the `ext_predictor` bench measures both.
     pub intersection_predictor: bool,
     /// Entries in the per-SM prediction table (direct-mapped).
+    ///
+    /// Must be non-zero when [`GpuConfig::intersection_predictor`] is
+    /// enabled (enforced by `Predictor::new`). Any non-zero size is
+    /// valid — the table index is a splitmix64-finalized signature
+    /// reduced modulo this size, so non-power-of-two sizes distribute
+    /// uniformly too (pinned by the predictor's distribution test);
+    /// powers of two merely match the hardware-cost model of the
+    /// original technique.
     pub predictor_entries: usize,
     /// Active-thread compaction (Wald, HPG'11), the software technique
     /// the paper contrasts with in §3/§8.1: between bounces, threads

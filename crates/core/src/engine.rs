@@ -2,6 +2,7 @@
 //! measurement plumbing (activity sampling, stall attribution, warp
 //! timelines).
 
+use crate::check::Checker;
 use crate::config::{GpuConfig, TraversalPolicy, WARP_SIZE};
 use crate::latency::TraceLatencies;
 use crate::predictor::PredictorStats;
@@ -12,6 +13,37 @@ use cooprt_math::Rgb;
 use cooprt_scenes::Scene;
 use cooprt_telemetry::{EventKind, Tracer};
 use std::collections::VecDeque;
+
+/// Validation error returned by the public simulation entry points.
+///
+/// Bad *input* (caller-controlled frame geometry or sample counts) is
+/// reported as a typed error rather than a panic; panics remain reserved
+/// for internal engine invariants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The requested frame has zero pixels (`width * height == 0`).
+    EmptyFrame {
+        /// Requested frame width.
+        width: usize,
+        /// Requested frame height.
+        height: usize,
+    },
+    /// `run_accumulated` was asked for zero samples per pixel.
+    ZeroSamples,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EmptyFrame { width, height } => {
+                write!(f, "image must be non-empty, got {width}x{height}")
+            }
+            ConfigError::ZeroSamples => write!(f, "need at least one sample per pixel"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Cycles lost to each instruction class (Fig. 1 of the paper).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -229,7 +261,7 @@ impl FrameResult {
 /// let scene = SceneId::Wknd.build(2);
 /// let config = GpuConfig::small(2);
 /// let result = Simulation::new(&scene, &config, TraversalPolicy::CoopRt)
-///     .run_frame(ShaderKind::PathTrace, 8, 8);
+///     .run_frame(ShaderKind::PathTrace, 8, 8).unwrap();
 /// assert_eq!(result.image.len(), 64);
 /// assert!(result.cycles > 0);
 /// ```
@@ -241,6 +273,7 @@ pub struct Simulation<'s> {
     timeline_warp: Option<usize>,
     sample_salt: u64,
     tracer: Tracer,
+    checker: Checker,
 }
 
 impl<'s> Simulation<'s> {
@@ -254,6 +287,7 @@ impl<'s> Simulation<'s> {
             timeline_warp: None,
             sample_salt: 0,
             tracer: Tracer::disabled(),
+            checker: Checker::disabled(),
         }
     }
 
@@ -266,6 +300,20 @@ impl<'s> Simulation<'s> {
     /// traced to enforce exactly that.
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Installs an invariant checker (the `checked` engine mode): the
+    /// engine hands clones to every RT unit and verifies cycle-boundary
+    /// invariants — ray conservation, one response pop and one coalesced
+    /// fetch per unit per cycle, LBU pair validity, `min_thit`
+    /// monotonicity, and calendar sanity — recording violations into the
+    /// checker's shared buffer (read with [`Checker::violations`] after
+    /// the run). Like tracing, checking is purely observational: cycle
+    /// counts are bitwise identical with it on or off, which the
+    /// `golden_cycles` suite enforces over the full scene matrix.
+    pub fn with_checker(mut self, checker: Checker) -> Self {
+        self.checker = checker;
         self
     }
 
@@ -296,25 +344,27 @@ impl<'s> Simulation<'s> {
     /// `metrics_report` suite in `cooprt-bench` pins this: identical
     /// back-to-back frames serialize to identical metrics reports.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `spp == 0` or the frame is empty.
+    /// Returns [`ConfigError::ZeroSamples`] if `spp == 0` and
+    /// [`ConfigError::EmptyFrame`] if the frame has zero pixels.
     pub fn run_accumulated(
         &self,
         kind: ShaderKind,
         width: usize,
         height: usize,
         spp: u32,
-    ) -> (Vec<Rgb>, Vec<FrameResult>) {
+    ) -> Result<(Vec<Rgb>, Vec<FrameResult>), ConfigError> {
         self.run_accumulated_with_threads(kind, width, height, spp, crate::parallel::threads())
     }
 
     /// [`Simulation::run_accumulated`] with an explicit worker count
     /// (`threads == 1` is the plain sequential loop).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `spp == 0` or the frame is empty.
+    /// Returns [`ConfigError::ZeroSamples`] if `spp == 0` and
+    /// [`ConfigError::EmptyFrame`] if the frame has zero pixels.
     pub fn run_accumulated_with_threads(
         &self,
         kind: ShaderKind,
@@ -322,13 +372,19 @@ impl<'s> Simulation<'s> {
         height: usize,
         spp: u32,
         threads: usize,
-    ) -> (Vec<Rgb>, Vec<FrameResult>) {
-        assert!(spp > 0, "need at least one sample per pixel");
+    ) -> Result<(Vec<Rgb>, Vec<FrameResult>), ConfigError> {
+        if spp == 0 {
+            return Err(ConfigError::ZeroSamples);
+        }
+        validate_frame(width, height)?;
         let salts: Vec<u64> = (0..spp as u64).collect();
         let frames = crate::parallel::par_map(&salts, threads, |_, &s| {
+            // Dimensions were validated above; a failure here would be an
+            // internal invariant violation, not bad input.
             self.clone()
                 .with_sample_salt(s)
                 .run_frame(kind, width, height)
+                .expect("frame dimensions validated before sample fan-out")
         });
         // Reduce in fixed sample order: f32 accumulation is not
         // associative, so the order must match the sequential loop.
@@ -338,7 +394,7 @@ impl<'s> Simulation<'s> {
                 *acc += *px * (1.0 / spp as f32);
             }
         }
-        (accum, frames)
+        Ok((accum, frames))
     }
 
     /// Requests a Fig. 11-style per-thread timeline of warp `warp`.
@@ -356,13 +412,26 @@ impl<'s> Simulation<'s> {
     /// on the same `Simulation` are independent and — the simulator
     /// being deterministic — identical.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `width * height == 0`.
-    pub fn run_frame(&self, kind: ShaderKind, width: usize, height: usize) -> FrameResult {
-        assert!(width > 0 && height > 0, "image must be non-empty");
-        Engine::new(self, kind, width, height).run()
+    /// Returns [`ConfigError::EmptyFrame`] if `width * height == 0`.
+    pub fn run_frame(
+        &self,
+        kind: ShaderKind,
+        width: usize,
+        height: usize,
+    ) -> Result<FrameResult, ConfigError> {
+        validate_frame(width, height)?;
+        Ok(Engine::new(self, kind, width, height).run())
     }
+}
+
+/// Rejects zero-pixel frames with a typed error.
+fn validate_frame(width: usize, height: usize) -> Result<(), ConfigError> {
+    if width == 0 || height == 0 {
+        return Err(ConfigError::EmptyFrame { width, height });
+    }
+    Ok(())
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -426,6 +495,14 @@ struct Engine<'s> {
     wake: EventCalendar<u32>,
     mem: MemoryHierarchy,
     tracer: Tracer,
+    checker: Checker,
+    /// Active-ray count of each warp's in-flight `trace_ray`, recorded
+    /// at issue (checked mode only; indexed by warp id, reset per wave).
+    checked_issue_rays: Vec<u32>,
+    /// Per-SM retired ray / `trace_ray`-instruction tallies feeding the
+    /// ray-conservation invariant (checked mode only).
+    checked_retired_rays: Vec<u64>,
+    checked_retired_instr: Vec<u64>,
     stalls: StallBreakdown,
     activity: ActivitySeries,
     intervals: IntervalSeries,
@@ -454,6 +531,7 @@ impl<'s> Engine<'s> {
             .map(|i| {
                 let mut rt = RtUnit::for_config(i, &cfg);
                 rt.set_tracer(sim.tracer.clone());
+                rt.set_checker(sim.checker.clone());
                 Sm {
                     rt,
                     queue: VecDeque::new(),
@@ -479,6 +557,10 @@ impl<'s> Engine<'s> {
             wake: EventCalendar::new(),
             mem,
             tracer: sim.tracer.clone(),
+            checker: sim.checker.clone(),
+            checked_issue_rays: Vec::new(),
+            checked_retired_rays: vec![0; sm_count],
+            checked_retired_instr: vec![0; sm_count],
             stalls: StallBreakdown::default(),
             activity: ActivitySeries {
                 interval,
@@ -571,6 +653,13 @@ impl<'s> Engine<'s> {
                 wait_since: 0,
             });
             self.sms[w % sm_count].queue.push_back(w);
+        }
+        if self.checker.is_enabled() {
+            // Warp ids restart per wave; the per-warp issue-ray record
+            // follows (retired tallies stay cumulative, like the RT
+            // units' issue counters).
+            self.checked_issue_rays.clear();
+            self.checked_issue_rays.resize(self.warps.len(), 0);
         }
     }
 
@@ -690,6 +779,9 @@ impl<'s> Engine<'s> {
                         self.warps[w].finished = now;
                     } else if self.sms[sm_idx].rt.has_free_slot() {
                         let query = self.build_query(w);
+                        if self.checker.is_enabled() {
+                            self.checked_issue_rays[w] = query.rays.iter().flatten().count() as u32;
+                        }
                         let ok = self.sms[sm_idx].rt.issue(query, now, self.scene);
                         debug_assert!(ok);
                         self.warps[w].phase = Phase::InRt;
@@ -708,10 +800,48 @@ impl<'s> Engine<'s> {
             );
             let retired = std::mem::take(&mut self.retired_buf);
             for res in &retired {
+                if self.checker.is_enabled() {
+                    self.checked_retired_rays[sm_idx] +=
+                        u64::from(self.checked_issue_rays[res.warp]);
+                    self.checked_retired_instr[sm_idx] += 1;
+                }
                 self.retire_warp(res, now);
             }
             self.retired_buf = retired;
             self.retired_buf.clear();
+
+            // Ray conservation at the cycle boundary: everything this RT
+            // unit was ever asked to trace is either retired or still
+            // resident in its warp buffer.
+            if self.checker.is_enabled() {
+                let rt = &self.sms[sm_idx].rt;
+                let retired_rays = self.checked_retired_rays[sm_idx];
+                let retired_instr = self.checked_retired_instr[sm_idx];
+                self.checker.check(
+                    now,
+                    || rt.rays_issued == retired_rays + rt.in_flight_rays(),
+                    || {
+                        format!(
+                            "SM {sm_idx} lost rays: issued {} != retired {retired_rays} + \
+                             in-flight {}",
+                            rt.rays_issued,
+                            rt.in_flight_rays()
+                        )
+                    },
+                );
+                self.checker.check(
+                    now,
+                    || rt.events.trace_instructions == retired_instr + rt.occupied() as u64,
+                    || {
+                        format!(
+                            "SM {sm_idx} lost trace_rays: issued {} != retired {retired_instr} \
+                             + occupied {}",
+                            rt.events.trace_instructions,
+                            rt.occupied()
+                        )
+                    },
+                );
+            }
 
             // Reap finished warps.
             let warps = &self.warps;
@@ -833,6 +963,14 @@ impl<'s> Engine<'s> {
     fn next_time(&mut self, now: u64) -> u64 {
         while let Some((t, sm)) = self.wake.pop_next() {
             if t == self.sm_next[sm as usize] {
+                // A live wake entry in the past would mean the per-SM
+                // next-event cache went stale and the engine skipped
+                // work (the `.max` below would silently paper over it).
+                self.checker.check(
+                    now,
+                    || t > now,
+                    || format!("wake calendar yielded cycle {t} for SM {sm}, not after {now}"),
+                );
                 return t.max(now + 1);
             }
         }
@@ -928,7 +1066,9 @@ mod tests {
     fn run(id: SceneId, policy: TraversalPolicy, kind: ShaderKind, res: usize) -> FrameResult {
         let scene = id.build(2);
         let cfg = GpuConfig::small(2);
-        Simulation::new(&scene, &cfg, policy).run_frame(kind, res, res)
+        Simulation::new(&scene, &cfg, policy)
+            .run_frame(kind, res, res)
+            .unwrap()
     }
 
     #[test]
@@ -936,16 +1076,12 @@ mod tests {
         for id in [SceneId::Wknd, SceneId::Crnvl, SceneId::Spnza] {
             let scene = id.build(2);
             let cfg = GpuConfig::small(2);
-            let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-                ShaderKind::PathTrace,
-                8,
-                8,
-            );
-            let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-                ShaderKind::PathTrace,
-                8,
-                8,
-            );
+            let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+                .run_frame(ShaderKind::PathTrace, 8, 8)
+                .unwrap();
+            let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+                .run_frame(ShaderKind::PathTrace, 8, 8)
+                .unwrap();
             assert_eq!(
                 base.image, coop.image,
                 "{id}: CoopRT must be functionally exact"
@@ -957,16 +1093,12 @@ mod tests {
     fn coop_is_faster_on_a_divergent_scene() {
         let scene = SceneId::Crnvl.build(3);
         let cfg = GpuConfig::small(2);
-        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            12,
-            12,
-        );
-        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-            ShaderKind::PathTrace,
-            12,
-            12,
-        );
+        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 12, 12)
+            .unwrap();
+        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 12, 12)
+            .unwrap();
         assert!(
             coop.cycles < base.cycles,
             "coop {} vs base {}",
@@ -979,16 +1111,12 @@ mod tests {
     fn coop_improves_thread_utilization() {
         let scene = SceneId::Party.build(3);
         let cfg = GpuConfig::small(2);
-        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            12,
-            12,
-        );
-        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-            ShaderKind::PathTrace,
-            12,
-            12,
-        );
+        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 12, 12)
+            .unwrap();
+        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 12, 12)
+            .unwrap();
         assert!(
             coop.activity.avg_utilization() > base.activity.avg_utilization(),
             "coop {:.3} vs base {:.3}",
@@ -1045,9 +1173,12 @@ mod tests {
         for kind in [ShaderKind::AmbientOcclusion, ShaderKind::Shadow] {
             let scene = SceneId::Ref.build(2);
             let cfg = GpuConfig::small(2);
-            let base =
-                Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(kind, 8, 8);
-            let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(kind, 8, 8);
+            let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+                .run_frame(kind, 8, 8)
+                .unwrap();
+            let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+                .run_frame(kind, 8, 8)
+                .unwrap();
             assert_eq!(base.image, coop.image, "{kind:?}");
         }
     }
@@ -1083,7 +1214,8 @@ mod tests {
         let cfg = GpuConfig::small(2);
         let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
             .with_timeline_warp(0)
-            .run_frame(ShaderKind::PathTrace, 8, 8);
+            .run_frame(ShaderKind::PathTrace, 8, 8)
+            .unwrap();
         assert!(
             !r.timeline.is_empty(),
             "warp 0 traced, timeline must have samples"
@@ -1098,16 +1230,12 @@ mod tests {
         // expected, but bounded).
         let scene = SceneId::Bunny.build(3);
         let cfg = GpuConfig::small(2);
-        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            8,
-            8,
-        );
-        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-            ShaderKind::PathTrace,
-            8,
-            8,
-        );
+        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 8, 8)
+            .unwrap();
+        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 8, 8)
+            .unwrap();
         assert!(
             (coop.events.box_tests as f64) < 2.0 * base.events.box_tests as f64,
             "coop {} vs base {}",
@@ -1120,18 +1248,14 @@ mod tests {
     fn subwarp_scopes_run_and_stay_correct() {
         let scene = SceneId::Fox.build(2);
         let base_cfg = GpuConfig::small(2);
-        let reference = Simulation::new(&scene, &base_cfg, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            8,
-            8,
-        );
+        let reference = Simulation::new(&scene, &base_cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 8, 8)
+            .unwrap();
         for sw in [4usize, 8, 16, 32] {
             let cfg = GpuConfig::small(2).with_subwarp(sw);
-            let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-                ShaderKind::PathTrace,
-                8,
-                8,
-            );
+            let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+                .run_frame(ShaderKind::PathTrace, 8, 8)
+                .unwrap();
             assert_eq!(r.image, reference.image, "subwarp {sw}");
         }
     }
@@ -1140,16 +1264,12 @@ mod tests {
     fn trace_latencies_are_collected_and_coop_compresses_the_tail() {
         let scene = SceneId::Fox.build(3);
         let cfg = GpuConfig::small(2);
-        let mut base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            12,
-            12,
-        );
-        let mut coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-            ShaderKind::PathTrace,
-            12,
-            12,
-        );
+        let mut base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 12, 12)
+            .unwrap();
+        let mut coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 12, 12)
+            .unwrap();
         assert!(!base.trace_latencies.is_empty());
         assert_eq!(
             base.trace_latencies.len() as u64,
@@ -1169,7 +1289,7 @@ mod tests {
         let scene = SceneId::Wknd.build(2);
         let cfg = GpuConfig::small(2);
         let sim = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt);
-        let (accum, frames) = sim.run_accumulated(ShaderKind::PathTrace, 8, 8, 3);
+        let (accum, frames) = sim.run_accumulated(ShaderKind::PathTrace, 8, 8, 3).unwrap();
         assert_eq!(frames.len(), 3);
         assert_eq!(accum.len(), 64);
         // Distinct salts give distinct sample images.
@@ -1180,11 +1300,9 @@ mod tests {
             assert!((acc.r - mean_r).abs() < 1e-5);
         }
         // Salt 0 must reproduce the plain run (backwards compatibility).
-        let plain = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-            ShaderKind::PathTrace,
-            8,
-            8,
-        );
+        let plain = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 8, 8)
+            .unwrap();
         assert_eq!(frames[0].image, plain.image);
     }
 
@@ -1194,16 +1312,12 @@ mod tests {
         let linear = GpuConfig::small(2);
         let mut tiled = GpuConfig::small(2);
         tiled.warp_tiling = crate::config::WarpTiling::Tiled8x4;
-        let a = Simulation::new(&scene, &linear, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            16,
-            16,
-        );
-        let b = Simulation::new(&scene, &tiled, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            16,
-            16,
-        );
+        let a = Simulation::new(&scene, &linear, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 16, 16)
+            .unwrap();
+        let b = Simulation::new(&scene, &tiled, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 16, 16)
+            .unwrap();
         // Per-pixel results do not depend on warp membership...
         assert_eq!(a.image, b.image);
         // ...but the grouping genuinely differs (timing diverges).
@@ -1220,13 +1334,12 @@ mod tests {
         let scene = SceneId::Wknd.build(2);
         let mut cfg = GpuConfig::small(2);
         cfg.warp_tiling = crate::config::WarpTiling::Tiled8x4;
-        let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-            ShaderKind::PathTrace,
-            10,
-            6,
-        );
+        let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 10, 6)
+            .unwrap();
         let reference = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 10, 6);
+            .run_frame(ShaderKind::PathTrace, 10, 6)
+            .unwrap();
         assert_eq!(r.image, reference.image, "every pixel shaded exactly once");
     }
 
@@ -1251,16 +1364,12 @@ mod tests {
         let with = GpuConfig::small(2);
         let mut without = GpuConfig::small(2);
         without.node_elimination = false;
-        let a = Simulation::new(&scene, &with, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            16,
-            16,
-        );
-        let b = Simulation::new(&scene, &without, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            16,
-            16,
-        );
+        let a = Simulation::new(&scene, &with, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 16, 16)
+            .unwrap();
+        let b = Simulation::new(&scene, &without, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 16, 16)
+            .unwrap();
         assert_eq!(a.image, b.image, "pruning must not change results");
         assert!(
             b.events.triangle_tests > a.events.triangle_tests,
@@ -1279,14 +1388,13 @@ mod tests {
         let dfs_cfg = GpuConfig::small(2);
         let mut bfs_cfg = GpuConfig::small(2);
         bfs_cfg.traversal_order = crate::config::TraversalOrder::Bfs;
-        let reference = Simulation::new(&scene, &dfs_cfg, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            8,
-            8,
-        );
+        let reference = Simulation::new(&scene, &dfs_cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 8, 8)
+            .unwrap();
         for policy in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
-            let r =
-                Simulation::new(&scene, &bfs_cfg, policy).run_frame(ShaderKind::PathTrace, 8, 8);
+            let r = Simulation::new(&scene, &bfs_cfg, policy)
+                .run_frame(ShaderKind::PathTrace, 8, 8)
+                .unwrap();
             assert_eq!(r.image, reference.image, "BFS under {policy:?}");
         }
     }
@@ -1299,16 +1407,12 @@ mod tests {
         let dfs_cfg = GpuConfig::small(2);
         let mut bfs_cfg = GpuConfig::small(2);
         bfs_cfg.traversal_order = crate::config::TraversalOrder::Bfs;
-        let dfs = Simulation::new(&scene, &dfs_cfg, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            10,
-            10,
-        );
-        let bfs = Simulation::new(&scene, &bfs_cfg, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            10,
-            10,
-        );
+        let dfs = Simulation::new(&scene, &dfs_cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 10, 10)
+            .unwrap();
+        let bfs = Simulation::new(&scene, &bfs_cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 10, 10)
+            .unwrap();
         assert!(
             bfs.events.triangle_tests >= dfs.events.triangle_tests,
             "bfs {} vs dfs {}",
@@ -1326,10 +1430,12 @@ mod tests {
             let plain = GpuConfig::small(2);
             let mut compact = GpuConfig::small(2);
             compact.compaction = true;
-            let a =
-                Simulation::new(&scene, &plain, TraversalPolicy::Baseline).run_frame(kind, 10, 10);
+            let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline)
+                .run_frame(kind, 10, 10)
+                .unwrap();
             let b = Simulation::new(&scene, &compact, TraversalPolicy::Baseline)
-                .run_frame(kind, 10, 10);
+                .run_frame(kind, 10, 10)
+                .unwrap();
             assert_eq!(a.image, b.image, "{kind:?}");
         }
     }
@@ -1340,12 +1446,11 @@ mod tests {
         let mut cfg = GpuConfig::small(2);
         cfg.compaction = true;
         let base = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 10, 10);
-        let both = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-            ShaderKind::PathTrace,
-            10,
-            10,
-        );
+            .run_frame(ShaderKind::PathTrace, 10, 10)
+            .unwrap();
+        let both = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 10, 10)
+            .unwrap();
         assert_eq!(base.image, both.image);
         assert!(both.cycles > 0);
     }
@@ -1360,16 +1465,12 @@ mod tests {
         plain.sample_interval = 50; // dense sampling for a small frame
         let mut compact = plain.clone();
         compact.compaction = true;
-        let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            40,
-            40,
-        );
-        let b = Simulation::new(&scene, &compact, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            40,
-            40,
-        );
+        let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 40, 40)
+            .unwrap();
+        let b = Simulation::new(&scene, &compact, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 40, 40)
+            .unwrap();
         assert_eq!(a.image, b.image);
         // Re-packing live threads into dense warps means fewer
         // trace_ray instructions carry the same set of rays.
@@ -1395,9 +1496,12 @@ mod tests {
             let plain = GpuConfig::small(2);
             let mut pred = GpuConfig::small(2);
             pred.intersection_predictor = true;
-            let a =
-                Simulation::new(&scene, &plain, TraversalPolicy::Baseline).run_frame(kind, 8, 8);
-            let b = Simulation::new(&scene, &pred, TraversalPolicy::Baseline).run_frame(kind, 8, 8);
+            let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline)
+                .run_frame(kind, 8, 8)
+                .unwrap();
+            let b = Simulation::new(&scene, &pred, TraversalPolicy::Baseline)
+                .run_frame(kind, 8, 8)
+                .unwrap();
             assert_eq!(a.image, b.image, "{kind:?}");
         }
     }
@@ -1410,16 +1514,12 @@ mod tests {
         let plain = GpuConfig::small(2);
         let mut pred = GpuConfig::small(2);
         pred.intersection_predictor = true;
-        let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::AmbientOcclusion,
-            16,
-            16,
-        );
-        let b = Simulation::new(&scene, &pred, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::AmbientOcclusion,
-            16,
-            16,
-        );
+        let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::AmbientOcclusion, 16, 16)
+            .unwrap();
+        let b = Simulation::new(&scene, &pred, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::AmbientOcclusion, 16, 16)
+            .unwrap();
         assert_eq!(a.image, b.image);
         assert!(
             b.events.box_tests < a.events.box_tests,
@@ -1435,16 +1535,12 @@ mod tests {
         let plain = GpuConfig::small(2);
         let mut pf = GpuConfig::small(2);
         pf.prefetch_children = true;
-        let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            10,
-            10,
-        );
-        let b = Simulation::new(&scene, &pf, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            10,
-            10,
-        );
+        let a = Simulation::new(&scene, &plain, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 10, 10)
+            .unwrap();
+        let b = Simulation::new(&scene, &pf, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 10, 10)
+            .unwrap();
         assert_eq!(a.image, b.image, "prefetching must not change results");
         assert_eq!(a.mem.prefetches, 0);
         assert!(
@@ -1462,16 +1558,12 @@ mod tests {
         let all = GpuConfig::small(2).with_subwarp(8);
         let mut one = GpuConfig::small(2).with_subwarp(8);
         one.subwarp_mode = crate::config::SubwarpMode::OneGroup;
-        let ra = Simulation::new(&scene, &all, TraversalPolicy::CoopRt).run_frame(
-            ShaderKind::PathTrace,
-            10,
-            10,
-        );
-        let ro = Simulation::new(&scene, &one, TraversalPolicy::CoopRt).run_frame(
-            ShaderKind::PathTrace,
-            10,
-            10,
-        );
+        let ra = Simulation::new(&scene, &all, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 10, 10)
+            .unwrap();
+        let ro = Simulation::new(&scene, &one, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 10, 10)
+            .unwrap();
         assert_eq!(ra.image, ro.image);
         let ratio = ro.cycles as f64 / ra.cycles as f64;
         assert!(
@@ -1486,30 +1578,63 @@ mod tests {
     fn steal_position_and_lbu_rate_preserve_results() {
         let scene = SceneId::Party.build(2);
         let reference = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::CoopRt)
-            .run_frame(ShaderKind::PathTrace, 8, 8);
+            .run_frame(ShaderKind::PathTrace, 8, 8)
+            .unwrap();
         let mut bottom = GpuConfig::small(2);
         bottom.steal_from = crate::config::StealPosition::Bottom;
         let mut fast_lbu = GpuConfig::small(2);
         fast_lbu.lbu_moves_per_cycle = 4;
         for cfg in [bottom, fast_lbu] {
-            let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-                ShaderKind::PathTrace,
-                8,
-                8,
-            );
+            let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+                .run_frame(ShaderKind::PathTrace, 8, 8)
+                .unwrap();
             assert_eq!(r.image, reference.image);
         }
     }
 
     #[test]
-    #[should_panic(expected = "image must be non-empty")]
     fn empty_frame_rejected() {
         let scene = SceneId::Wknd.build(1);
         let cfg = GpuConfig::small(1);
-        let _ = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            0,
-            8,
+        let sim = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline);
+        assert_eq!(
+            sim.run_frame(ShaderKind::PathTrace, 0, 8).unwrap_err(),
+            ConfigError::EmptyFrame {
+                width: 0,
+                height: 8
+            }
+        );
+        assert_eq!(
+            sim.run_frame(ShaderKind::PathTrace, 8, 0).unwrap_err(),
+            ConfigError::EmptyFrame {
+                width: 8,
+                height: 0
+            }
+        );
+        assert_eq!(
+            sim.run_accumulated(ShaderKind::PathTrace, 0, 8, 1)
+                .unwrap_err(),
+            ConfigError::EmptyFrame {
+                width: 0,
+                height: 8
+            }
+        );
+    }
+
+    #[test]
+    fn zero_spp_rejected() {
+        let scene = SceneId::Wknd.build(1);
+        let cfg = GpuConfig::small(1);
+        let sim = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline);
+        assert_eq!(
+            sim.run_accumulated(ShaderKind::PathTrace, 8, 8, 0)
+                .unwrap_err(),
+            ConfigError::ZeroSamples
+        );
+        // The error type carries a human-readable message.
+        assert_eq!(
+            ConfigError::ZeroSamples.to_string(),
+            "need at least one sample per pixel"
         );
     }
 }

@@ -35,9 +35,9 @@
 //! let config = GpuConfig::small(2);
 //!
 //! let base = Simulation::new(&scene, &config, TraversalPolicy::Baseline)
-//!     .run_frame(ShaderKind::PathTrace, 8, 8);
+//!     .run_frame(ShaderKind::PathTrace, 8, 8).unwrap();
 //! let coop = Simulation::new(&scene, &config, TraversalPolicy::CoopRt)
-//!     .run_frame(ShaderKind::PathTrace, 8, 8);
+//!     .run_frame(ShaderKind::PathTrace, 8, 8).unwrap();
 //!
 //! // Functional correctness: identical images...
 //! assert_eq!(base.image, coop.image);
@@ -46,6 +46,7 @@
 //! ```
 
 pub mod area;
+pub mod check;
 pub mod config;
 pub mod engine;
 pub mod latency;
@@ -56,12 +57,13 @@ pub mod predictor;
 pub mod rtunit;
 pub mod shader;
 
+pub use check::Checker;
 pub use config::{
     GpuConfig, StealPosition, SubwarpMode, TraversalOrder, TraversalPolicy, WarpTiling, WARP_SIZE,
 };
 pub use engine::{
-    ActivitySample, ActivitySeries, FrameResult, IntervalSample, IntervalSeries, Simulation,
-    StallBreakdown, TimelineSample,
+    ActivitySample, ActivitySeries, ConfigError, FrameResult, IntervalSample, IntervalSeries,
+    Simulation, StallBreakdown, TimelineSample,
 };
 pub use latency::TraceLatencies;
 pub use metrics::{FrameMetrics, LatencySummary, MetricsReport, METRICS_SCHEMA_VERSION};

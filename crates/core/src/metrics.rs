@@ -290,11 +290,9 @@ mod tests {
     fn frame() -> FrameResult {
         let scene = SceneId::Crnvl.build(2);
         let config = GpuConfig::small(1);
-        Simulation::new(&scene, &config, TraversalPolicy::CoopRt).run_frame(
-            ShaderKind::PathTrace,
-            8,
-            8,
-        )
+        Simulation::new(&scene, &config, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 8, 8)
+            .unwrap()
     }
 
     #[test]

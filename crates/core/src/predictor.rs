@@ -173,4 +173,42 @@ mod tests {
     fn zero_entries_rejected() {
         let _ = Predictor::new(0);
     }
+
+    #[test]
+    fn non_power_of_two_tables_distribute_acceptably() {
+        // Indexing is `h % len` over a splitmix64-finalized signature, so
+        // any table size (not just powers of two) must spread distinct
+        // signatures near-uniformly: modulo of a well-mixed 64-bit hash
+        // has no resonance with the quantization lattice. Pin that for
+        // sizes with odd factors, including a prime.
+        for len in [768usize, 1000, 1021] {
+            let p = Predictor::new(len);
+            let mut counts = vec![0u32; len];
+            let mut distinct = 0u32;
+            // Origins spaced one 4-unit quantization cell apart: every
+            // (i, j) pair is a distinct signature.
+            for i in 0..100 {
+                for j in 0..80 {
+                    let r = ray(
+                        Vec3::new(4.0 * i as f32, 4.0 * j as f32, 0.0),
+                        Vec3::new(0.3, 0.8, 0.5),
+                    );
+                    let (slot, _) = p.slot_and_tag(&r);
+                    counts[slot] += 1;
+                    distinct += 1;
+                }
+            }
+            let mean = distinct as f64 / len as f64;
+            let max = *counts.iter().max().unwrap() as f64;
+            let empty = counts.iter().filter(|&&c| c == 0).count() as f64;
+            assert!(
+                max <= 4.0 * mean,
+                "len {len}: hottest slot {max} vs mean {mean:.1} — modulo bias"
+            );
+            assert!(
+                empty / len as f64 <= 0.05,
+                "len {len}: {empty} empty slots of {len} — clustered indexing"
+            );
+        }
+    }
 }

@@ -19,10 +19,11 @@
 //! the paper had to approximate in Vulkan-sim's split functional/timing
 //! design, §6.1).
 
+use crate::check::Checker;
 use crate::config::{
     GpuConfig, StealPosition, SubwarpMode, TraversalOrder, TraversalPolicy, WARP_SIZE,
 };
-use crate::lbu::find_pairs;
+use crate::lbu::{find_pairs, LbuPair};
 use crate::predictor::{Predictor, PredictorStats};
 use cooprt_bvh::NodeKind;
 use cooprt_gpu::{EnergyEvents, EventCalendar, MemoryHierarchy};
@@ -274,6 +275,9 @@ pub struct RtUnit {
     /// Sim-time event tracer (disabled by default; purely
     /// observational — no scheduling decision reads it).
     tracer: Tracer,
+    /// Invariant checker (disabled by default; like the tracer, purely
+    /// observational — no scheduling decision reads it).
+    checker: Checker,
     /// Energy-event counters accumulated by this unit.
     pub events: EnergyEvents,
     /// Total rays dispatched into this unit (active threads across all
@@ -296,6 +300,7 @@ impl RtUnit {
             predictor: None,
             thread_pool: Vec::new(),
             tracer: Tracer::disabled(),
+            checker: Checker::disabled(),
             events: EnergyEvents::default(),
             rays_issued: 0,
         }
@@ -315,6 +320,23 @@ impl RtUnit {
     /// pops and LBU moves are emitted through it.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Install an invariant checker: response-FIFO pops, coalesced
+    /// fetches, `min_thit` updates and LBU moves are verified through it.
+    pub fn set_checker(&mut self, checker: Checker) {
+        self.checker = checker;
+    }
+
+    /// Rays still traversing in this unit: active threads of every
+    /// resident warp-buffer entry. Feeds the engine's ray-conservation
+    /// invariant (`issued == retired + in-flight`).
+    pub fn in_flight_rays(&self) -> u64 {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|s| u64::from(s.active.count_ones()))
+            .sum()
     }
 
     /// Prediction-table counters, when the predictor is enabled.
@@ -429,7 +451,18 @@ impl RtUnit {
         retired: &mut Vec<TraceResult>,
     ) {
         // 1. Response FIFO: pop at most one ready response per cycle.
-        if let Some((_, (slot, addr))) = self.responses.pop_ready(now) {
+        if let Some((t, (slot, addr))) = self.responses.pop_ready(now) {
+            self.checker.count_response_pop(self.sm_id, now);
+            self.checker.check(
+                now,
+                || t <= now,
+                || {
+                    format!(
+                        "RT unit {} popped a response due at cycle {t} early",
+                        self.sm_id
+                    )
+                },
+            );
             self.tracer.emit(now, || EventKind::ResponsePop {
                 sm: self.sm_id as u32,
                 addr,
@@ -593,6 +626,17 @@ impl RtUnit {
             .expect("traversal stacks hold valid node addresses")
             .size_bytes();
         let ready = mem.access(self.sm_id, addr, bytes, now);
+        self.checker.count_fetch(self.sm_id, now);
+        self.checker.check(
+            now,
+            || ready > now,
+            || {
+                format!(
+                    "RT unit {} fetch of node {addr:#x} completes at cycle {ready}, not in the future",
+                    self.sm_id
+                )
+            },
+        );
         self.responses.push(ready, (slot_idx, addr));
         self.tracer.emit(now, || EventKind::NodeFetch {
             sm: self.sm_id as u32,
@@ -671,6 +715,13 @@ impl RtUnit {
                                 || matches!(slot.best[mt], Some(b) if h.t == b.t && *triangle < b.triangle)
                         });
                     if let Some(h) = accept {
+                        let prev = slot.min_thit[mt];
+                        let t = h.t;
+                        self.checker.check(
+                            now,
+                            || t <= prev,
+                            || format!("thread {mt} min_thit increased from {prev} to {t}"),
+                        );
                         slot.min_thit[mt] = h.t;
                         slot.best[mt] = Some(RayHit {
                             triangle: *triangle,
@@ -712,10 +763,10 @@ impl RtUnit {
     }
 
     fn run_lbu(&mut self, slot_idx: usize, cfg: &GpuConfig, now: u64) {
-        let slot = self.slots[slot_idx]
-            .as_mut()
-            .expect("LBU picked occupied slot");
         for _ in 0..cfg.lbu_moves_per_cycle.max(1) {
+            let slot = self.slots[slot_idx]
+                .as_ref()
+                .expect("LBU picked occupied slot");
             let (can, needs) = Self::lbu_masks(slot);
             let mut pairs = find_pairs(can, needs, cfg.subwarp_size);
             if pairs.is_empty() {
@@ -738,25 +789,92 @@ impl RtUnit {
                 pairs = crate::lbu::LbuPairs::single(chosen);
             }
             for &pair in &pairs {
-                let node = slot
-                    .threads
-                    .steal_node(pair.main, cfg.traversal_order, cfg.steal_from)
-                    .expect("main thread has a non-empty stack");
-                let main_tid = slot.threads.main_tid[pair.main];
-                slot.threads.push(pair.helper, node);
-                slot.threads.main_tid[pair.helper] = main_tid;
-                self.events.lbu_moves += 1;
-                self.events.stack_ops += 2;
-                let warp = slot.warp as u32;
-                self.tracer.emit(now, || EventKind::LbuMove {
-                    sm: self.sm_id as u32,
-                    warp,
-                    helper: pair.helper as u32,
-                    main: pair.main as u32,
-                    main_tid: u32::from(main_tid),
-                });
+                self.apply_lbu_pair(slot_idx, pair, cfg, now);
             }
         }
+    }
+
+    /// Executes one LBU move: steals a node from `pair.main`'s stack and
+    /// pushes it onto `pair.helper`'s, re-pointing the helper at the
+    /// main's ray. In checked mode the pair is verified first: the
+    /// helper must be idle (empty stack, no fetch in flight), the main
+    /// must have stack work to share, and the two must be distinct
+    /// threads — [`find_pairs`] guarantees all three, so a violation
+    /// here means the pairing logic regressed.
+    fn apply_lbu_pair(&mut self, slot_idx: usize, pair: LbuPair, cfg: &GpuConfig, now: u64) {
+        let sm = self.sm_id;
+        let slot = self.slots[slot_idx]
+            .as_mut()
+            .expect("LBU picked occupied slot");
+        if self.checker.is_enabled() {
+            let busy = slot.threads.busy_mask();
+            let nonempty = slot.threads.nonempty;
+            self.checker.check(
+                now,
+                || pair.helper != pair.main,
+                || {
+                    format!(
+                        "LBU on RT unit {sm}: thread {} paired with itself",
+                        pair.main
+                    )
+                },
+            );
+            self.checker.check(
+                now,
+                || busy & (1 << pair.helper) == 0,
+                || {
+                    format!(
+                        "LBU on RT unit {sm}: helper thread {} is not idle",
+                        pair.helper
+                    )
+                },
+            );
+            self.checker.check(
+                now,
+                || nonempty & (1 << pair.main) != 0,
+                || {
+                    format!(
+                        "LBU on RT unit {sm}: main thread {} has no stack work to share",
+                        pair.main
+                    )
+                },
+            );
+        }
+        let Some(node) = slot
+            .threads
+            .steal_node(pair.main, cfg.traversal_order, cfg.steal_from)
+        else {
+            // Unreachable through `find_pairs`; only a corrupted pair
+            // (recorded by the checker above) can land here.
+            return;
+        };
+        let main_tid = slot.threads.main_tid[pair.main];
+        slot.threads.push(pair.helper, node);
+        slot.threads.main_tid[pair.helper] = main_tid;
+        self.events.lbu_moves += 1;
+        self.events.stack_ops += 2;
+        let warp = slot.warp as u32;
+        self.tracer.emit(now, || EventKind::LbuMove {
+            sm: self.sm_id as u32,
+            warp,
+            helper: pair.helper as u32,
+            main: pair.main as u32,
+            main_tid: u32::from(main_tid),
+        });
+    }
+
+    /// Test-only hook: applies an arbitrary (possibly invalid) LBU pair
+    /// to the slot holding `warp`, bypassing [`find_pairs`]. Used by the
+    /// mutation test that proves a broken pairing is caught by the
+    /// checker.
+    #[cfg(test)]
+    fn force_lbu_move(&mut self, warp: usize, pair: LbuPair, cfg: &GpuConfig, now: u64) {
+        let slot_idx = self
+            .slots
+            .iter()
+            .position(|s| matches!(s, Some(slot) if slot.warp == warp))
+            .expect("warp is resident");
+        self.apply_lbu_pair(slot_idx, pair, cfg, now);
     }
 }
 
@@ -1030,6 +1148,47 @@ mod tests {
         assert!(s.busy > 0);
         assert!(rt.busy_mask_of(0).is_some());
         assert!(rt.busy_mask_of(99).is_none());
+    }
+
+    #[test]
+    fn checked_run_is_clean_for_both_policies() {
+        let scene = test_scene(60);
+        let cfg = GpuConfig::small(1);
+        let rays = warp_rays(&scene, 6);
+        for policy in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
+            let checker = crate::check::Checker::enabled();
+            let mut rt = RtUnit::new(0, 4);
+            rt.set_checker(checker.clone());
+            let mut m = mem();
+            rt.issue(TraceQuery::closest_hit(0, rays), 0, &scene);
+            assert_eq!(rt.in_flight_rays(), 6);
+            let _ = run_to_retire(&mut rt, &mut m, &scene, policy, &cfg);
+            assert_eq!(rt.in_flight_rays(), 0);
+            assert!(
+                checker.checks_run() > 0,
+                "checked run must evaluate invariants ({policy:?})"
+            );
+            checker.assert_clean();
+        }
+    }
+
+    #[test]
+    fn corrupted_lbu_pair_is_caught_by_the_checker() {
+        let scene = test_scene(60);
+        let cfg = GpuConfig::small(1);
+        let checker = crate::check::Checker::enabled();
+        let mut rt = RtUnit::new(0, 4);
+        rt.set_checker(checker.clone());
+        rt.issue(TraceQuery::closest_hit(3, warp_rays(&scene, 8)), 0, &scene);
+        // Threads 0..8 all pushed the root: thread 1 is busy, so pairing
+        // it as a *helper* violates the LBU contract. `find_pairs` would
+        // never emit this; inject it directly (the mutation).
+        rt.force_lbu_move(3, LbuPair { helper: 1, main: 0 }, &cfg, 0);
+        let violations = checker.violations();
+        assert!(
+            violations.iter().any(|v| v.contains("helper thread 1")),
+            "mutated LBU pairing must be flagged, got {violations:?}"
+        );
     }
 
     #[test]

@@ -144,7 +144,14 @@ impl Aabb {
     ///
     /// Returns the entry distance `t` (clamped to `0`) if the ray hits the
     /// box within `[0, t_max]`, or `None` otherwise. A ray starting inside
-    /// the box reports `Some(0.0)`.
+    /// the box reports `Some(0.0)`. The box is treated as *closed*: a ray
+    /// travelling exactly in the plane of a face (origin on the face,
+    /// direction component zero) counts as a hit, consistently on both the
+    /// scalar path and the wide-BVH traversal path, which share this
+    /// function. [`Aabb::empty`] (and any box inverted along some axis)
+    /// never hits: without this guard the per-slab sort would flip the
+    /// inverted interval `(+inf, -inf)` into the unconstrained
+    /// `(-inf, +inf)` and report a hit at `t = 0` for every ray.
     ///
     /// ```
     /// # use cooprt_math::{Aabb, Ray, Vec3};
@@ -152,9 +159,13 @@ impl Aabb {
     /// let r = Ray::new(Vec3::new(0.5, 0.5, -2.0), Vec3::Z);
     /// assert_eq!(b.intersect(&r, f32::INFINITY), Some(2.0));
     /// assert_eq!(b.intersect(&r, 1.0), None); // beyond t_max
+    /// assert_eq!(Aabb::empty().intersect(&r, f32::INFINITY), None);
     /// ```
     #[inline]
     pub fn intersect(&self, ray: &Ray, t_max: f32) -> Option<f32> {
+        if self.is_empty() {
+            return None;
+        }
         let (lo_x, hi_x) = slab_interval(self.min.x, self.max.x, ray.orig.x, ray.inv_dir.x);
         let (lo_y, hi_y) = slab_interval(self.min.y, self.max.y, ray.orig.y, ray.inv_dir.y);
         let (lo_z, hi_z) = slab_interval(self.min.z, self.max.z, ray.orig.z, ray.inv_dir.z);
@@ -174,6 +185,14 @@ impl Aabb {
 /// produces NaN under IEEE-754; in that case the origin lies *on* the
 /// closed slab's boundary, so the slab constrains nothing and the interval
 /// is `(-inf, inf)`.
+///
+/// This reduction is only correct for non-inverted slabs (`min <= max`,
+/// guaranteed by the `is_empty` guard in [`Aabb::intersect`]). For those,
+/// a NaN lane implies the origin coincides with a slab bound while the
+/// direction is parallel, i.e. the ray really does stay inside the closed
+/// slab forever; the non-NaN cases (origin strictly outside a slab it
+/// travels parallel to) yield two same-signed infinities, whose sorted
+/// interval is empty as required.
 #[inline]
 fn slab_interval(min: f32, max: f32, orig: f32, inv: f32) -> (f32, f32) {
     let t0 = (min - orig) * inv;
@@ -300,5 +319,54 @@ mod tests {
         let b = unit_box();
         let r = Ray::new(Vec3::new(0.5, 0.5, 2.0), -Vec3::Z);
         assert_eq!(b.intersect(&r, f32::INFINITY), Some(1.0));
+    }
+
+    #[test]
+    fn empty_box_never_hits() {
+        // Regression: the inverted slab (+inf, -inf) used to sort into the
+        // unconstrained (-inf, +inf) on every axis, reporting Some(0.0)
+        // for *every* ray against Aabb::empty().
+        let e = Aabb::empty();
+        let rays = [
+            Ray::new(Vec3::ZERO, Vec3::Z),
+            Ray::new(Vec3::splat(5.0), -Vec3::X),
+            Ray::new(Vec3::new(-3.0, 2.0, 1.0), Vec3::new(1.0, 1.0, 1.0)),
+        ];
+        for r in &rays {
+            assert_eq!(e.intersect(r, f32::INFINITY), None);
+        }
+        // Partially inverted boxes (empty along one axis) miss too.
+        let partial = Aabb {
+            min: Vec3::new(0.0, 1.0, 0.0),
+            max: Vec3::new(1.0, -1.0, 1.0),
+        };
+        assert_eq!(partial.intersect(&rays[0], f32::INFINITY), None);
+    }
+
+    #[test]
+    fn in_plane_ray_hits_zero_thickness_face() {
+        // Closed-box convention: a ray whose origin lies exactly on a
+        // zero-thickness face and travels in that plane produces 0 * inf
+        // = NaN lanes in the slab test; the closed-slab reduction must
+        // treat the box as hit (the ray genuinely passes through points
+        // of the closed box).
+        let flat = Aabb::new(Vec3::new(0.0, 1.0, 0.0), Vec3::new(4.0, 1.0, 4.0));
+        let r = Ray::new(Vec3::new(-1.0, 1.0, 2.0), Vec3::X);
+        assert_eq!(r.inv_dir.y, f32::INFINITY); // the NaN-producing lane
+        assert_eq!(flat.intersect(&r, f32::INFINITY), Some(1.0));
+        // Same plane but offset origin: parallel ray strictly outside the
+        // slab must still miss (same-signed infinities, empty interval).
+        let above = Ray::new(Vec3::new(-1.0, 1.5, 2.0), Vec3::X);
+        assert_eq!(flat.intersect(&above, f32::INFINITY), None);
+    }
+
+    #[test]
+    fn origin_on_corner_of_flat_box_counts_as_inside() {
+        // Origin exactly on the min corner of a zero-thickness face,
+        // travelling along the face: both the degenerate axis and one
+        // finite axis produce boundary cases; closed semantics report 0.
+        let flat = Aabb::new(Vec3::new(0.0, 1.0, 0.0), Vec3::new(4.0, 1.0, 4.0));
+        let r = Ray::new(Vec3::new(0.0, 1.0, 2.0), Vec3::X);
+        assert_eq!(flat.intersect(&r, f32::INFINITY), Some(0.0));
     }
 }

@@ -87,14 +87,24 @@ impl Triangle {
     /// Returns the hit with `GEOM_EPSILON < t < t_max`, if any. Backfacing
     /// triangles are reported too (no culling), matching the behaviour of
     /// hardware closest-hit queries.
+    ///
+    /// The parallel-ray rejection is *scale-aware*: `det = e1 · (d × e2)`
+    /// grows quadratically with the triangle's linear scale, so an
+    /// absolute cutoff would silently reject well-conditioned hits on
+    /// small geometry (and accept ill-conditioned ones on large). The
+    /// cutoff instead compares `det` against `GEOM_EPSILON · |e1| · |d×e2|`
+    /// — the cosine of the angle between `e1` and `d × e2` — which is
+    /// invariant under uniform scaling of the triangle (and of the scene,
+    /// since ray directions are unit length). Compared squared to stay
+    /// square-root free.
     #[inline]
     pub fn intersect(&self, ray: &Ray, t_max: f32) -> Option<TriangleHit> {
         let e1 = self.v1 - self.v0;
         let e2 = self.v2 - self.v0;
         let p = ray.dir.cross(e2);
         let det = e1.dot(p);
-        if det.abs() < GEOM_EPSILON {
-            return None; // Ray parallel to triangle plane.
+        if det * det < GEOM_EPSILON * GEOM_EPSILON * e1.length_squared() * p.length_squared() {
+            return None; // Ray (near-)parallel to triangle plane.
         }
         let inv_det = 1.0 / det;
         let s = ray.orig - self.v0;
@@ -209,6 +219,64 @@ mod tests {
             Vec3::new(0.0, 3.0, 0.0),
         );
         assert_eq!(t.centroid(), Vec3::new(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn intersection_is_scale_invariant() {
+        // Regression for the absolute det cutoff: det scales with the
+        // square of the triangle's linear scale, so the same (triangle,
+        // ray) pair uniformly scaled by 1e-3 used to false-miss (det
+        // dropped below the absolute epsilon) while the 1e3x copy agreed
+        // with the unscaled one. Hit/miss decisions must agree across
+        // scales, and barycentrics (scale-free) must match closely.
+        let base = Triangle::new(
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
+        // One clear hit, one clear miss (outside barycentric range), and
+        // one oblique grazing-but-valid hit.
+        let cases = [
+            (Vec3::new(0.25, 0.25, -1.0), Vec3::Z, true),
+            (Vec3::new(0.9, 0.9, -1.0), Vec3::Z, false),
+            (
+                Vec3::new(0.3, 0.3, -1.0),
+                Vec3::new(0.1, 0.05, 1.0).normalized(),
+                true,
+            ),
+        ];
+        for scale in [1.0e-3f32, 1.0, 1.0e3] {
+            let tri = Triangle::new(base.v0 * scale, base.v1 * scale, base.v2 * scale);
+            for &(orig, dir, expect_hit) in &cases {
+                let r = Ray::new(orig * scale, dir);
+                let hit = tri.intersect(&r, f32::INFINITY);
+                assert_eq!(
+                    hit.is_some(),
+                    expect_hit,
+                    "scale {scale}: hit/miss decision diverged from the unscaled case"
+                );
+                if let Some(h) = hit {
+                    let unscaled = base.intersect(&Ray::new(orig, dir), f32::INFINITY).unwrap();
+                    assert!((h.u - unscaled.u).abs() < 1e-4);
+                    assert!((h.v - unscaled.v).abs() < 1e-4);
+                    assert!((h.t / scale - unscaled.t).abs() < 1e-3 * unscaled.t.max(1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_triangle_never_hits() {
+        // Zero-area triangles make det == 0 with |e1||p| == 0, so the
+        // scale-aware cutoff (0 < 0) does not fire; the NaN/inf fallout
+        // must still be rejected by the barycentric and t range checks.
+        let line = Triangle::new(Vec3::ZERO, Vec3::X, Vec3::X * 2.0);
+        let point = Triangle::new(Vec3::ONE, Vec3::ONE, Vec3::ONE);
+        for dir in [Vec3::Z, Vec3::X, Vec3::new(1.0, 1.0, 1.0).normalized()] {
+            let r = Ray::new(Vec3::new(0.5, 0.0, -1.0), dir);
+            assert!(line.intersect(&r, f32::INFINITY).is_none());
+            assert!(point.intersect(&r, f32::INFINITY).is_none());
+        }
     }
 
     #[test]

@@ -29,7 +29,9 @@ fn main() {
     let scene = id.build(16);
     let cfg = GpuConfig::rtx2060();
     println!("tracing '{id}' under {} ...", policy.label());
-    let frame = Simulation::new(&scene, &cfg, policy).run_frame(ShaderKind::PathTrace, 48, 48);
+    let frame = Simulation::new(&scene, &cfg, policy)
+        .run_frame(ShaderKind::PathTrace, 48, 48)
+        .unwrap();
 
     // CSV dump.
     let mut f = std::io::BufWriter::new(std::fs::File::create(&out_path).expect("create CSV"));

@@ -22,7 +22,8 @@ fn main() {
     println!("design-space exploration on '{id}' ({res}x{res}, path tracing)\n");
 
     let baseline = Simulation::new(&scene, &GpuConfig::rtx2060(), TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::PathTrace, res, res);
+        .run_frame(ShaderKind::PathTrace, res, res)
+        .unwrap();
     println!(
         "reference: 4-entry warp buffer, no CoopRT -> {} cycles\n",
         baseline.cycles
@@ -35,11 +36,9 @@ fn main() {
     );
     for entries in [4usize, 8, 16, 32] {
         let cfg = GpuConfig::rtx2060().with_warp_buffer(entries);
-        let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            res,
-            res,
-        );
+        let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, res, res)
+            .unwrap();
         println!(
             "{:<10} {:>12} {:>9.2}x {:>14}",
             entries,
@@ -56,11 +55,9 @@ fn main() {
     );
     for sw in [4usize, 8, 16, 32] {
         let cfg = GpuConfig::rtx2060().with_subwarp(sw);
-        let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-            ShaderKind::PathTrace,
-            res,
-            res,
-        );
+        let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, res, res)
+            .unwrap();
         println!(
             "{:<10} {:>12} {:>9.2}x {:>10} {:>9.2}%",
             sw,

@@ -43,7 +43,9 @@ fn main() {
     );
 
     let start = std::time::Instant::now();
-    let frame = Simulation::new(&scene, &config, policy).run_frame(ShaderKind::PathTrace, res, res);
+    let frame = Simulation::new(&scene, &config, policy)
+        .run_frame(ShaderKind::PathTrace, res, res)
+        .unwrap();
     println!(
         "simulated {} GPU cycles ({:.2} ms at {:.0} MHz) in {:.1?} wall time",
         frame.cycles,

@@ -22,16 +22,12 @@ fn main() {
     );
 
     // Path-trace one 32x32 frame under both traversal policies.
-    let base = Simulation::new(&scene, &config, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        32,
-        32,
-    );
-    let coop = Simulation::new(&scene, &config, TraversalPolicy::CoopRt).run_frame(
-        ShaderKind::PathTrace,
-        32,
-        32,
-    );
+    let base = Simulation::new(&scene, &config, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, 32, 32)
+        .unwrap();
+    let coop = Simulation::new(&scene, &config, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, 32, 32)
+        .unwrap();
 
     // Cooperative traversal is functionally exact...
     assert_eq!(

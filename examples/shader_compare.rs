@@ -30,9 +30,12 @@ fn main() {
         ShaderKind::AmbientOcclusion,
         ShaderKind::Shadow,
     ] {
-        let base =
-            Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(kind, res, res);
-        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(kind, res, res);
+        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+            .run_frame(kind, res, res)
+            .unwrap();
+        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(kind, res, res)
+            .unwrap();
         assert_eq!(base.image, coop.image);
         println!(
             "{:<18} {:>12} {:>12} {:>8.2}x {:>11.1}% {:>11.1}%",

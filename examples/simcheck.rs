@@ -1,0 +1,103 @@
+//! Differential fuzzing driver: replays seeds through every
+//! `cooprt-check` oracle (cache/MSHR/calendar reference models, BVH vs
+//! brute force, baseline-vs-CoopRT image identity with engine
+//! invariants enabled).
+//!
+//! ```sh
+//! # CI smoke: 64 consecutive seeds starting at 0.
+//! cargo run --release --example simcheck -- --seeds 64
+//!
+//! # Replay a failing seed reported by the fuzzer.
+//! cargo run --release --example simcheck -- --seed 12345
+//! ```
+//!
+//! On failure the harness prints the shrunk, minimized configuration
+//! (resolution halved, triangles dropped, warps shrunk — whatever still
+//! reproduces), the diverging oracle, and the exact replay command,
+//! then exits non-zero.
+
+use cooprt_check::{fuzz, FuzzCase};
+
+struct Args {
+    /// Replay exactly this seed (overrides the budget).
+    seed: Option<u64>,
+    /// Number of consecutive seeds to run.
+    seeds: u64,
+    /// First seed of the budget.
+    start: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: None,
+        seeds: 64,
+        start: 0,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value after {}", argv[*i - 1]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        let parse_u64 = |s: String| -> u64 {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("not a number: {s}");
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--seed" => args.seed = Some(parse_u64(value(&mut i))),
+            "--seeds" => args.seeds = parse_u64(value(&mut i)),
+            "--start" => args.start = parse_u64(value(&mut i)),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: simcheck [--seed N | --seeds COUNT [--start FIRST]]\n\
+                     \n\
+                     --seed N       replay one seed through every oracle\n\
+                     --seeds COUNT  run COUNT consecutive seeds (default 64)\n\
+                     --start FIRST  first seed of the budget (default 0)"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(seed) = args.seed {
+        println!("replaying {}", FuzzCase::from_seed(seed));
+        match fuzz::run_seed(seed) {
+            Ok(()) => println!("seed {seed}: every oracle agrees"),
+            Err(failure) => {
+                eprintln!("{failure}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    println!(
+        "fuzzing {} seeds starting at {} (differential oracles: cache, mshr, \
+         calendar, bvh, image identity, engine invariants)",
+        args.seeds, args.start
+    );
+    match fuzz::run_budget(args.start, args.seeds) {
+        Ok(count) => println!("{count}/{count} seeds passed"),
+        Err(failure) => {
+            eprintln!("{failure}");
+            std::process::exit(1);
+        }
+    }
+}

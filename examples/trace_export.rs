@@ -110,6 +110,7 @@ fn main() {
         Simulation::new(&scene, &cfg, policy)
             .with_tracer(tracer.clone())
             .run_frame(ShaderKind::PathTrace, args.res, args.res)
+            .unwrap()
     });
     let log = tracer.take();
     println!(

@@ -153,8 +153,9 @@ fn cmd_render(scene_name: &str, opts: &Options) -> Result<(), String> {
         opts.policy.label(),
         opts.shader.label()
     );
-    let frame =
-        Simulation::new(&scene, &cfg, opts.policy).run_frame(opts.shader, opts.res, opts.res);
+    let frame = Simulation::new(&scene, &cfg, opts.policy)
+        .run_frame(opts.shader, opts.res, opts.res)
+        .unwrap();
     report(opts.policy.label(), &scene, &cfg, &frame);
     let out = opts
         .out
@@ -170,16 +171,12 @@ fn cmd_compare(scene_name: &str, opts: &Options) -> Result<(), String> {
     let id = find_scene(scene_name)?;
     let scene = id.build(opts.detail);
     let cfg = opts.config();
-    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-        opts.shader,
-        opts.res,
-        opts.res,
-    );
-    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-        opts.shader,
-        opts.res,
-        opts.res,
-    );
+    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(opts.shader, opts.res, opts.res)
+        .unwrap();
+    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(opts.shader, opts.res, opts.res)
+        .unwrap();
     report("baseline", &scene, &cfg, &base);
     report("cooprt", &scene, &cfg, &coop);
     assert_eq!(base.image, coop.image, "policies must agree functionally");

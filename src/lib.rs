@@ -24,9 +24,9 @@
 //! let scene = SceneId::Wknd.build(16);
 //! let config = GpuConfig::rtx2060();
 //! let base = Simulation::new(&scene, &config, TraversalPolicy::Baseline)
-//!     .run_frame(ShaderKind::PathTrace, 8, 8);
+//!     .run_frame(ShaderKind::PathTrace, 8, 8).unwrap();
 //! let coop = Simulation::new(&scene, &config, TraversalPolicy::CoopRt)
-//!     .run_frame(ShaderKind::PathTrace, 8, 8);
+//!     .run_frame(ShaderKind::PathTrace, 8, 8).unwrap();
 //! // Both policies compute identical images...
 //! assert_eq!(base.image, coop.image);
 //! // ...but the cooperative traversal takes fewer cycles on divergent work.

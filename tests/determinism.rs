@@ -21,8 +21,12 @@ fn full_simulation_is_reproducible() {
     let scene = SceneId::Crnvl.build(2);
     let cfg = GpuConfig::small(2);
     for policy in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
-        let a = Simulation::new(&scene, &cfg, policy).run_frame(ShaderKind::PathTrace, 10, 10);
-        let b = Simulation::new(&scene, &cfg, policy).run_frame(ShaderKind::PathTrace, 10, 10);
+        let a = Simulation::new(&scene, &cfg, policy)
+            .run_frame(ShaderKind::PathTrace, 10, 10)
+            .unwrap();
+        let b = Simulation::new(&scene, &cfg, policy)
+            .run_frame(ShaderKind::PathTrace, 10, 10)
+            .unwrap();
         assert_eq!(a.cycles, b.cycles, "{policy:?}");
         assert_eq!(a.image, b.image);
         assert_eq!(a.events, b.events);
@@ -36,16 +40,12 @@ fn full_simulation_is_reproducible() {
 fn activity_sampling_is_reproducible() {
     let scene = SceneId::Bath.build(2);
     let cfg = GpuConfig::small(2);
-    let a = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-        ShaderKind::PathTrace,
-        10,
-        10,
-    );
-    let b = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-        ShaderKind::PathTrace,
-        10,
-        10,
-    );
+    let a = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, 10, 10)
+        .unwrap();
+    let b = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, 10, 10)
+        .unwrap();
     assert_eq!(a.activity.samples, b.activity.samples);
 }
 
@@ -55,10 +55,12 @@ fn timelines_are_reproducible() {
     let cfg = GpuConfig::small(2);
     let a = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
         .with_timeline_warp(1)
-        .run_frame(ShaderKind::PathTrace, 10, 10);
+        .run_frame(ShaderKind::PathTrace, 10, 10)
+        .unwrap();
     let b = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
         .with_timeline_warp(1)
-        .run_frame(ShaderKind::PathTrace, 10, 10);
+        .run_frame(ShaderKind::PathTrace, 10, 10)
+        .unwrap();
     assert_eq!(a.timeline, b.timeline);
 }
 
@@ -69,11 +71,13 @@ fn accumulation_is_worker_count_invariant() {
     // same bits as the sequential path.
     let scene = SceneId::Fox.build(2);
     let sim = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::CoopRt);
-    let (ref_accum, ref_frames) =
-        sim.run_accumulated_with_threads(ShaderKind::PathTrace, 8, 8, 3, 1);
+    let (ref_accum, ref_frames) = sim
+        .run_accumulated_with_threads(ShaderKind::PathTrace, 8, 8, 3, 1)
+        .unwrap();
     for workers in [2, 8] {
-        let (accum, frames) =
-            sim.run_accumulated_with_threads(ShaderKind::PathTrace, 8, 8, 3, workers);
+        let (accum, frames) = sim
+            .run_accumulated_with_threads(ShaderKind::PathTrace, 8, 8, 3, workers)
+            .unwrap();
         assert_eq!(accum, ref_accum, "{workers} workers");
         for (a, b) in ref_frames.iter().zip(&frames) {
             assert_eq!(a.image, b.image);
@@ -94,21 +98,15 @@ fn different_details_produce_different_scenes() {
 fn shader_kinds_produce_distinct_images() {
     let scene = SceneId::Wknd.build(2);
     let cfg = GpuConfig::small(2);
-    let pt = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        8,
-        8,
-    );
-    let ao = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::AmbientOcclusion,
-        8,
-        8,
-    );
-    let sh = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::Shadow,
-        8,
-        8,
-    );
+    let pt = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, 8, 8)
+        .unwrap();
+    let ao = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::AmbientOcclusion, 8, 8)
+        .unwrap();
+    let sh = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::Shadow, 8, 8)
+        .unwrap();
     assert_ne!(pt.image, ao.image);
     assert_ne!(ao.image, sh.image);
 }

@@ -24,7 +24,9 @@ fn frame_statistics_are_internally_consistent() {
     let scene = SceneId::Party.build(3);
     let cfg = GpuConfig::small(2);
     for (policy, kind) in all_runs() {
-        let r = Simulation::new(&scene, &cfg, policy).run_frame(kind, 10, 10);
+        let r = Simulation::new(&scene, &cfg, policy)
+            .run_frame(kind, 10, 10)
+            .unwrap();
         let label = format!("{policy:?}/{kind:?}");
 
         // Image geometry.
@@ -85,16 +87,12 @@ fn frame_statistics_are_internally_consistent() {
 fn lbu_moves_only_under_cooprt() {
     let scene = SceneId::Fox.build(3);
     let cfg = GpuConfig::small(2);
-    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        10,
-        10,
-    );
-    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-        ShaderKind::PathTrace,
-        10,
-        10,
-    );
+    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, 10, 10)
+        .unwrap();
+    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, 10, 10)
+        .unwrap();
     assert_eq!(base.events.lbu_moves, 0);
     assert!(coop.events.lbu_moves > 0);
 }
@@ -106,11 +104,9 @@ fn trace_count_matches_shader_structure() {
     // hits), each warp issues 1 + ao_samples instructions.
     let scene = SceneId::Bath.build(2); // closed: all primaries hit
     let cfg = GpuConfig::small(2);
-    let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::AmbientOcclusion,
-        16,
-        16,
-    );
+    let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::AmbientOcclusion, 16, 16)
+        .unwrap();
     let warps = (16 * 16usize).div_ceil(32) as u64;
     assert_eq!(
         r.events.trace_instructions,
@@ -123,11 +119,9 @@ fn pt_trace_count_bounded_by_bounce_budget() {
     let scene = SceneId::Spnza.build(2);
     let mut cfg = GpuConfig::small(2);
     cfg.max_bounces = 5;
-    let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        16,
-        16,
-    );
+    let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, 16, 16)
+        .unwrap();
     let warps = (16 * 16usize).div_ceil(32) as u64;
     assert!(
         r.events.trace_instructions <= warps * 5,
@@ -142,16 +136,12 @@ fn pt_trace_count_bounded_by_bounce_budget() {
 #[test]
 fn mobile_and_desktop_agree_functionally() {
     let scene = SceneId::Sprng.build(2);
-    let desktop = Simulation::new(&scene, &GpuConfig::small(4), TraversalPolicy::CoopRt).run_frame(
-        ShaderKind::PathTrace,
-        8,
-        8,
-    );
-    let mobile = Simulation::new(&scene, &GpuConfig::mobile(), TraversalPolicy::CoopRt).run_frame(
-        ShaderKind::PathTrace,
-        8,
-        8,
-    );
+    let desktop = Simulation::new(&scene, &GpuConfig::small(4), TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, 8, 8)
+        .unwrap();
+    let mobile = Simulation::new(&scene, &GpuConfig::mobile(), TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, 8, 8)
+        .unwrap();
     assert_eq!(desktop.image, mobile.image);
 }
 
@@ -161,11 +151,9 @@ fn bandwidth_metrics_scale_inversely_with_cycles() {
     // from the counters rather than trusting the helper.
     let scene = SceneId::Lands.build(3);
     let cfg = GpuConfig::small(2);
-    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        10,
-        10,
-    );
+    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, 10, 10)
+        .unwrap();
     let bw = base.mem.l2_bandwidth(base.cycles);
     assert!((bw - base.mem.l2_bytes as f64 / base.cycles as f64).abs() < 1e-12);
     assert!(base.mem.l2_bandwidth(0) == 0.0);

@@ -101,7 +101,8 @@ fn frame_images_match_across_every_configuration() {
     // never of the microarchitecture.
     let scene = SceneId::Chsnt.build(2);
     let reference = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::PathTrace, 8, 8);
+        .run_frame(ShaderKind::PathTrace, 8, 8)
+        .unwrap();
     let variations = [
         GpuConfig::small(2).with_warp_buffer(16),
         GpuConfig::small(4),
@@ -110,7 +111,9 @@ fn frame_images_match_across_every_configuration() {
     ];
     for (i, cfg) in variations.iter().enumerate() {
         for policy in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
-            let r = Simulation::new(&scene, cfg, policy).run_frame(ShaderKind::PathTrace, 8, 8);
+            let r = Simulation::new(&scene, cfg, policy)
+                .run_frame(ShaderKind::PathTrace, 8, 8)
+                .unwrap();
             assert_eq!(r.image, reference.image, "variation {i} under {policy:?}");
         }
     }

@@ -11,8 +11,12 @@ const DETAIL: u32 = 6;
 
 fn speedup(id: SceneId, cfg: &GpuConfig, kind: ShaderKind) -> f64 {
     let scene = id.build(DETAIL);
-    let base = Simulation::new(&scene, cfg, TraversalPolicy::Baseline).run_frame(kind, RES, RES);
-    let coop = Simulation::new(&scene, cfg, TraversalPolicy::CoopRt).run_frame(kind, RES, RES);
+    let base = Simulation::new(&scene, cfg, TraversalPolicy::Baseline)
+        .run_frame(kind, RES, RES)
+        .unwrap();
+    let coop = Simulation::new(&scene, cfg, TraversalPolicy::CoopRt)
+        .run_frame(kind, RES, RES)
+        .unwrap();
     assert_eq!(base.image, coop.image);
     base.cycles as f64 / coop.cycles as f64
 }
@@ -38,11 +42,9 @@ fn fig9_cooprt_speeds_up_path_tracing() {
 fn fig1_rt_instructions_dominate_stalls() {
     let scene = SceneId::Bath.build(DETAIL);
     let cfg = GpuConfig::small(2);
-    let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        RES,
-        RES,
-    );
+    let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, RES, RES)
+        .unwrap();
     let f = r.stalls.fractions();
     assert!(
         f[0] > f[1] && f[0] > f[2] && f[0] > f[3],
@@ -56,11 +58,9 @@ fn fig4_substantial_thread_time_is_wasted_at_baseline() {
     // fig04 bench); at this smoke scale we assert it stays substantial.
     let scene = SceneId::Crnvl.build(DETAIL);
     let cfg = GpuConfig::small(2);
-    let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        RES,
-        RES,
-    );
+    let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, RES, RES)
+        .unwrap();
     let [busy, waiting, inactive] = r.activity.status_distribution();
     assert!(
         waiting + inactive > 0.35,
@@ -75,16 +75,12 @@ fn fig10_utilization_improvement_tracks_speedup() {
     // closed spnza atrium, and win more speedup.
     let measure = |id: SceneId| {
         let scene = id.build(DETAIL);
-        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-            ShaderKind::PathTrace,
-            RES,
-            RES,
-        );
-        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-            ShaderKind::PathTrace,
-            RES,
-            RES,
-        );
+        let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, RES, RES)
+            .unwrap();
+        let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, RES, RES)
+            .unwrap();
         (
             coop.activity.avg_utilization() - base.activity.avg_utilization(),
             base.cycles as f64 / coop.cycles as f64,
@@ -99,16 +95,12 @@ fn fig10_utilization_improvement_tracks_speedup() {
 fn fig12_cooprt_raises_memory_bandwidth() {
     let scene = SceneId::Lands.build(DETAIL);
     let cfg = GpuConfig::small(2);
-    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        RES,
-        RES,
-    );
-    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-        ShaderKind::PathTrace,
-        RES,
-        RES,
-    );
+    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, RES, RES)
+        .unwrap();
+    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, RES, RES)
+        .unwrap();
     assert!(
         coop.mem.l2_bandwidth(coop.cycles) > base.mem.l2_bandwidth(base.cycles),
         "same fills in fewer cycles -> higher L2 bandwidth"
@@ -121,16 +113,12 @@ fn fig13_larger_warp_buffers_help_the_baseline() {
     // Use one SM so all warps contend for one RT unit.
     let small = GpuConfig::small(1);
     let big = GpuConfig::small(1).with_warp_buffer(16);
-    let r_small = Simulation::new(&scene, &small, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        RES,
-        RES,
-    );
-    let r_big = Simulation::new(&scene, &big, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        RES,
-        RES,
-    );
+    let r_small = Simulation::new(&scene, &small, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, RES, RES)
+        .unwrap();
+    let r_big = Simulation::new(&scene, &big, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, RES, RES)
+        .unwrap();
     assert!(
         r_big.cycles < r_small.cycles,
         "16-entry buffer ({}) should beat 4-entry ({})",
@@ -144,16 +132,12 @@ fn fig13_cooprt_at_4_entries_competes_with_big_baseline_buffers() {
     let scene = SceneId::Fox.build(DETAIL);
     let cfg4 = GpuConfig::small(1);
     let cfg32 = GpuConfig::small(1).with_warp_buffer(32);
-    let coop4 = Simulation::new(&scene, &cfg4, TraversalPolicy::CoopRt).run_frame(
-        ShaderKind::PathTrace,
-        RES,
-        RES,
-    );
-    let base32 = Simulation::new(&scene, &cfg32, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        RES,
-        RES,
-    );
+    let coop4 = Simulation::new(&scene, &cfg4, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, RES, RES)
+        .unwrap();
+    let base32 = Simulation::new(&scene, &cfg32, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, RES, RES)
+        .unwrap();
     assert!(
         coop4.cycles < base32.cycles,
         "paper: CoopRT@4 ({}) beats baseline@32 ({})",
@@ -166,16 +150,12 @@ fn fig13_cooprt_at_4_entries_competes_with_big_baseline_buffers() {
 fn fig14_cooprt_shortens_the_slowest_warp() {
     let scene = SceneId::Car.build(DETAIL);
     let cfg = GpuConfig::small(2);
-    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        RES,
-        RES,
-    );
-    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-        ShaderKind::PathTrace,
-        RES,
-        RES,
-    );
+    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, RES, RES)
+        .unwrap();
+    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, RES, RES)
+        .unwrap();
     assert!(coop.slowest_warp_cycles < base.slowest_warp_cycles);
 }
 
@@ -183,16 +163,12 @@ fn fig14_cooprt_shortens_the_slowest_warp() {
 fn fig15_cooprt_improves_edp() {
     let scene = SceneId::Sprng.build(DETAIL);
     let cfg = GpuConfig::small(2);
-    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        RES,
-        RES,
-    );
-    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-        ShaderKind::PathTrace,
-        RES,
-        RES,
-    );
+    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, RES, RES)
+        .unwrap();
+    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, RES, RES)
+        .unwrap();
     assert!(
         coop.energy.edp() < base.energy.edp(),
         "EDP must improve under CoopRT"
@@ -224,6 +200,7 @@ fn fig19_whole_warp_scope_is_at_least_as_good_as_subwarp_4() {
         let cfg = GpuConfig::small(2).with_subwarp(sw);
         Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
             .run_frame(ShaderKind::PathTrace, RES, RES)
+            .unwrap()
             .cycles
     };
     let c4 = run_sw(4);
@@ -251,16 +228,12 @@ fn power_shape_matches_fig9() {
     // speedup structure allows.
     let scene = SceneId::Lands.build(DETAIL);
     let cfg = GpuConfig::small(2);
-    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        RES,
-        RES,
-    );
-    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-        ShaderKind::PathTrace,
-        RES,
-        RES,
-    );
+    let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, RES, RES)
+        .unwrap();
+    let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, RES, RES)
+        .unwrap();
     let power_ratio = coop.energy.avg_power_w() / base.energy.avg_power_w();
     let energy_ratio = coop.energy.total_j() / base.energy.total_j();
     assert!(

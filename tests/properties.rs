@@ -385,13 +385,12 @@ mod tie_break_regression {
     fn edge_ties_are_order_independent() {
         let scene = SceneId::Wknd.build(2);
         let reference = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 8, 8);
+            .run_frame(ShaderKind::PathTrace, 8, 8)
+            .unwrap();
         let cfg = GpuConfig::small(2).with_warp_buffer(2).with_subwarp(16);
-        let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-            ShaderKind::PathTrace,
-            8,
-            8,
-        );
+        let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 8, 8)
+            .unwrap();
         assert_eq!(r.image, reference.image);
     }
 }
@@ -406,7 +405,8 @@ mod simulator_properties {
     fn image_invariance_over_microarchitecture() {
         let scene = SceneId::Wknd.build(2);
         let reference = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, 8, 8);
+            .run_frame(ShaderKind::PathTrace, 8, 8)
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(601);
         // Each case simulates a frame; keep the count small.
         for _ in 0..6 {
@@ -416,11 +416,9 @@ mod simulator_properties {
             let cfg = GpuConfig::small(sms)
                 .with_warp_buffer(buffer)
                 .with_subwarp(subwarp);
-            let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-                ShaderKind::PathTrace,
-                8,
-                8,
-            );
+            let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+                .run_frame(ShaderKind::PathTrace, 8, 8)
+                .unwrap();
             assert_eq!(
                 r.image, reference.image,
                 "buffer={buffer} subwarp={subwarp} sms={sms}"

@@ -18,9 +18,15 @@ fn accumulation_converges_toward_a_reference() {
     let scene = SceneId::Wknd.build(4);
     let cfg = GpuConfig::small(2);
     let sim = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt);
-    let (reference, _) = sim.run_accumulated(ShaderKind::PathTrace, 12, 12, 24);
-    let (one, _) = sim.run_accumulated(ShaderKind::PathTrace, 12, 12, 1);
-    let (eight, _) = sim.run_accumulated(ShaderKind::PathTrace, 12, 12, 8);
+    let (reference, _) = sim
+        .run_accumulated(ShaderKind::PathTrace, 12, 12, 24)
+        .unwrap();
+    let (one, _) = sim
+        .run_accumulated(ShaderKind::PathTrace, 12, 12, 1)
+        .unwrap();
+    let (eight, _) = sim
+        .run_accumulated(ShaderKind::PathTrace, 12, 12, 8)
+        .unwrap();
     let reference = Image::from_pixels(12, 12, reference);
     let mse_one = reference.mse(&Image::from_pixels(12, 12, one));
     let mse_eight = reference.mse(&Image::from_pixels(12, 12, eight));
@@ -35,16 +41,12 @@ fn closed_dark_scene_is_darker_than_daylight() {
     let cfg = GpuConfig::small(2);
     let day = SceneId::Wknd.build(2);
     let night = SceneId::Spnza.build(2); // closed room, small lights
-    let day_img = Simulation::new(&day, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        10,
-        10,
-    );
-    let night_img = Simulation::new(&night, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        10,
-        10,
-    );
+    let day_img = Simulation::new(&day, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, 10, 10)
+        .unwrap();
+    let night_img = Simulation::new(&night, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, 10, 10)
+        .unwrap();
     assert!(
         mean_luminance(&day_img.image) > mean_luminance(&night_img.image),
         "daylight {:.3} should out-shine the closed atrium {:.3}",
@@ -59,11 +61,9 @@ fn ao_images_are_bounded_by_albedo() {
     // brightest albedo/sky value by construction.
     let scene = SceneId::Chsnt.build(2);
     let cfg = GpuConfig::small(2);
-    let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-        ShaderKind::AmbientOcclusion,
-        12,
-        12,
-    );
+    let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::AmbientOcclusion, 12, 12)
+        .unwrap();
     for px in &r.image {
         assert!(
             px.r <= 1.01 && px.g <= 1.01 && px.b <= 1.01,
@@ -77,11 +77,9 @@ fn ao_images_are_bounded_by_albedo() {
 fn ppm_export_roundtrips_dimensions() {
     let scene = SceneId::Ship.build(2);
     let cfg = GpuConfig::small(2);
-    let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-        ShaderKind::PathTrace,
-        9,
-        7,
-    );
+    let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, 9, 7)
+        .unwrap();
     let ppm = r.image_buffer().to_ppm();
     let header = b"P6\n9 7\n255\n";
     assert_eq!(&ppm[..header.len()], header);
@@ -93,15 +91,11 @@ fn psnr_between_policies_is_infinite() {
     // Not just equal buffers: the metric itself reports perfection.
     let scene = SceneId::Bath.build(2);
     let cfg = GpuConfig::small(2);
-    let a = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline).run_frame(
-        ShaderKind::PathTrace,
-        8,
-        8,
-    );
-    let b = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt).run_frame(
-        ShaderKind::PathTrace,
-        8,
-        8,
-    );
+    let a = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+        .run_frame(ShaderKind::PathTrace, 8, 8)
+        .unwrap();
+    let b = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+        .run_frame(ShaderKind::PathTrace, 8, 8)
+        .unwrap();
     assert_eq!(a.image_buffer().psnr(&b.image_buffer()), f64::INFINITY);
 }
