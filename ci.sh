@@ -17,10 +17,17 @@ echo "==> cargo test"
 cargo test --offline --quiet --workspace
 
 echo "==> simcheck --seeds 64 (differential fuzzing smoke)"
-cargo run --offline --release --example simcheck -- --seeds 64
+cargo run --offline --release --example simcheck -- \
+    --seeds 64 --json-seeds 256 --serve-seeds 8
 
 echo "==> simperf --smoke"
 cargo bench --offline -p cooprt-bench --bench simperf -- --smoke
+
+echo "==> serve smoke (HTTP service end to end)"
+cargo run --offline --release --bin cooprt -- serve --smoke
+
+echo "==> loadgen --smoke (service throughput harness)"
+cargo run --offline --release --example loadgen -- --smoke
 
 echo "==> telemetry smoke (trace_export --check)"
 smoke_dir="$(mktemp -d)"

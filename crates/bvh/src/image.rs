@@ -220,6 +220,83 @@ impl BvhImage {
     pub fn size_mib(&self) -> f64 {
         self.total_bytes as f64 / (1024.0 * 1024.0)
     }
+
+    /// Content hash of the serialized image: FNV-1a 64 over every node
+    /// (address, kind, child bounds/addresses or triangle index) and
+    /// every triangle's exact `f32` bit patterns.
+    ///
+    /// Two images hash equal iff they describe the same address space
+    /// over the same geometry, so the hash is a content address for
+    /// caches that amortize BVH builds across requests (`cooprt-serve`
+    /// keys its scene cache on it) and a cheap bitwise-identity witness
+    /// in responses and differential checks.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.root_addr);
+        hash_aabb(&mut h, &self.root_bounds);
+        h.write_u64(self.nodes.len() as u64);
+        for node in &self.nodes {
+            h.write_u64(node.addr);
+            match &node.kind {
+                NodeKind::Leaf { triangle } => {
+                    h.write_u64(0);
+                    h.write_u64(u64::from(*triangle));
+                }
+                NodeKind::Internal { children } => {
+                    h.write_u64(1);
+                    h.write_u64(children.len() as u64);
+                    for c in children {
+                        h.write_u64(c.addr);
+                        hash_aabb(&mut h, &c.bounds);
+                    }
+                }
+            }
+        }
+        h.write_u64(self.triangles.len() as u64);
+        for t in &self.triangles {
+            for v in [t.v0, t.v1, t.v2] {
+                h.write_u32(v.x.to_bits());
+                h.write_u32(v.y.to_bits());
+                h.write_u32(v.z.to_bits());
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a 64-bit hasher (the workspace carries no external
+/// hashing dependency; this is the standard offset-basis/prime pair).
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_aabb(h: &mut Fnv64, aabb: &Aabb) {
+    h.write_u32(aabb.min.x.to_bits());
+    h.write_u32(aabb.min.y.to_bits());
+    h.write_u32(aabb.min.z.to_bits());
+    h.write_u32(aabb.max.x.to_bits());
+    h.write_u32(aabb.max.y.to_bits());
+    h.write_u32(aabb.max.z.to_bits());
 }
 
 impl<'a> IntoIterator for &'a BvhImage {
@@ -370,6 +447,27 @@ mod tests {
             assert!(img.root_bounds().contains(t.v1));
             assert!(img.root_bounds().contains(t.v2));
         }
+    }
+
+    #[test]
+    fn content_hash_is_deterministic_and_content_sensitive() {
+        // Same geometry, two independent serializations: equal hashes.
+        assert_eq!(image_of(13).content_hash(), image_of(13).content_hash());
+        // Different triangle counts: different address spaces.
+        assert_ne!(image_of(13).content_hash(), image_of(14).content_hash());
+        // A one-ULP vertex perturbation must change the hash.
+        let tris = vec![Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y)];
+        let a = BvhImage::serialize(&WideBvh::from_binary(&build_binary(&tris)), &tris);
+        let moved = vec![Triangle::new(
+            Vec3::new(f32::from_bits(1), 0.0, 0.0),
+            Vec3::X,
+            Vec3::Y,
+        )];
+        let b = BvhImage::serialize(&WideBvh::from_binary(&build_binary(&moved)), &moved);
+        assert_ne!(a.content_hash(), b.content_hash());
+        // The empty image hashes stably too.
+        let empty = BvhImage::serialize(&WideBvh::from_binary(&build_binary(&[])), &[]);
+        assert_eq!(empty.content_hash(), empty.clone().content_hash());
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Fuzzing the in-tree JSON parser.
+//!
+//! The parser (`cooprt_telemetry::parse_json`) sits on the service's
+//! untrusted-input path, so "malformed input returns `Err`" is a
+//! security property, not a nicety. Three seeded oracles:
+//!
+//! 1. **Round-trip**: a random [`JsonValue`] tree, serialized with
+//!    `to_json_string()` and parsed back, must compare equal — the
+//!    writer and parser agree on the grammar, and f64 formatting is
+//!    shortest-round-trip exact.
+//! 2. **Mutation**: random byte edits (flips, truncations, splices) of
+//!    a valid document must parse or fail *cleanly* — `Err`, never a
+//!    panic. Every mutant is run under `catch_unwind`.
+//! 3. **Adversarial corpus**: fixed regression inputs — deep nesting
+//!    (the historical stack-overflow abort), huge and malformed
+//!    numbers, truncated prefixes, broken escapes — with the required
+//!    outcome pinned per input.
+//!
+//! Everything derives from explicit 64-bit seeds on the in-tree PRNG,
+//! so `--json-seed N` replays exactly.
+
+use crate::CheckFailure;
+use cooprt_telemetry::{parse_json, JsonValue};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Replays one seed through the round-trip and mutation oracles.
+pub fn run_json_seed(seed: u64) -> Result<(), CheckFailure> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6a73_6f6e_5f66_757a); // "json_fuz"
+    let doc = random_value(&mut rng, 0);
+    round_trip(&doc)?;
+    let text = doc.to_json_string();
+    for _ in 0..16 {
+        let mutant = mutate(text.as_bytes(), &mut rng);
+        no_panic(&mutant)?;
+    }
+    Ok(())
+}
+
+/// Runs `count` consecutive seeds starting at `start`, plus the fixed
+/// adversarial corpus once. Returns the number of seeds run.
+pub fn run_json_budget(start: u64, count: u64) -> Result<u64, CheckFailure> {
+    adversarial_corpus()?;
+    for seed in start..start + count {
+        run_json_seed(seed).map_err(|f| {
+            CheckFailure::new(
+                f.oracle.clone(),
+                format!("{} (replay: simcheck --json-seed {seed})", f.detail),
+            )
+        })?;
+    }
+    Ok(count)
+}
+
+/// A random JSON tree: bounded depth and fan-out, every value kind,
+/// strings exercising escapes and non-ASCII.
+fn random_value(rng: &mut StdRng, depth: usize) -> JsonValue {
+    // Leaves only at the depth limit; containers get rarer with depth.
+    let max_kind = if depth >= 6 { 4 } else { 6 };
+    match rng.random_range(0usize..max_kind) {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(rng.random()),
+        2 => JsonValue::Number(random_number(rng)),
+        3 => JsonValue::String(random_string(rng)),
+        4 => {
+            let n = rng.random_range(0usize..5);
+            JsonValue::Array((0..n).map(|_| random_value(rng, depth + 1)).collect())
+        }
+        _ => {
+            let n = rng.random_range(0usize..5);
+            JsonValue::Object(
+                (0..n)
+                    .map(|i| {
+                        (
+                            format!("{}{i}", random_string(rng)),
+                            random_value(rng, depth + 1),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Numbers spanning magnitudes, signs, and exact integers.
+fn random_number(rng: &mut StdRng) -> f64 {
+    match rng.random_range(0usize..5) {
+        0 => 0.0,
+        1 => f64::from(rng.random::<u32>() as i32),
+        2 => rng.random::<f64>(),
+        3 => rng.random::<f64>() * 1e18 - 5e17,
+        _ => rng.random::<f64>() * 1e-12,
+    }
+}
+
+/// Strings mixing plain ASCII, JSON escapes, and multi-byte UTF-8.
+fn random_string(rng: &mut StdRng) -> String {
+    const ALPHABET: &[&str] = &[
+        "a", "Z", "0", " ", "\"", "\\", "\n", "\t", "\u{1}", "é", "日", "🦀", "/",
+    ];
+    let n = rng.random_range(0usize..10);
+    (0..n)
+        .map(|_| ALPHABET[rng.random_range(0usize..ALPHABET.len())])
+        .collect()
+}
+
+/// Oracle 1: write → parse → compare.
+fn round_trip(doc: &JsonValue) -> Result<(), CheckFailure> {
+    let text = doc.to_json_string();
+    let reparsed = parse_json(&text).map_err(|e| {
+        CheckFailure::new(
+            "json-roundtrip",
+            format!("serializer output failed to parse: {e}\n  text: {text}"),
+        )
+    })?;
+    if &reparsed != doc {
+        return Err(CheckFailure::new(
+            "json-roundtrip",
+            format!("value changed across write/parse\n  text: {text}"),
+        ));
+    }
+    Ok(())
+}
+
+/// One random byte-level edit of `text`.
+fn mutate(text: &[u8], rng: &mut StdRng) -> Vec<u8> {
+    let mut out = text.to_vec();
+    if out.is_empty() {
+        return vec![rng.random::<u32>() as u8];
+    }
+    match rng.random_range(0usize..4) {
+        0 => {
+            // Flip one byte to an arbitrary value.
+            let i = rng.random_range(0usize..out.len());
+            out[i] = rng.random::<u32>() as u8;
+        }
+        1 => {
+            // Truncate at an arbitrary point.
+            out.truncate(rng.random_range(0usize..out.len()));
+        }
+        2 => {
+            // Insert a structural character somewhere.
+            let i = rng.random_range(0usize..out.len() + 1);
+            let c = [b'{', b'}', b'[', b']', b'"', b',', b':', b'\\', b'e', b'-']
+                [rng.random_range(0usize..10)];
+            out.insert(i, c);
+        }
+        _ => {
+            // Duplicate a random slice onto the end (grows nesting).
+            let a = rng.random_range(0usize..out.len());
+            let b = rng.random_range(a..out.len() + 1);
+            let slice = out[a..b].to_vec();
+            out.extend_from_slice(&slice);
+        }
+    }
+    out
+}
+
+/// Oracle 2: the parser must return (either way), not panic.
+fn no_panic(input: &[u8]) -> Result<(), CheckFailure> {
+    let text = String::from_utf8_lossy(input).into_owned();
+    let shown: String = text.chars().take(120).collect();
+    let outcome = std::panic::catch_unwind(|| {
+        let _ = parse_json(&text);
+    });
+    outcome.map_err(|_| {
+        CheckFailure::new(
+            "json-mutation",
+            format!("parser panicked on mutated input: {shown:?}"),
+        )
+    })
+}
+
+/// Oracle 3: fixed adversarial inputs with pinned outcomes.
+fn adversarial_corpus() -> Result<(), CheckFailure> {
+    let must_err: Vec<String> = vec![
+        // Deep nesting: used to abort the process via stack overflow
+        // before the parser grew its depth limit.
+        "[".repeat(100_000),
+        "{\"k\":".repeat(100_000),
+        format!("{}1{}", "[".repeat(50_000), "]".repeat(50_000)),
+        // Truncations and malformed tokens.
+        "{".into(),
+        "{\"a\"".into(),
+        "{\"a\": 1,".into(),
+        "[1, 2".into(),
+        "\"unterminated".into(),
+        "\"bad escape \\q\"".into(),
+        "\"half surrogate \\u12".into(),
+        "+1".into(),
+        "1e".into(),
+        "nul".into(),
+        "tru".into(),
+        "{1: 2}".into(),
+        "[1 2]".into(),
+        "".into(),
+        "\u{0}".into(),
+    ];
+    for input in &must_err {
+        no_panic(input.as_bytes())?;
+        if parse_json(input).is_ok() {
+            let shown: String = input.chars().take(60).collect();
+            return Err(CheckFailure::new(
+                "json-adversarial",
+                format!("malformed input parsed as Ok: {shown:?}..."),
+            ));
+        }
+    }
+    // Huge numbers must parse (to ±inf or 0 is acceptable for f64) —
+    // never panic, never reject the grammar.
+    let must_ok = [
+        "1e999999",
+        "-1e999999",
+        "1e-999999",
+        &format!("[{}]", "9".repeat(400)),
+        "0.00000000000000000000000000000001",
+        "-0",
+        "01", // leading zeros are accepted (lenient, documented)
+        "[[[[[[[[[[1]]]]]]]]]]",
+    ];
+    for input in must_ok {
+        no_panic(input.as_bytes())?;
+        if let Err(e) = parse_json(input) {
+            return Err(CheckFailure::new(
+                "json-adversarial",
+                format!("grammatical input rejected: {input:?}: {e}"),
+            ));
+        }
+    }
+    // Every prefix of a representative document must fail or succeed
+    // cleanly (only the full text must succeed).
+    let doc = r#"{"scene": "bunny", "spp": 4, "opts": [1.5e3, true, null, "é\n"]}"#;
+    for cut in 0..doc.len() {
+        if !doc.is_char_boundary(cut) {
+            continue;
+        }
+        no_panic(&doc.as_bytes()[..cut])?;
+    }
+    if parse_json(doc).is_err() {
+        return Err(CheckFailure::new(
+            "json-adversarial",
+            "representative document failed to parse".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_adversarial_corpus_passes() {
+        adversarial_corpus().unwrap();
+    }
+
+    #[test]
+    fn a_seed_budget_passes() {
+        assert_eq!(run_json_budget(0, 32).unwrap(), 32);
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        assert_eq!(random_value(&mut rng_a, 0), random_value(&mut rng_b, 0));
+    }
+
+    #[test]
+    fn mutation_actually_changes_bytes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let original = br#"{"a": 1}"#;
+        let changed = (0..32).any(|_| mutate(original, &mut rng) != original.to_vec());
+        assert!(changed);
+    }
+}

@@ -16,7 +16,13 @@
 //!   invariant [`Checker`](cooprt_core::Checker) enabled;
 //! - [`shrink`] minimizes a failing case (halve the resolution, drop
 //!   triangles, shrink warps) before reporting, and every report carries
-//!   the seed plus the `examples/simcheck.rs --seed N` replay command.
+//!   the seed plus the `examples/simcheck.rs --seed N` replay command;
+//! - [`jsonfuzz`] hammers the in-tree JSON parser (round-trip, byte
+//!   mutation, adversarial corpus) — it sits on the service's
+//!   untrusted-input path and must fail cleanly, never panic;
+//! - [`servecache`] fuzzes the `cooprt-serve` result-cache identity
+//!   guarantee: a cache hit must be bitwise identical to a fresh run of
+//!   the same `(scene, config, policy, spp)` job.
 //!
 //! Everything is deterministic and dependency-free (the in-tree PRNG
 //! only), so a CI budget of seeds means the same thing on every
@@ -32,10 +38,14 @@
 //! ```
 
 pub mod fuzz;
+pub mod jsonfuzz;
 pub mod oracle;
+pub mod servecache;
 pub mod shrink;
 
 pub use fuzz::{run_budget, run_case, run_seed, Failure, FuzzCase};
+pub use jsonfuzz::{run_json_budget, run_json_seed};
+pub use servecache::{run_serve_budget, run_serve_seed};
 
 use std::fmt;
 
@@ -43,7 +53,9 @@ use std::fmt;
 #[derive(Clone, Debug)]
 pub struct CheckFailure {
     /// Which oracle diverged (`"cache"`, `"mshr"`, `"calendar"`,
-    /// `"bvh"`, `"image"`, `"invariants"`, `"engine"`).
+    /// `"bvh"`, `"image"`, `"invariants"`, `"engine"`,
+    /// `"json-roundtrip"`, `"json-mutation"`, `"json-adversarial"`,
+    /// `"serve-cache"`).
     pub oracle: String,
     /// Human-readable description of the first divergence.
     pub detail: String,

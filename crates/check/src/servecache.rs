@@ -1,0 +1,151 @@
+//! The result-cache identity oracle.
+//!
+//! `cooprt-serve` promises that a result-cache hit returns bytes
+//! bitwise identical to a fresh run of the same job. This oracle fuzzes
+//! that promise end to end through the production [`Executor`] — no
+//! sockets, exactly the code path the server's workers run:
+//!
+//! 1. sample a `(scene, config, policy, spp)` job from a seed (small
+//!    frames — this runs the full cycle-level simulator);
+//! 2. execute it twice on one executor: the second run must be a cache
+//!    hit with identical bytes;
+//! 3. execute it on a *fresh* executor under a different request id:
+//!    the body must still be identical (the fresh-run bytes themselves
+//!    are deterministic, and request ids never leak into bodies);
+//! 4. parse the body and spot-check the echoed job fields.
+
+use crate::CheckFailure;
+use cooprt_serve::{ConfigPreset, Endpoint, Executor, JobRequest};
+use cooprt_telemetry::parse_json;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Samples a small serve job from `seed`.
+///
+/// Frames are tiny (the simulator is cycle-level) but every axis of the
+/// canonical key varies: scene, detail, dimensions, spp, shader,
+/// policy, config preset, and the body-shape options.
+pub fn job_from_seed(seed: u64) -> (Endpoint, JobRequest) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7365_7276_6563_6163); // "servecac"
+    let scenes = cooprt_scenes::ALL_SCENES;
+    let endpoint = [Endpoint::Render, Endpoint::Simulate][rng.random_range(0usize..2)];
+    let config = match rng.random_range(0usize..3) {
+        0 => ConfigPreset::Rtx2060,
+        1 => ConfigPreset::Mobile,
+        _ => ConfigPreset::Small(rng.random_range(1usize..4)),
+    };
+    let request = JobRequest {
+        scene: scenes[rng.random_range(0usize..scenes.len())],
+        detail: rng.random_range(1u32..3),
+        width: rng.random_range(4usize..13),
+        height: rng.random_range(4usize..13),
+        spp: rng.random_range(1u32..4),
+        shader: [
+            cooprt_core::ShaderKind::PathTrace,
+            cooprt_core::ShaderKind::AmbientOcclusion,
+            cooprt_core::ShaderKind::Shadow,
+        ][rng.random_range(0usize..3)],
+        policy: [
+            cooprt_core::TraversalPolicy::Baseline,
+            cooprt_core::TraversalPolicy::CoopRt,
+        ][rng.random_range(0usize..2)],
+        config,
+        include_image: rng.random(),
+        trace: rng.random(),
+        run_async: false,
+        deadline_ms: None,
+    };
+    (endpoint, request)
+}
+
+/// Replays one seed through the identity oracle.
+pub fn run_serve_seed(seed: u64) -> Result<(), CheckFailure> {
+    let (endpoint, request) = job_from_seed(seed);
+    let label = format!(
+        "seed {seed}: {} {}",
+        endpoint.label(),
+        request.canonical_key()
+    );
+    let fail = |detail: String| CheckFailure::new("serve-cache", detail);
+
+    let exec = Executor::new(2, 4);
+    let fresh = exec
+        .execute(endpoint, &request, seed)
+        .map_err(|e| fail(format!("{label}: fresh run failed: {e}")))?;
+    if fresh.cached {
+        return Err(fail(format!("{label}: first run reported as cached")));
+    }
+    let hit = exec
+        .execute(endpoint, &request, seed.wrapping_add(1))
+        .map_err(|e| fail(format!("{label}: repeat run failed: {e}")))?;
+    if !hit.cached {
+        return Err(fail(format!("{label}: repeat run missed the cache")));
+    }
+    if *hit.body != *fresh.body {
+        return Err(fail(format!(
+            "{label}: cache hit diverged from the fresh run ({} vs {} bytes)",
+            hit.body.len(),
+            fresh.body.len()
+        )));
+    }
+
+    // A brand-new executor (cold caches, different request id) must
+    // still produce the same bytes: fresh runs are deterministic.
+    let other = Executor::new(2, 4)
+        .execute(endpoint, &request, seed.wrapping_mul(0x9e37_79b9))
+        .map_err(|e| fail(format!("{label}: independent run failed: {e}")))?;
+    if *other.body != *fresh.body {
+        return Err(fail(format!(
+            "{label}: independent executor diverged from the fresh run"
+        )));
+    }
+
+    // The body must be valid JSON echoing the job's identity.
+    let text = std::str::from_utf8(&fresh.body)
+        .map_err(|_| fail(format!("{label}: body is not UTF-8")))?;
+    let doc =
+        parse_json(text).map_err(|e| fail(format!("{label}: body is not valid JSON: {e}")))?;
+    for (field, want) in [
+        ("kind", endpoint.label().to_string()),
+        ("scene", request.scene.name().to_string()),
+        ("policy", request.policy.label().to_string()),
+        ("config", request.config.label()),
+    ] {
+        let got = doc.get(field).and_then(|v| v.as_str());
+        if got != Some(want.as_str()) {
+            return Err(fail(format!(
+                "{label}: body field '{field}' is {got:?}, expected {want:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Runs `count` consecutive seeds starting at `start`; returns the
+/// number run.
+pub fn run_serve_budget(start: u64, count: u64) -> Result<u64, CheckFailure> {
+    for seed in start..start + count {
+        run_serve_seed(seed).map_err(|f| {
+            CheckFailure::new(
+                f.oracle.clone(),
+                format!("{} (replay: simcheck --serve-seed {seed})", f.detail),
+            )
+        })?;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_are_deterministic_per_seed() {
+        assert_eq!(job_from_seed(42), job_from_seed(42));
+        assert_ne!(job_from_seed(1).1, job_from_seed(2).1);
+    }
+
+    #[test]
+    fn a_small_seed_budget_passes() {
+        assert_eq!(run_serve_budget(0, 2).unwrap(), 2);
+    }
+}

@@ -19,7 +19,10 @@
 //! the same [`par_map`] signature if the dependency ever becomes
 //! available.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 /// The configured outer-parallelism width: `COOPRT_THREADS` if set to a
 /// positive integer, otherwise the machine's available parallelism
@@ -105,6 +108,142 @@ where
     })
 }
 
+/// Why a [`SyncQueue::try_push`] was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back so the caller
+    /// can apply backpressure (e.g. an HTTP 429).
+    Full(T),
+    /// The queue was closed; no new work is accepted.
+    Closed(T),
+}
+
+/// Outcome of a [`SyncQueue::pop_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Pop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The timeout elapsed with the queue open but empty.
+    Timeout,
+    /// The queue is closed **and** fully drained; the worker can exit.
+    Closed,
+}
+
+#[derive(Debug)]
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer work queue with explicit
+/// admission control and drain-on-close semantics.
+///
+/// This is the synchronization primitive behind long-lived worker
+/// pools (the `cooprt-serve` job queue): producers [`try_push`] and get
+/// an immediate [`PushError::Full`] when the queue is at capacity —
+/// never blocking, so callers can reject work upstream — and consumers
+/// [`pop_timeout`] in a loop. [`close`] stops admission but lets
+/// consumers **drain** everything already queued; only a closed *and*
+/// empty queue reports [`Pop::Closed`], which is the worker's signal to
+/// exit. That ordering is what makes graceful shutdown of a worker pool
+/// a one-liner: close, then join.
+///
+/// [`try_push`]: SyncQueue::try_push
+/// [`pop_timeout`]: SyncQueue::pop_timeout
+/// [`close`]: SyncQueue::close
+#[derive(Debug)]
+pub struct SyncQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    nonempty: Condvar,
+}
+
+impl<T> SyncQueue<T> {
+    /// Creates a queue admitting at most `capacity` items at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        SyncQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                capacity,
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item` if there is room, or returns it inside a
+    /// [`PushError`] without blocking.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        if q.closed {
+            return Err(PushError::Closed(item));
+        }
+        if q.items.len() >= q.capacity {
+            return Err(PushError::Full(item));
+        }
+        q.items.push_back(item);
+        drop(q);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, waiting up to `timeout` for one to
+    /// arrive. Items still queued when the queue is closed are drained
+    /// before [`Pop::Closed`] is reported.
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = q.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if q.closed {
+                return Pop::Closed;
+            }
+            let (guard, wait) = self
+                .nonempty
+                .wait_timeout(q, timeout)
+                .expect("queue poisoned");
+            q = guard;
+            if wait.timed_out() && q.items.is_empty() && !q.closed {
+                return Pop::Timeout;
+            }
+        }
+    }
+
+    /// Closes the queue: further [`SyncQueue::try_push`] calls fail with
+    /// [`PushError::Closed`], consumers drain the remaining items, and
+    /// every blocked consumer is woken.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once [`SyncQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue poisoned").closed
+    }
+
+    /// The admission capacity this queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").capacity
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +304,83 @@ mod tests {
     #[test]
     fn threads_is_positive() {
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn queue_rejects_past_capacity_and_hands_the_item_back() {
+        let q = SyncQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn queue_drains_after_close_then_reports_closed() {
+        let q = SyncQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err(PushError::Closed("c")));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Item("a"));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Item("b"));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::<&str>::Closed);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn queue_pop_times_out_when_open_and_empty() {
+        let q: SyncQueue<u32> = SyncQueue::new(1);
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Pop::Timeout);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_close_wakes_blocked_consumers() {
+        let q: SyncQueue<u32> = SyncQueue::new(1);
+        std::thread::scope(|s| {
+            let consumer = s.spawn(|| q.pop_timeout(Duration::from_secs(30)));
+            std::thread::sleep(Duration::from_millis(10));
+            q.close();
+            assert_eq!(consumer.join().unwrap(), Pop::Closed);
+        });
+    }
+
+    #[test]
+    fn queue_hands_every_item_to_exactly_one_consumer() {
+        use std::sync::atomic::AtomicU64;
+        let q = SyncQueue::new(128);
+        let sum = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| loop {
+                    match q.pop_timeout(Duration::from_millis(20)) {
+                        Pop::Item(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                        }
+                        Pop::Timeout => continue,
+                        Pop::Closed => break,
+                    }
+                });
+            }
+            for v in 1..=100u64 {
+                loop {
+                    match q.try_push(v) {
+                        Ok(()) => break,
+                        Err(PushError::Full(_)) => std::thread::yield_now(),
+                        Err(PushError::Closed(_)) => panic!("queue closed early"),
+                    }
+                }
+            }
+            q.close();
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_queue_panics() {
+        let _ = SyncQueue::<u32>::new(0);
     }
 }

@@ -1,0 +1,246 @@
+//! The service's typed error, its HTTP status mapping, and the
+//! structured JSON error body every failure is reported through.
+//!
+//! A server must never panic on untrusted input, so every failure mode
+//! on the request path — malformed bytes, oversized payloads, unknown
+//! routes, a full queue, a missed deadline — is a [`ServeError`]
+//! variant with a definite status code. Client mistakes map to 4xx,
+//! server-side conditions to 5xx; [`cooprt_core::ConfigError`] (bad
+//! simulation parameters carried inside an otherwise well-formed
+//! request) folds in as a 400.
+
+use cooprt_core::ConfigError;
+use cooprt_telemetry::JsonWriter;
+use std::fmt;
+
+/// Every failure the service can report to a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request was syntactically or semantically malformed (bad
+    /// JSON, unknown scene, out-of-range field, ...). HTTP 400.
+    BadRequest(String),
+    /// The simulation core rejected the requested parameters. HTTP 400.
+    Config(ConfigError),
+    /// No route matches the request target. HTTP 404.
+    UnknownRoute(String),
+    /// No job with the requested id exists. HTTP 404.
+    JobNotFound(u64),
+    /// The route exists but not under this method. HTTP 405 with an
+    /// `Allow` header naming the supported method(s).
+    MethodNotAllowed {
+        /// Value of the `Allow` response header.
+        allow: &'static str,
+    },
+    /// The request body exceeds the configured cap. HTTP 413.
+    BodyTooLarge {
+        /// Configured body cap, bytes.
+        limit: usize,
+    },
+    /// The admission queue is full; retry later. HTTP 429 with a
+    /// `Retry-After` header.
+    QueueFull {
+        /// Suggested client back-off, seconds.
+        retry_after_secs: u64,
+    },
+    /// The request's header block exceeds the configured cap. HTTP 431.
+    HeadersTooLarge {
+        /// Configured header cap, bytes.
+        limit: usize,
+    },
+    /// An internal invariant failed while serving the request. HTTP 500.
+    Internal(String),
+    /// The server is draining and admits no new work. HTTP 503.
+    ShuttingDown,
+    /// The job missed its deadline before completing. HTTP 504.
+    DeadlineExceeded,
+}
+
+impl ServeError {
+    /// The HTTP status code this error is reported with.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) | ServeError::Config(_) => 400,
+            ServeError::UnknownRoute(_) | ServeError::JobNotFound(_) => 404,
+            ServeError::MethodNotAllowed { .. } => 405,
+            ServeError::BodyTooLarge { .. } => 413,
+            ServeError::QueueFull { .. } => 429,
+            ServeError::HeadersTooLarge { .. } => 431,
+            ServeError::Internal(_) => 500,
+            ServeError::ShuttingDown => 503,
+            ServeError::DeadlineExceeded => 504,
+        }
+    }
+
+    /// Stable machine-readable error code for the JSON body.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Config(_) => "bad_config",
+            ServeError::UnknownRoute(_) => "unknown_route",
+            ServeError::JobNotFound(_) => "job_not_found",
+            ServeError::MethodNotAllowed { .. } => "method_not_allowed",
+            ServeError::BodyTooLarge { .. } => "body_too_large",
+            ServeError::QueueFull { .. } => "queue_full",
+            ServeError::HeadersTooLarge { .. } => "headers_too_large",
+            ServeError::Internal(_) => "internal",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::DeadlineExceeded => "deadline_exceeded",
+        }
+    }
+
+    /// Extra response headers this error mandates (`Retry-After`,
+    /// `Allow`).
+    pub fn headers(&self) -> Vec<(String, String)> {
+        match self {
+            ServeError::QueueFull { retry_after_secs } => {
+                vec![("Retry-After".to_string(), retry_after_secs.to_string())]
+            }
+            ServeError::MethodNotAllowed { allow } => {
+                vec![("Allow".to_string(), (*allow).to_string())]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// The structured JSON error body:
+    /// `{"error": {"code": ..., "status": ..., "message": ...}}`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.begin_inline_object_field("error");
+        w.field_str("code", self.code());
+        w.field_u64("status", u64::from(self.status()));
+        w.field_str("message", &self.to_string());
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Config(e) => write!(f, "bad simulation parameters: {e}"),
+            ServeError::UnknownRoute(target) => write!(f, "no route for '{target}'"),
+            ServeError::JobNotFound(id) => write!(f, "no job with id {id}"),
+            ServeError::MethodNotAllowed { allow } => {
+                write!(f, "method not allowed (allowed: {allow})")
+            }
+            ServeError::BodyTooLarge { limit } => {
+                write!(f, "request body exceeds the {limit}-byte cap")
+            }
+            ServeError::QueueFull { retry_after_secs } => write!(
+                f,
+                "job queue is full; retry after {retry_after_secs} second(s)"
+            ),
+            ServeError::HeadersTooLarge { limit } => {
+                write!(f, "request headers exceed the {limit}-byte cap")
+            }
+            ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
+            ServeError::ShuttingDown => write!(f, "server is draining; no new work accepted"),
+            ServeError::DeadlineExceeded => write!(f, "job missed its deadline"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ServeError {
+    fn from(e: ConfigError) -> Self {
+        ServeError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cooprt_telemetry::parse_json;
+    use std::error::Error as _;
+
+    /// One instance of every variant, paired with its expected status.
+    fn all_variants() -> Vec<(ServeError, u16)> {
+        vec![
+            (ServeError::BadRequest("no scene".into()), 400),
+            (
+                ServeError::Config(ConfigError::EmptyFrame {
+                    width: 0,
+                    height: 4,
+                }),
+                400,
+            ),
+            (ServeError::UnknownRoute("/v1/nope".into()), 404),
+            (ServeError::JobNotFound(7), 404),
+            (ServeError::MethodNotAllowed { allow: "POST" }, 405),
+            (ServeError::BodyTooLarge { limit: 1024 }, 413),
+            (
+                ServeError::QueueFull {
+                    retry_after_secs: 2,
+                },
+                429,
+            ),
+            (ServeError::HeadersTooLarge { limit: 8192 }, 431),
+            (ServeError::Internal("worker died".into()), 500),
+            (ServeError::ShuttingDown, 503),
+            (ServeError::DeadlineExceeded, 504),
+        ]
+    }
+
+    #[test]
+    fn every_variant_maps_to_its_status_and_parses_as_json() {
+        for (err, status) in all_variants() {
+            assert_eq!(err.status(), status, "{err:?}");
+            let class_4xx = (400..500).contains(&status);
+            // Client errors are 4xx, server-side conditions 5xx.
+            match &err {
+                ServeError::Internal(_)
+                | ServeError::ShuttingDown
+                | ServeError::DeadlineExceeded => assert!(!class_4xx, "{err:?}"),
+                _ => assert!(class_4xx, "{err:?}"),
+            }
+            let doc = parse_json(&err.to_json()).expect("error body must be valid JSON");
+            let e = doc.get("error").expect("body carries an error object");
+            assert_eq!(e.get("code").and_then(|v| v.as_str()), Some(err.code()));
+            assert_eq!(
+                e.get("status").and_then(|v| v.as_f64()),
+                Some(f64::from(status))
+            );
+            let msg = e.get("message").and_then(|v| v.as_str()).unwrap();
+            assert_eq!(msg, err.to_string());
+            assert!(!msg.is_empty());
+        }
+    }
+
+    #[test]
+    fn mandated_headers_are_attached() {
+        let full = ServeError::QueueFull {
+            retry_after_secs: 3,
+        };
+        assert_eq!(
+            full.headers(),
+            vec![("Retry-After".to_string(), "3".to_string())]
+        );
+        let method = ServeError::MethodNotAllowed { allow: "GET, POST" };
+        assert_eq!(
+            method.headers(),
+            vec![("Allow".to_string(), "GET, POST".to_string())]
+        );
+        assert!(ServeError::ShuttingDown.headers().is_empty());
+    }
+
+    #[test]
+    fn config_errors_convert_and_chain_as_source() {
+        let err: ServeError = ConfigError::ZeroSamples.into();
+        assert_eq!(err.status(), 400);
+        let source = err.source().expect("Config chains its source");
+        assert_eq!(source.to_string(), ConfigError::ZeroSamples.to_string());
+        assert!(ServeError::ShuttingDown.source().is_none());
+    }
+}

@@ -1,0 +1,485 @@
+//! A small, strict HTTP/1.1 layer over `std::io`.
+//!
+//! The workspace builds with zero external dependencies, so the wire
+//! protocol is hand-rolled — and deliberately minimal: request line +
+//! headers + `Content-Length` bodies, keep-alive connections, nothing
+//! else (no chunked transfer, no upgrades). What it *is* careful about
+//! is exactly what a public socket demands:
+//!
+//! - **partial reads**: the reader buffers across `read()` boundaries,
+//!   so a request split one byte per syscall parses identically to one
+//!   delivered whole, and leftover bytes (pipelined requests) carry
+//!   over to the next parse;
+//! - **bounded memory**: header blocks are capped ([431] past the
+//!   limit) and bodies are capped *before* they are read ([413] past
+//!   the limit), so a hostile client cannot balloon the process;
+//! - **no panics**: every malformed input path returns a typed
+//!   [`ServeError`].
+//!
+//! [431]: ServeError::HeadersTooLarge
+//! [413]: ServeError::BodyTooLarge
+
+use crate::error::ServeError;
+use std::io::{Read, Write};
+
+/// Hard cap on the number of request headers, independent of byte size.
+const MAX_HEADER_COUNT: usize = 100;
+
+/// Limits the reader enforces on untrusted input.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum size of the request line + header block, bytes.
+    pub max_header_bytes: usize,
+    /// Maximum declared `Content-Length`, bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_header_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (path plus optional query), verbatim.
+    pub target: String,
+    /// Header `(name, value)` pairs in wire order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True if the client asked to close the connection after this
+    /// exchange (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Incremental request reader for one connection.
+///
+/// Owns the carry-over buffer, so partially received requests and
+/// pipelined bytes survive between [`RequestReader::read_request`]
+/// calls.
+#[derive(Debug)]
+pub struct RequestReader<R> {
+    stream: R,
+    buf: Vec<u8>,
+    limits: Limits,
+}
+
+impl<R: Read> RequestReader<R> {
+    /// Wraps `stream` with the given input limits.
+    pub fn new(stream: R, limits: Limits) -> Self {
+        RequestReader {
+            stream,
+            buf: Vec::new(),
+            limits,
+        }
+    }
+
+    /// Reads one full request, buffering across arbitrary `read()`
+    /// boundaries.
+    ///
+    /// Returns `Ok(None)` on a clean end-of-stream before any byte of
+    /// a new request (the keep-alive loop's exit). Every protocol
+    /// violation or exceeded limit is a typed [`ServeError`].
+    pub fn read_request(&mut self) -> Result<Option<Request>, ServeError> {
+        // Accumulate until the blank line ending the header block.
+        let header_end = loop {
+            if let Some(pos) = find_header_end(&self.buf) {
+                break pos;
+            }
+            if self.buf.len() > self.limits.max_header_bytes {
+                return Err(ServeError::HeadersTooLarge {
+                    limit: self.limits.max_header_bytes,
+                });
+            }
+            if self.fill()? == 0 {
+                if self.buf.is_empty() {
+                    return Ok(None); // clean close between requests
+                }
+                return Err(ServeError::BadRequest(
+                    "connection closed mid-headers".to_string(),
+                ));
+            }
+        };
+        if header_end > self.limits.max_header_bytes {
+            return Err(ServeError::HeadersTooLarge {
+                limit: self.limits.max_header_bytes,
+            });
+        }
+
+        let head = std::str::from_utf8(&self.buf[..header_end])
+            .map_err(|_| ServeError::BadRequest("headers are not valid UTF-8".to_string()))?
+            .to_string();
+        let body_start = header_end + 4; // past "\r\n\r\n"
+        let (method, target, headers) = parse_head(&head)?;
+
+        let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+            Some((_, v)) => v
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| ServeError::BadRequest(format!("invalid Content-Length '{v}'")))?,
+            None => 0,
+        };
+        if content_length > self.limits.max_body_bytes {
+            return Err(ServeError::BodyTooLarge {
+                limit: self.limits.max_body_bytes,
+            });
+        }
+
+        // Pull the body in, reusing bytes already buffered.
+        while self.buf.len() < body_start + content_length {
+            if self.fill()? == 0 {
+                return Err(ServeError::BadRequest(
+                    "connection closed mid-body".to_string(),
+                ));
+            }
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        // Keep pipelined leftovers for the next request.
+        self.buf.drain(..body_start + content_length);
+
+        Ok(Some(Request {
+            method,
+            target,
+            headers,
+            body,
+        }))
+    }
+
+    /// Reads one chunk from the stream into the buffer; returns the
+    /// byte count (0 = end of stream).
+    fn fill(&mut self) -> Result<usize, ServeError> {
+        let mut chunk = [0u8; 4096];
+        let n = self
+            .stream
+            .read(&mut chunk)
+            .map_err(|e| ServeError::BadRequest(format!("read failed: {e}")))?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+}
+
+/// Finds the end of the header block (`\r\n\r\n`), returning the offset
+/// of its first byte.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses the request line and header lines (already UTF-8 validated).
+#[allow(clippy::type_complexity)]
+fn parse_head(head: &str) -> Result<(String, String, Vec<(String, String)>), ServeError> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("empty request".to_string()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or_else(|| ServeError::BadRequest("malformed request line".to_string()))?;
+    let target = parts
+        .next()
+        .filter(|t| t.starts_with('/'))
+        .ok_or_else(|| ServeError::BadRequest("malformed request target".to_string()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("missing HTTP version".to_string()))?;
+    if !(version == "HTTP/1.1" || version == "HTTP/1.0") || parts.next().is_some() {
+        return Err(ServeError::BadRequest(format!(
+            "unsupported HTTP version '{version}'"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ServeError::BadRequest(format!("malformed header line '{line}'")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ServeError::BadRequest(format!(
+                "malformed header name '{name}'"
+            )));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        if headers.len() > MAX_HEADER_COUNT {
+            return Err(ServeError::BadRequest(format!(
+                "more than {MAX_HEADER_COUNT} headers"
+            )));
+        }
+    }
+    Ok((method.to_string(), target.to_string(), headers))
+}
+
+/// Reason phrases for every status the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// An outgoing response: status, extra headers, JSON body.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the defaults (`Content-Type`,
+    /// `Content-Length`).
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes (always JSON in this service).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Builds the error response for `err` (status, mandated headers,
+    /// structured JSON body).
+    pub fn from_error(err: &ServeError) -> Self {
+        Response {
+            status: err.status(),
+            headers: err.headers(),
+            body: err.to_json().into_bytes(),
+        }
+    }
+
+    /// Adds a response header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serializes the response to the wire.
+    ///
+    /// Head and body go out in a single `write_all`: two small writes
+    /// on a TCP socket interact with Nagle's algorithm and delayed
+    /// ACKs, costing tens of milliseconds per response.
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(&self.body);
+        stream.write_all(&wire)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A `Read` that hands out its script in deliberately tiny chunks,
+    /// exercising reassembly across `read()` boundaries.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.chunk.min(self.data.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn reader_over(data: &str, chunk: usize, limits: Limits) -> RequestReader<Trickle> {
+        RequestReader::new(
+            Trickle {
+                data: data.as_bytes().to_vec(),
+                pos: 0,
+                chunk,
+            },
+            limits,
+        )
+    }
+
+    #[test]
+    fn parses_a_request_split_across_every_read_boundary() {
+        let wire = "POST /v1/render HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"a\": 1}\n";
+        for chunk in [1, 2, 3, 7, 4096] {
+            let mut r = reader_over(wire, chunk, Limits::default());
+            let req = r.read_request().unwrap().expect("one request");
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.target, "/v1/render");
+            assert_eq!(req.header("host"), Some("x"));
+            assert_eq!(req.body, b"{\"a\": 1}\n");
+            assert!(r.read_request().unwrap().is_none(), "clean EOF after");
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let wire =
+            "GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut r = reader_over(wire, 5, Limits::default());
+        let a = r.read_request().unwrap().unwrap();
+        assert_eq!(a.target, "/healthz");
+        assert!(!a.wants_close());
+        let b = r.read_request().unwrap().unwrap();
+        assert_eq!(b.target, "/metrics");
+        assert!(b.wants_close());
+        assert!(r.read_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_headers_are_431() {
+        let limits = Limits {
+            max_header_bytes: 128,
+            max_body_bytes: 1024,
+        };
+        let wire = format!("GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n", "a".repeat(500));
+        let mut r = reader_over(&wire, 4096, limits);
+        assert_eq!(
+            r.read_request().unwrap_err(),
+            ServeError::HeadersTooLarge { limit: 128 }
+        );
+        // A never-terminated header block trips the same limit rather
+        // than buffering forever.
+        let wire = format!("GET / HTTP/1.1\r\nX-Big: {}", "a".repeat(500));
+        let mut r = reader_over(&wire, 16, limits);
+        assert_eq!(
+            r.read_request().unwrap_err(),
+            ServeError::HeadersTooLarge { limit: 128 }
+        );
+    }
+
+    #[test]
+    fn oversized_bodies_are_413_before_the_body_is_read() {
+        let limits = Limits {
+            max_header_bytes: 1024,
+            max_body_bytes: 16,
+        };
+        // Declares a body far past the cap but sends none of it: the
+        // reader must reject on the declaration alone.
+        let wire = "POST /v1/render HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+        let mut r = reader_over(wire, 4096, limits);
+        assert_eq!(
+            r.read_request().unwrap_err(),
+            ServeError::BodyTooLarge { limit: 16 }
+        );
+    }
+
+    #[test]
+    fn truncated_requests_are_bad_requests_not_hangs() {
+        for wire in [
+            "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", // body cut short
+            "GET / HTTP/1.1\r\nHost",                           // headers cut short
+        ] {
+            let mut r = reader_over(wire, 3, Limits::default());
+            match r.read_request() {
+                Err(ServeError::BadRequest(_)) => {}
+                other => panic!("expected BadRequest, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for wire in [
+            "BROKEN\r\n\r\n",                                  // no target/version
+            "get / HTTP/1.1\r\n\r\n",                          // lowercase method token
+            "GET nopath HTTP/1.1\r\n\r\n",                     // target must start with /
+            "GET / HTTP/2.0\r\n\r\n",                          // unsupported version
+            "GET / HTTP/1.1 extra\r\n\r\n",                    // trailing junk
+            "GET / HTTP/1.1\r\nno-colon-line\r\n\r\n",         // malformed header
+            "POST / HTTP/1.1\r\nContent-Length: pony\r\n\r\n", // bad length
+        ] {
+            let mut r = reader_over(wire, 4096, Limits::default());
+            match r.read_request() {
+                Err(ServeError::BadRequest(_)) => {}
+                other => panic!("'{wire}': expected BadRequest, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_methods_parse_and_are_rejected_by_routing_not_the_parser() {
+        // The parser accepts any uppercase token; the router maps it to
+        // 405 so the response can carry an Allow header.
+        let mut r = reader_over("BREW /v1/render HTTP/1.1\r\n\r\n", 4096, Limits::default());
+        let req = r.read_request().unwrap().unwrap();
+        assert_eq!(req.method, "BREW");
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_extra_headers() {
+        let resp = Response::json(429, "{}".as_bytes().to_vec()).with_header("Retry-After", "1");
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn error_responses_carry_the_structured_body() {
+        let resp = Response::from_error(&ServeError::QueueFull {
+            retry_after_secs: 1,
+        });
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.headers, vec![("Retry-After".into(), "1".into())]);
+        let doc = cooprt_telemetry::parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(|c| c.as_str()),
+            Some("queue_full")
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! `GET /metrics`: one JSON snapshot of everything the server counts.
+//!
+//! All counters are lock-free atomics bumped on the request path; the
+//! only lock is around the request-latency samples ([`TraceLatencies`]
+//! in microseconds), taken once per request after the response is
+//! written. The snapshot itself is assembled on demand from the
+//! counters plus the dispatcher's and caches' own statistics — there is
+//! no second copy of any number to drift out of sync.
+
+use crate::exec::Executor;
+use crate::queue::Dispatcher;
+use cooprt_core::TraceLatencies;
+use cooprt_telemetry::JsonWriter;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// HTTP-level counters plus request-latency samples.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests parsed (any route).
+    pub requests: AtomicU64,
+    /// Responses with a 2xx status.
+    pub responses_2xx: AtomicU64,
+    /// Responses with a 4xx status.
+    pub responses_4xx: AtomicU64,
+    /// Responses with a 5xx status.
+    pub responses_5xx: AtomicU64,
+    /// Request handling latencies, microseconds (parse → response
+    /// flushed).
+    latencies_us: Mutex<TraceLatencies>,
+}
+
+impl ServerMetrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts a finished response by status class.
+    pub fn count_response(&self, status: u16) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let class = match status / 100 {
+            2 => &self.responses_2xx,
+            4 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request's handling latency in microseconds.
+    pub fn record_latency_us(&self, micros: u64) {
+        self.latencies_us
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(micros);
+    }
+
+    /// Renders the `/metrics` JSON snapshot.
+    pub fn to_json(&self, dispatcher: &Dispatcher, executor: &Executor) -> String {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut w = JsonWriter::new();
+        w.begin_object();
+
+        w.begin_object_field("http");
+        w.field_u64("connections", load(&self.connections));
+        w.field_u64("requests", load(&self.requests));
+        w.field_u64("responses_2xx", load(&self.responses_2xx));
+        w.field_u64("responses_4xx", load(&self.responses_4xx));
+        w.field_u64("responses_5xx", load(&self.responses_5xx));
+        w.end_object();
+
+        let c = dispatcher.counters();
+        w.begin_object_field("jobs");
+        w.field_u64("submitted", load(&c.submitted));
+        w.field_u64("completed", load(&c.completed));
+        w.field_u64("failed", load(&c.failed));
+        w.field_u64("rejected_full", load(&c.rejected_full));
+        w.field_u64("rejected_draining", load(&c.rejected_draining));
+        w.field_u64("queued", dispatcher.queued() as u64);
+        w.field_bool("draining", dispatcher.is_draining());
+        w.end_object();
+
+        w.begin_object_field("scene_cache");
+        w.field_u64("entries", executor.scene_cache().len() as u64);
+        w.field_u64("hits", executor.scene_cache().stats().hits());
+        w.field_u64("misses", executor.scene_cache().stats().misses());
+        w.end_object();
+
+        w.begin_object_field("result_cache");
+        w.field_u64("entries", executor.result_cache().len() as u64);
+        w.field_u64("hits", executor.result_cache().stats().hits());
+        w.field_u64("misses", executor.result_cache().stats().misses());
+        w.end_object();
+
+        {
+            let mut lat = self.latencies_us.lock().unwrap_or_else(|e| e.into_inner());
+            w.begin_inline_object_field("latency_us");
+            w.field_u64("count", lat.len() as u64);
+            w.field_u64("p50", lat.quantile(0.5));
+            w.field_u64("p95", lat.quantile(0.95));
+            w.field_u64("p99", lat.quantile(0.99));
+            w.field_u64("max", lat.max());
+            w.end_object();
+        }
+
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cooprt_telemetry::parse_json;
+    use std::sync::Arc;
+
+    #[test]
+    fn snapshot_reflects_the_counters() {
+        let metrics = ServerMetrics::new();
+        metrics.connections.fetch_add(2, Ordering::Relaxed);
+        metrics.count_response(200);
+        metrics.count_response(404);
+        metrics.count_response(500);
+        for us in [100, 200, 300, 400] {
+            metrics.record_latency_us(us);
+        }
+        let dispatcher = Dispatcher::new(Arc::new(Executor::new(1, 1)), 1, 1, 1);
+        let json = metrics.to_json(&dispatcher, dispatcher.executor());
+        let doc = parse_json(&json).expect("metrics snapshot parses");
+        let http = doc.get("http").unwrap();
+        assert_eq!(http.get("connections").unwrap().as_f64(), Some(2.0));
+        assert_eq!(http.get("requests").unwrap().as_f64(), Some(3.0));
+        assert_eq!(http.get("responses_2xx").unwrap().as_f64(), Some(1.0));
+        assert_eq!(http.get("responses_4xx").unwrap().as_f64(), Some(1.0));
+        assert_eq!(http.get("responses_5xx").unwrap().as_f64(), Some(1.0));
+        let lat = doc.get("latency_us").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_f64(), Some(4.0));
+        assert_eq!(lat.get("max").unwrap().as_f64(), Some(400.0));
+        let jobs = doc.get("jobs").unwrap();
+        assert_eq!(
+            jobs.get("draining").unwrap(),
+            &cooprt_telemetry::JsonValue::Bool(false)
+        );
+        assert!(doc.get("scene_cache").is_some());
+        assert!(doc.get("result_cache").is_some());
+    }
+}

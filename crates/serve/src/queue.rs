@@ -1,0 +1,421 @@
+//! Admission control and the worker pool: a bounded job queue in front
+//! of the [`Executor`].
+//!
+//! Every render/simulate request — sync or async — becomes a job in a
+//! bounded [`SyncQueue`]. A full queue rejects *at admission* with
+//! [`ServeError::QueueFull`] (HTTP 429 + `Retry-After`) instead of
+//! buffering unboundedly; a draining queue rejects with
+//! [`ServeError::ShuttingDown`] (503). Workers are plain threads
+//! looping on [`SyncQueue::pop_timeout`]; on drain the queue is closed,
+//! workers finish every job already admitted, and then exit — admitted
+//! work is never dropped.
+
+use crate::error::ServeError;
+use crate::exec::{Endpoint, ExecOutcome, Executor};
+use crate::JobRequest;
+use cooprt_core::parallel::{Pop, PushError, SyncQueue};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How long a worker sleeps on an empty queue before re-checking for
+/// shutdown.
+const WORKER_POLL: Duration = Duration::from_millis(50);
+
+/// Completed jobs retained for polling before the oldest is pruned.
+const FINISHED_RETENTION: usize = 256;
+
+/// Observable state of a submitted job.
+#[derive(Clone, Debug)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished successfully.
+    Done(ExecOutcome),
+    /// Finished with an error.
+    Failed(ServeError),
+}
+
+impl JobState {
+    /// Short label for status bodies.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One admitted job.
+#[derive(Debug)]
+struct Job {
+    endpoint: Endpoint,
+    request: JobRequest,
+    deadline: Instant,
+    state: JobState,
+}
+
+#[derive(Debug, Default)]
+struct JobTable {
+    jobs: HashMap<u64, Job>,
+    finished: VecDeque<u64>,
+}
+
+impl JobTable {
+    /// Records `id` as finished and prunes the oldest finished jobs
+    /// past the retention cap (so long-lived servers don't grow the
+    /// table unboundedly).
+    fn finish(&mut self, id: u64) {
+        self.finished.push_back(id);
+        while self.finished.len() > FINISHED_RETENTION {
+            if let Some(old) = self.finished.pop_front() {
+                self.jobs.remove(&old);
+            }
+        }
+    }
+}
+
+/// Lifetime counters for the dispatcher.
+#[derive(Debug, Default)]
+pub struct DispatchCounters {
+    /// Jobs admitted to the queue.
+    pub submitted: AtomicU64,
+    /// Jobs rejected because the queue was full.
+    pub rejected_full: AtomicU64,
+    /// Jobs rejected because the server was draining.
+    pub rejected_draining: AtomicU64,
+    /// Jobs that finished successfully.
+    pub completed: AtomicU64,
+    /// Jobs that finished with an error (including expired deadlines).
+    pub failed: AtomicU64,
+}
+
+/// The bounded queue + worker pool + job table.
+#[derive(Debug)]
+pub struct Dispatcher {
+    executor: Arc<Executor>,
+    queue: Arc<SyncQueue<u64>>,
+    table: Arc<(Mutex<JobTable>, Condvar)>,
+    counters: Arc<DispatchCounters>,
+    next_id: AtomicU64,
+    retry_after_secs: u64,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Dispatcher {
+    /// Spawns `workers` worker threads over a queue admitting at most
+    /// `queue_capacity` waiting jobs.
+    pub fn new(
+        executor: Arc<Executor>,
+        workers: usize,
+        queue_capacity: usize,
+        retry_after_secs: u64,
+    ) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let queue = Arc::new(SyncQueue::new(queue_capacity));
+        let table: Arc<(Mutex<JobTable>, Condvar)> = Arc::default();
+        let counters = Arc::new(DispatchCounters::default());
+        let handles = (0..workers)
+            .map(|i| {
+                let executor = Arc::clone(&executor);
+                let queue = Arc::clone(&queue);
+                let table = Arc::clone(&table);
+                let counters = Arc::clone(&counters);
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&executor, &queue, &table, &counters))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Dispatcher {
+            executor,
+            queue,
+            table,
+            counters,
+            next_id: AtomicU64::new(1),
+            retry_after_secs,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Admits a job, returning its id, or rejects with 429/503.
+    pub fn submit(
+        &self,
+        endpoint: Endpoint,
+        request: JobRequest,
+        deadline: Duration,
+    ) -> Result<u64, ServeError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        {
+            let (lock, _) = &*self.table;
+            let mut t = lock.lock().unwrap_or_else(|e| e.into_inner());
+            t.jobs.insert(
+                id,
+                Job {
+                    endpoint,
+                    request,
+                    deadline: Instant::now() + deadline,
+                    state: JobState::Queued,
+                },
+            );
+        }
+        match self.queue.try_push(id) {
+            Ok(()) => {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(id)
+            }
+            Err(err) => {
+                let (lock, _) = &*self.table;
+                lock.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .jobs
+                    .remove(&id);
+                match err {
+                    PushError::Full(_) => {
+                        self.counters.rejected_full.fetch_add(1, Ordering::Relaxed);
+                        Err(ServeError::QueueFull {
+                            retry_after_secs: self.retry_after_secs,
+                        })
+                    }
+                    PushError::Closed(_) => {
+                        self.counters
+                            .rejected_draining
+                            .fetch_add(1, Ordering::Relaxed);
+                        Err(ServeError::ShuttingDown)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocks until job `id` finishes, or its deadline passes.
+    ///
+    /// On deadline expiry the job itself keeps running (its result
+    /// still lands in the cache); only this waiter gives up with a 504.
+    pub fn wait(&self, id: u64) -> Result<ExecOutcome, ServeError> {
+        let (lock, cond) = &*self.table;
+        let mut t = lock.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            let job = t.jobs.get(&id).ok_or(ServeError::JobNotFound(id))?;
+            match &job.state {
+                JobState::Done(outcome) => return Ok(outcome.clone()),
+                JobState::Failed(err) => return Err(err.clone()),
+                JobState::Queued | JobState::Running => {
+                    let now = Instant::now();
+                    if now >= job.deadline {
+                        return Err(ServeError::DeadlineExceeded);
+                    }
+                    let wait = job.deadline - now;
+                    let (guard, _) = cond
+                        .wait_timeout(t, wait.min(WORKER_POLL))
+                        .unwrap_or_else(|e| e.into_inner());
+                    t = guard;
+                }
+            }
+        }
+    }
+
+    /// The current state of job `id` (for `GET /v1/jobs/<id>`).
+    pub fn status(&self, id: u64) -> Result<JobState, ServeError> {
+        let (lock, _) = &*self.table;
+        let t = lock.lock().unwrap_or_else(|e| e.into_inner());
+        t.jobs
+            .get(&id)
+            .map(|j| j.state.clone())
+            .ok_or(ServeError::JobNotFound(id))
+    }
+
+    /// Jobs currently waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> &DispatchCounters {
+        &self.counters
+    }
+
+    /// The executor behind the workers (for cache metrics).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// True once [`Dispatcher::drain`] has closed the queue.
+    pub fn is_draining(&self) -> bool {
+        self.queue.is_closed()
+    }
+
+    /// Graceful drain: stop admitting, finish every admitted job, join
+    /// the workers. Idempotent.
+    pub fn drain(&self) {
+        self.queue.close();
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Dispatcher {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// One worker: pop job ids until the queue is closed *and* empty.
+fn worker_loop(
+    executor: &Executor,
+    queue: &SyncQueue<u64>,
+    table: &(Mutex<JobTable>, Condvar),
+    counters: &DispatchCounters,
+) {
+    let (lock, cond) = table;
+    loop {
+        let id = match queue.pop_timeout(WORKER_POLL) {
+            Pop::Item(id) => id,
+            Pop::Timeout => continue,
+            Pop::Closed => return,
+        };
+        // Claim the job: mark Running, grab what we need to execute.
+        let claimed = {
+            let mut t = lock.lock().unwrap_or_else(|e| e.into_inner());
+            match t.jobs.get_mut(&id) {
+                Some(job) => {
+                    if Instant::now() >= job.deadline {
+                        job.state = JobState::Failed(ServeError::DeadlineExceeded);
+                        t.finish(id);
+                        counters.failed.fetch_add(1, Ordering::Relaxed);
+                        cond.notify_all();
+                        None
+                    } else {
+                        job.state = JobState::Running;
+                        Some((job.endpoint, job.request.clone()))
+                    }
+                }
+                None => None, // pruned while queued; nothing to do
+            }
+        };
+        let Some((endpoint, request)) = claimed else {
+            continue;
+        };
+        let result = executor.execute(endpoint, &request, id);
+        let mut t = lock.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(job) = t.jobs.get_mut(&id) {
+            job.state = match result {
+                Ok(outcome) => {
+                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                    JobState::Done(outcome)
+                }
+                Err(err) => {
+                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                    JobState::Failed(err)
+                }
+            };
+            t.finish(id);
+        }
+        cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_request() -> JobRequest {
+        JobRequest {
+            width: 6,
+            height: 4,
+            ..JobRequest::default()
+        }
+    }
+
+    fn dispatcher(workers: usize, queue: usize) -> Dispatcher {
+        Dispatcher::new(Arc::new(Executor::new(4, 8)), workers, queue, 1)
+    }
+
+    #[test]
+    fn submit_wait_returns_the_result() {
+        let d = dispatcher(2, 8);
+        let id = d
+            .submit(Endpoint::Render, tiny_request(), Duration::from_secs(30))
+            .unwrap();
+        let outcome = d.wait(id).unwrap();
+        assert!(!outcome.cached);
+        assert!(!outcome.body.is_empty());
+        assert!(matches!(d.status(id).unwrap(), JobState::Done(_)));
+        assert_eq!(d.counters().completed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn a_full_queue_rejects_with_queue_full() {
+        // One worker, capacity-1 queue. Flood with jobs; with more
+        // submissions than the system can hold at once, at least one
+        // must be turned away with the 429 mapping.
+        let d = dispatcher(1, 1);
+        let mut admitted = Vec::new();
+        let mut rejected = 0;
+        for _ in 0..20 {
+            match d.submit(Endpoint::Render, tiny_request(), Duration::from_secs(30)) {
+                Ok(id) => admitted.push(id),
+                Err(ServeError::QueueFull { retry_after_secs }) => {
+                    assert_eq!(retry_after_secs, 1);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        assert!(rejected > 0, "overload must trip admission control");
+        assert_eq!(d.counters().rejected_full.load(Ordering::Relaxed), rejected);
+        // Everything admitted still completes (first run is a miss,
+        // repeats are cache hits).
+        for id in admitted {
+            d.wait(id).unwrap();
+        }
+    }
+
+    #[test]
+    fn drain_finishes_admitted_work_and_rejects_new_work() {
+        let d = dispatcher(1, 8);
+        let ids: Vec<u64> = (0..3)
+            .map(|_| {
+                d.submit(Endpoint::Render, tiny_request(), Duration::from_secs(30))
+                    .unwrap()
+            })
+            .collect();
+        d.drain();
+        assert!(d.is_draining());
+        for id in ids {
+            d.wait(id).expect("admitted jobs complete during drain");
+        }
+        match d.submit(Endpoint::Render, tiny_request(), Duration::from_secs(1)) {
+            Err(ServeError::ShuttingDown) => {}
+            other => panic!("expected ShuttingDown, got {other:?}"),
+        }
+        assert_eq!(d.counters().rejected_draining.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn an_expired_deadline_is_a_504_for_the_waiter() {
+        let d = dispatcher(1, 8);
+        let id = d
+            .submit(Endpoint::Render, tiny_request(), Duration::from_millis(0))
+            .unwrap();
+        match d.wait(id) {
+            Err(ServeError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_jobs_are_not_found() {
+        let d = dispatcher(1, 2);
+        assert!(matches!(d.status(999), Err(ServeError::JobNotFound(999))));
+        assert!(matches!(d.wait(999), Err(ServeError::JobNotFound(999))));
+    }
+}

@@ -31,6 +31,8 @@ const DRAM_TID_BASE: u64 = 600_000;
 const RT_FETCH_TID: u64 = 900_000;
 /// Thread id of the LBU track inside each SM process.
 const LBU_TID: u64 = 900_001;
+/// Process id of the service-layer track (request markers).
+const SERVE_PID: u64 = 999_999;
 
 /// Document-level metadata folded into the exported trace.
 #[derive(Clone, Debug)]
@@ -105,6 +107,8 @@ pub fn chrome_trace_json(log: &TraceLog, meta: &TraceMeta) -> String {
         procs.entry(pid).or_insert_with(|| {
             if pid == MEM_PID {
                 "Memory".to_string()
+            } else if pid == SERVE_PID {
+                "Server".to_string()
             } else {
                 format!("SM {}", pid - 1)
             }
@@ -235,6 +239,16 @@ pub fn chrome_trace_json(log: &TraceLog, meta: &TraceMeta) -> String {
                     vec![("line", line), ("sm", u64::from(sm))],
                 )
             }
+            EventKind::Request { id } => (
+                SERVE_PID,
+                0,
+                "requests".to_string(),
+                "request",
+                'i',
+                ev.cycle,
+                None,
+                vec![("id", id)],
+            ),
             EventKind::DramBusy {
                 channel,
                 start,
@@ -407,6 +421,18 @@ mod tests {
         ] {
             assert!(check.event_names.contains(name), "missing {name}");
         }
+    }
+
+    #[test]
+    fn request_markers_land_on_the_server_track() {
+        let t = Tracer::enabled();
+        t.emit(0, || EventKind::Request { id: 42 });
+        t.emit(3, || EventKind::WarpIssue { sm: 0, warp: 0 });
+        let json = chrome_trace_json(&t.take(), &TraceMeta::new("req"));
+        let check = validate_chrome_trace(&json).expect("valid chrome trace");
+        assert!(check.event_names.contains("request"));
+        assert!(json.contains("\"name\": \"Server\""));
+        assert!(json.contains("\"id\": 42"));
     }
 
     #[test]

@@ -242,6 +242,18 @@ impl JsonWriter {
         self.out.push_str(if v { "true" } else { "false" });
     }
 
+    /// Write `"key": <raw>` where `raw` is inserted **verbatim**.
+    ///
+    /// The caller guarantees `raw` is one complete, valid JSON value
+    /// (object, array or scalar). Used to embed an already-serialized
+    /// document — e.g. a cached `cooprt-serve` result payload — inside
+    /// a wrapper object without re-parsing it, which keeps cached
+    /// bytes bitwise identical to fresh ones.
+    pub fn field_raw(&mut self, key: &str, raw: &str) {
+        self.key(key);
+        self.out.push_str(raw.trim_end_matches('\n'));
+    }
+
     /// Write an unsigned-integer array element.
     pub fn item_u64(&mut self, v: u64) {
         self.sep();
@@ -360,6 +372,27 @@ mod tests {
             w.finish(),
             "{\n  \"cycles\": [0, 500],\n  \"rates\": [0.2500, null],\n  \
              \"names\": [\"a\\\"b\"]\n}\n"
+        );
+    }
+
+    #[test]
+    fn raw_fields_embed_verbatim() {
+        let mut inner = JsonWriter::new();
+        inner.begin_object();
+        inner.field_u64("cycles", 7);
+        inner.end_object();
+        let inner = inner.finish();
+
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("state", "done");
+        w.field_raw("result", &inner);
+        w.end_object();
+        let doc = w.finish();
+        let v = crate::validate::parse_json(&doc).unwrap();
+        assert_eq!(
+            v.get("result").and_then(|r| r.get("cycles")).unwrap(),
+            &crate::validate::JsonValue::Number(7.0)
         );
     }
 

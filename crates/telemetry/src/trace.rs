@@ -118,6 +118,14 @@ pub enum EventKind {
         /// Probe outcome.
         outcome: AccessOutcome,
     },
+    /// A service-layer request was attached to this simulation run
+    /// (emitted at cycle 0 by `cooprt-serve` workers so every event in
+    /// a per-request trace can be joined back to the HTTP request id).
+    Request {
+        /// Server-assigned request id (also returned to the client in
+        /// the `X-Request-Id` response header).
+        id: u64,
+    },
     /// A DRAM channel data-bus occupancy interval.
     DramBusy {
         /// Channel index.

@@ -52,11 +52,73 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// Serializes the value back to compact JSON text.
+    ///
+    /// Numbers use Rust's shortest-round-trip `f64` formatting (and
+    /// non-finite values, which JSON cannot represent, become `null`),
+    /// so for any value built from finite numbers
+    /// `parse_json(&v.to_json_string()) == Ok(v)` — the property the
+    /// `cooprt-check` JSON fuzzer exercises.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) if n.is_finite() => out.push_str(&format!("{n}")),
+            JsonValue::Number(_) => out.push_str("null"),
+            JsonValue::String(s) => {
+                out.push('"');
+                crate::json::json_escape(out, s);
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    crate::json::json_escape(out, k);
+                    out.push_str("\":");
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
+
+/// Maximum container nesting the parser accepts.
+///
+/// The parser is recursive-descent, so unbounded nesting converts
+/// directly into unbounded native stack growth — on untrusted input
+/// (the `cooprt-serve` request path) a few hundred kilobytes of `[`
+/// would crash the process with a stack overflow rather than a
+/// catchable error. 128 levels is far deeper than any document the
+/// workspace produces or accepts while keeping worst-case stack use
+/// trivially bounded.
+const MAX_DEPTH: usize = 128;
 
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -111,12 +173,24 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Bumps the container depth, rejecting documents nested past
+    /// [`MAX_DEPTH`] (recursion depth == native stack depth here).
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("containers nested too deeply"));
+        }
+        Ok(())
+    }
+
     fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Object(fields));
         }
         loop {
@@ -131,6 +205,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Object(fields));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -139,11 +214,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Array(items));
         }
         loop {
@@ -153,6 +230,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Array(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -282,6 +360,7 @@ pub fn parse_json(text: &str) -> Result<JsonValue, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     let v = p.parse_value()?;
     p.skip_ws();
@@ -414,6 +493,30 @@ mod tests {
         ] {
             assert!(parse_json(bad).is_err(), "should reject: {bad}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_crashed() {
+        // Past the depth limit: a typed error. Before the limit was
+        // added this was a native stack overflow (process abort).
+        for doc in ["[".repeat(100_000), "{\"k\":".repeat(100_000)] {
+            let err = parse_json(&doc).unwrap_err();
+            assert!(err.contains("nested too deeply"), "{err}");
+        }
+        // At or under the limit: still parses.
+        let deep_ok = format!("{}1{}", "[".repeat(128), "]".repeat(128));
+        assert!(parse_json(&deep_ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(129), "]".repeat(129));
+        assert!(too_deep.len() < 1000); // sanity: rejected by depth, not size
+        assert!(parse_json(&too_deep).is_err());
+    }
+
+    #[test]
+    fn to_json_string_round_trips() {
+        let doc = r#"{"a": [1, -2.5, 1e3, true, null, {"x": "q\"\n"}], "b": {}}"#;
+        let v = parse_json(doc).unwrap();
+        let re = v.to_json_string();
+        assert_eq!(parse_json(&re).unwrap(), v);
     }
 
     #[test]

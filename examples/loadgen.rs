@@ -1,0 +1,291 @@
+//! loadgen: throughput and latency of the `cooprt-serve` service.
+//!
+//! Starts an in-process server on an ephemeral port, then drives it
+//! with N concurrent clients, each holding one keep-alive connection,
+//! in two passes over the same request sequence:
+//!
+//! - **cold**: every request names a distinct job, so every response is
+//!   computed by the simulator (result-cache misses) — this measures
+//!   end-to-end simulation throughput through the service;
+//! - **warm**: the identical sequence again, so every response comes
+//!   from the result cache — this isolates the service overhead
+//!   (HTTP parse, routing, queue, cache lookup).
+//!
+//! Each client records its own request latencies in a
+//! [`TraceLatencies`]; the per-client series are unioned with
+//! [`TraceLatencies::merge`] before computing the pass quantiles.
+//! Results are printed and written to `BENCH_serve.json` at the
+//! repository root (skipped under `--smoke`).
+//!
+//! ```sh
+//! cargo run --release --example loadgen -- --clients 4 --requests 32
+//! cargo run --release --example loadgen -- --smoke
+//! ```
+
+use cooprt::core::TraceLatencies;
+use cooprt::serve::{HttpClient, ServeConfig, Server};
+use cooprt::telemetry::{parse_json, JsonValue, JsonWriter};
+use std::time::Instant;
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    workers: usize,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clients: 4,
+        requests: 24,
+        workers: 4,
+        out: "BENCH_serve.json".to_string(),
+        smoke: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value after {}", argv[*i - 1]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        let parse_usize = |s: String| -> usize {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("not a number: {s}");
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--clients" => args.clients = parse_usize(value(&mut i)),
+            "--requests" => args.requests = parse_usize(value(&mut i)),
+            "--workers" => args.workers = parse_usize(value(&mut i)),
+            "--out" => args.out = value(&mut i),
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: loadgen [--clients N] [--requests N] [--workers N] [--out FILE] [--smoke]\n\
+                     \n\
+                     --clients N    concurrent keep-alive clients  [default: 4]\n\
+                     --requests N   requests per client per pass   [default: 24]\n\
+                     --workers N    server worker threads          [default: 4]\n\
+                     --out FILE     JSON report path               [default: BENCH_serve.json]\n\
+                     --smoke        tiny run, no JSON (CI)"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if args.smoke {
+        args.clients = 2;
+        args.requests = 4;
+        args.workers = 2;
+    }
+    if args.clients == 0 || args.requests == 0 || args.workers == 0 {
+        eprintln!("--clients, --requests and --workers must be positive");
+        std::process::exit(2);
+    }
+    args
+}
+
+/// The request body of global request index `k` — every index names a
+/// distinct job (distinct canonical key), so a first pass is all
+/// result-cache misses.
+fn job_body(k: usize) -> String {
+    let width = 6 + (k % 16);
+    let height = 5 + (k / 16) % 8;
+    let policy = if k.is_multiple_of(2) {
+        "cooprt"
+    } else {
+        "baseline"
+    };
+    format!(
+        r#"{{"scene": "wknd", "width": {width}, "height": {height}, "policy": "{policy}", "config": "small", "sms": 1}}"#
+    )
+}
+
+struct Pass {
+    label: &'static str,
+    wall_secs: f64,
+    requests: usize,
+    latencies_us: TraceLatencies,
+    expected_cache: &'static str,
+}
+
+impl Pass {
+    fn rps(&self) -> f64 {
+        self.requests as f64 / self.wall_secs.max(1e-12)
+    }
+}
+
+/// Runs one pass: `clients` threads, each issuing its slice of the
+/// request sequence over one keep-alive connection, recording per-
+/// request latencies locally; the series are merged afterwards.
+fn run_pass(
+    label: &'static str,
+    addr: &str,
+    clients: usize,
+    requests: usize,
+    expected_cache: &'static str,
+) -> Pass {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(&addr).expect("connect");
+                let mut lat = TraceLatencies::new();
+                for r in 0..requests {
+                    let body = job_body(c * requests + r);
+                    let t = Instant::now();
+                    let resp = client.post("/v1/render", &body).expect("request");
+                    lat.record(t.elapsed().as_micros() as u64);
+                    assert_eq!(resp.status, 200, "{}", resp.text());
+                    if !expected_cache.is_empty() {
+                        assert_eq!(
+                            resp.header("x-cache"),
+                            Some(expected_cache),
+                            "pass '{label}' request {r} of client {c}"
+                        );
+                    }
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut merged = TraceLatencies::new();
+    for handle in handles {
+        merged.merge(&handle.join().expect("client thread"));
+    }
+    Pass {
+        label,
+        wall_secs: start.elapsed().as_secs_f64(),
+        requests: clients * requests,
+        latencies_us: merged,
+        expected_cache,
+    }
+}
+
+fn print_pass(pass: &mut Pass) {
+    println!(
+        "{:<6} {:>6} req in {:>7.3}s = {:>8.1} req/s | p50 {:>7}us p95 {:>7}us p99 {:>7}us max {:>7}us",
+        pass.label,
+        pass.requests,
+        pass.wall_secs,
+        pass.rps(),
+        pass.latencies_us.quantile(0.5),
+        pass.latencies_us.quantile(0.95),
+        pass.latencies_us.quantile(0.99),
+        pass.latencies_us.max(),
+    );
+}
+
+fn write_pass(w: &mut JsonWriter, pass: &mut Pass) {
+    w.begin_object_field(pass.label);
+    w.field_u64("requests", pass.requests as u64);
+    w.field_f64("wall_secs", pass.wall_secs, 6);
+    w.field_f64("requests_per_sec", pass.rps(), 2);
+    w.field_str("expected_cache", pass.expected_cache);
+    w.begin_inline_object_field("latency_us");
+    w.field_u64("p50", pass.latencies_us.quantile(0.5));
+    w.field_u64("p95", pass.latencies_us.quantile(0.95));
+    w.field_u64("p99", pass.latencies_us.quantile(0.99));
+    w.field_u64("max", pass.latencies_us.max());
+    w.field_f64("mean", pass.latencies_us.mean(), 1);
+    w.end_object();
+    w.end_object();
+}
+
+fn main() {
+    let args = parse_args();
+    let total = args.clients * args.requests;
+    println!(
+        "loadgen: {} clients x {} requests/pass ({} total), {} server workers",
+        args.clients, args.requests, total, args.workers
+    );
+
+    let server = Server::bind(&ServeConfig {
+        workers: args.workers,
+        // Admission must never reject the benchmark's own load.
+        queue_capacity: (2 * total).max(8),
+        result_cache_capacity: (2 * total).max(8),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+
+    // Cold: all distinct jobs — every response simulated. Warm: the
+    // same sequence — every response served from the result cache.
+    let mut cold = run_pass("cold", &addr, args.clients, args.requests, "miss");
+    let mut warm = run_pass("warm", &addr, args.clients, args.requests, "hit");
+    print_pass(&mut cold);
+    print_pass(&mut warm);
+    println!(
+        "warm/cold speedup: {:.1}x",
+        warm.rps() / cold.rps().max(1e-12)
+    );
+
+    // Final server-side snapshot (cache hit rates, response classes).
+    let mut client = HttpClient::connect(&addr).expect("connect");
+    let metrics_text = client.get("/metrics").expect("metrics").text();
+    let metrics = parse_json(&metrics_text).expect("metrics parse");
+    let cache_count = |section: &str, field: &str| -> u64 {
+        metrics
+            .get(section)
+            .and_then(|s| s.get(field))
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0) as u64
+    };
+    let (hits, misses) = (
+        cache_count("result_cache", "hits"),
+        cache_count("result_cache", "misses"),
+    );
+    assert_eq!(misses, total as u64, "cold pass must be all misses");
+    assert_eq!(hits, total as u64, "warm pass must be all hits");
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    println!(
+        "result cache: {hits} hits / {misses} misses ({:.0}% overall)",
+        hit_rate * 100.0
+    );
+
+    handle.shutdown();
+    join.join().expect("server thread");
+
+    if args.smoke {
+        println!("loadgen smoke passed");
+        return;
+    }
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("bench", "serve-loadgen");
+    w.begin_inline_object_field("config");
+    w.field_u64("clients", args.clients as u64);
+    w.field_u64("requests_per_client", args.requests as u64);
+    w.field_u64("server_workers", args.workers as u64);
+    w.end_object();
+    write_pass(&mut w, &mut cold);
+    write_pass(&mut w, &mut warm);
+    w.field_f64("warm_cold_speedup", warm.rps() / cold.rps().max(1e-12), 2);
+    w.begin_inline_object_field("result_cache");
+    w.field_u64("hits", hits);
+    w.field_u64("misses", misses);
+    w.field_f64("hit_rate", hit_rate, 4);
+    w.end_object();
+    w.field_raw("server_metrics", &metrics_text);
+    w.end_object();
+    std::fs::write(&args.out, w.finish() + "\n").expect("write report");
+    println!("wrote {}", args.out);
+}

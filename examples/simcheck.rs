@@ -1,14 +1,20 @@
 //! Differential fuzzing driver: replays seeds through every
 //! `cooprt-check` oracle (cache/MSHR/calendar reference models, BVH vs
 //! brute force, baseline-vs-CoopRT image identity with engine
-//! invariants enabled).
+//! invariants enabled), plus the JSON-parser fuzzer and the serve
+//! result-cache identity oracle.
 //!
 //! ```sh
 //! # CI smoke: 64 consecutive seeds starting at 0.
 //! cargo run --release --example simcheck -- --seeds 64
 //!
+//! # Fuzz the JSON parser and the serve result cache too.
+//! cargo run --release --example simcheck -- --seeds 64 --json-seeds 256 --serve-seeds 8
+//!
 //! # Replay a failing seed reported by the fuzzer.
 //! cargo run --release --example simcheck -- --seed 12345
+//! cargo run --release --example simcheck -- --json-seed 12345
+//! cargo run --release --example simcheck -- --serve-seed 12345
 //! ```
 //!
 //! On failure the harness prints the shrunk, minimized configuration
@@ -16,15 +22,23 @@
 //! reproduces), the diverging oracle, and the exact replay command,
 //! then exits non-zero.
 
-use cooprt_check::{fuzz, FuzzCase};
+use cooprt_check::{fuzz, jsonfuzz, servecache, FuzzCase};
 
 struct Args {
     /// Replay exactly this seed (overrides the budget).
     seed: Option<u64>,
-    /// Number of consecutive seeds to run.
+    /// Number of consecutive simulator seeds to run.
     seeds: u64,
     /// First seed of the budget.
     start: u64,
+    /// Replay exactly this JSON-fuzzer seed.
+    json_seed: Option<u64>,
+    /// JSON-parser fuzzing budget (0 = skip).
+    json_seeds: u64,
+    /// Replay exactly this serve-cache seed.
+    serve_seed: Option<u64>,
+    /// Serve result-cache identity budget (0 = skip).
+    serve_seeds: u64,
 }
 
 fn parse_args() -> Args {
@@ -32,6 +46,10 @@ fn parse_args() -> Args {
         seed: None,
         seeds: 64,
         start: 0,
+        json_seed: None,
+        json_seeds: 0,
+        serve_seed: None,
+        serve_seeds: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -55,13 +73,23 @@ fn parse_args() -> Args {
             "--seed" => args.seed = Some(parse_u64(value(&mut i))),
             "--seeds" => args.seeds = parse_u64(value(&mut i)),
             "--start" => args.start = parse_u64(value(&mut i)),
+            "--json-seed" => args.json_seed = Some(parse_u64(value(&mut i))),
+            "--json-seeds" => args.json_seeds = parse_u64(value(&mut i)),
+            "--serve-seed" => args.serve_seed = Some(parse_u64(value(&mut i))),
+            "--serve-seeds" => args.serve_seeds = parse_u64(value(&mut i)),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: simcheck [--seed N | --seeds COUNT [--start FIRST]]\n\
+                     \x20               [--json-seed N | --json-seeds COUNT]\n\
+                     \x20               [--serve-seed N | --serve-seeds COUNT]\n\
                      \n\
-                     --seed N       replay one seed through every oracle\n\
-                     --seeds COUNT  run COUNT consecutive seeds (default 64)\n\
-                     --start FIRST  first seed of the budget (default 0)"
+                     --seed N          replay one seed through every simulator oracle\n\
+                     --seeds COUNT     run COUNT consecutive seeds (default 64)\n\
+                     --start FIRST     first seed of the budget (default 0)\n\
+                     --json-seed N     replay one JSON-parser fuzz seed\n\
+                     --json-seeds N    fuzz the JSON parser with N seeds (default 0)\n\
+                     --serve-seed N    replay one serve cache-identity seed\n\
+                     --serve-seeds N   fuzz the serve result cache with N seeds (default 0)"
                 );
                 std::process::exit(0);
             }
@@ -75,16 +103,32 @@ fn parse_args() -> Args {
     args
 }
 
+fn fail(failure: impl std::fmt::Display) -> ! {
+    eprintln!("{failure}");
+    std::process::exit(1);
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(seed) = args.json_seed {
+        match jsonfuzz::run_json_seed(seed) {
+            Ok(()) => println!("json seed {seed}: parser behaved"),
+            Err(failure) => fail(failure),
+        }
+        return;
+    }
+    if let Some(seed) = args.serve_seed {
+        match servecache::run_serve_seed(seed) {
+            Ok(()) => println!("serve seed {seed}: cache hit identical to fresh run"),
+            Err(failure) => fail(failure),
+        }
+        return;
+    }
     if let Some(seed) = args.seed {
         println!("replaying {}", FuzzCase::from_seed(seed));
         match fuzz::run_seed(seed) {
             Ok(()) => println!("seed {seed}: every oracle agrees"),
-            Err(failure) => {
-                eprintln!("{failure}");
-                std::process::exit(1);
-            }
+            Err(failure) => fail(failure),
         }
         return;
     }
@@ -95,9 +139,26 @@ fn main() {
     );
     match fuzz::run_budget(args.start, args.seeds) {
         Ok(count) => println!("{count}/{count} seeds passed"),
-        Err(failure) => {
-            eprintln!("{failure}");
-            std::process::exit(1);
+        Err(failure) => fail(failure),
+    }
+    if args.json_seeds > 0 {
+        println!(
+            "fuzzing the JSON parser: adversarial corpus + {} seeds",
+            args.json_seeds
+        );
+        match jsonfuzz::run_json_budget(args.start, args.json_seeds) {
+            Ok(count) => println!("{count}/{count} json seeds passed"),
+            Err(failure) => fail(failure),
+        }
+    }
+    if args.serve_seeds > 0 {
+        println!(
+            "fuzzing serve result-cache identity: {} seeds",
+            args.serve_seeds
+        );
+        match servecache::run_serve_budget(args.start, args.serve_seeds) {
+            Ok(count) => println!("{count}/{count} serve seeds passed"),
+            Err(failure) => fail(failure),
         }
     }
 }

@@ -5,6 +5,7 @@
 use cooprt::core::area::{cooprt_area, overhead_fraction, warp_buffer_bits};
 use cooprt::core::{FrameResult, GpuConfig, ShaderKind, Simulation, TraversalPolicy};
 use cooprt::scenes::{Scene, SceneId, ALL_SCENES};
+use cooprt::serve::{ServeConfig, Server};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -18,6 +19,7 @@ COMMANDS:
     compare <scene>    baseline vs CoopRT side by side
     scenes             list the benchmark suite (Table 2 style)
     area               print the CoopRT area model (Table 3 style)
+    serve              run the batch render/simulation HTTP service
     help               show this message
 
 OPTIONS (render / compare):
@@ -28,11 +30,20 @@ OPTIONS (render / compare):
     --mobile           use the 8-SM mobile GPU configuration
     --out <FILE>       PPM output path (render only)
 
+OPTIONS (serve):
+    --addr <A>         listen address               [default: 127.0.0.1:7878]
+    --workers <N>      simulation worker threads    [default: 2]
+    --queue <N>        admission queue capacity     [default: 32]
+    --smoke            bind an ephemeral port, self-test every endpoint
+                       (health, render miss/hit identity, metrics,
+                       graceful drain), then exit
+
 EXAMPLES:
     cooprt render crnvl --res 96 --out crnvl.ppm
     cooprt compare fox --shader ao
     cooprt scenes
     cooprt area
+    cooprt serve --addr 127.0.0.1:7878 --workers 4
 ";
 
 struct Options {
@@ -227,6 +238,138 @@ fn cmd_area() {
     println!("\nwarp buffer (4 entries): {} bits", warp_buffer_bits(4));
 }
 
+/// Options of the `serve` command.
+struct ServeOptions {
+    addr: String,
+    workers: usize,
+    queue: usize,
+    smoke: bool,
+}
+
+impl ServeOptions {
+    fn parse(args: &[String]) -> Result<ServeOptions, String> {
+        let mut opts = ServeOptions {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 2,
+            queue: 32,
+            smoke: false,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--addr" => opts.addr = value("--addr")?,
+                "--workers" => {
+                    opts.workers = value("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers expects a positive integer".to_string())?;
+                }
+                "--queue" => {
+                    opts.queue = value("--queue")?
+                        .parse()
+                        .map_err(|_| "--queue expects a positive integer".to_string())?;
+                }
+                "--smoke" => opts.smoke = true,
+                other => return Err(format!("unknown option '{other}'")),
+            }
+        }
+        if opts.workers == 0 || opts.queue == 0 {
+            return Err("--workers and --queue must be positive".into());
+        }
+        Ok(opts)
+    }
+}
+
+fn cmd_serve(opts: &ServeOptions) -> Result<(), String> {
+    let config = ServeConfig {
+        addr: if opts.smoke {
+            "127.0.0.1:0".to_string() // ephemeral: never collides in CI
+        } else {
+            opts.addr.clone()
+        },
+        workers: opts.workers,
+        queue_capacity: opts.queue,
+        handle_signals: !opts.smoke,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(&config).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    if !opts.smoke {
+        println!(
+            "cooprt-serve listening on http://{addr} ({} workers, queue {})",
+            opts.workers, opts.queue
+        );
+        println!("endpoints: POST /v1/render  POST /v1/simulate  GET /v1/jobs/<id>  GET /metrics  GET /healthz");
+        println!("ctrl-c or SIGTERM drains gracefully");
+        return server.run().map_err(|e| e.to_string());
+    }
+    serve_smoke(server, &addr.to_string())
+}
+
+/// The `serve --smoke` self-test: every endpoint over a real socket,
+/// cache-hit identity included, then a graceful drain.
+fn serve_smoke(server: Server, addr: &str) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("smoke: io error: {e}");
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+    let mut client = cooprt::serve::HttpClient::connect(addr).map_err(io)?;
+
+    let health = client.get("/healthz").map_err(io)?;
+    if health.status != 200 {
+        return Err(format!("smoke: /healthz returned {}", health.status));
+    }
+    println!("smoke: /healthz ok");
+
+    let job = r#"{"scene": "bunny", "width": 16, "height": 12, "spp": 2}"#;
+    let first = client.post("/v1/render", job).map_err(io)?;
+    if first.status != 200 || first.header("x-cache") != Some("miss") {
+        return Err(format!(
+            "smoke: first render expected 200/miss, got {}/{:?}: {}",
+            first.status,
+            first.header("x-cache"),
+            first.text()
+        ));
+    }
+    let second = client.post("/v1/render", job).map_err(io)?;
+    if second.status != 200 || second.header("x-cache") != Some("hit") {
+        return Err(format!(
+            "smoke: second render expected 200/hit, got {}/{:?}",
+            second.status,
+            second.header("x-cache")
+        ));
+    }
+    if first.body != second.body {
+        return Err("smoke: cache hit is not bitwise identical to the fresh run".to_string());
+    }
+    println!(
+        "smoke: /v1/render miss+hit identical ({} bytes)",
+        first.body.len()
+    );
+
+    let metrics = client.get("/metrics").map_err(io)?;
+    let doc = cooprt::telemetry::parse_json(&metrics.text())
+        .map_err(|e| format!("smoke: /metrics is not valid JSON: {e}"))?;
+    let hits = doc
+        .get("result_cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(|v| v.as_f64());
+    if hits != Some(1.0) {
+        return Err(format!("smoke: expected 1 result-cache hit, got {hits:?}"));
+    }
+    println!("smoke: /metrics parses, result-cache hit counted");
+
+    handle.shutdown();
+    join.join()
+        .map_err(|_| "smoke: server thread panicked".to_string())?
+        .map_err(|e| format!("smoke: server run failed: {e}"))?;
+    println!("smoke: graceful drain complete — all checks passed");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -241,6 +384,7 @@ fn main() -> ExitCode {
             cmd_area();
             Ok(())
         }
+        Some("serve") => ServeOptions::parse(&args[1..]).and_then(|o| cmd_serve(&o)),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())

@@ -13,6 +13,10 @@
 //!   Balancing Unit, shader drivers and area model.
 //! - [`telemetry`] — sim-time event tracing, the shared JSON writer,
 //!   Chrome/Perfetto trace export and host-side profiling spans.
+//! - [`serve`] — a dependency-free HTTP/1.1 + JSON batch service over
+//!   the simulator: bounded job queue with backpressure, worker pool,
+//!   content-addressed scene/result caches, graceful drain
+//!   (`cooprt serve` on the CLI).
 //!
 //! # Quickstart
 //!
@@ -38,4 +42,5 @@ pub use cooprt_core as core;
 pub use cooprt_gpu as gpu;
 pub use cooprt_math as math;
 pub use cooprt_scenes as scenes;
+pub use cooprt_serve as serve;
 pub use cooprt_telemetry as telemetry;
