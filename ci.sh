@@ -18,7 +18,7 @@ cargo test --offline --quiet --workspace
 
 echo "==> simcheck --seeds 64 (differential fuzzing smoke)"
 cargo run --offline --release --example simcheck -- \
-    --seeds 64 --json-seeds 256 --serve-seeds 8
+    --seeds 64 --json-seeds 256 --serve-seeds 8 --trace-seeds 8
 
 echo "==> simperf --smoke"
 cargo bench --offline -p cooprt-bench --bench simperf -- --smoke
@@ -36,6 +36,13 @@ cargo run --offline --release --example trace_export -- \
     --scene wknd --policy cooprt --res 32 --detail 8 \
     --out-dir "$smoke_dir" --check
 test -s "$smoke_dir/wknd_cooprt.trace.json"
-test -s "$smoke_dir/METRICS.json"
+test -s "$smoke_dir/wknd_cooprt.metrics.json"
+
+echo "==> trace record/replay smoke (record once, replay --verify)"
+cargo run --offline --release --bin cooprt -- trace record wknd \
+    --res 32 --detail 4 --out "$smoke_dir/wknd.cprt"
+cargo run --offline --release --bin cooprt -- trace info "$smoke_dir/wknd.cprt"
+cargo run --offline --release --bin cooprt -- trace replay "$smoke_dir/wknd.cprt" \
+    --policy cooprt --verify
 
 echo "CI green."

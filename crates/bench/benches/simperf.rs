@@ -14,6 +14,14 @@
 //! a "parallel" measurement. Results are printed and written to
 //! `BENCH_simperf.json` at the repository root.
 //!
+//! A trace record/replay section measures the record-once/replay-
+//! everywhere amortization on an 8-config memory-hierarchy sweep of the
+//! first scene: one trace is recorded under the reference config, every
+//! sweep point is replayed from it, and each replay is asserted bitwise
+//! identical (cycles and image) to a live run of the same config. The
+//! recorder's wall-clock overhead and the sweep speedup are reported
+//! under `trace_replay` in the JSON.
+//!
 //! `--smoke` runs a two-scene, low-resolution edition — same passes,
 //! same determinism asserts, no JSON — so CI can exercise this harness
 //! in seconds (see `ci.sh`).
@@ -25,10 +33,146 @@
 //! come from the same spans that are printed.
 
 use cooprt_bench::{banner, default_detail, default_res, parallel, run_at, scene_list};
-use cooprt_core::{FrameResult, GpuConfig, ShaderKind, TraversalPolicy};
+use cooprt_core::{FrameResult, GpuConfig, ShaderKind, Trace, TraversalPolicy};
 use cooprt_scenes::{Scene, SceneId};
 use cooprt_telemetry::{JsonWriter, Profiler};
 use std::time::Instant;
+
+/// The 8-point memory-hierarchy sweep for the record/replay
+/// amortization measurement: the reference config plus seven cache /
+/// MSHR / DRAM variations around it.
+fn memory_sweep(base: &GpuConfig) -> Vec<(&'static str, GpuConfig)> {
+    let mut points = Vec::new();
+    let mut push = |label, f: &dyn Fn(&mut GpuConfig)| {
+        let mut c = base.clone();
+        f(&mut c);
+        points.push((label, c));
+    };
+    push("ref", &|_| {});
+    push("l1-half", &|c| c.mem.l1_bytes /= 2);
+    push("l1-x2", &|c| c.mem.l1_bytes *= 2);
+    push("l1-mshr-half", &|c| {
+        c.mem.l1_mshr_entries = (c.mem.l1_mshr_entries / 2).max(1)
+    });
+    push("l2-half", &|c| c.mem.l2_bytes /= 2);
+    push("l2-mshr-half", &|c| {
+        c.mem.l2_mshr_entries = (c.mem.l2_mshr_entries / 2).max(1)
+    });
+    push("dram-1ch", &|c| c.mem.dram_channels = 1);
+    push("dram-x2", &|c| c.mem.dram_channels *= 2);
+    points
+}
+
+/// Smallest of `n` timed runs of `f` — wall-clock minima are robust
+/// against scheduler noise on a shared host.
+fn best_of(n: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measured wall clocks of the record/replay amortization section.
+struct TraceReplayReport {
+    scene: &'static str,
+    sweep_labels: Vec<&'static str>,
+    trace_bytes: usize,
+    records: u64,
+    build_secs: f64,
+    live_ref_secs: f64,
+    record_run_secs: f64,
+    record_overhead_pct: f64,
+    encode_secs: f64,
+    decode_secs: f64,
+    live_sweep_secs: f64,
+    replay_sweep_secs: f64,
+    replay_speedup: f64,
+}
+
+/// Records the first scene once, replays the 8-config memory sweep
+/// from the trace, asserts every replay bitwise identical to its live
+/// twin, and returns the measured wall clocks.
+fn trace_replay_section(
+    id: SceneId,
+    scene: &Scene,
+    cfg: &GpuConfig,
+    kind: ShaderKind,
+    res: usize,
+    detail: u32,
+    workers: usize,
+) -> TraceReplayReport {
+    let policy = TraversalPolicy::Baseline;
+    // A fresh build, timed on its own (the suite build above is pooled
+    // across scenes, so its span cannot be attributed to one).
+    let build_secs = best_of(1, || {
+        let _ = id.build(detail);
+    });
+
+    let sweep = memory_sweep(cfg);
+    let live_ref_secs = best_of(3, || {
+        let _ = run_at(scene, cfg, policy, kind, res);
+    });
+    let mut trace_slot = None;
+    let record_run_secs = best_of(3, || {
+        trace_slot = Some(
+            Trace::record(scene, detail, cfg, policy, kind, res, res)
+                .expect("record the sweep scene")
+                .1,
+        );
+    });
+    let trace = trace_slot.expect("best_of ran at least once");
+    let mut bytes = Vec::new();
+    let encode_secs = best_of(3, || bytes = trace.encode());
+    let mut decoded_slot = None;
+    let decode_secs = best_of(3, || {
+        decoded_slot = Some(Trace::decode(&bytes).expect("decode own encoding"));
+    });
+    let decoded = decoded_slot.expect("best_of ran at least once");
+
+    // Live arm: re-simulate every sweep point from scratch.
+    let t = Instant::now();
+    let live: Vec<FrameResult> = sweep
+        .iter()
+        .map(|(_, c)| run_at(scene, c, policy, kind, res))
+        .collect();
+    let live_points_secs = t.elapsed().as_secs_f64();
+
+    // Replay arm: drive every sweep point from the one decoded trace,
+    // through the worker pool (deterministic at any width).
+    let t = Instant::now();
+    let replayed = parallel::par_map(&sweep, workers, |_, (_, c)| {
+        decoded.replay(c, policy).expect("replay the sweep point")
+    });
+    let replay_points_secs = t.elapsed().as_secs_f64();
+
+    // The replay-identity contract, enforced on every benchmark run:
+    // bitwise equal cycles and image at every sweep point.
+    for (((label, _), l), r) in sweep.iter().zip(&live).zip(&replayed) {
+        assert_eq!(l.cycles, r.cycles, "{label}: replay must match live cycles");
+        assert_eq!(l.image, r.image, "{label}: replay must match live image");
+    }
+
+    let live_sweep_secs = build_secs + live_points_secs;
+    let replay_sweep_secs = record_run_secs + encode_secs + decode_secs + replay_points_secs;
+    TraceReplayReport {
+        scene: id.name(),
+        sweep_labels: sweep.iter().map(|(l, _)| *l).collect(),
+        trace_bytes: bytes.len(),
+        records: trace.total_records(),
+        build_secs,
+        live_ref_secs,
+        record_run_secs,
+        record_overhead_pct: (record_run_secs - live_ref_secs) / live_ref_secs.max(1e-12) * 100.0,
+        encode_secs,
+        decode_secs,
+        live_sweep_secs,
+        replay_sweep_secs,
+        replay_speedup: live_sweep_secs / replay_sweep_secs.max(1e-12),
+    }
+}
 
 struct Row {
     scene: &'static str,
@@ -186,6 +330,28 @@ fn main() {
     }
     println!("(all pooled passes bitwise identical to the sequential pass)");
 
+    // Trace record/replay amortization: one recorded front end drives
+    // the whole memory sweep, each point asserted bitwise identical to
+    // live re-simulation.
+    let tr = trace_replay_section(ids[0], &scenes[0], &cfg, kind, res, detail, workers);
+    println!();
+    println!(
+        "trace record/replay ('{}', {}-config memory sweep, {} ray records, {} KiB):",
+        tr.scene,
+        tr.sweep_labels.len(),
+        tr.records,
+        tr.trace_bytes / 1024
+    );
+    println!(
+        "  record overhead {:+.1}% of a live frame ({:.3}s vs {:.3}s); encode {:.4}s, decode {:.4}s",
+        tr.record_overhead_pct, tr.record_run_secs, tr.live_ref_secs, tr.encode_secs, tr.decode_secs
+    );
+    println!(
+        "  live sweep {:.3}s vs record-once+replay {:.3}s -> {:.2}x \
+         (every point bitwise identical to live)",
+        tr.live_sweep_secs, tr.replay_sweep_secs, tr.replay_speedup
+    );
+
     if smoke {
         println!();
         println!("simperf --smoke OK");
@@ -228,6 +394,26 @@ fn main() {
         w.end_object();
     }
     w.end_array();
+    w.begin_object_field("trace_replay");
+    w.field_str("scene", tr.scene);
+    w.field_u64("sweep_configs", tr.sweep_labels.len() as u64);
+    w.begin_inline_array("sweep");
+    for label in &tr.sweep_labels {
+        w.item_str(label);
+    }
+    w.end_array();
+    w.field_u64("ray_records", tr.records);
+    w.field_u64("trace_bytes", tr.trace_bytes as u64);
+    w.field_f64("build_secs", tr.build_secs, 6);
+    w.field_f64("live_frame_secs", tr.live_ref_secs, 6);
+    w.field_f64("record_run_secs", tr.record_run_secs, 6);
+    w.field_f64("record_overhead_pct", tr.record_overhead_pct, 2);
+    w.field_f64("encode_secs", tr.encode_secs, 6);
+    w.field_f64("decode_secs", tr.decode_secs, 6);
+    w.field_f64("live_sweep_secs", tr.live_sweep_secs, 6);
+    w.field_f64("replay_sweep_secs", tr.replay_sweep_secs, 6);
+    w.field_f64("replay_speedup", tr.replay_speedup, 4);
+    w.end_object();
     w.end_object();
     let json = w.finish();
 

@@ -21,7 +21,13 @@
 //! simulation behaviour — and every run must also finish with zero
 //! invariant violations.
 
-use cooprt_core::{Checker, GpuConfig, ShaderKind, Simulation, TraversalPolicy};
+//! Each scene additionally exercises trace-driven record/replay:
+//! recording under the baseline policy must reproduce the golden
+//! baseline count exactly (recording is observational), and replaying
+//! the one trace must reproduce *both* policies' golden counts and the
+//! recorded image bitwise (replay drives the identical timing model).
+
+use cooprt_core::{Checker, GpuConfig, ShaderKind, Simulation, Trace, TraversalPolicy};
 use cooprt_scenes::SceneId;
 use cooprt_telemetry::Tracer;
 
@@ -82,6 +88,40 @@ fn check(id: SceneId, base_golden: u64, coop_golden: u64) {
             "{id} {policy:?}: the enabled checker evaluated no invariants"
         );
         checker.assert_clean();
+    }
+
+    // Record once under baseline: the golden value was pinned without a
+    // recorder, so equality proves recording perturbs nothing.
+    let (recorded, trace) = Trace::record(
+        &scene,
+        DETAIL,
+        &cfg,
+        TraversalPolicy::Baseline,
+        ShaderKind::PathTrace,
+        RES,
+        RES,
+    )
+    .unwrap();
+    assert_eq!(
+        recorded.cycles, base_golden,
+        "{id}: enabling the recorder changed the baseline cycle count"
+    );
+
+    // The one trace replays the timing model under both policies: same
+    // golden cycles, same image, no raygen or shading re-executed.
+    for (policy, golden) in [
+        (TraversalPolicy::Baseline, base_golden),
+        (TraversalPolicy::CoopRt, coop_golden),
+    ] {
+        let r = trace.replay(&cfg, policy).unwrap();
+        assert_eq!(
+            r.cycles, golden,
+            "{id} {policy:?}: replayed cycle count drifted from live simulation"
+        );
+        assert_eq!(
+            r.image, recorded.image,
+            "{id} {policy:?}: replayed image differs from the recorded frame"
+        );
     }
 }
 

@@ -1,0 +1,91 @@
+//! Golden trace-format regression suite.
+//!
+//! `tests/data/golden_wknd.cprt` is a checked-in v1 trace: the 'wknd'
+//! scene at detail 2, recorded at 16x16 under the RTX 2060 baseline
+//! configuration (path tracing). Decoding it pins the on-disk format —
+//! header fields, stream/issue shapes, the embedded BVH — and replaying
+//! it pins the timing model's cycle counts for both policies.
+//!
+//! A failure here means one of two things:
+//!
+//! - the **format** changed: old traces no longer decode, or decode to
+//!   different contents. That needs a version bump (`TRACE_VERSION`)
+//!   and a migration story, not a silent re-baseline;
+//! - the **timing model** changed: the same recorded front end now
+//!   takes a different number of cycles. That must either be a bug or
+//!   come with a deliberate re-baselining of this file alongside
+//!   `golden_cycles.rs` and `BENCH_simperf.json`.
+//!
+//! Regenerate (only for a deliberate re-baseline) with:
+//!
+//! ```sh
+//! cargo run --release -- trace record wknd --res 16 --detail 2 \
+//!     --policy baseline --out crates/bench/tests/data/golden_wknd.cprt
+//! ```
+
+use cooprt_core::{GpuConfig, ShaderKind, Trace, TraversalPolicy, TRACE_MAGIC, TRACE_VERSION};
+
+const GOLDEN_BYTES: &[u8] = include_bytes!("data/golden_wknd.cprt");
+
+/// Replayed cycle counts under `GpuConfig::rtx2060()`, pinned when the
+/// trace was recorded (the live simulation reported the same values).
+const GOLDEN_BASELINE_CYCLES: u64 = 13849;
+const GOLDEN_COOPRT_CYCLES: u64 = 7428;
+
+#[test]
+fn golden_trace_still_decodes() {
+    assert_eq!(&GOLDEN_BYTES[..4], TRACE_MAGIC, "magic bytes moved");
+    assert_eq!(
+        TRACE_VERSION, 1,
+        "version bumped: record a new golden trace"
+    );
+    let trace = Trace::decode(GOLDEN_BYTES).expect("checked-in trace decodes");
+
+    // Header fields, exactly as recorded.
+    assert_eq!(trace.scene_name, "wknd");
+    assert_eq!(trace.detail, 2);
+    assert_eq!(trace.kind, ShaderKind::PathTrace);
+    assert_eq!((trace.width, trace.height), (16, 16));
+    assert_eq!(trace.sample_salt, 0);
+    assert_eq!(trace.max_bounces, 16);
+    assert_eq!(trace.ao_samples, 4);
+    assert_eq!(trace.ao_radius.to_bits(), 2.5f32.to_bits());
+    assert_eq!(trace.sh_samples, 2);
+    assert_eq!(trace.scene_hash, trace.bvh.content_hash());
+
+    // Body shapes: one stream per pixel, the recorded event counts.
+    assert_eq!(trace.streams.len(), 256);
+    assert_eq!(trace.total_records(), 568);
+    assert_eq!(trace.issues.len(), 58);
+    assert_eq!(trace.image.len(), 256);
+    assert_eq!(trace.bvh.node_count(), 116);
+    assert_eq!(trace.bvh.triangles().len(), 86);
+}
+
+#[test]
+fn golden_trace_still_replays_the_pinned_cycles() {
+    let trace = Trace::decode(GOLDEN_BYTES).expect("checked-in trace decodes");
+    let cfg = GpuConfig::rtx2060();
+    for (policy, golden) in [
+        (TraversalPolicy::Baseline, GOLDEN_BASELINE_CYCLES),
+        (TraversalPolicy::CoopRt, GOLDEN_COOPRT_CYCLES),
+    ] {
+        let r = trace.replay(&cfg, policy).unwrap();
+        assert_eq!(
+            r.cycles, golden,
+            "{policy:?}: replayed cycles drifted from the pinned value"
+        );
+        assert_eq!(
+            r.image, trace.image,
+            "{policy:?}: replay no longer reproduces the recorded image"
+        );
+    }
+}
+
+#[test]
+fn golden_trace_reencodes_bitwise() {
+    // Encoding is canonical: decode -> encode reproduces the exact
+    // bytes, so traces can be archived and diffed.
+    let trace = Trace::decode(GOLDEN_BYTES).expect("checked-in trace decodes");
+    assert_eq!(trace.encode(), GOLDEN_BYTES, "re-encoded bytes differ");
+}

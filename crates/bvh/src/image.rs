@@ -156,6 +156,73 @@ impl BvhImage {
         }
     }
 
+    /// Reconstructs an image from its externally-visible parts: the
+    /// node list (in address order), the root bounds, and the triangle
+    /// array. The inverse of walking [`BvhImage::iter`] — used by the
+    /// trace codec to rebuild a self-contained replay scene.
+    ///
+    /// The derived state (`total_bytes`, the O(1) address lookup table)
+    /// is recomputed, so a round trip through `from_parts` preserves
+    /// [`BvhImage::content_hash`] exactly.
+    ///
+    /// Returns an error instead of panicking if the node list is not a
+    /// packed layout starting at the heap base, a child address does
+    /// not start a node, or a leaf references a triangle out of range —
+    /// `from_parts` consumes decoded (possibly corrupt) data.
+    pub fn from_parts(
+        nodes: Vec<Node>,
+        root_bounds: Aabb,
+        triangles: Vec<Triangle>,
+    ) -> Result<Self, String> {
+        let mut cursor = HEAP_BASE;
+        for node in &nodes {
+            if node.addr != cursor {
+                return Err(format!(
+                    "node layout is not packed: expected address {cursor:#x}, found {:#x}",
+                    node.addr
+                ));
+            }
+            if let NodeKind::Leaf { triangle } = node.kind {
+                if triangle as usize >= triangles.len() {
+                    return Err(format!(
+                        "leaf at {:#x} references triangle {triangle} of {}",
+                        node.addr,
+                        triangles.len()
+                    ));
+                }
+            }
+            cursor += node.size_bytes() as u64;
+        }
+        let total_bytes = cursor - HEAP_BASE;
+        let mut lookup = vec![NO_NODE; (total_bytes / LOOKUP_GRAIN) as usize];
+        for (i, node) in nodes.iter().enumerate() {
+            lookup[((node.addr - HEAP_BASE) / LOOKUP_GRAIN) as usize] = i as u32;
+        }
+        for node in &nodes {
+            if let NodeKind::Internal { children } = &node.kind {
+                for c in children {
+                    let offset = c.addr.wrapping_sub(HEAP_BASE);
+                    let slot = (offset / LOOKUP_GRAIN) as usize;
+                    if offset % LOOKUP_GRAIN != 0 || lookup.get(slot).is_none_or(|&i| i == NO_NODE)
+                    {
+                        return Err(format!(
+                            "internal node at {:#x} has dangling child address {:#x}",
+                            node.addr, c.addr
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(BvhImage {
+            nodes,
+            root_addr: HEAP_BASE,
+            root_bounds,
+            triangles,
+            total_bytes,
+            lookup,
+        })
+    }
+
     /// Address of the root node.
     pub fn root_addr(&self) -> u64 {
         self.root_addr
@@ -468,6 +535,62 @@ mod tests {
         // The empty image hashes stably too.
         let empty = BvhImage::serialize(&WideBvh::from_binary(&build_binary(&[])), &[]);
         assert_eq!(empty.content_hash(), empty.clone().content_hash());
+    }
+
+    #[test]
+    fn from_parts_roundtrips_content_hash() {
+        for n in [0usize, 1, 7, 25] {
+            let img = image_of(n);
+            let rebuilt = BvhImage::from_parts(
+                img.iter().cloned().collect(),
+                img.root_bounds(),
+                img.triangles().to_vec(),
+            )
+            .unwrap();
+            assert_eq!(rebuilt.content_hash(), img.content_hash(), "n = {n}");
+            assert_eq!(rebuilt.total_bytes(), img.total_bytes());
+            assert_eq!(rebuilt.root_addr(), img.root_addr());
+            for node in &img {
+                assert_eq!(rebuilt.node_at(node.addr), Some(node));
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_unpacked_layouts() {
+        let img = image_of(9);
+        let mut nodes: Vec<Node> = img.iter().cloned().collect();
+        nodes[1].addr += 16;
+        let err =
+            BvhImage::from_parts(nodes, img.root_bounds(), img.triangles().to_vec()).unwrap_err();
+        assert!(err.contains("not packed"), "{err}");
+    }
+
+    #[test]
+    fn from_parts_rejects_out_of_range_triangles() {
+        let img = image_of(9);
+        let err = BvhImage::from_parts(
+            img.iter().cloned().collect(),
+            img.root_bounds(),
+            img.triangles()[..4].to_vec(),
+        )
+        .unwrap_err();
+        assert!(err.contains("triangle"), "{err}");
+    }
+
+    #[test]
+    fn from_parts_rejects_dangling_children() {
+        let img = image_of(9);
+        let mut nodes: Vec<Node> = img.iter().cloned().collect();
+        for node in &mut nodes {
+            if let NodeKind::Internal { children } = &mut node.kind {
+                children[0].addr = HEAP_BASE + img.total_bytes() + 160;
+                break;
+            }
+        }
+        let err =
+            BvhImage::from_parts(nodes, img.root_bounds(), img.triangles().to_vec()).unwrap_err();
+        assert!(err.contains("dangling"), "{err}");
     }
 
     #[test]

@@ -22,7 +22,11 @@
 //!   untrusted-input path and must fail cleanly, never panic;
 //! - [`servecache`] fuzzes the `cooprt-serve` result-cache identity
 //!   guarantee: a cache hit must be bitwise identical to a fresh run of
-//!   the same `(scene, config, policy, spp)` job.
+//!   the same `(scene, config, policy, spp)` job;
+//! - [`tracecheck`] fuzzes the record/replay subsystem: recording must
+//!   perturb nothing, the trace codec must round-trip losslessly, and
+//!   replaying the decoded trace must reproduce live cycle counts and
+//!   images bitwise under both traversal policies.
 //!
 //! Everything is deterministic and dependency-free (the in-tree PRNG
 //! only), so a CI budget of seeds means the same thing on every
@@ -42,10 +46,12 @@ pub mod jsonfuzz;
 pub mod oracle;
 pub mod servecache;
 pub mod shrink;
+pub mod tracecheck;
 
 pub use fuzz::{run_budget, run_case, run_seed, Failure, FuzzCase};
 pub use jsonfuzz::{run_json_budget, run_json_seed};
 pub use servecache::{run_serve_budget, run_serve_seed};
+pub use tracecheck::{run_trace_budget, run_trace_case, run_trace_seed, TraceFailure};
 
 use std::fmt;
 
@@ -55,7 +61,7 @@ pub struct CheckFailure {
     /// Which oracle diverged (`"cache"`, `"mshr"`, `"calendar"`,
     /// `"bvh"`, `"image"`, `"invariants"`, `"engine"`,
     /// `"json-roundtrip"`, `"json-mutation"`, `"json-adversarial"`,
-    /// `"serve-cache"`).
+    /// `"serve-cache"`, `"trace-replay"`).
     pub oracle: String,
     /// Human-readable description of the first divergence.
     pub detail: String,

@@ -8,8 +8,9 @@ use crate::latency::TraceLatencies;
 use crate::predictor::PredictorStats;
 use crate::rtunit::{RtUnit, StatusCounts, TraceQuery, TraceResult};
 use crate::shader::{ShaderKind, ShaderThread};
+use crate::trace::{RayRecord, Recorder};
 use cooprt_gpu::{EnergyEvents, EnergyReport, EventCalendar, MemStats, MemoryHierarchy};
-use cooprt_math::Rgb;
+use cooprt_math::{Ray, Rgb};
 use cooprt_scenes::Scene;
 use cooprt_telemetry::{EventKind, Tracer};
 use std::collections::VecDeque;
@@ -274,6 +275,7 @@ pub struct Simulation<'s> {
     sample_salt: u64,
     tracer: Tracer,
     checker: Checker,
+    recorder: Recorder,
 }
 
 impl<'s> Simulation<'s> {
@@ -288,6 +290,7 @@ impl<'s> Simulation<'s> {
             sample_salt: 0,
             tracer: Tracer::disabled(),
             checker: Checker::disabled(),
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -314,6 +317,19 @@ impl<'s> Simulation<'s> {
     /// `golden_cycles` suite enforces over the full scene matrix.
     pub fn with_checker(mut self, checker: Checker) -> Self {
         self.checker = checker;
+        self
+    }
+
+    /// Installs a front-end recorder: the engine captures every
+    /// `(ray, t_max)` each shader thread submits at the warp-issue
+    /// boundary, plus the per-SM issue stream (drain with
+    /// [`Recorder::take`] after the run; [`crate::Trace::record`] wraps
+    /// the whole recipe). Recording follows the same
+    /// zero-cost-when-disabled discipline as tracing and checking: it
+    /// is purely observational and cycle counts are bitwise identical
+    /// with it on or off, which the `golden_cycles` suite enforces.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -424,6 +440,49 @@ impl<'s> Simulation<'s> {
         validate_frame(width, height)?;
         Ok(Engine::new(self, kind, width, height).run())
     }
+
+    /// Simulates one frame driven by recorded per-thread ray streams
+    /// instead of live shader threads (see [`crate::Trace::replay`],
+    /// which packages the trace-level recipe around this).
+    ///
+    /// The timing model — RT units, caches, MSHRs, DRAM, LBU — runs
+    /// exactly as live; only raygen/shading is skipped: each lane's
+    /// next `(ray, t_max)` comes from its stream, and warp retirement
+    /// advances the stream cursors precisely where live shading would
+    /// produce the next bounce. `image` is the recorded frame, echoed
+    /// back in the result (replay never shades).
+    ///
+    /// `streams` and `image` must both hold exactly `width * height`
+    /// entries — thread `t` is pixel `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::EmptyFrame`] if `width * height == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` or `image` disagree with the pixel count;
+    /// [`crate::Trace`] decoding validates both, so reaching the panic
+    /// means a caller bypassed it with inconsistent data.
+    pub fn replay_frame(
+        &self,
+        kind: ShaderKind,
+        width: usize,
+        height: usize,
+        streams: Vec<Vec<RayRecord>>,
+        image: Vec<Rgb>,
+    ) -> Result<FrameResult, ConfigError> {
+        validate_frame(width, height)?;
+        assert_eq!(streams.len(), width * height, "one ray stream per pixel");
+        assert_eq!(image.len(), width * height, "one recorded pixel per thread");
+        let cursors = vec![0usize; streams.len()];
+        let front = FrontEnd::Replay {
+            streams,
+            cursors,
+            image,
+        };
+        Ok(Engine::with_front(self, kind, width, height, front).run())
+    }
 }
 
 /// Rejects zero-pixel frames with a typed error.
@@ -432,6 +491,109 @@ fn validate_frame(width: usize, height: usize) -> Result<(), ConfigError> {
         return Err(ConfigError::EmptyFrame { width, height });
     }
     Ok(())
+}
+
+/// The engine's workload source: live shader threads, or recorded
+/// per-thread ray streams replayed without shading.
+///
+/// Both arms present the same three observations the timing model ever
+/// makes of a thread — "does it hold a ray", "what ray and search
+/// bound", "it just retired a `trace_ray`" — so swapping the arm swaps
+/// raygen/shading for stream playback while every downstream structure
+/// (warps, RT units, memory, LBU) runs unchanged.
+///
+/// Cursor semantics mirror live aliveness exactly: a live thread's
+/// `ray` goes `Some -> None` exactly once, so its k-th submission is
+/// its stream's k-th record under *any* warp grouping, and a retire
+/// advances the cursor precisely where live shading would decide the
+/// next bounce (a dead thread's resume is a no-op in both arms).
+enum FrontEnd {
+    /// One shader thread per pixel, generating and shading rays.
+    Live(Vec<ShaderThread>),
+    /// Recorded streams: thread `t` submits `streams[t]` in order.
+    Replay {
+        /// Per-thread recorded `(ray, t_max)` submissions.
+        streams: Vec<Vec<RayRecord>>,
+        /// Next un-submitted record of each thread.
+        cursors: Vec<usize>,
+        /// The recorded final image (replay never shades).
+        image: Vec<Rgb>,
+    },
+}
+
+impl FrontEnd {
+    /// Thread (= pixel) count.
+    fn len(&self) -> usize {
+        match self {
+            FrontEnd::Live(threads) => threads.len(),
+            FrontEnd::Replay { streams, .. } => streams.len(),
+        }
+    }
+
+    /// True if thread `t` has a ray left to trace.
+    #[inline]
+    fn has_ray(&self, t: usize) -> bool {
+        match self {
+            FrontEnd::Live(threads) => threads[t].ray.is_some(),
+            FrontEnd::Replay {
+                streams, cursors, ..
+            } => cursors[t] < streams[t].len(),
+        }
+    }
+
+    /// The `(ray, t_max)` lane contents thread `t` contributes to a
+    /// `trace_ray` being built right now.
+    ///
+    /// Dead lanes return `t_max = f32::INFINITY` in replay where live
+    /// passes the thread's stale `t_max`; the RT unit provably never
+    /// reads `min_thit` of an inactive lane, so the difference is
+    /// unobservable (the replay-identity tests pin this).
+    #[inline]
+    fn query_lane(&self, t: usize) -> (Option<Ray>, f32) {
+        match self {
+            FrontEnd::Live(threads) => {
+                let thread = &threads[t];
+                (thread.ray, thread.t_max)
+            }
+            FrontEnd::Replay {
+                streams, cursors, ..
+            } => match streams[t].get(cursors[t]) {
+                Some(rec) => (Some(rec.ray()), rec.t_max),
+                None => (None, f32::INFINITY),
+            },
+        }
+    }
+
+    /// Thread `t`'s warp retired a `trace_ray`: live threads shade and
+    /// generate the next ray; replay advances the stream cursor. Both
+    /// are no-ops for a thread with no ray in flight.
+    fn resume(
+        &mut self,
+        t: usize,
+        kind: ShaderKind,
+        cfg: &GpuConfig,
+        scene: &Scene,
+        hit: Option<crate::rtunit::RayHit>,
+    ) {
+        match self {
+            FrontEnd::Live(threads) => threads[t].resume(kind, cfg, scene, hit),
+            FrontEnd::Replay {
+                streams, cursors, ..
+            } => {
+                if cursors[t] < streams[t].len() {
+                    cursors[t] += 1;
+                }
+            }
+        }
+    }
+
+    /// The final per-pixel colors.
+    fn colors(&self) -> Vec<Rgb> {
+        match self {
+            FrontEnd::Live(threads) => threads.iter().map(|t| t.color).collect(),
+            FrontEnd::Replay { image, .. } => image.clone(),
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -474,8 +636,9 @@ struct Engine<'s> {
     kind: ShaderKind,
     width: usize,
     height: usize,
-    /// One shader thread per pixel (thread id == pixel index).
-    threads: Vec<ShaderThread>,
+    /// Workload source, one thread per pixel (thread id == pixel
+    /// index): live shader threads or recorded replay streams.
+    front: FrontEnd,
     warps: Vec<Warp>,
     sms: Vec<Sm>,
     /// Cached earliest cycle at which each SM can act again, recomputed
@@ -496,6 +659,7 @@ struct Engine<'s> {
     mem: MemoryHierarchy,
     tracer: Tracer,
     checker: Checker,
+    recorder: Recorder,
     /// Active-ray count of each warp's in-flight `trace_ray`, recorded
     /// at issue (checked mode only; indexed by warp id, reset per wave).
     checked_issue_rays: Vec<u32>,
@@ -515,7 +679,6 @@ struct Engine<'s> {
 
 impl<'s> Engine<'s> {
     fn new(sim: &Simulation<'s>, kind: ShaderKind, width: usize, height: usize) -> Self {
-        let cfg = sim.config.clone();
         let pixels = width * height;
         let threads: Vec<ShaderThread> = (0..pixels)
             .map(|p| {
@@ -526,6 +689,18 @@ impl<'s> Engine<'s> {
                 ShaderThread::begin_with_salt(sim.scene, p, u, v, sim.sample_salt)
             })
             .collect();
+        Engine::with_front(sim, kind, width, height, FrontEnd::Live(threads))
+    }
+
+    fn with_front(
+        sim: &Simulation<'s>,
+        kind: ShaderKind,
+        width: usize,
+        height: usize,
+        front: FrontEnd,
+    ) -> Self {
+        let cfg = sim.config.clone();
+        sim.recorder.begin(front.len());
         let sm_count = cfg.sm_count();
         let sms: Vec<Sm> = (0..sm_count)
             .map(|i| {
@@ -550,7 +725,7 @@ impl<'s> Engine<'s> {
             kind,
             width,
             height,
-            threads,
+            front,
             warps: Vec::new(),
             sms,
             sm_next,
@@ -558,6 +733,7 @@ impl<'s> Engine<'s> {
             mem,
             tracer: sim.tracer.clone(),
             checker: sim.checker.clone(),
+            recorder: sim.recorder.clone(),
             checked_issue_rays: Vec::new(),
             checked_retired_rays: vec![0; sm_count],
             checked_retired_instr: vec![0; sm_count],
@@ -580,7 +756,7 @@ impl<'s> Engine<'s> {
 
     /// Groups pixels into warps per the configured tiling.
     fn pixel_groups(&self) -> Vec<Vec<u32>> {
-        let pixels = self.threads.len() as u32;
+        let pixels = self.front.len() as u32;
         match self.cfg.warp_tiling {
             crate::config::WarpTiling::Linear => (0..pixels)
                 .collect::<Vec<u32>>()
@@ -612,7 +788,7 @@ impl<'s> Engine<'s> {
         self.warps[w]
             .members
             .iter()
-            .any(|&t| self.threads[t as usize].ray.is_some())
+            .any(|&t| self.front.has_ray(t as usize))
     }
 
     /// Creates a wave of warps over the given lane groups and queues
@@ -675,8 +851,8 @@ impl<'s> Engine<'s> {
             // Wave-synchronous execution with per-bounce compaction.
             let mut wave = 0u32;
             loop {
-                let alive: Vec<u32> = (0..self.threads.len() as u32)
-                    .filter(|&t| self.threads[t as usize].ray.is_some())
+                let alive: Vec<u32> = (0..self.front.len() as u32)
+                    .filter(|&t| self.front.has_ray(t as usize))
                     .collect();
                 if alive.is_empty() {
                     break;
@@ -782,6 +958,13 @@ impl<'s> Engine<'s> {
                         if self.checker.is_enabled() {
                             self.checked_issue_rays[w] = query.rays.iter().flatten().count() as u32;
                         }
+                        self.recorder.record_issue(
+                            sm_idx as u32,
+                            w as u32,
+                            self.warps[w].iteration,
+                            &self.warps[w].members,
+                            &query,
+                        );
                         let ok = self.sms[sm_idx].rt.issue(query, now, self.scene);
                         debug_assert!(ok);
                         self.warps[w].phase = Phase::InRt;
@@ -889,9 +1072,9 @@ impl<'s> Engine<'s> {
         let mut rays = [None; WARP_SIZE];
         let mut t_max = [f32::INFINITY; WARP_SIZE];
         for (i, &t) in warp.members.iter().enumerate() {
-            let thread = &self.threads[t as usize];
-            rays[i] = thread.ray;
-            t_max[i] = thread.t_max;
+            let (ray, bound) = self.front.query_lane(t as usize);
+            rays[i] = ray;
+            t_max[i] = bound;
         }
         TraceQuery {
             warp: w,
@@ -911,7 +1094,7 @@ impl<'s> Engine<'s> {
         for i in 0..self.warps[w].members.len() {
             let hit = res.hits[i];
             let t = self.warps[w].members[i] as usize;
-            self.threads[t].resume(self.kind, &self.cfg, self.scene, hit);
+            self.front.resume(t, self.kind, &self.cfg, self.scene, hit);
         }
         let warp = &mut self.warps[w];
         warp.iteration += 1;
@@ -1010,7 +1193,7 @@ impl<'s> Engine<'s> {
     }
 
     fn finish(mut self, now: u64) -> FrameResult {
-        let image: Vec<Rgb> = self.threads.iter().map(|t| t.color).collect();
+        let image: Vec<Rgb> = self.front.colors();
         let slowest = self.slowest_warp;
         let mut events = EnergyEvents::default();
         let mut predictor = PredictorStats::default();

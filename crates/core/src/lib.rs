@@ -20,6 +20,9 @@
 //! - [`engine`] — SMs, thread-block dispatch, the cycle loop, and every
 //!   measurement the evaluation needs (activity sampling, stall
 //!   breakdown, warp timelines, slowest-warp latency);
+//! - [`trace`] — trace-driven record/replay: record the front end
+//!   (raygen/shading) once, replay the timing model under any sweep
+//!   configuration from a compact self-contained binary trace;
 //! - [`parallel`] — deterministic outer-loop parallelism (scoped-thread
 //!   work pool behind the `COOPRT_THREADS` knob); each engine stays
 //!   single-threaded, so results are bitwise identical at any width;
@@ -56,6 +59,7 @@ pub mod parallel;
 pub mod predictor;
 pub mod rtunit;
 pub mod shader;
+pub mod trace;
 
 pub use check::Checker;
 pub use config::{
@@ -70,3 +74,7 @@ pub use metrics::{FrameMetrics, LatencySummary, MetricsReport, METRICS_SCHEMA_VE
 pub use predictor::{Predictor, PredictorStats};
 pub use rtunit::{RayHit, RtUnit, StatusCounts, TraceQuery, TraceResult};
 pub use shader::{ShaderKind, ShaderThread};
+pub use trace::{
+    IssueRecord, RayRecord, Recorder, Trace, TraceError, TraceReader, TraceWriter, TRACE_MAGIC,
+    TRACE_VERSION,
+};

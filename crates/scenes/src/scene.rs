@@ -30,6 +30,47 @@ pub struct Scene {
 }
 
 impl Scene {
+    /// Wraps an already-built BVH image in a minimal scene for
+    /// trace-driven replay.
+    ///
+    /// Replay re-executes traversal against `image` inside the timing
+    /// model but never shades, so the camera, sky, materials and lights
+    /// are placeholders that no replay code path reads. The BVH
+    /// statistics that derive from the image alone are filled in; the
+    /// tree-shape fields (depth, arity, SAH) need the wide tree and
+    /// stay zero.
+    pub fn for_replay(name: impl Into<String>, image: BvhImage) -> Scene {
+        let triangle_count = image.triangles().len();
+        let stats = TreeStats {
+            internal_nodes: image
+                .iter()
+                .filter(|n| matches!(n.kind, cooprt_bvh::NodeKind::Internal { .. }))
+                .count(),
+            leaf_nodes: image
+                .iter()
+                .filter(|n| matches!(n.kind, cooprt_bvh::NodeKind::Leaf { .. }))
+                .count(),
+            total_bytes: image.total_bytes(),
+            size_mib: image.size_mib(),
+            ..TreeStats::default()
+        };
+        Scene {
+            name: name.into(),
+            image,
+            materials: vec![
+                Material::Lambertian {
+                    albedo: Rgb::splat(0.5),
+                };
+                triangle_count
+            ],
+            camera: Camera::look_at(Vec3::new(0.0, 1.0, 5.0), Vec3::ZERO, Vec3::Y, 60.0, 1.0),
+            sky: Sky::default(),
+            lights: Vec::new(),
+            stats,
+            closed: false,
+        }
+    }
+
     /// Material of triangle `index`.
     ///
     /// # Panics
@@ -262,6 +303,26 @@ mod tests {
             assert!((0.0..=2.0).contains(&p.z));
             assert!(p.y.abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn replay_stub_wraps_the_image() {
+        let built = SceneBuilder::new("orig", camera())
+            .push(
+                crate::box_at(Vec3::ZERO, Vec3::ONE),
+                Material::Lambertian { albedo: Rgb::WHITE },
+            )
+            .build();
+        let stub = Scene::for_replay("replay", built.image.clone());
+        assert_eq!(stub.name, "replay");
+        assert_eq!(stub.image.content_hash(), built.image.content_hash());
+        assert_eq!(stub.triangle_count(), built.triangle_count());
+        assert_eq!(stub.materials.len(), built.triangle_count());
+        assert_eq!(stub.stats.leaf_nodes, built.stats.leaf_nodes);
+        assert_eq!(stub.stats.internal_nodes, built.stats.internal_nodes);
+        assert_eq!(stub.stats.total_bytes, built.stats.total_bytes);
+        assert!(stub.lights.is_empty());
+        assert!(!stub.is_closed());
     }
 
     #[test]

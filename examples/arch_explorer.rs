@@ -3,69 +3,166 @@
 //! the hardware cost of each point — the §7.1/§7.5 trade-off study as a
 //! reusable tool.
 //!
+//! The front end (raygen/shading) runs **once**: the scene is recorded
+//! into an in-memory trace, and every sweep point replays the timing
+//! model from that trace — no raygen, shading or BVH rebuild per
+//! config. Replay is bitwise identical to live simulation (the
+//! `golden_cycles` suite pins this), so the numbers are exactly the
+//! ones a live sweep would produce, minus the redundant front-end
+//! work. Points run concurrently via `cooprt_core::parallel`
+//! (`COOPRT_THREADS` sets the width).
+//!
 //! ```sh
 //! cargo run --release --example arch_explorer -- fox
+//! # split the sweep across processes (machines): shard 0 of 2
+//! cargo run --release --example arch_explorer -- fox --shard 0/2
 //! ```
 
-use cooprt::core::area::{cooprt_area, overhead_fraction};
-use cooprt::core::{GpuConfig, ShaderKind, Simulation, TraversalPolicy};
+use cooprt::core::area::{cooprt_area, overhead_fraction, warp_buffer_bits};
+use cooprt::core::{parallel, GpuConfig, ShaderKind, Trace, TraversalPolicy};
 use cooprt::scenes::ALL_SCENES;
 
+/// One sweep point: a label, the timing config, and the policy.
+struct Point {
+    label: String,
+    cfg: GpuConfig,
+    policy: TraversalPolicy,
+}
+
+fn parse_shard(spec: &str) -> Result<(usize, usize), String> {
+    let (i, n) = spec
+        .split_once('/')
+        .ok_or_else(|| format!("--shard expects i/n, got '{spec}'"))?;
+    let i: usize = i.parse().map_err(|_| "shard index must be an integer")?;
+    let n: usize = n.parse().map_err(|_| "shard count must be an integer")?;
+    if n == 0 || i >= n {
+        return Err(format!("shard index {i} out of range for {n} shards"));
+    }
+    Ok((i, n))
+}
+
 fn main() {
-    let scene_name = std::env::args().nth(1).unwrap_or_else(|| "party".into());
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut scene_name = "party".to_string();
+    let mut shard = (0usize, 1usize);
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--shard" => {
+                i += 1;
+                let spec = argv.get(i).unwrap_or_else(|| {
+                    eprintln!("--shard requires a value (i/n)");
+                    std::process::exit(2);
+                });
+                shard = parse_shard(spec).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            name => scene_name = name.to_string(),
+        }
+        i += 1;
+    }
     let Some(id) = ALL_SCENES.iter().copied().find(|s| s.name() == scene_name) else {
         eprintln!("unknown scene '{scene_name}'");
         std::process::exit(1);
     };
-    let scene = id.build(16);
+    let detail = 16;
+    let scene = id.build(detail);
     let res = 48;
     println!("design-space exploration on '{id}' ({res}x{res}, path tracing)\n");
 
-    let baseline = Simulation::new(&scene, &GpuConfig::rtx2060(), TraversalPolicy::Baseline)
-        .run_frame(ShaderKind::PathTrace, res, res)
-        .unwrap();
+    // Record the front end once under the reference point; every sweep
+    // point below replays the timing model from this trace.
+    let (reference, trace) = Trace::record(
+        &scene,
+        detail,
+        &GpuConfig::rtx2060(),
+        TraversalPolicy::Baseline,
+        ShaderKind::PathTrace,
+        res,
+        res,
+    )
+    .unwrap();
     println!(
-        "reference: 4-entry warp buffer, no CoopRT -> {} cycles\n",
-        baseline.cycles
+        "reference: 4-entry warp buffer, no CoopRT -> {} cycles",
+        reference.cycles
+    );
+    println!(
+        "recorded {} ray records ({} KiB encoded); replaying the sweep...\n",
+        trace.total_records(),
+        trace.encode().len() / 1024
     );
 
-    println!("--- warp-buffer size sweep (storage cost: 24,576 bits/entry) ---");
-    println!(
-        "{:<10} {:>12} {:>10} {:>14}",
-        "entries", "cycles", "speedup", "storage(bits)"
-    );
+    // The 8-point sweep: warp-buffer sizes under the baseline policy,
+    // LBU subwarp scopes under CoopRT.
+    let mut points: Vec<Point> = Vec::new();
     for entries in [4usize, 8, 16, 32] {
-        let cfg = GpuConfig::rtx2060().with_warp_buffer(entries);
-        let r = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
-            .run_frame(ShaderKind::PathTrace, res, res)
-            .unwrap();
+        points.push(Point {
+            label: format!("wb{entries}"),
+            cfg: GpuConfig::rtx2060().with_warp_buffer(entries),
+            policy: TraversalPolicy::Baseline,
+        });
+    }
+    for sw in [4usize, 8, 16, 32] {
+        points.push(Point {
+            label: format!("sw{sw}"),
+            cfg: GpuConfig::rtx2060().with_subwarp(sw),
+            policy: TraversalPolicy::CoopRt,
+        });
+    }
+
+    // Shard by index so `--shard i/n` processes partition the sweep.
+    let (shard_idx, shard_count) = shard;
+    let mine: Vec<Point> = points
+        .into_iter()
+        .enumerate()
+        .filter(|(k, _)| k % shard_count == shard_idx)
+        .map(|(_, p)| p)
+        .collect();
+    if shard_count > 1 {
         println!(
-            "{:<10} {:>12} {:>9.2}x {:>14}",
-            entries,
-            r.cycles,
-            baseline.cycles as f64 / r.cycles as f64,
-            cooprt::core::area::warp_buffer_bits(entries)
+            "shard {shard_idx}/{shard_count}: {} of 8 sweep points\n",
+            mine.len()
         );
     }
 
-    println!("\n--- CoopRT subwarp sweep (4-entry warp buffer) ---");
+    let results = parallel::par_map(&mine, parallel::threads(), |_, p| {
+        trace.replay(&p.cfg, p.policy).unwrap()
+    });
+
     println!(
-        "{:<10} {:>12} {:>10} {:>10} {:>10}",
-        "subwarp", "cycles", "speedup", "cells", "overhead"
+        "{:<8} {:>12} {:>10} {:>14} {:>10} {:>10}",
+        "point", "cycles", "speedup", "storage(bits)", "cells", "overhead"
     );
-    for sw in [4usize, 8, 16, 32] {
-        let cfg = GpuConfig::rtx2060().with_subwarp(sw);
-        let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
-            .run_frame(ShaderKind::PathTrace, res, res)
-            .unwrap();
-        println!(
-            "{:<10} {:>12} {:>9.2}x {:>10} {:>9.2}%",
-            sw,
-            r.cycles,
-            baseline.cycles as f64 / r.cycles as f64,
-            cooprt_area(sw).cells(),
-            overhead_fraction(sw, 4) * 100.0
-        );
+    for (p, r) in mine.iter().zip(&results) {
+        let speedup = reference.cycles as f64 / r.cycles as f64;
+        match p.policy {
+            TraversalPolicy::Baseline => {
+                let entries = p.cfg.warp_buffer_size;
+                println!(
+                    "{:<8} {:>12} {:>9.2}x {:>14} {:>10} {:>10}",
+                    p.label,
+                    r.cycles,
+                    speedup,
+                    warp_buffer_bits(entries),
+                    "-",
+                    "-"
+                );
+            }
+            TraversalPolicy::CoopRt => {
+                let sw = p.cfg.subwarp_size;
+                println!(
+                    "{:<8} {:>12} {:>9.2}x {:>14} {:>10} {:>9.2}%",
+                    p.label,
+                    r.cycles,
+                    speedup,
+                    "-",
+                    cooprt_area(sw).cells(),
+                    overhead_fraction(sw, 4) * 100.0
+                );
+            }
+        }
     }
 
     println!("\nconclusion (paper §7.1): CoopRT at 4 entries beats even the 32-entry");

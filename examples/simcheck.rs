@@ -1,20 +1,24 @@
 //! Differential fuzzing driver: replays seeds through every
 //! `cooprt-check` oracle (cache/MSHR/calendar reference models, BVH vs
 //! brute force, baseline-vs-CoopRT image identity with engine
-//! invariants enabled), plus the JSON-parser fuzzer and the serve
-//! result-cache identity oracle.
+//! invariants enabled), plus the JSON-parser fuzzer, the serve
+//! result-cache identity oracle, and the trace record/replay
+//! differential (record → encode → decode → replay must be bitwise
+//! cycle- and image-identical to live simulation under both policies).
 //!
 //! ```sh
 //! # CI smoke: 64 consecutive seeds starting at 0.
 //! cargo run --release --example simcheck -- --seeds 64
 //!
-//! # Fuzz the JSON parser and the serve result cache too.
-//! cargo run --release --example simcheck -- --seeds 64 --json-seeds 256 --serve-seeds 8
+//! # Fuzz the JSON parser, the serve result cache, and record/replay too.
+//! cargo run --release --example simcheck -- --seeds 64 --json-seeds 256 \
+//!     --serve-seeds 8 --trace-seeds 16
 //!
 //! # Replay a failing seed reported by the fuzzer.
 //! cargo run --release --example simcheck -- --seed 12345
 //! cargo run --release --example simcheck -- --json-seed 12345
 //! cargo run --release --example simcheck -- --serve-seed 12345
+//! cargo run --release --example simcheck -- --trace-seed 12345
 //! ```
 //!
 //! On failure the harness prints the shrunk, minimized configuration
@@ -22,7 +26,7 @@
 //! reproduces), the diverging oracle, and the exact replay command,
 //! then exits non-zero.
 
-use cooprt_check::{fuzz, jsonfuzz, servecache, FuzzCase};
+use cooprt_check::{fuzz, jsonfuzz, servecache, tracecheck, FuzzCase};
 
 struct Args {
     /// Replay exactly this seed (overrides the budget).
@@ -39,6 +43,10 @@ struct Args {
     serve_seed: Option<u64>,
     /// Serve result-cache identity budget (0 = skip).
     serve_seeds: u64,
+    /// Replay exactly this trace record/replay seed.
+    trace_seed: Option<u64>,
+    /// Trace record/replay differential budget (0 = skip).
+    trace_seeds: u64,
 }
 
 fn parse_args() -> Args {
@@ -50,6 +58,8 @@ fn parse_args() -> Args {
         json_seeds: 0,
         serve_seed: None,
         serve_seeds: 0,
+        trace_seed: None,
+        trace_seeds: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -77,11 +87,14 @@ fn parse_args() -> Args {
             "--json-seeds" => args.json_seeds = parse_u64(value(&mut i)),
             "--serve-seed" => args.serve_seed = Some(parse_u64(value(&mut i))),
             "--serve-seeds" => args.serve_seeds = parse_u64(value(&mut i)),
+            "--trace-seed" => args.trace_seed = Some(parse_u64(value(&mut i))),
+            "--trace-seeds" => args.trace_seeds = parse_u64(value(&mut i)),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: simcheck [--seed N | --seeds COUNT [--start FIRST]]\n\
                      \x20               [--json-seed N | --json-seeds COUNT]\n\
                      \x20               [--serve-seed N | --serve-seeds COUNT]\n\
+                     \x20               [--trace-seed N | --trace-seeds COUNT]\n\
                      \n\
                      --seed N          replay one seed through every simulator oracle\n\
                      --seeds COUNT     run COUNT consecutive seeds (default 64)\n\
@@ -89,7 +102,9 @@ fn parse_args() -> Args {
                      --json-seed N     replay one JSON-parser fuzz seed\n\
                      --json-seeds N    fuzz the JSON parser with N seeds (default 0)\n\
                      --serve-seed N    replay one serve cache-identity seed\n\
-                     --serve-seeds N   fuzz the serve result cache with N seeds (default 0)"
+                     --serve-seeds N   fuzz the serve result cache with N seeds (default 0)\n\
+                     --trace-seed N    replay one trace record/replay seed\n\
+                     --trace-seeds N   fuzz trace record/replay with N seeds (default 0)"
                 );
                 std::process::exit(0);
             }
@@ -120,6 +135,17 @@ fn main() {
     if let Some(seed) = args.serve_seed {
         match servecache::run_serve_seed(seed) {
             Ok(()) => println!("serve seed {seed}: cache hit identical to fresh run"),
+            Err(failure) => fail(failure),
+        }
+        return;
+    }
+    if let Some(seed) = args.trace_seed {
+        println!(
+            "replaying trace differential on {}",
+            FuzzCase::from_seed(seed)
+        );
+        match tracecheck::run_trace_seed(seed) {
+            Ok(()) => println!("trace seed {seed}: record/replay bitwise identical to live"),
             Err(failure) => fail(failure),
         }
         return;
@@ -158,6 +184,16 @@ fn main() {
         );
         match servecache::run_serve_budget(args.start, args.serve_seeds) {
             Ok(count) => println!("{count}/{count} serve seeds passed"),
+            Err(failure) => fail(failure),
+        }
+    }
+    if args.trace_seeds > 0 {
+        println!(
+            "fuzzing trace record/replay identity: {} seeds",
+            args.trace_seeds
+        );
+        match tracecheck::run_trace_budget(args.start, args.trace_seeds) {
+            Ok(count) => println!("{count}/{count} trace seeds passed"),
             Err(failure) => fail(failure),
         }
     }

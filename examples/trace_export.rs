@@ -15,9 +15,9 @@
 //!   tracks, and the memory hierarchy appears as a "Memory" process
 //!   with L1/L2/DRAM-channel tracks. One trace microsecond is one
 //!   simulated cycle.
-//! - `METRICS.json` — the unified metrics report: every statistics
-//!   family of the run plus the interval-sampled time series and the
-//!   host-side wall-clock spans.
+//! - `<scene>_<policy>.metrics.json` — the unified metrics report:
+//!   every statistics family of the run plus the interval-sampled time
+//!   series and the host-side wall-clock spans.
 //!
 //! `--check` additionally validates the emitted trace with the in-tree
 //! Chrome-trace checker and asserts the event taxonomy spans the whole
@@ -172,7 +172,10 @@ fn main() {
     let mut report = MetricsReport::new(&format!("CoopRT {label}"));
     report.add_frame(&label, &frame);
     report.add_profiler(&profiler);
-    let metrics_path = format!("{}/METRICS.json", args.out_dir);
+    // One report per scene/policy label: a fixed name would silently
+    // overwrite earlier reports when exporting several runs into the
+    // same directory.
+    let metrics_path = format!("{}/{label}.metrics.json", args.out_dir);
     std::fs::write(&metrics_path, report.to_json()).expect("write metrics JSON");
     println!("wrote {metrics_path}");
 }

@@ -3,7 +3,7 @@
 //! the area model — the whole library surface behind one binary.
 
 use cooprt::core::area::{cooprt_area, overhead_fraction, warp_buffer_bits};
-use cooprt::core::{FrameResult, GpuConfig, ShaderKind, Simulation, TraversalPolicy};
+use cooprt::core::{FrameResult, GpuConfig, ShaderKind, Simulation, Trace, TraversalPolicy};
 use cooprt::scenes::{Scene, SceneId, ALL_SCENES};
 use cooprt::serve::{ServeConfig, Server};
 use std::process::ExitCode;
@@ -20,6 +20,9 @@ COMMANDS:
     scenes             list the benchmark suite (Table 2 style)
     area               print the CoopRT area model (Table 3 style)
     serve              run the batch render/simulation HTTP service
+    trace record <scene>   record the front end once into a trace file
+    trace replay <file>    replay the timing model from a trace
+    trace info <file>      decode a trace and print its header/stats
     help               show this message
 
 OPTIONS (render / compare):
@@ -29,6 +32,12 @@ OPTIONS (render / compare):
     --policy <P>       baseline | cooprt            [default: cooprt]
     --mobile           use the 8-SM mobile GPU configuration
     --out <FILE>       PPM output path (render only)
+
+OPTIONS (trace record / trace replay):
+    record takes the render options above; --out sets the trace path
+    (default <scene>.cprt). replay takes --policy / --mobile, plus:
+    --verify           also run the same point live and assert the
+                       replayed cycles and image are bitwise identical
 
 OPTIONS (serve):
     --addr <A>         listen address               [default: 127.0.0.1:7878]
@@ -44,6 +53,9 @@ EXAMPLES:
     cooprt scenes
     cooprt area
     cooprt serve --addr 127.0.0.1:7878 --workers 4
+    cooprt trace record wknd --res 64 --out wknd.cprt
+    cooprt trace replay wknd.cprt --policy baseline --verify
+    cooprt trace info wknd.cprt
 ";
 
 struct Options {
@@ -238,6 +250,142 @@ fn cmd_area() {
     println!("\nwarp buffer (4 entries): {} bits", warp_buffer_bits(4));
 }
 
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("record") if args.len() >= 2 => {
+            Options::parse(&args[2..]).and_then(|o| cmd_trace_record(&args[1], &o))
+        }
+        Some("replay") if args.len() >= 2 => cmd_trace_replay(&args[1], &args[2..]),
+        Some("info") if args.len() >= 2 => cmd_trace_info(&args[1]),
+        _ => Err("usage: cooprt trace record <scene> | replay <file> | info <file>".into()),
+    }
+}
+
+fn cmd_trace_record(scene_name: &str, opts: &Options) -> Result<(), String> {
+    let id = find_scene(scene_name)?;
+    let scene = id.build(opts.detail);
+    let cfg = opts.config();
+    println!(
+        "recording '{id}' at {0}x{0} under {1} ({2} shader)...",
+        opts.res,
+        opts.policy.label(),
+        opts.shader.label()
+    );
+    let (frame, trace) = Trace::record(
+        &scene,
+        opts.detail,
+        &cfg,
+        opts.policy,
+        opts.shader,
+        opts.res,
+        opts.res,
+    )
+    .unwrap();
+    let bytes = trace.encode();
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("{scene_name}.cprt"));
+    std::fs::write(&out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "cycles: {} | {} ray records over {} trace_rays | wrote {out} ({} bytes)",
+        frame.cycles,
+        trace.total_records(),
+        trace.issues.len(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn cmd_trace_replay(path: &str, args: &[String]) -> Result<(), String> {
+    let verify = args.iter().any(|a| a == "--verify");
+    let rest: Vec<String> = args.iter().filter(|a| *a != "--verify").cloned().collect();
+    let opts = Options::parse(&rest)?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let trace = Trace::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let cfg = opts.config();
+    println!(
+        "replaying '{}' ({}x{}, {} shader) under {}...",
+        trace.scene_name,
+        trace.width,
+        trace.height,
+        trace.kind.label(),
+        opts.policy.label()
+    );
+    let frame = trace
+        .replay(&cfg, opts.policy)
+        .map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "cycles: {} | rays: {} | L1 miss {:.1}% | DRAM util {:.1}%",
+        frame.cycles,
+        frame.rays,
+        frame.mem.l1.miss_rate() * 100.0,
+        frame.dram_utilization * 100.0
+    );
+    if verify {
+        let id = find_scene(&trace.scene_name)?;
+        let scene = id.build(trace.detail);
+        let live = Simulation::new(&scene, &cfg, opts.policy)
+            .run_frame(trace.kind, trace.width, trace.height)
+            .unwrap();
+        if frame.cycles != live.cycles {
+            return Err(format!(
+                "verify failed: replay {} cycles, live {} cycles",
+                frame.cycles, live.cycles
+            ));
+        }
+        if frame.image != live.image {
+            return Err("verify failed: replayed image differs from live".into());
+        }
+        println!(
+            "verify: replay is bitwise identical to live simulation ({} cycles) ✓",
+            live.cycles
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace_info(path: &str) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let trace = Trace::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    println!("trace: {path} ({} bytes)", bytes.len());
+    println!(
+        "scene: '{}' (detail {}, BVH hash {:#018x})",
+        trace.scene_name, trace.detail, trace.scene_hash
+    );
+    println!(
+        "frame: {}x{} | shader {} | salt {}",
+        trace.width,
+        trace.height,
+        trace.kind.label(),
+        trace.sample_salt
+    );
+    println!(
+        "shader config: max_bounces {} | ao {}x{:.2} | sh {}",
+        trace.max_bounces, trace.ao_samples, trace.ao_radius, trace.sh_samples
+    );
+    println!(
+        "bvh: {} nodes, {} triangles, {} bytes",
+        trace.bvh.node_count(),
+        trace.bvh.triangles().len(),
+        trace.bvh.total_bytes()
+    );
+    let longest = trace.streams.iter().map(Vec::len).max().unwrap_or(0);
+    println!(
+        "streams: {} threads, {} ray records (longest {})",
+        trace.streams.len(),
+        trace.total_records(),
+        longest
+    );
+    let sms = trace.issues.iter().map(|i| i.sm).max().map_or(0, |m| m + 1);
+    println!(
+        "issues: {} trace_rays across {} SMs",
+        trace.issues.len(),
+        sms
+    );
+    Ok(())
+}
+
 /// Options of the `serve` command.
 struct ServeOptions {
     addr: String,
@@ -385,6 +533,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         Some("serve") => ServeOptions::parse(&args[1..]).and_then(|o| cmd_serve(&o)),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
