@@ -18,7 +18,7 @@ cargo test --offline --quiet --workspace
 
 echo "==> simcheck --seeds 64 (differential fuzzing smoke)"
 cargo run --offline --release --example simcheck -- \
-    --seeds 64 --json-seeds 256 --serve-seeds 8 --trace-seeds 8
+    --seeds 64 --json-seeds 256 --serve-seeds 8 --trace-seeds 8 --reorder-seeds 8
 
 echo "==> simperf --smoke"
 cargo bench --offline -p cooprt-bench --bench simperf -- --smoke
@@ -44,5 +44,7 @@ cargo run --offline --release --bin cooprt -- trace record wknd \
 cargo run --offline --release --bin cooprt -- trace info "$smoke_dir/wknd.cprt"
 cargo run --offline --release --bin cooprt -- trace replay "$smoke_dir/wknd.cprt" \
     --policy cooprt --verify
+cargo run --offline --release --bin cooprt -- trace replay "$smoke_dir/wknd.cprt" \
+    --policy cooprt --reorder morton --verify
 
 echo "CI green."

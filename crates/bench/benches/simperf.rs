@@ -22,9 +22,20 @@
 //! recorder's wall-clock overhead and the sweep speedup are reported
 //! under `trace_replay` in the JSON.
 //!
+//! A ray-reordering section sweeps the reorder axis over every scene:
+//! each scene's front end is recorded once (unordered), then replayed
+//! under {baseline, CoopRT} x {off, morton, octant-hash} — reordering
+//! is timing-only, so one trace serves all six cells and every replayed
+//! image is asserted bitwise identical to the recorded frame. The
+//! section reports cycles, SIMT efficiency, L1/L2 hit rates and rays
+//! moved per cell under `reorder` in the JSON — wins and losses alike
+//! (primary-ray frames from a pinhole camera barely move under
+//! morton; that is the honest result, not a bug).
+//!
 //! `--smoke` runs a two-scene, low-resolution edition — same passes,
-//! same determinism asserts, no JSON — so CI can exercise this harness
-//! in seconds (see `ci.sh`).
+//! same determinism asserts (including one reordered replay per smoke
+//! scene), no JSON — so CI can exercise this harness in seconds (see
+//! `ci.sh`).
 //!
 //! The JSON document goes through the shared
 //! [`cooprt_telemetry::JsonWriter`] (byte-compatible with the layout
@@ -33,7 +44,7 @@
 //! come from the same spans that are printed.
 
 use cooprt_bench::{banner, default_detail, default_res, parallel, run_at, scene_list};
-use cooprt_core::{FrameResult, GpuConfig, ShaderKind, Trace, TraversalPolicy};
+use cooprt_core::{FrameResult, GpuConfig, ReorderPolicy, ShaderKind, Trace, TraversalPolicy};
 use cooprt_scenes::{Scene, SceneId};
 use cooprt_telemetry::{JsonWriter, Profiler};
 use std::time::Instant;
@@ -180,6 +191,98 @@ struct Row {
     cycles: u64,
     rays: u64,
     wall_secs: f64,
+}
+
+/// One cell of the reorder evaluation matrix.
+struct ReorderRow {
+    scene: &'static str,
+    policy: &'static str,
+    reorder: &'static str,
+    cycles: u64,
+    speedup_vs_off: f64,
+    simt_efficiency: f64,
+    l1_hit: f64,
+    l2_hit: f64,
+    rays_moved: u64,
+    reorder_passes: u64,
+}
+
+/// Sweeps the reorder axis over every scene from one recorded trace
+/// per scene; every replayed image is asserted bitwise identical to
+/// the recorded (unordered) frame.
+fn reorder_section(
+    ids: &[cooprt_scenes::SceneId],
+    scenes: &[Scene],
+    cfg: &GpuConfig,
+    kind: ShaderKind,
+    res: usize,
+    detail: u32,
+    workers: usize,
+) -> Vec<ReorderRow> {
+    // Record each scene once, unordered, under the baseline policy.
+    let traces: Vec<(FrameResult, Trace)> = parallel::par_map(scenes, workers, |i, scene| {
+        Trace::record(
+            scene,
+            detail,
+            cfg,
+            TraversalPolicy::Baseline,
+            kind,
+            res,
+            res,
+        )
+        .unwrap_or_else(|e| panic!("record {}: {e}", ids[i]))
+    });
+
+    let combos: Vec<(usize, TraversalPolicy, ReorderPolicy)> = (0..scenes.len())
+        .flat_map(|i| {
+            [TraversalPolicy::Baseline, TraversalPolicy::CoopRt]
+                .into_iter()
+                .flat_map(move |p| ReorderPolicy::ALL.into_iter().map(move |r| (i, p, r)))
+        })
+        .collect();
+    let results = parallel::par_map(&combos, workers, |_, &(i, policy, reorder)| {
+        let run_cfg = cfg.clone().with_reorder(reorder);
+        traces[i]
+            .1
+            .replay(&run_cfg, policy)
+            .unwrap_or_else(|e| panic!("replay {} {policy:?}/{reorder:?}: {e}", ids[i]))
+    });
+
+    // The identity contract: reordering never changes a pixel.
+    for (&(i, policy, reorder), r) in combos.iter().zip(&results) {
+        assert_eq!(
+            r.image, traces[i].0.image,
+            "{}: {policy:?}/{reorder:?} must render the recorded image bitwise",
+            ids[i]
+        );
+    }
+
+    // Cycles of the unordered cell for the same (scene, policy), for
+    // the speedup column.
+    let off_cycles = |i: usize, policy: TraversalPolicy| -> u64 {
+        combos
+            .iter()
+            .zip(&results)
+            .find(|(&(j, p, r), _)| j == i && p == policy && r == ReorderPolicy::Off)
+            .map(|(_, res)| res.cycles)
+            .expect("every (scene, policy) has an Off cell")
+    };
+    combos
+        .iter()
+        .zip(&results)
+        .map(|(&(i, policy, reorder), r)| ReorderRow {
+            scene: ids[i].name(),
+            policy: policy.label(),
+            reorder: reorder.label(),
+            cycles: r.cycles,
+            speedup_vs_off: off_cycles(i, policy) as f64 / r.cycles.max(1) as f64,
+            simt_efficiency: r.simt_efficiency(),
+            l1_hit: 1.0 - r.mem.l1.miss_rate(),
+            l2_hit: 1.0 - r.mem.l2.miss_rate(),
+            rays_moved: r.reorder.rays_moved,
+            reorder_passes: r.reorder.passes,
+        })
+        .collect()
 }
 
 struct LadderStep {
@@ -352,6 +455,35 @@ fn main() {
         tr.live_sweep_secs, tr.replay_sweep_secs, tr.replay_speedup
     );
 
+    // Reorder axis: record once per scene, replay all six
+    // policy x reorder cells, assert bitwise image identity.
+    let reorder_rows = reorder_section(&ids, &scenes, &cfg, kind, res, detail, workers);
+    println!();
+    println!(
+        "ray reordering ({} scenes x 2 policies x {} reorder modes, replayed from one \
+         unordered trace per scene; all images bitwise identical to the recorded frame):",
+        ids.len(),
+        ReorderPolicy::ALL.len()
+    );
+    println!(
+        "{:<8} {:>9} {:>12} {:>12} {:>9} {:>8} {:>8} {:>8} {:>10}",
+        "scene", "policy", "reorder", "cycles", "vs off", "simt%", "l1 hit%", "l2 hit%", "moved"
+    );
+    for r in &reorder_rows {
+        println!(
+            "{:<8} {:>9} {:>12} {:>12} {:>8.3}x {:>7.1}% {:>7.1}% {:>7.1}% {:>10}",
+            r.scene,
+            r.policy,
+            r.reorder,
+            r.cycles,
+            r.speedup_vs_off,
+            r.simt_efficiency * 100.0,
+            r.l1_hit * 100.0,
+            r.l2_hit * 100.0,
+            r.rays_moved,
+        );
+    }
+
     if smoke {
         println!();
         println!("simperf --smoke OK");
@@ -391,6 +523,22 @@ fn main() {
             1,
         );
         w.field_f64("rays_per_sec", r.rays as f64 / r.wall_secs.max(1e-12), 1);
+        w.end_object();
+    }
+    w.end_array();
+    w.begin_array("reorder");
+    for r in &reorder_rows {
+        w.begin_inline_object();
+        w.field_str("scene", r.scene);
+        w.field_str("policy", r.policy);
+        w.field_str("reorder", r.reorder);
+        w.field_u64("cycles", r.cycles);
+        w.field_f64("speedup_vs_off", r.speedup_vs_off, 4);
+        w.field_f64("simt_efficiency", r.simt_efficiency, 6);
+        w.field_f64("l1_hit_rate", r.l1_hit, 6);
+        w.field_f64("l2_hit_rate", r.l2_hit, 6);
+        w.field_u64("rays_moved", r.rays_moved);
+        w.field_u64("reorder_passes", r.reorder_passes);
         w.end_object();
     }
     w.end_array();

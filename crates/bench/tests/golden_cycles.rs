@@ -27,9 +27,11 @@
 //! the one trace must reproduce *both* policies' golden counts and the
 //! recorded image bitwise (replay drives the identical timing model).
 
-use cooprt_core::{Checker, GpuConfig, ShaderKind, Simulation, Trace, TraversalPolicy};
+use cooprt_core::{
+    Checker, GpuConfig, ReorderPolicy, ShaderKind, Simulation, Trace, TraversalPolicy,
+};
 use cooprt_scenes::SceneId;
-use cooprt_telemetry::Tracer;
+use cooprt_telemetry::{EventKind, Tracer};
 
 const RES: usize = 96;
 const DETAIL: u32 = 16;
@@ -124,6 +126,87 @@ fn check(id: SceneId, base_golden: u64, coop_golden: u64) {
         );
     }
 }
+
+/// Resolution of the reorder rows — lower than the main table because
+/// each row simulates four frames (reference + reordered, both
+/// policies).
+const REORDER_RES: usize = 64;
+
+/// `(scene, baseline cycles, cooprt cycles)` under Morton reordering
+/// with warp compaction at `REORDER_RES` (detail 16, RTX 2060, path
+/// tracing). Compaction matters: primary rays all share the camera
+/// origin, so Morton only re-packs warps at the between-wave re-forms
+/// where secondary-ray origins scatter.
+const GOLDEN_REORDER: &[(SceneId, u64, u64)] = &[
+    (SceneId::Wknd, 24842, 17892),
+    (SceneId::Ship, 13353, 9343),
+    (SceneId::Crnvl, 13161, 8804),
+];
+
+fn check_reorder(id: SceneId, base_golden: u64, coop_golden: u64) {
+    let scene = id.build(DETAIL);
+    let mut unordered = GpuConfig::rtx2060();
+    unordered.compaction = true;
+    let cfg = unordered.clone().with_reorder(ReorderPolicy::Morton);
+    for (policy, golden) in [
+        (TraversalPolicy::Baseline, base_golden),
+        (TraversalPolicy::CoopRt, coop_golden),
+    ] {
+        let reference = Simulation::new(&scene, &unordered, policy)
+            .run_frame(ShaderKind::PathTrace, REORDER_RES, REORDER_RES)
+            .unwrap();
+        let tracer = Tracer::with_capacity(TRACE_CAPACITY);
+        let checker = Checker::enabled();
+        let r = Simulation::new(&scene, &cfg, policy)
+            .with_tracer(tracer.clone())
+            .with_checker(checker.clone())
+            .run_frame(ShaderKind::PathTrace, REORDER_RES, REORDER_RES)
+            .unwrap();
+        assert_eq!(
+            r.cycles, golden,
+            "{id} {policy:?} morton+compaction: reordered cycle count \
+             drifted from the golden value (the tracer was enabled; the \
+             reorder pass and its telemetry must not perturb timing)",
+        );
+        assert_eq!(
+            r.image, reference.image,
+            "{id} {policy:?}: reordering changed a pixel — it must be \
+             timing-only"
+        );
+        assert!(
+            r.reorder.passes > 0 && r.reorder.rays_moved > 0,
+            "{id} {policy:?}: the golden reorder row must actually sort \
+             (got {} passes, {} rays moved)",
+            r.reorder.passes,
+            r.reorder.rays_moved
+        );
+        let log = tracer.take();
+        assert!(
+            log.events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::Reorder { .. })),
+            "{id} {policy:?}: no Reorder event reached the tracer"
+        );
+        checker.assert_clean();
+    }
+}
+
+macro_rules! golden_reorder_scene {
+    ($test:ident, $id:ident) => {
+        #[test]
+        fn $test() {
+            let &(id, base, coop) = GOLDEN_REORDER
+                .iter()
+                .find(|(s, _, _)| *s == SceneId::$id)
+                .expect("scene present in the golden reorder table");
+            check_reorder(id, base, coop);
+        }
+    };
+}
+
+golden_reorder_scene!(golden_reorder_wknd, Wknd);
+golden_reorder_scene!(golden_reorder_ship, Ship);
+golden_reorder_scene!(golden_reorder_crnvl, Crnvl);
 
 macro_rules! golden_scene {
     ($test:ident, $id:ident) => {

@@ -26,7 +26,11 @@
 //! - [`tracecheck`] fuzzes the record/replay subsystem: recording must
 //!   perturb nothing, the trace codec must round-trip losslessly, and
 //!   replaying the decoded trace must reproduce live cycle counts and
-//!   images bitwise under both traversal policies.
+//!   images bitwise under both traversal policies;
+//! - [`reordercheck`] fuzzes the ray-reordering front end: every
+//!   reorder policy must render the unordered image bitwise (both
+//!   traversal policies, compaction on and off), and sort keys must be
+//!   bitwise reproducible at any outer-parallelism width.
 //!
 //! Everything is deterministic and dependency-free (the in-tree PRNG
 //! only), so a CI budget of seeds means the same thing on every
@@ -44,12 +48,14 @@
 pub mod fuzz;
 pub mod jsonfuzz;
 pub mod oracle;
+pub mod reordercheck;
 pub mod servecache;
 pub mod shrink;
 pub mod tracecheck;
 
 pub use fuzz::{run_budget, run_case, run_seed, Failure, FuzzCase};
 pub use jsonfuzz::{run_json_budget, run_json_seed};
+pub use reordercheck::{run_reorder_budget, run_reorder_case, run_reorder_seed, ReorderFailure};
 pub use servecache::{run_serve_budget, run_serve_seed};
 pub use tracecheck::{run_trace_budget, run_trace_case, run_trace_seed, TraceFailure};
 
@@ -61,7 +67,8 @@ pub struct CheckFailure {
     /// Which oracle diverged (`"cache"`, `"mshr"`, `"calendar"`,
     /// `"bvh"`, `"image"`, `"invariants"`, `"engine"`,
     /// `"json-roundtrip"`, `"json-mutation"`, `"json-adversarial"`,
-    /// `"serve-cache"`, `"trace-replay"`).
+    /// `"serve-cache"`, `"trace-replay"`, `"reorder-image"`,
+    /// `"reorder-determinism"`).
     pub oracle: String,
     /// Human-readable description of the first divergence.
     pub detail: String,

@@ -1,5 +1,6 @@
 //! GPU and RT-unit configuration (Table 1 of the paper).
 
+use crate::reorder::{ReorderPolicy, DEFAULT_REORDER_BUCKETS};
 use cooprt_gpu::{MemoryConfig, PowerModel};
 
 /// Warp width — 32 threads, lock-step (§2.2).
@@ -149,6 +150,20 @@ pub struct GpuConfig {
     pub subwarp_mode: SubwarpMode,
     /// Pixel-to-warp mapping (screen tiles vs linear strips).
     pub warp_tiling: WarpTiling,
+    /// Ray reordering ahead of warp formation (Meister et al.): sort
+    /// pending rays by a spatial coherence key before packing them into
+    /// warps, at first-wave formation and — with
+    /// [`GpuConfig::compaction`] — at every between-wave re-packing.
+    /// The third policy axis, orthogonal to
+    /// [`TraversalPolicy`](crate::TraversalPolicy) and
+    /// [`WarpTiling`]: timing-only, never results (images stay bitwise
+    /// identical to [`ReorderPolicy::Off`]).
+    pub reorder: ReorderPolicy,
+    /// Bucket count of the reordering counting sort. Must be non-zero
+    /// when [`GpuConfig::reorder`] is enabled (typed
+    /// [`ConfigError`](crate::ConfigError) at the simulation entry
+    /// points).
+    pub reorder_buckets: usize,
     /// Intersection prediction (Liu et al., MICRO'21; §8.2): a per-SM
     /// hardware cache mapping quantized ray signatures to previously hit
     /// primitives. Predicted primitives are tested *first*: a verified
@@ -215,6 +230,8 @@ impl GpuConfig {
             traversal_order: TraversalOrder::Dfs,
             subwarp_mode: SubwarpMode::AllGroups,
             warp_tiling: WarpTiling::Linear,
+            reorder: ReorderPolicy::Off,
+            reorder_buckets: DEFAULT_REORDER_BUCKETS,
             intersection_predictor: false,
             predictor_entries: 1024,
             compaction: false,
@@ -263,6 +280,13 @@ impl GpuConfig {
             "subwarp size must be 4, 8, 16 or 32 (got {size})"
         );
         self.subwarp_size = size;
+        self
+    }
+
+    /// Returns a copy with a different ray-reordering policy (the
+    /// bench matrix's third axis).
+    pub fn with_reorder(mut self, policy: ReorderPolicy) -> Self {
+        self.reorder = policy;
         self
     }
 
@@ -317,5 +341,14 @@ mod tests {
         assert_eq!(TraversalPolicy::Baseline.label(), "baseline");
         assert_eq!(TraversalPolicy::CoopRt.label(), "cooprt");
         assert_eq!(TraversalPolicy::default(), TraversalPolicy::Baseline);
+    }
+
+    #[test]
+    fn reorder_axis_defaults_off_with_buckets() {
+        let c = GpuConfig::rtx2060();
+        assert_eq!(c.reorder, ReorderPolicy::Off);
+        assert_eq!(c.reorder_buckets, DEFAULT_REORDER_BUCKETS);
+        let m = c.with_reorder(ReorderPolicy::Morton);
+        assert_eq!(m.reorder, ReorderPolicy::Morton);
     }
 }

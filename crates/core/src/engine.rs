@@ -6,6 +6,7 @@ use crate::check::Checker;
 use crate::config::{GpuConfig, TraversalPolicy, WARP_SIZE};
 use crate::latency::TraceLatencies;
 use crate::predictor::PredictorStats;
+use crate::reorder::{self, ReorderPolicy, ReorderStats};
 use crate::rtunit::{RtUnit, StatusCounts, TraceQuery, TraceResult};
 use crate::shader::{ShaderKind, ShaderThread};
 use crate::trace::{RayRecord, Recorder};
@@ -31,6 +32,9 @@ pub enum ConfigError {
     },
     /// `run_accumulated` was asked for zero samples per pixel.
     ZeroSamples,
+    /// Ray reordering is enabled but the counting sort has no buckets
+    /// (`reorder != Off` with `reorder_buckets == 0`).
+    ZeroReorderBuckets,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -40,6 +44,9 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "image must be non-empty, got {width}x{height}")
             }
             ConfigError::ZeroSamples => write!(f, "need at least one sample per pixel"),
+            ConfigError::ZeroReorderBuckets => {
+                write!(f, "ray reordering needs at least one sort bucket")
+            }
         }
     }
 }
@@ -240,6 +247,9 @@ pub struct FrameResult {
     pub trace_latencies: TraceLatencies,
     /// Timeline of the designated warp, if one was requested (Fig. 11).
     pub timeline: Vec<TimelineSample>,
+    /// Ray-reordering pass counters (all zero under
+    /// [`ReorderPolicy::Off`]).
+    pub reorder: ReorderStats,
 }
 
 impl FrameResult {
@@ -247,6 +257,18 @@ impl FrameResult {
     /// for PPM export or PSNR comparison.
     pub fn image_buffer(&self) -> cooprt_math::Image {
         cooprt_math::Image::from_pixels(self.width, self.height, self.image.clone())
+    }
+
+    /// SIMT efficiency of the frame's `trace_ray` issues: mean active
+    /// lanes per issued instruction over the full [`WARP_SIZE`]-lane
+    /// warp width. 1.0 means every issue carried 32 live rays; ragged
+    /// tiles, dead bounces and partial compaction waves all pull it
+    /// down.
+    pub fn simt_efficiency(&self) -> f64 {
+        if self.events.trace_instructions == 0 {
+            return 0.0;
+        }
+        self.rays as f64 / (self.events.trace_instructions * WARP_SIZE as u64) as f64
     }
 }
 
@@ -362,8 +384,10 @@ impl<'s> Simulation<'s> {
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError::ZeroSamples`] if `spp == 0` and
-    /// [`ConfigError::EmptyFrame`] if the frame has zero pixels.
+    /// Returns [`ConfigError::ZeroSamples`] if `spp == 0`,
+    /// [`ConfigError::EmptyFrame`] if the frame has zero pixels, and
+    /// [`ConfigError::ZeroReorderBuckets`] if reordering is enabled
+    /// without sort buckets.
     pub fn run_accumulated(
         &self,
         kind: ShaderKind,
@@ -379,8 +403,10 @@ impl<'s> Simulation<'s> {
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError::ZeroSamples`] if `spp == 0` and
-    /// [`ConfigError::EmptyFrame`] if the frame has zero pixels.
+    /// Returns [`ConfigError::ZeroSamples`] if `spp == 0`,
+    /// [`ConfigError::EmptyFrame`] if the frame has zero pixels, and
+    /// [`ConfigError::ZeroReorderBuckets`] if reordering is enabled
+    /// without sort buckets.
     pub fn run_accumulated_with_threads(
         &self,
         kind: ShaderKind,
@@ -393,6 +419,7 @@ impl<'s> Simulation<'s> {
             return Err(ConfigError::ZeroSamples);
         }
         validate_frame(width, height)?;
+        validate_config(&self.config)?;
         let salts: Vec<u64> = (0..spp as u64).collect();
         let frames = crate::parallel::par_map(&salts, threads, |_, &s| {
             // Dimensions were validated above; a failure here would be an
@@ -430,7 +457,9 @@ impl<'s> Simulation<'s> {
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError::EmptyFrame`] if `width * height == 0`.
+    /// Returns [`ConfigError::EmptyFrame`] if `width * height == 0`
+    /// and [`ConfigError::ZeroReorderBuckets`] if reordering is
+    /// enabled without sort buckets.
     pub fn run_frame(
         &self,
         kind: ShaderKind,
@@ -438,6 +467,7 @@ impl<'s> Simulation<'s> {
         height: usize,
     ) -> Result<FrameResult, ConfigError> {
         validate_frame(width, height)?;
+        validate_config(&self.config)?;
         Ok(Engine::new(self, kind, width, height).run())
     }
 
@@ -457,7 +487,9 @@ impl<'s> Simulation<'s> {
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError::EmptyFrame`] if `width * height == 0`.
+    /// Returns [`ConfigError::EmptyFrame`] if `width * height == 0`
+    /// and [`ConfigError::ZeroReorderBuckets`] if reordering is
+    /// enabled without sort buckets.
     ///
     /// # Panics
     ///
@@ -473,6 +505,7 @@ impl<'s> Simulation<'s> {
         image: Vec<Rgb>,
     ) -> Result<FrameResult, ConfigError> {
         validate_frame(width, height)?;
+        validate_config(&self.config)?;
         assert_eq!(streams.len(), width * height, "one ray stream per pixel");
         assert_eq!(image.len(), width * height, "one recorded pixel per thread");
         let cursors = vec![0usize; streams.len()];
@@ -489,6 +522,14 @@ impl<'s> Simulation<'s> {
 fn validate_frame(width: usize, height: usize) -> Result<(), ConfigError> {
     if width == 0 || height == 0 {
         return Err(ConfigError::EmptyFrame { width, height });
+    }
+    Ok(())
+}
+
+/// Rejects inconsistent reorder configuration with a typed error.
+fn validate_config(cfg: &GpuConfig) -> Result<(), ConfigError> {
+    if cfg.reorder != ReorderPolicy::Off && cfg.reorder_buckets == 0 {
+        return Err(ConfigError::ZeroReorderBuckets);
     }
     Ok(())
 }
@@ -675,6 +716,8 @@ struct Engine<'s> {
     retired_buf: Vec<TraceResult>,
     slowest_warp: u64,
     trace_latencies: TraceLatencies,
+    /// Per-frame sum of every reordering pass's counters.
+    reorder_stats: ReorderStats,
 }
 
 impl<'s> Engine<'s> {
@@ -751,6 +794,7 @@ impl<'s> Engine<'s> {
             retired_buf: Vec::new(),
             slowest_warp: 0,
             trace_latencies: TraceLatencies::new(),
+            reorder_stats: ReorderStats::default(),
         }
     }
 
@@ -782,6 +826,42 @@ impl<'s> Engine<'s> {
                 groups
             }
         }
+    }
+
+    /// Applies the configured ray-reordering policy to a thread order
+    /// about to be chunked into warps: a stable bucketed counting sort
+    /// on each thread's *current* ray key (primary ray at first-wave
+    /// formation, next bounce at a compaction re-form). `Off` returns
+    /// the order untouched — bitwise the pre-reordering path.
+    ///
+    /// Works identically for live and replay front ends: both answer
+    /// [`FrontEnd::query_lane`] with the thread's next un-submitted
+    /// ray, which is why one unordered trace replays every reorder
+    /// policy.
+    fn reorder_threads(&mut self, threads: Vec<u32>, wave: u32, now: u64) -> Vec<u32> {
+        let policy = self.cfg.reorder;
+        if policy == ReorderPolicy::Off {
+            return threads;
+        }
+        let bounds = self.scene.image.root_bounds();
+        let front = &self.front;
+        let (order, pass) = reorder::reorder_by_key(&threads, self.cfg.reorder_buckets, |t| {
+            match front.query_lane(t as usize).0 {
+                Some(ray) => reorder::ray_key(policy, &ray, &bounds),
+                // A dead lane in the order (possible only at wave 0
+                // without compaction) keys lowest, preserving input
+                // order among its peers.
+                None => 0,
+            }
+        });
+        self.tracer.emit(now, || EventKind::Reorder {
+            wave,
+            rays: pass.keys_computed as u32,
+            moved: pass.rays_moved as u32,
+            buckets_occupied: pass.bucket_occupancy_sum as u32,
+        });
+        self.reorder_stats.add(&pass);
+        order
     }
 
     fn any_ray(&self, w: usize) -> bool {
@@ -844,7 +924,15 @@ impl<'s> Engine<'s> {
         let mut next_sample = self.activity.interval;
         if !self.cfg.compaction {
             // One persistent warp per 32 pixels for the whole frame.
-            let groups = self.pixel_groups();
+            // With reordering on, the tiling order is re-sorted by
+            // primary-ray key before being cut into warps.
+            let groups = if self.cfg.reorder == ReorderPolicy::Off {
+                self.pixel_groups()
+            } else {
+                let base: Vec<u32> = self.pixel_groups().into_iter().flatten().collect();
+                let order = self.reorder_threads(base, 0, now);
+                order.chunks(WARP_SIZE).map(|c| c.to_vec()).collect()
+            };
             self.spawn_wave(groups, 0, true, false, now);
             now = self.drain(now, &mut next_sample);
         } else {
@@ -860,6 +948,11 @@ impl<'s> Engine<'s> {
                 if wave > 0 {
                     now += self.cfg.compaction_overhead_cycles;
                 }
+                // Reordering rides the compaction pass: the live-thread
+                // list is key-sorted before being cut into dense warps
+                // (each thread keyed on its *next* ray), so every wave
+                // re-packs for coherence at no extra modeled cost.
+                let alive = self.reorder_threads(alive, wave, now);
                 let groups = alive.chunks(WARP_SIZE).map(|c| c.to_vec()).collect();
                 self.spawn_wave(groups, wave, wave == 0, true, now);
                 now = self.drain(now, &mut next_sample);
@@ -1237,6 +1330,7 @@ impl<'s> Engine<'s> {
             predictor,
             trace_latencies: self.trace_latencies,
             timeline: self.timeline,
+            reorder: self.reorder_stats,
         }
     }
 }
@@ -1801,6 +1895,101 @@ mod tests {
                 width: 0,
                 height: 8
             }
+        );
+    }
+
+    #[test]
+    fn reorder_is_functionally_neutral_and_changes_grouping() {
+        // Reordering permutes warp membership (timing), never results.
+        let scene = SceneId::Party.build(3);
+        let plain = GpuConfig::small(2);
+        let reference = Simulation::new(&scene, &plain, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 16, 16)
+            .unwrap();
+        assert_eq!(reference.reorder, crate::reorder::ReorderStats::default());
+        for policy in [
+            crate::ReorderPolicy::Morton,
+            crate::ReorderPolicy::OctantHash,
+        ] {
+            for traversal in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
+                let cfg = GpuConfig::small(2).with_reorder(policy);
+                let r = Simulation::new(&scene, &cfg, traversal)
+                    .run_frame(ShaderKind::PathTrace, 16, 16)
+                    .unwrap();
+                assert_eq!(r.image, reference.image, "{policy:?}/{traversal:?}");
+                assert_eq!(r.reorder.passes, 1);
+                assert_eq!(r.reorder.keys_computed, 256);
+                // Primary rays share the camera origin, so Morton keys
+                // collapse into one bucket at the first wave (a stable
+                // no-op); the octant-major key separates directions and
+                // must genuinely re-pack the warps.
+                if policy == crate::ReorderPolicy::OctantHash {
+                    assert!(r.reorder.rays_moved > 0, "{policy:?} must actually sort");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_composes_with_compaction_tiling_and_shaders() {
+        let scene = SceneId::Crnvl.build(2);
+        let reference = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::AmbientOcclusion, 10, 10)
+            .unwrap();
+        let mut cfg = GpuConfig::small(2).with_reorder(crate::ReorderPolicy::Morton);
+        cfg.compaction = true;
+        cfg.warp_tiling = crate::config::WarpTiling::Tiled8x4;
+        let r = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::AmbientOcclusion, 10, 10)
+            .unwrap();
+        assert_eq!(r.image, reference.image);
+        // Compaction re-forms warps between waves; each wave reorders,
+        // and secondary-ray origins scatter enough for Morton to move
+        // rays for real.
+        assert!(r.reorder.passes > 1, "got {} passes", r.reorder.passes);
+        assert!(r.reorder.rays_moved > 0);
+        assert!(r.reorder.avg_bucket_occupancy() >= 1.0);
+    }
+
+    #[test]
+    fn reorder_is_deterministic() {
+        let scene = SceneId::Fox.build(2);
+        let cfg = GpuConfig::small(2).with_reorder(crate::ReorderPolicy::OctantHash);
+        let a = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 12, 12)
+            .unwrap();
+        let b = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::PathTrace, 12, 12)
+            .unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.image, b.image);
+        assert_eq!(a.reorder, b.reorder);
+    }
+
+    #[test]
+    fn zero_reorder_buckets_rejected() {
+        let scene = SceneId::Wknd.build(1);
+        let mut cfg = GpuConfig::small(1).with_reorder(crate::ReorderPolicy::Morton);
+        cfg.reorder_buckets = 0;
+        let sim = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline);
+        assert_eq!(
+            sim.run_frame(ShaderKind::PathTrace, 8, 8).unwrap_err(),
+            ConfigError::ZeroReorderBuckets
+        );
+        assert_eq!(
+            sim.run_accumulated(ShaderKind::PathTrace, 8, 8, 1)
+                .unwrap_err(),
+            ConfigError::ZeroReorderBuckets
+        );
+        // Off ignores the bucket knob entirely.
+        let mut off = GpuConfig::small(1);
+        off.reorder_buckets = 0;
+        assert!(Simulation::new(&scene, &off, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 8, 8)
+            .is_ok());
+        assert_eq!(
+            ConfigError::ZeroReorderBuckets.to_string(),
+            "ray reordering needs at least one sort bucket"
         );
     }
 

@@ -20,6 +20,9 @@
 //! - [`engine`] — SMs, thread-block dispatch, the cycle loop, and every
 //!   measurement the evaluation needs (activity sampling, stall
 //!   breakdown, warp timelines, slowest-warp latency);
+//! - [`reorder`] — ray reordering ahead of warp formation: Morton /
+//!   octant-hash coherence keys and the deterministic bucketed
+//!   counting sort behind the [`ReorderPolicy`] axis;
 //! - [`trace`] — trace-driven record/replay: record the front end
 //!   (raygen/shading) once, replay the timing model under any sweep
 //!   configuration from a compact self-contained binary trace;
@@ -57,6 +60,7 @@ pub mod lbu;
 pub mod metrics;
 pub mod parallel;
 pub mod predictor;
+pub mod reorder;
 pub mod rtunit;
 pub mod shader;
 pub mod trace;
@@ -72,6 +76,7 @@ pub use engine::{
 pub use latency::TraceLatencies;
 pub use metrics::{FrameMetrics, LatencySummary, MetricsReport, METRICS_SCHEMA_VERSION};
 pub use predictor::{Predictor, PredictorStats};
+pub use reorder::{ReorderPolicy, ReorderStats, DEFAULT_REORDER_BUCKETS};
 pub use rtunit::{RayHit, RtUnit, StatusCounts, TraceQuery, TraceResult};
 pub use shader::{ShaderKind, ShaderThread};
 pub use trace::{

@@ -26,13 +26,15 @@
 use crate::engine::{FrameResult, IntervalSeries, StallBreakdown};
 use crate::latency::TraceLatencies;
 use crate::predictor::PredictorStats;
+use crate::reorder::ReorderStats;
 use cooprt_gpu::{EnergyEvents, EnergyReport, MemStats};
 use cooprt_telemetry::{JsonWriter, Profiler};
 
 /// Version of the metrics JSON schema emitted by [`MetricsReport::to_json`].
 ///
 /// Bump on any structural change (renamed/removed keys, changed units).
-pub const METRICS_SCHEMA_VERSION: u32 = 1;
+/// v2 added `simt_efficiency` and the `reorder` counter object.
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
 
 /// Latency-distribution summary of the per-`trace_ray` samples.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -98,6 +100,11 @@ pub struct FrameMetrics {
     pub slowest_warp_cycles: u64,
     /// Fraction of cycles any DRAM channel was busy.
     pub dram_utilization: f64,
+    /// Mean active lanes per `trace_ray` issue over the 32-lane warp
+    /// width ([`FrameResult::simt_efficiency`]).
+    pub simt_efficiency: f64,
+    /// Ray-reordering pass counters (all zero with reordering off).
+    pub reorder: ReorderStats,
     /// Interval-sampled time series (cumulative counters per sample).
     pub intervals: IntervalSeries,
 }
@@ -119,6 +126,8 @@ impl FrameMetrics {
             latency: LatencySummary::from(&frame.trace_latencies),
             slowest_warp_cycles: frame.slowest_warp_cycles,
             dram_utilization: frame.dram_utilization,
+            simt_efficiency: frame.simt_efficiency(),
+            reorder: frame.reorder,
             intervals: frame.intervals.clone(),
         }
     }
@@ -190,6 +199,15 @@ fn write_frame(w: &mut JsonWriter, f: &FrameMetrics) {
     w.field_u64("height", f.height as u64);
     w.field_u64("slowest_warp_cycles", f.slowest_warp_cycles);
     w.field_f64("dram_utilization", f.dram_utilization, 6);
+    w.field_f64("simt_efficiency", f.simt_efficiency, 6);
+
+    w.begin_inline_object_field("reorder");
+    w.field_u64("passes", f.reorder.passes);
+    w.field_u64("keys_computed", f.reorder.keys_computed);
+    w.field_u64("rays_moved", f.reorder.rays_moved);
+    w.field_u64("bucket_occupancy_sum", f.reorder.bucket_occupancy_sum);
+    w.field_u64("buckets", f.reorder.buckets);
+    w.end_object();
 
     w.begin_object_field("memory");
     w.begin_inline_object_field("l1");
@@ -322,6 +340,8 @@ mod tests {
             "predictor",
             "trace_latency",
             "time_series",
+            "simt_efficiency",
+            "reorder",
         ] {
             assert!(fr.get(key).is_some(), "frame is missing {key}");
         }
@@ -367,6 +387,39 @@ mod tests {
             }
             other => panic!("samples must be an array, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn reorder_counters_and_simt_efficiency_flow_into_the_report() {
+        let scene = SceneId::Crnvl.build(2);
+        let mut config = GpuConfig::small(1);
+        config.reorder = crate::ReorderPolicy::Morton;
+        config.compaction = true;
+        let f = Simulation::new(&scene, &config, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 8, 8)
+            .unwrap();
+        assert!(f.reorder.passes >= 1, "at least the first wave reorders");
+        assert!(f.simt_efficiency() > 0.0 && f.simt_efficiency() <= 1.0);
+        let mut report = MetricsReport::new("reorder");
+        report.add_frame("crnvl/morton", &f);
+        let doc = parse_json(&report.to_json()).unwrap();
+        let fr = match doc.get("frames") {
+            Some(cooprt_telemetry::JsonValue::Array(a)) => &a[0],
+            other => panic!("frames must be an array, got {other:?}"),
+        };
+        let re = fr.get("reorder").expect("reorder object");
+        assert_eq!(
+            re.get("keys_computed").and_then(|v| v.as_f64()),
+            Some(f.reorder.keys_computed as f64)
+        );
+        assert_eq!(
+            re.get("rays_moved").and_then(|v| v.as_f64()),
+            Some(f.reorder.rays_moved as f64)
+        );
+        assert_eq!(
+            fr.get("simt_efficiency").map(|v| v.as_f64().unwrap() > 0.0),
+            Some(true)
+        );
     }
 
     #[test]

@@ -1196,6 +1196,42 @@ mod tests {
     }
 
     #[test]
+    fn one_unordered_trace_replays_every_reorder_policy() {
+        // Reordering is timing-only, so a trace recorded with reorder
+        // Off sweeps the whole reorder axis: replay-with-reorder must
+        // be cycle-identical to a live reordered run and bitwise
+        // image-identical to the recorded frame.
+        let scene = SceneId::Party.build(2);
+        let record_cfg = GpuConfig::small(2);
+        let (recorded, trace) = Trace::record(
+            &scene,
+            2,
+            &record_cfg,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+            8,
+            8,
+        )
+        .unwrap();
+        for reorder in [
+            crate::ReorderPolicy::Morton,
+            crate::ReorderPolicy::OctantHash,
+        ] {
+            let cfg = GpuConfig::small(2).with_reorder(reorder);
+            for policy in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
+                let live = Simulation::new(&scene, &cfg, policy)
+                    .run_frame(ShaderKind::PathTrace, 8, 8)
+                    .unwrap();
+                let replayed = trace.replay(&cfg, policy).unwrap();
+                assert_eq!(replayed.cycles, live.cycles, "{reorder:?}/{policy:?}");
+                assert_eq!(replayed.image, recorded.image, "{reorder:?}/{policy:?}");
+                assert_eq!(replayed.reorder, live.reorder, "{reorder:?}/{policy:?}");
+                assert!(replayed.reorder.passes >= 1, "{reorder:?}/{policy:?}");
+            }
+        }
+    }
+
+    #[test]
     fn replay_rejects_shader_visible_config_changes() {
         let (_, trace) = record_small(
             SceneId::Wknd,

@@ -9,7 +9,7 @@
 //! so the same work requested sync or async shares one cache entry.
 
 use crate::error::ServeError;
-use cooprt_core::{GpuConfig, ShaderKind, TraversalPolicy};
+use cooprt_core::{GpuConfig, ReorderPolicy, ShaderKind, TraversalPolicy};
 use cooprt_scenes::{SceneId, ALL_SCENES};
 use cooprt_telemetry::JsonValue;
 
@@ -74,6 +74,8 @@ pub struct JobRequest {
     pub shader: ShaderKind,
     /// Traversal policy under test.
     pub policy: TraversalPolicy,
+    /// Ray-reordering policy applied ahead of warp formation.
+    pub reorder: ReorderPolicy,
     /// GPU configuration preset.
     pub config: ConfigPreset,
     /// Include the accumulated image (as `f32::to_bits` words) in the
@@ -97,6 +99,7 @@ impl Default for JobRequest {
             spp: 1,
             shader: ShaderKind::PathTrace,
             policy: TraversalPolicy::CoopRt,
+            reorder: ReorderPolicy::Off,
             config: ConfigPreset::Small(2),
             include_image: false,
             trace: false,
@@ -218,6 +221,10 @@ impl JobRequest {
                 other => return Err(bad(format!("unknown policy '{other}' (baseline, cooprt)"))),
             };
         }
+        if let Some(r) = opt_str(doc, "reorder")? {
+            req.reorder = ReorderPolicy::parse(r)
+                .ok_or_else(|| bad(format!("unknown reorder '{r}' (off, morton, octant-hash)")))?;
+        }
         if let Some(c) = opt_str(doc, "config")? {
             req.config = match c {
                 "rtx2060" => ConfigPreset::Rtx2060,
@@ -257,7 +264,8 @@ impl JobRequest {
     /// `deadline_ms`).
     pub fn canonical_key(&self) -> String {
         format!(
-            "scene={} detail={} w={} h={} spp={} shader={} policy={} config={} image={} trace={}",
+            "scene={} detail={} w={} h={} spp={} shader={} policy={} reorder={} config={} \
+             image={} trace={}",
             self.scene.name(),
             self.detail,
             self.width,
@@ -265,6 +273,7 @@ impl JobRequest {
             self.spp,
             self.shader.label(),
             self.policy.label(),
+            self.reorder.label(),
             self.config.label(),
             self.include_image,
             self.trace,
@@ -292,6 +301,7 @@ mod tests {
         let req = parse(
             r#"{"scene": "bunny", "detail": 2, "width": 64, "height": 48,
                 "spp": 4, "shader": "ao", "policy": "baseline",
+                "reorder": "octant-hash",
                 "config": "small", "sms": 4, "include_image": true,
                 "trace": true, "async": true, "deadline_ms": 5000}"#,
         )
@@ -301,6 +311,7 @@ mod tests {
         assert_eq!((req.width, req.height, req.spp), (64, 48, 4));
         assert_eq!(req.shader, ShaderKind::AmbientOcclusion);
         assert_eq!(req.policy, TraversalPolicy::Baseline);
+        assert_eq!(req.reorder, ReorderPolicy::OctantHash);
         assert_eq!(req.config, ConfigPreset::Small(4));
         assert!(req.include_image && req.trace && req.run_async);
         assert_eq!(req.deadline_ms, Some(5000));
@@ -321,6 +332,8 @@ mod tests {
             (r#"{"detail": 0}"#, "detail must be"),
             (r#"{"shader": "raster"}"#, "unknown shader"),
             (r#"{"policy": "magic"}"#, "unknown policy"),
+            (r#"{"reorder": "zorder"}"#, "unknown reorder"),
+            (r#"{"reorder": 1}"#, "'reorder' must be a string"),
             (r#"{"config": "h100"}"#, "unknown config"),
             (r#"{"config": "small", "sms": 0}"#, "sms must be"),
             (r#"{"sms": 4}"#, "requires config"),
@@ -351,6 +364,8 @@ mod tests {
             r#"{"scene": "bunny", "spp": 2, "width": 17}"#,
             r#"{"scene": "bunny", "spp": 2, "shader": "ao"}"#,
             r#"{"scene": "bunny", "spp": 2, "policy": "baseline"}"#,
+            r#"{"scene": "bunny", "spp": 2, "reorder": "morton"}"#,
+            r#"{"scene": "bunny", "spp": 2, "reorder": "octant-hash"}"#,
             r#"{"scene": "bunny", "spp": 2, "config": "mobile"}"#,
             r#"{"scene": "bunny", "spp": 2, "include_image": true}"#,
             r#"{"scene": "bunny", "spp": 2, "trace": true}"#,
@@ -358,5 +373,10 @@ mod tests {
             let other = parse(body).unwrap();
             assert_ne!(base.canonical_key(), other.canonical_key(), "{body}");
         }
+
+        // The reorder policies must not collide with each other either.
+        let morton = parse(r#"{"scene": "bunny", "spp": 2, "reorder": "morton"}"#).unwrap();
+        let octant = parse(r#"{"scene": "bunny", "spp": 2, "reorder": "octant-hash"}"#).unwrap();
+        assert_ne!(morton.canonical_key(), octant.canonical_key());
     }
 }

@@ -93,7 +93,7 @@ impl Executor {
         }
 
         let scene = self.scenes.get_or_build(req.scene, req.detail);
-        let config = req.config.build();
+        let config = req.config.build().with_reorder(req.reorder);
         let tracer = if req.trace {
             Tracer::enabled()
         } else {
@@ -114,6 +114,7 @@ impl Executor {
         w.field_u64("spp", u64::from(req.spp));
         w.field_str("shader", req.shader.label());
         w.field_str("policy", req.policy.label());
+        w.field_str("reorder", req.reorder.label());
         w.field_str("config", &req.config.label().to_string());
         w.field_str("bvh_hash", &format!("{:016x}", scene.image.content_hash()));
         w.field_u64("bvh_nodes", scene.image.node_count() as u64);

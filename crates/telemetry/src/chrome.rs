@@ -33,6 +33,8 @@ const RT_FETCH_TID: u64 = 900_000;
 const LBU_TID: u64 = 900_001;
 /// Process id of the service-layer track (request markers).
 const SERVE_PID: u64 = 999_999;
+/// Process id of the front-end track (ray-reordering passes).
+const FRONTEND_PID: u64 = 999_998;
 
 /// Document-level metadata folded into the exported trace.
 #[derive(Clone, Debug)]
@@ -109,6 +111,8 @@ pub fn chrome_trace_json(log: &TraceLog, meta: &TraceMeta) -> String {
                 "Memory".to_string()
             } else if pid == SERVE_PID {
                 "Server".to_string()
+            } else if pid == FRONTEND_PID {
+                "FrontEnd".to_string()
             } else {
                 format!("SM {}", pid - 1)
             }
@@ -239,6 +243,26 @@ pub fn chrome_trace_json(log: &TraceLog, meta: &TraceMeta) -> String {
                     vec![("line", line), ("sm", u64::from(sm))],
                 )
             }
+            EventKind::Reorder {
+                wave,
+                rays,
+                moved,
+                buckets_occupied,
+            } => (
+                FRONTEND_PID,
+                0,
+                "reorder".to_string(),
+                "reorder_pass",
+                'i',
+                ev.cycle,
+                None,
+                vec![
+                    ("wave", u64::from(wave)),
+                    ("rays", u64::from(rays)),
+                    ("moved", u64::from(moved)),
+                    ("buckets_occupied", u64::from(buckets_occupied)),
+                ],
+            ),
             EventKind::Request { id } => (
                 SERVE_PID,
                 0,
@@ -421,6 +445,30 @@ mod tests {
         ] {
             assert!(check.event_names.contains(name), "missing {name}");
         }
+    }
+
+    #[test]
+    fn reorder_passes_land_on_the_frontend_track() {
+        let t = Tracer::enabled();
+        t.emit(0, || EventKind::Reorder {
+            wave: 0,
+            rays: 256,
+            moved: 199,
+            buckets_occupied: 31,
+        });
+        t.emit(900, || EventKind::Reorder {
+            wave: 1,
+            rays: 97,
+            moved: 40,
+            buckets_occupied: 12,
+        });
+        let json = chrome_trace_json(&t.take(), &TraceMeta::new("reorder"));
+        let check = validate_chrome_trace(&json).expect("valid chrome trace");
+        assert_eq!(check.events, 2);
+        assert!(check.event_names.contains("reorder_pass"));
+        assert!(json.contains("\"name\": \"FrontEnd\""));
+        assert!(json.contains("\"buckets_occupied\": 31"));
+        assert!(json.contains("\"moved\": 199"));
     }
 
     #[test]

@@ -126,6 +126,20 @@ pub enum EventKind {
         /// the `X-Request-Id` response header).
         id: u64,
     },
+    /// One ray-reordering pass ran in the engine front end: the
+    /// pending threads were key-sorted before being packed into warps
+    /// (first-wave formation, or a between-wave compaction re-form).
+    Reorder {
+        /// Compaction wave index (0 = first-wave formation).
+        wave: u32,
+        /// Threads keyed and sorted in this pass.
+        rays: u32,
+        /// Threads whose position changed relative to the unsorted
+        /// order.
+        moved: u32,
+        /// Non-empty counting-sort buckets.
+        buckets_occupied: u32,
+    },
     /// A DRAM channel data-bus occupancy interval.
     DramBusy {
         /// Channel index.

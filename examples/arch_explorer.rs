@@ -1,7 +1,7 @@
-//! Architecture design-space exploration: sweep the RT warp-buffer size
-//! and the LBU subwarp scope for one scene, reporting performance and
-//! the hardware cost of each point — the §7.1/§7.5 trade-off study as a
-//! reusable tool.
+//! Architecture design-space exploration: sweep the RT warp-buffer
+//! size, the LBU subwarp scope and the ray-reordering policy for one
+//! scene, reporting performance and the hardware cost of each point —
+//! the §7.1/§7.5 trade-off study as a reusable tool.
 //!
 //! The front end (raygen/shading) runs **once**: the scene is recorded
 //! into an in-memory trace, and every sweep point replays the timing
@@ -19,7 +19,7 @@
 //! ```
 
 use cooprt::core::area::{cooprt_area, overhead_fraction, warp_buffer_bits};
-use cooprt::core::{parallel, GpuConfig, ShaderKind, Trace, TraversalPolicy};
+use cooprt::core::{parallel, GpuConfig, ReorderPolicy, ShaderKind, Trace, TraversalPolicy};
 use cooprt::scenes::ALL_SCENES;
 
 /// One sweep point: a label, the timing config, and the policy.
@@ -94,8 +94,10 @@ fn main() {
         trace.encode().len() / 1024
     );
 
-    // The 8-point sweep: warp-buffer sizes under the baseline policy,
-    // LBU subwarp scopes under CoopRT.
+    // The 12-point sweep: warp-buffer sizes under the baseline policy,
+    // LBU subwarp scopes under CoopRT, and the reorder axis under both
+    // policies (reordering is timing-only, so the one unordered trace
+    // replays every point).
     let mut points: Vec<Point> = Vec::new();
     for entries in [4usize, 8, 16, 32] {
         points.push(Point {
@@ -111,6 +113,19 @@ fn main() {
             policy: TraversalPolicy::CoopRt,
         });
     }
+    for reorder in [ReorderPolicy::Morton, ReorderPolicy::OctantHash] {
+        for policy in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
+            let tag = match policy {
+                TraversalPolicy::Baseline => "base",
+                TraversalPolicy::CoopRt => "coop",
+            };
+            points.push(Point {
+                label: format!("{}+{tag}", reorder.label()),
+                cfg: GpuConfig::rtx2060().with_reorder(reorder),
+                policy,
+            });
+        }
+    }
 
     // Shard by index so `--shard i/n` processes partition the sweep.
     let (shard_idx, shard_count) = shard;
@@ -122,7 +137,7 @@ fn main() {
         .collect();
     if shard_count > 1 {
         println!(
-            "shard {shard_idx}/{shard_count}: {} of 8 sweep points\n",
+            "shard {shard_idx}/{shard_count}: {} of 12 sweep points\n",
             mine.len()
         );
     }
@@ -132,16 +147,23 @@ fn main() {
     });
 
     println!(
-        "{:<8} {:>12} {:>10} {:>14} {:>10} {:>10}",
+        "{:<16} {:>12} {:>10} {:>14} {:>10} {:>10}",
         "point", "cycles", "speedup", "storage(bits)", "cells", "overhead"
     );
     for (p, r) in mine.iter().zip(&results) {
         let speedup = reference.cycles as f64 / r.cycles as f64;
+        if p.cfg.reorder != ReorderPolicy::Off {
+            println!(
+                "{:<16} {:>12} {:>9.2}x {:>14} {:>10} {:>10}",
+                p.label, r.cycles, speedup, "-", "-", "-"
+            );
+            continue;
+        }
         match p.policy {
             TraversalPolicy::Baseline => {
                 let entries = p.cfg.warp_buffer_size;
                 println!(
-                    "{:<8} {:>12} {:>9.2}x {:>14} {:>10} {:>10}",
+                    "{:<16} {:>12} {:>9.2}x {:>14} {:>10} {:>10}",
                     p.label,
                     r.cycles,
                     speedup,
@@ -153,7 +175,7 @@ fn main() {
             TraversalPolicy::CoopRt => {
                 let sw = p.cfg.subwarp_size;
                 println!(
-                    "{:<8} {:>12} {:>9.2}x {:>14} {:>10} {:>9.2}%",
+                    "{:<16} {:>12} {:>9.2}x {:>14} {:>10} {:>9.2}%",
                     p.label,
                     r.cycles,
                     speedup,

@@ -2,9 +2,12 @@
 //! `cooprt-check` oracle (cache/MSHR/calendar reference models, BVH vs
 //! brute force, baseline-vs-CoopRT image identity with engine
 //! invariants enabled), plus the JSON-parser fuzzer, the serve
-//! result-cache identity oracle, and the trace record/replay
-//! differential (record → encode → decode → replay must be bitwise
-//! cycle- and image-identical to live simulation under both policies).
+//! result-cache identity oracle, the trace record/replay differential
+//! (record → encode → decode → replay must be bitwise cycle- and
+//! image-identical to live simulation under both policies), and the
+//! ray-reordering differential (every reorder policy renders the
+//! unordered image bitwise; sort keys are reproducible at any worker
+//! count).
 //!
 //! ```sh
 //! # CI smoke: 64 consecutive seeds starting at 0.
@@ -12,13 +15,14 @@
 //!
 //! # Fuzz the JSON parser, the serve result cache, and record/replay too.
 //! cargo run --release --example simcheck -- --seeds 64 --json-seeds 256 \
-//!     --serve-seeds 8 --trace-seeds 16
+//!     --serve-seeds 8 --trace-seeds 16 --reorder-seeds 8
 //!
 //! # Replay a failing seed reported by the fuzzer.
 //! cargo run --release --example simcheck -- --seed 12345
 //! cargo run --release --example simcheck -- --json-seed 12345
 //! cargo run --release --example simcheck -- --serve-seed 12345
 //! cargo run --release --example simcheck -- --trace-seed 12345
+//! cargo run --release --example simcheck -- --reorder-seed 12345
 //! ```
 //!
 //! On failure the harness prints the shrunk, minimized configuration
@@ -26,7 +30,7 @@
 //! reproduces), the diverging oracle, and the exact replay command,
 //! then exits non-zero.
 
-use cooprt_check::{fuzz, jsonfuzz, servecache, tracecheck, FuzzCase};
+use cooprt_check::{fuzz, jsonfuzz, reordercheck, servecache, tracecheck, FuzzCase};
 
 struct Args {
     /// Replay exactly this seed (overrides the budget).
@@ -47,6 +51,10 @@ struct Args {
     trace_seed: Option<u64>,
     /// Trace record/replay differential budget (0 = skip).
     trace_seeds: u64,
+    /// Replay exactly this ray-reordering seed.
+    reorder_seed: Option<u64>,
+    /// Ray-reordering differential budget (0 = skip).
+    reorder_seeds: u64,
 }
 
 fn parse_args() -> Args {
@@ -60,6 +68,8 @@ fn parse_args() -> Args {
         serve_seeds: 0,
         trace_seed: None,
         trace_seeds: 0,
+        reorder_seed: None,
+        reorder_seeds: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -89,12 +99,15 @@ fn parse_args() -> Args {
             "--serve-seeds" => args.serve_seeds = parse_u64(value(&mut i)),
             "--trace-seed" => args.trace_seed = Some(parse_u64(value(&mut i))),
             "--trace-seeds" => args.trace_seeds = parse_u64(value(&mut i)),
+            "--reorder-seed" => args.reorder_seed = Some(parse_u64(value(&mut i))),
+            "--reorder-seeds" => args.reorder_seeds = parse_u64(value(&mut i)),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: simcheck [--seed N | --seeds COUNT [--start FIRST]]\n\
                      \x20               [--json-seed N | --json-seeds COUNT]\n\
                      \x20               [--serve-seed N | --serve-seeds COUNT]\n\
                      \x20               [--trace-seed N | --trace-seeds COUNT]\n\
+                     \x20               [--reorder-seed N | --reorder-seeds COUNT]\n\
                      \n\
                      --seed N          replay one seed through every simulator oracle\n\
                      --seeds COUNT     run COUNT consecutive seeds (default 64)\n\
@@ -104,7 +117,9 @@ fn parse_args() -> Args {
                      --serve-seed N    replay one serve cache-identity seed\n\
                      --serve-seeds N   fuzz the serve result cache with N seeds (default 0)\n\
                      --trace-seed N    replay one trace record/replay seed\n\
-                     --trace-seeds N   fuzz trace record/replay with N seeds (default 0)"
+                     --trace-seeds N   fuzz trace record/replay with N seeds (default 0)\n\
+                     --reorder-seed N  replay one ray-reordering seed\n\
+                     --reorder-seeds N fuzz ray reordering with N seeds (default 0)"
                 );
                 std::process::exit(0);
             }
@@ -146,6 +161,19 @@ fn main() {
         );
         match tracecheck::run_trace_seed(seed) {
             Ok(()) => println!("trace seed {seed}: record/replay bitwise identical to live"),
+            Err(failure) => fail(failure),
+        }
+        return;
+    }
+    if let Some(seed) = args.reorder_seed {
+        println!(
+            "replaying reorder differential on {}",
+            FuzzCase::from_seed(seed)
+        );
+        match reordercheck::run_reorder_seed(seed) {
+            Ok(()) => println!(
+                "reorder seed {seed}: reordered images bitwise identical, keys deterministic"
+            ),
             Err(failure) => fail(failure),
         }
         return;
@@ -194,6 +222,16 @@ fn main() {
         );
         match tracecheck::run_trace_budget(args.start, args.trace_seeds) {
             Ok(count) => println!("{count}/{count} trace seeds passed"),
+            Err(failure) => fail(failure),
+        }
+    }
+    if args.reorder_seeds > 0 {
+        println!(
+            "fuzzing ray-reordering identity: {} seeds",
+            args.reorder_seeds
+        );
+        match reordercheck::run_reorder_budget(args.start, args.reorder_seeds) {
+            Ok(count) => println!("{count}/{count} reorder seeds passed"),
             Err(failure) => fail(failure),
         }
     }

@@ -3,7 +3,9 @@
 //! the area model — the whole library surface behind one binary.
 
 use cooprt::core::area::{cooprt_area, overhead_fraction, warp_buffer_bits};
-use cooprt::core::{FrameResult, GpuConfig, ShaderKind, Simulation, Trace, TraversalPolicy};
+use cooprt::core::{
+    FrameResult, GpuConfig, ReorderPolicy, ShaderKind, Simulation, Trace, TraversalPolicy,
+};
 use cooprt::scenes::{Scene, SceneId, ALL_SCENES};
 use cooprt::serve::{ServeConfig, Server};
 use std::process::ExitCode;
@@ -30,6 +32,7 @@ OPTIONS (render / compare):
     --detail <N>       scene detail level           [default: 16]
     --shader <S>       pt | ao | sh                 [default: pt]
     --policy <P>       baseline | cooprt            [default: cooprt]
+    --reorder <R>      off | morton | octant-hash   [default: off]
     --mobile           use the 8-SM mobile GPU configuration
     --out <FILE>       PPM output path (render only)
 
@@ -54,7 +57,7 @@ EXAMPLES:
     cooprt area
     cooprt serve --addr 127.0.0.1:7878 --workers 4
     cooprt trace record wknd --res 64 --out wknd.cprt
-    cooprt trace replay wknd.cprt --policy baseline --verify
+    cooprt trace replay wknd.cprt --policy baseline --reorder morton --verify
     cooprt trace info wknd.cprt
 ";
 
@@ -63,6 +66,7 @@ struct Options {
     detail: u32,
     shader: ShaderKind,
     policy: TraversalPolicy,
+    reorder: ReorderPolicy,
     mobile: bool,
     out: Option<String>,
 }
@@ -74,6 +78,7 @@ impl Options {
             detail: 16,
             shader: ShaderKind::PathTrace,
             policy: TraversalPolicy::CoopRt,
+            reorder: ReorderPolicy::Off,
             mobile: false,
             out: None,
         };
@@ -110,6 +115,11 @@ impl Options {
                         other => return Err(format!("unknown policy '{other}' (baseline|cooprt)")),
                     };
                 }
+                "--reorder" => {
+                    let v = value("--reorder")?;
+                    opts.reorder = ReorderPolicy::parse(&v)
+                        .ok_or_else(|| format!("unknown reorder '{v}' (off|morton|octant-hash)"))?;
+                }
                 "--mobile" => opts.mobile = true,
                 "--out" => opts.out = Some(value("--out")?),
                 other => return Err(format!("unknown option '{other}'")),
@@ -122,11 +132,12 @@ impl Options {
     }
 
     fn config(&self) -> GpuConfig {
-        if self.mobile {
+        let base = if self.mobile {
             GpuConfig::mobile()
         } else {
             GpuConfig::rtx2060()
-        }
+        };
+        base.with_reorder(self.reorder)
     }
 }
 
@@ -157,6 +168,15 @@ fn report(label: &str, scene: &Scene, cfg: &GpuConfig, frame: &FrameResult) {
         frame.mem.l2.miss_rate() * 100.0,
         frame.dram_utilization * 100.0
     );
+    if frame.reorder.passes > 0 {
+        println!(
+            "reorder: {} passes | {} keys | {} rays moved | SIMT efficiency {:.1}%",
+            frame.reorder.passes,
+            frame.reorder.keys_computed,
+            frame.reorder.rays_moved,
+            frame.simt_efficiency() * 100.0
+        );
+    }
     println!(
         "energy: {:.3} mJ | avg power {:.1} W | scene '{}' {} triangles",
         frame.energy.total_j() * 1e3,
