@@ -23,11 +23,24 @@ cargo run --offline --release --example simcheck -- \
 echo "==> simperf --smoke"
 cargo bench --offline -p cooprt-bench --bench simperf -- --smoke
 
-echo "==> serve smoke (HTTP service end to end)"
+echo "==> serve smoke (HTTP service end to end, observability asserts)"
+# Besides the render/cache identity checks, serve --smoke validates the
+# Prometheus exposition with the in-tree validator, fetches a request
+# span trail as Chrome trace JSON, and asserts every captured
+# structured-log line parses with the in-tree JSON parser.
 cargo run --offline --release --bin cooprt -- serve --smoke
 
 echo "==> loadgen --smoke (service throughput harness)"
 cargo run --offline --release --example loadgen -- --smoke
+
+echo "==> benchdiff (perf-regression soft gate)"
+# Compares the checked-in BENCH reports against ci/bench_baseline.json.
+# Soft gate: wall-clock metrics vary across hardware, so regressions
+# warn rather than fail; re-pin with `--write-baseline` when the change
+# is intentional.
+if ! cargo bench --offline -p cooprt-bench --bench benchdiff; then
+    echo "WARN: benchdiff reported regressions against ci/bench_baseline.json (soft gate)"
+fi
 
 echo "==> telemetry smoke (trace_export --check)"
 smoke_dir="$(mktemp -d)"

@@ -1,0 +1,532 @@
+//! Perf-regression diffing for the checked-in BENCH reports.
+//!
+//! `BENCH_simperf.json` and `BENCH_serve.json` record what the
+//! simulator and the serve path measured when they were last
+//! regenerated. This module compares those reports against a pinned
+//! baseline (`ci/bench_baseline.json`) with per-metric thresholds, so a
+//! change that silently regresses cycle counts, cache behavior, or SLO
+//! attainment fails loudly in CI instead of drifting.
+//!
+//! Two metric classes get different treatment:
+//!
+//! - **deterministic** values (simulated cycle counts, cache hit
+//!   rates) are compared exactly — any drift is a real behavioral
+//!   change;
+//! - **wall-clock** values (requests/sec, latency quantiles) are
+//!   machine-dependent, so they carry wide tolerances and only catch
+//!   order-of-magnitude regressions. The `benchdiff` gate in `ci.sh`
+//!   is *soft* (warn, don't fail) for exactly this reason.
+//!
+//! Metric addresses are dotted paths into the report JSON, with
+//! `[key=value,...]` selectors to pick a row out of an array:
+//! `simperf.scenes[scene=wknd,policy=cooprt].cycles`. The first path
+//! segment names the source report (`simperf` or `serve`).
+
+use cooprt_telemetry::{parse_json, JsonValue, JsonWriter};
+
+/// How a metric's current value is judged against its baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Must match the baseline within the tolerance band in *either*
+    /// direction (deterministic quantities; tolerance usually 0).
+    Exact,
+    /// Regression = current meaningfully *above* baseline (latencies).
+    LowerBetter,
+    /// Regression = current meaningfully *below* baseline (throughput,
+    /// speedups, attainment).
+    HigherBetter,
+}
+
+impl Direction {
+    /// Stable label used in the baseline file.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::Exact => "exact",
+            Direction::LowerBetter => "lower_better",
+            Direction::HigherBetter => "higher_better",
+        }
+    }
+
+    /// Parses a baseline-file label.
+    pub fn parse(s: &str) -> Option<Direction> {
+        match s {
+            "exact" => Some(Direction::Exact),
+            "lower_better" => Some(Direction::LowerBetter),
+            "higher_better" => Some(Direction::HigherBetter),
+            _ => None,
+        }
+    }
+}
+
+/// One gated metric: where to find it and how much it may move.
+#[derive(Clone, Debug)]
+pub struct MetricSpec {
+    /// Dotted path, first segment `simperf` or `serve`.
+    pub path: String,
+    /// Allowed drift, percent of the baseline value.
+    pub tolerance_pct: f64,
+    /// Which direction of drift counts as a regression.
+    pub direction: Direction,
+}
+
+impl MetricSpec {
+    fn new(path: &str, tolerance_pct: f64, direction: Direction) -> Self {
+        MetricSpec {
+            path: path.to_string(),
+            tolerance_pct,
+            direction,
+        }
+    }
+}
+
+/// The default gate: deterministic sim metrics exact, wall-clock
+/// metrics with wide bands.
+pub fn default_specs() -> Vec<MetricSpec> {
+    use Direction::*;
+    vec![
+        // Simulated cycle counts are bit-deterministic: any drift is a
+        // real change to the timing model.
+        MetricSpec::new(
+            "simperf.scenes[scene=wknd,policy=cooprt].cycles",
+            0.0,
+            Exact,
+        ),
+        MetricSpec::new(
+            "simperf.scenes[scene=wknd,policy=baseline].cycles",
+            0.0,
+            Exact,
+        ),
+        MetricSpec::new(
+            "simperf.scenes[scene=spnza,policy=cooprt].cycles",
+            0.0,
+            Exact,
+        ),
+        MetricSpec::new(
+            "simperf.reorder[scene=wknd,policy=cooprt,reorder=octant-hash].cycles",
+            0.0,
+            Exact,
+        ),
+        MetricSpec::new("simperf.scenes[scene=wknd,policy=cooprt].rays", 0.0, Exact),
+        // Wall-clock throughput: machine-dependent, order-of-magnitude
+        // guard only.
+        MetricSpec::new(
+            "simperf.scenes[scene=wknd,policy=cooprt].wall_secs",
+            150.0,
+            LowerBetter,
+        ),
+        MetricSpec::new("serve.cold.requests_per_sec", 80.0, HigherBetter),
+        MetricSpec::new("serve.warm.requests_per_sec", 80.0, HigherBetter),
+        MetricSpec::new("serve.warm.latency_us.p99", 300.0, LowerBetter),
+        MetricSpec::new("serve.warm_cold_speedup", 80.0, HigherBetter),
+        // Cache behavior through the service is deterministic.
+        MetricSpec::new("serve.result_cache.hit_rate", 0.0, Exact),
+        // Rolling-window SLO attainment from the loadgen run.
+        MetricSpec::new("serve.slo.attainment", 5.0, HigherBetter),
+    ]
+}
+
+/// Splits a dotted path into segments, keeping `[...]` selectors
+/// attached to their segment.
+fn split_segments(path: &str) -> Vec<&str> {
+    let mut segments = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, b) in path.bytes().enumerate() {
+        match b {
+            b'[' => depth += 1,
+            b']' => depth = depth.saturating_sub(1),
+            b'.' if depth == 0 => {
+                segments.push(&path[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    segments.push(&path[start..]);
+    segments
+}
+
+/// True when array element `elem` matches every `key=value` pair.
+fn selector_matches(elem: &JsonValue, selector: &str) -> bool {
+    selector.split(',').all(|pair| {
+        let Some((key, want)) = pair.split_once('=') else {
+            return false;
+        };
+        match elem.get(key.trim()) {
+            Some(JsonValue::String(s)) => s == want.trim(),
+            Some(JsonValue::Number(n)) => want.trim().parse::<f64>() == Ok(*n),
+            _ => false,
+        }
+    })
+}
+
+/// Resolves a dotted path (without the leading source segment) inside
+/// `doc`, returning the numeric value it names.
+pub fn extract(doc: &JsonValue, path: &str) -> Result<f64, String> {
+    let mut node = doc;
+    for segment in split_segments(path) {
+        let (name, selector) = match segment.split_once('[') {
+            Some((name, rest)) => (name, rest.strip_suffix(']')),
+            None => (segment, None),
+        };
+        node = node
+            .get(name)
+            .ok_or_else(|| format!("no field '{name}' in path '{path}'"))?;
+        if let Some(selector) = selector {
+            let JsonValue::Array(items) = node else {
+                return Err(format!("'{name}' is not an array in path '{path}'"));
+            };
+            node = items
+                .iter()
+                .find(|e| selector_matches(e, selector))
+                .ok_or_else(|| format!("no element matching [{selector}] in path '{path}'"))?;
+        }
+    }
+    node.as_f64()
+        .ok_or_else(|| format!("'{path}' is not a number"))
+}
+
+/// The verdict on one gated metric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the tolerance band (or an improvement).
+    Ok,
+    /// Outside the band in the regression direction.
+    Regressed,
+    /// The metric could not be extracted from the current report.
+    Missing,
+}
+
+/// One row of a [`DiffReport`].
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    /// The metric's dotted path.
+    pub path: String,
+    /// Pinned baseline value.
+    pub baseline: f64,
+    /// Value in the current report (`None` when extraction failed).
+    pub current: Option<f64>,
+    /// Signed drift, percent of baseline (`None` when missing or the
+    /// baseline is zero).
+    pub delta_pct: Option<f64>,
+    /// The judgement.
+    pub verdict: Verdict,
+    /// Extraction error detail for [`Verdict::Missing`] rows.
+    pub detail: String,
+}
+
+/// The full comparison result.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// One row per baseline metric.
+    pub rows: Vec<DiffRow>,
+}
+
+impl DiffReport {
+    /// True when no row regressed or went missing.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| r.verdict == Verdict::Ok)
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r.path.len())
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        for row in &self.rows {
+            let status = match row.verdict {
+                Verdict::Ok => "ok",
+                Verdict::Regressed => "REGRESSED",
+                Verdict::Missing => "MISSING",
+            };
+            let current = row
+                .current
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_else(|| "-".to_string());
+            let delta = row
+                .delta_pct
+                .map(|d| format!("{d:+.2}%"))
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "{:<width$}  base {:>12.4}  now {:>12}  delta {:>9}  {}{}\n",
+                row.path,
+                row.baseline,
+                current,
+                delta,
+                status,
+                if row.detail.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({})", row.detail)
+                },
+            ));
+        }
+        out
+    }
+}
+
+/// Judges `current` against `baseline` under a spec's band.
+fn judge(baseline: f64, current: f64, tolerance_pct: f64, direction: Direction) -> Verdict {
+    let band = baseline.abs() * tolerance_pct / 100.0;
+    let drift = current - baseline;
+    let regressed = match direction {
+        Direction::Exact => drift.abs() > band,
+        Direction::LowerBetter => drift > band,
+        Direction::HigherBetter => -drift > band,
+    };
+    if regressed {
+        Verdict::Regressed
+    } else {
+        Verdict::Ok
+    }
+}
+
+/// A pinned baseline: metric specs plus the values they held when the
+/// baseline was written.
+#[derive(Clone, Debug)]
+pub struct Baseline {
+    /// `(spec, pinned value)` pairs.
+    pub metrics: Vec<(MetricSpec, f64)>,
+}
+
+impl Baseline {
+    /// Captures a baseline: every default-spec metric extracted from
+    /// the given reports. Metrics missing from the reports are skipped
+    /// (e.g. a serve report predating a newer field).
+    pub fn capture(simperf: &JsonValue, serve: &JsonValue) -> Baseline {
+        let metrics = default_specs()
+            .into_iter()
+            .filter_map(|spec| {
+                let value = extract_spec(&spec, simperf, serve).ok()?;
+                Some((spec, value))
+            })
+            .collect();
+        Baseline { metrics }
+    }
+
+    /// Serializes the baseline to its checked-in JSON form.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("schema_version", 1);
+        w.begin_array("metrics");
+        for (spec, value) in &self.metrics {
+            w.begin_inline_object();
+            w.field_str("path", &spec.path);
+            w.field_f64("value", *value, 6);
+            w.field_f64("tolerance_pct", spec.tolerance_pct, 2);
+            w.field_str("direction", spec.direction.label());
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Parses a checked-in baseline file.
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let doc = parse_json(text).map_err(|e| format!("baseline parse error: {e}"))?;
+        let Some(JsonValue::Array(items)) = doc.get("metrics") else {
+            return Err("baseline has no 'metrics' array".to_string());
+        };
+        let mut metrics = Vec::new();
+        for item in items {
+            let path = item
+                .get("path")
+                .and_then(JsonValue::as_str)
+                .ok_or("metric without 'path'")?
+                .to_string();
+            let value = item
+                .get("value")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("metric '{path}' without 'value'"))?;
+            let tolerance_pct = item
+                .get("tolerance_pct")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0);
+            let direction = item
+                .get("direction")
+                .and_then(JsonValue::as_str)
+                .and_then(Direction::parse)
+                .ok_or_else(|| format!("metric '{path}' has an unknown direction"))?;
+            metrics.push((
+                MetricSpec {
+                    path,
+                    tolerance_pct,
+                    direction,
+                },
+                value,
+            ));
+        }
+        Ok(Baseline { metrics })
+    }
+
+    /// Compares the current reports against this baseline.
+    pub fn compare(&self, simperf: &JsonValue, serve: &JsonValue) -> DiffReport {
+        let rows = self
+            .metrics
+            .iter()
+            .map(
+                |(spec, baseline)| match extract_spec(spec, simperf, serve) {
+                    Ok(current) => DiffRow {
+                        path: spec.path.clone(),
+                        baseline: *baseline,
+                        current: Some(current),
+                        delta_pct: (baseline.abs() > f64::EPSILON)
+                            .then(|| (current - baseline) / baseline * 100.0),
+                        verdict: judge(*baseline, current, spec.tolerance_pct, spec.direction),
+                        detail: String::new(),
+                    },
+                    Err(detail) => DiffRow {
+                        path: spec.path.clone(),
+                        baseline: *baseline,
+                        current: None,
+                        delta_pct: None,
+                        verdict: Verdict::Missing,
+                        detail,
+                    },
+                },
+            )
+            .collect();
+        DiffReport { rows }
+    }
+}
+
+/// Routes a spec to its source report by the leading path segment and
+/// extracts the value.
+fn extract_spec(spec: &MetricSpec, simperf: &JsonValue, serve: &JsonValue) -> Result<f64, String> {
+    let (source, rest) = spec
+        .path
+        .split_once('.')
+        .ok_or_else(|| format!("path '{}' has no source prefix", spec.path))?;
+    match source {
+        "simperf" => extract(simperf, rest),
+        "serve" => extract(serve, rest),
+        other => Err(format!("unknown source '{other}' in '{}'", spec.path)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JsonValue {
+        parse_json(
+            r#"{
+                "scenes": [
+                    {"scene": "wknd", "policy": "baseline", "cycles": 100, "wall_secs": 0.5},
+                    {"scene": "wknd", "policy": "cooprt", "cycles": 60, "wall_secs": 0.6}
+                ],
+                "nested": {"deep": {"value": 7}},
+                "speedup": 1.25
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dotted_paths_resolve_plain_and_nested_fields() {
+        let doc = sample();
+        assert_eq!(extract(&doc, "speedup").unwrap(), 1.25);
+        assert_eq!(extract(&doc, "nested.deep.value").unwrap(), 7.0);
+        assert!(extract(&doc, "nested.missing").is_err());
+        assert!(extract(&doc, "nested").is_err(), "objects are not numbers");
+    }
+
+    #[test]
+    fn selectors_pick_the_matching_array_row() {
+        let doc = sample();
+        assert_eq!(
+            extract(&doc, "scenes[scene=wknd,policy=cooprt].cycles").unwrap(),
+            60.0
+        );
+        assert_eq!(
+            extract(&doc, "scenes[scene=wknd,policy=baseline].cycles").unwrap(),
+            100.0
+        );
+        assert!(extract(&doc, "scenes[scene=nope,policy=cooprt].cycles").is_err());
+        assert!(extract(&doc, "speedup[x=1].y").is_err(), "not an array");
+    }
+
+    #[test]
+    fn judgement_respects_direction_and_band() {
+        use Direction::*;
+        // Exact: any drift beyond the band regresses, both directions.
+        assert_eq!(judge(100.0, 100.0, 0.0, Exact), Verdict::Ok);
+        assert_eq!(judge(100.0, 101.0, 0.0, Exact), Verdict::Regressed);
+        assert_eq!(judge(100.0, 99.0, 0.0, Exact), Verdict::Regressed);
+        assert_eq!(judge(100.0, 104.0, 5.0, Exact), Verdict::Ok);
+        // LowerBetter: only upward drift regresses.
+        assert_eq!(judge(100.0, 140.0, 50.0, LowerBetter), Verdict::Ok);
+        assert_eq!(judge(100.0, 151.0, 50.0, LowerBetter), Verdict::Regressed);
+        assert_eq!(judge(100.0, 10.0, 50.0, LowerBetter), Verdict::Ok);
+        // HigherBetter: only downward drift regresses.
+        assert_eq!(judge(100.0, 60.0, 50.0, HigherBetter), Verdict::Ok);
+        assert_eq!(judge(100.0, 49.0, 50.0, HigherBetter), Verdict::Regressed);
+        assert_eq!(judge(100.0, 1000.0, 50.0, HigherBetter), Verdict::Ok);
+    }
+
+    #[test]
+    fn baselines_round_trip_through_json() {
+        let simperf = sample();
+        let serve = parse_json(
+            r#"{
+                "cold": {"requests_per_sec": 1000.0},
+                "warm": {"requests_per_sec": 30000.0, "latency_us": {"p99": 500}},
+                "warm_cold_speedup": 30.0,
+                "result_cache": {"hit_rate": 0.5},
+                "slo": {"attainment": 1.0}
+            }"#,
+        )
+        .unwrap();
+        let captured = Baseline::capture(&simperf, &serve);
+        // The sample simperf doc lacks spnza/reorder rows; those specs
+        // are skipped at capture, the rest survive.
+        assert!(captured.metrics.len() >= 8, "{:?}", captured.metrics);
+        let parsed = Baseline::from_json(&captured.to_json()).unwrap();
+        assert_eq!(parsed.metrics.len(), captured.metrics.len());
+        // Comparing a report against a baseline captured from it is
+        // all-ok by construction.
+        let report = parsed.compare(&simperf, &serve);
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn regressions_and_missing_metrics_fail_the_report() {
+        let simperf = sample();
+        let serve = parse_json(r#"{"warm_cold_speedup": 30.0}"#).unwrap();
+        let baseline = Baseline {
+            metrics: vec![
+                (
+                    MetricSpec::new(
+                        "simperf.scenes[scene=wknd,policy=cooprt].cycles",
+                        0.0,
+                        Direction::Exact,
+                    ),
+                    61.0, // report says 60 → exact mismatch
+                ),
+                (
+                    MetricSpec::new("serve.warm_cold_speedup", 10.0, Direction::HigherBetter),
+                    31.0, // 30 vs 31: within 10%
+                ),
+                (
+                    MetricSpec::new("serve.not.there", 0.0, Direction::Exact),
+                    1.0,
+                ),
+            ],
+        };
+        let report = baseline.compare(&simperf, &serve);
+        assert!(!report.passed());
+        assert_eq!(report.rows[0].verdict, Verdict::Regressed);
+        assert_eq!(report.rows[1].verdict, Verdict::Ok);
+        assert_eq!(report.rows[2].verdict, Verdict::Missing);
+        let rendered = report.render();
+        assert!(rendered.contains("REGRESSED"));
+        assert!(rendered.contains("MISSING"));
+    }
+}

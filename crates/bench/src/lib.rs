@@ -20,6 +20,7 @@
 use cooprt_core::{FrameResult, GpuConfig, ShaderKind, Simulation, TraversalPolicy};
 use cooprt_scenes::{Scene, SceneId, ALL_SCENES};
 
+pub mod diff;
 pub mod perf;
 
 /// Deterministic outer-loop parallelism (re-exported from

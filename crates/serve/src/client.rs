@@ -61,6 +61,18 @@ impl HttpClient {
         self.request("GET", target, None)
     }
 
+    /// Sends `GET target` with an `Accept` header — how callers
+    /// negotiate the Prometheus text format on `/metrics`.
+    pub fn get_accept(&mut self, target: &str, accept: &str) -> std::io::Result<ClientResponse> {
+        let wire = format!(
+            "GET {target} HTTP/1.1\r\nHost: cooprt\r\nAccept: {accept}\r\nContent-Length: 0\r\n\r\n",
+        )
+        .into_bytes();
+        self.stream.write_all(&wire)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
     /// Sends `POST target` with a JSON body and reads the response.
     pub fn post(&mut self, target: &str, body: &str) -> std::io::Result<ClientResponse> {
         self.request("POST", target, Some(body))

@@ -18,8 +18,9 @@ use crate::api::JobRequest;
 use crate::cache::{fnv1a64, ResultCache, SceneCache};
 use crate::error::ServeError;
 use cooprt_core::{MetricsReport, Simulation};
-use cooprt_telemetry::{EventKind, JsonWriter, Tracer};
+use cooprt_telemetry::{EventKind, JsonWriter, LogLevel, Logger, SpanRecorder, Tracer};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Which endpoint's body shape a job produces.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,12 +88,42 @@ impl Executor {
         req: &JobRequest,
         request_id: u64,
     ) -> Result<ExecOutcome, ServeError> {
+        self.execute_traced(
+            endpoint,
+            req,
+            request_id,
+            &SpanRecorder::disabled(),
+            &Logger::disabled(),
+        )
+    }
+
+    /// [`Executor::execute`], recording host-side spans (result-cache
+    /// lookup, scene build, engine run, serialize) into `spans` and
+    /// cache-outcome logs under the `serve::exec` target.
+    ///
+    /// Spans and logs observe wall-clock time only; the response body
+    /// remains a pure function of the job's canonical key.
+    pub fn execute_traced(
+        &self,
+        endpoint: Endpoint,
+        req: &JobRequest,
+        request_id: u64,
+        spans: &SpanRecorder,
+        log: &Logger,
+    ) -> Result<ExecOutcome, ServeError> {
         let key = Self::cache_key(endpoint, req);
-        if let Some(body) = self.results.get(key) {
+        let hit = spans.time("result_cache", || self.results.get(key));
+        if let Some(body) = hit {
+            log.log(LogLevel::Debug, "serve::exec", "result cache hit", |f| {
+                f.u64("id", request_id).str("key", format!("{key:016x}"));
+            });
             return Ok(ExecOutcome { body, cached: true });
         }
+        log.log(LogLevel::Debug, "serve::exec", "result cache miss", |f| {
+            f.u64("id", request_id).str("key", format!("{key:016x}"));
+        });
 
-        let scene = self.scenes.get_or_build(req.scene, req.detail);
+        let scene = spans.time("scene", || self.scenes.get_or_build(req.scene, req.detail));
         let config = req.config.build().with_reorder(req.reorder);
         let tracer = if req.trace {
             Tracer::enabled()
@@ -101,9 +132,13 @@ impl Executor {
         };
         tracer.emit(0, || EventKind::Request { id: request_id });
         let sim = Simulation::new(&scene, &config, req.policy).with_tracer(tracer.clone());
-        let (pixels, frames) = sim.run_accumulated(req.shader, req.width, req.height, req.spp)?;
-        let log = tracer.take();
+        let run_start = Instant::now();
+        let run = sim.run_accumulated(req.shader, req.width, req.height, req.spp);
+        spans.record("engine_run", run_start, Instant::now());
+        let (pixels, frames) = run?;
+        let trace_log = tracer.take();
 
+        let serialize_start = Instant::now();
         let mut w = JsonWriter::new();
         w.begin_object();
         w.field_str("kind", endpoint.label());
@@ -151,7 +186,10 @@ impl Executor {
             // Event counts are a pure function of the simulated work
             // (the cycle-0 request marker adds exactly one), so they
             // are safe to cache.
-            w.field_u64("trace_events", log.events.len() as u64 + log.dropped);
+            w.field_u64(
+                "trace_events",
+                trace_log.events.len() as u64 + trace_log.dropped,
+            );
         }
         if endpoint == Endpoint::Simulate {
             let mut report = MetricsReport::new(&format!(
@@ -168,6 +206,7 @@ impl Executor {
         w.end_object();
 
         let body = Arc::new(w.finish().into_bytes());
+        spans.record("serialize", serialize_start, Instant::now());
         self.results.insert(key, Arc::clone(&body));
         Ok(ExecOutcome {
             body,

@@ -83,6 +83,7 @@ pub struct RequestReader<R> {
     stream: R,
     buf: Vec<u8>,
     limits: Limits,
+    wire_bytes: u64,
 }
 
 impl<R: Read> RequestReader<R> {
@@ -92,7 +93,16 @@ impl<R: Read> RequestReader<R> {
             stream,
             buf: Vec::new(),
             limits,
+            wire_bytes: 0,
         }
+    }
+
+    /// Wire bytes consumed by fully parsed requests since the last
+    /// call (head + body; pipelined bytes still buffered are not yet
+    /// counted). Resets the counter, so the connection loop can
+    /// attribute ingress bytes per request.
+    pub fn take_wire_bytes(&mut self) -> u64 {
+        std::mem::take(&mut self.wire_bytes)
     }
 
     /// Reads one full request, buffering across arbitrary `read()`
@@ -157,6 +167,7 @@ impl<R: Read> RequestReader<R> {
         let body = self.buf[body_start..body_start + content_length].to_vec();
         // Keep pipelined leftovers for the next request.
         self.buf.drain(..body_start + content_length);
+        self.wire_bytes += (body_start + content_length) as u64;
 
         Ok(Some(Request {
             method,
@@ -251,15 +262,21 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// An outgoing response: status, extra headers, JSON body.
+/// The `Content-Type` Prometheus text exposition format 0.0.4 is
+/// served under.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// An outgoing response: status, extra headers, body.
 #[derive(Clone, Debug)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// The `Content-Type` the body is served under.
+    pub content_type: &'static str,
     /// Extra headers beyond the defaults (`Content-Type`,
     /// `Content-Length`).
     pub headers: Vec<(String, String)>,
-    /// Response body bytes (always JSON in this service).
+    /// Response body bytes (JSON, or Prometheus text for `/metrics`).
     pub body: Vec<u8>,
 }
 
@@ -268,6 +285,18 @@ impl Response {
     pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
         Response {
             status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A Prometheus text-exposition response (used by `GET /metrics`
+    /// when the client negotiates `text/plain`).
+    pub fn prometheus(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: PROMETHEUS_CONTENT_TYPE,
             headers: Vec::new(),
             body: body.into(),
         }
@@ -278,6 +307,7 @@ impl Response {
     pub fn from_error(err: &ServeError) -> Self {
         Response {
             status: err.status(),
+            content_type: "application/json",
             headers: err.headers(),
             body: err.to_json().into_bytes(),
         }
@@ -289,16 +319,18 @@ impl Response {
         self
     }
 
-    /// Serializes the response to the wire.
+    /// Serializes the response to the wire, returning the wire bytes
+    /// written (head + body, for egress accounting).
     ///
     /// Head and body go out in a single `write_all`: two small writes
     /// on a TCP socket interact with Nagle's algorithm and delayed
     /// ACKs, costing tens of milliseconds per response.
-    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<u64> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             reason(self.status),
+            self.content_type,
             self.body.len()
         );
         for (name, value) in &self.headers {
@@ -311,7 +343,8 @@ impl Response {
         let mut wire = head.into_bytes();
         wire.extend_from_slice(&self.body);
         stream.write_all(&wire)?;
-        stream.flush()
+        stream.flush()?;
+        Ok(wire.len() as u64)
     }
 }
 
@@ -465,6 +498,43 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn the_reader_accounts_wire_bytes_per_parsed_request() {
+        let wire =
+            "POST /v1/render HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /healthz HTTP/1.1\r\n\r\n";
+        let mut r = reader_over(wire, 7, Limits::default());
+        r.read_request().unwrap().unwrap();
+        let first = r.take_wire_bytes();
+        assert_eq!(
+            first,
+            "POST /v1/render HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc".len() as u64
+        );
+        assert_eq!(r.take_wire_bytes(), 0, "counter resets on take");
+        r.read_request().unwrap().unwrap();
+        assert_eq!(
+            r.take_wire_bytes(),
+            "GET /healthz HTTP/1.1\r\n\r\n".len() as u64
+        );
+    }
+
+    #[test]
+    fn prometheus_responses_negotiate_the_text_content_type() {
+        let resp = Response::prometheus(200, "# HELP x y\n".as_bytes().to_vec());
+        let mut out = Vec::new();
+        let written = resp.write_to(&mut out).unwrap();
+        assert_eq!(written, out.len() as u64, "write_to reports wire bytes");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"));
+        // JSON responses keep their content type.
+        let mut out = Vec::new();
+        Response::json(200, "{}".as_bytes().to_vec())
+            .write_to(&mut out)
+            .unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("Content-Type: application/json\r\n"));
     }
 
     #[test]

@@ -30,8 +30,20 @@
 //! | `/v1/render` | POST | run a frame job (sync, or `"async": true`) |
 //! | `/v1/simulate` | POST | same job, full metrics report body |
 //! | `/v1/jobs/<id>` | GET | poll an async job |
-//! | `/metrics` | GET | counters, cache stats, latency quantiles |
+//! | `/v1/spans/<id>` | GET | a request's host span trail (Chrome trace JSON) |
+//! | `/metrics` | GET | JSON snapshot; Prometheus text under `Accept: text/plain` |
 //! | `/healthz` | GET | liveness + drain state |
+//!
+//! # Observability
+//!
+//! The serve path is threaded with the telemetry crate's host-side
+//! observability: structured JSON-lines logging (configured by the
+//! `COOPRT_LOG` environment variable), per-request span trails keyed by
+//! `X-Request-Id`, Prometheus exposition with a rolling-window SLO
+//! tracker, and per-route latency histograms. All of it is
+//! zero-overhead when disabled and — by construction — never touches a
+//! response body: cache hits stay bitwise identical to fresh runs with
+//! every layer of telemetry enabled.
 
 pub mod api;
 pub mod cache;
@@ -48,7 +60,7 @@ pub use cache::{fnv1a64, ResultCache, SceneCache};
 pub use client::{ClientResponse, HttpClient};
 pub use error::ServeError;
 pub use exec::{Endpoint, ExecOutcome, Executor};
-pub use http::{Limits, Request, RequestReader, Response};
-pub use metrics::ServerMetrics;
+pub use http::{Limits, Request, RequestReader, Response, PROMETHEUS_CONTENT_TYPE};
+pub use metrics::{Route, ServerMetrics, LATENCY_BUCKETS_US};
 pub use queue::{Dispatcher, JobState};
 pub use server::{ServeConfig, Server, ShutdownHandle};

@@ -9,11 +9,19 @@
 //! looping on [`SyncQueue::pop_timeout`]; on drain the queue is closed,
 //! workers finish every job already admitted, and then exit — admitted
 //! work is never dropped.
+//!
+//! Observability: each job carries a [`SpanRecorder`] trail (queue
+//! wait, then the executor's cache/scene/engine/serialize segments),
+//! retained in a bounded table for `GET /v1/spans/<id>`; workers bump
+//! a busy gauge and a queue-wait histogram, and log claims/outcomes
+//! under the `serve::queue` target.
 
 use crate::error::ServeError;
 use crate::exec::{Endpoint, ExecOutcome, Executor};
+use crate::metrics::LATENCY_BUCKETS_US;
 use crate::JobRequest;
 use cooprt_core::parallel::{Pop, PushError, SyncQueue};
+use cooprt_telemetry::{FixedHistogram, HostSpan, LogLevel, Logger, SpanRecorder};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -26,6 +34,10 @@ const WORKER_POLL: Duration = Duration::from_millis(50);
 
 /// Completed jobs retained for polling before the oldest is pruned.
 const FINISHED_RETENTION: usize = 256;
+
+/// Request span trails retained for `GET /v1/spans/<id>` before the
+/// oldest is pruned.
+const SPAN_RETENTION: usize = 256;
 
 /// Observable state of a submitted job.
 #[derive(Clone, Debug)]
@@ -58,6 +70,8 @@ struct Job {
     endpoint: Endpoint,
     request: JobRequest,
     deadline: Instant,
+    submitted_at: Instant,
+    trail: SpanRecorder,
     state: JobState,
 }
 
@@ -81,6 +95,25 @@ impl JobTable {
     }
 }
 
+/// Bounded id → span-trail table backing `GET /v1/spans/<id>`.
+#[derive(Debug, Default)]
+struct SpanTable {
+    trails: HashMap<u64, SpanRecorder>,
+    order: VecDeque<u64>,
+}
+
+impl SpanTable {
+    fn insert(&mut self, id: u64, trail: SpanRecorder) {
+        self.trails.insert(id, trail);
+        self.order.push_back(id);
+        while self.order.len() > SPAN_RETENTION {
+            if let Some(old) = self.order.pop_front() {
+                self.trails.remove(&old);
+            }
+        }
+    }
+}
+
 /// Lifetime counters for the dispatcher.
 #[derive(Debug, Default)]
 pub struct DispatchCounters {
@@ -96,6 +129,15 @@ pub struct DispatchCounters {
     pub failed: AtomicU64,
 }
 
+/// Live worker-pool statistics shared with the worker threads.
+#[derive(Debug)]
+struct WorkerStats {
+    /// Workers currently executing a job.
+    busy: AtomicU64,
+    /// Queue-wait (submit → claim) histogram, microseconds.
+    queue_wait_us: FixedHistogram,
+}
+
 /// The bounded queue + worker pool + job table.
 #[derive(Debug)]
 pub struct Dispatcher {
@@ -103,33 +145,62 @@ pub struct Dispatcher {
     queue: Arc<SyncQueue<u64>>,
     table: Arc<(Mutex<JobTable>, Condvar)>,
     counters: Arc<DispatchCounters>,
+    stats: Arc<WorkerStats>,
+    spans: Arc<Mutex<SpanTable>>,
     next_id: AtomicU64,
     retry_after_secs: u64,
+    workers_total: usize,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
 }
 
 impl Dispatcher {
     /// Spawns `workers` worker threads over a queue admitting at most
-    /// `queue_capacity` waiting jobs.
+    /// `queue_capacity` waiting jobs, without logging.
     pub fn new(
         executor: Arc<Executor>,
         workers: usize,
         queue_capacity: usize,
         retry_after_secs: u64,
     ) -> Self {
+        Self::new_with(
+            executor,
+            workers,
+            queue_capacity,
+            retry_after_secs,
+            Logger::disabled(),
+        )
+    }
+
+    /// [`Dispatcher::new`], with worker-side structured logging under
+    /// the `serve::queue` target.
+    pub fn new_with(
+        executor: Arc<Executor>,
+        workers: usize,
+        queue_capacity: usize,
+        retry_after_secs: u64,
+        logger: Logger,
+    ) -> Self {
         assert!(workers > 0, "need at least one worker");
         let queue = Arc::new(SyncQueue::new(queue_capacity));
         let table: Arc<(Mutex<JobTable>, Condvar)> = Arc::default();
         let counters = Arc::new(DispatchCounters::default());
+        let stats = Arc::new(WorkerStats {
+            busy: AtomicU64::new(0),
+            queue_wait_us: FixedHistogram::new(&LATENCY_BUCKETS_US),
+        });
         let handles = (0..workers)
             .map(|i| {
                 let executor = Arc::clone(&executor);
                 let queue = Arc::clone(&queue);
                 let table = Arc::clone(&table);
                 let counters = Arc::clone(&counters);
+                let stats = Arc::clone(&stats);
+                let logger = logger.clone();
                 thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&executor, &queue, &table, &counters))
+                    .spawn(move || {
+                        worker_loop(&executor, &queue, &table, &counters, &stats, &logger)
+                    })
                     .expect("spawn worker thread")
             })
             .collect();
@@ -138,8 +209,11 @@ impl Dispatcher {
             queue,
             table,
             counters,
+            stats,
+            spans: Arc::default(),
             next_id: AtomicU64::new(1),
             retry_after_secs,
+            workers_total: workers,
             workers: Mutex::new(handles),
         }
     }
@@ -151,6 +225,19 @@ impl Dispatcher {
         request: JobRequest,
         deadline: Duration,
     ) -> Result<u64, ServeError> {
+        self.submit_traced(endpoint, request, deadline, SpanRecorder::disabled())
+    }
+
+    /// [`Dispatcher::submit`], attaching a span trail the worker and
+    /// executor extend; an enabled trail is retained for
+    /// `GET /v1/spans/<id>`.
+    pub fn submit_traced(
+        &self,
+        endpoint: Endpoint,
+        request: JobRequest,
+        deadline: Duration,
+        trail: SpanRecorder,
+    ) -> Result<u64, ServeError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         {
             let (lock, _) = &*self.table;
@@ -161,6 +248,8 @@ impl Dispatcher {
                     endpoint,
                     request,
                     deadline: Instant::now() + deadline,
+                    submitted_at: Instant::now(),
+                    trail: trail.clone(),
                     state: JobState::Queued,
                 },
             );
@@ -168,6 +257,12 @@ impl Dispatcher {
         match self.queue.try_push(id) {
             Ok(()) => {
                 self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                if trail.is_enabled() {
+                    self.spans
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(id, trail);
+                }
                 Ok(id)
             }
             Err(err) => {
@@ -231,9 +326,42 @@ impl Dispatcher {
             .ok_or(ServeError::JobNotFound(id))
     }
 
+    /// The span trail recorded for request `id`, if spans were enabled
+    /// and the id is still within the retention window. The snapshot
+    /// reflects whatever has been recorded so far — a queued job has
+    /// only its submission-side spans.
+    pub fn request_spans(&self, id: u64) -> Option<Vec<HostSpan>> {
+        self.spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .trails
+            .get(&id)
+            .map(|trail| trail.snapshot())
+    }
+
     /// Jobs currently waiting in the queue.
     pub fn queued(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The admission queue's capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers_total(&self) -> usize {
+        self.workers_total
+    }
+
+    /// Workers currently executing a job.
+    pub fn busy_workers(&self) -> u64 {
+        self.stats.busy.load(Ordering::Relaxed)
+    }
+
+    /// The queue-wait (submit → claim) histogram, microseconds.
+    pub fn queue_wait_us(&self) -> &FixedHistogram {
+        &self.stats.queue_wait_us
     }
 
     /// Lifetime counters.
@@ -274,6 +402,8 @@ fn worker_loop(
     queue: &SyncQueue<u64>,
     table: &(Mutex<JobTable>, Condvar),
     counters: &DispatchCounters,
+    stats: &WorkerStats,
+    logger: &Logger,
 ) {
     let (lock, cond) = table;
     loop {
@@ -292,28 +422,65 @@ fn worker_loop(
                         t.finish(id);
                         counters.failed.fetch_add(1, Ordering::Relaxed);
                         cond.notify_all();
+                        logger.log(
+                            LogLevel::Warn,
+                            "serve::queue",
+                            "job expired in queue",
+                            |f| {
+                                f.u64("id", id);
+                            },
+                        );
                         None
                     } else {
                         job.state = JobState::Running;
-                        Some((job.endpoint, job.request.clone()))
+                        Some((
+                            job.endpoint,
+                            job.request.clone(),
+                            job.submitted_at,
+                            job.trail.clone(),
+                        ))
                     }
                 }
                 None => None, // pruned while queued; nothing to do
             }
         };
-        let Some((endpoint, request)) = claimed else {
+        let Some((endpoint, request, submitted_at, trail)) = claimed else {
             continue;
         };
-        let result = executor.execute(endpoint, &request, id);
+        let claimed_at = Instant::now();
+        let wait_us = claimed_at
+            .saturating_duration_since(submitted_at)
+            .as_micros() as u64;
+        stats.queue_wait_us.observe(wait_us);
+        trail.record("queue_wait", submitted_at, claimed_at);
+        logger.log(LogLevel::Debug, "serve::queue", "job claimed", |f| {
+            f.u64("id", id)
+                .str("endpoint", endpoint.label())
+                .u64("queue_wait_us", wait_us);
+        });
+        stats.busy.fetch_add(1, Ordering::Relaxed);
+        let result = executor.execute_traced(endpoint, &request, id, &trail, logger);
+        stats.busy.fetch_sub(1, Ordering::Relaxed);
+        let exec_us = claimed_at.elapsed().as_micros() as u64;
         let mut t = lock.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(job) = t.jobs.get_mut(&id) {
             job.state = match result {
                 Ok(outcome) => {
                     counters.completed.fetch_add(1, Ordering::Relaxed);
+                    logger.log(LogLevel::Debug, "serve::queue", "job done", |f| {
+                        f.u64("id", id)
+                            .bool("cached", outcome.cached)
+                            .u64("exec_us", exec_us);
+                    });
                     JobState::Done(outcome)
                 }
                 Err(err) => {
                     counters.failed.fetch_add(1, Ordering::Relaxed);
+                    logger.log(LogLevel::Warn, "serve::queue", "job failed", |f| {
+                        f.u64("id", id)
+                            .str("code", err.code())
+                            .u64("exec_us", exec_us);
+                    });
                     JobState::Failed(err)
                 }
             };
@@ -350,6 +517,10 @@ mod tests {
         assert!(!outcome.body.is_empty());
         assert!(matches!(d.status(id).unwrap(), JobState::Done(_)));
         assert_eq!(d.counters().completed.load(Ordering::Relaxed), 1);
+        // The pool is idle again, and the claim recorded a queue wait.
+        assert_eq!(d.busy_workers(), 0);
+        assert_eq!(d.workers_total(), 2);
+        assert_eq!(d.queue_wait_us().snapshot().count(), 1);
     }
 
     #[test]
@@ -358,6 +529,7 @@ mod tests {
         // submissions than the system can hold at once, at least one
         // must be turned away with the 429 mapping.
         let d = dispatcher(1, 1);
+        assert_eq!(d.queue_capacity(), 1);
         let mut admitted = Vec::new();
         let mut rejected = 0;
         for _ in 0..20 {
@@ -417,5 +589,47 @@ mod tests {
         let d = dispatcher(1, 2);
         assert!(matches!(d.status(999), Err(ServeError::JobNotFound(999))));
         assert!(matches!(d.wait(999), Err(ServeError::JobNotFound(999))));
+    }
+
+    #[test]
+    fn traced_jobs_retain_a_span_trail_for_lookup() {
+        let d = dispatcher(1, 8);
+        let trail = SpanRecorder::enabled();
+        let id = d
+            .submit_traced(
+                Endpoint::Render,
+                tiny_request(),
+                Duration::from_secs(30),
+                trail,
+            )
+            .unwrap();
+        d.wait(id).unwrap();
+        let spans = d.request_spans(id).expect("trail retained");
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"queue_wait"), "got {names:?}");
+        assert!(names.contains(&"engine_run"), "got {names:?}");
+        // Untraced submissions leave nothing behind.
+        let plain = d
+            .submit(Endpoint::Render, tiny_request(), Duration::from_secs(30))
+            .unwrap();
+        d.wait(plain).unwrap();
+        assert!(d.request_spans(plain).is_none());
+    }
+
+    #[test]
+    fn worker_logs_parse_as_json_lines() {
+        let logger = Logger::to_buffer("debug").unwrap();
+        let d = Dispatcher::new_with(Arc::new(Executor::new(4, 8)), 1, 8, 1, logger.clone());
+        let id = d
+            .submit(Endpoint::Render, tiny_request(), Duration::from_secs(30))
+            .unwrap();
+        d.wait(id).unwrap();
+        let lines = logger.captured();
+        assert!(!lines.is_empty(), "workers log at debug level");
+        for line in &lines {
+            cooprt_telemetry::parse_json(line).expect("log line parses");
+        }
+        assert!(lines.iter().any(|l| l.contains("\"job claimed\"")));
+        assert!(lines.iter().any(|l| l.contains("\"job done\"")));
     }
 }

@@ -16,9 +16,12 @@ use crate::api::JobRequest;
 use crate::error::ServeError;
 use crate::exec::{Endpoint, Executor};
 use crate::http::{Limits, Request, RequestReader, Response};
-use crate::metrics::ServerMetrics;
+use crate::metrics::{Route, ServerMetrics};
 use crate::queue::{Dispatcher, JobState};
-use cooprt_telemetry::{parse_json, JsonWriter};
+use cooprt_telemetry::{
+    host_spans_chrome_json, parse_json, JsonWriter, LogLevel, Logger, RequestSpans, SloConfig,
+    SpanRecorder, TraceMeta,
+};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -54,6 +57,15 @@ pub struct ServeConfig {
     pub retry_after_secs: u64,
     /// Install SIGINT/SIGTERM handlers that trigger a graceful drain.
     pub handle_signals: bool,
+    /// Record per-request host span trails (served at
+    /// `GET /v1/spans/<id>` as Chrome trace JSON).
+    pub request_spans: bool,
+    /// Rolling-window SLO parameters for the latency tracker.
+    pub slo: SloConfig,
+    /// Structured logger threaded through the accept loop, dispatcher
+    /// and executor. The default reads `COOPRT_LOG` from the
+    /// environment; tests inject a buffer-sink logger here.
+    pub logger: Logger,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +80,9 @@ impl Default for ServeConfig {
             default_deadline: Duration::from_secs(60),
             retry_after_secs: 1,
             handle_signals: false,
+            request_spans: true,
+            slo: SloConfig::default(),
+            logger: Logger::from_env(),
         }
     }
 }
@@ -80,6 +95,8 @@ struct Shared {
     limits: Limits,
     default_deadline: Duration,
     shutdown: AtomicBool,
+    logger: Logger,
+    spans_enabled: bool,
 }
 
 /// Requests a graceful drain from another thread.
@@ -102,6 +119,14 @@ impl ShutdownHandle {
             .metrics
             .to_json(&self.shared.dispatcher, self.shared.dispatcher.executor())
     }
+
+    /// Renders the Prometheus text exposition out-of-band (the same
+    /// document `GET /metrics` serves under `Accept: text/plain`).
+    pub fn metrics_prometheus(&self) -> String {
+        self.shared
+            .metrics
+            .to_prometheus(&self.shared.dispatcher, self.shared.dispatcher.executor())
+    }
 }
 
 /// A bound, not-yet-running server.
@@ -121,20 +146,23 @@ impl Server {
             config.scene_cache_capacity,
             config.result_cache_capacity,
         ));
-        let dispatcher = Dispatcher::new(
+        let dispatcher = Dispatcher::new_with(
             executor,
             config.workers,
             config.queue_capacity,
             config.retry_after_secs,
+            config.logger.clone(),
         );
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 dispatcher,
-                metrics: ServerMetrics::new(),
+                metrics: ServerMetrics::with_slo(config.slo),
                 limits: config.limits,
                 default_deadline: config.default_deadline,
                 shutdown: AtomicBool::new(false),
+                logger: config.logger.clone(),
+                spans_enabled: config.request_spans,
             }),
             handle_signals: config.handle_signals,
         })
@@ -162,6 +190,17 @@ impl Server {
         if self.handle_signals {
             signals::install();
         }
+        let addr = self.local_addr()?;
+        self.shared
+            .logger
+            .log(LogLevel::Info, "serve::server", "serving", |f| {
+                f.str("addr", addr.to_string())
+                    .u64("workers", self.shared.dispatcher.workers_total() as u64)
+                    .u64(
+                        "queue_capacity",
+                        self.shared.dispatcher.queue_capacity() as u64,
+                    );
+            });
         let connections: Mutex<Vec<thread::JoinHandle<()>>> = Mutex::new(Vec::new());
         while !(self.shared.shutdown.load(Ordering::SeqCst)
             || self.handle_signals && signals::triggered())
@@ -187,11 +226,28 @@ impl Server {
         }
         // Drain: flag is observed by connection readers, the queue
         // closes (new submissions → 503), admitted jobs finish.
+        self.shared
+            .logger
+            .log(LogLevel::Info, "serve::server", "draining", |f| {
+                f.u64("queued", self.shared.dispatcher.queued() as u64);
+            });
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.dispatcher.drain();
         for handle in connections.into_inner().unwrap_or_else(|e| e.into_inner()) {
             let _ = handle.join();
         }
+        self.shared
+            .logger
+            .log(LogLevel::Info, "serve::server", "drained", |f| {
+                f.u64(
+                    "completed",
+                    self.shared
+                        .dispatcher
+                        .counters()
+                        .completed
+                        .load(Ordering::Relaxed),
+                );
+            });
         Ok(())
     }
 }
@@ -226,6 +282,18 @@ impl Read for PatientStream {
 /// Serves one connection's keep-alive request loop.
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".to_string());
+    shared.logger.log(
+        LogLevel::Debug,
+        "serve::server",
+        "connection accepted",
+        |f| {
+            f.str("peer", peer.as_str());
+        },
+    );
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let _ = stream.set_nodelay(true);
     let mut write_half = match stream.try_clone() {
@@ -246,27 +314,64 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             Err(err) => {
                 // Framing is unknown after a protocol error: respond
                 // and close.
+                shared
+                    .logger
+                    .log(LogLevel::Warn, "serve::server", "protocol error", |f| {
+                        f.str("peer", peer.as_str()).str("code", err.code());
+                    });
                 let response = Response::from_error(&err);
                 shared.metrics.count_response(response.status);
-                let _ = response.write_to(&mut write_half);
+                if let Ok(sent) = response.write_to(&mut write_half) {
+                    shared.metrics.count_bytes(reader.take_wire_bytes(), sent);
+                }
                 return;
             }
         };
         let started = Instant::now();
         let close = request.wants_close();
+        let route = Route::of_path(&request.target);
         let response = match handle_request(shared, &request) {
             Ok(response) => response,
             Err(err) => Response::from_error(&err),
         };
-        shared.metrics.count_response(response.status);
-        let ok = response.write_to(&mut write_half).is_ok();
+        let status = response.status;
+        let sent = response.write_to(&mut write_half);
+        let latency_us = started.elapsed().as_micros() as u64;
+        shared.metrics.observe_request(route, status, latency_us);
+        shared.metrics.count_bytes(
+            reader.take_wire_bytes(),
+            sent.as_ref().copied().unwrap_or(0),
+        );
         shared
-            .metrics
-            .record_latency_us(started.elapsed().as_micros() as u64);
-        if !ok || close {
+            .logger
+            .log(LogLevel::Info, "serve::server", "request", |f| {
+                f.str("method", request.method.as_str())
+                    .str("target", request.target.as_str())
+                    .str("route", route.label())
+                    .u64("status", u64::from(status))
+                    .u64("latency_us", latency_us);
+            });
+        if sent.is_err() || close {
             return;
         }
     }
+}
+
+/// True when the client's `Accept` header (or a `format=prometheus`
+/// query parameter) asks for the Prometheus text exposition instead of
+/// the JSON snapshot on `GET /metrics`.
+fn wants_prometheus(request: &Request) -> bool {
+    if request
+        .target
+        .split_once('?')
+        .is_some_and(|(_, q)| q.split('&').any(|p| p == "format=prometheus"))
+    {
+        return true;
+    }
+    request.header("accept").is_some_and(|accept| {
+        let accept = accept.to_ascii_lowercase();
+        accept.contains("text/plain") || accept.contains("openmetrics")
+    })
 }
 
 /// Routes one parsed request to its handler.
@@ -274,6 +379,12 @@ fn handle_request(shared: &Arc<Shared>, request: &Request) -> Result<Response, S
     let path = request.target.split('?').next().unwrap_or("");
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => Ok(healthz(shared)),
+        ("GET", "/metrics") if wants_prometheus(request) => Ok(Response::prometheus(
+            200,
+            shared
+                .metrics
+                .to_prometheus(&shared.dispatcher, shared.dispatcher.executor()),
+        )),
         ("GET", "/metrics") => Ok(Response::json(
             200,
             shared
@@ -283,12 +394,13 @@ fn handle_request(shared: &Arc<Shared>, request: &Request) -> Result<Response, S
         ("POST", "/v1/render") => submit_job(shared, Endpoint::Render, request),
         ("POST", "/v1/simulate") => submit_job(shared, Endpoint::Simulate, request),
         ("GET", path) if path.starts_with("/v1/jobs/") => job_status(shared, path),
+        ("GET", path) if path.starts_with("/v1/spans/") => request_spans(shared, path),
         // Known routes under the wrong method get a 405 + Allow.
         (_, "/healthz") | (_, "/metrics") => Err(ServeError::MethodNotAllowed { allow: "GET" }),
         (_, "/v1/render") | (_, "/v1/simulate") => {
             Err(ServeError::MethodNotAllowed { allow: "POST" })
         }
-        (_, path) if path.starts_with("/v1/jobs/") => {
+        (_, path) if path.starts_with("/v1/jobs/") || path.starts_with("/v1/spans/") => {
             Err(ServeError::MethodNotAllowed { allow: "GET" })
         }
         _ => Err(ServeError::UnknownRoute(request.target.clone())),
@@ -311,15 +423,24 @@ fn submit_job(
     endpoint: Endpoint,
     request: &Request,
 ) -> Result<Response, ServeError> {
+    let trail = if shared.spans_enabled {
+        SpanRecorder::enabled()
+    } else {
+        SpanRecorder::disabled()
+    };
+    let parse_start = Instant::now();
     let text = std::str::from_utf8(&request.body)
         .map_err(|_| ServeError::BadRequest("body is not valid UTF-8".to_string()))?;
     let doc = parse_json(text).map_err(|e| ServeError::BadRequest(format!("invalid JSON: {e}")))?;
     let job = JobRequest::from_json(&doc)?;
+    trail.record("parse", parse_start, Instant::now());
     let deadline = job
         .deadline_ms
         .map(Duration::from_millis)
         .unwrap_or(shared.default_deadline);
-    let id = shared.dispatcher.submit(endpoint, job.clone(), deadline)?;
+    let id = shared
+        .dispatcher
+        .submit_traced(endpoint, job.clone(), deadline, trail)?;
     if job.run_async {
         let mut w = JsonWriter::new();
         w.begin_inline_object();
@@ -355,6 +476,28 @@ fn job_status(shared: &Arc<Shared>, path: &str) -> Result<Response, ServeError> 
             Ok(Response::json(200, w.finish()).with_header("X-Request-Id", id.to_string()))
         }
     }
+}
+
+/// `GET /v1/spans/<id>`: the request's host span trail as Chrome trace
+/// JSON (loadable in Perfetto alongside the sim-time trace).
+fn request_spans(shared: &Arc<Shared>, path: &str) -> Result<Response, ServeError> {
+    let id: u64 = path
+        .strip_prefix("/v1/spans/")
+        .unwrap_or("")
+        .parse()
+        .map_err(|_| ServeError::BadRequest(format!("invalid request id in '{path}'")))?;
+    let spans = shared
+        .dispatcher
+        .request_spans(id)
+        .ok_or(ServeError::JobNotFound(id))?;
+    let json = host_spans_chrome_json(
+        &[RequestSpans {
+            request_id: id,
+            spans,
+        }],
+        &TraceMeta::new(&format!("request {id}")),
+    );
+    Ok(Response::json(200, json).with_header("X-Request-Id", id.to_string()))
 }
 
 /// Dependency-free SIGINT/SIGTERM handling: the libc `signal` entry
@@ -410,6 +553,7 @@ mod tests {
         let config = ServeConfig {
             workers: 1,
             queue_capacity: 4,
+            logger: Logger::disabled(),
             ..ServeConfig::default()
         };
         Arc::new(Shared {
@@ -419,10 +563,12 @@ mod tests {
                 config.queue_capacity,
                 config.retry_after_secs,
             ),
-            metrics: ServerMetrics::new(),
+            metrics: ServerMetrics::with_slo(config.slo),
             limits: config.limits,
             default_deadline: config.default_deadline,
             shutdown: AtomicBool::new(false),
+            logger: config.logger,
+            spans_enabled: config.request_spans,
         })
     }
 
@@ -514,6 +660,59 @@ mod tests {
             }
             thread::sleep(Duration::from_millis(10));
         }
+    }
+
+    #[test]
+    fn metrics_content_negotiation_switches_formats() {
+        let shared = test_shared();
+        // Default: JSON.
+        let json = handle_request(&shared, &get("/metrics")).unwrap();
+        assert_eq!(json.content_type, "application/json");
+        parse_json(std::str::from_utf8(&json.body).unwrap()).expect("JSON snapshot parses");
+        // Accept: text/plain → Prometheus, and the output validates.
+        let mut prom_req = get("/metrics");
+        prom_req
+            .headers
+            .push(("accept".to_string(), "text/plain".to_string()));
+        let prom = handle_request(&shared, &prom_req).unwrap();
+        assert_eq!(prom.content_type, crate::http::PROMETHEUS_CONTENT_TYPE);
+        let text = std::str::from_utf8(&prom.body).unwrap();
+        cooprt_telemetry::validate_prometheus(text).expect("exposition validates");
+        // The query-parameter escape hatch works without headers.
+        let prom2 = handle_request(&shared, &get("/metrics?format=prometheus")).unwrap();
+        assert_eq!(prom2.content_type, crate::http::PROMETHEUS_CONTENT_TYPE);
+    }
+
+    #[test]
+    fn span_trails_are_served_as_chrome_trace_json() {
+        let shared = test_shared();
+        let body = r#"{"width": 6, "height": 4}"#;
+        let response = handle_request(&shared, &post("/v1/render", body)).unwrap();
+        let id = response
+            .headers
+            .iter()
+            .find(|(n, _)| n == "X-Request-Id")
+            .map(|(_, v)| v.clone())
+            .expect("request id header");
+        let spans = handle_request(&shared, &get(&format!("/v1/spans/{id}"))).unwrap();
+        assert_eq!(spans.status, 200);
+        let text = std::str::from_utf8(&spans.body).unwrap();
+        cooprt_telemetry::validate_chrome_trace(text).expect("span trace validates");
+        assert!(text.contains("queue_wait"));
+        assert!(text.contains("engine_run"));
+        // Unknown ids 404; non-numeric ids 400; wrong method 405.
+        assert!(matches!(
+            handle_request(&shared, &get("/v1/spans/99999")),
+            Err(ServeError::JobNotFound(99999))
+        ));
+        assert!(matches!(
+            handle_request(&shared, &get("/v1/spans/pony")),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            handle_request(&shared, &post("/v1/spans/1", "")),
+            Err(ServeError::MethodNotAllowed { allow: "GET" })
+        ));
     }
 
     #[test]

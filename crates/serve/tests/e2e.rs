@@ -1,9 +1,9 @@
 //! End-to-end tests over real sockets: concurrent clients, cache-hit
-//! identity, admission control (429), protocol limits, and graceful
-//! drain.
+//! identity, admission control (429), protocol limits, graceful drain,
+//! and the no-perturbation invariant for observability.
 
 use cooprt_serve::{HttpClient, Limits, ServeConfig, Server, ShutdownHandle};
-use cooprt_telemetry::parse_json;
+use cooprt_telemetry::{parse_json, validate_chrome_trace, validate_prometheus, Logger};
 use std::thread;
 use std::time::Duration;
 
@@ -247,4 +247,96 @@ fn graceful_drain_finishes_admitted_work() {
 
     // New connections are refused outright once the listener is gone.
     assert!(HttpClient::connect(&addr).is_err());
+}
+
+#[test]
+fn full_observability_does_not_perturb_response_bytes() {
+    // The no-perturbation invariant, end to end: a server with every
+    // layer of telemetry enabled (trace-level logging, request spans)
+    // must produce response bodies bitwise identical to a server with
+    // all of it off.
+    let logger = Logger::to_buffer("trace").unwrap();
+    let (loud_addr, loud_handle, loud_join) = start(ServeConfig {
+        workers: 2,
+        queue_capacity: 16,
+        request_spans: true,
+        logger: logger.clone(),
+        ..ServeConfig::default()
+    });
+    let (quiet_addr, quiet_handle, quiet_join) = start(ServeConfig {
+        workers: 2,
+        queue_capacity: 16,
+        request_spans: false,
+        logger: Logger::disabled(),
+        ..ServeConfig::default()
+    });
+
+    let job = r#"{"width": 8, "height": 6, "scene": "bunny", "trace": true}"#;
+    let mut loud = HttpClient::connect(&loud_addr).unwrap();
+    let mut quiet = HttpClient::connect(&quiet_addr).unwrap();
+    let mut miss_id = String::new();
+    for target in ["/v1/render", "/v1/simulate"] {
+        let a = loud.post(target, job).unwrap();
+        let b = quiet.post(target, job).unwrap();
+        assert_eq!(a.status, 200, "{}", a.text());
+        assert_eq!(b.status, 200, "{}", b.text());
+        assert_eq!(a.body, b.body, "telemetry must not perturb {target}");
+        if target == "/v1/render" {
+            miss_id = a.header("x-request-id").unwrap().to_string();
+        }
+    }
+
+    // The cache-missing request's span trail has the full pipeline and
+    // is valid Chrome trace JSON; a cache hit's trail stops at the
+    // result-cache lookup.
+    let spans = loud.get(&format!("/v1/spans/{miss_id}")).unwrap();
+    assert_eq!(spans.status, 200, "{}", spans.text());
+    validate_chrome_trace(&spans.text()).expect("span export validates");
+    for name in [
+        "parse",
+        "queue_wait",
+        "result_cache",
+        "engine_run",
+        "serialize",
+    ] {
+        assert!(spans.text().contains(name), "missing span '{name}'");
+    }
+    let hit = loud.post("/v1/render", job).unwrap();
+    assert_eq!(hit.header("x-cache"), Some("hit"));
+    let hit_id = hit.header("x-request-id").unwrap().to_string();
+    let hit_spans = loud.get(&format!("/v1/spans/{hit_id}")).unwrap();
+    validate_chrome_trace(&hit_spans.text()).expect("hit span export validates");
+    assert!(hit_spans.text().contains("result_cache"));
+    assert!(!hit_spans.text().contains("engine_run"));
+
+    // The Prometheus exposition negotiates and validates.
+    let prom = loud.get_accept("/metrics", "text/plain").unwrap();
+    assert_eq!(prom.status, 200);
+    assert!(prom
+        .header("content-type")
+        .is_some_and(|ct| ct.starts_with("text/plain")));
+    validate_prometheus(&prom.text()).expect("prometheus exposition validates");
+    assert!(prom.text().contains("cooprt_slo_attainment"));
+    // JSON remains the default for clients that don't ask.
+    let json = loud.get("/metrics").unwrap();
+    parse_json(&json.text()).expect("JSON metrics still default");
+
+    loud_handle.shutdown();
+    quiet_handle.shutdown();
+    loud_join.join().unwrap();
+    quiet_join.join().unwrap();
+
+    // Every captured log line is one parsable JSON object with the
+    // schema fields, and the request path actually logged.
+    let lines = logger.captured();
+    assert!(!lines.is_empty(), "trace-level logging captures lines");
+    for line in &lines {
+        let doc = parse_json(line).expect("log line parses with the in-tree parser");
+        for key in ["ts_us", "level", "target", "msg"] {
+            assert!(doc.get(key).is_some(), "log line missing '{key}': {line}");
+        }
+    }
+    assert!(lines.iter().any(|l| l.contains("\"serve::server\"")));
+    assert!(lines.iter().any(|l| l.contains("\"serve::queue\"")));
+    assert!(lines.iter().any(|l| l.contains("\"serve::exec\"")));
 }

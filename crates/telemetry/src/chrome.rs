@@ -14,6 +14,7 @@
 //! interval); everything else is an instant.
 
 use crate::json::JsonWriter;
+use crate::spans::HostSpan;
 use crate::trace::{AccessOutcome, CacheLevel, EventKind, TraceLog};
 use std::collections::BTreeMap;
 
@@ -366,6 +367,86 @@ pub fn chrome_trace_json(log: &TraceLog, meta: &TraceMeta) -> String {
     w.finish()
 }
 
+/// One request's host-side span tree, as stored by the serve
+/// dispatcher and exported by [`host_spans_chrome_json`].
+#[derive(Clone, Debug)]
+pub struct RequestSpans {
+    /// The server-assigned request id (the `X-Request-Id` header
+    /// value), which is also the cycle-0 [`EventKind::Request`] marker
+    /// in the sim-time trace of the same request — load both traces
+    /// in Perfetto and the id joins them.
+    pub request_id: u64,
+    /// Wall-clock spans offset from the request's arrival,
+    /// microseconds.
+    pub spans: Vec<HostSpan>,
+}
+
+/// Renders host-side request span trees as a Chrome trace-event JSON
+/// document (1 µs = 1 µs here; these are real wall-clock spans, not
+/// simulated cycles).
+///
+/// Track layout: one `Server` process ([`SERVE_PID`], matching the
+/// sim-time trace's request-marker track) with one thread per request
+/// named `request <id>`. Spans are complete (`X`) events; rows are
+/// stably sorted by timestamp so the document passes
+/// [`crate::validate_chrome_trace`].
+pub fn host_spans_chrome_json(requests: &[RequestSpans], meta: &TraceMeta) -> String {
+    let mut rows: Vec<(u64, &HostSpan)> = Vec::new();
+    for req in requests {
+        for span in &req.spans {
+            rows.push((req.request_id, span));
+        }
+    }
+    rows.sort_by_key(|(_, s)| s.start_us);
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("displayTimeUnit", "ms");
+    w.begin_object_field("metadata");
+    w.field_str("title", &meta.title);
+    w.field_str("clock", "host wall clock, us");
+    w.field_u64("schema_version", u64::from(TRACE_SCHEMA_VERSION));
+    w.field_u64("events", rows.len() as u64);
+    w.end_object();
+    w.begin_array("traceEvents");
+    w.begin_inline_object();
+    w.field_str("name", "process_name");
+    w.field_str("ph", "M");
+    w.field_u64("pid", SERVE_PID);
+    w.field_u64("tid", 0);
+    w.begin_inline_object_field("args");
+    w.field_str("name", "Server");
+    w.end_object();
+    w.end_object();
+    for req in requests {
+        w.begin_inline_object();
+        w.field_str("name", "thread_name");
+        w.field_str("ph", "M");
+        w.field_u64("pid", SERVE_PID);
+        w.field_u64("tid", req.request_id);
+        w.begin_inline_object_field("args");
+        w.field_str("name", &format!("request {}", req.request_id));
+        w.end_object();
+        w.end_object();
+    }
+    for (request_id, span) in &rows {
+        w.begin_inline_object();
+        w.field_str("name", &span.name);
+        w.field_str("ph", "X");
+        w.field_u64("ts", span.start_us);
+        w.field_u64("dur", span.dur_us);
+        w.field_u64("pid", SERVE_PID);
+        w.field_u64("tid", *request_id);
+        w.begin_inline_object_field("args");
+        w.field_u64("request_id", *request_id);
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,6 +562,44 @@ mod tests {
         assert!(check.event_names.contains("request"));
         assert!(json.contains("\"name\": \"Server\""));
         assert!(json.contains("\"id\": 42"));
+    }
+
+    #[test]
+    fn host_span_export_passes_the_validator() {
+        let spans = |items: &[(&str, u64, u64)]| -> Vec<HostSpan> {
+            items
+                .iter()
+                .map(|(name, start_us, dur_us)| HostSpan {
+                    name: name.to_string(),
+                    start_us: *start_us,
+                    dur_us: *dur_us,
+                })
+                .collect()
+        };
+        let requests = vec![
+            RequestSpans {
+                request_id: 7,
+                spans: spans(&[
+                    ("queue_wait", 10, 40),
+                    ("scene", 55, 200),
+                    ("engine_run", 260, 900),
+                    ("serialize", 1165, 30),
+                ]),
+            },
+            RequestSpans {
+                request_id: 8,
+                spans: spans(&[("queue_wait", 5, 2), ("result_cache", 8, 1)]),
+            },
+        ];
+        let json = host_spans_chrome_json(&requests, &TraceMeta::new("requests"));
+        let check = validate_chrome_trace(&json).expect("valid chrome trace");
+        assert_eq!(check.events, 6);
+        assert_eq!(check.tracks, 2, "one track per request");
+        for name in ["queue_wait", "scene", "engine_run", "serialize"] {
+            assert!(check.event_names.contains(name), "missing {name}");
+        }
+        assert!(json.contains("\"name\": \"request 7\""));
+        assert!(json.contains("\"request_id\": 8"));
     }
 
     #[test]

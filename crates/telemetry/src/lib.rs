@@ -19,8 +19,20 @@
 //!   bench (correct string escaping, pretty and inline container
 //!   styles, fixed-precision floats). The workspace has no external
 //!   dependencies, so this is the one JSON producer everything uses.
-//! - [`Profiler`] — host-side wall-clock spans (suite build, BVH build,
-//!   frame run, bench phases) folded into the same reports.
+//! - [`Profiler`] / [`SpanRecorder`] — host-side wall-clock spans.
+//!   `Profiler` is the single-owner collection batch tools fold into
+//!   reports; `SpanRecorder` is the cloneable, zero-cost-when-disabled
+//!   handle the serve path threads through its dispatcher and executor
+//!   to build per-request span trees (exported via
+//!   [`host_spans_chrome_json`]).
+//! - [`Logger`] — leveled structured logging as JSON lines, filtered
+//!   by the `COOPRT_LOG` level/target grammar, zero-cost when disabled
+//!   (the field closure never runs).
+//! - [`PromWriter`] / [`FixedHistogram`] / [`validate_prometheus`] —
+//!   Prometheus text-format exposition for the serve path's
+//!   `GET /metrics`, with an in-tree format validator.
+//! - [`RollingWindow`] — per-second rolling-window latency quantiles,
+//!   SLO attainment and error-budget burn for the serve path.
 //! - [`validate_chrome_trace`] — a tiny in-tree checker (recursive
 //!   descent JSON parser + per-track timestamp monotonicity) so a
 //!   malformed writer fails CI, not Perfetto.
@@ -45,12 +57,23 @@
 
 mod chrome;
 mod json;
+mod log;
+mod prom;
+mod slo;
 mod spans;
 mod trace;
 mod validate;
 
-pub use chrome::{chrome_trace_json, TraceMeta, TRACE_SCHEMA_VERSION};
+pub use chrome::{
+    chrome_trace_json, host_spans_chrome_json, RequestSpans, TraceMeta, TRACE_SCHEMA_VERSION,
+};
 pub use json::{json_escape, JsonWriter};
-pub use spans::{Profiler, Span};
+pub use log::{LogFields, LogFilter, LogLevel, LogValue, Logger};
+pub use prom::{
+    prom_escape, validate_prometheus, FixedHistogram, HistogramSnapshot, PromCheck, PromKind,
+    PromWriter,
+};
+pub use slo::{RollingWindow, SloConfig, SloSnapshot, MAX_SAMPLES_PER_SEC};
+pub use spans::{HostSpan, Profiler, Span, SpanRecorder, MAX_SPANS_PER_RECORDER};
 pub use trace::{AccessOutcome, CacheLevel, EventKind, TraceEvent, TraceLog, Tracer};
 pub use validate::{parse_json, validate_chrome_trace, JsonValue, TraceCheck};

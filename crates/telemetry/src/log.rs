@@ -1,0 +1,455 @@
+//! Leveled structured logging: JSON lines on stderr, filtered by
+//! `COOPRT_LOG`.
+//!
+//! The [`Logger`] follows the workspace's Tracer/Checker pattern: a
+//! cheap, cloneable handle whose inner state is an `Option<Arc<..>>`.
+//! Disabled (the default everywhere) it costs a single branch per call
+//! site and the field-building closure is never run — the same
+//! zero-perturbation contract the sim-time [`crate::Tracer`] honors.
+//!
+//! Enabled, every record becomes exactly one JSON object per line:
+//!
+//! ```json
+//! {"ts_us": 1754650000123456, "level": "info", "target": "serve::http", "msg": "response", "fields": {"status": 200}}
+//! ```
+//!
+//! Lines are machine-first: they parse with the in-tree
+//! [`crate::parse_json`] (asserted by CI), keys are fixed, and
+//! everything request-specific lives under `fields`. The sink is
+//! stderr in production and an in-memory buffer in tests, so suites
+//! can assert on emitted lines without capturing process output.
+//!
+//! # Filter grammar
+//!
+//! `COOPRT_LOG` is a comma-separated list of directives:
+//!
+//! - a bare level (`error`, `warn`, `info`, `debug`, `trace`, `off`)
+//!   sets the default maximum level;
+//! - `target=level` overrides it for any target starting with
+//!   `target` (longest prefix wins), e.g.
+//!   `COOPRT_LOG=info,serve::queue=trace,serve::http=off`.
+
+use crate::json::JsonWriter;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// The operation failed.
+    Error,
+    /// Something surprising that the service survived.
+    Warn,
+    /// Request-level lifecycle events.
+    Info,
+    /// Per-step detail (cache probes, queue claims).
+    Debug,
+    /// Everything, including hot-path chatter.
+    Trace,
+}
+
+impl LogLevel {
+    /// Lowercase name, as it appears on the wire and in `COOPRT_LOG`.
+    pub fn label(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+            LogLevel::Trace => "trace",
+        }
+    }
+
+    /// Parses a level name; `Ok(None)` means `off`.
+    pub fn parse(s: &str) -> Result<Option<LogLevel>, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Ok(Some(LogLevel::Error)),
+            "warn" => Ok(Some(LogLevel::Warn)),
+            "info" => Ok(Some(LogLevel::Info)),
+            "debug" => Ok(Some(LogLevel::Debug)),
+            "trace" => Ok(Some(LogLevel::Trace)),
+            "off" => Ok(None),
+            other => Err(format!("unknown log level '{other}'")),
+        }
+    }
+}
+
+/// A parsed `COOPRT_LOG` specification.
+#[derive(Clone, Debug)]
+pub struct LogFilter {
+    default: Option<LogLevel>,
+    /// `(target prefix, max level)` overrides; longest prefix wins.
+    targets: Vec<(String, Option<LogLevel>)>,
+}
+
+impl LogFilter {
+    /// Parses a filter spec (see the module docs for the grammar).
+    pub fn parse(spec: &str) -> Result<LogFilter, String> {
+        let mut default = None;
+        let mut targets = Vec::new();
+        for directive in spec.split(',') {
+            let directive = directive.trim();
+            if directive.is_empty() {
+                continue;
+            }
+            match directive.split_once('=') {
+                Some((target, level)) => {
+                    let target = target.trim();
+                    if target.is_empty() {
+                        return Err(format!("empty target in '{directive}'"));
+                    }
+                    targets.push((target.to_string(), LogLevel::parse(level)?));
+                }
+                None => default = LogLevel::parse(directive)?,
+            }
+        }
+        Ok(LogFilter { default, targets })
+    }
+
+    /// Whether a record at `level` for `target` passes the filter.
+    pub fn enabled(&self, level: LogLevel, target: &str) -> bool {
+        let mut max = self.default;
+        let mut best = 0;
+        for (prefix, cap) in &self.targets {
+            if target.starts_with(prefix.as_str()) && prefix.len() >= best {
+                best = prefix.len();
+                max = *cap;
+            }
+        }
+        max.is_some_and(|m| level <= m)
+    }
+
+    /// True when no record can ever pass (lets [`Logger`] collapse to
+    /// the disabled handle).
+    pub fn is_off(&self) -> bool {
+        self.default.is_none() && self.targets.iter().all(|(_, cap)| cap.is_none())
+    }
+}
+
+/// One field of a structured log record.
+#[derive(Clone, Debug)]
+pub enum LogValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float, rendered with 3 decimals.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// Builder for a record's `fields` object, passed to the emission
+/// closure. Only constructed when the record passes the filter.
+#[derive(Debug, Default)]
+pub struct LogFields {
+    fields: Vec<(&'static str, LogValue)>,
+}
+
+impl LogFields {
+    /// Adds an unsigned-integer field.
+    pub fn u64(&mut self, key: &'static str, v: u64) -> &mut Self {
+        self.fields.push((key, LogValue::U64(v)));
+        self
+    }
+
+    /// Adds a signed-integer field.
+    pub fn i64(&mut self, key: &'static str, v: i64) -> &mut Self {
+        self.fields.push((key, LogValue::I64(v)));
+        self
+    }
+
+    /// Adds a float field (3 decimals on the wire).
+    pub fn f64(&mut self, key: &'static str, v: f64) -> &mut Self {
+        self.fields.push((key, LogValue::F64(v)));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, key: &'static str, v: impl Into<String>) -> &mut Self {
+        self.fields.push((key, LogValue::Str(v.into())));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &'static str, v: bool) -> &mut Self {
+        self.fields.push((key, LogValue::Bool(v)));
+        self
+    }
+}
+
+#[derive(Debug)]
+enum Sink {
+    Stderr,
+    Buffer(Mutex<Vec<String>>),
+}
+
+#[derive(Debug)]
+struct LoggerShared {
+    filter: LogFilter,
+    sink: Sink,
+    emitted: AtomicU64,
+}
+
+/// A cheap, cloneable structured-logging handle.
+///
+/// Clones share one sink and filter. The disabled handle (the default)
+/// makes [`Logger::log`] a single branch; the field closure never
+/// runs.
+///
+/// # Examples
+///
+/// ```
+/// use cooprt_telemetry::{LogLevel, Logger};
+///
+/// let log = Logger::to_buffer("info,quiet=off").unwrap();
+/// log.log(LogLevel::Info, "serve", "started", |f| {
+///     f.u64("port", 8080);
+/// });
+/// log.log(LogLevel::Info, "quiet::sub", "dropped", |_| {});
+/// let lines = log.captured();
+/// assert_eq!(lines.len(), 1);
+/// assert!(lines[0].contains("\"port\": 8080"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Logger {
+    inner: Option<Arc<LoggerShared>>,
+}
+
+impl Logger {
+    /// The disabled logger: every [`Logger::log`] is a no-op and never
+    /// runs the field closure.
+    pub fn disabled() -> Self {
+        Logger { inner: None }
+    }
+
+    /// A logger writing JSON lines to stderr under `spec` (the
+    /// `COOPRT_LOG` grammar). Fails on a malformed spec.
+    pub fn to_stderr(spec: &str) -> Result<Logger, String> {
+        Self::with_sink(spec, Sink::Stderr)
+    }
+
+    /// A logger capturing lines in memory (for tests and smoke
+    /// checks); read them back with [`Logger::captured`].
+    pub fn to_buffer(spec: &str) -> Result<Logger, String> {
+        Self::with_sink(spec, Sink::Buffer(Mutex::new(Vec::new())))
+    }
+
+    /// The logger configured by the `COOPRT_LOG` environment variable.
+    ///
+    /// Unset, empty, or `off` yields the disabled logger. A malformed
+    /// spec also disables logging, after a single plain-text complaint
+    /// on stderr (a misconfigured filter must not kill the service).
+    pub fn from_env() -> Logger {
+        match std::env::var("COOPRT_LOG") {
+            Ok(spec) if !spec.trim().is_empty() => match Self::to_stderr(&spec) {
+                Ok(logger) => logger,
+                Err(err) => {
+                    eprintln!("cooprt: ignoring malformed COOPRT_LOG ('{err}')");
+                    Logger::disabled()
+                }
+            },
+            _ => Logger::disabled(),
+        }
+    }
+
+    fn with_sink(spec: &str, sink: Sink) -> Result<Logger, String> {
+        let filter = LogFilter::parse(spec)?;
+        if filter.is_off() {
+            return Ok(Logger::disabled());
+        }
+        Ok(Logger {
+            inner: Some(Arc::new(LoggerShared {
+                filter,
+                sink,
+                emitted: AtomicU64::new(0),
+            })),
+        })
+    }
+
+    /// Whether any record could be emitted at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether a record at `level` for `target` would be emitted —
+    /// for call sites that want to skip expensive preparation.
+    pub fn enabled(&self, level: LogLevel, target: &str) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|s| s.filter.enabled(level, target))
+    }
+
+    /// Emits one record. The `fields` closure is only invoked when the
+    /// record passes the filter, so disabled logging costs one branch.
+    #[inline]
+    pub fn log(
+        &self,
+        level: LogLevel,
+        target: &str,
+        msg: &str,
+        fields: impl FnOnce(&mut LogFields),
+    ) {
+        let Some(shared) = &self.inner else {
+            return;
+        };
+        if !shared.filter.enabled(level, target) {
+            return;
+        }
+        let mut f = LogFields::default();
+        fields(&mut f);
+        let line = render_line(level, target, msg, &f);
+        shared.emitted.fetch_add(1, Ordering::Relaxed);
+        match &shared.sink {
+            Sink::Stderr => {
+                use std::io::Write;
+                let mut err = std::io::stderr().lock();
+                let _ = writeln!(err, "{line}");
+            }
+            Sink::Buffer(buf) => {
+                buf.lock().unwrap_or_else(|e| e.into_inner()).push(line);
+            }
+        }
+    }
+
+    /// Records emitted (post-filter) so far.
+    pub fn emitted(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |s| s.emitted.load(Ordering::Relaxed))
+    }
+
+    /// Lines captured by a [`Logger::to_buffer`] logger (empty for
+    /// every other sink).
+    pub fn captured(&self) -> Vec<String> {
+        match self.inner.as_deref() {
+            Some(LoggerShared {
+                sink: Sink::Buffer(buf),
+                ..
+            }) => buf.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Renders one record as a single JSON line (no trailing newline).
+fn render_line(level: LogLevel, target: &str, msg: &str, f: &LogFields) -> String {
+    let ts_us = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_micros() as u64);
+    let mut w = JsonWriter::new();
+    w.begin_inline_object();
+    w.field_u64("ts_us", ts_us);
+    w.field_str("level", level.label());
+    w.field_str("target", target);
+    w.field_str("msg", msg);
+    w.begin_inline_object_field("fields");
+    for (key, value) in &f.fields {
+        match value {
+            LogValue::U64(v) => w.field_u64(key, *v),
+            LogValue::I64(v) => w.field_i64(key, *v),
+            LogValue::F64(v) => w.field_f64(key, *v, 3),
+            LogValue::Str(v) => w.field_str(key, v),
+            LogValue::Bool(v) => w.field_bool(key, *v),
+        }
+    }
+    w.end_object();
+    w.end_object();
+    w.finish().trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::parse_json;
+
+    #[test]
+    fn disabled_logger_never_runs_the_closure() {
+        let log = Logger::disabled();
+        log.log(LogLevel::Error, "x", "boom", |_| {
+            panic!("closure must not run when disabled")
+        });
+        assert!(!log.is_enabled());
+        assert_eq!(log.emitted(), 0);
+    }
+
+    #[test]
+    fn filtered_out_records_never_run_the_closure() {
+        let log = Logger::to_buffer("warn").unwrap();
+        log.log(LogLevel::Debug, "serve", "chatty", |_| {
+            panic!("closure must not run below the filter level")
+        });
+        assert_eq!(log.emitted(), 0);
+    }
+
+    #[test]
+    fn every_line_is_one_parsable_json_object() {
+        let log = Logger::to_buffer("trace").unwrap();
+        log.log(LogLevel::Info, "serve::http", "response", |f| {
+            f.u64("status", 200)
+                .str("method", "GET")
+                .f64("secs", 0.25)
+                .i64("delta", -3)
+                .bool("cached", true);
+        });
+        log.log(LogLevel::Warn, "serve", "quote \"and\\slash", |_| {});
+        let lines = log.captured();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(!line.contains('\n'), "one record = one line");
+            let doc = parse_json(line).expect("line parses with the in-tree parser");
+            assert!(doc.get("ts_us").and_then(|v| v.as_f64()).is_some());
+            assert!(doc.get("level").and_then(|v| v.as_str()).is_some());
+            assert!(doc.get("fields").is_some());
+        }
+        let doc = parse_json(&lines[0]).unwrap();
+        let fields = doc.get("fields").unwrap();
+        assert_eq!(fields.get("status").unwrap().as_f64(), Some(200.0));
+        assert_eq!(fields.get("method").unwrap().as_str(), Some("GET"));
+        assert_eq!(
+            parse_json(&lines[1]).unwrap().get("msg").unwrap().as_str(),
+            Some("quote \"and\\slash")
+        );
+    }
+
+    #[test]
+    fn target_prefixes_override_the_default_level() {
+        let filter = LogFilter::parse("info,serve::queue=trace,serve::http=off").unwrap();
+        assert!(filter.enabled(LogLevel::Info, "engine"));
+        assert!(!filter.enabled(LogLevel::Debug, "engine"));
+        assert!(filter.enabled(LogLevel::Trace, "serve::queue::worker"));
+        assert!(!filter.enabled(LogLevel::Error, "serve::http"));
+        // Longest prefix wins.
+        let filter = LogFilter::parse("off,serve=warn,serve::http=debug").unwrap();
+        assert!(filter.enabled(LogLevel::Debug, "serve::http"));
+        assert!(!filter.enabled(LogLevel::Debug, "serve::queue"));
+        assert!(!filter.enabled(LogLevel::Error, "engine"));
+    }
+
+    #[test]
+    fn off_specs_collapse_to_the_disabled_handle() {
+        assert!(!Logger::to_buffer("off").unwrap().is_enabled());
+        assert!(!Logger::to_buffer("").unwrap().is_enabled());
+        assert!(Logger::to_buffer("off,serve=info").unwrap().is_enabled());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert!(LogFilter::parse("loud").is_err());
+        assert!(LogFilter::parse("info,=debug").is_err());
+        assert!(LogFilter::parse("serve=verbose").is_err());
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let a = Logger::to_buffer("info").unwrap();
+        let b = a.clone();
+        a.log(LogLevel::Info, "x", "from a", |_| {});
+        b.log(LogLevel::Info, "x", "from b", |_| {});
+        assert_eq!(a.captured().len(), 2);
+        assert_eq!(b.emitted(), 2);
+    }
+}

@@ -24,7 +24,7 @@
 
 use cooprt::core::TraceLatencies;
 use cooprt::serve::{HttpClient, ServeConfig, Server};
-use cooprt::telemetry::{parse_json, JsonValue, JsonWriter};
+use cooprt::telemetry::{parse_json, validate_prometheus, JsonValue, JsonWriter};
 use std::time::Instant;
 
 struct Args {
@@ -260,6 +260,38 @@ fn main() {
         hit_rate * 100.0
     );
 
+    // The rolling-window SLO tracker saw the whole run (both passes
+    // finished inside the 60 s window).
+    let slo = metrics.get("slo").expect("metrics carry an slo section");
+    let slo_f64 = |field: &str| -> f64 {
+        slo.get(field)
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("slo.{field} missing"))
+    };
+    let attainment = slo_f64("attainment");
+    assert!(
+        (0.0..=1.0).contains(&attainment),
+        "attainment must be a fraction, got {attainment}"
+    );
+    println!(
+        "slo window: {} req, p50 {}us p95 {}us p99 {}us, attainment {:.4} (target {}us), burn {:.2}",
+        slo_f64("count"),
+        slo_f64("p50_us"),
+        slo_f64("p95_us"),
+        slo_f64("p99_us"),
+        attainment,
+        slo_f64("target_us"),
+        slo_f64("error_budget_burn"),
+    );
+
+    // The Prometheus exposition must negotiate and pass the in-tree
+    // format validator.
+    let prom = client
+        .get_accept("/metrics", "text/plain")
+        .expect("prometheus metrics");
+    assert_eq!(prom.status, 200);
+    validate_prometheus(&prom.text()).expect("prometheus exposition validates");
+
     handle.shutdown();
     join.join().expect("server thread");
 
@@ -283,6 +315,21 @@ fn main() {
     w.field_u64("hits", hits);
     w.field_u64("misses", misses);
     w.field_f64("hit_rate", hit_rate, 4);
+    w.end_object();
+    // The server's rolling-window view of the run: windowed quantiles,
+    // SLO attainment, and error-budget burn (gated by benchdiff).
+    w.begin_inline_object_field("slo");
+    w.field_u64("window_secs", slo_f64("window_secs") as u64);
+    w.field_u64("count", slo_f64("count") as u64);
+    w.field_u64("errors", slo_f64("errors") as u64);
+    w.field_u64("p50_us", slo_f64("p50_us") as u64);
+    w.field_u64("p95_us", slo_f64("p95_us") as u64);
+    w.field_u64("p99_us", slo_f64("p99_us") as u64);
+    w.field_u64("max_us", slo_f64("max_us") as u64);
+    w.field_u64("target_us", slo_f64("target_us") as u64);
+    w.field_f64("objective", slo_f64("objective"), 4);
+    w.field_f64("attainment", attainment, 6);
+    w.field_f64("error_budget_burn", slo_f64("error_budget_burn"), 4);
     w.end_object();
     w.field_raw("server_metrics", &metrics_text);
     w.end_object();

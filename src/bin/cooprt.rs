@@ -47,15 +47,20 @@ OPTIONS (serve):
     --workers <N>      simulation worker threads    [default: 2]
     --queue <N>        admission queue capacity     [default: 32]
     --smoke            bind an ephemeral port, self-test every endpoint
-                       (health, render miss/hit identity, metrics,
-                       graceful drain), then exit
+                       (health, render miss/hit identity, JSON and
+                       Prometheus metrics, request spans, structured
+                       logging, graceful drain), then exit
+
+    Structured JSON-lines logging to stderr is controlled by the
+    COOPRT_LOG environment variable (e.g. COOPRT_LOG=debug or
+    COOPRT_LOG=info,serve::queue=trace).
 
 EXAMPLES:
     cooprt render crnvl --res 96 --out crnvl.ppm
     cooprt compare fox --shader ao
     cooprt scenes
     cooprt area
-    cooprt serve --addr 127.0.0.1:7878 --workers 4
+    COOPRT_LOG=info cooprt serve --addr 127.0.0.1:7878 --workers 4
     cooprt trace record wknd --res 64 --out wknd.cprt
     cooprt trace replay wknd.cprt --policy baseline --reorder morton --verify
     cooprt trace info wknd.cprt
@@ -453,6 +458,17 @@ impl ServeOptions {
 }
 
 fn cmd_serve(opts: &ServeOptions) -> Result<(), String> {
+    // Smoke mode captures debug-level logs in a buffer sink so the
+    // self-test can assert every line parses; otherwise COOPRT_LOG
+    // drives stderr logging (the ServeConfig default).
+    let smoke_logger = if opts.smoke {
+        Some(
+            cooprt::telemetry::Logger::to_buffer("debug")
+                .map_err(|e| format!("smoke: bad log spec: {e}"))?,
+        )
+    } else {
+        None
+    };
     let config = ServeConfig {
         addr: if opts.smoke {
             "127.0.0.1:0".to_string() // ephemeral: never collides in CI
@@ -462,6 +478,9 @@ fn cmd_serve(opts: &ServeOptions) -> Result<(), String> {
         workers: opts.workers,
         queue_capacity: opts.queue,
         handle_signals: !opts.smoke,
+        logger: smoke_logger
+            .clone()
+            .unwrap_or_else(cooprt::telemetry::Logger::from_env),
         ..ServeConfig::default()
     };
     let server = Server::bind(&config).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
@@ -471,16 +490,23 @@ fn cmd_serve(opts: &ServeOptions) -> Result<(), String> {
             "cooprt-serve listening on http://{addr} ({} workers, queue {})",
             opts.workers, opts.queue
         );
-        println!("endpoints: POST /v1/render  POST /v1/simulate  GET /v1/jobs/<id>  GET /metrics  GET /healthz");
+        println!("endpoints: POST /v1/render  POST /v1/simulate  GET /v1/jobs/<id>  GET /v1/spans/<id>  GET /metrics  GET /healthz");
         println!("ctrl-c or SIGTERM drains gracefully");
         return server.run().map_err(|e| e.to_string());
     }
-    serve_smoke(server, &addr.to_string())
+    let logger = smoke_logger.expect("smoke mode always builds a buffer logger");
+    serve_smoke(server, &addr.to_string(), &logger)
 }
 
 /// The `serve --smoke` self-test: every endpoint over a real socket,
-/// cache-hit identity included, then a graceful drain.
-fn serve_smoke(server: Server, addr: &str) -> Result<(), String> {
+/// cache-hit identity included, plus the observability surface (JSON
+/// and Prometheus metrics, request spans, structured log lines), then
+/// a graceful drain.
+fn serve_smoke(
+    server: Server,
+    addr: &str,
+    logger: &cooprt::telemetry::Logger,
+) -> Result<(), String> {
     let io = |e: std::io::Error| format!("smoke: io error: {e}");
     let handle = server.shutdown_handle();
     let join = std::thread::spawn(move || server.run());
@@ -530,10 +556,46 @@ fn serve_smoke(server: Server, addr: &str) -> Result<(), String> {
     }
     println!("smoke: /metrics parses, result-cache hit counted");
 
+    let prom = client.get_accept("/metrics", "text/plain").map_err(io)?;
+    if prom.status != 200 {
+        return Err(format!(
+            "smoke: prometheus /metrics returned {}",
+            prom.status
+        ));
+    }
+    cooprt::telemetry::validate_prometheus(&prom.text())
+        .map_err(|e| format!("smoke: prometheus exposition invalid: {e}"))?;
+    println!("smoke: /metrics (Accept: text/plain) passes the Prometheus validator");
+
+    let id = first
+        .header("x-request-id")
+        .ok_or("smoke: render response has no X-Request-Id")?
+        .to_string();
+    let spans = client.get(&format!("/v1/spans/{id}")).map_err(io)?;
+    if spans.status != 200 {
+        return Err(format!("smoke: /v1/spans/{id} returned {}", spans.status));
+    }
+    cooprt::telemetry::validate_chrome_trace(&spans.text())
+        .map_err(|e| format!("smoke: span trace invalid: {e}"))?;
+    println!("smoke: /v1/spans/{id} validates as Chrome trace JSON");
+
     handle.shutdown();
     join.join()
         .map_err(|_| "smoke: server thread panicked".to_string())?
         .map_err(|e| format!("smoke: server run failed: {e}"))?;
+
+    let lines = logger.captured();
+    if lines.is_empty() {
+        return Err("smoke: debug logging captured no lines".to_string());
+    }
+    for line in &lines {
+        cooprt::telemetry::parse_json(line)
+            .map_err(|e| format!("smoke: log line does not parse ({e}): {line}"))?;
+    }
+    println!(
+        "smoke: {} structured log lines, every one parses as JSON",
+        lines.len()
+    );
     println!("smoke: graceful drain complete — all checks passed");
     Ok(())
 }
