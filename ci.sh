@@ -18,7 +18,8 @@ cargo test --offline --quiet --workspace
 
 echo "==> simcheck --seeds 64 (differential fuzzing smoke)"
 cargo run --offline --release --example simcheck -- \
-    --seeds 64 --json-seeds 256 --serve-seeds 8 --trace-seeds 8 --reorder-seeds 8
+    --seeds 64 --json-seeds 256 --serve-seeds 8 --trace-seeds 8 --reorder-seeds 8 \
+    --predict-seeds 8
 
 echo "==> simperf --smoke"
 cargo bench --offline -p cooprt-bench --bench simperf -- --smoke

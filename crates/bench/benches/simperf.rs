@@ -32,10 +32,19 @@
 //! (primary-ray frames from a pinhole camera barely move under
 //! morton; that is the honest result, not a bug).
 //!
+//! A ray-path prediction section sweeps the predict axis the same way:
+//! each scene's *shadow* front end (the coherent any-hit workload the
+//! predictor targets) is recorded once, then replayed under
+//! {baseline, CoopRT} x {off, ray-path}. Every replayed image is
+//! asserted bitwise identical to the recorded frame — the predictor's
+//! go-up-to-root fallback keeps occlusion exact — and the section
+//! reports cycles, predicted-hit rate, go-up steps and node fetches
+//! saved per cell under `predict` in the JSON.
+//!
 //! `--smoke` runs a two-scene, low-resolution edition — same passes,
-//! same determinism asserts (including one reordered replay per smoke
-//! scene), no JSON — so CI can exercise this harness in seconds (see
-//! `ci.sh`).
+//! same determinism asserts (including one reordered and one predicted
+//! replay per smoke scene), no JSON — so CI can exercise this harness
+//! in seconds (see `ci.sh`).
 //!
 //! The JSON document goes through the shared
 //! [`cooprt_telemetry::JsonWriter`] (byte-compatible with the layout
@@ -44,7 +53,9 @@
 //! come from the same spans that are printed.
 
 use cooprt_bench::{banner, default_detail, default_res, parallel, run_at, scene_list};
-use cooprt_core::{FrameResult, GpuConfig, ReorderPolicy, ShaderKind, Trace, TraversalPolicy};
+use cooprt_core::{
+    FrameResult, GpuConfig, PredictPolicy, ReorderPolicy, ShaderKind, Trace, TraversalPolicy,
+};
 use cooprt_scenes::{Scene, SceneId};
 use cooprt_telemetry::{JsonWriter, Profiler};
 use std::time::Instant;
@@ -285,6 +296,101 @@ fn reorder_section(
         .collect()
 }
 
+/// One cell of the ray-path prediction evaluation matrix.
+struct PredictRow {
+    scene: &'static str,
+    policy: &'static str,
+    predict: &'static str,
+    cycles: u64,
+    speedup_vs_off: f64,
+    predicted_hit_rate: f64,
+    path_lookups: u64,
+    go_up_steps: u64,
+    node_fetches_saved: u64,
+}
+
+/// Sweeps the ray-path prediction axis over every scene. Shadow rays
+/// are the coherent any-hit workload the predictor targets, so each
+/// scene's shadow front end is recorded once (predictor off) and
+/// replayed under {baseline, CoopRT} x {off, ray-path}; every replayed
+/// image is asserted bitwise identical to the recorded frame — the
+/// predictor's go-up-to-root fallback makes occlusion outcomes exact,
+/// and this assert enforces it on every benchmark run.
+fn predict_section(
+    ids: &[cooprt_scenes::SceneId],
+    scenes: &[Scene],
+    cfg: &GpuConfig,
+    res: usize,
+    detail: u32,
+    workers: usize,
+) -> Vec<PredictRow> {
+    let kind = ShaderKind::Shadow;
+    let traces: Vec<(FrameResult, Trace)> = parallel::par_map(scenes, workers, |i, scene| {
+        Trace::record(
+            scene,
+            detail,
+            cfg,
+            TraversalPolicy::Baseline,
+            kind,
+            res,
+            res,
+        )
+        .unwrap_or_else(|e| panic!("record {}: {e}", ids[i]))
+    });
+
+    let combos: Vec<(usize, TraversalPolicy, PredictPolicy)> = (0..scenes.len())
+        .flat_map(|i| {
+            [TraversalPolicy::Baseline, TraversalPolicy::CoopRt]
+                .into_iter()
+                .flat_map(move |p| PredictPolicy::ALL.into_iter().map(move |pr| (i, p, pr)))
+        })
+        .collect();
+    let results = parallel::par_map(&combos, workers, |_, &(i, policy, predict)| {
+        let run_cfg = cfg.clone().with_predict(predict);
+        traces[i]
+            .1
+            .replay(&run_cfg, policy)
+            .unwrap_or_else(|e| panic!("replay {} {policy:?}/{predict:?}: {e}", ids[i]))
+    });
+
+    // The identity contract: prediction never changes a pixel.
+    for (&(i, policy, predict), r) in combos.iter().zip(&results) {
+        assert_eq!(
+            r.image, traces[i].0.image,
+            "{}: {policy:?}/{predict:?} must render the recorded image bitwise",
+            ids[i]
+        );
+    }
+
+    let off_cycles = |i: usize, policy: TraversalPolicy| -> u64 {
+        combos
+            .iter()
+            .zip(&results)
+            .find(|(&(j, p, pr), _)| j == i && p == policy && pr == PredictPolicy::Off)
+            .map(|(_, res)| res.cycles)
+            .expect("every (scene, policy) has an Off cell")
+    };
+    combos
+        .iter()
+        .zip(&results)
+        .map(|(&(i, policy, predict), r)| PredictRow {
+            scene: ids[i].name(),
+            policy: policy.label(),
+            predict: predict.label(),
+            cycles: r.cycles,
+            speedup_vs_off: off_cycles(i, policy) as f64 / r.cycles.max(1) as f64,
+            predicted_hit_rate: if r.predictor.path_candidates > 0 {
+                r.predictor.path_entry_hits as f64 / r.predictor.path_candidates as f64
+            } else {
+                0.0
+            },
+            path_lookups: r.predictor.path_lookups,
+            go_up_steps: r.predictor.path_go_up_steps,
+            node_fetches_saved: r.predictor.node_fetches_saved,
+        })
+        .collect()
+}
+
 struct LadderStep {
     threads: usize,
     secs: f64,
@@ -484,6 +590,35 @@ fn main() {
         );
     }
 
+    // Predict axis: one shadow recording per scene drives all four
+    // policy x predict cells, with per-cell bitwise image identity.
+    let predict_rows = predict_section(&ids, &scenes, &cfg, res, detail, workers);
+    println!();
+    println!(
+        "ray-path prediction ({} scenes x 2 policies x {} predict modes, shadow rays \
+         replayed from one trace per scene; all images bitwise identical to the recorded frame):",
+        ids.len(),
+        PredictPolicy::ALL.len()
+    );
+    println!(
+        "{:<8} {:>9} {:>10} {:>12} {:>9} {:>9} {:>9} {:>8} {:>10}",
+        "scene", "policy", "predict", "cycles", "vs off", "lookups", "hit%", "go-up", "saved"
+    );
+    for r in &predict_rows {
+        println!(
+            "{:<8} {:>9} {:>10} {:>12} {:>8.3}x {:>9} {:>8.1}% {:>8} {:>10}",
+            r.scene,
+            r.policy,
+            r.predict,
+            r.cycles,
+            r.speedup_vs_off,
+            r.path_lookups,
+            r.predicted_hit_rate * 100.0,
+            r.go_up_steps,
+            r.node_fetches_saved,
+        );
+    }
+
     if smoke {
         println!();
         println!("simperf --smoke OK");
@@ -539,6 +674,21 @@ fn main() {
         w.field_f64("l2_hit_rate", r.l2_hit, 6);
         w.field_u64("rays_moved", r.rays_moved);
         w.field_u64("reorder_passes", r.reorder_passes);
+        w.end_object();
+    }
+    w.end_array();
+    w.begin_array("predict");
+    for r in &predict_rows {
+        w.begin_inline_object();
+        w.field_str("scene", r.scene);
+        w.field_str("policy", r.policy);
+        w.field_str("predict", r.predict);
+        w.field_u64("cycles", r.cycles);
+        w.field_f64("speedup_vs_off", r.speedup_vs_off, 4);
+        w.field_f64("predicted_hit_rate", r.predicted_hit_rate, 6);
+        w.field_u64("path_lookups", r.path_lookups);
+        w.field_u64("go_up_steps", r.go_up_steps);
+        w.field_u64("node_fetches_saved", r.node_fetches_saved);
         w.end_object();
     }
     w.end_array();

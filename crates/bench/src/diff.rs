@@ -107,6 +107,24 @@ pub fn default_specs() -> Vec<MetricSpec> {
             Exact,
         ),
         MetricSpec::new("simperf.scenes[scene=wknd,policy=cooprt].rays", 0.0, Exact),
+        MetricSpec::new(
+            "simperf.predict[scene=wknd,policy=cooprt,predict=ray-path].cycles",
+            0.0,
+            Exact,
+        ),
+        // Predictor quality: deterministic, but gated one-sided — a
+        // drop in hit rate or fetch savings is the regression; getting
+        // better is free.
+        MetricSpec::new(
+            "simperf.predict[scene=fox,policy=baseline,predict=ray-path].predicted_hit_rate",
+            0.0,
+            HigherBetter,
+        ),
+        MetricSpec::new(
+            "simperf.predict[scene=fox,policy=baseline,predict=ray-path].node_fetches_saved",
+            0.0,
+            HigherBetter,
+        ),
         // Wall-clock throughput: machine-dependent, order-of-magnitude
         // guard only.
         MetricSpec::new(

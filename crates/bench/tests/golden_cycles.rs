@@ -28,7 +28,8 @@
 //! recorded image bitwise (replay drives the identical timing model).
 
 use cooprt_core::{
-    Checker, GpuConfig, ReorderPolicy, ShaderKind, Simulation, Trace, TraversalPolicy,
+    Checker, GpuConfig, PredictPolicy, ReorderPolicy, ShaderKind, Simulation, Trace,
+    TraversalPolicy,
 };
 use cooprt_scenes::SceneId;
 use cooprt_telemetry::{EventKind, Tracer};
@@ -190,6 +191,85 @@ fn check_reorder(id: SceneId, base_golden: u64, coop_golden: u64) {
         checker.assert_clean();
     }
 }
+
+/// Resolution of the ray-path prediction rows (each row simulates four
+/// frames: reference + predicted, both policies).
+const PREDICT_RES: usize = 64;
+
+/// `(scene, baseline cycles, cooprt cycles)` with the ray-path
+/// predictor enabled, shadow rays at `PREDICT_RES` (detail 16, RTX
+/// 2060). Shadow is the coherent any-hit workload the predictor
+/// targets; these three scenes are the ones the evaluation calls out
+/// for measurable node-fetch savings.
+const GOLDEN_PREDICT: &[(SceneId, u64, u64)] = &[
+    (SceneId::Crnvl, 8009, 6091),
+    (SceneId::Fox, 12238, 8815),
+    (SceneId::Party, 8077, 6150),
+];
+
+fn check_predict(id: SceneId, base_golden: u64, coop_golden: u64) {
+    let scene = id.build(DETAIL);
+    let off = GpuConfig::rtx2060();
+    let cfg = off.clone().with_predict(PredictPolicy::RayPath);
+    for (policy, golden) in [
+        (TraversalPolicy::Baseline, base_golden),
+        (TraversalPolicy::CoopRt, coop_golden),
+    ] {
+        let reference = Simulation::new(&scene, &off, policy)
+            .run_frame(ShaderKind::Shadow, PREDICT_RES, PREDICT_RES)
+            .unwrap();
+        let tracer = Tracer::with_capacity(TRACE_CAPACITY);
+        let checker = Checker::enabled();
+        let r = Simulation::new(&scene, &cfg, policy)
+            .with_tracer(tracer.clone())
+            .with_checker(checker.clone())
+            .run_frame(ShaderKind::Shadow, PREDICT_RES, PREDICT_RES)
+            .unwrap();
+        assert_eq!(
+            r.cycles, golden,
+            "{id} {policy:?} ray-path: predicted cycle count drifted \
+             from the golden value (the tracer was enabled; prediction \
+             and its telemetry must be deterministic)",
+        );
+        assert_eq!(
+            r.image, reference.image,
+            "{id} {policy:?}: ray-path prediction changed a pixel — the \
+             go-up-to-root fallback must keep occlusion exact"
+        );
+        assert!(
+            r.predictor.path_lookups > 0 && r.predictor.node_fetches_saved > 0,
+            "{id} {policy:?}: the golden predict row must actually \
+             predict (got {} lookups, {} fetches saved)",
+            r.predictor.path_lookups,
+            r.predictor.node_fetches_saved
+        );
+        let log = tracer.take();
+        assert!(
+            log.events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::Predict { .. })),
+            "{id} {policy:?}: no Predict event reached the tracer"
+        );
+        checker.assert_clean();
+    }
+}
+
+macro_rules! golden_predict_scene {
+    ($test:ident, $id:ident) => {
+        #[test]
+        fn $test() {
+            let &(id, base, coop) = GOLDEN_PREDICT
+                .iter()
+                .find(|(s, _, _)| *s == SceneId::$id)
+                .expect("scene present in the golden predict table");
+            check_predict(id, base, coop);
+        }
+    };
+}
+
+golden_predict_scene!(golden_predict_crnvl, Crnvl);
+golden_predict_scene!(golden_predict_fox, Fox);
+golden_predict_scene!(golden_predict_party, Party);
 
 macro_rules! golden_reorder_scene {
     ($test:ident, $id:ident) => {

@@ -106,6 +106,12 @@ pub struct BvhImage {
     /// LOOKUP_GRAIN` holds the index into `nodes`, or [`NO_NODE`].
     /// Makes [`BvhImage::node_at`] O(1) on the traversal hot path.
     lookup: Vec<u32>,
+    /// Parent-pointer table, index-aligned with `nodes`: slot `i` holds
+    /// the index of node `i`'s parent, or [`NO_NODE`] for the root.
+    /// Derived state like `lookup` (rebuilt by both construction paths,
+    /// excluded from [`BvhImage::content_hash`]); backs the ray-path
+    /// predictor's go-up-level fallback via [`BvhImage::parent_addr`].
+    parents: Vec<u32>,
 }
 
 impl BvhImage {
@@ -127,6 +133,7 @@ impl BvhImage {
                 triangles: triangles.to_vec(),
                 total_bytes: 0,
                 lookup: Vec::new(),
+                parents: Vec::new(),
             };
         }
         // First pass: assign addresses in preorder.
@@ -146,6 +153,7 @@ impl BvhImage {
             lookup[((node.addr - HEAP_BASE) / LOOKUP_GRAIN) as usize] = i as u32;
         }
 
+        let parents = build_parents(&nodes, &lookup);
         BvhImage {
             nodes,
             root_addr: addr_of[wide.root as usize],
@@ -153,6 +161,7 @@ impl BvhImage {
             triangles: triangles.to_vec(),
             total_bytes,
             lookup,
+            parents,
         }
     }
 
@@ -213,6 +222,7 @@ impl BvhImage {
                 }
             }
         }
+        let parents = build_parents(&nodes, &lookup);
         Ok(BvhImage {
             nodes,
             root_addr: HEAP_BASE,
@@ -220,6 +230,7 @@ impl BvhImage {
             triangles,
             total_bytes,
             lookup,
+            parents,
         })
     }
 
@@ -252,6 +263,41 @@ impl BvhImage {
             NO_NODE => None,
             i => Some(&self.nodes[i as usize]),
         }
+    }
+
+    /// Address of the parent of the node at `addr`.
+    ///
+    /// Returns `None` for the root and for addresses that do not start
+    /// a node. O(1) via the parent-pointer table — queried on the
+    /// ray-path predictor's go-up-level fallback and when attributing
+    /// hits to a predicted subtree.
+    #[inline]
+    pub fn parent_addr(&self, addr: u64) -> Option<u64> {
+        let offset = addr.checked_sub(HEAP_BASE)?;
+        if offset % LOOKUP_GRAIN != 0 {
+            return None;
+        }
+        match *self.lookup.get((offset / LOOKUP_GRAIN) as usize)? {
+            NO_NODE => None,
+            i => match self.parents[i as usize] {
+                NO_NODE => None,
+                p => Some(self.nodes[p as usize].addr),
+            },
+        }
+    }
+
+    /// Depth of the node at `addr` below the root (root = 0), or `None`
+    /// for addresses that do not start a node. Walks the parent table,
+    /// so O(tree depth).
+    pub fn depth_of(&self, addr: u64) -> Option<u32> {
+        self.node_at(addr)?;
+        let mut depth = 0;
+        let mut cur = addr;
+        while let Some(p) = self.parent_addr(cur) {
+            depth += 1;
+            cur = p;
+        }
+        Some(depth)
     }
 
     /// The triangle referenced by a leaf.
@@ -355,6 +401,23 @@ impl Fnv64 {
     fn finish(&self) -> u64 {
         self.0
     }
+}
+
+/// Builds the parent-pointer table: every internal node claims its
+/// children. `lookup` maps child addresses to node indices, so the
+/// pass is O(nodes x arity).
+fn build_parents(nodes: &[Node], lookup: &[u32]) -> Vec<u32> {
+    let mut parents = vec![NO_NODE; nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        if let NodeKind::Internal { children } = &node.kind {
+            for c in children {
+                let slot = ((c.addr - HEAP_BASE) / LOOKUP_GRAIN) as usize;
+                let child_idx = lookup[slot] as usize;
+                parents[child_idx] = i as u32;
+            }
+        }
+    }
+    parents
 }
 
 fn hash_aabb(h: &mut Fnv64, aabb: &Aabb) {
@@ -591,6 +654,62 @@ mod tests {
         let err =
             BvhImage::from_parts(nodes, img.root_bounds(), img.triangles().to_vec()).unwrap_err();
         assert!(err.contains("dangling"), "{err}");
+    }
+
+    #[test]
+    fn parent_table_inverts_child_links() {
+        let img = image_of(30);
+        // The root has no parent.
+        assert_eq!(img.parent_addr(img.root_addr()), None);
+        // Every child's parent pointer leads back to the node that
+        // stores the child reference.
+        let mut children_seen = 0;
+        for node in &img {
+            if let NodeKind::Internal { children } = &node.kind {
+                for c in children {
+                    assert_eq!(img.parent_addr(c.addr), Some(node.addr));
+                    children_seen += 1;
+                }
+            }
+        }
+        assert_eq!(
+            children_seen,
+            img.node_count() - 1,
+            "every non-root node is someone's child exactly once"
+        );
+        // Non-node addresses have no parent.
+        assert_eq!(img.parent_addr(0), None);
+        assert_eq!(img.parent_addr(img.root_addr() + 4), None);
+        assert_eq!(img.parent_addr(u64::MAX), None);
+    }
+
+    #[test]
+    fn depth_walks_the_parent_chain_to_the_root() {
+        let img = image_of(30);
+        assert_eq!(img.depth_of(img.root_addr()), Some(0));
+        assert_eq!(img.depth_of(img.root_addr() + 4), None);
+        for node in &img {
+            let d = img.depth_of(node.addr).unwrap();
+            match img.parent_addr(node.addr) {
+                None => assert_eq!(d, 0),
+                Some(p) => assert_eq!(d, img.depth_of(p).unwrap() + 1),
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_rebuilds_the_parent_table() {
+        let img = image_of(25);
+        let rebuilt = BvhImage::from_parts(
+            img.iter().cloned().collect(),
+            img.root_bounds(),
+            img.triangles().to_vec(),
+        )
+        .unwrap();
+        for node in &img {
+            assert_eq!(rebuilt.parent_addr(node.addr), img.parent_addr(node.addr));
+            assert_eq!(rebuilt.depth_of(node.addr), img.depth_of(node.addr));
+        }
     }
 
     #[test]

@@ -30,7 +30,11 @@
 //! - [`reordercheck`] fuzzes the ray-reordering front end: every
 //!   reorder policy must render the unordered image bitwise (both
 //!   traversal policies, compaction on and off), and sort keys must be
-//!   bitwise reproducible at any outer-parallelism width.
+//!   bitwise reproducible at any outer-parallelism width;
+//! - [`predictcheck`] fuzzes the speculative predictors: intersection
+//!   and ray-path prediction (alone and stacked) must render the
+//!   speculation-free image bitwise under both traversal policies, and
+//!   their stats counters must obey their containment order.
 //!
 //! Everything is deterministic and dependency-free (the in-tree PRNG
 //! only), so a CI budget of seeds means the same thing on every
@@ -48,6 +52,7 @@
 pub mod fuzz;
 pub mod jsonfuzz;
 pub mod oracle;
+pub mod predictcheck;
 pub mod reordercheck;
 pub mod servecache;
 pub mod shrink;
@@ -55,6 +60,7 @@ pub mod tracecheck;
 
 pub use fuzz::{run_budget, run_case, run_seed, Failure, FuzzCase};
 pub use jsonfuzz::{run_json_budget, run_json_seed};
+pub use predictcheck::{run_predict_budget, run_predict_case, run_predict_seed, PredictFailure};
 pub use reordercheck::{run_reorder_budget, run_reorder_case, run_reorder_seed, ReorderFailure};
 pub use servecache::{run_serve_budget, run_serve_seed};
 pub use tracecheck::{run_trace_budget, run_trace_case, run_trace_seed, TraceFailure};

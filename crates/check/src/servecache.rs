@@ -23,7 +23,8 @@ use rand::{rngs::StdRng, RngExt, SeedableRng};
 ///
 /// Frames are tiny (the simulator is cycle-level) but every axis of the
 /// canonical key varies: scene, detail, dimensions, spp, shader,
-/// policy, reorder policy, config preset, and the body-shape options.
+/// policy, reorder policy, predict policy, config preset, and the
+/// body-shape options.
 pub fn job_from_seed(seed: u64) -> (Endpoint, JobRequest) {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7365_7276_6563_6163); // "servecac"
     let scenes = cooprt_scenes::ALL_SCENES;
@@ -49,6 +50,7 @@ pub fn job_from_seed(seed: u64) -> (Endpoint, JobRequest) {
             cooprt_core::TraversalPolicy::CoopRt,
         ][rng.random_range(0usize..2)],
         reorder: cooprt_core::ReorderPolicy::ALL[rng.random_range(0usize..3)],
+        predict: cooprt_core::PredictPolicy::ALL[rng.random_range(0usize..2)],
         config,
         include_image: rng.random(),
         trace: rng.random(),

@@ -174,6 +174,20 @@ pub fn overhead_fraction(subwarp_size: usize, entries: usize) -> f64 {
     (comb_ff + added_field_bits(entries) as f64) / warp_buffer_bits(entries) as f64
 }
 
+/// Storage bits of the ray-path predictor table for `entries` slots.
+///
+/// Each direct-mapped slot holds a 64-bit signature tag plus a node
+/// address compressed to a 33-bit heap offset (the BVH heap spans well
+/// under 2^33 bytes) and a valid bit — 98 bits per entry, ≈ 3.1 KiB at
+/// the default 256 entries, a fraction of the warp buffer's 98,304
+/// bits (Demoullin et al. size their table similarly).
+pub fn predict_table_bits(entries: usize) -> u64 {
+    const TAG_BITS: u64 = 64;
+    const NODE_OFFSET_BITS: u64 = 33;
+    const VALID_BITS: u64 = 1;
+    (TAG_BITS + NODE_OFFSET_BITS + VALID_BITS) * entries as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +272,14 @@ mod tests {
     #[should_panic(expected = "subwarp size")]
     fn invalid_subwarp_rejected() {
         let _ = cooprt_area(12);
+    }
+
+    #[test]
+    fn predict_table_is_a_fraction_of_the_warp_buffer() {
+        // The predictor's area pitch: its table must stay well under
+        // the warp buffer it sits next to.
+        assert_eq!(predict_table_bits(256), 98 * 256);
+        assert!(predict_table_bits(256) < warp_buffer_bits(4) / 2);
+        assert_eq!(predict_table_bits(0), 0);
     }
 }

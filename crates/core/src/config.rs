@@ -1,5 +1,6 @@
 //! GPU and RT-unit configuration (Table 1 of the paper).
 
+use crate::predictor::PredictPolicy;
 use crate::reorder::{ReorderPolicy, DEFAULT_REORDER_BUCKETS};
 use cooprt_gpu::{MemoryConfig, PowerModel};
 
@@ -172,10 +173,23 @@ pub struct GpuConfig {
     /// "effective with localized rays that AO and SH shaders generate"
     /// but untested on PT — the `ext_predictor` bench measures both.
     pub intersection_predictor: bool,
-    /// Entries in the per-SM prediction table (direct-mapped).
+    /// Hash-based ray-path prediction (Demoullin et al.): any-hit
+    /// traversals start at a predicted BVH entry node and walk up one
+    /// parent level at a time on a subtree miss (go-up-level fallback),
+    /// so occlusion outcomes — and therefore images — are bitwise
+    /// identical to [`PredictPolicy::Off`]. The fourth policy axis,
+    /// orthogonal to [`TraversalPolicy`], [`GpuConfig::reorder`] and
+    /// compaction/tiling. Unlike reordering this one changes real
+    /// traversal *work* (node fetches flow through the same L1/MSHR
+    /// path), so cycle counts move; images never do.
+    pub predict: PredictPolicy,
+    /// Entries in each per-SM prediction table (direct-mapped; shared
+    /// sizing for the intersection and ray-path tables).
     ///
-    /// Must be non-zero when [`GpuConfig::intersection_predictor`] is
-    /// enabled (enforced by `Predictor::new`). Any non-zero size is
+    /// Must be non-zero when [`GpuConfig::intersection_predictor`] or
+    /// [`GpuConfig::predict`] is enabled — rejected with a typed
+    /// [`ConfigError::ZeroPredictorEntries`](crate::ConfigError) at
+    /// every simulation entry point. Any non-zero size is
     /// valid — the table index is a splitmix64-finalized signature
     /// reduced modulo this size, so non-power-of-two sizes distribute
     /// uniformly too (pinned by the predictor's distribution test);
@@ -233,6 +247,7 @@ impl GpuConfig {
             reorder: ReorderPolicy::Off,
             reorder_buckets: DEFAULT_REORDER_BUCKETS,
             intersection_predictor: false,
+            predict: PredictPolicy::Off,
             predictor_entries: 1024,
             compaction: false,
             compaction_overhead_cycles: 300,
@@ -287,6 +302,13 @@ impl GpuConfig {
     /// bench matrix's third axis).
     pub fn with_reorder(mut self, policy: ReorderPolicy) -> Self {
         self.reorder = policy;
+        self
+    }
+
+    /// Returns a copy with a different ray-path prediction policy (the
+    /// bench matrix's fourth axis).
+    pub fn with_predict(mut self, policy: PredictPolicy) -> Self {
+        self.predict = policy;
         self
     }
 
@@ -350,5 +372,14 @@ mod tests {
         assert_eq!(c.reorder_buckets, DEFAULT_REORDER_BUCKETS);
         let m = c.with_reorder(ReorderPolicy::Morton);
         assert_eq!(m.reorder, ReorderPolicy::Morton);
+    }
+
+    #[test]
+    fn predict_axis_defaults_off_with_entries() {
+        let c = GpuConfig::rtx2060();
+        assert_eq!(c.predict, PredictPolicy::Off);
+        assert_eq!(c.predictor_entries, 1024);
+        let p = c.with_predict(PredictPolicy::RayPath);
+        assert_eq!(p.predict, PredictPolicy::RayPath);
     }
 }

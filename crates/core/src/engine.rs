@@ -5,7 +5,7 @@
 use crate::check::Checker;
 use crate::config::{GpuConfig, TraversalPolicy, WARP_SIZE};
 use crate::latency::TraceLatencies;
-use crate::predictor::PredictorStats;
+use crate::predictor::{PredictPolicy, PredictorStats};
 use crate::reorder::{self, ReorderPolicy, ReorderStats};
 use crate::rtunit::{RtUnit, StatusCounts, TraceQuery, TraceResult};
 use crate::shader::{ShaderKind, ShaderThread};
@@ -35,6 +35,10 @@ pub enum ConfigError {
     /// Ray reordering is enabled but the counting sort has no buckets
     /// (`reorder != Off` with `reorder_buckets == 0`).
     ZeroReorderBuckets,
+    /// A predictor is enabled but its table has no entries
+    /// (`intersection_predictor` or `predict != Off` with
+    /// `predictor_entries == 0`).
+    ZeroPredictorEntries,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -46,6 +50,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroSamples => write!(f, "need at least one sample per pixel"),
             ConfigError::ZeroReorderBuckets => {
                 write!(f, "ray reordering needs at least one sort bucket")
+            }
+            ConfigError::ZeroPredictorEntries => {
+                write!(f, "the predictor needs at least one table entry")
             }
         }
     }
@@ -240,7 +247,8 @@ pub struct FrameResult {
     pub slowest_warp_cycles: u64,
     /// DRAM channel utilization over the frame (§7.4).
     pub dram_utilization: f64,
-    /// Intersection-predictor counters (all zero when disabled).
+    /// Predictor counters — intersection-predictor and ray-path
+    /// families merged across SMs (all zero when both are disabled).
     pub predictor: PredictorStats,
     /// Latency of every retired `trace_ray` instruction (the raw data
     /// behind Figs. 11 and 14).
@@ -526,10 +534,17 @@ fn validate_frame(width: usize, height: usize) -> Result<(), ConfigError> {
     Ok(())
 }
 
-/// Rejects inconsistent reorder configuration with a typed error.
+/// Rejects inconsistent reorder/predictor configuration with a typed
+/// error, so `Predictor::new`'s zero-size panic never fires on
+/// caller-controlled input.
 fn validate_config(cfg: &GpuConfig) -> Result<(), ConfigError> {
     if cfg.reorder != ReorderPolicy::Off && cfg.reorder_buckets == 0 {
         return Err(ConfigError::ZeroReorderBuckets);
+    }
+    if (cfg.intersection_predictor || cfg.predict != PredictPolicy::Off)
+        && cfg.predictor_entries == 0
+    {
+        return Err(ConfigError::ZeroPredictorEntries);
     }
     Ok(())
 }
@@ -1295,10 +1310,7 @@ impl<'s> Engine<'s> {
             events.add(&sm.rt.events);
             rays += sm.rt.rays_issued;
             if let Some(p) = sm.rt.predictor_stats() {
-                predictor.lookups += p.lookups;
-                predictor.candidates += p.candidates;
-                predictor.verified += p.verified;
-                predictor.updates += p.updates;
+                predictor.add(&p);
             }
         }
         let mem_stats = self.mem.stats();
@@ -1803,6 +1815,162 @@ mod tests {
             "verified predictions skip traversals: {} vs {} box tests",
             b.events.box_tests,
             a.events.box_tests
+        );
+    }
+
+    #[test]
+    fn ray_path_predictor_is_functionally_neutral() {
+        // Ray-path prediction redirects any-hit traversals to a
+        // predicted entry node; the go-up-level fallback restores
+        // full-tree coverage, so occlusion answers — and therefore
+        // images — are bitwise identical under both policies. PT is
+        // closest-hit only and must be untouched too.
+        for policy in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
+            for kind in [
+                ShaderKind::PathTrace,
+                ShaderKind::AmbientOcclusion,
+                ShaderKind::Shadow,
+            ] {
+                let scene = SceneId::Bath.build(2);
+                let plain = GpuConfig::small(2);
+                let pred = GpuConfig::small(2).with_predict(PredictPolicy::RayPath);
+                let a = Simulation::new(&scene, &plain, policy)
+                    .run_frame(kind, 8, 8)
+                    .unwrap();
+                let b = Simulation::new(&scene, &pred, policy)
+                    .run_frame(kind, 8, 8)
+                    .unwrap();
+                assert_eq!(a.image, b.image, "{policy:?} {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ray_path_predictor_learns_and_saves_fetches() {
+        // Coherent AO rays hit the same occluders; after warm-up the
+        // table supplies entry nodes a few levels down, so predicted
+        // hits land without refetching the skipped ancestors.
+        let scene = SceneId::Bath.build(6);
+        let cfg = GpuConfig::small(2).with_predict(PredictPolicy::RayPath);
+        let f = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::AmbientOcclusion, 16, 16)
+            .unwrap();
+        let p = &f.predictor;
+        assert!(p.path_lookups > 0, "any-hit rays must consult the table");
+        assert!(p.path_updates > 0, "accepted occluders must train it");
+        assert!(
+            p.path_candidates > 0 && p.path_entry_hits > 0,
+            "coherent AO rays must produce entry hits ({} candidates, {} hits)",
+            p.path_candidates,
+            p.path_entry_hits
+        );
+        assert!(
+            p.node_fetches_saved > 0,
+            "entry hits must translate into saved ancestor fetches"
+        );
+        // The predictor bills its table accesses to the energy model.
+        assert_eq!(f.events.predict_lookups, p.path_lookups + p.path_updates);
+        // Off leaves the whole family at zero.
+        let off = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::AmbientOcclusion, 16, 16)
+            .unwrap();
+        assert_eq!(off.predictor.path_lookups, 0);
+        assert_eq!(off.events.predict_lookups, 0);
+    }
+
+    #[test]
+    fn ray_path_predictor_composes_with_reorder_and_intersection() {
+        // All three front-end/RT-unit speculation axes at once must
+        // still render the reference image.
+        let scene = SceneId::Fox.build(3);
+        let mut stacked = GpuConfig::small(2)
+            .with_predict(PredictPolicy::RayPath)
+            .with_reorder(crate::ReorderPolicy::Morton);
+        stacked.intersection_predictor = true;
+        let a = Simulation::new(&scene, &GpuConfig::small(2), TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::Shadow, 12, 12)
+            .unwrap();
+        let b = Simulation::new(&scene, &stacked, TraversalPolicy::CoopRt)
+            .run_frame(ShaderKind::Shadow, 12, 12)
+            .unwrap();
+        assert_eq!(a.image, b.image);
+    }
+
+    #[test]
+    fn predictors_are_neutral_on_equal_t_ties() {
+        // Doubled geometry: every surface is two coincident triangles,
+        // so each hit ties at identical t between two primitive indices
+        // and the traversal-order-independent accept filter (lowest
+        // index wins at equal t) decides every pixel. Speculation —
+        // which changes visit order and seeds min_thit — must not be
+        // able to flip the winner.
+        use cooprt_math::{Aabb, Rgb, Vec3};
+        use cooprt_scenes::{Camera, Material, SceneBuilder};
+        let cam = Camera::look_at(Vec3::new(0.0, 2.0, 12.0), Vec3::ZERO, Vec3::Y, 60.0, 1.0);
+        let tris = cooprt_scenes::scatter_clutter(
+            Aabb::new(Vec3::new(-6.0, 0.5, -6.0), Vec3::new(6.0, 5.0, 6.0)),
+            30,
+            0.3..0.8,
+            11,
+        );
+        let mut doubled = tris.clone();
+        doubled.extend(tris); // exact duplicates => equal-t ties
+        let scene = SceneBuilder::new("equal-t-ties", cam)
+            .push(
+                doubled,
+                Material::Lambertian {
+                    albedo: Rgb::splat(0.7),
+                },
+            )
+            .build();
+        for kind in [ShaderKind::PathTrace, ShaderKind::Shadow] {
+            let plain = GpuConfig::small(2);
+            let mut spec = GpuConfig::small(2).with_predict(PredictPolicy::RayPath);
+            spec.intersection_predictor = true;
+            let a = Simulation::new(&scene, &plain, TraversalPolicy::CoopRt)
+                .run_frame(kind, 10, 10)
+                .unwrap();
+            let b = Simulation::new(&scene, &spec, TraversalPolicy::CoopRt)
+                .run_frame(kind, 10, 10)
+                .unwrap();
+            assert_eq!(a.image, b.image, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn zero_predictor_entries_rejected() {
+        let scene = SceneId::Wknd.build(1);
+        let mut cfg = GpuConfig::small(1);
+        cfg.intersection_predictor = true;
+        cfg.predictor_entries = 0;
+        let sim = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline);
+        assert_eq!(
+            sim.run_frame(ShaderKind::PathTrace, 8, 8).unwrap_err(),
+            ConfigError::ZeroPredictorEntries
+        );
+        assert_eq!(
+            sim.run_accumulated(ShaderKind::PathTrace, 8, 8, 1)
+                .unwrap_err(),
+            ConfigError::ZeroPredictorEntries
+        );
+        // The ray-path axis guards the same knob.
+        let mut path = GpuConfig::small(1).with_predict(PredictPolicy::RayPath);
+        path.predictor_entries = 0;
+        assert_eq!(
+            Simulation::new(&scene, &path, TraversalPolicy::Baseline)
+                .run_frame(ShaderKind::PathTrace, 8, 8)
+                .unwrap_err(),
+            ConfigError::ZeroPredictorEntries
+        );
+        // With both predictors off the knob is ignored.
+        let mut off = GpuConfig::small(1);
+        off.predictor_entries = 0;
+        assert!(Simulation::new(&scene, &off, TraversalPolicy::Baseline)
+            .run_frame(ShaderKind::PathTrace, 8, 8)
+            .is_ok());
+        assert_eq!(
+            ConfigError::ZeroPredictorEntries.to_string(),
+            "the predictor needs at least one table entry"
         );
     }
 

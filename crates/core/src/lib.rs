@@ -75,7 +75,9 @@ pub use engine::{
 };
 pub use latency::TraceLatencies;
 pub use metrics::{FrameMetrics, LatencySummary, MetricsReport, METRICS_SCHEMA_VERSION};
-pub use predictor::{Predictor, PredictorStats};
+pub use predictor::{
+    PredictPolicy, Predictor, PredictorStats, RayPathPredictor, PREDICT_ENTRY_LIFT,
+};
 pub use reorder::{ReorderPolicy, ReorderStats, DEFAULT_REORDER_BUCKETS};
 pub use rtunit::{RayHit, RtUnit, StatusCounts, TraceQuery, TraceResult};
 pub use shader::{ShaderKind, ShaderThread};

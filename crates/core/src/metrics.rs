@@ -34,7 +34,9 @@ use cooprt_telemetry::{JsonWriter, Profiler};
 ///
 /// Bump on any structural change (renamed/removed keys, changed units).
 /// v2 added `simt_efficiency` and the `reorder` counter object.
-pub const METRICS_SCHEMA_VERSION: u32 = 2;
+/// v3 added the ray-path family (`stale`, `path_*`,
+/// `node_fetches_saved`) to the `predictor` object.
+pub const METRICS_SCHEMA_VERSION: u32 = 3;
 
 /// Latency-distribution summary of the per-`trace_ray` samples.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -262,8 +264,16 @@ fn write_frame(w: &mut JsonWriter, f: &FrameMetrics) {
     w.begin_inline_object_field("predictor");
     w.field_u64("lookups", f.predictor.lookups);
     w.field_u64("candidates", f.predictor.candidates);
+    w.field_u64("stale", f.predictor.stale);
     w.field_u64("verified", f.predictor.verified);
     w.field_u64("updates", f.predictor.updates);
+    w.field_u64("path_lookups", f.predictor.path_lookups);
+    w.field_u64("path_candidates", f.predictor.path_candidates);
+    w.field_u64("path_stale", f.predictor.path_stale);
+    w.field_u64("path_updates", f.predictor.path_updates);
+    w.field_u64("path_entry_hits", f.predictor.path_entry_hits);
+    w.field_u64("path_go_up_steps", f.predictor.path_go_up_steps);
+    w.field_u64("node_fetches_saved", f.predictor.node_fetches_saved);
     w.end_object();
 
     w.begin_inline_object_field("trace_latency");
@@ -356,6 +366,23 @@ mod tests {
                 .and_then(|v| v.as_f64()),
             Some(f.mem.l1.accesses as f64)
         );
+        let pred = fr.get("predictor").unwrap();
+        for key in [
+            "lookups",
+            "candidates",
+            "stale",
+            "verified",
+            "updates",
+            "path_lookups",
+            "path_candidates",
+            "path_stale",
+            "path_updates",
+            "path_entry_hits",
+            "path_go_up_steps",
+            "node_fetches_saved",
+        ] {
+            assert!(pred.get(key).is_some(), "predictor is missing {key}");
+        }
     }
 
     #[test]

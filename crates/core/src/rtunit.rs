@@ -24,7 +24,7 @@ use crate::config::{
     GpuConfig, StealPosition, SubwarpMode, TraversalOrder, TraversalPolicy, WARP_SIZE,
 };
 use crate::lbu::{find_pairs, LbuPair};
-use crate::predictor::{Predictor, PredictorStats};
+use crate::predictor::{PredictPolicy, Predictor, PredictorStats, RayPathPredictor};
 use cooprt_bvh::NodeKind;
 use cooprt_gpu::{EnergyEvents, EventCalendar, MemoryHierarchy};
 use cooprt_math::Ray;
@@ -101,6 +101,32 @@ impl StatusCounts {
 
 /// "No outstanding fetch" sentinel in [`ThreadArray::pending`].
 const NO_PENDING: u64 = u64::MAX;
+
+/// Cycles one ray-path prediction-table probe keeps a lane's math units
+/// busy before its first node fetch can issue (the table is a small
+/// per-SM SRAM read in parallel with traversal setup).
+const PREDICT_LOOKUP_CYCLES: u64 = 1;
+
+/// Per-ray ray-path prediction state (indexed by the ray's main
+/// thread). Present while the traversal runs below the root: from the
+/// predicted entry node through any go-up-level fallback steps.
+#[derive(Clone, Copy, Debug)]
+struct PredictState {
+    /// Node the traversal currently starts from: the predicted entry,
+    /// then successive ancestors after go-up steps.
+    level: u64,
+    /// Depth of `level` below the root — the ancestor fetches a
+    /// root-start traversal would have performed first.
+    depth: u32,
+    /// True until the first go-up step: an accepted hit now is an
+    /// entry hit (the prediction was exactly right).
+    at_entry: bool,
+    /// The child of `level` whose subtree the previous restart already
+    /// drained (a restart trail): when the node at `level` is
+    /// processed, this child is not re-pushed. Exact for any-hit — the
+    /// skipped subtree was searched exhaustively with no accept.
+    skip: Option<u64>,
+}
 
 /// Per-warp thread state in struct-of-arrays layout.
 ///
@@ -244,6 +270,12 @@ struct Slot {
     /// Bit `i` set ⇔ thread `i` owns a ray (not masked off).
     active: u32,
     issued_at: u64,
+    /// Ray-path prediction state per ray (by main thread); all `None`
+    /// unless [`PredictPolicy::RayPath`] is active on an any-hit query.
+    predict: [Option<PredictState>; WARP_SIZE],
+    /// Count of `Some` entries in `predict`, so the per-cycle fallback
+    /// sweep is skipped entirely for unpredicted warps.
+    predict_live: u32,
 }
 
 impl Slot {
@@ -267,6 +299,9 @@ pub struct RtUnit {
     group_rr: usize,
     /// Intersection-prediction table, when enabled.
     predictor: Option<Predictor>,
+    /// Ray-path prediction table ([`PredictPolicy::RayPath`]), when
+    /// enabled.
+    path_predictor: Option<RayPathPredictor>,
     /// Recycled per-warp thread arrays: retiring a warp returns its
     /// [`ThreadArray`] here so the next [`RtUnit::issue`] reuses the
     /// allocation (including each thread's stack capacity) instead of
@@ -298,6 +333,7 @@ impl RtUnit {
             rr: 0,
             group_rr: 0,
             predictor: None,
+            path_predictor: None,
             thread_pool: Vec::new(),
             tracer: Tracer::disabled(),
             checker: Checker::disabled(),
@@ -307,11 +343,20 @@ impl RtUnit {
     }
 
     /// Creates an RT unit configured per `cfg` (warp-buffer size and
-    /// optional intersection predictor).
+    /// the optional intersection / ray-path prediction tables).
+    ///
+    /// `cfg.predictor_entries == 0` with a predictor enabled is
+    /// rejected by the simulation entry points with a typed
+    /// [`ConfigError::ZeroPredictorEntries`](crate::ConfigError), so
+    /// the table constructors' zero-size panic is unreachable from the
+    /// engine.
     pub fn for_config(sm_id: usize, cfg: &GpuConfig) -> Self {
         let mut unit = Self::new(sm_id, cfg.warp_buffer_size);
         if cfg.intersection_predictor {
-            unit.predictor = Some(Predictor::new(cfg.predictor_entries.max(1)));
+            unit.predictor = Some(Predictor::new(cfg.predictor_entries));
+        }
+        if cfg.predict == PredictPolicy::RayPath {
+            unit.path_predictor = Some(RayPathPredictor::new(cfg.predictor_entries));
         }
         unit
     }
@@ -339,9 +384,21 @@ impl RtUnit {
             .sum()
     }
 
-    /// Prediction-table counters, when the predictor is enabled.
+    /// Prediction-table counters, when either table is enabled (both
+    /// tables report into one [`PredictorStats`]; their counter
+    /// families are disjoint).
     pub fn predictor_stats(&self) -> Option<PredictorStats> {
-        self.predictor.as_ref().map(|p| p.stats())
+        if self.predictor.is_none() && self.path_predictor.is_none() {
+            return None;
+        }
+        let mut stats = PredictorStats::default();
+        if let Some(p) = &self.predictor {
+            stats.add(&p.stats());
+        }
+        if let Some(p) = &self.path_predictor {
+            stats.add(&p.stats());
+        }
+        Some(stats)
     }
 
     /// True if a warp-buffer entry is free.
@@ -390,20 +447,21 @@ impl RtUnit {
             threads,
             active,
             issued_at: now,
+            predict: [None; WARP_SIZE],
+            predict_live: 0,
         };
         let image = &scene.image;
         // Intersection prediction (§8.2): re-test the last primitive a
         // similar ray hit. A verified hit answers any-hit queries
-        // outright and seeds min_thit for closest-hit queries.
+        // outright and seeds min_thit for closest-hit queries. The
+        // table is bounded by the scene's triangle count, so stale
+        // entries never reach the verification test.
         if let Some(pred) = self.predictor.as_mut() {
             for i in 0..WARP_SIZE {
                 let Some(ray) = &slot.rays[i] else { continue };
-                let Some(tri) = pred.predict(ray) else {
+                let Some(tri) = pred.predict(ray, image.triangles().len()) else {
                     continue;
                 };
-                if (tri as usize) >= image.triangles().len() {
-                    continue;
-                }
                 self.events.triangle_tests += 1;
                 if let Some(h) = image.triangle(tri).intersect(ray, slot.min_thit[i]) {
                     pred.record_verified();
@@ -430,13 +488,135 @@ impl RtUnit {
                         .intersect(ray, slot.min_thit[i])
                         .is_some()
                 {
-                    slot.threads.push(i, image.root_addr());
+                    let mut start = image.root_addr();
+                    // Ray-path prediction (Demoullin et al.): an
+                    // any-hit traversal starts at the predicted entry
+                    // node; the go-up-level fallback in
+                    // `refill_predicted` restores full-tree coverage on
+                    // a subtree miss, so the occlusion outcome — the
+                    // only thing any-hit consumers read — is exact.
+                    if slot.any_hit {
+                        if let Some(pred) = self.path_predictor.as_mut() {
+                            self.events.predict_lookups += 1;
+                            slot.threads.ready_at[i] = now + PREDICT_LOOKUP_CYCLES;
+                            if let Some(entry) = pred.predict(ray, image) {
+                                if entry != image.root_addr() {
+                                    let depth =
+                                        image.depth_of(entry).expect("candidates are validated");
+                                    slot.predict[i] = Some(PredictState {
+                                        level: entry,
+                                        depth,
+                                        at_entry: true,
+                                        skip: None,
+                                    });
+                                    slot.predict_live += 1;
+                                    start = entry;
+                                    let warp = query.warp as u32;
+                                    self.tracer.emit(now, || EventKind::Predict {
+                                        sm: self.sm_id as u32,
+                                        warp,
+                                        lane: i as u32,
+                                        entry,
+                                        depth,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    slot.threads.push(i, start);
                     self.events.stack_ops += 1;
                 }
             }
         }
         self.slots[free] = Some(slot);
         true
+    }
+
+    /// Ray-path go-up-level fallback: any predicted ray whose current
+    /// subtree drained without an accepted hit restarts one parent
+    /// level higher (re-testing that subtree, which is what the
+    /// hardware would do — the refetched nodes are L1-warm), or is
+    /// concluded as a miss once the root's subtree itself drained.
+    /// Runs before warp retirement each cycle, and only sweeps slots
+    /// that actually carry prediction state.
+    fn refill_predicted(&mut self, scene: &Scene) {
+        if self.path_predictor.is_none() {
+            return;
+        }
+        for s in 0..self.slots.len() {
+            let Some(slot) = self.slots[s].as_mut() else {
+                continue;
+            };
+            if slot.predict_live == 0 {
+                continue;
+            }
+            // Which rays still have traversal work, counting helper
+            // threads that adopted the ray through the LBU.
+            let mut ray_busy = [false; WARP_SIZE];
+            let mut busy = slot.threads.busy_mask();
+            for t in 0..WARP_SIZE {
+                if busy & (1 << t) != 0 {
+                    ray_busy[slot.threads.main_tid[t] as usize] = true;
+                }
+            }
+            #[allow(clippy::needless_range_loop)] // mt indexes several parallel arrays
+            for mt in 0..WARP_SIZE {
+                let Some(ps) = slot.predict[mt] else { continue };
+                if slot.done_ray[mt] {
+                    slot.predict[mt] = None;
+                    slot.predict_live -= 1;
+                    continue;
+                }
+                if ray_busy[mt] {
+                    continue;
+                }
+                match scene.image.parent_addr(ps.level) {
+                    Some(parent) => {
+                        // The restart must land on a thread that routes
+                        // results to ray `mt`. Under CoopRT the ray's
+                        // own lane may have been adopted as a helper
+                        // for another ray, so prefer an idle thread
+                        // already serving `mt` and otherwise retarget
+                        // any idle thread (an LBU-style assignment).
+                        // With every thread busy, retry next cycle —
+                        // the slot cannot retire while threads work.
+                        let serving = (0..WARP_SIZE).find(|&t| {
+                            busy & (1 << t) == 0 && slot.threads.main_tid[t] as usize == mt
+                        });
+                        let carrier =
+                            serving.or_else(|| (0..WARP_SIZE).find(|&t| busy & (1 << t) == 0));
+                        let Some(carrier) = carrier else { continue };
+                        let pred = self.path_predictor.as_mut().expect("checked above");
+                        pred.record_go_up();
+                        if ps.at_entry {
+                            // The predicted subtree itself missed:
+                            // decay the entry's confidence so a
+                            // signature that keeps mispredicting goes
+                            // quiet instead of paying this penalty on
+                            // every ray.
+                            if let Some(ray) = slot.rays[mt].as_ref() {
+                                pred.record_mispredict(ray);
+                            }
+                        }
+                        slot.predict[mt] = Some(PredictState {
+                            level: parent,
+                            depth: ps.depth - 1,
+                            at_entry: false,
+                            skip: Some(ps.level),
+                        });
+                        slot.threads.main_tid[carrier] = mt as u8;
+                        slot.threads.push(carrier, parent);
+                        busy |= 1 << carrier;
+                        self.events.stack_ops += 1;
+                    }
+                    None => {
+                        // The root's subtree drained too: a true miss.
+                        slot.predict[mt] = None;
+                        slot.predict_live -= 1;
+                    }
+                }
+            }
+        }
     }
 
     /// Advances the unit by one cycle; any warps that retired this cycle
@@ -487,6 +667,10 @@ impl RtUnit {
                 self.run_lbu(s, cfg, now);
             }
         }
+
+        // 4b. Ray-path go-up fallback: restart drained-but-unresolved
+        // predicted rays one level up before retirement can see them.
+        self.refill_predicted(scene);
 
         // 5. Retire drained warps.
         for s in 0..self.slots.len() {
@@ -679,8 +863,25 @@ impl RtUnit {
             let ray = slot.rays[mt].expect("main thread owns a ray");
             match &node.kind {
                 NodeKind::Internal { children } => {
+                    // A go-up restart re-fetches the drained node's
+                    // parent; the restart trail marks the child whose
+                    // subtree was already searched so it is tested but
+                    // never re-descended.
+                    let skip =
+                        slot.predict[mt].and_then(
+                            |ps| {
+                                if ps.level == addr {
+                                    ps.skip
+                                } else {
+                                    None
+                                }
+                            },
+                        );
                     for child in children {
                         self.events.box_tests += 1;
+                        if Some(child.addr) == skip {
+                            continue;
+                        }
                         let limit = if cfg.node_elimination {
                             slot.min_thit[mt]
                         } else {
@@ -731,6 +932,25 @@ impl RtUnit {
                             pred.update(&ray, *triangle);
                         }
                         if slot.any_hit {
+                            // Ray-path table learns from the accepted
+                            // occluder: future similar rays enter the
+                            // BVH a couple of levels above this leaf.
+                            if let Some(pred) = self.path_predictor.as_mut() {
+                                pred.update(&ray, addr, &scene.image);
+                                self.events.predict_lookups += 1;
+                                if let Some(ps) = slot.predict[mt] {
+                                    if ps.at_entry {
+                                        pred.record_entry_hit();
+                                    }
+                                    // A root-start traversal would have
+                                    // fetched the `depth` ancestors the
+                                    // prediction let this ray skip.
+                                    pred.record_saved(u64::from(ps.depth));
+                                }
+                            }
+                            if slot.predict[mt].take().is_some() {
+                                slot.predict_live -= 1;
+                            }
                             slot.done_ray[mt] = true;
                             for t in 0..WARP_SIZE {
                                 if slot.threads.main_tid[t] as usize == mt {

@@ -28,6 +28,8 @@ pub struct EnergyEvents {
     pub scheduler_ops: u64,
     /// `trace_ray` instructions dispatched to RT units.
     pub trace_instructions: u64,
+    /// Ray-path predictor table accesses (lookups and updates).
+    pub predict_lookups: u64,
 }
 
 impl EnergyEvents {
@@ -39,6 +41,7 @@ impl EnergyEvents {
         self.lbu_moves += other.lbu_moves;
         self.scheduler_ops += other.scheduler_ops;
         self.trace_instructions += other.trace_instructions;
+        self.predict_lookups += other.predict_lookups;
     }
 }
 
@@ -61,6 +64,8 @@ pub struct PowerModel {
     pub lbu_move_pj: f64,
     /// Energy per scheduler decision, pJ.
     pub scheduler_op_pj: f64,
+    /// Energy per ray-path predictor table access, pJ.
+    pub predict_lookup_pj: f64,
     /// Static (leakage) power per SM, watts.
     pub leakage_w_per_sm: f64,
 }
@@ -86,6 +91,9 @@ impl PowerModel {
             stack_op_pj: 15.0,
             lbu_move_pj: 30.0,
             scheduler_op_pj: 20.0,
+            // A few-KiB direct-mapped SRAM read: an order of magnitude
+            // cheaper than L1, in line with Demoullin et al.'s sizing.
+            predict_lookup_pj: 10.0,
             leakage_w_per_sm: 0.08,
         }
     }
@@ -107,6 +115,7 @@ impl PowerModel {
             + events.stack_ops as f64 * self.stack_op_pj
             + events.lbu_moves as f64 * self.lbu_move_pj
             + events.scheduler_ops as f64 * self.scheduler_op_pj
+            + events.predict_lookups as f64 * self.predict_lookup_pj
             + mem.l1.accesses as f64 * self.l1_access_pj
             + mem.l2.accesses as f64 * self.l2_access_pj
             + mem.dram_bytes as f64 * self.dram_byte_pj;
@@ -271,5 +280,19 @@ mod tests {
         // move must cost far less than one L2 access.
         let pm = PowerModel::gpuwattch_like();
         assert!(pm.lbu_move_pj * 10.0 < pm.l2_access_pj);
+    }
+
+    #[test]
+    fn predict_energy_is_small_relative_to_l1() {
+        // The predictor only pays off if a table access is much cheaper
+        // than the L1 node fetches it avoids.
+        let pm = PowerModel::gpuwattch_like();
+        assert!(pm.predict_lookup_pj * 10.0 <= pm.l1_access_pj);
+        let e = EnergyEvents {
+            predict_lookups: 1_000,
+            ..Default::default()
+        };
+        let r = pm.report(&e, &mem(0, 0, 0), 1000, 1, 1000.0);
+        assert!(r.dynamic_j > 0.0);
     }
 }

@@ -9,7 +9,7 @@
 //! so the same work requested sync or async shares one cache entry.
 
 use crate::error::ServeError;
-use cooprt_core::{GpuConfig, ReorderPolicy, ShaderKind, TraversalPolicy};
+use cooprt_core::{GpuConfig, PredictPolicy, ReorderPolicy, ShaderKind, TraversalPolicy};
 use cooprt_scenes::{SceneId, ALL_SCENES};
 use cooprt_telemetry::JsonValue;
 
@@ -76,6 +76,8 @@ pub struct JobRequest {
     pub policy: TraversalPolicy,
     /// Ray-reordering policy applied ahead of warp formation.
     pub reorder: ReorderPolicy,
+    /// Ray-path prediction policy in the RT units.
+    pub predict: PredictPolicy,
     /// GPU configuration preset.
     pub config: ConfigPreset,
     /// Include the accumulated image (as `f32::to_bits` words) in the
@@ -100,6 +102,7 @@ impl Default for JobRequest {
             shader: ShaderKind::PathTrace,
             policy: TraversalPolicy::CoopRt,
             reorder: ReorderPolicy::Off,
+            predict: PredictPolicy::Off,
             config: ConfigPreset::Small(2),
             include_image: false,
             trace: false,
@@ -225,6 +228,10 @@ impl JobRequest {
             req.reorder = ReorderPolicy::parse(r)
                 .ok_or_else(|| bad(format!("unknown reorder '{r}' (off, morton, octant-hash)")))?;
         }
+        if let Some(p) = opt_str(doc, "predict")? {
+            req.predict = PredictPolicy::parse(p)
+                .ok_or_else(|| bad(format!("unknown predict '{p}' (off, ray-path)")))?;
+        }
         if let Some(c) = opt_str(doc, "config")? {
             req.config = match c {
                 "rtx2060" => ConfigPreset::Rtx2060,
@@ -264,8 +271,8 @@ impl JobRequest {
     /// `deadline_ms`).
     pub fn canonical_key(&self) -> String {
         format!(
-            "scene={} detail={} w={} h={} spp={} shader={} policy={} reorder={} config={} \
-             image={} trace={}",
+            "scene={} detail={} w={} h={} spp={} shader={} policy={} reorder={} predict={} \
+             config={} image={} trace={}",
             self.scene.name(),
             self.detail,
             self.width,
@@ -274,6 +281,7 @@ impl JobRequest {
             self.shader.label(),
             self.policy.label(),
             self.reorder.label(),
+            self.predict.label(),
             self.config.label(),
             self.include_image,
             self.trace,
@@ -301,7 +309,7 @@ mod tests {
         let req = parse(
             r#"{"scene": "bunny", "detail": 2, "width": 64, "height": 48,
                 "spp": 4, "shader": "ao", "policy": "baseline",
-                "reorder": "octant-hash",
+                "reorder": "octant-hash", "predict": "ray-path",
                 "config": "small", "sms": 4, "include_image": true,
                 "trace": true, "async": true, "deadline_ms": 5000}"#,
         )
@@ -312,6 +320,7 @@ mod tests {
         assert_eq!(req.shader, ShaderKind::AmbientOcclusion);
         assert_eq!(req.policy, TraversalPolicy::Baseline);
         assert_eq!(req.reorder, ReorderPolicy::OctantHash);
+        assert_eq!(req.predict, PredictPolicy::RayPath);
         assert_eq!(req.config, ConfigPreset::Small(4));
         assert!(req.include_image && req.trace && req.run_async);
         assert_eq!(req.deadline_ms, Some(5000));
@@ -334,6 +343,8 @@ mod tests {
             (r#"{"policy": "magic"}"#, "unknown policy"),
             (r#"{"reorder": "zorder"}"#, "unknown reorder"),
             (r#"{"reorder": 1}"#, "'reorder' must be a string"),
+            (r#"{"predict": "psychic"}"#, "unknown predict"),
+            (r#"{"predict": 1}"#, "'predict' must be a string"),
             (r#"{"config": "h100"}"#, "unknown config"),
             (r#"{"config": "small", "sms": 0}"#, "sms must be"),
             (r#"{"sms": 4}"#, "requires config"),
@@ -366,6 +377,7 @@ mod tests {
             r#"{"scene": "bunny", "spp": 2, "policy": "baseline"}"#,
             r#"{"scene": "bunny", "spp": 2, "reorder": "morton"}"#,
             r#"{"scene": "bunny", "spp": 2, "reorder": "octant-hash"}"#,
+            r#"{"scene": "bunny", "spp": 2, "predict": "ray-path"}"#,
             r#"{"scene": "bunny", "spp": 2, "config": "mobile"}"#,
             r#"{"scene": "bunny", "spp": 2, "include_image": true}"#,
             r#"{"scene": "bunny", "spp": 2, "trace": true}"#,

@@ -124,7 +124,11 @@ impl Executor {
         });
 
         let scene = spans.time("scene", || self.scenes.get_or_build(req.scene, req.detail));
-        let config = req.config.build().with_reorder(req.reorder);
+        let config = req
+            .config
+            .build()
+            .with_reorder(req.reorder)
+            .with_predict(req.predict);
         let tracer = if req.trace {
             Tracer::enabled()
         } else {
@@ -150,6 +154,7 @@ impl Executor {
         w.field_str("shader", req.shader.label());
         w.field_str("policy", req.policy.label());
         w.field_str("reorder", req.reorder.label());
+        w.field_str("predict", req.predict.label());
         w.field_str("config", &req.config.label().to_string());
         w.field_str("bvh_hash", &format!("{:016x}", scene.image.content_hash()));
         w.field_u64("bvh_nodes", scene.image.node_count() as u64);

@@ -20,7 +20,8 @@ use std::collections::BTreeMap;
 
 /// Version of the exported trace schema (recorded in the document's
 /// `metadata` object). Bump when track layout or event names change.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+/// v2 adds the `predict` instant on the RT fetch track.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 /// Process id used for the memory-hierarchy tracks.
 const MEM_PID: u64 = 0;
@@ -244,6 +245,27 @@ pub fn chrome_trace_json(log: &TraceLog, meta: &TraceMeta) -> String {
                     vec![("line", line), ("sm", u64::from(sm))],
                 )
             }
+            EventKind::Predict {
+                sm,
+                warp,
+                lane,
+                entry,
+                depth,
+            } => (
+                sm_pid(sm),
+                RT_FETCH_TID,
+                "RT fetch".to_string(),
+                "predict",
+                'i',
+                ev.cycle,
+                None,
+                vec![
+                    ("warp", u64::from(warp)),
+                    ("lane", u64::from(lane)),
+                    ("entry", entry),
+                    ("depth", u64::from(depth)),
+                ],
+            ),
             EventKind::Reorder {
                 wave,
                 rays,

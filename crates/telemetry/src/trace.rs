@@ -140,6 +140,22 @@ pub enum EventKind {
         /// Non-empty counting-sort buckets.
         buckets_occupied: u32,
     },
+    /// The ray-path predictor produced a candidate entry node: this
+    /// lane's any-hit traversal starts `depth` levels below the root
+    /// instead of at the root (go-up-level fallback restores coverage
+    /// on a subtree miss, so images are unchanged).
+    Predict {
+        /// SM index.
+        sm: u32,
+        /// Global warp id.
+        warp: u32,
+        /// Lane whose traversal was redirected.
+        lane: u32,
+        /// Predicted BVH entry node address.
+        entry: u64,
+        /// Tree depth of the entry node (root = 0).
+        depth: u32,
+    },
     /// A DRAM channel data-bus occupancy interval.
     DramBusy {
         /// Channel index.

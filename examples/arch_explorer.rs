@@ -1,7 +1,8 @@
 //! Architecture design-space exploration: sweep the RT warp-buffer
-//! size, the LBU subwarp scope and the ray-reordering policy for one
-//! scene, reporting performance and the hardware cost of each point —
-//! the §7.1/§7.5 trade-off study as a reusable tool.
+//! size, the LBU subwarp scope, the ray-reordering policy and the
+//! ray-path predictor for one scene, reporting performance and the
+//! hardware cost of each point — the §7.1/§7.5 trade-off study as a
+//! reusable tool.
 //!
 //! The front end (raygen/shading) runs **once**: the scene is recorded
 //! into an in-memory trace, and every sweep point replays the timing
@@ -18,8 +19,10 @@
 //! cargo run --release --example arch_explorer -- fox --shard 0/2
 //! ```
 
-use cooprt::core::area::{cooprt_area, overhead_fraction, warp_buffer_bits};
-use cooprt::core::{parallel, GpuConfig, ReorderPolicy, ShaderKind, Trace, TraversalPolicy};
+use cooprt::core::area::{cooprt_area, overhead_fraction, predict_table_bits, warp_buffer_bits};
+use cooprt::core::{
+    parallel, GpuConfig, PredictPolicy, ReorderPolicy, ShaderKind, Trace, TraversalPolicy,
+};
 use cooprt::scenes::ALL_SCENES;
 
 /// One sweep point: a label, the timing config, and the policy.
@@ -184,6 +187,62 @@ fn main() {
                     overhead_fraction(sw, 4) * 100.0
                 );
             }
+        }
+    }
+
+    // The ray-path predictor only steers any-hit traversals, so its
+    // axis replays an ambient-occlusion recording of the same scene
+    // (shard 0 only: four fast replays off one extra recording).
+    if shard_idx == 0 {
+        println!("\nray-path predictor axis (ambient occlusion, any-hit secondaries):");
+        let (ao_ref, ao_trace) = Trace::record(
+            &scene,
+            detail,
+            &GpuConfig::rtx2060(),
+            TraversalPolicy::Baseline,
+            ShaderKind::AmbientOcclusion,
+            res,
+            res,
+        )
+        .unwrap();
+        let predict_points: Vec<(String, GpuConfig, TraversalPolicy)> =
+            [TraversalPolicy::Baseline, TraversalPolicy::CoopRt]
+                .into_iter()
+                .map(|policy| {
+                    let tag = match policy {
+                        TraversalPolicy::Baseline => "base",
+                        TraversalPolicy::CoopRt => "coop",
+                    };
+                    (
+                        format!("ray-path+{tag}"),
+                        GpuConfig::rtx2060().with_predict(PredictPolicy::RayPath),
+                        policy,
+                    )
+                })
+                .collect();
+        let predict_results = parallel::par_map(&predict_points, parallel::threads(), |_, p| {
+            ao_trace.replay(&p.1, p.2).unwrap()
+        });
+        println!(
+            "{:<16} {:>12} {:>10} {:>14} {:>10} {:>12}",
+            "point", "cycles", "speedup", "storage(bits)", "hit-rate", "saved-fetch"
+        );
+        for (p, r) in predict_points.iter().zip(&predict_results) {
+            let speedup = ao_ref.cycles as f64 / r.cycles as f64;
+            let hit_rate = if r.predictor.path_candidates > 0 {
+                r.predictor.path_entry_hits as f64 / r.predictor.path_candidates as f64 * 100.0
+            } else {
+                0.0
+            };
+            println!(
+                "{:<16} {:>12} {:>9.2}x {:>14} {:>9.1}% {:>12}",
+                p.0,
+                r.cycles,
+                speedup,
+                predict_table_bits(p.1.predictor_entries),
+                hit_rate,
+                r.predictor.node_fetches_saved
+            );
         }
     }
 

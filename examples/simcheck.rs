@@ -7,7 +7,9 @@
 //! image-identical to live simulation under both policies), and the
 //! ray-reordering differential (every reorder policy renders the
 //! unordered image bitwise; sort keys are reproducible at any worker
-//! count).
+//! count), and the predictor differential (intersection and ray-path
+//! prediction — alone and stacked — render the speculation-free image
+//! bitwise with honest stats counters).
 //!
 //! ```sh
 //! # CI smoke: 64 consecutive seeds starting at 0.
@@ -15,7 +17,7 @@
 //!
 //! # Fuzz the JSON parser, the serve result cache, and record/replay too.
 //! cargo run --release --example simcheck -- --seeds 64 --json-seeds 256 \
-//!     --serve-seeds 8 --trace-seeds 16 --reorder-seeds 8
+//!     --serve-seeds 8 --trace-seeds 16 --reorder-seeds 8 --predict-seeds 8
 //!
 //! # Replay a failing seed reported by the fuzzer.
 //! cargo run --release --example simcheck -- --seed 12345
@@ -23,6 +25,7 @@
 //! cargo run --release --example simcheck -- --serve-seed 12345
 //! cargo run --release --example simcheck -- --trace-seed 12345
 //! cargo run --release --example simcheck -- --reorder-seed 12345
+//! cargo run --release --example simcheck -- --predict-seed 12345
 //! ```
 //!
 //! On failure the harness prints the shrunk, minimized configuration
@@ -30,7 +33,7 @@
 //! reproduces), the diverging oracle, and the exact replay command,
 //! then exits non-zero.
 
-use cooprt_check::{fuzz, jsonfuzz, reordercheck, servecache, tracecheck, FuzzCase};
+use cooprt_check::{fuzz, jsonfuzz, predictcheck, reordercheck, servecache, tracecheck, FuzzCase};
 
 struct Args {
     /// Replay exactly this seed (overrides the budget).
@@ -55,6 +58,10 @@ struct Args {
     reorder_seed: Option<u64>,
     /// Ray-reordering differential budget (0 = skip).
     reorder_seeds: u64,
+    /// Replay exactly this predictor seed.
+    predict_seed: Option<u64>,
+    /// Predictor differential budget (0 = skip).
+    predict_seeds: u64,
 }
 
 fn parse_args() -> Args {
@@ -70,6 +77,8 @@ fn parse_args() -> Args {
         trace_seeds: 0,
         reorder_seed: None,
         reorder_seeds: 0,
+        predict_seed: None,
+        predict_seeds: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -101,6 +110,8 @@ fn parse_args() -> Args {
             "--trace-seeds" => args.trace_seeds = parse_u64(value(&mut i)),
             "--reorder-seed" => args.reorder_seed = Some(parse_u64(value(&mut i))),
             "--reorder-seeds" => args.reorder_seeds = parse_u64(value(&mut i)),
+            "--predict-seed" => args.predict_seed = Some(parse_u64(value(&mut i))),
+            "--predict-seeds" => args.predict_seeds = parse_u64(value(&mut i)),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: simcheck [--seed N | --seeds COUNT [--start FIRST]]\n\
@@ -108,6 +119,7 @@ fn parse_args() -> Args {
                      \x20               [--serve-seed N | --serve-seeds COUNT]\n\
                      \x20               [--trace-seed N | --trace-seeds COUNT]\n\
                      \x20               [--reorder-seed N | --reorder-seeds COUNT]\n\
+                     \x20               [--predict-seed N | --predict-seeds COUNT]\n\
                      \n\
                      --seed N          replay one seed through every simulator oracle\n\
                      --seeds COUNT     run COUNT consecutive seeds (default 64)\n\
@@ -119,7 +131,9 @@ fn parse_args() -> Args {
                      --trace-seed N    replay one trace record/replay seed\n\
                      --trace-seeds N   fuzz trace record/replay with N seeds (default 0)\n\
                      --reorder-seed N  replay one ray-reordering seed\n\
-                     --reorder-seeds N fuzz ray reordering with N seeds (default 0)"
+                     --reorder-seeds N fuzz ray reordering with N seeds (default 0)\n\
+                     --predict-seed N  replay one predictor seed\n\
+                     --predict-seeds N fuzz the predictors with N seeds (default 0)"
                 );
                 std::process::exit(0);
             }
@@ -161,6 +175,19 @@ fn main() {
         );
         match tracecheck::run_trace_seed(seed) {
             Ok(()) => println!("trace seed {seed}: record/replay bitwise identical to live"),
+            Err(failure) => fail(failure),
+        }
+        return;
+    }
+    if let Some(seed) = args.predict_seed {
+        println!(
+            "replaying predictor differential on {}",
+            FuzzCase::from_seed(seed)
+        );
+        match predictcheck::run_predict_seed(seed) {
+            Ok(()) => {
+                println!("predict seed {seed}: speculative images bitwise identical, stats honest")
+            }
             Err(failure) => fail(failure),
         }
         return;
@@ -232,6 +259,16 @@ fn main() {
         );
         match reordercheck::run_reorder_budget(args.start, args.reorder_seeds) {
             Ok(count) => println!("{count}/{count} reorder seeds passed"),
+            Err(failure) => fail(failure),
+        }
+    }
+    if args.predict_seeds > 0 {
+        println!(
+            "fuzzing predictor image identity: {} seeds",
+            args.predict_seeds
+        );
+        match predictcheck::run_predict_budget(args.start, args.predict_seeds) {
+            Ok(count) => println!("{count}/{count} predict seeds passed"),
             Err(failure) => fail(failure),
         }
     }

@@ -4,7 +4,8 @@
 
 use cooprt::core::area::{cooprt_area, overhead_fraction, warp_buffer_bits};
 use cooprt::core::{
-    FrameResult, GpuConfig, ReorderPolicy, ShaderKind, Simulation, Trace, TraversalPolicy,
+    FrameResult, GpuConfig, PredictPolicy, ReorderPolicy, ShaderKind, Simulation, Trace,
+    TraversalPolicy,
 };
 use cooprt::scenes::{Scene, SceneId, ALL_SCENES};
 use cooprt::serve::{ServeConfig, Server};
@@ -33,6 +34,7 @@ OPTIONS (render / compare):
     --shader <S>       pt | ao | sh                 [default: pt]
     --policy <P>       baseline | cooprt            [default: cooprt]
     --reorder <R>      off | morton | octant-hash   [default: off]
+    --predict <P>      off | ray-path               [default: off]
     --mobile           use the 8-SM mobile GPU configuration
     --out <FILE>       PPM output path (render only)
 
@@ -72,6 +74,7 @@ struct Options {
     shader: ShaderKind,
     policy: TraversalPolicy,
     reorder: ReorderPolicy,
+    predict: PredictPolicy,
     mobile: bool,
     out: Option<String>,
 }
@@ -84,6 +87,7 @@ impl Options {
             shader: ShaderKind::PathTrace,
             policy: TraversalPolicy::CoopRt,
             reorder: ReorderPolicy::Off,
+            predict: PredictPolicy::Off,
             mobile: false,
             out: None,
         };
@@ -125,6 +129,11 @@ impl Options {
                     opts.reorder = ReorderPolicy::parse(&v)
                         .ok_or_else(|| format!("unknown reorder '{v}' (off|morton|octant-hash)"))?;
                 }
+                "--predict" => {
+                    let v = value("--predict")?;
+                    opts.predict = PredictPolicy::parse(&v)
+                        .ok_or_else(|| format!("unknown predict '{v}' (off|ray-path)"))?;
+                }
                 "--mobile" => opts.mobile = true,
                 "--out" => opts.out = Some(value("--out")?),
                 other => return Err(format!("unknown option '{other}'")),
@@ -142,7 +151,7 @@ impl Options {
         } else {
             GpuConfig::rtx2060()
         };
-        base.with_reorder(self.reorder)
+        base.with_reorder(self.reorder).with_predict(self.predict)
     }
 }
 
@@ -180,6 +189,20 @@ fn report(label: &str, scene: &Scene, cfg: &GpuConfig, frame: &FrameResult) {
             frame.reorder.keys_computed,
             frame.reorder.rays_moved,
             frame.simt_efficiency() * 100.0
+        );
+    }
+    if frame.predictor.path_lookups > 0 {
+        let p = &frame.predictor;
+        println!(
+            "predict: {} lookups | {:.1}% entry-hit | {} go-up steps | {} node fetches saved",
+            p.path_lookups,
+            if p.path_candidates > 0 {
+                p.path_entry_hits as f64 / p.path_candidates as f64 * 100.0
+            } else {
+                0.0
+            },
+            p.path_go_up_steps,
+            p.node_fetches_saved
         );
     }
     println!(
