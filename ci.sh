@@ -19,10 +19,18 @@ cargo test --offline --quiet --workspace
 echo "==> simcheck --seeds 64 (differential fuzzing smoke)"
 cargo run --offline --release --example simcheck -- \
     --seeds 64 --json-seeds 256 --serve-seeds 8 --trace-seeds 8 --reorder-seeds 8 \
-    --predict-seeds 8
+    --predict-seeds 8 --query-seeds 8
 
 echo "==> simperf --smoke"
 cargo bench --offline -p cooprt-bench --bench simperf -- --smoke
+
+echo "==> query smoke (spatial queries on the RT unit, oracle-exact)"
+# Every run checks the simulated answers against the brute-force
+# oracle; --compare additionally asserts baseline and CoopRT agree.
+cargo run --offline --release --bin cooprt -- query qclu \
+    --shader rad --detail 8 --count 256 --compare
+cargo run --offline --release --bin cooprt -- query qamr \
+    --detail 8 --count 256
 
 echo "==> serve smoke (HTTP service end to end, observability asserts)"
 # Besides the render/cache identity checks, serve --smoke validates the

@@ -13,7 +13,7 @@ use cooprt_core::{GpuConfig, ShaderKind, TraversalPolicy};
 fn study(kind: ShaderKind) {
     println!(
         "\n--- {} shader (normalized to plain baseline) ---",
-        kind.label()
+        kind.key()
     );
     print_header("scene", &["predict", "coop", "both", "verify%"]);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];

@@ -41,10 +41,24 @@
 //! reports cycles, predicted-hit rate, go-up steps and node fetches
 //! saved per cell under `predict` in the JSON.
 //!
+//! A spatial-query section runs the four query scenes (uniform /
+//! clustered / surface point clouds, AMR cell grid) through the
+//! `cooprt-query` front end: kNN, fixed-radius search and point-in-cell
+//! containment as gather-mode probe batches, under
+//! {baseline, CoopRT} x {reorder off, morton}. Every cell's answers are
+//! asserted **exact** against the brute-force oracle before its timing
+//! is reported, and the section records whether LBU work-stealing helps
+//! or hurts under query-style divergence — both outcomes are honest
+//! results (reordering query points into coherent warps can *remove*
+//! the imbalance CoopRT feeds on). The matrix parameters are
+//! hard-coded (detail 16, 2048 queries, salt 1) so the `query` rows in
+//! the JSON stay comparable to the golden pins in
+//! `tests/golden_cycles.rs` regardless of `COOPRT_RES`/`COOPRT_DETAIL`.
+//!
 //! `--smoke` runs a two-scene, low-resolution edition — same passes,
 //! same determinism asserts (including one reordered and one predicted
-//! replay per smoke scene), no JSON — so CI can exercise this harness
-//! in seconds (see `ci.sh`).
+//! replay per smoke scene, plus a reduced query matrix), no JSON — so
+//! CI can exercise this harness in seconds (see `ci.sh`).
 //!
 //! The JSON document goes through the shared
 //! [`cooprt_telemetry::JsonWriter`] (byte-compatible with the layout
@@ -391,6 +405,117 @@ fn predict_section(
         .collect()
 }
 
+/// One cell of the spatial-query evaluation matrix.
+struct QueryRow {
+    scene: &'static str,
+    kind: &'static str,
+    policy: &'static str,
+    reorder: &'static str,
+    cycles: u64,
+    rays: u64,
+    /// Total answer entries over the batch (neighbours found / cells
+    /// named) — a sanity column proving the workload is non-trivial.
+    hits: u64,
+    /// Baseline cycles over this cell's cycles at the same reorder
+    /// mode: the CoopRT speedup column, < 1 when stealing hurts.
+    speedup_vs_baseline: f64,
+    /// Unordered cycles over this cell's cycles under the same policy.
+    speedup_vs_off: f64,
+    wall_secs: f64,
+}
+
+/// Scene detail, batch size and sample salt of the query matrix —
+/// hard-coded so the rows match the golden pins in
+/// `tests/golden_cycles.rs` in every environment.
+const QUERY_DETAIL: u32 = 16;
+const QUERY_COUNT: usize = 2048;
+const QUERY_SALT: u64 = 1;
+
+/// The query shader each suite scene exists to exercise.
+fn query_kind(id: SceneId) -> ShaderKind {
+    match id {
+        SceneId::Qclu => ShaderKind::Radius,
+        SceneId::Qamr => ShaderKind::Contain,
+        _ => ShaderKind::Knn,
+    }
+}
+
+/// Runs the query matrix: every query scene under both policies and
+/// {off, morton} reordering, each cell's answers asserted bitwise equal
+/// to the brute-force oracle before its timing is kept.
+fn query_section(smoke: bool, workers: usize) -> Vec<QueryRow> {
+    let (detail, count) = if smoke {
+        (8, 256)
+    } else {
+        (QUERY_DETAIL, QUERY_COUNT)
+    };
+    let cfg = GpuConfig::rtx2060();
+    let ids = cooprt_scenes::QUERY_SCENES;
+    let scenes: Vec<Scene> = parallel::par_map(&ids, workers, |_, &id| id.build(detail));
+
+    let combos: Vec<(usize, TraversalPolicy, ReorderPolicy)> = (0..scenes.len())
+        .flat_map(|i| {
+            [TraversalPolicy::Baseline, TraversalPolicy::CoopRt]
+                .into_iter()
+                .flat_map(move |p| {
+                    [ReorderPolicy::Off, ReorderPolicy::Morton]
+                        .into_iter()
+                        .map(move |r| (i, p, r))
+                })
+        })
+        .collect();
+
+    // Sequential, timed per cell (cells are sub-second; the pooled
+    // determinism contract is already exercised by the main matrix).
+    let mut rows = Vec::with_capacity(combos.len());
+    let mut cells = Vec::with_capacity(combos.len());
+    for &(i, policy, reorder) in &combos {
+        let kind = query_kind(ids[i]);
+        let run_cfg = cfg.clone().with_reorder(reorder);
+        let t = Instant::now();
+        let run = cooprt_query::run_queries(&scenes[i], &run_cfg, policy, kind, count, QUERY_SALT)
+            .unwrap_or_else(|e| panic!("query {} {policy:?}/{reorder:?}: {e}", ids[i]));
+        let wall_secs = t.elapsed().as_secs_f64();
+
+        // The exactness contract, enforced on every benchmark run: the
+        // timing model may only be *timed*, never approximate.
+        let want = cooprt_query::oracle_answers(&scenes[i], kind, count, QUERY_SALT);
+        assert_eq!(
+            run.answers, want,
+            "{} {kind:?} {policy:?}/{reorder:?}: engine answers must \
+             match the brute-force oracle bitwise",
+            ids[i]
+        );
+        cells.push((run, wall_secs));
+    }
+
+    let cycles_of = |want_i: usize, want_p: TraversalPolicy, want_r: ReorderPolicy| -> u64 {
+        combos
+            .iter()
+            .zip(&cells)
+            .find(|(&(i, p, r), _)| i == want_i && p == want_p && r == want_r)
+            .map(|(_, (run, _))| run.cycles)
+            .expect("every (scene, policy, reorder) cell ran")
+    };
+    for (&(i, policy, reorder), (run, wall_secs)) in combos.iter().zip(&cells) {
+        rows.push(QueryRow {
+            scene: ids[i].name(),
+            kind: query_kind(ids[i]).key(),
+            policy: policy.label(),
+            reorder: reorder.label(),
+            cycles: run.cycles,
+            rays: run.rays,
+            hits: run.answers.iter().map(|a| a.len() as u64).sum(),
+            speedup_vs_baseline: cycles_of(i, TraversalPolicy::Baseline, reorder) as f64
+                / run.cycles.max(1) as f64,
+            speedup_vs_off: cycles_of(i, policy, ReorderPolicy::Off) as f64
+                / run.cycles.max(1) as f64,
+            wall_secs: *wall_secs,
+        });
+    }
+    rows
+}
+
 struct LadderStep {
     threads: usize,
     secs: f64,
@@ -619,6 +744,45 @@ fn main() {
         );
     }
 
+    // Query axis: the four spatial-query scenes through the gather
+    // front end, every cell's answers asserted exact against the
+    // brute-force oracle before its timing is reported.
+    let query_rows = query_section(smoke, workers);
+    println!();
+    println!(
+        "spatial queries ({} scenes x 2 policies x 2 reorder modes, every cell's \
+         answers asserted exact against the brute-force oracle):",
+        cooprt_scenes::QUERY_SCENES.len()
+    );
+    println!(
+        "{:<8} {:>5} {:>9} {:>8} {:>12} {:>8} {:>9} {:>8} {:>8} {:>10}",
+        "scene",
+        "kind",
+        "policy",
+        "reorder",
+        "cycles",
+        "rays",
+        "hits",
+        "vs base",
+        "vs off",
+        "rays/s"
+    );
+    for r in &query_rows {
+        println!(
+            "{:<8} {:>5} {:>9} {:>8} {:>12} {:>8} {:>9} {:>7.3}x {:>7.3}x {:>10.0}",
+            r.scene,
+            r.kind,
+            r.policy,
+            r.reorder,
+            r.cycles,
+            r.rays,
+            r.hits,
+            r.speedup_vs_baseline,
+            r.speedup_vs_off,
+            r.rays as f64 / r.wall_secs.max(1e-12),
+        );
+    }
+
     if smoke {
         println!();
         println!("simperf --smoke OK");
@@ -689,6 +853,23 @@ fn main() {
         w.field_u64("path_lookups", r.path_lookups);
         w.field_u64("go_up_steps", r.go_up_steps);
         w.field_u64("node_fetches_saved", r.node_fetches_saved);
+        w.end_object();
+    }
+    w.end_array();
+    w.begin_array("query");
+    for r in &query_rows {
+        w.begin_inline_object();
+        w.field_str("scene", r.scene);
+        w.field_str("kind", r.kind);
+        w.field_str("policy", r.policy);
+        w.field_str("reorder", r.reorder);
+        w.field_u64("cycles", r.cycles);
+        w.field_u64("rays", r.rays);
+        w.field_u64("hits", r.hits);
+        w.field_f64("speedup_vs_baseline", r.speedup_vs_baseline, 4);
+        w.field_f64("speedup_vs_off", r.speedup_vs_off, 4);
+        w.field_f64("wall_secs", r.wall_secs, 6);
+        w.field_f64("rays_per_sec", r.rays as f64 / r.wall_secs.max(1e-12), 1);
         w.end_object();
     }
     w.end_array();

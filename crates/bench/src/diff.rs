@@ -125,6 +125,36 @@ pub fn default_specs() -> Vec<MetricSpec> {
             0.0,
             HigherBetter,
         ),
+        // Spatial-query matrix: gather-mode cycle counts and probe
+        // batches are bit-deterministic like the render matrix, and
+        // every simperf run re-proves the answers exact against the
+        // brute-force oracle before these rows are written.
+        MetricSpec::new(
+            "simperf.query[scene=quni,policy=cooprt,reorder=off].cycles",
+            0.0,
+            Exact,
+        ),
+        MetricSpec::new(
+            "simperf.query[scene=qclu,policy=baseline,reorder=off].cycles",
+            0.0,
+            Exact,
+        ),
+        MetricSpec::new(
+            "simperf.query[scene=qamr,policy=cooprt,reorder=morton].cycles",
+            0.0,
+            Exact,
+        ),
+        MetricSpec::new(
+            "simperf.query[scene=qsrf,policy=cooprt,reorder=off].rays",
+            0.0,
+            Exact,
+        ),
+        // Query throughput: wall clock, order-of-magnitude guard only.
+        MetricSpec::new(
+            "simperf.query[scene=quni,policy=cooprt,reorder=off].rays_per_sec",
+            80.0,
+            HigherBetter,
+        ),
         // Wall-clock throughput: machine-dependent, order-of-magnitude
         // guard only.
         MetricSpec::new(

@@ -26,6 +26,12 @@
 //! baseline count exactly (recording is observational), and replaying
 //! the one trace must reproduce *both* policies' golden counts and the
 //! recorded image bitwise (replay drives the identical timing model).
+//!
+//! The spatial-query matrix gets the same treatment: every query scene
+//! × policy cell (gather-mode kNN / radius / containment batches, the
+//! simperf `query` section's hard-coded parameters) is pinned to its
+//! exact cycle count, and every pinned run must also answer bitwise
+//! identically to the brute-force oracle.
 
 use cooprt_core::{
     Checker, GpuConfig, PredictPolicy, ReorderPolicy, ShaderKind, Simulation, Trace,
@@ -253,6 +259,83 @@ fn check_predict(id: SceneId, base_golden: u64, coop_golden: u64) {
         checker.assert_clean();
     }
 }
+
+/// Batch size and sample salt of the query rows — the same values the
+/// simperf `query` section hard-codes, so these pins and the
+/// `BENCH_simperf.json` rows are the same measurement.
+const QUERY_COUNT: usize = 2048;
+const QUERY_SALT: u64 = 1;
+
+/// `(scene, kind, baseline cycles, cooprt cycles)` for the spatial-
+/// query matrix (detail 16, 2048 queries, salt 1, RTX 2060, reorder
+/// off). Gather-mode probe batches stress the LBU very differently
+/// from rendering — deep multi-leaf enumeration with no early-out —
+/// and these pins freeze that behaviour alongside the render rows.
+const GOLDEN_QUERY: &[(SceneId, ShaderKind, u64, u64)] = &[
+    (SceneId::Quni, ShaderKind::Knn, 13765, 7618),
+    (SceneId::Qclu, ShaderKind::Radius, 28495, 7482),
+    (SceneId::Qsrf, ShaderKind::Knn, 9925, 5587),
+    (SceneId::Qamr, ShaderKind::Contain, 12838, 7574),
+];
+
+fn check_query(id: SceneId, kind: ShaderKind, base_golden: u64, coop_golden: u64) {
+    let scene = id.build(DETAIL);
+    let cfg = GpuConfig::rtx2060();
+    // The answers every run must reproduce bitwise: brute force over
+    // the raw domain, no BVH, no simulator.
+    let want = cooprt_query::oracle_answers(&scene, kind, QUERY_COUNT, QUERY_SALT);
+    assert!(
+        want.iter().any(|a| !a.is_empty()),
+        "{id}: the golden query batch must find something"
+    );
+    for (policy, golden) in [
+        (TraversalPolicy::Baseline, base_golden),
+        (TraversalPolicy::CoopRt, coop_golden),
+    ] {
+        let tracer = Tracer::with_capacity(TRACE_CAPACITY);
+        let checker = Checker::enabled();
+        let r = Simulation::new(&scene, &cfg, policy)
+            .with_sample_salt(QUERY_SALT)
+            .with_tracer(tracer.clone())
+            .with_checker(checker.clone())
+            .run_frame(kind, QUERY_COUNT, 1)
+            .unwrap();
+        assert_eq!(
+            r.cycles, golden,
+            "{id} {policy:?} {kind:?}: query cycle count drifted from \
+             the golden value (the tracer was enabled; gather traversal \
+             and its telemetry must be deterministic)",
+        );
+        assert_eq!(
+            r.query_results, want,
+            "{id} {policy:?} {kind:?}: query answers diverged from the \
+             brute-force oracle"
+        );
+        assert!(
+            !tracer.take().events.is_empty(),
+            "{id} {policy:?}: the enabled tracer recorded no events"
+        );
+        checker.assert_clean();
+    }
+}
+
+macro_rules! golden_query_scene {
+    ($test:ident, $id:ident) => {
+        #[test]
+        fn $test() {
+            let &(id, kind, base, coop) = GOLDEN_QUERY
+                .iter()
+                .find(|(s, _, _, _)| *s == SceneId::$id)
+                .expect("scene present in the golden query table");
+            check_query(id, kind, base, coop);
+        }
+    };
+}
+
+golden_query_scene!(golden_query_quni, Quni);
+golden_query_scene!(golden_query_qclu, Qclu);
+golden_query_scene!(golden_query_qsrf, Qsrf);
+golden_query_scene!(golden_query_qamr, Qamr);
 
 macro_rules! golden_predict_scene {
     ($test:ident, $id:ident) => {

@@ -34,7 +34,11 @@
 //! - [`predictcheck`] fuzzes the speculative predictors: intersection
 //!   and ray-path prediction (alone and stacked) must render the
 //!   speculation-free image bitwise under both traversal policies, and
-//!   their stats counters must obey their containment order.
+//!   their stats counters must obey their containment order;
+//! - [`querycheck`] fuzzes the spatial-query subsystem: kNN, radius
+//!   search and point-in-cell containment answered through the timing
+//!   model must equal a brute-force scan of the raw domain exactly,
+//!   under both traversal policies.
 //!
 //! Everything is deterministic and dependency-free (the in-tree PRNG
 //! only), so a CI budget of seeds means the same thing on every
@@ -53,6 +57,7 @@ pub mod fuzz;
 pub mod jsonfuzz;
 pub mod oracle;
 pub mod predictcheck;
+pub mod querycheck;
 pub mod reordercheck;
 pub mod servecache;
 pub mod shrink;
@@ -61,6 +66,7 @@ pub mod tracecheck;
 pub use fuzz::{run_budget, run_case, run_seed, Failure, FuzzCase};
 pub use jsonfuzz::{run_json_budget, run_json_seed};
 pub use predictcheck::{run_predict_budget, run_predict_case, run_predict_seed, PredictFailure};
+pub use querycheck::{run_query_budget, run_query_case, run_query_seed, QueryFailure};
 pub use reordercheck::{run_reorder_budget, run_reorder_case, run_reorder_seed, ReorderFailure};
 pub use servecache::{run_serve_budget, run_serve_seed};
 pub use tracecheck::{run_trace_budget, run_trace_case, run_trace_seed, TraceFailure};

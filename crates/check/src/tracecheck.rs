@@ -213,6 +213,9 @@ mod tests {
                 ShaderKind::PathTrace => 0,
                 ShaderKind::AmbientOcclusion => 1,
                 ShaderKind::Shadow => 2,
+                ShaderKind::Knn | ShaderKind::Radius | ShaderKind::Contain => {
+                    unreachable!("render-trace fuzzing never samples query kinds")
+                }
             };
             if !seen[slot] {
                 seen[slot] = true;

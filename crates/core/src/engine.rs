@@ -39,6 +39,15 @@ pub enum ConfigError {
     /// (`intersection_predictor` or `predict != Off` with
     /// `predictor_entries == 0`).
     ZeroPredictorEntries,
+    /// A spatial-query shader was requested on a scene without a
+    /// matching query domain: `knn`/`rad` need
+    /// [`Scene::query`](cooprt_scenes::Scene::query) populated, and
+    /// `cont` additionally needs a *cell* domain
+    /// ([`QueryDomain::is_cells`](cooprt_scenes::QueryDomain::is_cells)).
+    QueryDomainMismatch {
+        /// Short key of the offending query shader kind.
+        shader: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -53,6 +62,12 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroPredictorEntries => {
                 write!(f, "the predictor needs at least one table entry")
+            }
+            ConfigError::QueryDomainMismatch { shader } => {
+                write!(
+                    f,
+                    "query shader '{shader}' needs a scene with a matching query domain"
+                )
             }
         }
     }
@@ -258,6 +273,11 @@ pub struct FrameResult {
     /// Ray-reordering pass counters (all zero under
     /// [`ReorderPolicy::Off`]).
     pub reorder: ReorderStats,
+    /// Spatial-query answers, one `Vec` per pixel (= per query point):
+    /// point indices for `knn`/`rad` (kNN in nearest-first order, radius
+    /// ascending), the containing cell index for `cont`. Empty for
+    /// render shaders and for replay runs.
+    pub query_results: Vec<Vec<u32>>,
 }
 
 impl FrameResult {
@@ -428,6 +448,7 @@ impl<'s> Simulation<'s> {
         }
         validate_frame(width, height)?;
         validate_config(&self.config)?;
+        validate_query(kind, self.scene)?;
         let salts: Vec<u64> = (0..spp as u64).collect();
         let frames = crate::parallel::par_map(&salts, threads, |_, &s| {
             // Dimensions were validated above; a failure here would be an
@@ -476,6 +497,7 @@ impl<'s> Simulation<'s> {
     ) -> Result<FrameResult, ConfigError> {
         validate_frame(width, height)?;
         validate_config(&self.config)?;
+        validate_query(kind, self.scene)?;
         Ok(Engine::new(self, kind, width, height).run())
     }
 
@@ -547,6 +569,26 @@ fn validate_config(cfg: &GpuConfig) -> Result<(), ConfigError> {
         return Err(ConfigError::ZeroPredictorEntries);
     }
     Ok(())
+}
+
+/// Rejects a query shader on a scene that cannot answer it. Replay is
+/// deliberately exempt ([`Simulation::replay_frame`] never consults the
+/// domain): recorded query traces replay on the domain-less
+/// [`Scene::for_replay`](cooprt_scenes::Scene::for_replay) stand-in,
+/// with [`FrameResult::query_results`] empty.
+fn validate_query(kind: ShaderKind, scene: &Scene) -> Result<(), ConfigError> {
+    if !kind.is_query() {
+        return Ok(());
+    }
+    let ok = match &scene.query {
+        None => false,
+        Some(d) => kind != ShaderKind::Contain || d.is_cells(),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(ConfigError::QueryDomainMismatch { shader: kind.key() })
+    }
 }
 
 /// The engine's workload source: live shader threads, or recorded
@@ -630,9 +672,10 @@ impl FrontEnd {
         cfg: &GpuConfig,
         scene: &Scene,
         hit: Option<crate::rtunit::RayHit>,
+        gathered: &[u32],
     ) {
         match self {
-            FrontEnd::Live(threads) => threads[t].resume(kind, cfg, scene, hit),
+            FrontEnd::Live(threads) => threads[t].resume(kind, cfg, scene, hit, gathered),
             FrontEnd::Replay {
                 streams, cursors, ..
             } => {
@@ -648,6 +691,17 @@ impl FrontEnd {
         match self {
             FrontEnd::Live(threads) => threads.iter().map(|t| t.color).collect(),
             FrontEnd::Replay { image, .. } => image.clone(),
+        }
+    }
+
+    /// Per-pixel spatial-query answers; empty unless a query shader ran
+    /// live (replay carries no shading state to answer from).
+    fn query_answers(&self, kind: ShaderKind) -> Vec<Vec<u32>> {
+        match self {
+            FrontEnd::Live(threads) if kind.is_query() => {
+                threads.iter().map(|t| t.query_hits.clone()).collect()
+            }
+            _ => Vec::new(),
         }
     }
 }
@@ -740,6 +794,11 @@ impl<'s> Engine<'s> {
         let pixels = width * height;
         let threads: Vec<ShaderThread> = (0..pixels)
             .map(|p| {
+                if kind.is_query() {
+                    // Query workloads: thread p probes query point p
+                    // (the frame raster is just a thread grid).
+                    return ShaderThread::begin_query(sim.scene, kind, p, sim.sample_salt);
+                }
                 let x = p % width;
                 let y = p / width;
                 let u = (x as f32 + 0.5) / width as f32;
@@ -1188,7 +1247,8 @@ impl<'s> Engine<'s> {
             warp: w,
             rays,
             t_max,
-            any_hit: self.kind.any_hit_at(warp.iteration),
+            any_hit: self.kind.wants_anyhit(warp.iteration),
+            gather: self.kind.is_gather(),
         }
     }
 
@@ -1202,7 +1262,14 @@ impl<'s> Engine<'s> {
         for i in 0..self.warps[w].members.len() {
             let hit = res.hits[i];
             let t = self.warps[w].members[i] as usize;
-            self.front.resume(t, self.kind, &self.cfg, self.scene, hit);
+            // This lane's slice of the (lane-sorted) gather collection;
+            // empty — with no allocation — for non-gather queries.
+            let lane = i as u8;
+            let start = res.gathered.partition_point(|&(l, _)| l < lane);
+            let end = start + res.gathered[start..].partition_point(|&(l, _)| l == lane);
+            let gathered: Vec<u32> = res.gathered[start..end].iter().map(|&(_, g)| g).collect();
+            self.front
+                .resume(t, self.kind, &self.cfg, self.scene, hit, &gathered);
         }
         let warp = &mut self.warps[w];
         warp.iteration += 1;
@@ -1302,6 +1369,7 @@ impl<'s> Engine<'s> {
 
     fn finish(mut self, now: u64) -> FrameResult {
         let image: Vec<Rgb> = self.front.colors();
+        let query_results = self.front.query_answers(self.kind);
         let slowest = self.slowest_warp;
         let mut events = EnergyEvents::default();
         let mut predictor = PredictorStats::default();
@@ -1343,6 +1411,7 @@ impl<'s> Engine<'s> {
             trace_latencies: self.trace_latencies,
             timeline: self.timeline,
             reorder: self.reorder_stats,
+            query_results,
         }
     }
 }
@@ -1455,6 +1524,71 @@ mod tests {
             let lum: f32 = r.image.iter().map(|c| c.luminance()).sum();
             assert!(lum > 0.0, "{kind:?} image should not be black");
         }
+    }
+
+    #[test]
+    fn query_shaders_run_and_match_across_policies() {
+        for (id, kind) in [
+            (SceneId::Quni, ShaderKind::Knn),
+            (SceneId::Qclu, ShaderKind::Radius),
+            (SceneId::Qamr, ShaderKind::Contain),
+        ] {
+            let scene = id.build(2);
+            let cfg = GpuConfig::small(2);
+            let base = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline)
+                .run_frame(kind, 8, 8)
+                .unwrap();
+            let coop = Simulation::new(&scene, &cfg, TraversalPolicy::CoopRt)
+                .run_frame(kind, 8, 8)
+                .unwrap();
+            assert!(base.cycles > 0 && coop.cycles > 0);
+            assert_eq!(base.query_results.len(), 64, "one answer per query point");
+            assert_eq!(
+                base.query_results, coop.query_results,
+                "{id}/{kind:?}: answers must be policy-invariant"
+            );
+            assert_eq!(
+                base.image, coop.image,
+                "{id}/{kind:?}: answer-derived images must match"
+            );
+            assert!(
+                base.query_results.iter().any(|r| !r.is_empty()),
+                "{id}/{kind:?}: some query should find something"
+            );
+        }
+    }
+
+    #[test]
+    fn query_shaders_are_rejected_without_a_domain() {
+        let scene = SceneId::Wknd.build(2);
+        let cfg = GpuConfig::small(2);
+        let sim = Simulation::new(&scene, &cfg, TraversalPolicy::Baseline);
+        for kind in [ShaderKind::Knn, ShaderKind::Radius, ShaderKind::Contain] {
+            assert_eq!(
+                sim.run_frame(kind, 4, 4).unwrap_err(),
+                ConfigError::QueryDomainMismatch { shader: kind.key() }
+            );
+        }
+        // Containment on a point domain (no cells) is also a mismatch…
+        let points = SceneId::Quni.build(2);
+        let sim = Simulation::new(&points, &cfg, TraversalPolicy::Baseline);
+        assert_eq!(
+            sim.run_frame(ShaderKind::Contain, 4, 4).unwrap_err(),
+            ConfigError::QueryDomainMismatch { shader: "cont" }
+        );
+        // …while render shaders ignore the domain entirely.
+        assert!(sim.run_frame(ShaderKind::PathTrace, 4, 4).is_ok());
+    }
+
+    #[test]
+    fn render_frames_carry_no_query_results() {
+        let r = run(
+            SceneId::Wknd,
+            TraversalPolicy::Baseline,
+            ShaderKind::PathTrace,
+            4,
+        );
+        assert!(r.query_results.is_empty());
     }
 
     #[test]

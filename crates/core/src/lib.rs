@@ -80,7 +80,7 @@ pub use predictor::{
 };
 pub use reorder::{ReorderPolicy, ReorderStats, DEFAULT_REORDER_BUCKETS};
 pub use rtunit::{RayHit, RtUnit, StatusCounts, TraceQuery, TraceResult};
-pub use shader::{ShaderKind, ShaderThread};
+pub use shader::{ShaderKind, ShaderThread, PROBE_T_MAX};
 pub use trace::{
     IssueRecord, RayRecord, Recorder, Trace, TraceError, TraceReader, TraceWriter, TRACE_MAGIC,
     TRACE_VERSION,

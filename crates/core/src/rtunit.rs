@@ -54,6 +54,14 @@ pub struct TraceQuery {
     pub t_max: [f32; WARP_SIZE],
     /// Any-hit semantics: terminate a ray on its first accepted hit.
     pub any_hit: bool,
+    /// Gather semantics (spatial queries): instead of intersecting the
+    /// ray against the tree, every node whose AABB *contains the ray
+    /// origin* is descended and every such leaf triangle is collected
+    /// into [`TraceResult::gathered`] — a full enumeration with no
+    /// early-out, so `min_thit`/`best` are never touched. The rays are
+    /// epsilon probes ([`Ray::probe`]); timing-wise each node visit
+    /// still costs one fetch and one box/triangle test per thread.
+    pub gather: bool,
 }
 
 impl TraceQuery {
@@ -64,6 +72,7 @@ impl TraceQuery {
             rays,
             t_max: [f32::INFINITY; WARP_SIZE],
             any_hit: false,
+            gather: false,
         }
     }
 }
@@ -75,6 +84,11 @@ pub struct TraceResult {
     pub warp: usize,
     /// Per-thread hit (indexed by the thread that owns the ray).
     pub hits: [Option<RayHit>; WARP_SIZE],
+    /// Gather-mode collection: `(lane, triangle)` pairs credited to the
+    /// lane that *owns* the ray (helpers credit their main thread), in
+    /// ascending `(lane, triangle)` order regardless of the traversal
+    /// interleaving the LBU produced. Empty for non-gather queries.
+    pub gathered: Vec<(u8, u32)>,
     /// Cycle the instruction entered the RT unit.
     pub issued_at: u64,
     /// Cycle the instruction retired.
@@ -263,6 +277,10 @@ struct Slot {
     warp: usize,
     rays: [Option<Ray>; WARP_SIZE],
     any_hit: bool,
+    gather: bool,
+    /// Gather-mode collection, unsorted while the warp is resident (the
+    /// LBU interleaves threads); sorted at retirement.
+    gathered: Vec<(u8, u32)>,
     min_thit: [f32; WARP_SIZE],
     best: [Option<RayHit>; WARP_SIZE],
     done_ray: [bool; WARP_SIZE],
@@ -441,6 +459,8 @@ impl RtUnit {
             warp: query.warp,
             rays: query.rays,
             any_hit: query.any_hit,
+            gather: query.gather,
+            gathered: Vec::new(),
             min_thit: query.t_max,
             best: [None; WARP_SIZE],
             done_ray: [false; WARP_SIZE],
@@ -455,8 +475,10 @@ impl RtUnit {
         // similar ray hit. A verified hit answers any-hit queries
         // outright and seeds min_thit for closest-hit queries. The
         // table is bounded by the scene's triangle count, so stale
-        // entries never reach the verification test.
-        if let Some(pred) = self.predictor.as_mut() {
+        // entries never reach the verification test. Gather queries
+        // must enumerate every containing leaf, so a predicted single
+        // hit is meaningless for them and the table is bypassed.
+        if let Some(pred) = self.predictor.as_mut().filter(|_| !query.gather) {
             for i in 0..WARP_SIZE {
                 let Some(ray) = &slot.rays[i] else { continue };
                 let Some(tri) = pred.predict(ray, image.triangles().len()) else {
@@ -482,12 +504,18 @@ impl RtUnit {
             }
             if let Some(ray) = &slot.rays[i] {
                 self.events.box_tests += 1;
-                if image.node_count() > 0
-                    && image
-                        .root_bounds()
-                        .intersect(ray, slot.min_thit[i])
-                        .is_some()
-                {
+                // Gather mode descends by point containment instead of
+                // ray-box intersection (same test unit, same cost).
+                let enters = image.node_count() > 0
+                    && if slot.gather {
+                        image.root_bounds().contains(ray.orig)
+                    } else {
+                        image
+                            .root_bounds()
+                            .intersect(ray, slot.min_thit[i])
+                            .is_some()
+                    };
+                if enters {
                     let mut start = image.root_addr();
                     // Ray-path prediction (Demoullin et al.): an
                     // any-hit traversal starts at the predicted entry
@@ -676,15 +704,20 @@ impl RtUnit {
         for s in 0..self.slots.len() {
             let drained = matches!(&self.slots[s], Some(slot) if slot.drained());
             if drained {
-                let slot = self.slots[s].take().expect("checked above");
+                let mut slot = self.slots[s].take().expect("checked above");
                 self.tracer.emit(now, || EventKind::TraceEnd {
                     sm: self.sm_id as u32,
                     warp: slot.warp as u32,
                     issued_at: slot.issued_at,
                 });
+                // Canonicalize the gather collection: the LBU interleaves
+                // threads non-deterministically *across policies*, so the
+                // answer order must not depend on it.
+                slot.gathered.sort_unstable();
                 retired.push(TraceResult {
                     warp: slot.warp,
                     hits: slot.best,
+                    gathered: std::mem::take(&mut slot.gathered),
                     issued_at: slot.issued_at,
                     retired_at: now,
                 });
@@ -887,7 +920,15 @@ impl RtUnit {
                         } else {
                             f32::INFINITY
                         };
-                        if child.bounds.intersect(&ray, limit).is_some() {
+                        // Gather: descend every child whose box contains
+                        // the query point (node elimination cannot apply
+                        // — there is no shrinking t interval).
+                        let descend = if slot.gather {
+                            child.bounds.contains(ray.orig)
+                        } else {
+                            child.bounds.intersect(&ray, limit).is_some()
+                        };
+                        if descend {
                             slot.threads.push(tid, child.addr);
                             self.events.stack_ops += 1;
                             if cfg.prefetch_children {
@@ -903,6 +944,16 @@ impl RtUnit {
                 }
                 NodeKind::Leaf { triangle } => {
                     self.events.triangle_tests += 1;
+                    if slot.gather {
+                        // Collect, don't intersect: the leaf's triangle
+                        // AABB containing the query point makes it a
+                        // candidate. Credited to the ray's owner lane so
+                        // LBU-stolen work lands on the right query.
+                        if scene.image.triangle(*triangle).bounds().contains(ray.orig) {
+                            slot.gathered.push((mt as u8, *triangle));
+                        }
+                        continue;
+                    }
                     // Unbounded test + order-independent tie-break on the
                     // primitive index (see cooprt_bvh::traverse::accepts):
                     // CoopRT re-orders traversal, and edge-grazing rays
@@ -1279,6 +1330,7 @@ mod tests {
                 rays,
                 t_max: [f32::INFINITY; WARP_SIZE],
                 any_hit,
+                gather: false,
             };
             rt.issue(q, 0, &scene);
             let (res, t) = run_to_retire(&mut rt, &mut m, &scene, TraversalPolicy::Baseline, &cfg);
@@ -1298,6 +1350,52 @@ mod tests {
                 "thread {i}"
             );
         }
+    }
+
+    #[test]
+    fn gather_enumerates_containing_leaves_identically_across_policies() {
+        let scene = cooprt_scenes::SceneId::Quni.build(2);
+        let cfg = GpuConfig::small(1);
+        let mut rays = [None; WARP_SIZE];
+        let mut t_max = [f32::INFINITY; WARP_SIZE];
+        for (i, r) in rays.iter_mut().enumerate().take(8) {
+            let q = crate::shader::ShaderThread::query_point(&scene, i, 1);
+            *r = Some(Ray::probe(q));
+            t_max[i] = crate::shader::PROBE_T_MAX;
+        }
+        let mut per_policy = Vec::new();
+        for policy in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
+            let mut rt = RtUnit::new(0, 4);
+            let mut m = mem();
+            let q = TraceQuery {
+                warp: 0,
+                rays,
+                t_max,
+                any_hit: false,
+                gather: true,
+            };
+            assert!(rt.issue(q, 0, &scene));
+            let (res, _) = run_to_retire(&mut rt, &mut m, &scene, policy, &cfg);
+            assert!(
+                res[0].hits.iter().all(|h| h.is_none()),
+                "gather never reports hits ({policy:?})"
+            );
+            per_policy.push(res[0].gathered.clone());
+        }
+        assert_eq!(per_policy[0], per_policy[1], "answers are policy-invariant");
+        // Brute force over every triangle AABB: gather must enumerate
+        // exactly the containing leaves, in (lane, triangle) order.
+        let mut expect = Vec::new();
+        for i in 0..8u8 {
+            let q = crate::shader::ShaderThread::query_point(&scene, i as usize, 1);
+            for t in 0..scene.image.triangles().len() as u32 {
+                if scene.image.triangle(t).bounds().contains(q) {
+                    expect.push((i, t));
+                }
+            }
+        }
+        assert_eq!(per_policy[0], expect);
+        assert!(!expect.is_empty(), "fixture should gather candidates");
     }
 
     #[test]

@@ -29,31 +29,70 @@ pub enum ShaderKind {
     AmbientOcclusion,
     /// Ray-traced shadows: primary ray + rays toward the light.
     Shadow,
+    /// Spatial query: k nearest neighbors within the domain radius
+    /// (RTNN-style gather traversal over a point-cloud BVH).
+    Knn,
+    /// Spatial query: all points within the domain radius.
+    Radius,
+    /// Spatial query: point-in-cell containment on an AMR grid
+    /// (Zellmann-style closest-hit probe against cell boxes).
+    Contain,
 }
 
 impl ShaderKind {
-    /// Short label used in benchmark tables.
-    pub fn label(self) -> &'static str {
+    /// Stable short key, used in benchmark tables, trace headers and
+    /// canonical serve cache keys. Renaming a key invalidates pinned
+    /// BENCH rows and serve caches; treat these as frozen.
+    pub fn key(self) -> &'static str {
         match self {
             ShaderKind::PathTrace => "pt",
             ShaderKind::AmbientOcclusion => "ao",
             ShaderKind::Shadow => "sh",
+            ShaderKind::Knn => "knn",
+            ShaderKind::Radius => "rad",
+            ShaderKind::Contain => "cont",
         }
     }
 
     /// True if the `trace_ray` at `iteration` uses any-hit semantics
-    /// (AO/SH secondary rays accept the first intersection).
-    pub fn any_hit_at(self, iteration: u32) -> bool {
+    /// (AO/SH secondary rays accept the first intersection). Query
+    /// kinds never use any-hit: gather traversal must enumerate every
+    /// overlapping primitive, and the containment probe needs the
+    /// closest face.
+    pub fn wants_anyhit(self, iteration: u32) -> bool {
         match self {
             ShaderKind::PathTrace => false,
             ShaderKind::AmbientOcclusion | ShaderKind::Shadow => iteration >= 1,
+            ShaderKind::Knn | ShaderKind::Radius | ShaderKind::Contain => false,
         }
+    }
+
+    /// True for the gather-traversal query kinds (kNN / radius), whose
+    /// probe rays enumerate primitives containing the query point
+    /// instead of intersecting along the ray.
+    pub fn is_gather(self) -> bool {
+        matches!(self, ShaderKind::Knn | ShaderKind::Radius)
+    }
+
+    /// True for every spatial-query kind (needs a scene with a
+    /// [`cooprt_scenes::QueryDomain`]).
+    pub fn is_query(self) -> bool {
+        matches!(
+            self,
+            ShaderKind::Knn | ShaderKind::Radius | ShaderKind::Contain
+        )
     }
 }
 
 /// Offset applied along the surface normal when spawning secondary rays,
 /// to avoid self-intersection.
 const RAY_BIAS: f32 = 1.0e-3;
+
+/// `t_max` for gather-mode probe rays: gather traversal never reads it,
+/// but a near-zero bound keeps the "zero-length ray" semantics honest
+/// everywhere else (no triangle can intersect within it — see
+/// `cooprt_math::Ray::probe`).
+pub const PROBE_T_MAX: f32 = 1.0e-4;
 
 /// Per-thread raygen shader state (one pixel).
 #[derive(Debug)]
@@ -74,6 +113,13 @@ pub struct ShaderThread {
     base_albedo: Rgb,
     secondary_done: u32,
     secondary_hits: u32,
+    // Query state: the sampled query point and the answer (point
+    // indices for kNN/radius, the cell id for containment).
+    query_point: Vec3,
+    /// Query answer for query kinds (empty otherwise): sorted point
+    /// indices for radius search, the k nearest (by distance, then
+    /// index) for kNN, the containing cell id for containment.
+    pub query_hits: Vec<u32>,
 }
 
 impl ShaderThread {
@@ -101,7 +147,48 @@ impl ShaderThread {
             base_albedo: Rgb::BLACK,
             secondary_done: 0,
             secondary_hits: 0,
+            query_point: Vec3::ZERO,
+            query_hits: Vec::new(),
         }
+    }
+
+    /// Deterministically samples the query point for `pixel_index` /
+    /// `salt` from the scene's query domain. Shared by the engine-side
+    /// driver ([`ShaderThread::begin_query`]) and the brute-force
+    /// oracle, so both sides answer the *same* question.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene has no query domain (the engine validates
+    /// this up front with a typed `ConfigError`).
+    pub fn query_point(scene: &Scene, pixel_index: usize, salt: u64) -> Vec3 {
+        let domain = scene
+            .query
+            .as_ref()
+            .expect("query shaders need a scene with a QueryDomain");
+        let seed = 0x5EED_C0DE
+            ^ (pixel_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ salt.wrapping_mul(0xD1B5_4A32_D192_ED03);
+        let mut rng = StdRng::seed_from_u64(seed);
+        domain.sample_query_point(&mut rng)
+    }
+
+    /// Initializes a query-shader thread: samples the query point and
+    /// issues its probe ray ([`cooprt_math::Ray::probe`]). Gather kinds
+    /// (kNN/radius) bound the probe at [`PROBE_T_MAX`]; the containment
+    /// probe travels to its cell's `+X` face, so it keeps `t` open.
+    pub fn begin_query(scene: &Scene, kind: ShaderKind, pixel_index: usize, salt: u64) -> Self {
+        debug_assert!(kind.is_query());
+        let q = Self::query_point(scene, pixel_index, salt);
+        let mut thread = Self::masked();
+        thread.query_point = q;
+        thread.ray = Some(Ray::probe(q));
+        thread.t_max = if kind.is_gather() {
+            PROBE_T_MAX
+        } else {
+            f32::INFINITY
+        };
+        thread
     }
 
     /// A thread with no pixel (image smaller than the warp): masked off
@@ -119,6 +206,8 @@ impl ShaderThread {
             base_albedo: Rgb::BLACK,
             secondary_done: 0,
             secondary_hits: 0,
+            query_point: Vec3::ZERO,
+            query_hits: Vec::new(),
         }
     }
 
@@ -128,19 +217,91 @@ impl ShaderThread {
     /// [`ShaderThread::color`].
     ///
     /// Does nothing for masked threads.
+    /// `gathered` carries the triangles the gather traversal collected
+    /// for this thread (query kinds only; render kinds ignore it).
     pub fn resume(
         &mut self,
         kind: ShaderKind,
         cfg: &GpuConfig,
         scene: &Scene,
         hit: Option<RayHit>,
+        gathered: &[u32],
     ) {
         let Some(ray) = self.ray else { return };
         match kind {
             ShaderKind::PathTrace => self.resume_pt(cfg, scene, ray, hit),
             ShaderKind::AmbientOcclusion => self.resume_ao(cfg, scene, ray, hit),
             ShaderKind::Shadow => self.resume_sh(cfg, scene, ray, hit),
+            ShaderKind::Knn | ShaderKind::Radius => self.resume_gather(kind, scene, gathered),
+            ShaderKind::Contain => self.resume_contain(scene, hit),
         }
+    }
+
+    /// kNN / radius search: the gather traversal returned every
+    /// triangle whose AABB contains the query point — a conservative
+    /// candidate superset (see `cooprt_scenes::query`). Map triangles
+    /// to primitives, apply the exact distance filter, and rank.
+    fn resume_gather(&mut self, kind: ShaderKind, scene: &Scene, gathered: &[u32]) {
+        let domain = scene
+            .query
+            .as_ref()
+            .expect("gather resume on a scene without a QueryDomain");
+        let q = self.query_point;
+        // `gathered` is sorted; primitive ids inherit the order, so a
+        // linear dedup suffices.
+        let mut candidates: Vec<u32> = gathered
+            .iter()
+            .filter_map(|&t| domain.primitive_of(t))
+            .map(|p| p as u32)
+            .collect();
+        candidates.dedup();
+        candidates.retain(|&p| domain.within_radius(q, p as usize));
+        if kind == ShaderKind::Knn {
+            // Rank by (exact f32 distance bits, point index) — the same
+            // total order the oracle uses — and keep the k nearest.
+            candidates.sort_by_key(|&p| {
+                (
+                    (domain.points[p as usize] - q).length_squared().to_bits(),
+                    p,
+                )
+            });
+            candidates.truncate(domain.k);
+        }
+        self.finish_query(candidates);
+    }
+
+    /// Point-in-cell containment: the closest hit from inside a cell is
+    /// that cell's own `+X` face (cells are disjoint and gap-separated),
+    /// so the hit triangle names the cell.
+    fn resume_contain(&mut self, scene: &Scene, hit: Option<RayHit>) {
+        let domain = scene
+            .query
+            .as_ref()
+            .expect("containment resume on a scene without a QueryDomain");
+        let hits = match hit.and_then(|h| domain.primitive_of(h.triangle)) {
+            Some(cell) => vec![cell as u32],
+            None => Vec::new(),
+        };
+        self.finish_query(hits);
+    }
+
+    /// Stores the answer and derives the pixel color from it, so the
+    /// image-identity oracles (baseline vs CoopRT, record/replay,
+    /// reorder, predict) keep biting on query workloads: any divergence
+    /// in the *answer* shows up as a pixel difference.
+    fn finish_query(&mut self, hits: Vec<u32>) {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &x in &hits {
+            h = (h ^ x as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h = (h ^ hits.len() as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        self.color = Rgb::new(
+            (h >> 8 & 0xFF) as f32 / 255.0,
+            (h >> 24 & 0xFF) as f32 / 255.0,
+            (h >> 40 & 0xFF) as f32 / 255.0,
+        );
+        self.query_hits = hits;
+        self.ray = None;
     }
 
     fn resume_pt(&mut self, cfg: &GpuConfig, scene: &Scene, ray: Ray, hit: Option<RayHit>) {
@@ -305,18 +466,25 @@ mod tests {
 
     #[test]
     fn any_hit_schedule_per_kind() {
-        assert!(!ShaderKind::PathTrace.any_hit_at(0));
-        assert!(!ShaderKind::PathTrace.any_hit_at(5));
-        assert!(!ShaderKind::AmbientOcclusion.any_hit_at(0));
-        assert!(ShaderKind::AmbientOcclusion.any_hit_at(1));
-        assert!(ShaderKind::Shadow.any_hit_at(2));
+        assert!(!ShaderKind::PathTrace.wants_anyhit(0));
+        assert!(!ShaderKind::PathTrace.wants_anyhit(5));
+        assert!(!ShaderKind::AmbientOcclusion.wants_anyhit(0));
+        assert!(ShaderKind::AmbientOcclusion.wants_anyhit(1));
+        assert!(ShaderKind::Shadow.wants_anyhit(2));
+        // Query kinds never use any-hit: gather traversal needs full
+        // enumeration, containment needs the true closest hit.
+        for it in [0, 1, 5] {
+            assert!(!ShaderKind::Knn.wants_anyhit(it));
+            assert!(!ShaderKind::Radius.wants_anyhit(it));
+            assert!(!ShaderKind::Contain.wants_anyhit(it));
+        }
     }
 
     #[test]
     fn masked_thread_never_traces() {
         let mut t = ShaderThread::masked();
         assert!(t.ray.is_none());
-        t.resume(ShaderKind::PathTrace, &cfg(), &scene(), None);
+        t.resume(ShaderKind::PathTrace, &cfg(), &scene(), None, &[]);
         assert!(t.ray.is_none());
         assert_eq!(t.color, Rgb::BLACK);
     }
@@ -326,7 +494,7 @@ mod tests {
         let s = scene();
         let mut t = ShaderThread::begin(&s, 0, 0.5, 0.9);
         let dir = t.ray.unwrap().dir;
-        t.resume(ShaderKind::PathTrace, &cfg(), &s, None);
+        t.resume(ShaderKind::PathTrace, &cfg(), &s, None, &[]);
         assert!(t.ray.is_none());
         assert_eq!(t.color, s.sky.radiance(dir));
     }
@@ -349,6 +517,7 @@ mod tests {
                     triangle: 0,
                     t: 5.0,
                 }),
+                &[],
             );
             bounces += 1;
         }
@@ -365,12 +534,12 @@ mod tests {
             triangle: 0,
             t: 8.0,
         });
-        a.resume(ShaderKind::PathTrace, &cfg(), &s, hit);
-        b.resume(ShaderKind::PathTrace, &cfg(), &s, hit);
+        a.resume(ShaderKind::PathTrace, &cfg(), &s, hit, &[]);
+        b.resume(ShaderKind::PathTrace, &cfg(), &s, hit, &[]);
         assert_eq!(a.ray, b.ray, "same seed + same hits = same scatter");
         // Different pixel index -> different stream.
         let mut c = ShaderThread::begin(&s, 43, 0.4, 0.4);
-        c.resume(ShaderKind::PathTrace, &cfg(), &s, hit);
+        c.resume(ShaderKind::PathTrace, &cfg(), &s, hit, &[]);
         assert_ne!(a.ray, c.ray);
     }
 
@@ -388,6 +557,7 @@ mod tests {
                 triangle: 0,
                 t: 10.0,
             }),
+            &[],
         );
         assert!(t.ray.is_some(), "AO rays must follow the primary hit");
         assert_eq!(t.t_max, c.ao_radius, "AO rays are short");
@@ -402,6 +572,7 @@ mod tests {
                     triangle: 1,
                     t: 0.5,
                 }),
+                &[],
             );
         }
         assert!(t.ray.is_none());
@@ -421,9 +592,10 @@ mod tests {
                 triangle: 0,
                 t: 10.0,
             }),
+            &[],
         );
         for _ in 0..c.ao_samples {
-            t.resume(ShaderKind::AmbientOcclusion, &c, &s, None);
+            t.resume(ShaderKind::AmbientOcclusion, &c, &s, None, &[]);
         }
         assert!(t.ray.is_none());
         assert!(t.color.luminance() > 0.0, "open sky -> full albedo");
@@ -434,7 +606,7 @@ mod tests {
         let s = scene();
         let mut t = ShaderThread::begin(&s, 9, 0.5, 0.95);
         let dir = t.ray.unwrap().dir;
-        t.resume(ShaderKind::AmbientOcclusion, &cfg(), &s, None);
+        t.resume(ShaderKind::AmbientOcclusion, &cfg(), &s, None, &[]);
         assert!(t.ray.is_none());
         assert_eq!(t.color, s.sky.radiance(dir));
     }
@@ -452,6 +624,7 @@ mod tests {
                 triangle: 0,
                 t: 10.0,
             }),
+            &[],
         );
         let shadow = t.ray.expect("shadow ray follows the primary hit");
         assert!(shadow.dir.y > 0.5, "sun fallback points upward");
@@ -466,6 +639,7 @@ mod tests {
                 triangle: 0,
                 t: 5.0,
             }),
+            &[],
         );
         assert!(t2.ray.is_some());
         assert!(t2.t_max.is_finite());
@@ -485,13 +659,14 @@ mod tests {
                     triangle: 0,
                     t: 5.0,
                 }),
+                &[],
             );
             for _ in 0..c.sh_samples {
                 let hit = occluded.then_some(RayHit {
                     triangle: 1,
                     t: 0.3,
                 });
-                t.resume(ShaderKind::Shadow, &c, &s, hit);
+                t.resume(ShaderKind::Shadow, &c, &s, hit, &[]);
             }
             assert!(t.ray.is_none());
             t.color
@@ -500,9 +675,139 @@ mod tests {
     }
 
     #[test]
-    fn labels() {
-        assert_eq!(ShaderKind::PathTrace.label(), "pt");
-        assert_eq!(ShaderKind::AmbientOcclusion.label(), "ao");
-        assert_eq!(ShaderKind::Shadow.label(), "sh");
+    fn keys_are_frozen() {
+        // These short keys appear in canonical serve cache keys and
+        // BENCH row identifiers — changing one invalidates pins.
+        assert_eq!(ShaderKind::PathTrace.key(), "pt");
+        assert_eq!(ShaderKind::AmbientOcclusion.key(), "ao");
+        assert_eq!(ShaderKind::Shadow.key(), "sh");
+        assert_eq!(ShaderKind::Knn.key(), "knn");
+        assert_eq!(ShaderKind::Radius.key(), "rad");
+        assert_eq!(ShaderKind::Contain.key(), "cont");
+    }
+
+    #[test]
+    fn query_kind_classification() {
+        for k in [ShaderKind::Knn, ShaderKind::Radius] {
+            assert!(k.is_query());
+            assert!(k.is_gather());
+        }
+        assert!(ShaderKind::Contain.is_query());
+        assert!(!ShaderKind::Contain.is_gather());
+        for k in [
+            ShaderKind::PathTrace,
+            ShaderKind::AmbientOcclusion,
+            ShaderKind::Shadow,
+        ] {
+            assert!(!k.is_query());
+            assert!(!k.is_gather());
+        }
+    }
+
+    #[test]
+    fn query_threads_probe_from_a_deterministic_point() {
+        let s = SceneId::Quni.build(2);
+        let a = ShaderThread::begin_query(&s, ShaderKind::Knn, 5, 7);
+        let b = ShaderThread::begin_query(&s, ShaderKind::Knn, 5, 7);
+        assert_eq!(a.ray, b.ray, "same (pixel, salt) -> same probe");
+        assert_eq!(
+            a.ray.unwrap().orig,
+            ShaderThread::query_point(&s, 5, 7),
+            "probe anchors at the shared query point"
+        );
+        assert_eq!(a.t_max, PROBE_T_MAX, "gather probes are epsilon rays");
+        let c = ShaderThread::begin_query(&s, ShaderKind::Knn, 6, 7);
+        assert_ne!(a.ray.unwrap().orig, c.ray.unwrap().orig);
+        // Containment probes are ordinary closest-hit rays.
+        let cells = SceneId::Qamr.build(2);
+        let d = ShaderThread::begin_query(&cells, ShaderKind::Contain, 0, 0);
+        assert_eq!(d.t_max, f32::INFINITY);
+    }
+
+    #[test]
+    fn radius_resume_filters_and_dedupes_candidates() {
+        let s = SceneId::Quni.build(2);
+        let domain = s.query.as_ref().unwrap();
+        let tpp = domain.tris_per_prim;
+        // Feed every triangle of every point as the gathered candidate
+        // set (a maximally sloppy superset, each prim repeated 8x).
+        let all: Vec<u32> = (0..domain.points.len() as u32 * tpp).collect();
+        let mut found_neighbors = false;
+        for pixel in 0..64 {
+            let mut t = ShaderThread::begin_query(&s, ShaderKind::Radius, pixel, 1);
+            let q = t.query_point;
+            t.resume(ShaderKind::Radius, &cfg(), &s, None, &all);
+            assert!(t.ray.is_none(), "queries are single-trace");
+            // The answer must be exactly the in-radius points, ascending,
+            // with the per-prim duplicates collapsed.
+            let expect: Vec<u32> = (0..domain.points.len())
+                .filter(|&p| domain.within_radius(q, p))
+                .map(|p| p as u32)
+                .collect();
+            assert_eq!(t.query_hits, expect);
+            found_neighbors |= !expect.is_empty();
+        }
+        assert!(found_neighbors, "some query point should find neighbors");
+    }
+
+    #[test]
+    fn knn_resume_ranks_by_distance_and_truncates() {
+        let s = SceneId::Quni.build(2);
+        let domain = s.query.as_ref().unwrap();
+        let mut t = ShaderThread::begin_query(&s, ShaderKind::Knn, 9, 2);
+        let q = t.query_point;
+        let all: Vec<u32> = (0..domain.points.len() as u32 * domain.tris_per_prim).collect();
+        t.resume(ShaderKind::Knn, &cfg(), &s, None, &all);
+        assert!(t.query_hits.len() <= domain.k);
+        let dist = |p: u32| (domain.points[p as usize] - q).length_squared().to_bits();
+        for w in t.query_hits.windows(2) {
+            assert!(
+                (dist(w[0]), w[0]) < (dist(w[1]), w[1]),
+                "sorted by (dist, idx)"
+            );
+        }
+        for &p in &t.query_hits {
+            assert!(domain.within_radius(q, p as usize));
+        }
+    }
+
+    #[test]
+    fn contain_resume_names_the_hit_cell() {
+        let s = SceneId::Qamr.build(2);
+        let domain = s.query.as_ref().unwrap();
+        let mut t = ShaderThread::begin_query(&s, ShaderKind::Contain, 4, 3);
+        let expected = domain.cell_containing(t.query_point);
+        // The closest hit from inside a cell is one of that cell's own
+        // triangles; simulate it directly.
+        let hit = expected.map(|cell| RayHit {
+            triangle: domain.prim_base + cell as u32 * domain.tris_per_prim,
+            t: 1.0,
+        });
+        t.resume(ShaderKind::Contain, &cfg(), &s, hit, &[]);
+        assert!(t.ray.is_none());
+        let expect: Vec<u32> = expected.into_iter().map(|c| c as u32).collect();
+        assert_eq!(t.query_hits, expect);
+        assert_eq!(expect.len(), 1, "guard-band sampling keeps points in cells");
+    }
+
+    #[test]
+    fn query_answers_drive_the_pixel_color() {
+        let s = SceneId::Qamr.build(2);
+        let shade = |hits: &[u32]| {
+            let mut t = ShaderThread::begin_query(&s, ShaderKind::Contain, 0, 0);
+            t.finish_query(hits.to_vec());
+            t.color
+        };
+        assert_eq!(
+            shade(&[3]),
+            shade(&[3]),
+            "color is a pure function of the answer"
+        );
+        assert_ne!(
+            shade(&[3]),
+            shade(&[4]),
+            "different answers must differ visibly"
+        );
+        assert_ne!(shade(&[]), shade(&[0]));
     }
 }

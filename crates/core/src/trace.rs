@@ -440,6 +440,9 @@ impl Trace {
             ShaderKind::PathTrace => 0,
             ShaderKind::AmbientOcclusion => 1,
             ShaderKind::Shadow => 2,
+            ShaderKind::Knn => 3,
+            ShaderKind::Radius => 4,
+            ShaderKind::Contain => 5,
         });
         w.put_varint(self.width as u64);
         w.put_varint(self.height as u64);
@@ -551,6 +554,9 @@ impl Trace {
             0 => ShaderKind::PathTrace,
             1 => ShaderKind::AmbientOcclusion,
             2 => ShaderKind::Shadow,
+            3 => ShaderKind::Knn,
+            4 => ShaderKind::Radius,
+            5 => ShaderKind::Contain,
             k => return Err(TraceError::Corrupt(format!("unknown shader kind tag {k}"))),
         };
         let width = read_usize(&mut r, "width")?;

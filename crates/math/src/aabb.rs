@@ -361,6 +361,38 @@ mod tests {
     }
 
     #[test]
+    fn nan_direction_ray_degrades_to_unconstrained_slabs() {
+        // A NaN direction (what a release-build zero-length Ray::new
+        // would produce) poisons every slab into the unconstrained
+        // (-inf, inf) reduction: the test reports Some(0.0) against any
+        // non-empty box and None against the empty box. This pins the
+        // degenerate behaviour so query code can rely on the documented
+        // convention (Ray::probe, never a zero/NaN direction) instead.
+        let nan = Ray {
+            orig: Vec3::splat(0.5),
+            dir: Vec3::splat(f32::NAN),
+            inv_dir: Vec3::splat(f32::NAN),
+        };
+        assert_eq!(unit_box().intersect(&nan, f32::INFINITY), Some(0.0));
+        assert_eq!(Aabb::empty().intersect(&nan, f32::INFINITY), None);
+    }
+
+    #[test]
+    fn probe_ray_against_boxes_matches_containment_at_t_zero() {
+        // The spatial-query convention: a Ray::probe at q enters any box
+        // containing q at t = 0; boxes strictly ahead on +X are still
+        // hit (probes that must not walk bound t_max), boxes behind are
+        // not.
+        let b = unit_box();
+        assert_eq!(b.intersect(&Ray::probe(Vec3::splat(0.5)), 1e-4), Some(0.0));
+        let ahead = Ray::probe(Vec3::new(-2.0, 0.5, 0.5));
+        assert_eq!(b.intersect(&ahead, f32::INFINITY), Some(2.0));
+        assert_eq!(b.intersect(&ahead, 1e-4), None);
+        let behind = Ray::probe(Vec3::new(3.0, 0.5, 0.5));
+        assert_eq!(b.intersect(&behind, f32::INFINITY), None);
+    }
+
+    #[test]
     fn origin_on_corner_of_flat_box_counts_as_inside() {
         // Origin exactly on the min corner of a zero-thickness face,
         // travelling along the face: both the degenerate axis and one

@@ -66,6 +66,26 @@ impl Ray {
     pub fn at(&self, t: f32) -> Vec3 {
         self.orig + self.dir * t
     }
+
+    /// Canonical *probe ray* for point queries (the "zero-length ray"
+    /// convention).
+    ///
+    /// Spatial queries on RT hardware (RTNN-style neighbor search,
+    /// point-in-cell containment) conceptually trace a zero-length ray
+    /// at the query point, but a [`Ray`] cannot represent a zero-length
+    /// direction: `Ray::new` normalizes and a zero vector has no
+    /// direction (debug builds panic; release builds would produce NaN
+    /// components, which the slab test degrades on — see the regression
+    /// tests). The convention used throughout this workspace instead
+    /// keeps the direction *unit length* (`+X`, arbitrarily) and pushes
+    /// the "zero length" into the `t` interval: gather-style traversal
+    /// tests containment of `orig` and never walks along the ray, and
+    /// callers that do intersect bound `t_max` near zero. This keeps
+    /// `inv_dir` finite on one axis and the slab test well-conditioned.
+    #[inline]
+    pub fn probe(orig: Vec3) -> Self {
+        Ray::from_unit(orig, Vec3::X)
+    }
 }
 
 #[cfg(test)]
@@ -101,5 +121,25 @@ mod tests {
         assert!(r.inv_dir.x.is_infinite());
         assert!(r.inv_dir.y.is_infinite());
         assert_eq!(r.inv_dir.z, 1.0);
+    }
+
+    #[test]
+    fn probe_is_a_unit_ray_anchored_at_the_query_point() {
+        let q = Vec3::new(1.0, -2.0, 3.0);
+        let r = Ray::probe(q);
+        assert_eq!(r.orig, q);
+        assert_eq!(r.dir, Vec3::X);
+        assert!((r.dir.length() - 1.0).abs() < 1e-6);
+        // The probe never moves off its origin at t = 0.
+        assert_eq!(r.at(0.0), q);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic]
+    fn zero_length_direction_panics_in_debug() {
+        // The documented convention: zero-length rays are *not*
+        // representable; use Ray::probe + a t bound instead.
+        let _ = Ray::new(Vec3::ZERO, Vec3::ZERO);
     }
 }

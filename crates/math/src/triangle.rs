@@ -280,6 +280,34 @@ mod tests {
     }
 
     #[test]
+    fn nan_direction_ray_never_hits() {
+        // A NaN direction (the release-build fallout of a zero-length
+        // Ray::new) must fall out of Möller–Trumbore as a miss: every
+        // comparison against the NaN determinant/barycentrics is false,
+        // so the range checks reject. Query code uses Ray::probe (unit
+        // +X) instead; this pins that the degenerate case is a clean
+        // None, never a bogus hit or a panic.
+        let t = xy_triangle();
+        let nan = Ray {
+            orig: Vec3::new(0.2, 0.2, -1.0),
+            dir: Vec3::splat(f32::NAN),
+            inv_dir: Vec3::splat(f32::NAN),
+        };
+        assert!(t.intersect(&nan, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn probe_ray_with_epsilon_t_max_hits_nothing() {
+        // The epsilon-ray convention: a probe with t_max at the epsilon
+        // scale cannot produce triangle hits (Möller–Trumbore requires
+        // GEOM_EPSILON < t < t_max), so gather-style queries that rely
+        // purely on containment never see spurious intersections.
+        let t = xy_triangle();
+        let probe = Ray::probe(Vec3::new(0.2, 0.2, 0.0));
+        assert!(t.intersect(&probe, 1.0e-4).is_none());
+    }
+
+    #[test]
     fn hit_point_lies_on_triangle_plane() {
         let t = Triangle::new(
             Vec3::new(1.0, 0.0, 0.0),

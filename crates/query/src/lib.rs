@@ -1,0 +1,244 @@
+//! Spatial query workloads on the CoopRT RT unit.
+//!
+//! RT cores answer more than rendering queries: mapping data points to
+//! bounding-volume primitives turns BVH traversal into k-nearest-
+//! neighbour search, fixed-radius search (the RTX-accelerated
+//! neighbour-search trick of RTNN) and point-in-cell containment over
+//! AMR grids (Zellmann et al.). This crate drives the cycle-level
+//! simulator with exactly those workloads:
+//!
+//! - [`run_queries`] runs a batch of query points through the full
+//!   timing model (warp scheduling, caches, LBU) under any
+//!   [`TraversalPolicy`] and returns per-query answers plus the cycle
+//!   cost;
+//! - [`oracle_answer`] / [`oracle_answers`] compute the same answers by
+//!   brute force over the raw [`QueryDomain`] — no BVH, no simulator —
+//!   using bit-identical `f32` filters, so the engine's results can be
+//!   asserted **exact**, not approximately equal.
+//!
+//! The exactness argument, in short: gather traversal enumerates every
+//! BVH leaf whose AABB contains the query point (a conservative
+//! superset of the true neighbours, by the octahedron-inflation
+//! construction in `cooprt_scenes::query`), and the shader then applies
+//! the same `|q - p|^2 <= r^2` filter and `(dist-bits, index)` ordering
+//! the oracle uses. Containment needs no filter at all: cells are
+//! disjoint by construction, so the closest hit from inside a cell
+//! names it directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use cooprt_core::{GpuConfig, ShaderKind, TraversalPolicy};
+//! use cooprt_query::{oracle_answers, run_queries};
+//! use cooprt_scenes::SceneId;
+//!
+//! let scene = SceneId::Quni.build(2);
+//! let cfg = GpuConfig::small(2);
+//! let run = run_queries(
+//!     &scene, &cfg, TraversalPolicy::CoopRt, ShaderKind::Knn, 16, 0,
+//! ).unwrap();
+//! assert_eq!(run.answers, oracle_answers(&scene, ShaderKind::Knn, 16, 0));
+//! assert!(run.cycles > 0);
+//! ```
+
+use cooprt_core::{
+    ConfigError, FrameResult, GpuConfig, ShaderKind, ShaderThread, Simulation, TraversalPolicy,
+};
+use cooprt_scenes::{QueryDomain, Scene};
+
+/// The outcome of one simulated query batch.
+#[derive(Clone, Debug)]
+pub struct QueryRun {
+    /// Per-query answers, indexed by query id: point indices for
+    /// `knn`/`rad` (kNN nearest-first, radius ascending), the
+    /// containing cell for `cont`.
+    pub answers: Vec<Vec<u32>>,
+    /// Total batch latency in core cycles.
+    pub cycles: u64,
+    /// Probe rays dispatched to the RT units.
+    pub rays: u64,
+    /// The full frame-level measurement record, for callers that want
+    /// memory/energy/LBU counters alongside the answers.
+    pub frame: FrameResult,
+}
+
+/// Runs `count` query points of `kind` against `scene` through the
+/// cycle-level simulator.
+///
+/// Query point `i` is the deterministic sample
+/// [`ShaderThread::query_point`]`(scene, i, salt)`, so the same
+/// `(scene, count, salt)` triple always asks the same questions — and
+/// the brute-force oracle can re-derive them independently.
+///
+/// The batch is laid out as a `count x 1` thread grid: spatial queries
+/// have no raster, the "frame" is just the warp partition.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::QueryDomainMismatch`] if the scene lacks the
+/// domain `kind` needs, plus the usual frame/config validation errors.
+pub fn run_queries(
+    scene: &Scene,
+    cfg: &GpuConfig,
+    policy: TraversalPolicy,
+    kind: ShaderKind,
+    count: usize,
+    salt: u64,
+) -> Result<QueryRun, ConfigError> {
+    let frame = Simulation::new(scene, cfg, policy)
+        .with_sample_salt(salt)
+        .run_frame(kind, count, 1)?;
+    Ok(QueryRun {
+        answers: frame.query_results.clone(),
+        cycles: frame.cycles,
+        rays: frame.rays,
+        frame,
+    })
+}
+
+/// Brute-force reference answer for query `pixel` — same query point,
+/// same `f32` arithmetic, no BVH and no simulator.
+///
+/// # Panics
+///
+/// Panics if the scene has no query domain, or if `kind` is not a query
+/// shader; callers reach this only after [`run_queries`] validated both.
+pub fn oracle_answer(scene: &Scene, kind: ShaderKind, pixel: usize, salt: u64) -> Vec<u32> {
+    let domain = scene
+        .query
+        .as_ref()
+        .expect("oracle needs a scene with a query domain");
+    let q = ShaderThread::query_point(scene, pixel, salt);
+    match kind {
+        ShaderKind::Radius => in_radius(domain, q),
+        ShaderKind::Knn => {
+            let mut found = in_radius(domain, q);
+            // Identical total order to the shader: exact f32 squared
+            // distance compared as bits, index as the tie-break.
+            found.sort_by_key(|&p| {
+                (
+                    (domain.points[p as usize] - q).length_squared().to_bits(),
+                    p,
+                )
+            });
+            found.truncate(domain.k);
+            found
+        }
+        ShaderKind::Contain => domain
+            .cell_containing(q)
+            .map(|c| c as u32)
+            .into_iter()
+            .collect(),
+        ShaderKind::PathTrace | ShaderKind::AmbientOcclusion | ShaderKind::Shadow => {
+            panic!("{:?} is not a query shader", kind)
+        }
+    }
+}
+
+/// [`oracle_answer`] over a whole batch, mirroring [`run_queries`].
+pub fn oracle_answers(scene: &Scene, kind: ShaderKind, count: usize, salt: u64) -> Vec<Vec<u32>> {
+    (0..count)
+        .map(|p| oracle_answer(scene, kind, p, salt))
+        .collect()
+}
+
+/// Every point index within the domain radius of `q`, ascending.
+fn in_radius(domain: &QueryDomain, q: cooprt_math::Vec3) -> Vec<u32> {
+    (0..domain.points.len())
+        .filter(|&p| domain.within_radius(q, p))
+        .map(|p| p as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cooprt_scenes::{SceneId, QUERY_SCENES};
+
+    fn kind_for(id: SceneId) -> ShaderKind {
+        if id
+            .build(1)
+            .query
+            .as_ref()
+            .is_some_and(QueryDomain::is_cells)
+        {
+            ShaderKind::Contain
+        } else {
+            ShaderKind::Knn
+        }
+    }
+
+    #[test]
+    fn engine_matches_the_oracle_exactly_on_every_query_scene() {
+        let cfg = GpuConfig::small(2);
+        for id in QUERY_SCENES {
+            let scene = id.build(2);
+            let kind = kind_for(id);
+            for policy in [TraversalPolicy::Baseline, TraversalPolicy::CoopRt] {
+                let run = run_queries(&scene, &cfg, policy, kind, 48, 3).unwrap();
+                let want = oracle_answers(&scene, kind, 48, 3);
+                assert_eq!(run.answers, want, "{id}/{kind:?}/{policy:?}");
+                assert!(run.cycles > 0 && run.rays >= 48);
+            }
+        }
+    }
+
+    #[test]
+    fn radius_search_matches_the_oracle() {
+        let cfg = GpuConfig::small(2);
+        let scene = SceneId::Qclu.build(2);
+        // Clusters leave most of the domain empty, so a wide batch is
+        // needed before some query lands inside one.
+        let run = run_queries(
+            &scene,
+            &cfg,
+            TraversalPolicy::CoopRt,
+            ShaderKind::Radius,
+            256,
+            7,
+        )
+        .unwrap();
+        let want = oracle_answers(&scene, ShaderKind::Radius, 256, 7);
+        assert_eq!(run.answers, want);
+        assert!(
+            want.iter().any(|a| !a.is_empty()),
+            "clustered fixture should have in-radius neighbors"
+        );
+    }
+
+    #[test]
+    fn knn_answers_are_bounded_by_k_and_sorted_nearest_first() {
+        let scene = SceneId::Qsrf.build(2);
+        let domain = scene.query.as_ref().unwrap();
+        for (pixel, ans) in oracle_answers(&scene, ShaderKind::Knn, 64, 1)
+            .iter()
+            .enumerate()
+        {
+            assert!(ans.len() <= domain.k);
+            let q = ShaderThread::query_point(&scene, pixel, 1);
+            let d = |p: u32| (domain.points[p as usize] - q).length_squared().to_bits();
+            for w in ans.windows(2) {
+                assert!((d(w[0]), w[0]) < (d(w[1]), w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn containment_always_resolves_to_exactly_one_cell() {
+        let scene = SceneId::Qamr.build(2);
+        for ans in oracle_answers(&scene, ShaderKind::Contain, 64, 5) {
+            assert_eq!(
+                ans.len(),
+                1,
+                "guard-band sampling keeps every query inside a cell"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_rejects_render_kinds() {
+        let scene = SceneId::Quni.build(1);
+        let r = std::panic::catch_unwind(|| oracle_answer(&scene, ShaderKind::PathTrace, 0, 0));
+        assert!(r.is_err());
+    }
+}

@@ -28,6 +28,7 @@
 mod camera;
 mod generators;
 mod material;
+mod query;
 mod scene;
 mod sky;
 mod suite;
@@ -37,6 +38,10 @@ pub use generators::{
     box_at, heightfield, icosphere, octahedron, quad, room, scatter_clutter, tetrahedron,
 };
 pub use material::{Material, Scatter};
+pub use query::{
+    amr_cells, cell_tris, clustered_points, point_cloud_tris, surface_points, uniform_points,
+    QueryDomain, CELL_GAP, INFLATE, QUERY_GUARD, TRIS_PER_CELL, TRIS_PER_POINT,
+};
 pub use scene::{Scene, SceneBuilder};
 pub use sky::Sky;
-pub use suite::{SceneId, ALL_SCENES, PAPER_FIG17_SCENES};
+pub use suite::{SceneId, ALL_SCENES, PAPER_FIG17_SCENES, QUERY_SCENES};

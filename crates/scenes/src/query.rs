@@ -1,0 +1,422 @@
+//! Spatial-query domains: point clouds and AMR cell grids mapped onto
+//! BVH geometry.
+//!
+//! Following RTNN (Zhu) and Zellmann et al. (see PAPERS.md), spatial
+//! queries ride the RT unit by mapping the query *data set* to BVH
+//! primitives and the query *points* to probe rays
+//! ([`cooprt_math::Ray::probe`]):
+//!
+//! - **Neighbor search** (kNN / fixed radius): every data point `p`
+//!   becomes an octahedron of circumradius `r·√3`. The axis-aligned
+//!   bounding boxes of the octahedron's eight faces tile the cube
+//!   `[p − R, p + R]³` exactly, so a query point within distance `r`
+//!   of `p` (in any norm ≤ L∞·√3) is guaranteed to fall inside at
+//!   least one face AABB — the traversal enumerates a conservative
+//!   candidate superset and an exact `f32` distance filter
+//!   ([`QueryDomain::within_radius`]) trims it. The `√3` factor
+//!   absorbs the `f32` rounding of `p ± R` so the superset guarantee
+//!   is robust, not just exact-arithmetic.
+//! - **Point containment**: every AMR cell becomes a 12-triangle box,
+//!   shrunk by [`CELL_GAP`] so adjacent faces never coincide. A
+//!   closest-hit probe from a contained query point first hits its own
+//!   cell's `+X` face (every other cell is disjoint, hence strictly
+//!   farther), and `triangle / 12` recovers the cell id.
+//!
+//! The domain carries everything both the engine-side shader driver and
+//! the brute-force oracle need to agree bit-for-bit: the raw points or
+//! cells, the radius/k parameters, and where the query primitives start
+//! in the scene's triangle array.
+
+use cooprt_math::{Aabb, Triangle, Vec3};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Octahedron inflation factor: primitives use circumradius
+/// `radius * INFLATE` so the face-AABB superset is robust to `f32`
+/// rounding at the ball boundary.
+pub const INFLATE: f32 = 1.732_050_8; // sqrt(3)
+
+/// Gap each AMR cell box is shrunk by (per side), so faces of adjacent
+/// cells never coincide and the closest-hit containment probe is
+/// unambiguous.
+pub const CELL_GAP: f32 = 1.0e-2;
+
+/// Guard band query points keep from any cell face, comfortably above
+/// the Möller–Trumbore `GEOM_EPSILON` hit floor.
+pub const QUERY_GUARD: f32 = 1.0e-3;
+
+/// Triangles per point primitive (an octahedron).
+pub const TRIS_PER_POINT: u32 = 8;
+
+/// Triangles per cell primitive (a box).
+pub const TRIS_PER_CELL: u32 = 12;
+
+/// The query side of a scene: the data set the scene's BVH indexes and
+/// the parameters query shaders and oracles share.
+///
+/// Exactly one of `points` / `cells` is non-empty: point domains serve
+/// kNN and fixed-radius search, cell domains serve point-in-cell
+/// containment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryDomain {
+    /// The data points (centers of the octahedron primitives). Empty
+    /// for cell domains.
+    pub points: Vec<Vec3>,
+    /// Neighbor-search radius (kNN is radius-bounded: the `k` nearest
+    /// within `radius`). Unused by containment.
+    pub radius: f32,
+    /// `k` for kNN queries.
+    pub k: usize,
+    /// The AMR cells, already shrunk by [`CELL_GAP`]. Empty for point
+    /// domains.
+    pub cells: Vec<Aabb>,
+    /// Index of the first query-primitive triangle in the scene's
+    /// triangle array (query scenes put primitives first, so this is
+    /// `0` today; kept explicit so mixed scenes stay possible).
+    pub prim_base: u32,
+    /// Triangles per primitive: [`TRIS_PER_POINT`] or [`TRIS_PER_CELL`].
+    pub tris_per_prim: u32,
+    /// Region query points are sampled from.
+    pub bounds: Aabb,
+}
+
+impl QueryDomain {
+    /// Builds a point domain over `points` with the given search
+    /// parameters; `bounds` defaults to the points' bounding box padded
+    /// by `radius` so queries probe the interesting shell around the
+    /// data.
+    pub fn points(points: Vec<Vec3>, radius: f32, k: usize, prim_base: u32) -> QueryDomain {
+        let bounds = points.iter().fold(Aabb::empty(), |a, &p| a.union_point(p));
+        let bounds = Aabb::new(
+            bounds.min - Vec3::splat(radius),
+            bounds.max + Vec3::splat(radius),
+        );
+        QueryDomain {
+            points,
+            radius,
+            k,
+            cells: Vec::new(),
+            prim_base,
+            tris_per_prim: TRIS_PER_POINT,
+            bounds,
+        }
+    }
+
+    /// Builds a cell domain over already-shrunk `cells`.
+    pub fn cells(cells: Vec<Aabb>, prim_base: u32) -> QueryDomain {
+        let bounds = cells.iter().fold(Aabb::empty(), |a, c| a.union(c));
+        QueryDomain {
+            points: Vec::new(),
+            radius: 0.0,
+            k: 0,
+            cells,
+            prim_base,
+            tris_per_prim: TRIS_PER_CELL,
+            bounds,
+        }
+    }
+
+    /// True for containment (cell) domains.
+    pub fn is_cells(&self) -> bool {
+        !self.cells.is_empty()
+    }
+
+    /// Maps a scene triangle index to its query-primitive index, or
+    /// `None` for non-query geometry.
+    pub fn primitive_of(&self, triangle: u32) -> Option<usize> {
+        triangle
+            .checked_sub(self.prim_base)
+            .map(|t| (t / self.tris_per_prim) as usize)
+    }
+
+    /// The exact `f32` membership filter both the engine-side driver
+    /// and the brute-force oracle apply: `|q − p|² ≤ r²`, compared in
+    /// `f32` so the two sides agree bit-for-bit.
+    pub fn within_radius(&self, q: Vec3, point: usize) -> bool {
+        (self.points[point] - q).length_squared() <= self.radius * self.radius
+    }
+
+    /// Samples one query point. Point domains sample uniformly in
+    /// `bounds`; cell domains pick a random cell and sample its
+    /// interior at least [`QUERY_GUARD`] from every face, so the
+    /// containment probe's first hit is never within the intersection
+    /// epsilon of a face.
+    pub fn sample_query_point(&self, rng: &mut StdRng) -> Vec3 {
+        if self.is_cells() {
+            let cell = &self.cells[rng.random_range(0..self.cells.len())];
+            let lo = cell.min + Vec3::splat(QUERY_GUARD);
+            let hi = cell.max - Vec3::splat(QUERY_GUARD);
+            sample_in(rng, &Aabb { min: lo, max: hi })
+        } else {
+            sample_in(rng, &self.bounds)
+        }
+    }
+
+    /// The cell containing `q`, if any. Cells are disjoint, so the
+    /// first match is the only match.
+    pub fn cell_containing(&self, q: Vec3) -> Option<usize> {
+        self.cells.iter().position(|c| c.contains(q))
+    }
+}
+
+fn sample_in(rng: &mut StdRng, region: &Aabb) -> Vec3 {
+    let e = region.extent();
+    region.min
+        + Vec3::new(
+            rng.random_range(0.0..e.x.max(f32::EPSILON)),
+            rng.random_range(0.0..e.y.max(f32::EPSILON)),
+            rng.random_range(0.0..e.z.max(f32::EPSILON)),
+        )
+}
+
+/// One standard normal via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.random::<f32>().max(f32::MIN_POSITIVE);
+    let u2: f32 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// `count` points uniformly distributed in `region`. Deterministic for
+/// a seed.
+pub fn uniform_points(region: Aabb, count: usize, seed: u64) -> Vec<Vec3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| sample_in(&mut rng, &region)).collect()
+}
+
+/// `count` points drawn from a Gaussian mixture: `clusters` centers
+/// uniform in `region`, isotropic deviation `sigma`, samples clamped
+/// into `region`. Deterministic for a seed.
+pub fn clustered_points(
+    region: Aabb,
+    count: usize,
+    clusters: usize,
+    sigma: f32,
+    seed: u64,
+) -> Vec<Vec3> {
+    assert!(clusters > 0, "need at least one cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec3> = (0..clusters)
+        .map(|_| sample_in(&mut rng, &region))
+        .collect();
+    (0..count)
+        .map(|_| {
+            let c = centers[rng.random_range(0..centers.len())];
+            let p = c + Vec3::new(
+                gaussian(&mut rng) * sigma,
+                gaussian(&mut rng) * sigma,
+                gaussian(&mut rng) * sigma,
+            );
+            p.max(region.min).min(region.max)
+        })
+        .collect()
+}
+
+/// `count` points on the sphere of the given center/radius (the
+/// surface-sampled profile: lidar-scan-like shells). Deterministic for
+/// a seed.
+pub fn surface_points(center: Vec3, radius: f32, count: usize, seed: u64) -> Vec<Vec3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            // Isotropic direction from three gaussians; resample the
+            // (measure-zero) near-degenerate draws.
+            loop {
+                let d = Vec3::new(gaussian(&mut rng), gaussian(&mut rng), gaussian(&mut rng));
+                let len = d.length();
+                if len > 1.0e-3 {
+                    return center + d * (radius / len);
+                }
+            }
+        })
+        .collect()
+}
+
+/// The BVH geometry for a point domain: one octahedron of circumradius
+/// `radius * INFLATE` per point (see the module docs for why the
+/// inflation makes the face-AABB candidate superset robust).
+pub fn point_cloud_tris(points: &[Vec3], radius: f32) -> Vec<Triangle> {
+    let mut tris = Vec::with_capacity(points.len() * TRIS_PER_POINT as usize);
+    for &p in points {
+        tris.extend(crate::octahedron(p, radius * INFLATE));
+    }
+    tris
+}
+
+/// A two-level AMR cell grid over `region`: a coarse `g³` grid with the
+/// `(-,-,-)` octant refined 2× (each coarse cell there split into 8).
+/// Every cell is shrunk by [`CELL_GAP`] per side so no two faces
+/// coincide. Returns the shrunk cells.
+///
+/// # Panics
+///
+/// Panics if `g < 2` or `g` is odd (the refined octant needs a whole
+/// number of coarse cells).
+pub fn amr_cells(region: Aabb, g: usize) -> Vec<Aabb> {
+    assert!(
+        g >= 2 && g.is_multiple_of(2),
+        "grid must be even and >= 2, got {g}"
+    );
+    let e = region.extent();
+    let step = e / g as f32;
+    let corner = |ix: usize, iy: usize, iz: usize| {
+        region.min + Vec3::new(ix as f32 * step.x, iy as f32 * step.y, iz as f32 * step.z)
+    };
+    let shrink = |b: Aabb| Aabb {
+        min: b.min + Vec3::splat(CELL_GAP),
+        max: b.max - Vec3::splat(CELL_GAP),
+    };
+    let mut cells = Vec::new();
+    let h = g / 2;
+    for iz in 0..g {
+        for iy in 0..g {
+            for ix in 0..g {
+                let lo = corner(ix, iy, iz);
+                let hi = corner(ix + 1, iy + 1, iz + 1);
+                if ix < h && iy < h && iz < h {
+                    // Refined octant: split this coarse cell into 8.
+                    let mid = (lo + hi) * 0.5;
+                    for oz in 0..2 {
+                        for oy in 0..2 {
+                            for ox in 0..2 {
+                                let fmin = Vec3::new(
+                                    if ox == 0 { lo.x } else { mid.x },
+                                    if oy == 0 { lo.y } else { mid.y },
+                                    if oz == 0 { lo.z } else { mid.z },
+                                );
+                                let fmax = Vec3::new(
+                                    if ox == 0 { mid.x } else { hi.x },
+                                    if oy == 0 { mid.y } else { hi.y },
+                                    if oz == 0 { mid.z } else { hi.z },
+                                );
+                                cells.push(shrink(Aabb {
+                                    min: fmin,
+                                    max: fmax,
+                                }));
+                            }
+                        }
+                    }
+                } else {
+                    cells.push(shrink(Aabb { min: lo, max: hi }));
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// The BVH geometry for a cell domain: one 12-triangle box per (already
+/// shrunk) cell.
+pub fn cell_tris(cells: &[Aabb]) -> Vec<Triangle> {
+    let mut tris = Vec::with_capacity(cells.len() * TRIS_PER_CELL as usize);
+    for c in cells {
+        tris.extend(crate::box_at(c.centroid(), c.extent() * 0.5));
+    }
+    tris
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn region() -> Aabb {
+        Aabb::new(Vec3::splat(-4.0), Vec3::splat(4.0))
+    }
+
+    #[test]
+    fn point_generators_are_deterministic_and_in_bounds() {
+        for (a, b) in [
+            (
+                uniform_points(region(), 100, 7),
+                uniform_points(region(), 100, 7),
+            ),
+            (
+                clustered_points(region(), 100, 4, 0.5, 7),
+                clustered_points(region(), 100, 4, 0.5, 7),
+            ),
+            (
+                surface_points(Vec3::ZERO, 3.0, 100, 7),
+                surface_points(Vec3::ZERO, 3.0, 100, 7),
+            ),
+        ] {
+            assert_eq!(a, b);
+            assert_eq!(a.len(), 100);
+        }
+        assert_ne!(
+            uniform_points(region(), 100, 7),
+            uniform_points(region(), 100, 8)
+        );
+        for p in uniform_points(region(), 200, 3) {
+            assert!(region().contains(p));
+        }
+        for p in clustered_points(region(), 200, 4, 1.0, 3) {
+            assert!(region().contains(p), "clamped into the region");
+        }
+        for p in surface_points(Vec3::ONE, 2.5, 200, 3) {
+            assert!(((p - Vec3::ONE).length() - 2.5).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn octahedron_face_aabbs_tile_the_inflated_cube() {
+        // The superset guarantee kNN/radius traversal rests on: any q
+        // with |q - p|∞ <= R falls in at least one face AABB.
+        let p = Vec3::new(1.0, -2.0, 0.5);
+        let r = 0.7;
+        let tris = point_cloud_tris(&[p], r);
+        assert_eq!(tris.len(), TRIS_PER_POINT as usize);
+        let mut rng = StdRng::seed_from_u64(11);
+        let cube = Aabb::new(p - Vec3::splat(r), p + Vec3::splat(r));
+        for _ in 0..500 {
+            let q = sample_in(&mut rng, &cube);
+            assert!(
+                tris.iter().any(|t| t.bounds().contains(q)),
+                "query point {q:?} escaped every face AABB"
+            );
+        }
+    }
+
+    #[test]
+    fn amr_cells_are_disjoint_and_cover_two_levels() {
+        let cells = amr_cells(region(), 4);
+        // 4^3 coarse minus the 2^3 refined octant, plus 8 fine each.
+        assert_eq!(cells.len(), 64 - 8 + 64);
+        for (i, a) in cells.iter().enumerate() {
+            assert!(!a.is_empty());
+            for b in cells.iter().skip(i + 1) {
+                assert!(!a.overlaps(b), "cells {a:?} and {b:?} overlap");
+            }
+        }
+        assert_eq!(cell_tris(&cells).len(), cells.len() * 12);
+    }
+
+    #[test]
+    fn cell_domain_sampling_stays_inside_one_cell() {
+        let domain = QueryDomain::cells(amr_cells(region(), 2), 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let q = domain.sample_query_point(&mut rng);
+            let cell = domain.cell_containing(q).expect("sampled inside a cell");
+            let c = &domain.cells[cell];
+            // At least the guard band from every face.
+            assert!(q.x - c.min.x >= QUERY_GUARD * 0.99 && c.max.x - q.x >= QUERY_GUARD * 0.99);
+            assert!(q.y - c.min.y >= QUERY_GUARD * 0.99 && c.max.y - q.y >= QUERY_GUARD * 0.99);
+            assert!(q.z - c.min.z >= QUERY_GUARD * 0.99 && c.max.z - q.z >= QUERY_GUARD * 0.99);
+        }
+    }
+
+    #[test]
+    fn point_domain_filters_by_exact_distance() {
+        let pts = vec![Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0)];
+        let d = QueryDomain::points(pts, 1.0, 4, 0);
+        assert!(d.within_radius(Vec3::new(0.9, 0.0, 0.0), 0));
+        assert!(!d.within_radius(Vec3::new(0.9, 0.0, 0.0), 1));
+        assert_eq!(d.primitive_of(0), Some(0));
+        assert_eq!(d.primitive_of(7), Some(0));
+        assert_eq!(d.primitive_of(8), Some(1));
+        assert!(!d.is_cells());
+        // Bounds pad the data hull by the radius.
+        assert!(d.bounds.contains(Vec3::new(-1.0, -1.0, -1.0)));
+        assert!(d.bounds.contains(Vec3::new(3.0, 1.0, 1.0)));
+    }
+}

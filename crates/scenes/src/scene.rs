@@ -1,6 +1,6 @@
 //! Scene assembly: geometry + materials + camera + sky, with a built BVH.
 
-use crate::{Camera, Material, Sky};
+use crate::{Camera, Material, QueryDomain, Sky};
 use cooprt_bvh::{build_binary, BvhImage, TreeStats, WideBvh};
 use cooprt_math::{Rgb, Triangle, Vec3};
 use rand::Rng;
@@ -26,6 +26,10 @@ pub struct Scene {
     pub lights: Vec<u32>,
     /// BVH statistics (Table 2 data).
     pub stats: TreeStats,
+    /// Spatial-query domain, for scenes that index a point cloud or an
+    /// AMR cell grid (see [`QueryDomain`]). `None` for pure rendering
+    /// scenes.
+    pub query: Option<QueryDomain>,
     closed: bool,
 }
 
@@ -67,6 +71,7 @@ impl Scene {
             sky: Sky::default(),
             lights: Vec::new(),
             stats,
+            query: None,
             closed: false,
         }
     }
@@ -101,6 +106,9 @@ impl Scene {
         let mut b = SceneBuilder::new(self.name.clone(), self.camera)
             .sky(self.sky)
             .closed(self.closed);
+        if let Some(q) = &self.query {
+            b = b.query(q.clone());
+        }
         for (tri, mat) in self.image.triangles().iter().zip(&self.materials) {
             b = b.push(vec![*tri], *mat);
         }
@@ -153,6 +161,7 @@ pub struct SceneBuilder {
     materials: Vec<Material>,
     camera: Camera,
     sky: Sky,
+    query: Option<QueryDomain>,
     closed: bool,
 }
 
@@ -165,6 +174,7 @@ impl SceneBuilder {
             materials: Vec::new(),
             camera,
             sky: Sky::default(),
+            query: None,
             closed: false,
         }
     }
@@ -172,6 +182,12 @@ impl SceneBuilder {
     /// Sets the sky model.
     pub fn sky(mut self, sky: Sky) -> Self {
         self.sky = sky;
+        self
+    }
+
+    /// Attaches a spatial-query domain (see [`QueryDomain`]).
+    pub fn query(mut self, query: QueryDomain) -> Self {
+        self.query = Some(query);
         self
     }
 
@@ -225,6 +241,7 @@ impl SceneBuilder {
             sky: self.sky,
             lights,
             stats,
+            query: self.query,
             closed: self.closed,
         }
     }

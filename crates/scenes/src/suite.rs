@@ -7,6 +7,10 @@
 //! in the paper ("would not finish after 3 days of simulation").
 
 use crate::generators::{box_at, heightfield, icosphere, room, scatter_clutter};
+use crate::query::{
+    amr_cells, cell_tris, clustered_points, point_cloud_tris, surface_points, uniform_points,
+    QueryDomain,
+};
 use crate::{Camera, Material, Scene, SceneBuilder, Sky};
 use cooprt_math::{Aabb, Rgb, Vec3};
 
@@ -48,6 +52,17 @@ pub enum SceneId {
     Car,
     /// A robot model: the largest tree in the suite (paper: 1.7 GB).
     Robot,
+    /// Query scene: uniformly distributed point cloud (kNN / radius
+    /// search workload; not part of the paper's rendering suite).
+    Quni,
+    /// Query scene: clustered (Gaussian-mixture) point cloud — dense
+    /// hotspots with sparse voids, the divergence-heavy profile.
+    Qclu,
+    /// Query scene: surface-sampled point cloud (a lidar-like shell).
+    Qsrf,
+    /// Query scene: two-level AMR cell grid (point-in-cell containment,
+    /// after Zellmann et al.).
+    Qamr,
 }
 
 /// All scenes in the paper's Fig. 9 order.
@@ -68,6 +83,11 @@ pub const ALL_SCENES: [SceneId; 15] = [
     SceneId::Car,
     SceneId::Robot,
 ];
+
+/// The spatial-query scenes (point clouds and the AMR grid). Not part
+/// of [`ALL_SCENES`]: rendering matrices and paper figures stay pinned
+/// to the 15-scene suite; query workloads opt in explicitly.
+pub const QUERY_SCENES: [SceneId; 4] = [SceneId::Quni, SceneId::Qclu, SceneId::Qsrf, SceneId::Qamr];
 
 /// The scene subset used by the paper's Fig. 17 (AO/SH shaders).
 pub const PAPER_FIG17_SCENES: [SceneId; 14] = [
@@ -106,6 +126,10 @@ impl SceneId {
             SceneId::Frst => "frst",
             SceneId::Car => "car",
             SceneId::Robot => "robot",
+            SceneId::Quni => "quni",
+            SceneId::Qclu => "qclu",
+            SceneId::Qsrf => "qsrf",
+            SceneId::Qamr => "qamr",
         }
     }
 
@@ -133,6 +157,11 @@ impl SceneId {
             SceneId::Fox => 60,
             SceneId::Car => 100,
             SceneId::Robot => 135,
+            // Query scenes: points (or cells) per detail level.
+            SceneId::Quni => 40,
+            SceneId::Qclu => 40,
+            SceneId::Qsrf => 40,
+            SceneId::Qamr => 24,
         }
     }
 
@@ -698,7 +727,68 @@ impl SceneId {
                     )
                     .build()
             }
+            SceneId::Quni => {
+                let region = Aabb::new(Vec3::splat(-8.0), Vec3::splat(8.0));
+                Self::point_scene(self.name(), uniform_points(region, n, seed), 1.5, 8)
+            }
+            SceneId::Qclu => {
+                let region = Aabb::new(Vec3::splat(-8.0), Vec3::splat(8.0));
+                Self::point_scene(
+                    self.name(),
+                    clustered_points(region, n, 6, 1.2, seed),
+                    1.0,
+                    8,
+                )
+            }
+            SceneId::Qsrf => Self::point_scene(
+                self.name(),
+                surface_points(Vec3::ZERO, 6.0, n, seed),
+                0.8,
+                8,
+            ),
+            SceneId::Qamr => {
+                // Grid side from the cell budget, rounded up to even
+                // (the refined octant needs whole coarse cells).
+                let g = ((n as f32).cbrt().ceil() as usize).max(2);
+                let g = g + (g % 2);
+                let region = Aabb::new(Vec3::splat(-8.0), Vec3::splat(8.0));
+                let cells = amr_cells(region, g);
+                let tris = cell_tris(&cells);
+                SceneBuilder::new(self.name(), Self::query_camera())
+                    .sky(Sky::Gradient {
+                        horizon: Rgb::new(0.25, 0.25, 0.3),
+                        zenith: Rgb::new(0.05, 0.05, 0.1),
+                    })
+                    .query(QueryDomain::cells(cells, 0))
+                    .push(tris, gray)
+                    .build()
+            }
         }
+    }
+
+    /// Shared camera for the query scenes (render kinds still work on
+    /// them; queries never read it).
+    fn query_camera() -> Camera {
+        Camera::look_at(Vec3::new(16.0, 14.0, 16.0), Vec3::ZERO, Vec3::Y, 45.0, 1.0)
+    }
+
+    /// Assembles a point-cloud query scene: octahedron primitives over
+    /// the points, with the matching [`QueryDomain`] attached.
+    fn point_scene(name: &str, points: Vec<Vec3>, radius: f32, k: usize) -> Scene {
+        let tris = point_cloud_tris(&points, radius);
+        SceneBuilder::new(name, Self::query_camera())
+            .sky(Sky::Gradient {
+                horizon: Rgb::new(0.25, 0.25, 0.3),
+                zenith: Rgb::new(0.05, 0.05, 0.1),
+            })
+            .query(QueryDomain::points(points, radius, k, 0))
+            .push(
+                tris,
+                Material::Lambertian {
+                    albedo: Rgb::splat(0.6),
+                },
+            )
+            .build()
     }
 }
 
@@ -783,9 +873,66 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let mut names: Vec<_> = ALL_SCENES.iter().map(|s| s.name()).collect();
+        let mut names: Vec<_> = ALL_SCENES
+            .iter()
+            .chain(QUERY_SCENES.iter())
+            .map(|s| s.name())
+            .collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), ALL_SCENES.len());
+        assert_eq!(names.len(), ALL_SCENES.len() + QUERY_SCENES.len());
+    }
+
+    #[test]
+    fn query_scenes_build_with_matching_domains() {
+        for id in QUERY_SCENES {
+            let scene = id.build(2);
+            assert_eq!(scene.name, id.name());
+            let q = scene.query.as_ref().expect("query scenes carry a domain");
+            if q.is_cells() {
+                // Every cell contributes exactly 12 box triangles.
+                assert_eq!(
+                    scene.triangle_count(),
+                    q.prim_base as usize + q.cells.len() * q.tris_per_prim as usize
+                );
+                assert!(q.points.is_empty());
+            } else {
+                // Every point contributes exactly 8 octahedron triangles.
+                assert_eq!(
+                    scene.triangle_count(),
+                    q.prim_base as usize + q.points.len() * q.tris_per_prim as usize
+                );
+                assert_eq!(q.points.len(), id.clutter_base() * 2);
+                assert!(q.radius > 0.0 && q.k > 0);
+                // All data points inside the sampling bounds.
+                for &p in &q.points {
+                    assert!(q.bounds.contains(p), "{id}: point {p:?} outside bounds");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_scene_builds_are_deterministic() {
+        for id in QUERY_SCENES {
+            let a = id.build(2);
+            let b = id.build(2);
+            assert_eq!(
+                a.image.content_hash(),
+                b.image.content_hash(),
+                "{id}: same seed must give a bitwise-identical BVH image"
+            );
+            assert_eq!(a.query, b.query, "{id}: domains must match");
+        }
+    }
+
+    #[test]
+    fn point_cloud_scene_round_trips_through_a_rebuild() {
+        let scene = SceneId::Quni.build(2);
+        let rebuilt = scene.rebuilt_with(cooprt_bvh::build_binary_median);
+        // Different builder, same geometry and domain.
+        assert_eq!(scene.image.triangles(), rebuilt.image.triangles());
+        assert_eq!(scene.query, rebuilt.query);
+        assert!(rebuilt.image.node_count() > 0);
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::error::ServeError;
 use cooprt_core::{GpuConfig, PredictPolicy, ReorderPolicy, ShaderKind, TraversalPolicy};
-use cooprt_scenes::{SceneId, ALL_SCENES};
+use cooprt_scenes::{SceneId, ALL_SCENES, QUERY_SCENES};
 use cooprt_telemetry::JsonValue;
 
 /// Widest frame the service will simulate (cycle-level simulation is
@@ -112,9 +112,14 @@ impl Default for JobRequest {
     }
 }
 
-/// Looks up a scene by its suite name.
+/// Looks up a scene by its suite name — the 15 render scenes plus the
+/// 4 spatial-query scenes.
 pub fn scene_by_name(name: &str) -> Option<SceneId> {
-    ALL_SCENES.iter().copied().find(|s| s.name() == name)
+    ALL_SCENES
+        .iter()
+        .chain(QUERY_SCENES.iter())
+        .copied()
+        .find(|s| s.name() == name)
 }
 
 fn bad(msg: impl Into<String>) -> ServeError {
@@ -172,7 +177,11 @@ impl JobRequest {
 
         if let Some(name) = opt_str(doc, "scene")? {
             req.scene = scene_by_name(name).ok_or_else(|| {
-                let known: Vec<&str> = ALL_SCENES.iter().map(|s| s.name()).collect();
+                let known: Vec<&str> = ALL_SCENES
+                    .iter()
+                    .chain(QUERY_SCENES.iter())
+                    .map(|s| s.name())
+                    .collect();
                 bad(format!(
                     "unknown scene '{name}' (known: {})",
                     known.join(", ")
@@ -214,7 +223,14 @@ impl JobRequest {
                 "pt" | "path" => ShaderKind::PathTrace,
                 "ao" => ShaderKind::AmbientOcclusion,
                 "sh" | "shadow" => ShaderKind::Shadow,
-                other => return Err(bad(format!("unknown shader '{other}' (pt, ao, sh)"))),
+                "knn" => ShaderKind::Knn,
+                "rad" | "radius" => ShaderKind::Radius,
+                "cont" | "contain" => ShaderKind::Contain,
+                other => {
+                    return Err(bad(format!(
+                        "unknown shader '{other}' (pt, ao, sh, knn, rad, cont)"
+                    )))
+                }
             };
         }
         if let Some(p) = opt_str(doc, "policy")? {
@@ -278,7 +294,7 @@ impl JobRequest {
             self.width,
             self.height,
             self.spp,
-            self.shader.label(),
+            self.shader.key(),
             self.policy.label(),
             self.reorder.label(),
             self.predict.label(),
@@ -324,6 +340,24 @@ mod tests {
         assert_eq!(req.config, ConfigPreset::Small(4));
         assert!(req.include_image && req.trace && req.run_async);
         assert_eq!(req.deadline_ms, Some(5000));
+    }
+
+    #[test]
+    fn query_scenes_and_shaders_parse() {
+        let req = parse(r#"{"scene": "quni", "shader": "knn"}"#).unwrap();
+        assert_eq!(req.scene, SceneId::Quni);
+        assert_eq!(req.shader, ShaderKind::Knn);
+        let req = parse(r#"{"scene": "qclu", "shader": "radius"}"#).unwrap();
+        assert_eq!(req.shader, ShaderKind::Radius);
+        let req = parse(r#"{"scene": "qamr", "shader": "cont"}"#).unwrap();
+        assert_eq!(
+            (req.scene, req.shader),
+            (SceneId::Qamr, ShaderKind::Contain)
+        );
+        // Query shaders move the canonical key like any other shader.
+        let knn = parse(r#"{"scene": "quni", "shader": "knn"}"#).unwrap();
+        let rad = parse(r#"{"scene": "quni", "shader": "rad"}"#).unwrap();
+        assert_ne!(knn.canonical_key(), rad.canonical_key());
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub enum Endpoint {
     Render,
     /// `POST /v1/simulate`: the full [`MetricsReport`].
     Simulate,
+    /// `POST /v1/query`: spatial-query batch + per-query answers.
+    Query,
 }
 
 impl Endpoint {
@@ -37,6 +39,7 @@ impl Endpoint {
         match self {
             Endpoint::Render => "render",
             Endpoint::Simulate => "simulate",
+            Endpoint::Query => "query",
         }
     }
 }
@@ -111,6 +114,23 @@ impl Executor {
         spans: &SpanRecorder,
         log: &Logger,
     ) -> Result<ExecOutcome, ServeError> {
+        // The query endpoint's contract: a query shader on one batch.
+        // Checked before the cache so invalid combinations can never be
+        // admitted (or cached) in the first place.
+        if endpoint == Endpoint::Query {
+            if !req.shader.is_query() {
+                return Err(ServeError::BadRequest(format!(
+                    "/v1/query needs a query shader (knn, rad, cont), got '{}'",
+                    req.shader.key()
+                )));
+            }
+            if req.spp != 1 {
+                return Err(ServeError::BadRequest(
+                    "query jobs run one batch; spp must be 1".to_string(),
+                ));
+            }
+        }
+
         let key = Self::cache_key(endpoint, req);
         let hit = spans.time("result_cache", || self.results.get(key));
         if let Some(body) = hit {
@@ -151,7 +171,7 @@ impl Executor {
         w.field_u64("width", req.width as u64);
         w.field_u64("height", req.height as u64);
         w.field_u64("spp", u64::from(req.spp));
-        w.field_str("shader", req.shader.label());
+        w.field_str("shader", req.shader.key());
         w.field_str("policy", req.policy.label());
         w.field_str("reorder", req.reorder.label());
         w.field_str("predict", req.predict.label());
@@ -196,12 +216,41 @@ impl Executor {
                 trace_log.events.len() as u64 + trace_log.dropped,
             );
         }
+        if endpoint == Endpoint::Query {
+            // Per-query answers, indexed by query id: point indices for
+            // knn/rad (nearest-first / ascending), the containing cell
+            // for cont. Deterministic — a pure function of the
+            // canonical key — so the body is safe to cache like any
+            // other.
+            let answers = &frames[0].query_results;
+            w.field_u64("queries", answers.len() as u64);
+            w.field_u64(
+                "answer_entries",
+                answers.iter().map(|a| a.len() as u64).sum(),
+            );
+            let mut raw = String::from("[");
+            for (i, a) in answers.iter().enumerate() {
+                if i > 0 {
+                    raw.push(',');
+                }
+                raw.push('[');
+                for (j, id) in a.iter().enumerate() {
+                    if j > 0 {
+                        raw.push(',');
+                    }
+                    raw.push_str(&id.to_string());
+                }
+                raw.push(']');
+            }
+            raw.push(']');
+            w.field_raw("answers", &raw);
+        }
         if endpoint == Endpoint::Simulate {
             let mut report = MetricsReport::new(&format!(
                 "{} {} {}",
                 req.scene.name(),
                 req.policy.label(),
-                req.shader.label()
+                req.shader.key()
             ));
             for (i, frame) in frames.iter().enumerate() {
                 report.add_frame(&format!("sample{i}"), frame);
@@ -325,6 +374,72 @@ mod tests {
         assert!(!render.cached && !simulate.cached);
         assert_ne!(*render.body, *simulate.body);
         assert_eq!(exec.result_cache().len(), 2);
+    }
+
+    #[test]
+    fn query_bodies_carry_deterministic_answers() {
+        use cooprt_core::ShaderKind;
+        use cooprt_scenes::SceneId;
+        let exec = Executor::new(2, 4);
+        let req = JobRequest {
+            scene: SceneId::Quni,
+            shader: ShaderKind::Knn,
+            width: 8,
+            height: 4,
+            ..JobRequest::default()
+        };
+        let fresh = exec.execute(Endpoint::Query, &req, 1).unwrap();
+        let doc = parse_json(std::str::from_utf8(&fresh.body).unwrap()).unwrap();
+        assert_eq!(doc.get("kind").and_then(|v| v.as_str()), Some("query"));
+        assert_eq!(doc.get("shader").and_then(|v| v.as_str()), Some("knn"));
+        assert_eq!(doc.get("queries").and_then(|v| v.as_f64()), Some(32.0));
+        let answers = match doc.get("answers") {
+            Some(cooprt_telemetry::JsonValue::Array(a)) => a,
+            other => panic!("expected answers array, got {other:?}"),
+        };
+        assert_eq!(answers.len(), 32, "one answer row per query");
+        assert!(
+            doc.get("answer_entries").and_then(|v| v.as_f64()).unwrap() > 0.0,
+            "the uniform cloud batch should find neighbours"
+        );
+        // Cache hits return the identical bytes, like every endpoint.
+        let hit = exec.execute(Endpoint::Query, &req, 2).unwrap();
+        assert!(hit.cached);
+        assert_eq!(*fresh.body, *hit.body);
+    }
+
+    #[test]
+    fn query_endpoint_rejects_mismatched_jobs() {
+        use cooprt_core::ShaderKind;
+        use cooprt_scenes::SceneId;
+        let exec = Executor::new(2, 4);
+        // Render shader on the query endpoint: 400 before any work.
+        let render = small_request();
+        match exec.execute(Endpoint::Query, &render, 1) {
+            Err(ServeError::BadRequest(msg)) => assert!(msg.contains("query shader")),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        // Multi-sample query batches are rejected too.
+        let multi = JobRequest {
+            scene: SceneId::Quni,
+            shader: ShaderKind::Knn,
+            spp: 2,
+            ..small_request()
+        };
+        match exec.execute(Endpoint::Query, &multi, 1) {
+            Err(ServeError::BadRequest(msg)) => assert!(msg.contains("spp must be 1")),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        // A query shader against a scene with no domain is the engine's
+        // domain-mismatch config error (HTTP 400).
+        let wrong_scene = JobRequest {
+            shader: ShaderKind::Knn,
+            ..small_request()
+        };
+        match exec.execute(Endpoint::Query, &wrong_scene, 1) {
+            Err(ServeError::Config(_)) => {}
+            other => panic!("expected Config error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -47,19 +47,22 @@ pub enum Route {
     Jobs,
     /// `GET /v1/spans/<id>`.
     Spans,
+    /// `POST /v1/query`.
+    Query,
     /// Anything else, including unparsable requests.
     Other,
 }
 
 impl Route {
     /// Every route, in label order.
-    pub const ALL: [Route; 7] = [
+    pub const ALL: [Route; 8] = [
         Route::Healthz,
         Route::Metrics,
         Route::Render,
         Route::Simulate,
         Route::Jobs,
         Route::Spans,
+        Route::Query,
         Route::Other,
     ];
 
@@ -72,6 +75,7 @@ impl Route {
             Route::Simulate => "simulate",
             Route::Jobs => "jobs",
             Route::Spans => "spans",
+            Route::Query => "query",
             Route::Other => "other",
         }
     }
@@ -85,6 +89,7 @@ impl Route {
             "/metrics" => Route::Metrics,
             "/v1/render" => Route::Render,
             "/v1/simulate" => Route::Simulate,
+            "/v1/query" => Route::Query,
             _ if path.starts_with("/v1/jobs/") => Route::Jobs,
             _ if path.starts_with("/v1/spans/") => Route::Spans,
             _ => Route::Other,
@@ -92,7 +97,7 @@ impl Route {
     }
 
     fn index(self) -> usize {
-        Route::ALL.iter().position(|r| *r == self).unwrap_or(6)
+        Route::ALL.iter().position(|r| *r == self).unwrap_or(7)
     }
 }
 
@@ -119,7 +124,7 @@ pub struct ServerMetrics {
     /// Response bytes written to sockets (status line + headers +
     /// body).
     pub bytes_out: AtomicU64,
-    route_requests: [AtomicU64; 7],
+    route_requests: [AtomicU64; 8],
     route_latency_us: Vec<FixedHistogram>,
     /// Request handling latencies, microseconds (parse → response
     /// flushed).

@@ -393,11 +393,12 @@ fn handle_request(shared: &Arc<Shared>, request: &Request) -> Result<Response, S
         )),
         ("POST", "/v1/render") => submit_job(shared, Endpoint::Render, request),
         ("POST", "/v1/simulate") => submit_job(shared, Endpoint::Simulate, request),
+        ("POST", "/v1/query") => submit_job(shared, Endpoint::Query, request),
         ("GET", path) if path.starts_with("/v1/jobs/") => job_status(shared, path),
         ("GET", path) if path.starts_with("/v1/spans/") => request_spans(shared, path),
         // Known routes under the wrong method get a 405 + Allow.
         (_, "/healthz") | (_, "/metrics") => Err(ServeError::MethodNotAllowed { allow: "GET" }),
-        (_, "/v1/render") | (_, "/v1/simulate") => {
+        (_, "/v1/render") | (_, "/v1/simulate") | (_, "/v1/query") => {
             Err(ServeError::MethodNotAllowed { allow: "POST" })
         }
         (_, path) if path.starts_with("/v1/jobs/") || path.starts_with("/v1/spans/") => {
@@ -620,6 +621,33 @@ mod tests {
         match handle_request(&shared, &get("/v1/jobs/12345")) {
             Err(ServeError::JobNotFound(12345)) => {}
             other => panic!("expected JobNotFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_jobs_round_trip_with_answers() {
+        let shared = test_shared();
+        let body = r#"{"scene": "quni", "shader": "knn", "width": 8, "height": 4}"#;
+        let first = handle_request(&shared, &post("/v1/query", body)).unwrap();
+        assert_eq!(first.status, 200);
+        let doc = parse_json(std::str::from_utf8(&first.body).unwrap()).unwrap();
+        assert_eq!(doc.get("kind").and_then(|v| v.as_str()), Some("query"));
+        assert!(doc.get("answers").is_some());
+        // Second submission is a result-cache hit with identical bytes.
+        let second = handle_request(&shared, &post("/v1/query", body)).unwrap();
+        assert!(second
+            .headers
+            .iter()
+            .any(|(n, v)| n == "X-Cache" && v == "hit"));
+        assert_eq!(first.body, second.body);
+        // Wrong method gets the POST allow-list; render shaders 400.
+        match handle_request(&shared, &get("/v1/query")) {
+            Err(ServeError::MethodNotAllowed { allow: "POST" }) => {}
+            other => panic!("expected 405, got {other:?}"),
+        }
+        match handle_request(&shared, &post("/v1/query", r#"{"width": 6, "height": 4}"#)) {
+            Err(ServeError::BadRequest(msg)) => assert!(msg.contains("query shader")),
+            other => panic!("expected BadRequest, got {other:?}"),
         }
     }
 

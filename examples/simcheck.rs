@@ -9,7 +9,9 @@
 //! unordered image bitwise; sort keys are reproducible at any worker
 //! count), and the predictor differential (intersection and ray-path
 //! prediction — alone and stacked — render the speculation-free image
-//! bitwise with honest stats counters).
+//! bitwise with honest stats counters), and the spatial-query
+//! differential (kNN / radius / containment answers through the timing
+//! model must equal a brute-force scan of the raw domain exactly).
 //!
 //! ```sh
 //! # CI smoke: 64 consecutive seeds starting at 0.
@@ -17,7 +19,8 @@
 //!
 //! # Fuzz the JSON parser, the serve result cache, and record/replay too.
 //! cargo run --release --example simcheck -- --seeds 64 --json-seeds 256 \
-//!     --serve-seeds 8 --trace-seeds 16 --reorder-seeds 8 --predict-seeds 8
+//!     --serve-seeds 8 --trace-seeds 16 --reorder-seeds 8 --predict-seeds 8 \
+//!     --query-seeds 8
 //!
 //! # Replay a failing seed reported by the fuzzer.
 //! cargo run --release --example simcheck -- --seed 12345
@@ -26,6 +29,7 @@
 //! cargo run --release --example simcheck -- --trace-seed 12345
 //! cargo run --release --example simcheck -- --reorder-seed 12345
 //! cargo run --release --example simcheck -- --predict-seed 12345
+//! cargo run --release --example simcheck -- --query-seed 12345
 //! ```
 //!
 //! On failure the harness prints the shrunk, minimized configuration
@@ -33,7 +37,9 @@
 //! reproduces), the diverging oracle, and the exact replay command,
 //! then exits non-zero.
 
-use cooprt_check::{fuzz, jsonfuzz, predictcheck, reordercheck, servecache, tracecheck, FuzzCase};
+use cooprt_check::{
+    fuzz, jsonfuzz, predictcheck, querycheck, reordercheck, servecache, tracecheck, FuzzCase,
+};
 
 struct Args {
     /// Replay exactly this seed (overrides the budget).
@@ -62,6 +68,10 @@ struct Args {
     predict_seed: Option<u64>,
     /// Predictor differential budget (0 = skip).
     predict_seeds: u64,
+    /// Replay exactly this spatial-query seed.
+    query_seed: Option<u64>,
+    /// Spatial-query differential budget (0 = skip).
+    query_seeds: u64,
 }
 
 fn parse_args() -> Args {
@@ -79,6 +89,8 @@ fn parse_args() -> Args {
         reorder_seeds: 0,
         predict_seed: None,
         predict_seeds: 0,
+        query_seed: None,
+        query_seeds: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -112,6 +124,8 @@ fn parse_args() -> Args {
             "--reorder-seeds" => args.reorder_seeds = parse_u64(value(&mut i)),
             "--predict-seed" => args.predict_seed = Some(parse_u64(value(&mut i))),
             "--predict-seeds" => args.predict_seeds = parse_u64(value(&mut i)),
+            "--query-seed" => args.query_seed = Some(parse_u64(value(&mut i))),
+            "--query-seeds" => args.query_seeds = parse_u64(value(&mut i)),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: simcheck [--seed N | --seeds COUNT [--start FIRST]]\n\
@@ -120,6 +134,7 @@ fn parse_args() -> Args {
                      \x20               [--trace-seed N | --trace-seeds COUNT]\n\
                      \x20               [--reorder-seed N | --reorder-seeds COUNT]\n\
                      \x20               [--predict-seed N | --predict-seeds COUNT]\n\
+                     \x20               [--query-seed N | --query-seeds COUNT]\n\
                      \n\
                      --seed N          replay one seed through every simulator oracle\n\
                      --seeds COUNT     run COUNT consecutive seeds (default 64)\n\
@@ -133,7 +148,9 @@ fn parse_args() -> Args {
                      --reorder-seed N  replay one ray-reordering seed\n\
                      --reorder-seeds N fuzz ray reordering with N seeds (default 0)\n\
                      --predict-seed N  replay one predictor seed\n\
-                     --predict-seeds N fuzz the predictors with N seeds (default 0)"
+                     --predict-seeds N fuzz the predictors with N seeds (default 0)\n\
+                     --query-seed N    replay one spatial-query seed\n\
+                     --query-seeds N   fuzz spatial queries with N seeds (default 0)"
                 );
                 std::process::exit(0);
             }
@@ -187,6 +204,19 @@ fn main() {
         match predictcheck::run_predict_seed(seed) {
             Ok(()) => {
                 println!("predict seed {seed}: speculative images bitwise identical, stats honest")
+            }
+            Err(failure) => fail(failure),
+        }
+        return;
+    }
+    if let Some(seed) = args.query_seed {
+        println!(
+            "replaying query differential on {}",
+            FuzzCase::from_seed(seed)
+        );
+        match querycheck::run_query_seed(seed) {
+            Ok(()) => {
+                println!("query seed {seed}: engine answers exactly match brute force")
             }
             Err(failure) => fail(failure),
         }
@@ -269,6 +299,16 @@ fn main() {
         );
         match predictcheck::run_predict_budget(args.start, args.predict_seeds) {
             Ok(count) => println!("{count}/{count} predict seeds passed"),
+            Err(failure) => fail(failure),
+        }
+    }
+    if args.query_seeds > 0 {
+        println!(
+            "fuzzing spatial-query exactness: {} seeds",
+            args.query_seeds
+        );
+        match querycheck::run_query_budget(args.start, args.query_seeds) {
+            Ok(count) => println!("{count}/{count} query seeds passed"),
             Err(failure) => fail(failure),
         }
     }

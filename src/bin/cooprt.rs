@@ -7,7 +7,8 @@ use cooprt::core::{
     FrameResult, GpuConfig, PredictPolicy, ReorderPolicy, ShaderKind, Simulation, Trace,
     TraversalPolicy,
 };
-use cooprt::scenes::{Scene, SceneId, ALL_SCENES};
+use cooprt::query::QueryRun;
+use cooprt::scenes::{Scene, SceneId, ALL_SCENES, QUERY_SCENES};
 use cooprt::serve::{ServeConfig, Server};
 use std::process::ExitCode;
 
@@ -20,6 +21,7 @@ USAGE:
 COMMANDS:
     render <scene>     render a scene and write a PPM image
     compare <scene>    baseline vs CoopRT side by side
+    query <scene>      run a spatial-query batch (kNN / radius / containment)
     scenes             list the benchmark suite (Table 2 style)
     area               print the CoopRT area model (Table 3 style)
     serve              run the batch render/simulation HTTP service
@@ -37,6 +39,21 @@ OPTIONS (render / compare):
     --predict <P>      off | ray-path               [default: off]
     --mobile           use the 8-SM mobile GPU configuration
     --out <FILE>       PPM output path (render only)
+
+OPTIONS (query):
+    --detail <N>       scene detail level           [default: 16]
+    --count <N>        query points in the batch    [default: 1024]
+    --salt <N>         query sampling salt          [default: 1]
+    --shader <S>       knn | rad | cont             [default: by scene domain]
+    --policy <P>       baseline | cooprt            [default: cooprt]
+    --reorder <R>      off | morton | octant-hash   [default: off]
+    --mobile           use the 8-SM mobile GPU configuration
+    --compare          run baseline and CoopRT, assert identical answers
+    --no-verify        skip the brute-force oracle check
+
+    Query scenes: quni (uniform points), qclu (clustered points),
+    qsrf (surface-sampled points), qamr (AMR cell grid). Point scenes
+    default to the knn shader, cell scenes to cont.
 
 OPTIONS (trace record / trace replay):
     record takes the render options above; --out sets the trace path
@@ -60,6 +77,8 @@ OPTIONS (serve):
 EXAMPLES:
     cooprt render crnvl --res 96 --out crnvl.ppm
     cooprt compare fox --shader ao
+    cooprt query qclu --shader rad --compare
+    cooprt query qamr --count 4096
     cooprt scenes
     cooprt area
     COOPRT_LOG=info cooprt serve --addr 127.0.0.1:7878 --workers 4
@@ -158,10 +177,15 @@ impl Options {
 fn find_scene(name: &str) -> Result<SceneId, String> {
     ALL_SCENES
         .iter()
+        .chain(QUERY_SCENES.iter())
         .copied()
         .find(|s| s.name() == name)
         .ok_or_else(|| {
-            let names: Vec<&str> = ALL_SCENES.iter().map(|s| s.name()).collect();
+            let names: Vec<&str> = ALL_SCENES
+                .iter()
+                .chain(QUERY_SCENES.iter())
+                .map(|s| s.name())
+                .collect();
             format!("unknown scene '{name}'; available: {}", names.join(" "))
         })
 }
@@ -222,7 +246,7 @@ fn cmd_render(scene_name: &str, opts: &Options) -> Result<(), String> {
         "rendering '{id}' at {0}x{0} under {1} ({2} shader)...",
         opts.res,
         opts.policy.label(),
-        opts.shader.label()
+        opts.shader.key()
     );
     let frame = Simulation::new(&scene, &cfg, opts.policy)
         .run_frame(opts.shader, opts.res, opts.res)
@@ -258,6 +282,177 @@ fn cmd_compare(scene_name: &str, opts: &Options) -> Result<(), String> {
         coop.energy.avg_power_w() / base.energy.avg_power_w().max(1e-12),
         coop.energy.total_j() / base.energy.total_j().max(1e-300)
     );
+    Ok(())
+}
+
+/// Options of the `query` command.
+struct QueryOptions {
+    detail: u32,
+    count: usize,
+    salt: u64,
+    shader: Option<ShaderKind>,
+    policy: TraversalPolicy,
+    reorder: ReorderPolicy,
+    mobile: bool,
+    compare: bool,
+    verify: bool,
+}
+
+impl QueryOptions {
+    fn parse(args: &[String]) -> Result<QueryOptions, String> {
+        let mut opts = QueryOptions {
+            detail: 16,
+            count: 1024,
+            salt: 1,
+            shader: None,
+            policy: TraversalPolicy::CoopRt,
+            reorder: ReorderPolicy::Off,
+            mobile: false,
+            compare: false,
+            verify: true,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--detail" => {
+                    opts.detail = value("--detail")?
+                        .parse()
+                        .map_err(|_| "--detail expects a positive integer".to_string())?;
+                }
+                "--count" => {
+                    opts.count = value("--count")?
+                        .parse()
+                        .map_err(|_| "--count expects a positive integer".to_string())?;
+                }
+                "--salt" => {
+                    opts.salt = value("--salt")?
+                        .parse()
+                        .map_err(|_| "--salt expects an unsigned integer".to_string())?;
+                }
+                "--shader" => {
+                    opts.shader = Some(match value("--shader")?.as_str() {
+                        "knn" => ShaderKind::Knn,
+                        "rad" | "radius" => ShaderKind::Radius,
+                        "cont" | "contain" => ShaderKind::Contain,
+                        other => {
+                            return Err(format!("unknown query shader '{other}' (knn|rad|cont)"))
+                        }
+                    });
+                }
+                "--policy" => {
+                    opts.policy = match value("--policy")?.as_str() {
+                        "baseline" => TraversalPolicy::Baseline,
+                        "cooprt" => TraversalPolicy::CoopRt,
+                        other => return Err(format!("unknown policy '{other}' (baseline|cooprt)")),
+                    };
+                }
+                "--reorder" => {
+                    let v = value("--reorder")?;
+                    opts.reorder = ReorderPolicy::parse(&v)
+                        .ok_or_else(|| format!("unknown reorder '{v}' (off|morton|octant-hash)"))?;
+                }
+                "--mobile" => opts.mobile = true,
+                "--compare" => opts.compare = true,
+                "--no-verify" => opts.verify = false,
+                other => return Err(format!("unknown option '{other}'")),
+            }
+        }
+        if opts.detail == 0 || opts.count == 0 {
+            return Err("--detail and --count must be positive".into());
+        }
+        Ok(opts)
+    }
+
+    fn config(&self) -> GpuConfig {
+        let base = if self.mobile {
+            GpuConfig::mobile()
+        } else {
+            GpuConfig::rtx2060()
+        };
+        base.with_reorder(self.reorder)
+    }
+}
+
+fn query_report(label: &str, cfg: &GpuConfig, run: &QueryRun) {
+    let nonempty = run.answers.iter().filter(|a| !a.is_empty()).count();
+    let entries: usize = run.answers.iter().map(Vec::len).sum();
+    println!("--- {label} ---");
+    println!(
+        "cycles: {} ({:.3} ms at {:.0} MHz) | probe rays: {}",
+        run.cycles,
+        run.cycles as f64 / (cfg.mem.core_clock_mhz * 1e3),
+        cfg.mem.core_clock_mhz,
+        run.rays
+    );
+    println!(
+        "answers: {}/{} non-empty | {} entries | RT-unit utilization {:.1}%",
+        nonempty,
+        run.answers.len(),
+        entries,
+        run.frame.activity.avg_utilization() * 100.0
+    );
+}
+
+fn cmd_query(scene_name: &str, opts: &QueryOptions) -> Result<(), String> {
+    let id = find_scene(scene_name)?;
+    let scene = id.build(opts.detail);
+    let domain = scene.query.as_ref().ok_or_else(|| {
+        let names: Vec<&str> = QUERY_SCENES.iter().map(|s| s.name()).collect();
+        format!(
+            "'{scene_name}' has no query domain; query scenes: {}",
+            names.join(" ")
+        )
+    })?;
+    let kind = opts.shader.unwrap_or(if domain.cells.is_empty() {
+        ShaderKind::Knn
+    } else {
+        ShaderKind::Contain
+    });
+    let cfg = opts.config();
+    println!(
+        "running {} '{}' queries against '{id}' (detail {}, {} triangles)...",
+        opts.count,
+        kind.key(),
+        opts.detail,
+        scene.triangle_count()
+    );
+    let run = |policy: TraversalPolicy| {
+        cooprt::query::run_queries(&scene, &cfg, policy, kind, opts.count, opts.salt)
+            .map_err(|e| e.to_string())
+    };
+    let result = if opts.compare {
+        let base = run(TraversalPolicy::Baseline)?;
+        let coop = run(TraversalPolicy::CoopRt)?;
+        query_report("baseline", &cfg, &base);
+        query_report("cooprt", &cfg, &coop);
+        if base.answers != coop.answers {
+            return Err("policies disagree: baseline and CoopRT answers differ".into());
+        }
+        println!(
+            "speedup {:.2}x | answers identical ✓",
+            base.cycles as f64 / coop.cycles.max(1) as f64
+        );
+        coop
+    } else {
+        let r = run(opts.policy)?;
+        query_report(opts.policy.label(), &cfg, &r);
+        r
+    };
+    for (i, answer) in result.answers.iter().take(3).enumerate() {
+        println!("q{i} -> {answer:?}");
+    }
+    if opts.verify {
+        let want = cooprt::query::oracle_answers(&scene, kind, opts.count, opts.salt);
+        if result.answers != want {
+            return Err("oracle mismatch: simulated answers differ from brute force".into());
+        }
+        println!("oracle: all {} answers exact ✓", opts.count);
+    }
     Ok(())
 }
 
@@ -317,7 +512,7 @@ fn cmd_trace_record(scene_name: &str, opts: &Options) -> Result<(), String> {
         "recording '{id}' at {0}x{0} under {1} ({2} shader)...",
         opts.res,
         opts.policy.label(),
-        opts.shader.label()
+        opts.shader.key()
     );
     let (frame, trace) = Trace::record(
         &scene,
@@ -357,7 +552,7 @@ fn cmd_trace_replay(path: &str, args: &[String]) -> Result<(), String> {
         trace.scene_name,
         trace.width,
         trace.height,
-        trace.kind.label(),
+        trace.kind.key(),
         opts.policy.label()
     );
     let frame = trace
@@ -405,7 +600,7 @@ fn cmd_trace_info(path: &str) -> Result<(), String> {
         "frame: {}x{} | shader {} | salt {}",
         trace.width,
         trace.height,
-        trace.kind.label(),
+        trace.kind.key(),
         trace.sample_salt
     );
     println!(
@@ -513,7 +708,7 @@ fn cmd_serve(opts: &ServeOptions) -> Result<(), String> {
             "cooprt-serve listening on http://{addr} ({} workers, queue {})",
             opts.workers, opts.queue
         );
-        println!("endpoints: POST /v1/render  POST /v1/simulate  GET /v1/jobs/<id>  GET /v1/spans/<id>  GET /metrics  GET /healthz");
+        println!("endpoints: POST /v1/render  POST /v1/simulate  POST /v1/query  GET /v1/jobs/<id>  GET /v1/spans/<id>  GET /metrics  GET /healthz");
         println!("ctrl-c or SIGTERM drains gracefully");
         return server.run().map_err(|e| e.to_string());
     }
@@ -631,6 +826,9 @@ fn main() -> ExitCode {
         }
         Some("compare") if args.len() >= 2 => {
             Options::parse(&args[2..]).and_then(|o| cmd_compare(&args[1], &o))
+        }
+        Some("query") if args.len() >= 2 => {
+            QueryOptions::parse(&args[2..]).and_then(|o| cmd_query(&args[1], &o))
         }
         Some("scenes") => Options::parse(&args[1..]).map(|o| cmd_scenes(&o)),
         Some("area") => {

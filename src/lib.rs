@@ -41,6 +41,7 @@ pub use cooprt_bvh as bvh;
 pub use cooprt_core as core;
 pub use cooprt_gpu as gpu;
 pub use cooprt_math as math;
+pub use cooprt_query as query;
 pub use cooprt_scenes as scenes;
 pub use cooprt_serve as serve;
 pub use cooprt_telemetry as telemetry;
